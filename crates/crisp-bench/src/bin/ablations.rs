@@ -1,0 +1,26 @@
+//! Ablation sweeps over the simulator's design knobs: vertex batch size,
+//! L1 port width, MSHR capacity, scheduler policy, MiG bank granularity.
+use crisp_core::experiments as exp;
+
+fn main() {
+    let s = crisp_bench::scale();
+    crisp_bench::emit("ablation_batch_size", &exp::ablation_batch_size(s).to_table());
+    crisp_bench::emit("ablation_l1_ports", &exp::ablation_l1_ports(s).to_table());
+    crisp_bench::emit("ablation_mshr", &exp::ablation_mshr(s).to_table());
+    let sched = exp::ablation_scheduler(s);
+    let sched_table: String = sched
+        .iter()
+        .map(|(n, c)| format!("{n:<4} {c} cycles\n"))
+        .collect();
+    crisp_bench::emit("ablation_scheduler", &sched_table);
+    let repl: String = exp::ablation_replacement(s)
+        .iter()
+        .map(|(n, c, hit)| format!("{n:<7} {c} cycles, L2 hit {:.1}%\n", hit * 100.0))
+        .collect();
+    crisp_bench::emit("ablation_replacement", &repl);
+    let mig: String = exp::ablation_mig_banks(s)
+        .iter()
+        .map(|(b, r)| format!("{b:>2} banks: MPS/MiG makespan ratio {r:.3}\n"))
+        .collect();
+    crisp_bench::emit("ablation_mig_banks", &mig);
+}

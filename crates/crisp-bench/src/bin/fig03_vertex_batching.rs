@@ -1,0 +1,5 @@
+//! Figure 3: vertex-shader invocation correlation at batch size 96.
+fn main() {
+    let r = crisp_core::experiments::fig03_vertex_batching(crisp_bench::scale());
+    crisp_bench::emit("fig03_vertex_batching", &r.to_table());
+}

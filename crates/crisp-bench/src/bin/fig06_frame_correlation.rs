@@ -1,0 +1,5 @@
+//! Figure 6: frame-time correlation against the silicon reference.
+fn main() {
+    let r = crisp_core::experiments::fig06_frame_correlation(crisp_bench::scale());
+    crisp_bench::emit("fig06_frame_correlation", &r.to_table());
+}

@@ -1,0 +1,5 @@
+//! Figure 7: four texture loads merging to one at mip level 1.
+fn main() {
+    let r = crisp_core::experiments::fig07_mip_merge();
+    crisp_bench::emit("fig07_mip_merge", &r.to_table());
+}

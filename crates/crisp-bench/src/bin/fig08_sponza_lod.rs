@@ -1,0 +1,27 @@
+//! Figure 8: Sponza rendered with LoD on and off, with the image
+//! difference quantified by PSNR.
+use crisp_core::{Resolution, GRAPHICS_STREAM};
+use crisp_scenes::{Scene, SceneId};
+
+fn main() -> std::io::Result<()> {
+    let scale = crisp_bench::scale();
+    let dir = crisp_bench::out_dir();
+    let (w, h) = Resolution::Scaled2K.dims();
+    let scene = Scene::build(SceneId::SponzaKhronos, scale.detail);
+    let on = scene.render(w, h, false, GRAPHICS_STREAM);
+    let off = scene.render(w, h, true, GRAPHICS_STREAM);
+    let p_on = dir.join("fig08_sponza_lod_on.ppm");
+    let p_off = dir.join("fig08_sponza_lod_off.ppm");
+    on.framebuffer.write_ppm(&p_on)?;
+    off.framebuffer.write_ppm(&p_off)?;
+    crisp_bench::emit(
+        "fig08_sponza_lod",
+        &format!(
+            "LoD on  -> {}\nLoD off -> {}\nPSNR between them: {:.1} dB (mip-0 sampling aliases visibly)\n",
+            p_on.display(),
+            p_off.display(),
+            on.framebuffer.psnr(&off.framebuffer),
+        ),
+    );
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Figure 9: L1 texture-access MAPE with LoD on vs off.
+fn main() {
+    let r = crisp_core::experiments::fig09_lod_mape(crisp_bench::scale());
+    crisp_bench::emit("fig09_lod_mape", &r.to_table());
+}

@@ -1,0 +1,5 @@
+//! Figure 10: texture cache lines per CTA in one Sponza drawcall.
+fn main() {
+    let r = crisp_core::experiments::fig10_texlines_histogram(crisp_bench::scale());
+    crisp_bench::emit("fig10_texlines_histogram", &r.to_table());
+}

@@ -1,0 +1,5 @@
+//! Figure 11: L2 composition, PBR (Pistol) vs basic shading (Sponza).
+fn main() {
+    let r = crisp_core::experiments::fig11_l2_composition(crisp_bench::scale());
+    crisp_bench::emit("fig11_l2_composition", &r.to_table());
+}

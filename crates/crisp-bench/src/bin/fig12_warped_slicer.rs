@@ -1,0 +1,5 @@
+//! Figure 12: warped-slicer vs MPS and EVEN on the Jetson Orin model.
+fn main() {
+    let r = crisp_core::experiments::fig12_warped_slicer(crisp_bench::scale());
+    crisp_bench::emit("fig12_warped_slicer", &r.to_table());
+}

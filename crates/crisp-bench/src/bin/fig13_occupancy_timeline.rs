@@ -1,0 +1,5 @@
+//! Figure 13: occupancy timeline of the dynamic partition (PT + VIO).
+fn main() {
+    let r = crisp_core::experiments::fig13_occupancy_timeline(crisp_bench::scale());
+    crisp_bench::emit("fig13_occupancy_timeline", &r.to_table());
+}

@@ -1,0 +1,5 @@
+//! Figure 14: TAP vs MiG vs MPS on the RTX 3070 model.
+fn main() {
+    let r = crisp_core::experiments::fig14_tap(crisp_bench::scale());
+    crisp_bench::emit("fig14_tap", &r.to_table());
+}

@@ -1,0 +1,5 @@
+//! Figure 15: L2 composition under TAP for SPH + HOLO.
+fn main() {
+    let r = crisp_core::experiments::fig15_tap_composition(crisp_bench::scale());
+    crisp_bench::emit("fig15_tap_composition", &r.to_table());
+}

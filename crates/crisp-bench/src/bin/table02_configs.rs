@@ -1,0 +1,5 @@
+//! Table II: the simulated GPU configurations.
+fn main() {
+    let r = crisp_core::experiments::table02_configs();
+    crisp_bench::emit("table02_configs", &r.to_table());
+}

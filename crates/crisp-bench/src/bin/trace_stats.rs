@@ -1,0 +1,62 @@
+//! Workload characterisation: instruction mix and memory footprints of
+//! every rendering scene and compute workload (the data behind the paper's
+//! Section V descriptions).
+use crisp_core::GRAPHICS_STREAM;
+use crisp_scenes::{all_scenes, holo, nn, timewarp, upscaler, vio};
+use crisp_trace::{ClassFootprint, DataClass, InstrMix, Stream, StreamId};
+
+fn mix_of(s: &Stream) -> (InstrMix, ClassFootprint) {
+    let mut m = InstrMix::default();
+    let mut f = ClassFootprint::new();
+    for k in s.kernels() {
+        let km = InstrMix::of_kernel(k);
+        m.int_alu += km.int_alu;
+        m.fp += km.fp;
+        m.sfu += km.sfu;
+        m.tensor += km.tensor;
+        m.control += km.control;
+        m.global_mem += km.global_mem;
+        m.shared_mem += km.shared_mem;
+        m.tex += km.tex;
+        f.add_kernel(k);
+    }
+    (m, f)
+}
+
+fn row(name: &str, s: &Stream) -> Vec<String> {
+    let (m, f) = mix_of(s);
+    let t = m.total().max(1) as f64;
+    vec![
+        name.to_string(),
+        m.total().to_string(),
+        format!("{:.0}%", m.fp as f64 / t * 100.0),
+        format!("{:.0}%", m.int_alu as f64 / t * 100.0),
+        format!("{:.0}%", m.sfu as f64 / t * 100.0),
+        format!("{:.0}%", m.tensor as f64 / t * 100.0),
+        format!("{:.0}%", (m.global_mem + m.shared_mem) as f64 / t * 100.0),
+        format!("{:.0}%", m.tex as f64 / t * 100.0),
+        format!("{:.2}", f.bytes(DataClass::Texture) as f64 / 1e6),
+        format!("{:.2}", (f.bytes(DataClass::Pipeline) + f.bytes(DataClass::Compute)) as f64 / 1e6),
+    ]
+}
+
+fn main() {
+    let scale = crisp_bench::scale();
+    let (w, h) = scale.res.dims();
+    let mut rows = Vec::new();
+    for scene in all_scenes(scale.detail) {
+        let f = scene.render(w, h, false, GRAPHICS_STREAM);
+        rows.push(row(scene.id.label(), &f.trace));
+    }
+    let c = StreamId(1);
+    rows.push(row("VIO", &vio(c, scale.compute)));
+    rows.push(row("HOLO", &holo(c, scale.compute)));
+    rows.push(row("NN", &nn(c, scale.compute)));
+    rows.push(row("ATW", &timewarp(c, w, h, scale.compute)));
+    rows.push(row("UPSCALE", &upscaler(c, scale.compute)));
+    let table = crisp_core::report::table(
+        &["workload", "instrs", "fp", "int", "sfu", "tensor", "mem", "tex", "tex MB", "data MB"],
+        &rows,
+    );
+    crisp_bench::emit("trace_stats", &table);
+}

@@ -1,0 +1,93 @@
+//! Artifact-style validation: run every experiment at quick scale and
+//! check that the paper's qualitative claims hold (the shipped analogue of
+//! the artifact's `collect.sh` + result-check scripts).
+use crisp_core::experiments as exp;
+use crisp_core::experiments::ExpScale;
+
+struct Check {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn main() {
+    let s = ExpScale::quick();
+    let mut checks = Vec::new();
+
+    let f3 = exp::fig03_vertex_batching(s);
+    checks.push(Check {
+        name: "fig03: VS invocation correlation ~1",
+        pass: f3.correlation > 0.95,
+        detail: format!("correlation {:.3}", f3.correlation),
+    });
+
+    let f9 = exp::fig09_lod_mape(s);
+    checks.push(Check {
+        name: "fig09: LoD off far worse than LoD on",
+        pass: f9.improvement() > 2.0,
+        detail: format!(
+            "MAPE on {:.1}% / off {:.1}% ({:.1}x)",
+            f9.mape_lod_on * 100.0,
+            f9.mape_lod_off * 100.0,
+            f9.improvement()
+        ),
+    });
+
+    let f10 = exp::fig10_texlines_histogram(s);
+    checks.push(Check {
+        name: "fig10: mean tex lines/CTA within paper range",
+        pass: (1.0..=22.0).contains(&f10.histogram.mean()),
+        detail: format!("mean {:.2}", f10.histogram.mean()),
+    });
+
+    let f11 = exp::fig11_l2_composition(s);
+    let pt = f11.row(crisp_scenes::SceneId::Pistol).texture_fraction;
+    let spl = f11.row(crisp_scenes::SceneId::SponzaKhronos).texture_fraction;
+    checks.push(Check {
+        name: "fig11: PBR holds more texture lines than basic",
+        pass: pt > spl,
+        detail: format!("PT {:.1}% vs SPL {:.1}%", pt * 100.0, spl * 100.0),
+    });
+
+    let f12 = exp::fig12_warped_slicer(s);
+    checks.push(Check {
+        name: "fig12: intra-SM sharing competitive with MPS",
+        pass: f12.geomean("EVEN") > 0.85,
+        detail: format!("EVEN geomean {:.3}", f12.geomean("EVEN")),
+    });
+
+    let f14 = exp::fig14_tap(s);
+    checks.push(Check {
+        name: "fig14: TAP does not collapse vs MPS",
+        pass: f14.mean("TAP") > 0.7,
+        detail: format!("TAP mean {:.3}", f14.mean("TAP")),
+    });
+
+    let f15 = exp::fig15_tap_composition(s);
+    checks.push(Check {
+        name: "fig15: rendering dominates the TAP'd L2",
+        pass: f15.rendering_fraction() > 0.5,
+        detail: format!("rendering {:.1}%", f15.rendering_fraction() * 100.0),
+    });
+
+    let ab = exp::ablation_batch_size(s);
+    checks.push(Check {
+        name: "ablation: batch 96 minimises error",
+        pass: ab.best_batch() == 96,
+        detail: format!("best batch {}", ab.best_batch()),
+    });
+
+    let mut failed = 0;
+    println!("CRISP validation (quick scale):\n");
+    for c in &checks {
+        let status = if c.pass { "PASS" } else { "FAIL" };
+        if !c.pass {
+            failed += 1;
+        }
+        println!("[{status}] {:<46} {}", c.name, c.detail);
+    }
+    println!("\n{} / {} checks passed", checks.len() - failed, checks.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

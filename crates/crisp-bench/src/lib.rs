@@ -1,0 +1,59 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! by calling the corresponding runner in `crisp_core::experiments`,
+//! printing the text table, and writing the raw output under
+//! `target/experiments/`.
+//!
+//! Scale is controlled by the `CRISP_SCALE` environment variable:
+//!
+//! * `paper` (default) — the full evaluation scale (minutes per figure).
+//! * `quick` — tiny sizes for smoke-testing the harness (seconds).
+
+use std::path::PathBuf;
+
+use crisp_core::experiments::ExpScale;
+
+/// The experiment scale selected via `CRISP_SCALE`.
+pub fn scale() -> ExpScale {
+    match std::env::var("CRISP_SCALE").as_deref() {
+        Ok("quick") => ExpScale::quick(),
+        _ => ExpScale::paper(),
+    }
+}
+
+/// Output directory for experiment artifacts (`target/experiments`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Print a figure's table and persist it to `target/experiments/<name>.txt`.
+pub fn emit(name: &str, table: &str) {
+    println!("== {name} ==\n{table}");
+    let path = out_dir().join(format!("{name}.txt"));
+    std::fs::write(&path, table).expect("write experiment output");
+    println!("(saved to {})", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_paper() {
+        // The env var is unset in tests unless a caller sets it.
+        if std::env::var("CRISP_SCALE").is_err() {
+            assert_eq!(scale().detail, ExpScale::paper().detail);
+        }
+    }
+
+    #[test]
+    fn emit_writes_the_artifact() {
+        emit("selftest", "hello\n");
+        let p = out_dir().join("selftest.txt");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,430 @@
+//! Concurrent-execution experiments: Figures 12, 13, 14 and 15.
+
+use crisp_scenes::{holo, nn, vio, ComputeScale, Scene, SceneId};
+use crisp_sim::{
+    GpuConfig, GpuSim, OccupancySample, PartitionSpec, SimResult, SlicerConfig, TapConfig,
+};
+use crisp_trace::{DataClass, Stream, StreamId, TraceBundle};
+
+use crate::report::{f3, pct, table};
+use crate::{COMPUTE_STREAM, GRAPHICS_STREAM};
+
+use super::ExpScale;
+
+/// The paper's three compute workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputeKind {
+    /// Visual-inertial odometry (many small kernels).
+    Vio,
+    /// Hologram generation (compute-bound).
+    Holo,
+    /// RITnet principal kernels (memory-bound, shared-memory GEMMs).
+    Nn,
+}
+
+impl ComputeKind {
+    /// All kinds in paper order.
+    pub const ALL: [ComputeKind; 3] = [ComputeKind::Vio, ComputeKind::Holo, ComputeKind::Nn];
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComputeKind::Vio => "VIO",
+            ComputeKind::Holo => "HOLO",
+            ComputeKind::Nn => "NN",
+        }
+    }
+
+    /// Build the workload's stream.
+    pub fn build(self, stream: StreamId, scale: ComputeScale) -> Stream {
+        match self {
+            ComputeKind::Vio => vio(stream, scale),
+            ComputeKind::Holo => holo(stream, scale),
+            ComputeKind::Nn => nn(stream, scale),
+        }
+    }
+}
+
+impl std::fmt::Display for ComputeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Run one graphics+compute pair under `spec`; returns the full result.
+fn run_pair(
+    gpu: &GpuConfig,
+    spec: PartitionSpec,
+    scene: &Scene,
+    compute: ComputeKind,
+    scale: ExpScale,
+    occupancy_interval: u64,
+) -> SimResult {
+    let (w, h) = scale.res.dims();
+    let frame = scene.render(w, h, false, GRAPHICS_STREAM);
+    let cstream = compute.build(COMPUTE_STREAM, scale.compute);
+    let mut sim = GpuSim::new(gpu.clone(), spec);
+    sim.occupancy_interval = occupancy_interval;
+    sim.load(TraceBundle::from_streams(vec![frame.trace, cstream]));
+    sim.run()
+}
+
+/// Makespan metric: cycles until both streams completed.
+fn makespan(r: &SimResult) -> u64 {
+    r.per_stream.values().map(|s| s.stats.finish_cycle).max().unwrap_or(r.cycles)
+}
+
+/// One workload pair's normalized results.
+#[derive(Debug, Clone)]
+pub struct PairRow {
+    /// Scene of the pair.
+    pub scene: SceneId,
+    /// Compute side of the pair.
+    pub compute: ComputeKind,
+    /// (policy label, speedup normalized to the first policy).
+    pub speedups: Vec<(&'static str, f64)>,
+}
+
+/// Figure 12: warped-slicer vs the MPS and EVEN baselines on Jetson Orin.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// One row per workload pair; speedups normalized to MPS-even.
+    pub rows: Vec<PairRow>,
+}
+
+impl Fig12Result {
+    /// Text-table rendering.
+    pub fn to_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![format!("{}+{}", r.scene, r.compute)];
+                v.extend(r.speedups.iter().map(|(_, s)| f3(*s)));
+                v
+            })
+            .collect();
+        format!(
+            "{}\n(speedups normalized to MPS; paper: EVEN fastest overall, NN shows the highest concurrency speedup)\n",
+            table(&["pair", "MPS", "EVEN", "Dynamic"], &rows)
+        )
+    }
+
+    /// Geometric-mean speedup of one policy column.
+    pub fn geomean(&self, policy: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.speedups.iter().find(|(p, _)| *p == policy).map(|(_, s)| *s))
+            .collect();
+        assert!(!vals.is_empty(), "unknown policy {policy}");
+        (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+    }
+}
+
+/// Scene list used for the pairing studies.
+fn pair_scenes(scale: ExpScale) -> Vec<SceneId> {
+    match scale.res {
+        crate::Resolution::Tiny => vec![SceneId::SponzaPbr, SceneId::Pistol],
+        _ => vec![SceneId::SponzaPbr, SceneId::Pistol, SceneId::SponzaKhronos, SceneId::Planets],
+    }
+}
+
+/// Run Figure 12 on the Jetson Orin model: MPS-even vs intra-SM EVEN vs
+/// warped-slicer Dynamic, all pairs, normalized to MPS.
+pub fn fig12_warped_slicer(scale: ExpScale) -> Fig12Result {
+    let gpu = GpuConfig::jetson_orin();
+    let mut rows = Vec::new();
+    for scene_id in pair_scenes(scale) {
+        let scene = Scene::build(scene_id, scale.detail);
+        for compute in ComputeKind::ALL {
+            let mps = makespan(&run_pair(
+                &gpu,
+                PartitionSpec::mps_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+                &scene,
+                compute,
+                scale,
+                0,
+            ));
+            let even = makespan(&run_pair(
+                &gpu,
+                PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+                &scene,
+                compute,
+                scale,
+                0,
+            ));
+            let dynamic = makespan(&run_pair(
+                &gpu,
+                PartitionSpec::fg_dynamic(SlicerConfig::default()),
+                &scene,
+                compute,
+                scale,
+                0,
+            ));
+            rows.push(PairRow {
+                scene: scene_id,
+                compute,
+                speedups: vec![
+                    ("MPS", 1.0),
+                    ("EVEN", mps as f64 / even as f64),
+                    ("Dynamic", mps as f64 / dynamic as f64),
+                ],
+            });
+        }
+    }
+    Fig12Result { rows }
+}
+
+/// Figure 13: the occupancy timeline of the dynamic partition (PT + VIO).
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// Occupancy samples over time.
+    pub occupancy: Vec<OccupancySample>,
+    /// Warped-slicer ratio decisions (cycle, graphics fraction).
+    pub slicer_history: Vec<(u64, f64)>,
+}
+
+impl Fig13Result {
+    /// Text-table rendering (downsampled).
+    pub fn to_table(&self) -> String {
+        let step = (self.occupancy.len() / 24).max(1);
+        let rows: Vec<Vec<String>> = self
+            .occupancy
+            .iter()
+            .step_by(step)
+            .map(|s| {
+                let g = s.by_stream.get(&GRAPHICS_STREAM).copied().unwrap_or(0.0);
+                let c = s.by_stream.get(&COMPUTE_STREAM).copied().unwrap_or(0.0);
+                vec![s.cycle.to_string(), pct(g), pct(c), pct(s.total())]
+            })
+            .collect();
+        format!(
+            "{}\nslicer decisions: {:?}\n(paper: low-occupancy regions are register-limited)\n",
+            table(&["cycle", "graphics occ", "compute occ", "total"], &rows),
+            self.slicer_history,
+        )
+    }
+
+    /// Peak total occupancy over the run.
+    pub fn peak_total(&self) -> f64 {
+        self.occupancy.iter().map(OccupancySample::total).fold(0.0, f64::max)
+    }
+}
+
+/// Run Figure 13: PT + VIO under the dynamic partition on the Orin model,
+/// sampling occupancy densely.
+pub fn fig13_occupancy_timeline(scale: ExpScale) -> Fig13Result {
+    let gpu = GpuConfig::jetson_orin();
+    let scene = Scene::build(SceneId::Pistol, scale.detail);
+    let r = run_pair(
+        &gpu,
+        PartitionSpec::fg_dynamic(SlicerConfig::default()),
+        &scene,
+        ComputeKind::Vio,
+        scale,
+        500,
+    );
+    Fig13Result { occupancy: r.occupancy, slicer_history: r.slicer_history }
+}
+
+/// Figure 14: TAP vs MiG vs MPS on the RTX 3070 model.
+#[derive(Debug, Clone)]
+pub struct Fig14Result {
+    /// One row per pair; speedups normalized to MPS-even.
+    pub rows: Vec<PairRow>,
+}
+
+impl Fig14Result {
+    /// Text-table rendering.
+    pub fn to_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![format!("{}+{}", r.scene, r.compute)];
+                v.extend(r.speedups.iter().map(|(_, s)| f3(*s)));
+                v
+            })
+            .collect();
+        format!(
+            "{}\n(paper: TAP outperforms MiG and matches MPS — the pairs are bandwidth-bound, not capacity-bound)\n",
+            table(&["pair", "MPS", "MiG", "TAP"], &rows)
+        )
+    }
+
+    /// Mean speedup of a policy column.
+    pub fn mean(&self, policy: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.speedups.iter().find(|(p, _)| *p == policy).map(|(_, s)| *s))
+            .collect();
+        assert!(!vals.is_empty(), "unknown policy {policy}");
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Run Figure 14 on the RTX 3070 model.
+pub fn fig14_tap(scale: ExpScale) -> Fig14Result {
+    let gpu = GpuConfig::rtx3070();
+    // Long epochs: a set-window remap orphans resident lines (their
+    // index changes), so repartitioning must be rare to amortise the
+    // refill — mirroring TAP's slow epoch-level adaptation.
+    let tap_cfg = TapConfig { epoch_accesses: 250_000, sample_every: 4, min_sets: 1 };
+    let mut rows = Vec::new();
+    for scene_id in pair_scenes(scale) {
+        let scene = Scene::build(scene_id, scale.detail);
+        for compute in ComputeKind::ALL {
+            let mps = makespan(&run_pair(
+                &gpu,
+                PartitionSpec::mps_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+                &scene,
+                compute,
+                scale,
+                0,
+            ));
+            let mig = makespan(&run_pair(
+                &gpu,
+                PartitionSpec::mig_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+                &scene,
+                compute,
+                scale,
+                0,
+            ));
+            let tap = makespan(&run_pair(
+                &gpu,
+                PartitionSpec::tap_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM, tap_cfg),
+                &scene,
+                compute,
+                scale,
+                0,
+            ));
+            rows.push(PairRow {
+                scene: scene_id,
+                compute,
+                speedups: vec![
+                    ("MPS", 1.0),
+                    ("MiG", mps as f64 / mig as f64),
+                    ("TAP", mps as f64 / tap as f64),
+                ],
+            });
+        }
+    }
+    Fig14Result { rows }
+}
+
+/// Figure 15: the L2 composition under TAP for SPH + HOLO.
+#[derive(Debug, Clone)]
+pub struct Fig15Result {
+    /// Fraction of valid lines per (label, fraction) class.
+    pub fractions: Vec<(&'static str, f64)>,
+    /// TAP's final set allocation (stream, sets).
+    pub tap_allocation: Vec<(StreamId, u64)>,
+}
+
+impl Fig15Result {
+    /// Fraction of lines held by the rendering stream.
+    pub fn rendering_fraction(&self) -> f64 {
+        self.fractions
+            .iter()
+            .filter(|(l, _)| *l != "compute")
+            .map(|(_, f)| f)
+            .sum()
+    }
+
+    /// Text-table rendering.
+    pub fn to_table(&self) -> String {
+        let rows: Vec<Vec<String>> =
+            self.fractions.iter().map(|(l, f)| vec![l.to_string(), pct(*f)]).collect();
+        format!(
+            "{}\nTAP allocation: {:?}\n(paper: TAP allocates most cache lines to rendering because HOLO is compute-bound)\n",
+            table(&["class", "share of valid L2 lines"], &rows),
+            self.tap_allocation,
+        )
+    }
+}
+
+/// Run Figure 15: SPH + HOLO with TAP on the RTX 3070 model, reporting the
+/// final composition breakdown.
+pub fn fig15_tap_composition(scale: ExpScale) -> Fig15Result {
+    let gpu = GpuConfig::rtx3070();
+    // A shorter epoch than Figure 14's: this run is a single frame and the
+    // interesting output is the *allocation* TAP converges to, so the
+    // controller must get at least one re-evaluation in.
+    let tap_cfg = TapConfig { epoch_accesses: 40_000, sample_every: 4, min_sets: 1 };
+    let scene = Scene::build(SceneId::SponzaPbr, scale.detail);
+    let r = run_pair(
+        &gpu,
+        PartitionSpec::tap_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM, tap_cfg),
+        &scene,
+        ComputeKind::Holo,
+        scale,
+        0,
+    );
+    let comp = &r.l2_composition;
+    let fractions = vec![
+        ("texture", comp.class_fraction(DataClass::Texture)),
+        ("pipeline", comp.class_fraction(DataClass::Pipeline)),
+        ("compute", comp.class_fraction(DataClass::Compute)),
+    ];
+    Fig15Result {
+        fractions,
+        tap_allocation: r.tap_allocation.unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_kinds_build() {
+        for k in ComputeKind::ALL {
+            let s = k.build(COMPUTE_STREAM, ComputeScale::tiny());
+            assert!(s.kernel_count() > 0, "{k}");
+        }
+    }
+
+    #[test]
+    fn fig12_quick_produces_all_pairs() {
+        let r = fig12_warped_slicer(ExpScale::quick());
+        assert_eq!(r.rows.len(), 2 * 3, "2 scenes × 3 computes at quick scale");
+        for row in &r.rows {
+            for (p, s) in &row.speedups {
+                assert!(*s > 0.1, "{p} speedup degenerate: {s}");
+            }
+        }
+        // EVEN should at least compete with MPS on average (paper: EVEN is
+        // the fastest of the three).
+        assert!(r.geomean("EVEN") > 0.8, "EVEN geomean {}", r.geomean("EVEN"));
+        assert!(r.to_table().contains("Dynamic"));
+    }
+
+    #[test]
+    fn fig13_timeline_shows_both_streams() {
+        let r = fig13_occupancy_timeline(ExpScale::quick());
+        assert!(!r.occupancy.is_empty());
+        assert!(r.peak_total() > 0.05);
+    }
+
+    #[test]
+    fn fig14_quick_runs_all_policies() {
+        let r = fig14_tap(ExpScale::quick());
+        assert_eq!(r.rows.len(), 6);
+        // TAP must not collapse (paper: TAP ≈ MPS).
+        assert!(r.mean("TAP") > 0.6, "TAP mean {}", r.mean("TAP"));
+    }
+
+    #[test]
+    fn fig15_rendering_dominates_the_l2() {
+        let r = fig15_tap_composition(ExpScale::quick());
+        let total: f64 = r.fractions.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-6, "fractions must sum to 1, got {total}");
+        assert!(
+            r.rendering_fraction() > 0.5,
+            "rendering must dominate: {}",
+            r.rendering_fraction()
+        );
+    }
+}

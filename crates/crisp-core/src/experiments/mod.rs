@@ -1,0 +1,79 @@
+//! Experiment runners: one per table/figure of the paper.
+//!
+//! Every runner takes an [`ExpScale`] so the same code serves fast unit
+//! tests ([`ExpScale::quick`]) and the full bench harness
+//! ([`ExpScale::paper`]), and returns a typed result with a text-table
+//! rendering. The `crisp-bench` binaries are thin wrappers over these.
+//!
+//! | Paper artifact | Runner |
+//! |---|---|
+//! | Figure 3 (VS invocation correlation) | [`fig03_vertex_batching`] |
+//! | Figure 5/8 (rendered frames) | [`render_scene_to_ppm`] |
+//! | Table II (configs) | [`table02_configs`] |
+//! | Figure 6 (frame-time correlation) | [`fig06_frame_correlation`] |
+//! | Figure 7 (mip merge demo) | [`fig07_mip_merge`] |
+//! | Figure 9 (LoD MAPE) | [`fig09_lod_mape`] |
+//! | Figure 10 (tex lines / CTA) | [`fig10_texlines_histogram`] |
+//! | Figure 11 (L2 composition) | [`fig11_l2_composition`] |
+//! | Figure 12 (warped-slicer) | [`fig12_warped_slicer`] |
+//! | Figure 13 (occupancy timeline) | [`fig13_occupancy_timeline`] |
+//! | Figure 14 (TAP vs MiG vs MPS) | [`fig14_tap`] |
+//! | Figure 15 (TAP composition) | [`fig15_tap_composition`] |
+
+mod ablations;
+mod composition;
+mod concurrent;
+mod renders;
+mod table02;
+mod validation;
+
+pub use ablations::{
+    ablation_batch_size, ablation_l1_ports, ablation_mig_banks, ablation_mshr,
+    ablation_replacement, ablation_scheduler, BatchSizeAblation, HwSweep,
+};
+pub use composition::{fig07_mip_merge, fig11_l2_composition, Fig07Result, Fig11Result, Fig11Row};
+pub use concurrent::{
+    fig12_warped_slicer, fig13_occupancy_timeline, fig14_tap, fig15_tap_composition, ComputeKind,
+    Fig12Result, Fig13Result, Fig14Result, Fig15Result, PairRow,
+};
+pub use renders::render_scene_to_ppm;
+pub use table02::{table02_configs, Table02Result};
+pub use validation::{
+    fig03_vertex_batching, fig06_frame_correlation, fig09_lod_mape, fig10_texlines_histogram,
+    Fig03Result, Fig06Result, Fig09Result, Fig10Result,
+};
+
+use crisp_scenes::ComputeScale;
+
+use crate::Resolution;
+
+/// Scaling knobs shared by the experiment runners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpScale {
+    /// Scene tessellation detail (1.0 = evaluation size).
+    pub detail: f32,
+    /// Render resolution.
+    pub res: Resolution,
+    /// Compute workload grid scaling.
+    pub compute: ComputeScale,
+}
+
+impl ExpScale {
+    /// Tiny sizes for unit/integration tests (seconds, not minutes).
+    pub fn quick() -> Self {
+        ExpScale {
+            detail: 0.2,
+            res: Resolution::Tiny,
+            compute: ComputeScale::tiny(),
+        }
+    }
+
+    /// The default evaluation scale used by the bench harness.
+    pub fn paper() -> Self {
+        ExpScale {
+            detail: 1.0,
+            res: Resolution::Scaled2K,
+            compute: ComputeScale::default(),
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Table II: the two simulated GPU configurations.
+
+use crisp_sim::GpuConfig;
+
+use crate::report::table;
+
+/// Table II rendered from the live config presets.
+#[derive(Debug, Clone)]
+pub struct Table02Result {
+    /// The two configurations.
+    pub configs: Vec<GpuConfig>,
+}
+
+impl Table02Result {
+    /// Text-table rendering matching the paper's rows.
+    pub fn to_table(&self) -> String {
+        let rows: Vec<Vec<String>> = vec![
+            row("# SMs", &self.configs, |c| c.n_sms.to_string()),
+            row("# Registers / SM", &self.configs, |c| c.sm.max_regs.to_string()),
+            row("L1D + Shared / SM", &self.configs, |c| {
+                format!("{} KB", (c.l1_bytes + c.sm.max_smem as u64) >> 10)
+            }),
+            row("Warps / SM", &self.configs, |c| c.sm.max_warps.to_string()),
+            row("Schedulers / SM", &self.configs, |c| c.sm.schedulers.to_string()),
+            row("Exec units", &self.configs, |c| {
+                format!(
+                    "{} FP, {} SFU, {} INT, {} TENSOR",
+                    c.sm.fp_units, c.sm.sfu_units, c.sm.int_units, c.sm.tensor_units
+                )
+            }),
+            row("L2 cache", &self.configs, |c| format!("{} MB", c.l2_bytes >> 20)),
+            row("Core clock", &self.configs, |c| format!("{} MHz", c.core_clock_mhz)),
+            row("Memory BW", &self.configs, |c| format!("{} GB/s", c.dram_gbps)),
+        ];
+        let headers: Vec<&str> = std::iter::once("")
+            .chain(self.configs.iter().map(|c| c.name.as_str()))
+            .collect();
+        table(&headers, &rows)
+    }
+}
+
+fn row(label: &str, configs: &[GpuConfig], f: impl Fn(&GpuConfig) -> String) -> Vec<String> {
+    std::iter::once(label.to_string()).chain(configs.iter().map(f)).collect()
+}
+
+/// Produce Table II from the Jetson Orin and RTX 3070 presets.
+pub fn table02_configs() -> Table02Result {
+    Table02Result { configs: vec![GpuConfig::jetson_orin(), GpuConfig::rtx3070()] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_headline_numbers() {
+        let t = table02_configs();
+        let s = t.to_table();
+        assert!(s.contains("Jetson Orin"));
+        assert!(s.contains("RTX 3070"));
+        assert!(s.contains("14"));
+        assert!(s.contains("46"));
+        assert!(s.contains("65536"));
+        assert!(s.contains("4 MB"));
+        assert!(s.contains("200 GB/s"));
+        assert!(s.contains("448 GB/s"));
+    }
+}

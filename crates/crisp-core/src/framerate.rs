@@ -1,0 +1,128 @@
+//! Frame-rate simulation: drive an animated scene through the simulator
+//! and report per-frame times.
+//!
+//! Renders an orbiting-camera sequence ([`crisp_scenes::Scene::render_sequence`]),
+//! replays it (optionally alongside a per-frame compute workload), and
+//! splits the kernel timeline back into frames using the drawcall
+//! boundaries — the frames-per-second view a game developer gets from the
+//! profiler.
+
+use crisp_scenes::Scene;
+use crisp_sim::{GpuConfig, GpuSim, PartitionSpec, SimResult};
+use crisp_trace::{Stream, TraceBundle};
+
+use crate::GRAPHICS_STREAM;
+
+/// Per-frame timing extracted from a sequence run.
+#[derive(Debug, Clone)]
+pub struct FrameTimes {
+    /// Cycle at which each frame's last kernel committed.
+    pub frame_end_cycles: Vec<u64>,
+    /// The full simulation result.
+    pub result: SimResult,
+}
+
+impl FrameTimes {
+    /// Duration of frame `i` in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn frame_cycles(&self, i: usize) -> u64 {
+        let end = self.frame_end_cycles[i];
+        let start = if i == 0 { 0 } else { self.frame_end_cycles[i - 1] };
+        end - start
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        self.frame_end_cycles.len()
+    }
+
+    /// Mean frames per second at the GPU's clock.
+    pub fn fps(&self, gpu: &GpuConfig) -> f64 {
+        let total_ms: f64 = gpu.cycles_to_ms(*self.frame_end_cycles.last().expect("frames"));
+        self.frames() as f64 / (total_ms / 1e3)
+    }
+}
+
+/// Simulate `n_frames` of `scene` at `width`×`height`, optionally running
+/// `companion` (a compute stream) concurrently under `spec`.
+///
+/// # Panics
+///
+/// Panics if `n_frames` is zero (via `render_sequence`).
+pub fn simulate_frames(
+    scene: &Scene,
+    width: u32,
+    height: u32,
+    n_frames: usize,
+    gpu: &GpuConfig,
+    spec: PartitionSpec,
+    companion: Option<Stream>,
+) -> FrameTimes {
+    let (trace, per_frame_stats) = scene.render_sequence(width, height, false, GRAPHICS_STREAM, n_frames);
+    let kernels_per_frame: Vec<usize> =
+        per_frame_stats.iter().map(|s| s.draws.len() * 2).collect();
+    let mut streams = vec![trace];
+    if let Some(c) = companion {
+        streams.push(c);
+    }
+    let mut sim = GpuSim::new(gpu.clone(), spec);
+    sim.occupancy_interval = 0;
+    sim.load(TraceBundle::from_streams(streams));
+    let result = sim.run();
+
+    // Split the graphics kernel log back into frames.
+    let gfx_ends: Vec<u64> = result
+        .kernel_log
+        .iter()
+        .filter(|k| k.stream == GRAPHICS_STREAM)
+        .map(|k| k.end_cycle)
+        .collect();
+    let mut frame_end_cycles = Vec::with_capacity(n_frames);
+    let mut idx = 0;
+    for &n in &kernels_per_frame {
+        idx += n;
+        frame_end_cycles.push(gfx_ends[idx - 1]);
+    }
+    FrameTimes { frame_end_cycles, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_scenes::{vio, ComputeScale, SceneId};
+    use crate::COMPUTE_STREAM;
+
+    #[test]
+    fn frame_boundaries_are_monotone() {
+        let scene = Scene::build(SceneId::Platformer, 0.2);
+        let gpu = GpuConfig::test_tiny();
+        let ft = simulate_frames(&scene, 96, 54, 3, &gpu, PartitionSpec::greedy(), None);
+        assert_eq!(ft.frames(), 3);
+        assert!(ft.frame_end_cycles.windows(2).all(|w| w[0] < w[1]));
+        for i in 0..3 {
+            assert!(ft.frame_cycles(i) > 0);
+        }
+        assert!(ft.fps(&gpu) > 0.0);
+    }
+
+    #[test]
+    fn companion_compute_runs_alongside_the_sequence() {
+        let scene = Scene::build(SceneId::SponzaKhronos, 0.2);
+        let gpu = GpuConfig::jetson_orin();
+        let spec = PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM);
+        let ft = simulate_frames(
+            &scene,
+            96,
+            54,
+            2,
+            &gpu,
+            spec,
+            Some(vio(COMPUTE_STREAM, ComputeScale::tiny())),
+        );
+        assert_eq!(ft.frames(), 2);
+        assert!(ft.result.per_stream[&COMPUTE_STREAM].stats.instructions > 0);
+    }
+}

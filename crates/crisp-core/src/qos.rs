@@ -1,0 +1,171 @@
+//! Quality-of-service analysis for concurrent XR workloads.
+//!
+//! The paper's conclusion names this as the open problem CRISP enables:
+//! "XR workloads have distinct quality-of-service requirements, which must
+//! be considered in the system design as well." This module evaluates a
+//! [`crisp_sim::SimResult`] against per-stream deadlines — the
+//! motion-to-photon (MTP) budget for rendering/timewarp, the camera frame
+//! interval for VIO — and reports slack or violations.
+
+use std::collections::BTreeMap;
+
+use crisp_sim::{GpuConfig, SimResult};
+use crisp_trace::StreamId;
+
+/// A per-stream latency requirement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deadline {
+    /// Budget in milliseconds from stream start to completion.
+    pub budget_ms: f64,
+}
+
+impl Deadline {
+    /// The 15–20 ms motion-to-photon budget; use the strict end ("the
+    /// required 15-20 ms MTP to prevent user sickness").
+    pub fn motion_to_photon() -> Self {
+        Deadline { budget_ms: 15.0 }
+    }
+
+    /// A 30 Hz camera pipeline (VIO must keep up with frame arrival).
+    pub fn camera_30hz() -> Self {
+        Deadline { budget_ms: 33.3 }
+    }
+
+    /// A custom budget.
+    pub fn ms(budget_ms: f64) -> Self {
+        assert!(budget_ms > 0.0, "budget must be positive");
+        Deadline { budget_ms }
+    }
+}
+
+/// One stream's QoS verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosVerdict {
+    /// The latency actually achieved (ms, stream start → finish).
+    pub latency_ms: f64,
+    /// The budget it was held to.
+    pub budget_ms: f64,
+}
+
+impl QosVerdict {
+    /// Remaining slack (negative = violated).
+    pub fn slack_ms(&self) -> f64 {
+        self.budget_ms - self.latency_ms
+    }
+
+    /// Whether the deadline was met.
+    pub fn met(&self) -> bool {
+        self.latency_ms <= self.budget_ms
+    }
+
+    /// Fraction of the budget consumed.
+    pub fn utilisation(&self) -> f64 {
+        self.latency_ms / self.budget_ms
+    }
+}
+
+/// QoS report over all constrained streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosReport {
+    /// Per-stream verdicts.
+    pub verdicts: BTreeMap<StreamId, QosVerdict>,
+}
+
+impl QosReport {
+    /// Evaluate a simulation against per-stream deadlines. Streams without
+    /// a deadline are unconstrained (best-effort).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deadline references a stream the simulation didn't run.
+    pub fn evaluate(
+        result: &SimResult,
+        gpu: &GpuConfig,
+        deadlines: impl IntoIterator<Item = (StreamId, Deadline)>,
+    ) -> Self {
+        let mut verdicts = BTreeMap::new();
+        for (id, d) in deadlines {
+            let stream = result
+                .per_stream
+                .get(&id)
+                .unwrap_or_else(|| panic!("deadline for unknown stream {id}"));
+            let latency_ms = gpu.cycles_to_ms(stream.stats.elapsed());
+            verdicts.insert(id, QosVerdict { latency_ms, budget_ms: d.budget_ms });
+        }
+        QosReport { verdicts }
+    }
+
+    /// Whether every constrained stream met its deadline.
+    pub fn all_met(&self) -> bool {
+        self.verdicts.values().all(QosVerdict::met)
+    }
+
+    /// The tightest verdict (smallest slack), if any stream is constrained.
+    pub fn critical(&self) -> Option<(StreamId, QosVerdict)> {
+        self.verdicts
+            .iter()
+            .min_by(|a, b| {
+                a.1.slack_ms().partial_cmp(&b.1.slack_ms()).expect("finite slack")
+            })
+            .map(|(&id, &v)| (id, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::{concurrent_bundle, simulate, COMPUTE_STREAM, GRAPHICS_STREAM};
+
+    fn run() -> (SimResult, GpuConfig) {
+        let gpu = GpuConfig::jetson_orin();
+        let f = Scene::build(SceneId::SponzaKhronos, 0.2).render(96, 54, false, GRAPHICS_STREAM);
+        let r = simulate(
+            gpu.clone(),
+            PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+            concurrent_bundle(f.trace, vio(COMPUTE_STREAM, ComputeScale::tiny())),
+        );
+        (r, gpu)
+    }
+
+    #[test]
+    fn tiny_frames_meet_the_mtp_budget() {
+        let (r, gpu) = run();
+        let report = QosReport::evaluate(
+            &r,
+            &gpu,
+            [
+                (GRAPHICS_STREAM, Deadline::motion_to_photon()),
+                (COMPUTE_STREAM, Deadline::camera_30hz()),
+            ],
+        );
+        assert!(report.all_met(), "{report:?}");
+        let (_, crit) = report.critical().expect("constrained streams exist");
+        assert!(crit.slack_ms() > 0.0);
+        assert!(crit.utilisation() < 1.0);
+    }
+
+    #[test]
+    fn impossible_budget_is_violated() {
+        let (r, gpu) = run();
+        let report =
+            QosReport::evaluate(&r, &gpu, [(GRAPHICS_STREAM, Deadline::ms(1e-6))]);
+        assert!(!report.all_met());
+        let v = report.verdicts[&GRAPHICS_STREAM];
+        assert!(v.slack_ms() < 0.0);
+        assert!(v.utilisation() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stream")]
+    fn deadline_for_missing_stream_panics() {
+        let (r, gpu) = run();
+        let _ = QosReport::evaluate(&r, &gpu, [(StreamId(42), Deadline::ms(1.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_budget_rejected() {
+        let _ = Deadline::ms(0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Plain-text tables and CSV output for the experiment runners.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Render an aligned text table.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{c:<w$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write rows as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", headers.join(","))?;
+    for r in rows {
+        let escaped: Vec<String> = r
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        writeln!(f, "{}", escaped.join(","))?;
+    }
+    f.flush()
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn table_rejects_ragged_rows() {
+        let _ = table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let p = std::env::temp_dir().join("crisp_report_test.csv");
+        write_csv(&p, &["a", "b"], &[vec!["x,y".into(), "2".into()]]).unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.contains("\"x,y\",2"));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.948), "94.8%");
+    }
+}

@@ -1,0 +1,243 @@
+//! Functional framebuffer: colour + depth, with PPM export.
+//!
+//! The timing model skips the ROP entirely (paper Section III), but the
+//! functional model still produces an image so rendered scenes can be
+//! inspected (Figures 5 and 8).
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::mesh::AddressAllocator;
+
+/// A colour+depth framebuffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    color: Vec<[u8; 3]>,
+    depth: Vec<f32>,
+}
+
+impl Framebuffer {
+    /// A cleared framebuffer (black, depth 1.0).
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "framebuffer dims must be positive");
+        Framebuffer {
+            width,
+            height,
+            color: vec![[0, 0, 0]; (width * height) as usize],
+            depth: vec![1.0; (width * height) as usize],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Clear colour and depth.
+    pub fn clear(&mut self) {
+        self.color.fill([0, 0, 0]);
+        self.depth.fill(1.0);
+    }
+
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        (y * self.width + x) as usize
+    }
+
+    /// Depth-test `z` at `(x, y)`; on pass, write the depth and return
+    /// `true` (the early-Z test-and-set).
+    pub fn depth_test_and_set(&mut self, x: u32, y: u32, z: f32) -> bool {
+        let i = self.idx(x, y);
+        if z < self.depth[i] {
+            self.depth[i] = z;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Write a colour.
+    pub fn set_color(&mut self, x: u32, y: u32, rgb: [u8; 3]) {
+        let i = self.idx(x, y);
+        self.color[i] = rgb;
+    }
+
+    /// Read a colour.
+    pub fn color_at(&self, x: u32, y: u32) -> [u8; 3] {
+        self.color[self.idx(x, y)]
+    }
+
+    /// Read a depth value.
+    pub fn depth_at(&self, x: u32, y: u32) -> f32 {
+        self.depth[self.idx(x, y)]
+    }
+
+    /// Fraction of pixels that received any geometry (depth < 1).
+    pub fn coverage(&self) -> f64 {
+        let covered = self.depth.iter().filter(|&&d| d < 1.0).count();
+        covered as f64 / self.depth.len() as f64
+    }
+
+    /// Simulated byte address of pixel `(x, y)`'s colour in the framebuffer
+    /// region (4 bytes/pixel, row-major).
+    pub fn pixel_addr(&self, x: u32, y: u32) -> u64 {
+        AddressAllocator::FRAMEBUFFER_BASE + (y as u64 * self.width as u64 + x as u64) * 4
+    }
+
+    /// Peak signal-to-noise ratio against another framebuffer of the same
+    /// size, in dB (infinite for identical images) — used to quantify the
+    /// LoD on/off image difference of the paper's Figure 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn psnr(&self, other: &Framebuffer) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "framebuffer dimensions must match"
+        );
+        let mut se = 0.0f64;
+        for (a, b) in self.color.iter().zip(&other.color) {
+            for c in 0..3 {
+                let d = a[c] as f64 - b[c] as f64;
+                se += d * d;
+            }
+        }
+        let mse = se / (self.color.len() as f64 * 3.0);
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+
+    /// Write the depth buffer as a grayscale PPM (near = bright), for
+    /// inspecting early-Z behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_depth_ppm(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "P6\n{} {}\n255", self.width, self.height)?;
+        for &d in &self.depth {
+            let v = ((1.0 - d.clamp(0.0, 1.0)) * 255.0) as u8;
+            f.write_all(&[v, v, v])?;
+        }
+        f.flush()
+    }
+
+    /// Write the colour buffer as a binary PPM (P6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_ppm(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "P6\n{} {}\n255", self.width, self.height)?;
+        for px in &self.color {
+            f.write_all(px)?;
+        }
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_test_keeps_nearest() {
+        let mut fb = Framebuffer::new(4, 4);
+        assert!(fb.depth_test_and_set(1, 1, 0.5));
+        assert!(!fb.depth_test_and_set(1, 1, 0.7), "farther fails");
+        assert!(fb.depth_test_and_set(1, 1, 0.2), "closer passes");
+        assert_eq!(fb.depth_at(1, 1), 0.2);
+    }
+
+    #[test]
+    fn coverage_counts_touched_pixels() {
+        let mut fb = Framebuffer::new(2, 2);
+        assert_eq!(fb.coverage(), 0.0);
+        fb.depth_test_and_set(0, 0, 0.5);
+        assert!((fb.coverage() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut fb = Framebuffer::new(2, 2);
+        fb.set_color(0, 0, [9, 9, 9]);
+        fb.depth_test_and_set(0, 0, 0.1);
+        fb.clear();
+        assert_eq!(fb.color_at(0, 0), [0, 0, 0]);
+        assert_eq!(fb.depth_at(0, 0), 1.0);
+    }
+
+    #[test]
+    fn pixel_addresses_are_row_major() {
+        let fb = Framebuffer::new(10, 10);
+        assert_eq!(fb.pixel_addr(0, 0), AddressAllocator::FRAMEBUFFER_BASE);
+        assert_eq!(fb.pixel_addr(1, 0) - fb.pixel_addr(0, 0), 4);
+        assert_eq!(fb.pixel_addr(0, 1) - fb.pixel_addr(0, 0), 40);
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let fb = Framebuffer::new(4, 4);
+        assert!(fb.psnr(&fb).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_difference() {
+        let a = Framebuffer::new(4, 4);
+        let mut b = Framebuffer::new(4, 4);
+        b.set_color(0, 0, [10, 10, 10]);
+        let mut c = Framebuffer::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                c.set_color(x, y, [200, 0, 0]);
+            }
+        }
+        assert!(a.psnr(&b) > a.psnr(&c), "bigger difference, lower PSNR");
+        assert!(a.psnr(&c) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn psnr_requires_equal_sizes() {
+        let _ = Framebuffer::new(4, 4).psnr(&Framebuffer::new(8, 8));
+    }
+
+    #[test]
+    fn depth_ppm_encodes_nearness() {
+        let mut fb = Framebuffer::new(2, 1);
+        fb.depth_test_and_set(0, 0, 0.0); // near → white
+        let p = std::env::temp_dir().join("crisp_depth_test.ppm");
+        fb.write_depth_ppm(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let px = &bytes[bytes.len() - 6..];
+        assert_eq!(&px[0..3], &[255, 255, 255], "near pixel bright");
+        assert_eq!(&px[3..6], &[0, 0, 0], "untouched pixel dark");
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn ppm_roundtrip_writes_header_and_pixels() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.set_color(0, 0, [255, 0, 0]);
+        let dir = std::env::temp_dir().join("crisp_fb_test.ppm");
+        fb.write_ppm(&dir).unwrap();
+        let bytes = std::fs::read(&dir).unwrap();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 3 * 2 * 3);
+        let _ = std::fs::remove_file(dir);
+    }
+}

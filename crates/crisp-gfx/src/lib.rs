@@ -1,0 +1,46 @@
+//! Functional Vulkan-style rasterization pipeline for CRISP.
+//!
+//! Implements the rendering pipeline of the paper's Figure 2 as a
+//! *functional* model that emits instruction traces for the timing
+//! simulator, mirroring how CRISP extends GPGPU-Sim to functionally
+//! simulate rendering and save SASS-compatible traces:
+//!
+//! 1. **Drawcall execution** at queue submit ([`pipeline::Renderer`]).
+//! 2. **Vertex batching** — batches of at most 96 *unique* vertices with
+//!    batch-local deduplication, the contemporary replacement for the
+//!    global post-transform vertex cache ([`batch`]).
+//! 3. **Vertex shading** on the SMs — each batch becomes a kernel trace.
+//! 4. **Primitive assembly & rasterization** — clipping/culling, Immediate
+//!    Tiled Rendering screen tiles, early-Z, and per-quad LoD computed at
+//!    rasterization time ([`raster`]).
+//! 5. **Fragment shading** on the SMs — fragments grouped into warps in
+//!    tile order (quads form naturally), sampling mipmapped textures
+//!    through the unified L1 ([`texture`], [`shader`]).
+//! 6. Fixed-function stages are black boxes that only generate their L2
+//!    traffic; the ROP is skipped entirely — both are the paper's own
+//!    modelling decisions.
+//!
+//! The crate also renders a real image (framebuffer + PPM dump) so scenes
+//! like the paper's Figure 5/8 can be inspected visually.
+
+pub mod api;
+pub mod batch;
+pub mod compute;
+pub mod fb;
+pub mod math;
+pub mod mesh;
+pub mod pipeline;
+pub mod raster;
+pub mod shader;
+pub mod texture;
+
+pub use api::{CommandBuffer, Device, MeshHandle, SubmittedFrame, TextureHandle};
+pub use compute::{dispatch, ComputeShader};
+pub use batch::{vertex_batches, Batch, BATCH_SIZE};
+pub use fb::Framebuffer;
+pub use math::{Mat4, Vec2, Vec3, Vec4};
+pub use mesh::{AddressAllocator, Mesh, Vertex};
+pub use pipeline::{DrawCall, DrawStats, FrameStats, RenderConfig, Renderer};
+pub use raster::{Fragment, TileGrid, TILE_SIZE};
+pub use shader::{FragmentShader, ShaderKind, VertexShader};
+pub use texture::{FilterMode, Texture, TextureFormat};

@@ -1,0 +1,325 @@
+//! Minimal vector/matrix math for the rendering pipeline.
+//!
+//! Column-major 4×4 matrices and the handful of operations rasterization
+//! needs: perspective projection, look-at view matrices, and point/vector
+//! transforms. No external math crate is used.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-component vector (texture coordinates, screen positions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X / U component.
+    pub x: f32,
+    /// Y / V component.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// Construct from components.
+    pub fn new(x: f32, y: f32) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Component-wise scale.
+    pub fn scale(self, s: f32) -> Self {
+        Vec2::new(self.x * s, self.y * s)
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(self, o: Vec2) -> Self {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+/// A 3-component vector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    pub fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Vector addition.
+    pub fn add(self, o: Vec3) -> Self {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    /// Vector subtraction.
+    pub fn sub(self, o: Vec3) -> Self {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    /// Uniform scale.
+    pub fn scale(self, s: f32) -> Self {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Self {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; returns zero for the zero vector.
+    pub fn normalized(self) -> Self {
+        let l = self.length();
+        if l <= f32::EPSILON {
+            Vec3::ZERO
+        } else {
+            self.scale(1.0 / l)
+        }
+    }
+}
+
+/// A 4-component homogeneous vector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+impl Vec4 {
+    /// Construct from components.
+    pub fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Vec4 { x, y, z, w }
+    }
+
+    /// Promote a point (w = 1).
+    pub fn from_point(v: Vec3) -> Self {
+        Vec4::new(v.x, v.y, v.z, 1.0)
+    }
+
+    /// The 3-component prefix.
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+}
+
+/// A column-major 4×4 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat4 {
+    /// Columns of the matrix.
+    pub cols: [Vec4; 4],
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::identity()
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        Mat4 {
+            cols: [
+                Vec4::new(1.0, 0.0, 0.0, 0.0),
+                Vec4::new(0.0, 1.0, 0.0, 0.0),
+                Vec4::new(0.0, 0.0, 1.0, 0.0),
+                Vec4::new(0.0, 0.0, 0.0, 1.0),
+            ],
+        }
+    }
+
+    /// Translation matrix.
+    pub fn translate(t: Vec3) -> Self {
+        let mut m = Mat4::identity();
+        m.cols[3] = Vec4::new(t.x, t.y, t.z, 1.0);
+        m
+    }
+
+    /// Non-uniform scale matrix.
+    pub fn scale(s: Vec3) -> Self {
+        let mut m = Mat4::identity();
+        m.cols[0].x = s.x;
+        m.cols[1].y = s.y;
+        m.cols[2].z = s.z;
+        m
+    }
+
+    /// Rotation about the Y axis by `rad` radians.
+    pub fn rotate_y(rad: f32) -> Self {
+        let (s, c) = rad.sin_cos();
+        let mut m = Mat4::identity();
+        m.cols[0] = Vec4::new(c, 0.0, -s, 0.0);
+        m.cols[2] = Vec4::new(s, 0.0, c, 0.0);
+        m
+    }
+
+    /// Rotation about the X axis by `rad` radians.
+    pub fn rotate_x(rad: f32) -> Self {
+        let (s, c) = rad.sin_cos();
+        let mut m = Mat4::identity();
+        m.cols[1] = Vec4::new(0.0, c, s, 0.0);
+        m.cols[2] = Vec4::new(0.0, -s, c, 0.0);
+        m
+    }
+
+    /// Right-handed perspective projection (depth 0..1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aspect`, `near` or `far` are non-positive or equal.
+    pub fn perspective(fov_y_rad: f32, aspect: f32, near: f32, far: f32) -> Self {
+        assert!(aspect > 0.0 && near > 0.0 && far > near, "bad projection parameters");
+        let f = 1.0 / (fov_y_rad / 2.0).tan();
+        let mut m = Mat4 { cols: [Vec4::default(); 4] };
+        m.cols[0].x = f / aspect;
+        m.cols[1].y = f;
+        m.cols[2].z = far / (near - far);
+        m.cols[2].w = -1.0;
+        m.cols[3].z = near * far / (near - far);
+        m
+    }
+
+    /// Right-handed look-at view matrix.
+    pub fn look_at(eye: Vec3, center: Vec3, up: Vec3) -> Self {
+        let f = center.sub(eye).normalized();
+        let s = f.cross(up).normalized();
+        let u = s.cross(f);
+        Mat4 {
+            cols: [
+                Vec4::new(s.x, u.x, -f.x, 0.0),
+                Vec4::new(s.y, u.y, -f.y, 0.0),
+                Vec4::new(s.z, u.z, -f.z, 0.0),
+                Vec4::new(-s.dot(eye), -u.dot(eye), f.dot(eye), 1.0),
+            ],
+        }
+    }
+
+    /// Matrix × vector.
+    pub fn mul_vec(&self, v: Vec4) -> Vec4 {
+        let c = &self.cols;
+        Vec4::new(
+            c[0].x * v.x + c[1].x * v.y + c[2].x * v.z + c[3].x * v.w,
+            c[0].y * v.x + c[1].y * v.y + c[2].y * v.z + c[3].y * v.w,
+            c[0].z * v.x + c[1].z * v.y + c[2].z * v.z + c[3].z * v.w,
+            c[0].w * v.x + c[1].w * v.y + c[2].w * v.z + c[3].w * v.w,
+        )
+    }
+
+    /// Matrix × matrix.
+    pub fn mul(&self, o: &Mat4) -> Mat4 {
+        Mat4 { cols: [0, 1, 2, 3].map(|i| self.mul_vec(o.cols[i])) }
+    }
+
+    /// Transform a point (w = 1) and return the homogeneous result.
+    pub fn transform_point(&self, p: Vec3) -> Vec4 {
+        self.mul_vec(Vec4::from_point(p))
+    }
+
+    /// Transform a direction (w = 0), ignoring translation.
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        self.mul_vec(Vec4::new(d.x, d.y, d.z, 0.0)).xyz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn vec3_products() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        assert!(close(Vec3::new(3.0, 4.0, 0.0).length(), 5.0));
+        assert!(close(Vec3::new(10.0, 0.0, 0.0).normalized().x, 1.0));
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn identity_preserves_points() {
+        let p = Vec3::new(1.5, -2.0, 3.0);
+        let t = Mat4::identity().transform_point(p);
+        assert_eq!(t.xyz(), p);
+        assert_eq!(t.w, 1.0);
+    }
+
+    #[test]
+    fn translation_moves_points_not_directions() {
+        let m = Mat4::translate(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.transform_point(Vec3::ZERO).xyz(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.transform_dir(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn rotation_y_quarter_turn() {
+        let m = Mat4::rotate_y(std::f32::consts::FRAC_PI_2);
+        let r = m.transform_point(Vec3::new(1.0, 0.0, 0.0)).xyz();
+        assert!(close(r.x, 0.0) && close(r.z, -1.0), "{r:?}");
+    }
+
+    #[test]
+    fn matrix_multiply_composes() {
+        let t = Mat4::translate(Vec3::new(1.0, 0.0, 0.0));
+        let s = Mat4::scale(Vec3::new(2.0, 2.0, 2.0));
+        // (t*s) applies scale first, then translation.
+        let p = t.mul(&s).transform_point(Vec3::new(1.0, 1.0, 1.0)).xyz();
+        assert_eq!(p, Vec3::new(3.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn perspective_maps_depth_range() {
+        let m = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 1.0, 100.0);
+        // A point on the near plane maps to ndc z = 0 after divide.
+        let near = m.transform_point(Vec3::new(0.0, 0.0, -1.0));
+        assert!(close(near.z / near.w, 0.0), "near z: {}", near.z / near.w);
+        let far = m.transform_point(Vec3::new(0.0, 0.0, -100.0));
+        assert!(close(far.z / far.w, 1.0), "far z: {}", far.z / far.w);
+    }
+
+    #[test]
+    fn look_at_centers_the_target() {
+        let v = Mat4::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        let c = v.transform_point(Vec3::ZERO).xyz();
+        assert!(close(c.x, 0.0) && close(c.y, 0.0) && close(c.z, -5.0), "{c:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad projection")]
+    fn perspective_rejects_bad_planes() {
+        let _ = Mat4::perspective(1.0, 1.0, 10.0, 1.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Meshes, vertex layout, and the simulated address space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::{Vec2, Vec3};
+
+/// One vertex: position, normal, texture coordinates and a texture-array
+/// layer (Planets indexes a layered texture per instance through a vertex
+/// attribute — "an index in the vertex attribute describes the layer of the
+/// texture to use").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Object-space position.
+    pub pos: Vec3,
+    /// Object-space normal.
+    pub normal: Vec3,
+    /// Texture coordinates.
+    pub uv: Vec2,
+    /// Texture-array layer.
+    pub layer: u32,
+}
+
+/// Bytes one vertex occupies in the simulated vertex buffer:
+/// 3+3 floats + 2 floats + u32 = 36, padded to 48 for alignment.
+pub const VERTEX_STRIDE: u64 = 48;
+
+/// Bytes one index occupies.
+pub const INDEX_STRIDE: u64 = 4;
+
+/// Bytes of post-transform attributes one vertex writes to the L2 between
+/// pipeline stages (clip position + normal + uv as vec4s).
+pub const ATTR_STRIDE: u64 = 48;
+
+/// An indexed triangle mesh plus its simulated buffer addresses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    /// Debug name.
+    pub name: String,
+    /// Vertex data.
+    pub vertices: Vec<Vertex>,
+    /// Triangle list (3 indices per triangle).
+    pub indices: Vec<u32>,
+    /// Base address of the vertex buffer.
+    pub vb_addr: u64,
+    /// Base address of the index buffer.
+    pub ib_addr: u64,
+}
+
+impl Mesh {
+    /// A mesh with buffers placed by `alloc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len()` is not a multiple of 3 or references a
+    /// vertex out of range.
+    pub fn new(
+        name: impl Into<String>,
+        vertices: Vec<Vertex>,
+        indices: Vec<u32>,
+        alloc: &mut AddressAllocator,
+    ) -> Self {
+        assert!(indices.len() % 3 == 0, "triangle list required");
+        let n = vertices.len() as u32;
+        assert!(indices.iter().all(|&i| i < n), "index out of range");
+        let vb_addr = alloc.alloc(vertices.len() as u64 * VERTEX_STRIDE, 256);
+        let ib_addr = alloc.alloc(indices.len() as u64 * INDEX_STRIDE, 256);
+        Mesh { name: name.into(), vertices, indices, vb_addr, ib_addr }
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.indices.len() / 3
+    }
+
+    /// Byte address of vertex `i`'s record in the vertex buffer.
+    pub fn vertex_addr(&self, i: u32) -> u64 {
+        self.vb_addr + i as u64 * VERTEX_STRIDE
+    }
+
+    /// Byte address of index `i` in the index buffer.
+    pub fn index_addr(&self, i: usize) -> u64 {
+        self.ib_addr + i as u64 * INDEX_STRIDE
+    }
+}
+
+/// Bump allocator for the simulated GPU virtual address space.
+///
+/// Regions: buffers and textures are placed wherever the allocator is
+/// seeded; the conventional layout puts vertex/index data at 256 MiB,
+/// textures at 1 GiB, inter-stage attributes at 2 GiB and the framebuffer
+/// at 3 GiB (see [`AddressAllocator::standard_layout`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressAllocator {
+    next: u64,
+}
+
+impl AddressAllocator {
+    /// An allocator starting at `base`.
+    pub fn new(base: u64) -> Self {
+        AddressAllocator { next: base }
+    }
+
+    /// Allocator for the buffer region of the standard layout (256 MiB).
+    pub fn standard_layout() -> AddressAllocator {
+        AddressAllocator::new(0x1000_0000)
+    }
+
+    /// Base of the texture region (1 GiB).
+    pub const TEXTURE_BASE: u64 = 0x4000_0000;
+
+    /// Base of the inter-stage attribute region (2 GiB).
+    pub const ATTR_BASE: u64 = 0x8000_0000;
+
+    /// Base of the framebuffer region (3 GiB).
+    pub const FRAMEBUFFER_BASE: u64 = 0xC000_0000;
+
+    /// Reserve `size` bytes aligned to `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + size;
+        base
+    }
+
+    /// The next free address (watermark).
+    pub fn watermark(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad(alloc: &mut AddressAllocator) -> Mesh {
+        let v = |x: f32, y: f32| Vertex {
+            pos: Vec3::new(x, y, 0.0),
+            normal: Vec3::new(0.0, 0.0, 1.0),
+            uv: Vec2::new(x, y),
+            layer: 0,
+        };
+        Mesh::new(
+            "quad",
+            vec![v(0.0, 0.0), v(1.0, 0.0), v(1.0, 1.0), v(0.0, 1.0)],
+            vec![0, 1, 2, 0, 2, 3],
+            alloc,
+        )
+    }
+
+    #[test]
+    fn mesh_addresses_are_strided() {
+        let mut a = AddressAllocator::standard_layout();
+        let m = quad(&mut a);
+        assert_eq!(m.triangle_count(), 2);
+        assert_eq!(m.vertex_addr(1) - m.vertex_addr(0), VERTEX_STRIDE);
+        assert_eq!(m.index_addr(1) - m.index_addr(0), INDEX_STRIDE);
+        assert!(m.ib_addr >= m.vb_addr + 4 * VERTEX_STRIDE, "buffers must not overlap");
+    }
+
+    #[test]
+    fn allocator_aligns() {
+        let mut a = AddressAllocator::new(0x100);
+        let x = a.alloc(10, 64);
+        assert_eq!(x % 64, 0);
+        let y = a.alloc(10, 64);
+        assert!(y >= x + 10);
+        assert_eq!(y % 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "triangle list")]
+    fn mesh_rejects_ragged_indices() {
+        let mut a = AddressAllocator::standard_layout();
+        let _ = Mesh::new("bad", vec![Vertex::default()], vec![0, 0], &mut a);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn mesh_rejects_bad_indices() {
+        let mut a = AddressAllocator::standard_layout();
+        let _ = Mesh::new("bad", vec![Vertex::default()], vec![0, 0, 1], &mut a);
+    }
+}

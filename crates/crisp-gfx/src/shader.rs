@@ -1,0 +1,128 @@
+//! Shader descriptors.
+//!
+//! CRISP's timing model consumes *traces*, so a shader is characterised by
+//! the instruction mix it emits per invocation and the texture maps it
+//! samples — the properties that drive every case study (ALU/SFU pressure,
+//! register occupancy limits, texture traffic). The functional colour
+//! computation lives in the pipeline.
+//!
+//! Presets mirror the paper's workloads: the Khronos Sponza uses "a simpler
+//! shader ... only one texture is referenced per drawcall", while the PBR
+//! scenes (Godot Sponza, Pistol) sample eight maps and run the full
+//! physically-based lighting math.
+
+use serde::{Deserialize, Serialize};
+
+/// Which lighting model the functional shader applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShaderKind {
+    /// Albedo texture × N·L diffuse — the Khronos-samples style shader.
+    BasicTextured,
+    /// Per-fragment specular Phong.
+    Phong,
+    /// Physically-based rendering with the 8-map set the Pistol scene
+    /// binds: irradiance, BRDF LUT, albedo, normal, prefilter, AO,
+    /// metallic, roughness.
+    Pbr,
+}
+
+/// Vertex-shader cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexShader {
+    /// FMA-class operations per vertex.
+    pub fp_ops: u32,
+    /// Integer operations per vertex (index/address math).
+    pub int_ops: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl VertexShader {
+    /// The standard model-view-projection transform plus normal transform:
+    /// two 4×4 matrix multiplies and a 3×3 (≈ 28 FMA).
+    pub fn transform() -> Self {
+        VertexShader { fp_ops: 28, int_ops: 6, regs: 32 }
+    }
+
+    /// A heavier vertex shader (skinning-like workloads).
+    pub fn skinned() -> Self {
+        VertexShader { fp_ops: 96, int_ops: 14, regs: 48 }
+    }
+}
+
+/// Fragment-shader cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentShader {
+    /// Lighting model for functional shading.
+    pub kind: ShaderKind,
+    /// FMA-class operations per fragment.
+    pub fp_ops: u32,
+    /// SFU operations per fragment (pow, rsqrt, attribute interpolation).
+    pub sfu_ops: u32,
+    /// Integer operations per fragment (texture addressing).
+    pub int_ops: u32,
+    /// Registers per thread — PBR's pressure is what causes the
+    /// register-limited occupancy dips of Figure 13.
+    pub regs: u32,
+    /// Texture maps sampled (must match the bound texture count).
+    pub map_slots: usize,
+}
+
+impl FragmentShader {
+    /// The Khronos-samples basic shader: one albedo map, diffuse lighting.
+    pub fn basic_textured() -> Self {
+        FragmentShader {
+            kind: ShaderKind::BasicTextured,
+            fp_ops: 18,
+            sfu_ops: 6,
+            int_ops: 6,
+            regs: 24,
+            map_slots: 1,
+        }
+    }
+
+    /// Phong with one map.
+    pub fn phong() -> Self {
+        FragmentShader {
+            kind: ShaderKind::Phong,
+            fp_ops: 34,
+            sfu_ops: 10,
+            int_ops: 8,
+            regs: 32,
+            map_slots: 1,
+        }
+    }
+
+    /// Full PBR with the eight-map material set.
+    pub fn pbr() -> Self {
+        FragmentShader {
+            kind: ShaderKind::Pbr,
+            fp_ops: 150,
+            sfu_ops: 26,
+            int_ops: 18,
+            regs: 64,
+            map_slots: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbr_is_heavier_than_basic_in_every_dimension() {
+        let b = FragmentShader::basic_textured();
+        let p = FragmentShader::pbr();
+        assert!(p.fp_ops > b.fp_ops);
+        assert!(p.sfu_ops > b.sfu_ops);
+        assert!(p.regs > b.regs);
+        assert_eq!(p.map_slots, 8, "the Pistol material binds 8 maps");
+        assert_eq!(b.map_slots, 1, "Sponza references one texture per drawcall");
+    }
+
+    #[test]
+    fn vertex_presets() {
+        assert!(VertexShader::skinned().fp_ops > VertexShader::transform().fp_ops);
+    }
+}

@@ -1,0 +1,130 @@
+//! Miss-status holding registers.
+//!
+//! One entry per in-flight *sector*; later misses to the same sector merge
+//! onto the existing entry instead of generating new traffic. Entry and
+//! merge capacities are finite — when either is exhausted the LSU must stall
+//! and retry, which is how L1 bandwidth pressure back-propagates into issue
+//! stalls (the effect the LoD case study quantifies).
+
+use std::collections::HashMap;
+
+use crate::req::ReqToken;
+
+/// Result of asking the MSHR to track a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// New entry allocated; the caller must send a fetch to the next level.
+    Allocated,
+    /// Merged onto an existing in-flight fetch; no new traffic.
+    Merged,
+    /// Table or merge list full; caller must stall and retry.
+    Full,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    waiters: Vec<ReqToken>,
+}
+
+/// The MSHR table, keyed by sector address.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: HashMap<u64, Entry>,
+    max_entries: usize,
+    max_merges: usize,
+}
+
+impl Mshr {
+    /// A table with `max_entries` distinct in-flight sectors and up to
+    /// `max_merges` waiters per sector.
+    pub fn new(max_entries: usize, max_merges: usize) -> Self {
+        assert!(max_entries > 0 && max_merges > 0);
+        Mshr { entries: HashMap::new(), max_entries, max_merges }
+    }
+
+    /// Track a miss on `sector_addr` for `token`.
+    pub fn on_miss(&mut self, sector_addr: u64, token: ReqToken) -> MshrOutcome {
+        if let Some(e) = self.entries.get_mut(&sector_addr) {
+            if e.waiters.len() >= self.max_merges {
+                return MshrOutcome::Full;
+            }
+            e.waiters.push(token);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.max_entries {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(sector_addr, Entry { waiters: vec![token] });
+        MshrOutcome::Allocated
+    }
+
+    /// A fill for `sector_addr` arrived; returns every waiting token.
+    pub fn on_fill(&mut self, sector_addr: u64) -> Vec<ReqToken> {
+        self.entries.remove(&sector_addr).map(|e| e.waiters).unwrap_or_default()
+    }
+
+    /// Whether a fetch for `sector_addr` is already in flight.
+    pub fn is_pending(&self, sector_addr: u64) -> bool {
+        self.entries.contains_key(&sector_addr)
+    }
+
+    /// Whether a miss on `sector_addr` could be tracked right now (either a
+    /// new entry fits or the pending entry still has merge capacity). Lets
+    /// callers test for a stall *before* touching cache statistics.
+    pub fn can_accept(&self, sector_addr: u64) -> bool {
+        match self.entries.get(&sector_addr) {
+            Some(e) => e.waiters.len() < self.max_merges,
+            None => self.entries.len() < self.max_entries,
+        }
+    }
+
+    /// Number of in-flight sectors.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(id: u64) -> ReqToken {
+        ReqToken { sm: 0, id }
+    }
+
+    #[test]
+    fn allocate_then_merge_then_fill() {
+        let mut m = Mshr::new(4, 4);
+        assert_eq!(m.on_miss(0x100, tok(1)), MshrOutcome::Allocated);
+        assert_eq!(m.on_miss(0x100, tok(2)), MshrOutcome::Merged);
+        assert!(m.is_pending(0x100));
+        assert_eq!(m.in_flight(), 1);
+        let waiters = m.on_fill(0x100);
+        assert_eq!(waiters, vec![tok(1), tok(2)]);
+        assert!(!m.is_pending(0x100));
+    }
+
+    #[test]
+    fn entry_capacity_limits_distinct_sectors() {
+        let mut m = Mshr::new(2, 8);
+        assert_eq!(m.on_miss(0x000, tok(1)), MshrOutcome::Allocated);
+        assert_eq!(m.on_miss(0x020, tok(2)), MshrOutcome::Allocated);
+        assert_eq!(m.on_miss(0x040, tok(3)), MshrOutcome::Full);
+        // Merging onto existing entries still works when the table is full.
+        assert_eq!(m.on_miss(0x000, tok(4)), MshrOutcome::Merged);
+    }
+
+    #[test]
+    fn merge_capacity_limits_waiters() {
+        let mut m = Mshr::new(4, 2);
+        assert_eq!(m.on_miss(0x0, tok(1)), MshrOutcome::Allocated);
+        assert_eq!(m.on_miss(0x0, tok(2)), MshrOutcome::Merged);
+        assert_eq!(m.on_miss(0x0, tok(3)), MshrOutcome::Full);
+    }
+
+    #[test]
+    fn fill_of_untracked_sector_returns_empty() {
+        let mut m = Mshr::new(2, 2);
+        assert!(m.on_fill(0xdead).is_empty());
+    }
+}

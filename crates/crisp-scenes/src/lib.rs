@@ -1,0 +1,43 @@
+//! Workloads for CRISP: procedural rendering scenes matching the paper's
+//! evaluated applications, XR compute workloads, and the "silicon"
+//! reference model used for validation figures.
+//!
+//! # Rendering workloads (paper Section V-A)
+//!
+//! | Paper | Here ([`SceneId`]) | Character |
+//! |---|---|---|
+//! | Sponza (Khronos, SPL) | `SponzaKhronos` | basic shading, 1 texture/draw |
+//! | Sponza PBR (Godot, SPH) | `SponzaPbr` | PBR, 8 maps/draw |
+//! | Pistol (PT) | `Pistol` | one PBR object, 8 maps, plus non-PBR draws |
+//! | Planets (IT) | `Planets` | instanced, layered texture, vertex-bound |
+//! | Platformer (PL) | `Platformer` | many simple objects, Phong |
+//! | Material testers (MT) | `MaterialTesters` | mixed materials |
+//!
+//! The geometry is procedural (the original scenes are licensed art), but
+//! each scene reproduces the *statistics* the case studies depend on:
+//! vertex reuse, instancing, texture format/count mix and shading model.
+//!
+//! # Compute workloads (paper Section V-B)
+//!
+//! [`compute::vio`] (many small CV kernels), [`compute::holo`]
+//! (FP-saturating, compute-bound), [`compute::nn`] (RITnet principal
+//! kernels: memory-bound convolutions + shared-memory GEMMs at batch 2),
+//! plus the MR post-processing stages the paper's introduction motivates:
+//! [`compute::timewarp`] (asynchronous reprojection reading the rendered
+//! framebuffer) and [`compute::upscaler`] (DLSS-style tensor upscaling).
+//!
+//! # Silicon reference
+//!
+//! [`silicon`] stands in for the paper's NVIDIA hardware measurements: an
+//! independent analytic estimator with deterministic measurement noise,
+//! reproducing the *structure* of the validation experiments (Figures 3,
+//! 6, 9) without NVIDIA silicon.
+
+pub mod compute;
+pub mod primitives;
+pub mod scenes;
+pub mod silicon;
+
+pub use compute::{holo, nn, timewarp, upscaler, vio, ComputeScale};
+pub use scenes::{all_scenes, Scene, SceneId};
+pub use silicon::Silicon;

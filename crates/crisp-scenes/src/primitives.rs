@@ -1,0 +1,188 @@
+//! Procedural mesh primitives.
+
+use crisp_gfx::{AddressAllocator, Mesh, Vec2, Vec3, Vertex};
+
+/// An (n+1)×(n+1)-vertex grid plane in the XZ plane, side length `size`,
+/// centred at the origin, normal +Y. High vertex reuse (each interior
+/// vertex is referenced by six triangles) — the canonical batching test.
+pub fn grid_plane(name: &str, n: u32, size: f32, alloc: &mut AddressAllocator) -> Mesh {
+    assert!(n >= 1);
+    let verts_per_side = n + 1;
+    let mut vertices = Vec::with_capacity((verts_per_side * verts_per_side) as usize);
+    for z in 0..verts_per_side {
+        for x in 0..verts_per_side {
+            let fx = x as f32 / n as f32;
+            let fz = z as f32 / n as f32;
+            vertices.push(Vertex {
+                pos: Vec3::new((fx - 0.5) * size, 0.0, (fz - 0.5) * size),
+                normal: Vec3::new(0.0, 1.0, 0.0),
+                uv: Vec2::new(fx * 4.0, fz * 4.0),
+                layer: 0,
+            });
+        }
+    }
+    let mut indices = Vec::new();
+    for z in 0..n {
+        for x in 0..n {
+            let a = z * verts_per_side + x;
+            let b = a + 1;
+            let c = a + verts_per_side;
+            let d = c + 1;
+            indices.extend_from_slice(&[a, c, b, b, c, d]);
+        }
+    }
+    Mesh::new(name, vertices, indices, alloc)
+}
+
+/// A unit axis-aligned box (24 vertices, 12 triangles).
+pub fn box_mesh(name: &str, half: Vec3, alloc: &mut AddressAllocator) -> Mesh {
+    let faces: [(Vec3, Vec3, Vec3); 6] = [
+        (Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+        (Vec3::new(0.0, 0.0, -1.0), Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+        (Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0)),
+        (Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0)),
+        (Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0)),
+        (Vec3::new(0.0, -1.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+    ];
+    let mut vertices = Vec::with_capacity(24);
+    let mut indices = Vec::with_capacity(36);
+    for (normal, t, b) in faces {
+        let base = vertices.len() as u32;
+        for (i, (su, sv)) in [(-1.0f32, -1.0f32), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)]
+            .into_iter()
+            .enumerate()
+        {
+            let pos = Vec3::new(
+                (normal.x + t.x * su + b.x * sv) * half.x,
+                (normal.y + t.y * su + b.y * sv) * half.y,
+                (normal.z + t.z * su + b.z * sv) * half.z,
+            );
+            let _ = i;
+            vertices.push(Vertex {
+                pos,
+                normal,
+                uv: Vec2::new(su * 0.5 + 0.5, sv * 0.5 + 0.5),
+                layer: 0,
+            });
+        }
+        // Both windings so one face set is visible regardless of view
+        // direction conventions; backface culling removes the other.
+        indices.extend_from_slice(&[base, base + 1, base + 2, base, base + 2, base + 3]);
+        indices.extend_from_slice(&[base, base + 2, base + 1, base, base + 3, base + 2]);
+    }
+    Mesh::new(name, vertices, indices, alloc)
+}
+
+/// A UV sphere with `rings`×`sectors` quads.
+pub fn uv_sphere(name: &str, rings: u32, sectors: u32, radius: f32, alloc: &mut AddressAllocator) -> Mesh {
+    assert!(rings >= 2 && sectors >= 3);
+    let mut vertices = Vec::new();
+    for r in 0..=rings {
+        let phi = std::f32::consts::PI * r as f32 / rings as f32;
+        for s in 0..=sectors {
+            let theta = 2.0 * std::f32::consts::PI * s as f32 / sectors as f32;
+            let n = Vec3::new(phi.sin() * theta.cos(), phi.cos(), phi.sin() * theta.sin());
+            vertices.push(Vertex {
+                pos: n.scale(radius),
+                normal: n,
+                uv: Vec2::new(s as f32 / sectors as f32, r as f32 / rings as f32),
+                layer: 0,
+            });
+        }
+    }
+    let stride = sectors + 1;
+    let mut indices = Vec::new();
+    for r in 0..rings {
+        for s in 0..sectors {
+            let a = r * stride + s;
+            let b = a + 1;
+            let c = a + stride;
+            let d = c + 1;
+            indices.extend_from_slice(&[a, b, c, b, d, c]);
+            indices.extend_from_slice(&[a, c, b, b, c, d]);
+        }
+    }
+    Mesh::new(name, vertices, indices, alloc)
+}
+
+/// An open cylinder along +Y.
+pub fn cylinder(name: &str, sectors: u32, radius: f32, height: f32, alloc: &mut AddressAllocator) -> Mesh {
+    assert!(sectors >= 3);
+    let mut vertices = Vec::new();
+    for y in 0..2u32 {
+        for s in 0..=sectors {
+            let theta = 2.0 * std::f32::consts::PI * s as f32 / sectors as f32;
+            let n = Vec3::new(theta.cos(), 0.0, theta.sin());
+            vertices.push(Vertex {
+                pos: Vec3::new(n.x * radius, y as f32 * height, n.z * radius),
+                normal: n,
+                uv: Vec2::new(s as f32 / sectors as f32 * 2.0, y as f32),
+                layer: 0,
+            });
+        }
+    }
+    let stride = sectors + 1;
+    let mut indices = Vec::new();
+    for s in 0..sectors {
+        let a = s;
+        let b = s + 1;
+        let c = s + stride;
+        let d = c + 1;
+        indices.extend_from_slice(&[a, b, c, b, d, c]);
+        indices.extend_from_slice(&[a, c, b, b, c, d]);
+    }
+    Mesh::new(name, vertices, indices, alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> AddressAllocator {
+        AddressAllocator::standard_layout()
+    }
+
+    #[test]
+    fn grid_counts() {
+        let m = grid_plane("g", 4, 10.0, &mut alloc());
+        assert_eq!(m.vertices.len(), 25);
+        assert_eq!(m.triangle_count(), 32);
+    }
+
+    #[test]
+    fn grid_has_high_vertex_reuse() {
+        let m = grid_plane("g", 10, 1.0, &mut alloc());
+        assert!(m.indices.len() as f32 / m.vertices.len() as f32 > 4.0);
+    }
+
+    #[test]
+    fn box_counts() {
+        let m = box_mesh("b", Vec3::new(1.0, 1.0, 1.0), &mut alloc());
+        assert_eq!(m.vertices.len(), 24);
+        assert_eq!(m.triangle_count(), 24); // double-sided
+    }
+
+    #[test]
+    fn sphere_is_on_the_sphere() {
+        let m = uv_sphere("s", 8, 12, 2.0, &mut alloc());
+        for v in &m.vertices {
+            assert!((v.pos.length() - 2.0).abs() < 1e-4);
+            assert!((v.normal.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cylinder_counts() {
+        let m = cylinder("c", 12, 1.0, 3.0, &mut alloc());
+        assert_eq!(m.vertices.len(), 26);
+        assert_eq!(m.triangle_count(), 48);
+    }
+
+    #[test]
+    fn meshes_do_not_share_buffers() {
+        let mut a = alloc();
+        let m1 = grid_plane("a", 4, 1.0, &mut a);
+        let m2 = box_mesh("b", Vec3::new(1.0, 1.0, 1.0), &mut a);
+        assert!(m2.vb_addr >= m1.ib_addr + m1.indices.len() as u64 * 4);
+    }
+}

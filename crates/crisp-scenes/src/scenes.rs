@@ -1,0 +1,639 @@
+//! The six rendering workloads evaluated in the paper, built procedurally
+//! with matched statistics (Section V-A).
+
+use crisp_gfx::{
+    AddressAllocator, DrawCall, FilterMode, FragmentShader, Framebuffer, FrameStats, Mat4,
+    RenderConfig, Renderer, Texture, TextureFormat, Vec3,
+};
+use crisp_gfx::pipeline::{Instance, INSTANCE_STRIDE};
+use crisp_trace::{Stream, StreamId};
+use serde::{Deserialize, Serialize};
+
+use crate::primitives::{box_mesh, cylinder, grid_plane, uv_sphere};
+
+/// The stats-clear marker label understood by `crisp-sim` (duplicated here
+/// to avoid a dependency cycle; checked equal by an integration test).
+fn crisp_sim_marker() -> String {
+    "crisp:clear-stats".to_string()
+}
+
+/// Identifier of a rendering workload, with the paper's abbreviations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SceneId {
+    /// Khronos Vulkan-Samples Sponza (SPL) — basic shading.
+    SponzaKhronos,
+    /// Godot Sponza (SPH) — PBR shading.
+    SponzaPbr,
+    /// Sascha Willems' PBR pistol (PT) — 8-map PBR object.
+    Pistol,
+    /// Khronos instancing sample (IT) — instanced asteroids, layered texture.
+    Planets,
+    /// Godot Platformer 3D (PL).
+    Platformer,
+    /// Godot Material Testers (MT).
+    MaterialTesters,
+}
+
+impl SceneId {
+    /// All scenes in the paper's order.
+    pub const ALL: [SceneId; 6] = [
+        SceneId::SponzaKhronos,
+        SceneId::SponzaPbr,
+        SceneId::Pistol,
+        SceneId::Planets,
+        SceneId::Platformer,
+        SceneId::MaterialTesters,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn label(self) -> &'static str {
+        match self {
+            SceneId::SponzaKhronos => "SPL",
+            SceneId::SponzaPbr => "SPH",
+            SceneId::Pistol => "PT",
+            SceneId::Planets => "IT",
+            SceneId::Platformer => "PL",
+            SceneId::MaterialTesters => "MT",
+        }
+    }
+}
+
+impl std::fmt::Display for SceneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A built scene: drawcalls plus camera.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Which workload this is.
+    pub id: SceneId,
+    /// Recorded drawcalls.
+    pub draws: Vec<DrawCall>,
+    /// Combined view-projection matrix.
+    pub view_proj: Mat4,
+}
+
+/// A rendered frame: the emitted graphics trace plus functional outputs.
+#[derive(Debug)]
+pub struct RenderedFrame {
+    /// The graphics stream (markers + VS/FS kernels per drawcall).
+    pub trace: Stream,
+    /// Frame statistics.
+    pub stats: FrameStats,
+    /// The shaded framebuffer.
+    pub framebuffer: Framebuffer,
+}
+
+impl Scene {
+    /// Build a scene. `detail` scales tessellation: 1.0 is the default
+    /// evaluation size (already scaled to simulator-friendly budgets, like
+    /// the artifact's 480p tracing mode); tests use ~0.25.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detail` is not positive.
+    pub fn build(id: SceneId, detail: f32) -> Scene {
+        assert!(detail > 0.0, "detail must be positive");
+        let mut alloc = AddressAllocator::standard_layout();
+        let mut tex_alloc = AddressAllocator::new(AddressAllocator::TEXTURE_BASE);
+        match id {
+            SceneId::SponzaKhronos => sponza(id, detail, false, &mut alloc, &mut tex_alloc),
+            SceneId::SponzaPbr => sponza(id, detail, true, &mut alloc, &mut tex_alloc),
+            SceneId::Pistol => pistol(detail, &mut alloc, &mut tex_alloc),
+            SceneId::Planets => planets(detail, &mut alloc, &mut tex_alloc),
+            SceneId::Platformer => platformer(detail, &mut alloc, &mut tex_alloc),
+            SceneId::MaterialTesters => material_testers(detail, &mut alloc, &mut tex_alloc),
+        }
+    }
+
+    /// Render one frame at the given resolution, producing the graphics
+    /// trace on `stream`.
+    pub fn render(&self, width: u32, height: u32, lod0: bool, stream: StreamId) -> RenderedFrame {
+        let mut cfg = RenderConfig::new(width, height);
+        cfg.lod0 = lod0;
+        cfg.stream = stream;
+        let mut r = Renderer::new(cfg);
+        let trace = r.render(&self.draws, &self.view_proj);
+        let stats = r.stats().clone();
+        RenderedFrame { trace, stats, framebuffer: r.into_framebuffer() }
+    }
+
+    /// Render a stereo (side-by-side) frame: the left and right eyes view
+    /// the scene from laterally-offset cameras and land in the left/right
+    /// halves of one framebuffer — the layout an HMD compositor consumes
+    /// and the input the asynchronous-timewarp workload re-projects.
+    pub fn render_stereo(
+        &self,
+        width: u32,
+        height: u32,
+        lod0: bool,
+        stream: StreamId,
+        eye_separation: f32,
+    ) -> RenderedFrame {
+        let mut cfg = RenderConfig::new(width, height);
+        cfg.lod0 = lod0;
+        cfg.stream = stream;
+        let mut r = Renderer::new(cfg);
+        let mut out = Stream::new(stream, crisp_trace::StreamKind::Graphics);
+        let half = width / 2;
+        for (label, sign, x0) in [("left", -0.5f32, 0u32), ("right", 0.5, half)] {
+            r.set_viewport(Some((x0, 0, half, height)));
+            // Approximate per-eye view: shift the world laterally by the
+            // half-IPD (a translation after the combined view-projection).
+            let eye = self
+                .view_proj
+                .mul(&Mat4::translate(Vec3::new(sign * eye_separation, 0.0, 0.0)));
+            let pass = r.render(&self.draws, &eye);
+            out.marker(format!("eye:{label}"));
+            out.commands.extend(pass.commands);
+        }
+        let stats = r.stats().clone();
+        RenderedFrame { trace: out, stats, framebuffer: r.into_framebuffer() }
+    }
+
+    /// Render an animated sequence: `n_frames` frames with the camera
+    /// orbiting the scene, concatenated into one stream with `frame:N`
+    /// markers. Successive frames see different geometry coverage, so the
+    /// traces differ — use this for steady-state and frame-rate studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_frames` is zero.
+    pub fn render_sequence(
+        &self,
+        width: u32,
+        height: u32,
+        lod0: bool,
+        stream: StreamId,
+        n_frames: usize,
+    ) -> (Stream, Vec<FrameStats>) {
+        assert!(n_frames > 0, "need at least one frame");
+        let mut out = Stream::new(stream, crisp_trace::StreamKind::Graphics);
+        let mut stats = Vec::with_capacity(n_frames);
+        for f in 0..n_frames {
+            // Orbit: rotate the world a few degrees per frame.
+            let angle = f as f32 * 0.06;
+            let vp = self.view_proj.mul(&Mat4::rotate_y(angle));
+            let mut cfg = RenderConfig::new(width, height);
+            cfg.lod0 = lod0;
+            cfg.stream = stream;
+            let mut r = Renderer::new(cfg);
+            let frame = r.render(&self.draws, &vp);
+            out.marker(format!("frame:{f}"));
+            out.commands.extend(frame.commands);
+            stats.push(r.stats().clone());
+        }
+        (out, stats)
+    }
+
+    /// Render two identical frames into one stream, separated by the
+    /// simulator's stats-clear marker: statistics collected after the
+    /// marker reflect steady-state (warm-cache) behaviour, the condition
+    /// hardware profilers measure on a running application.
+    pub fn render_warmed(
+        &self,
+        width: u32,
+        height: u32,
+        lod0: bool,
+        stream: StreamId,
+    ) -> RenderedFrame {
+        let mut f = self.render(width, height, lod0, stream);
+        let frame1 = f.trace.commands.clone();
+        f.trace.marker(crisp_sim_marker());
+        f.trace.commands.extend(frame1);
+        f
+    }
+
+    /// Total triangles over all drawcalls and instances.
+    pub fn triangles(&self) -> u64 {
+        self.draws
+            .iter()
+            .map(|d| d.mesh.triangle_count() as u64 * d.instances.len() as u64)
+            .sum()
+    }
+}
+
+/// Convenience: build every scene at `detail`.
+pub fn all_scenes(detail: f32) -> Vec<Scene> {
+    SceneId::ALL.iter().map(|&id| Scene::build(id, detail)).collect()
+}
+
+fn dim(base: u32, detail: f32, min: u32) -> u32 {
+    ((base as f32 * detail) as u32).max(min)
+}
+
+/// The 8-map PBR material set the Pistol scene binds (paper Section VI-B).
+fn pbr_maps(size: u32, tex_alloc: &mut AddressAllocator) -> Vec<Texture> {
+    // Environment maps (irradiance, prefilter) blend across roughness mip
+    // levels and sample trilinearly; surface maps are bilinear.
+    let specs: [(&str, TextureFormat, FilterMode); 8] = [
+        ("irradiance", TextureFormat::RgbaF16, FilterMode::Trilinear),
+        ("brdf_lut", TextureFormat::Rg8, FilterMode::Bilinear),
+        ("albedo", TextureFormat::Rgba8, FilterMode::Bilinear),
+        ("normal", TextureFormat::Rgba8, FilterMode::Bilinear),
+        ("prefilter", TextureFormat::RgbaF16, FilterMode::Trilinear),
+        ("ao", TextureFormat::R8, FilterMode::Bilinear),
+        ("metallic", TextureFormat::R8, FilterMode::Bilinear),
+        ("roughness", TextureFormat::R8, FilterMode::Bilinear),
+    ];
+    specs
+        .iter()
+        .map(|(n, f, filter)| {
+            let t = Texture::new(*n, size, size, 1, *f, *filter, 0);
+            let base = tex_alloc.alloc(t.size_bytes(), 256);
+            Texture::new(*n, size, size, 1, *f, *filter, base)
+        })
+        .collect()
+}
+
+fn basic_map(name: &str, size: u32, tex_alloc: &mut AddressAllocator) -> Vec<Texture> {
+    let probe = Texture::new(name, size, size, 1, TextureFormat::Rgba8, FilterMode::Bilinear, 0);
+    let base = tex_alloc.alloc(probe.size_bytes(), 256);
+    vec![Texture::new(name, size, size, 1, TextureFormat::Rgba8, FilterMode::Bilinear, base)]
+}
+
+fn camera(eye: Vec3, target: Vec3, fov: f32) -> Mat4 {
+    let proj = Mat4::perspective(fov, 16.0 / 9.0, 0.1, 300.0);
+    let view = Mat4::look_at(eye, target, Vec3::new(0.0, 1.0, 0.0));
+    proj.mul(&view)
+}
+
+/// Both Sponza variants share the atrium geometry; they differ in shader
+/// ("The Godot version uses PBR, whereas the Khronos version employs a
+/// simpler shader").
+fn sponza(
+    id: SceneId,
+    detail: f32,
+    pbr: bool,
+    alloc: &mut AddressAllocator,
+    tex_alloc: &mut AddressAllocator,
+) -> Scene {
+    let mut draws = Vec::new();
+    let fs = if pbr { FragmentShader::pbr() } else { FragmentShader::basic_textured() };
+    let mat = |tex_alloc: &mut AddressAllocator, name: &str| {
+        if pbr { pbr_maps(256, tex_alloc) } else { basic_map(name, 512, tex_alloc) }
+    };
+
+    // Atrium floor.
+    let floor = grid_plane("floor", dim(48, detail, 4), 40.0, alloc);
+    draws.push(DrawCall::simple("floor", floor, mat(tex_alloc, "floor_tex"), fs, Mat4::identity()));
+
+    // Two colonnades of columns.
+    let col_tex = mat(tex_alloc, "column_tex");
+    for i in 0..dim(10, detail, 2) {
+        let m = cylinder(&format!("col{i}"), dim(20, detail, 6), 0.8, 7.0, alloc);
+        let x = if i % 2 == 0 { -8.0 } else { 8.0 };
+        let z = (i / 2) as f32 * 7.0 - 14.0;
+        draws.push(DrawCall::simple(
+            format!("column{i}"),
+            m,
+            col_tex.clone(),
+            fs,
+            Mat4::translate(Vec3::new(x, 0.0, z)),
+        ));
+    }
+
+    // Walls (thin boxes) and arches.
+    let wall_tex = mat(tex_alloc, "wall_tex");
+    for (i, (pos, half)) in [
+        (Vec3::new(-14.0, 4.0, 0.0), Vec3::new(0.4, 5.0, 20.0)),
+        (Vec3::new(14.0, 4.0, 0.0), Vec3::new(0.4, 5.0, 20.0)),
+        (Vec3::new(0.0, 4.0, -20.0), Vec3::new(14.0, 5.0, 0.4)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let m = box_mesh(&format!("wall{i}"), half, alloc);
+        draws.push(DrawCall::simple(
+            format!("wall{i}"),
+            m,
+            wall_tex.clone(),
+            fs,
+            Mat4::translate(pos),
+        ));
+    }
+
+    // Drapes: the curved high-poly detail geometry.
+    let drape_tex = mat(tex_alloc, "drape_tex");
+    for i in 0..dim(4, detail, 1) {
+        let m = uv_sphere(&format!("drape{i}"), dim(16, detail, 4), dim(20, detail, 6), 1.6, alloc);
+        draws.push(DrawCall::simple(
+            format!("drape{i}"),
+            m,
+            drape_tex.clone(),
+            fs,
+            Mat4::translate(Vec3::new(i as f32 * 5.0 - 7.5, 5.5, -6.0)),
+        ));
+    }
+
+    Scene {
+        id,
+        draws,
+        view_proj: camera(Vec3::new(0.0, 4.5, 18.0), Vec3::new(0.0, 3.0, 0.0), 1.1),
+    }
+}
+
+/// "An antique metallic pistol is rendered using PBR, and eight maps are
+/// referenced as textures." Includes non-PBR backdrop draws (the paper
+/// notes the workload "includes several draws that are not using PBR").
+fn pistol(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAllocator) -> Scene {
+    let maps = pbr_maps(512, tex_alloc);
+    let mut draws = Vec::new();
+
+    // Backdrop (non-PBR draws).
+    let bg = grid_plane("backdrop", dim(8, detail, 2), 30.0, alloc);
+    draws.push(DrawCall::simple(
+        "backdrop",
+        bg,
+        basic_map("bg_tex", 256, tex_alloc),
+        FragmentShader::basic_textured(),
+        Mat4::translate(Vec3::new(0.0, -1.5, 0.0)),
+    ));
+
+    // The pistol: body, barrel, grip — high-detail PBR geometry filling
+    // much of the screen.
+    let body = uv_sphere("body", dim(40, detail, 8), dim(56, detail, 12), 1.4, alloc);
+    draws.push(DrawCall::simple(
+        "pt_body",
+        body,
+        maps.clone(),
+        FragmentShader::pbr(),
+        Mat4::scale(Vec3::new(1.6, 0.7, 0.7)),
+    ));
+    let barrel = cylinder("barrel", dim(40, detail, 8), 0.35, 2.6, alloc);
+    draws.push(DrawCall::simple(
+        "pt_barrel",
+        barrel,
+        maps.clone(),
+        FragmentShader::pbr(),
+        Mat4::translate(Vec3::new(0.9, 0.1, 0.0)).mul(&Mat4::rotate_x(std::f32::consts::FRAC_PI_2)),
+    ));
+    let grip = box_mesh("grip", Vec3::new(0.35, 0.9, 0.25), alloc);
+    draws.push(DrawCall::simple(
+        "pt_grip",
+        grip,
+        maps,
+        FragmentShader::pbr(),
+        Mat4::translate(Vec3::new(-0.9, -1.0, 0.0)),
+    ));
+
+    Scene {
+        id: SceneId::Pistol,
+        draws,
+        view_proj: camera(Vec3::new(0.0, 0.6, 4.2), Vec3::new(0.0, -0.1, 0.0), 0.9),
+    }
+}
+
+/// The instancing sample: "each asteroid in the image is one instance of
+/// the object. The texture used for the object is a 3D texture with
+/// multiple layers ... An index in the vertex attribute describes the
+/// layer." Common vertex attributes show temporal locality; per-instance
+/// data streams.
+fn planets(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAllocator) -> Scene {
+    // Layered texture for the asteroids.
+    let probe = Texture::new("rock", 128, 128, 8, TextureFormat::Rgba8, FilterMode::Bilinear, 0);
+    let base = tex_alloc.alloc(probe.size_bytes(), 256);
+    let rock = Texture::new("rock", 128, 128, 8, TextureFormat::Rgba8, FilterMode::Bilinear, base);
+
+    let mut draws = Vec::new();
+
+    // The central planet.
+    let planet = uv_sphere("planet", dim(28, detail, 8), dim(36, detail, 10), 5.0, alloc);
+    draws.push(DrawCall::simple(
+        "planet",
+        planet,
+        basic_map("planet_tex", 512, tex_alloc),
+        FragmentShader::phong(),
+        Mat4::identity(),
+    ));
+
+    // The asteroid ring: one mesh, many instances, far enough away to be
+    // vertex-bound ("IT is vertex-bounded, and only limited fragments are
+    // generated for each batch of vertices").
+    let n_inst = ((160.0 * detail * detail) as usize).max(8);
+    let rock_mesh = uv_sphere("rock", dim(14, detail, 4), dim(18, detail, 6), 0.45, alloc);
+    let instance_buffer = alloc.alloc(n_inst as u64 * INSTANCE_STRIDE, 256);
+    let instances: Vec<Instance> = (0..n_inst)
+        .map(|i| {
+            let a = i as f32 * 2.399963; // golden-angle spread
+            let r = 9.0 + 4.0 * ((i * 37 % 100) as f32 / 100.0);
+            Instance {
+                transform: Mat4::translate(Vec3::new(
+                    a.cos() * r,
+                    ((i * 13 % 17) as f32 / 17.0 - 0.5) * 2.5,
+                    a.sin() * r,
+                )),
+                layer: (i % 8) as u32,
+            }
+        })
+        .collect();
+    let mut d = DrawCall::simple("asteroids", rock_mesh, vec![rock], FragmentShader::basic_textured(), Mat4::identity());
+    d.instances = instances;
+    d.instance_buffer = instance_buffer;
+    draws.push(d);
+
+    Scene {
+        id: SceneId::Planets,
+        draws,
+        view_proj: camera(Vec3::new(0.0, 8.0, 26.0), Vec3::ZERO, 0.9),
+    }
+}
+
+/// Godot Platformer 3D: many simple Phong-shaded objects.
+fn platformer(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAllocator) -> Scene {
+    let mut draws = Vec::new();
+    let ground = grid_plane("ground", dim(32, detail, 4), 60.0, alloc);
+    draws.push(DrawCall::simple(
+        "ground",
+        ground,
+        basic_map("ground_tex", 512, tex_alloc),
+        FragmentShader::phong(),
+        Mat4::identity(),
+    ));
+    let block_tex = basic_map("block_tex", 256, tex_alloc);
+    for i in 0..dim(24, detail, 4) {
+        let m = box_mesh(&format!("blk{i}"), Vec3::new(1.0, 0.5, 1.0), alloc);
+        let x = ((i * 29) % 40) as f32 - 20.0;
+        let z = ((i * 17) % 36) as f32 - 18.0;
+        let y = ((i * 7) % 5) as f32 * 0.9 + 0.5;
+        draws.push(DrawCall::simple(
+            format!("block{i}"),
+            m,
+            block_tex.clone(),
+            FragmentShader::phong(),
+            Mat4::translate(Vec3::new(x, y, z)),
+        ));
+    }
+    // The player character.
+    let player = uv_sphere("player", dim(12, detail, 4), dim(16, detail, 6), 0.8, alloc);
+    draws.push(DrawCall::simple(
+        "player",
+        player,
+        basic_map("player_tex", 128, tex_alloc),
+        FragmentShader::phong(),
+        Mat4::translate(Vec3::new(0.0, 1.2, 4.0)),
+    ));
+    Scene {
+        id: SceneId::Platformer,
+        draws,
+        view_proj: camera(Vec3::new(0.0, 8.0, 22.0), Vec3::new(0.0, 1.0, 0.0), 1.0),
+    }
+}
+
+/// Godot Material Testers: a grid of spheres with mixed material systems.
+fn material_testers(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAllocator) -> Scene {
+    let mut draws = Vec::new();
+    let pbr = pbr_maps(256, tex_alloc);
+    let phong_tex = basic_map("mt_phong", 256, tex_alloc);
+    let basic_tex = basic_map("mt_basic", 256, tex_alloc);
+    for i in 0..9u32 {
+        let m = uv_sphere(&format!("mt{i}"), dim(22, detail, 6), dim(30, detail, 8), 1.0, alloc);
+        let x = (i % 3) as f32 * 2.6 - 2.6;
+        let y = (i / 3) as f32 * 2.6 - 2.6;
+        let model = Mat4::translate(Vec3::new(x, y, 0.0));
+        let d = match i % 3 {
+            0 => DrawCall::simple(format!("mt_pbr{i}"), m, pbr.clone(), FragmentShader::pbr(), model),
+            1 => DrawCall::simple(format!("mt_phong{i}"), m, phong_tex.clone(), FragmentShader::phong(), model),
+            _ => DrawCall::simple(
+                format!("mt_basic{i}"),
+                m,
+                basic_tex.clone(),
+                FragmentShader::basic_textured(),
+                model,
+            ),
+        };
+        draws.push(d);
+    }
+    Scene {
+        id: SceneId::MaterialTesters,
+        draws,
+        view_proj: camera(Vec3::new(0.0, 0.0, 9.0), Vec3::ZERO, 0.9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_trace::DataClass;
+
+    #[test]
+    fn all_scenes_build_and_render_tiny() {
+        for scene in all_scenes(0.2) {
+            let f = scene.render(96, 54, false, StreamId(0));
+            assert!(f.stats.vs_invocations() > 0, "{}: no vertices", scene.id);
+            assert!(f.stats.fragments() > 0, "{}: no fragments", scene.id);
+            assert!(f.trace.kernel_count() >= 2, "{}: too few kernels", scene.id);
+            assert!(f.framebuffer.coverage() > 0.05, "{}: blank frame", scene.id);
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        let labels: Vec<_> = SceneId::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["SPL", "SPH", "PT", "IT", "PL", "MT"]);
+    }
+
+    #[test]
+    fn sponza_variants_differ_only_in_shading() {
+        let spl = Scene::build(SceneId::SponzaKhronos, 0.2);
+        let sph = Scene::build(SceneId::SponzaPbr, 0.2);
+        assert_eq!(spl.draws.len(), sph.draws.len());
+        assert_eq!(spl.triangles(), sph.triangles());
+        assert!(spl.draws.iter().all(|d| d.fs.map_slots == 1));
+        assert!(sph.draws.iter().all(|d| d.fs.map_slots == 8));
+    }
+
+    #[test]
+    fn pistol_mixes_pbr_and_basic_draws() {
+        let pt = Scene::build(SceneId::Pistol, 0.2);
+        let pbr_draws = pt.draws.iter().filter(|d| d.fs.map_slots == 8).count();
+        let basic_draws = pt.draws.iter().filter(|d| d.fs.map_slots == 1).count();
+        assert!(pbr_draws >= 3);
+        assert!(basic_draws >= 1, "several draws are not using PBR");
+    }
+
+    #[test]
+    fn planets_is_instanced_and_vertex_heavy() {
+        let it = Scene::build(SceneId::Planets, 0.5);
+        let inst_draw = it.draws.iter().find(|d| d.instances.len() > 1).expect("instanced draw");
+        assert!(inst_draw.instances.len() >= 8);
+        assert!(inst_draw.textures[0].layers == 8, "layered texture");
+        // Vertex-bound: VS invocations comparable to fragments.
+        let f = it.render(128, 72, false, StreamId(0));
+        let ratio = f.stats.fragments() as f64 / f.stats.vs_invocations() as f64;
+        assert!(ratio < 20.0, "planets must be vertex-heavy, frag/vs = {ratio}");
+    }
+
+    #[test]
+    fn pbr_scene_has_more_texture_traffic_than_basic() {
+        let spl = Scene::build(SceneId::SponzaKhronos, 0.2).render(96, 54, false, StreamId(0));
+        let sph = Scene::build(SceneId::SponzaPbr, 0.2).render(96, 54, false, StreamId(0));
+        assert!(
+            sph.stats.tex_instrs() > spl.stats.tex_instrs() * 3,
+            "PBR: {} vs basic: {}",
+            sph.stats.tex_instrs(),
+            spl.stats.tex_instrs()
+        );
+    }
+
+    #[test]
+    fn traces_tag_texture_and_pipeline_classes() {
+        let f = Scene::build(SceneId::SponzaKhronos, 0.2).render(96, 54, false, StreamId(0));
+        let mut fp = crisp_trace::ClassFootprint::new();
+        for k in f.trace.kernels() {
+            fp.add_kernel(k);
+        }
+        assert!(fp.lines(DataClass::Texture) > 0);
+        assert!(fp.lines(DataClass::Pipeline) > 0);
+        assert_eq!(fp.lines(DataClass::Compute), 0);
+    }
+
+    #[test]
+    fn stereo_render_fills_both_halves() {
+        let scene = Scene::build(SceneId::SponzaKhronos, 0.2);
+        let f = scene.render_stereo(128, 36, false, StreamId(0), 0.6);
+        // Two eyes → two passes over the drawcalls.
+        assert_eq!(f.stats.draws.len(), scene.draws.len() * 2);
+        assert_eq!(f.trace.kernel_count(), scene.draws.len() * 2 * 2);
+        // Both halves of the framebuffer received geometry.
+        let fb = &f.framebuffer;
+        let covered = |x0: u32, x1: u32| -> usize {
+            (x0..x1)
+                .flat_map(|x| (0..fb.height()).map(move |y| (x, y)))
+                .filter(|&(x, y)| fb.depth_at(x, y) < 1.0)
+                .count()
+        };
+        assert!(covered(0, 64) > 50, "left eye rendered");
+        assert!(covered(64, 128) > 50, "right eye rendered");
+        // The eyes see slightly different images (parallax).
+        let same = (0..64)
+            .flat_map(|x| (0..fb.height()).map(move |y| (x, y)))
+            .filter(|&(x, y)| fb.color_at(x, y) == fb.color_at(x + 64, y))
+            .count();
+        assert!(
+            (same as f64) < (64 * fb.height()) as f64 * 0.99,
+            "parallax must differentiate the eyes"
+        );
+    }
+
+    #[test]
+    fn sequence_frames_differ_under_camera_motion() {
+        let scene = Scene::build(SceneId::Platformer, 0.2);
+        let (trace, stats) = scene.render_sequence(96, 54, false, StreamId(0), 3);
+        assert_eq!(stats.len(), 3);
+        // Each frame emits one VS+FS pair per drawcall.
+        let per_frame = scene.draws.len() * 2;
+        assert_eq!(trace.kernel_count(), 3 * per_frame);
+        // The orbiting camera changes the shaded fragment counts.
+        let frags: Vec<u64> = stats.iter().map(|s| s.fragments()).collect();
+        assert!(frags.windows(2).any(|w| w[0] != w[1]), "{frags:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "detail must be positive")]
+    fn zero_detail_rejected() {
+        let _ = Scene::build(SceneId::Pistol, 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The "silicon" reference model.
+//!
+//! The paper validates CRISP against an NVIDIA RTX 3070 and a Jetson Orin
+//! using Nsight counters. Neither the GPUs nor the driver stack exist in
+//! this reproduction, so this module provides the substitute documented in
+//! DESIGN.md: an *independent analytic estimator* of what the hardware
+//! profiler would report, including the error sources the paper itself
+//! names —
+//!
+//! * the hardware runs driver-optimised shaders, so it is consistently
+//!   *faster* than the simulator ("the simulated frame time is always
+//!   longer than the actual hardware, which we suspect is because of the
+//!   lack of driver optimizations");
+//! * the profiler reports *thread* counts while the simulator counts
+//!   launched warps × 32 (Figure 3's bottom-left deviation);
+//! * counter measurements carry per-drawcall noise.
+//!
+//! All noise is deterministic (hashed from workload names), so experiments
+//! are reproducible.
+
+use crisp_gfx::{DrawCall, FrameStats};
+
+/// Deterministic hash → [0, 1).
+fn unit_hash(s: &str, salt: u64) -> f64 {
+    let mut x = salt.wrapping_mul(0x9E3779B97F4A7C15);
+    for b in s.bytes() {
+        x = x.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+    }
+    // splitmix64 finalizer for full avalanche (labels differing in one
+    // byte must land far apart).
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The silicon stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Silicon;
+
+impl Silicon {
+    /// Driver-optimisation speedup factor: hardware shaders are leaner
+    /// than the Mesa-derived ones the simulator replays.
+    pub const DRIVER_EFFICIENCY: f64 = 0.70;
+
+    /// What the hardware profiler reports as vertex-shader invocations for
+    /// one drawcall: the true thread count (the simulator instead reports
+    /// warps × 32 — compare with `DrawStats::vs_threads_from_warps`).
+    pub fn vs_thread_count(vs_invocations: u64) -> u64 {
+        vs_invocations
+    }
+
+    /// Cycles a drawcall's pipeline drain costs (CTA ramp-up/down and the
+    /// serialisation between its VS and FS kernels).
+    pub const DRAW_DRAIN_CYCLES: f64 = 1_085.0;
+
+    /// Cycles one DRAM row activation contributes to the critical path.
+    pub const ROW_ACTIVATE_CYCLES: f64 = 24.5;
+
+    /// Issue-side scaling of the warp-instruction estimate (latency hiding
+    /// means not every instruction costs an issue slot on the critical
+    /// path).
+    pub const ISSUE_WEIGHT: f64 = 0.48;
+
+    /// Estimated hardware frame time in milliseconds (the Figure 6
+    /// reference series).
+    ///
+    /// The estimator is analytic: per-draw pipeline drain, plus issue-port
+    /// cycles for the shader instruction stream where texture fetches are
+    /// weighted by their L1 sector footprint, plus a fixed frame overhead
+    /// — scaled by the driver-efficiency factor (hardware shaders are
+    /// leaner, so real silicon is consistently *faster*) and by
+    /// deterministic measurement noise. The structural coefficients were
+    /// calibrated once against the simulator (see EXPERIMENTS.md) since no
+    /// NVIDIA silicon is available in this reproduction.
+    pub fn frame_time_ms(
+        label: &str,
+        draws: &[DrawCall],
+        stats: &FrameStats,
+        n_sms: usize,
+        clock_mhz: f64,
+        _dram_gbps: f64,
+    ) -> f64 {
+        assert_eq!(draws.len(), stats.draws.len(), "draws and stats must align");
+        let issue_per_cycle = n_sms as f64 * 4.0; // 4 schedulers per SM
+        let mut cycles = 0.0;
+        for (d, ds) in draws.iter().zip(&stats.draws) {
+            // Warp-level instruction estimate from the shader descriptors.
+            let vs_warps = ds.vs_threads_from_warps as f64 / 32.0;
+            let vs_instr = vs_warps * (d.vs.fp_ops + d.vs.int_ops + 7) as f64;
+            let fs_warps = (ds.fragments as f64 / 32.0).ceil();
+            let fs_fixed =
+                (d.fs.fp_ops + d.fs.sfu_ops + d.fs.int_ops) as f64 + d.fs.map_slots as f64 * 2.0 + 9.0;
+            let fs_instr = fs_warps * fs_fixed + ds.tex_instrs as f64;
+            // Texture sectors occupy the L1 data port; distinct DRAM rows
+            // pay their activations on the critical path.
+            cycles += Self::DRAW_DRAIN_CYCLES
+                + Self::ISSUE_WEIGHT * (vs_instr + fs_instr + 3.0 * ds.tex_sectors as f64)
+                    / issue_per_cycle
+                + Self::ROW_ACTIVATE_CYCLES * ds.tex_rows as f64;
+        }
+        let noise = 0.95 + 0.10 * unit_hash(label, 17);
+        cycles * Self::DRIVER_EFFICIENCY * noise / (clock_mhz * 1e3)
+    }
+
+    /// What the hardware L1-texture-access counter would report for one
+    /// drawcall, given the true (LoD-correct) sector count: the reference
+    /// series of Figure 9. Per-drawcall multiplicative noise models the
+    /// shader/driver mismatches the paper lists in Section IV.
+    pub fn l1_tex_accesses(draw_label: &str, lod_correct_sectors: u64) -> f64 {
+        let f = 0.72 + 0.66 * unit_hash(draw_label, 43);
+        lod_correct_sectors as f64 * f
+    }
+}
+
+/// Pearson correlation coefficient between two series.
+///
+/// # Panics
+///
+/// Panics if the series differ in length or have fewer than two points.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must align");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Mean absolute percentage error of `pred` against `actual`.
+///
+/// # Panics
+///
+/// Panics if the series differ in length, are empty, or `actual` contains
+/// zeros.
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "series must align");
+    assert!(!pred.is_empty(), "need at least one point");
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| {
+            assert!(*a != 0.0, "actual values must be non-zero");
+            ((p - a) / a).abs()
+        })
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::{Scene, SceneId};
+    use crisp_trace::StreamId;
+
+    #[test]
+    fn correlation_of_identical_series_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((correlation(&xs, &xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_anticorrelated_series_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((correlation(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_series_is_zero() {
+        assert_eq!(correlation(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mape_basics() {
+        assert!((mape(&[110.0], &[100.0]) - 0.1).abs() < 1e-12);
+        assert!((mape(&[90.0, 120.0], &[100.0, 100.0]) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        assert_eq!(
+            Silicon::l1_tex_accesses("draw_a", 1000),
+            Silicon::l1_tex_accesses("draw_a", 1000)
+        );
+        assert_ne!(
+            Silicon::l1_tex_accesses("draw_a", 1000),
+            Silicon::l1_tex_accesses("draw_b", 1000)
+        );
+    }
+
+    #[test]
+    fn tex_reference_stays_near_the_correct_counts() {
+        for (i, label) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            let hw = Silicon::l1_tex_accesses(label, 1000 + i as u64);
+            let rel = hw / (1000 + i as u64) as f64;
+            assert!((0.7..=1.4).contains(&rel), "{rel}");
+        }
+    }
+
+    #[test]
+    fn frame_time_scales_with_resolution() {
+        let scene = Scene::build(SceneId::SponzaKhronos, 0.2);
+        let small = scene.render(96, 54, false, StreamId(0));
+        let large = scene.render(192, 108, false, StreamId(0));
+        let t_small =
+            Silicon::frame_time_ms("spl", &scene.draws, &small.stats, 14, 1300.0, 200.0);
+        let t_large =
+            Silicon::frame_time_ms("spl", &scene.draws, &large.stats, 14, 1300.0, 200.0);
+        assert!(t_large > t_small, "4× pixels must cost more: {t_small} vs {t_large}");
+        assert!(t_small > 0.0);
+    }
+
+    #[test]
+    fn bigger_gpu_is_faster_on_throughput_bound_frames() {
+        // A heavy frame (lots of fragments/texture work) is issue-bound, so
+        // 46 SMs beat 14 despite the RTX's lower clock. Tiny frames are
+        // drain-bound and need not follow this ordering.
+        let scene = Scene::build(SceneId::Pistol, 1.0);
+        let f = scene.render(640, 360, false, StreamId(0));
+        let orin = Silicon::frame_time_ms("pt", &scene.draws, &f.stats, 14, 1300.0, 200.0);
+        let rtx = Silicon::frame_time_ms("pt", &scene.draws, &f.stats, 46, 1132.0, 448.0);
+        assert!(rtx < orin, "orin {orin} vs rtx {rtx}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn frame_time_checks_alignment() {
+        let scene = Scene::build(SceneId::Pistol, 0.2);
+        let f = scene.render(64, 36, false, StreamId(0));
+        let _ = Silicon::frame_time_ms("x", &scene.draws[..1], &f.stats, 14, 1300.0, 200.0);
+    }
+}

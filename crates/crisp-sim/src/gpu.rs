@@ -1,0 +1,953 @@
+//! The whole-GPU simulator: stream dispatch, CTA scheduling under a
+//! partition policy, and the cycle loop.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use crisp_mem::{
+    BankMap, CompositionSnapshot, MemStats, MemSystem, SetPartition, TapController,
+};
+use crisp_sm::{CtaResources, CtaWork, ResourceQuota, Sm, StallBreakdown};
+use crisp_trace::{Command, KernelTrace, StreamId, StreamKind, TraceBundle};
+
+use crate::config::GpuConfig;
+use crate::policy::{L2Policy, PartitionSpec, SmPartition};
+use crate::slicer::WarpedSlicer;
+use crate::stats::{OccupancySample, PerStreamStats};
+
+/// Per-stream results of one simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamResult {
+    /// Timing and counts.
+    pub stats: PerStreamStats,
+    /// DRAM bytes moved for this stream.
+    pub dram_bytes: u64,
+}
+
+/// One kernel's execution record in the timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelRecord {
+    /// Stream the kernel ran on.
+    pub stream: StreamId,
+    /// Kernel name from the trace.
+    pub name: String,
+    /// Cycle its first CTA could be issued.
+    pub start_cycle: u64,
+    /// Cycle its last CTA committed.
+    pub end_cycle: u64,
+    /// Grid size.
+    pub ctas: u64,
+}
+
+impl KernelRecord {
+    /// Kernel wall-clock cycles.
+    pub fn elapsed(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total simulated cycles until the last stream finished.
+    pub cycles: u64,
+    /// Per-stream results.
+    pub per_stream: BTreeMap<StreamId, StreamResult>,
+    /// L1 statistics summed over SMs.
+    pub l1_stats: MemStats,
+    /// L2 statistics summed over banks.
+    pub l2_stats: MemStats,
+    /// Final L2 composition snapshot.
+    pub l2_composition: CompositionSnapshot,
+    /// Periodic L2 composition snapshots (cycle, snapshot).
+    pub l2_composition_timeline: Vec<(u64, CompositionSnapshot)>,
+    /// Occupancy timeline (paper Figure 13).
+    pub occupancy: Vec<OccupancySample>,
+    /// Per-stream IPC timeline sampled with the occupancy interval:
+    /// (cycle, stream → instructions issued since the previous sample).
+    pub ipc_timeline: Vec<(u64, BTreeMap<StreamId, u64>)>,
+    /// Warped-slicer decisions, when the dynamic policy ran.
+    pub slicer_history: Vec<(u64, f64)>,
+    /// TAP's final set allocation, when TAP ran.
+    pub tap_allocation: Option<Vec<(StreamId, u64)>>,
+    /// Per-kernel execution timeline in completion order.
+    pub kernel_log: Vec<KernelRecord>,
+    /// Instructions each SM issued per stream (index = SM id) — the
+    /// spatial view of the partition (which SMs actually ran what).
+    pub per_sm_instructions: Vec<BTreeMap<StreamId, u64>>,
+    /// Scheduler-slot accounting summed over all SMs: how many issue slots
+    /// issued, were blocked (hazards/backpressure), or had no warps.
+    pub stalls: StallBreakdown,
+}
+
+/// Marker label that clears memory-hierarchy statistics when consumed —
+/// used to measure steady-state (warmed-cache) hit rates: replay one frame,
+/// clear, replay again.
+pub const CLEAR_STATS_MARKER: &str = "crisp:clear-stats";
+
+impl SimResult {
+    /// Convenience: cycles until `stream` finished.
+    pub fn stream_cycles(&self, stream: StreamId) -> u64 {
+        self.per_stream.get(&stream).map_or(0, |r| r.stats.finish_cycle)
+    }
+
+    /// Cycles until every stream finished (the concurrent makespan).
+    pub fn makespan(&self) -> u64 {
+        self.per_stream
+            .values()
+            .map(|s| s.stats.finish_cycle)
+            .max()
+            .unwrap_or(self.cycles)
+    }
+
+    /// A compact human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} cycles ({} streams)", self.cycles, self.per_stream.len());
+        for (id, r) in &self.per_stream {
+            let _ = writeln!(
+                out,
+                "  {id}: {} instrs, IPC {:.2}, {} CTAs in {} kernels, {} KiB DRAM",
+                r.stats.instructions,
+                r.stats.ipc(),
+                r.stats.ctas,
+                r.stats.kernels,
+                r.dram_bytes / 1024,
+            );
+        }
+        let l1 = self.l1_stats.total();
+        let l2 = self.l2_stats.total();
+        let _ = writeln!(
+            out,
+            "  L1 {:.1}% hit ({} acc) | L2 {:.1}% hit ({} acc) | L2 lines: {:.0}% tex / {:.0}% pipe / {:.0}% compute",
+            l1.hit_rate() * 100.0,
+            l1.accesses,
+            l2.hit_rate() * 100.0,
+            l2.accesses,
+            self.l2_composition.class_fraction(crisp_trace::DataClass::Texture) * 100.0,
+            self.l2_composition.class_fraction(crisp_trace::DataClass::Pipeline) * 100.0,
+            self.l2_composition.class_fraction(crisp_trace::DataClass::Compute) * 100.0,
+        );
+        out
+    }
+}
+
+#[derive(Debug)]
+struct RunningKernel {
+    kernel: Arc<KernelTrace>,
+    next_cta: usize,
+    outstanding: usize,
+    start_cycle: u64,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    id: StreamId,
+    kind: StreamKind,
+    commands: VecDeque<Command>,
+    current: Option<RunningKernel>,
+    started: bool,
+    finished: bool,
+}
+
+impl StreamState {
+    fn work_remains(&self) -> bool {
+        self.current.is_some() || !self.commands.is_empty()
+    }
+}
+
+/// The simulator. Build with [`GpuSim::new`], add work with
+/// [`GpuSim::load`], then call [`GpuSim::run`].
+///
+/// # Example
+///
+/// ```
+/// use crisp_sim::{GpuConfig, GpuSim, PartitionSpec};
+/// use crisp_trace::{CtaTrace, Instr, KernelTrace, Op, Reg, Stream, StreamId,
+///                   StreamKind, TraceBundle, WarpTrace};
+///
+/// let mut w = WarpTrace::new();
+/// w.push(Instr::alu(Op::FpFma, Reg(1), &[]));
+/// w.seal();
+/// let k = KernelTrace::new("k", 32, 16, 0, vec![CtaTrace::new(vec![w])]);
+/// let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+/// s.launch(k);
+///
+/// let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+/// gpu.load(TraceBundle::from_streams(vec![s]));
+/// let result = gpu.run();
+/// assert!(result.cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct GpuSim {
+    cfg: GpuConfig,
+    spec: PartitionSpec,
+    sms: Vec<Sm>,
+    mem: MemSystem,
+    streams: Vec<StreamState>,
+    slicer: Option<WarpedSlicer>,
+    now: u64,
+    stats: BTreeMap<StreamId, PerStreamStats>,
+    occupancy: Vec<OccupancySample>,
+    ipc_timeline: Vec<(u64, BTreeMap<StreamId, u64>)>,
+    last_issued_snapshot: BTreeMap<StreamId, u64>,
+    /// Cycles between occupancy samples.
+    pub occupancy_interval: u64,
+    /// Cycles between L2 composition snapshots (0 = final only).
+    pub composition_interval: u64,
+    composition_timeline: Vec<(u64, CompositionSnapshot)>,
+    cta_seq: u64,
+    last_progress: u64,
+    rr_offset: usize,
+    /// Cached per-stream SM allowlists (index = SM id), built at load().
+    allowed_sms: BTreeMap<StreamId, Vec<bool>>,
+    kernel_log: Vec<KernelRecord>,
+}
+
+impl GpuSim {
+    /// A GPU with the given configuration and partition policy, no work.
+    pub fn new(cfg: GpuConfig, spec: PartitionSpec) -> Self {
+        let mem = MemSystem::new(cfg.mem_config());
+        let sms = (0..cfg.n_sms).map(|i| Sm::new(i, cfg.sm)).collect();
+        GpuSim {
+            mem,
+            sms,
+            spec,
+            streams: Vec::new(),
+            slicer: None,
+            now: 0,
+            stats: BTreeMap::new(),
+            occupancy: Vec::new(),
+            ipc_timeline: Vec::new(),
+            last_issued_snapshot: BTreeMap::new(),
+            occupancy_interval: 2_000,
+            composition_interval: 0,
+            composition_timeline: Vec::new(),
+            cta_seq: 0,
+            last_progress: 0,
+            rr_offset: 0,
+            allowed_sms: BTreeMap::new(),
+            kernel_log: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Load a bundle of streams and configure stream-dependent partitioning
+    /// (MiG bank masks, TAP controller, warped-slicer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, or if a two-stream policy is given a bundle
+    /// without exactly two streams.
+    pub fn load(&mut self, bundle: TraceBundle) {
+        assert!(self.streams.is_empty(), "load() may only be called once");
+        let mut ids: Vec<StreamId> = bundle.streams.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        // Graphics stream first for slicer convention.
+        let ordered_pair = || -> (StreamId, StreamId) {
+            assert_eq!(ids.len(), 2, "this partition policy expects exactly two streams");
+            let g = bundle
+                .streams
+                .iter()
+                .find(|s| s.kind == StreamKind::Graphics)
+                .map(|s| s.id)
+                .unwrap_or(ids[0]);
+            let other = if ids[0] == g { ids[1] } else { ids[0] };
+            (g, other)
+        };
+        match &self.spec.l2 {
+            L2Policy::Shared => {}
+            L2Policy::BankSplit => {
+                let (a, b) = ordered_pair();
+                self.mem.set_bank_map(BankMap::mig_even_split(self.cfg.l2_banks, a, b));
+            }
+            L2Policy::Tap(tap_cfg) => {
+                let sets_per_bank =
+                    self.cfg.l2_bytes / self.cfg.l2_banks as u64 / 128 / self.cfg.l2_assoc as u64;
+                let tap = TapController::new(ids.clone(), sets_per_bank, self.cfg.l2_assoc, *tap_cfg);
+                self.mem.set_partition(SetPartition::Tap(tap));
+            }
+        }
+        if let SmPartition::IntraSmDynamic(slicer_cfg) = &self.spec.sm {
+            let (a, b) = ordered_pair();
+            self.slicer = Some(WarpedSlicer::new(slicer_cfg.clone(), a, b));
+        }
+        for s in &bundle.streams {
+            let mut mask = vec![false; self.cfg.n_sms];
+            for sm in self.spec.sms_for(s.id, self.cfg.n_sms) {
+                mask[sm] = true;
+            }
+            self.allowed_sms.insert(s.id, mask);
+        }
+        for s in bundle.streams {
+            self.stats.entry(s.id).or_default();
+            self.streams.push(StreamState {
+                id: s.id,
+                kind: s.kind,
+                commands: s.commands.into(),
+                current: None,
+                started: false,
+                finished: false,
+            });
+        }
+        self.streams.sort_by_key(|s| s.id);
+    }
+
+    /// Run to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GPU makes no progress for 10M cycles (a CTA that can
+    /// never be placed) or exceeds `cfg.max_cycles`.
+    pub fn run(&mut self) -> SimResult {
+        while self.work_remains() {
+            self.step();
+            assert!(
+                self.now <= self.cfg.max_cycles,
+                "exceeded max_cycles={} — raise GpuConfig::max_cycles",
+                self.cfg.max_cycles
+            );
+            assert!(
+                self.now - self.last_progress < 10_000_000,
+                "no progress for 10M cycles at cycle {} — unplaceable CTA?",
+                self.now
+            );
+        }
+        self.result()
+    }
+
+    fn work_remains(&self) -> bool {
+        self.streams.iter().any(StreamState::work_remains)
+            || self.sms.iter().any(Sm::busy)
+            || !self.mem.quiescent()
+    }
+
+    /// Advance exactly one cycle (exposed for incremental drivers).
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.advance_streams(now);
+        self.issue_ctas(now);
+        self.cycle_sms(now);
+        let completions = self.mem.tick(now);
+        for c in completions {
+            self.sms[c.token.sm as usize].on_mem_completion(c.token.id);
+        }
+        self.slicer_tick(now);
+        if self.occupancy_interval > 0 && now % self.occupancy_interval == 0 {
+            self.sample_occupancy(now);
+        }
+        if self.composition_interval > 0 && now > 0 && now % self.composition_interval == 0 {
+            self.composition_timeline.push((now, self.mem.l2_composition()));
+        }
+        self.now += 1;
+    }
+
+    /// Pop markers and begin the next kernel of each idle stream.
+    fn advance_streams(&mut self, now: u64) {
+        for si in 0..self.streams.len() {
+            loop {
+                if self.streams[si].current.is_some() {
+                    break;
+                }
+                // The stats-clear marker acts as a full barrier: wait for
+                // in-flight stores to drain so the cleared counters reflect
+                // only post-marker (steady-state) traffic.
+                if matches!(self.streams[si].commands.front(),
+                    Some(Command::Marker(l)) if l == CLEAR_STATS_MARKER)
+                    && !self.mem.quiescent()
+                {
+                    break;
+                }
+                let Some(cmd) = self.streams[si].commands.pop_front() else {
+                    if !self.streams[si].finished && self.streams[si].started {
+                        self.streams[si].finished = true;
+                        let id = self.streams[si].id;
+                        self.stats.get_mut(&id).expect("stream registered").finish_cycle = now;
+                    }
+                    break;
+                };
+                match cmd {
+                    Command::Marker(label) => {
+                        if label == CLEAR_STATS_MARKER {
+                            self.mem.clear_stats();
+                        }
+                        // Drawcall boundary: dynamic partitions reset here.
+                        self.reset_slicer(now);
+                    }
+                    Command::Launch(k) => {
+                        let id = self.streams[si].id;
+                        if !self.streams[si].started {
+                            self.streams[si].started = true;
+                            self.stats.get_mut(&id).expect("registered").start_cycle = now;
+                        }
+                        if self.streams[si].kind == StreamKind::Compute {
+                            // Kernel-launch boundary resets the partition too.
+                            self.reset_slicer(now);
+                        }
+                        {
+                            // Fail fast on kernels whose CTAs can never be
+                            // placed (instead of spinning to the progress
+                            // watchdog).
+                            let res = CtaResources::of_kernel(&k);
+                            let sm = &self.cfg.sm;
+                            assert!(
+                                res.threads <= sm.max_threads
+                                    && res.warps <= sm.max_warps
+                                    && res.regs <= sm.max_regs
+                                    && res.smem <= sm.max_smem,
+                                "kernel '{}' needs {res:?} per CTA, which exceeds the SM's \
+                                 physical resources",
+                                k.name
+                            );
+                        }
+                        if k.grid() == 0 {
+                            // Empty launch completes instantly.
+                            self.stats.get_mut(&id).expect("registered").kernels += 1;
+                            self.kernel_log.push(KernelRecord {
+                                stream: id,
+                                name: k.name,
+                                start_cycle: now,
+                                end_cycle: now,
+                                ctas: 0,
+                            });
+                            continue;
+                        }
+                        self.streams[si].current = Some(RunningKernel {
+                            kernel: Arc::new(k),
+                            next_cta: 0,
+                            outstanding: 0,
+                            start_cycle: now,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset_slicer(&mut self, now: u64) {
+        if let Some(sl) = self.slicer.as_mut() {
+            sl.on_reset(now);
+            let streams = sl.streams();
+            for sm in &mut self.sms {
+                for s in streams {
+                    let _ = sm.take_window_issued(s);
+                }
+            }
+        }
+    }
+
+    fn quota_for(&self, sm_id: usize, stream: StreamId) -> ResourceQuota {
+        if let Some(sl) = &self.slicer {
+            return sl.quota_for(sm_id, stream, &self.cfg.sm);
+        }
+        self.spec.static_quota(stream, &self.cfg.sm)
+    }
+
+    /// Issue at most one CTA per SM per cycle, honouring the partition.
+    fn issue_ctas(&mut self, _now: u64) {
+        let n_streams = self.streams.len();
+        if n_streams == 0 {
+            return;
+        }
+        // Rotate the stream priority in non-greedy modes so no stream is
+        // structurally favoured; greedy always starts from stream 0.
+        let greedy = matches!(self.spec.sm, SmPartition::Greedy);
+        let start = if greedy { 0 } else { self.rr_offset % n_streams };
+        self.rr_offset += 1;
+        for sm_id in 0..self.sms.len() {
+            for k in 0..n_streams {
+                let si = (start + k) % n_streams;
+                let (id, has_work) = {
+                    let st = &self.streams[si];
+                    let has = st
+                        .current
+                        .as_ref()
+                        .is_some_and(|r| r.next_cta < r.kernel.grid());
+                    (st.id, has)
+                };
+                if !has_work {
+                    continue;
+                }
+                // Inter-SM partitions restrict which SMs a stream may use.
+                if !self.allowed_sms.get(&id).map_or(true, |m| m[sm_id]) {
+                    continue;
+                }
+                let quota = self.quota_for(sm_id, id);
+                let running = self.streams[si].current.as_mut().expect("has_work checked");
+                let res = CtaResources::of_kernel(&running.kernel);
+                if !self.sms[sm_id].fits(id, res, quota) {
+                    continue;
+                }
+                let work = CtaWork {
+                    stream: id,
+                    kernel: running.kernel.clone(),
+                    cta_index: running.next_cta,
+                    seq: self.cta_seq,
+                };
+                self.cta_seq += 1;
+                running.next_cta += 1;
+                running.outstanding += 1;
+                self.sms[sm_id].launch_cta(work);
+                self.last_progress = self.now;
+                break; // one CTA per SM per cycle
+            }
+        }
+    }
+
+    fn cycle_sms(&mut self, now: u64) {
+        for sm_id in 0..self.sms.len() {
+            if !self.sms[sm_id].busy() {
+                continue;
+            }
+            let out = self.sms[sm_id].cycle(now, &mut self.mem);
+            if out.issued > 0 {
+                self.last_progress = now;
+            }
+            for commit in out.commits {
+                let stats = self.stats.get_mut(&commit.stream).expect("registered");
+                stats.ctas += 1;
+                let st = self
+                    .streams
+                    .iter_mut()
+                    .find(|s| s.id == commit.stream)
+                    .expect("stream exists");
+                let done = {
+                    let r = st.current.as_mut().expect("commit for a running kernel");
+                    r.outstanding -= 1;
+                    r.outstanding == 0 && r.next_cta >= r.kernel.grid()
+                };
+                if done {
+                    let r = st.current.take().expect("running kernel");
+                    stats.kernels += 1;
+                    self.kernel_log.push(KernelRecord {
+                        stream: commit.stream,
+                        name: r.kernel.name.clone(),
+                        start_cycle: r.start_cycle,
+                        end_cycle: now,
+                        ctas: r.kernel.grid() as u64,
+                    });
+                }
+            }
+        }
+    }
+
+    fn slicer_tick(&mut self, now: u64) {
+        let Some(sl) = self.slicer.as_mut() else { return };
+        if !sl.is_sampling() {
+            return;
+        }
+        let sms = &mut self.sms;
+        let n = sms.len();
+        let _ = sl.maybe_decide(now, n, |sm, stream| sms[sm].take_window_issued(stream));
+    }
+
+    fn sample_occupancy(&mut self, now: u64) {
+        let mut by_stream = BTreeMap::new();
+        let mut issued_delta = BTreeMap::new();
+        for st in &self.streams {
+            let mean: f64 = self
+                .sms
+                .iter()
+                .map(|sm| sm.resources().stream_warp_occupancy(st.id))
+                .sum::<f64>()
+                / self.sms.len() as f64;
+            by_stream.insert(st.id, mean);
+            let total: u64 = self.sms.iter().map(|sm| sm.issued_for(st.id)).sum();
+            let prev = self.last_issued_snapshot.insert(st.id, total).unwrap_or(0);
+            issued_delta.insert(st.id, total - prev);
+        }
+        self.occupancy.push(OccupancySample { cycle: now, by_stream });
+        self.ipc_timeline.push((now, issued_delta));
+    }
+
+    fn result(&mut self) -> SimResult {
+        // Fill instruction counts from the SMs.
+        for (id, st) in self.stats.iter_mut() {
+            st.instructions = self.sms.iter().map(|sm| sm.issued_for(*id)).sum();
+            if st.finish_cycle == 0 && st.start_cycle == 0 && st.instructions == 0 {
+                // Stream never ran (empty); leave zeros.
+            }
+        }
+        let per_stream = self
+            .stats
+            .iter()
+            .map(|(&id, &stats)| {
+                (id, StreamResult { stats, dram_bytes: self.mem.dram_bytes(id) })
+            })
+            .collect();
+        let per_sm_instructions: Vec<BTreeMap<StreamId, u64>> = self
+            .sms
+            .iter()
+            .map(|sm| {
+                self.stats
+                    .keys()
+                    .map(|&id| (id, sm.issued_for(id)))
+                    .filter(|(_, n)| *n > 0)
+                    .collect()
+            })
+            .collect();
+        let mut stalls = StallBreakdown::default();
+        for sm in &self.sms {
+            let s = sm.stalls();
+            stalls.issued += s.issued;
+            stalls.blocked += s.blocked;
+            stalls.empty += s.empty;
+        }
+        let tap_allocation = match self.mem.partition() {
+            SetPartition::Tap(t) => Some(t.allocation()),
+            _ => None,
+        };
+        SimResult {
+            cycles: self.now,
+            per_stream,
+            l1_stats: self.mem.l1_stats_total(),
+            l2_stats: self.mem.l2_stats_total(),
+            l2_composition: self.mem.l2_composition(),
+            l2_composition_timeline: std::mem::take(&mut self.composition_timeline),
+            occupancy: std::mem::take(&mut self.occupancy),
+            ipc_timeline: std::mem::take(&mut self.ipc_timeline),
+            slicer_history: self.slicer.as_ref().map(|s| s.history().to_vec()).unwrap_or_default(),
+            tap_allocation,
+            kernel_log: std::mem::take(&mut self.kernel_log),
+            per_sm_instructions,
+            stalls,
+        }
+    }
+
+    /// Direct access to the memory system (post-run inspection).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slicer::SlicerConfig;
+    use crisp_trace::{
+        CtaTrace, DataClass, Instr, MemAccess, Op, Reg, Space, Stream, WarpTrace,
+    };
+
+    const G: StreamId = StreamId(0);
+    const C: StreamId = StreamId(1);
+
+    fn alu_kernel(name: &str, n_instr: usize, warps: usize, ctas: usize, regs: u32) -> KernelTrace {
+        let mut w = WarpTrace::new();
+        for i in 0..n_instr {
+            w.push(Instr::alu(Op::FpFma, Reg((i % 8) as u16 + 1), &[]));
+        }
+        w.seal();
+        let cta = CtaTrace::new(vec![w; warps]);
+        KernelTrace::new(name, 32 * warps as u32, regs, 0, vec![cta; ctas])
+    }
+
+    fn mem_kernel(name: &str, ctas: usize, lines_apart: u64) -> KernelTrace {
+        let mut ctav = Vec::new();
+        for c in 0..ctas {
+            let mut w = WarpTrace::new();
+            for i in 0..8u64 {
+                w.push(Instr::load(
+                    Reg(1),
+                    MemAccess::coalesced(
+                        Space::Global,
+                        DataClass::Compute,
+                        4,
+                        (c as u64 * 64 + i) * lines_apart * 128,
+                        32,
+                    ),
+                ));
+            }
+            w.seal();
+            ctav.push(CtaTrace::new(vec![w]));
+        }
+        KernelTrace::new(name, 32, 16, 0, ctav)
+    }
+
+    fn bundle_two(g_kernel: KernelTrace, c_kernel: KernelTrace) -> TraceBundle {
+        let mut gs = Stream::new(G, StreamKind::Graphics);
+        gs.marker("draw0");
+        gs.launch(g_kernel);
+        let mut cs = Stream::new(C, StreamKind::Compute);
+        cs.launch(c_kernel);
+        TraceBundle::from_streams(vec![gs, cs])
+    }
+
+    #[test]
+    fn single_stream_completes_and_reports() {
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(alu_kernel("a", 20, 2, 4, 16));
+        s.launch(alu_kernel("b", 20, 2, 4, 16));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let r = gpu.run();
+        let st = &r.per_stream[&C].stats;
+        assert_eq!(st.kernels, 2);
+        assert_eq!(st.ctas, 8);
+        assert!(st.instructions >= 8 * 2 * 21);
+        assert!(st.finish_cycle > 0);
+        assert!(st.ipc() > 0.0);
+    }
+
+    #[test]
+    fn kernels_in_a_stream_are_serialised() {
+        // Kernel b must not start before kernel a fully commits: with one
+        // large kernel a and tiny b, total cycles >= a's cycles + b's.
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(alu_kernel("a", 200, 4, 2, 16));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let solo_a = gpu.run().cycles;
+
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(alu_kernel("a", 200, 4, 2, 16));
+        s.launch(alu_kernel("b", 200, 4, 2, 16));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let both = gpu.run().cycles;
+        assert!(
+            both as f64 > solo_a as f64 * 1.5,
+            "second kernel must serialise: solo {solo_a}, both {both}"
+        );
+    }
+
+    #[test]
+    fn two_streams_run_concurrently_under_fg() {
+        let cfg = GpuConfig::test_tiny();
+        let a = alu_kernel("g", 300, 2, 6, 16);
+        let b = alu_kernel("c", 300, 2, 6, 16);
+
+        // Serial baseline: one stream after the other (same stream).
+        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(a.clone());
+        s.launch(b.clone());
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let serial = gpu.run().cycles;
+
+        // Concurrent under even intra-SM partition.
+        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
+        gpu.load(bundle_two(a, b));
+        let conc = gpu.run().cycles;
+        assert!(
+            (conc as f64) < serial as f64 * 0.95,
+            "concurrency must beat serial: serial {serial}, concurrent {conc}"
+        );
+    }
+
+    #[test]
+    fn mps_partitions_sms() {
+        let cfg = GpuConfig::test_tiny(); // 2 SMs → 1 each
+        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::mps_even(&cfg, G, C));
+        gpu.load(bundle_two(
+            alu_kernel("g", 50, 2, 4, 16),
+            alu_kernel("c", 50, 2, 4, 16),
+        ));
+        let r = gpu.run();
+        assert_eq!(r.per_stream[&G].stats.ctas, 4);
+        assert_eq!(r.per_stream[&C].stats.ctas, 4);
+    }
+
+    #[test]
+    fn stalls_aggregate_over_sms() {
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(alu_kernel("a", 50, 2, 4, 16));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let r = gpu.run();
+        assert_eq!(r.stalls.issued, r.per_stream[&C].stats.instructions);
+        assert!(r.stalls.issue_efficiency() > 0.0);
+    }
+
+    #[test]
+    fn per_sm_instructions_respect_inter_sm_partitions() {
+        let cfg = GpuConfig::test_tiny(); // 2 SMs
+        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::mps_even(&cfg, G, C));
+        gpu.load(bundle_two(
+            alu_kernel("g", 50, 2, 4, 16),
+            alu_kernel("c", 50, 2, 4, 16),
+        ));
+        let r = gpu.run();
+        assert_eq!(r.per_sm_instructions.len(), 2);
+        // SM 0 belongs to the graphics stream, SM 1 to compute: no leakage.
+        assert!(r.per_sm_instructions[0].get(&C).is_none());
+        assert!(r.per_sm_instructions[1].get(&G).is_none());
+        // Per-SM counts sum to the per-stream totals.
+        let g_sum: u64 = r.per_sm_instructions.iter().filter_map(|m| m.get(&G)).sum();
+        assert_eq!(g_sum, r.per_stream[&G].stats.instructions);
+    }
+
+    #[test]
+    fn mig_isolates_dram_partitions() {
+        let cfg = GpuConfig::test_tiny();
+        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::mig_even(&cfg, G, C));
+        let mut gs = Stream::new(G, StreamKind::Graphics);
+        gs.launch(mem_kernel("gmem", 4, 3));
+        let mut cs = Stream::new(C, StreamKind::Compute);
+        cs.launch(mem_kernel("cmem", 4, 5));
+        gpu.load(TraceBundle::from_streams(vec![gs, cs]));
+        let r = gpu.run();
+        assert!(r.per_stream[&G].dram_bytes > 0);
+        assert!(r.per_stream[&C].dram_bytes > 0);
+    }
+
+    #[test]
+    fn warped_slicer_makes_decisions() {
+        let cfg = GpuConfig::test_tiny();
+        let slicer = SlicerConfig { sample_cycles: 200, ratios: vec![(2, 8), (4, 8), (6, 8)] };
+        let mut gpu = GpuSim::new(cfg, PartitionSpec::fg_dynamic(slicer));
+        gpu.load(bundle_two(
+            alu_kernel("g", 2000, 2, 12, 16),
+            alu_kernel("c", 2000, 2, 12, 16),
+        ));
+        let r = gpu.run();
+        assert!(!r.slicer_history.is_empty(), "slicer must have decided at least once");
+        for (_, f) in &r.slicer_history {
+            assert!((0.0..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn tap_reports_allocation() {
+        let cfg = GpuConfig::test_tiny();
+        let tap = crisp_mem::TapConfig { epoch_accesses: 200, sample_every: 1, min_sets: 1 };
+        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::tap_even(&cfg, G, C, tap));
+        let mut gs = Stream::new(G, StreamKind::Graphics);
+        gs.launch(mem_kernel("gmem", 6, 1));
+        let mut cs = Stream::new(C, StreamKind::Compute);
+        cs.launch(alu_kernel("calu", 100, 2, 6, 16));
+        gpu.load(TraceBundle::from_streams(vec![gs, cs]));
+        let r = gpu.run();
+        let alloc = r.tap_allocation.expect("TAP ran");
+        let total: u64 = alloc.iter().map(|(_, n)| n).sum();
+        let sets_per_bank = (128 << 10) / 2 / 128 / 8;
+        assert_eq!(total, sets_per_bank);
+    }
+
+    #[test]
+    fn occupancy_timeline_is_sampled() {
+        let cfg = GpuConfig::test_tiny();
+        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
+        gpu.occupancy_interval = 50;
+        gpu.load(bundle_two(
+            alu_kernel("g", 500, 2, 8, 16),
+            alu_kernel("c", 500, 2, 8, 16),
+        ));
+        let r = gpu.run();
+        assert!(r.occupancy.len() >= 2);
+        let mid = &r.occupancy[r.occupancy.len() / 2];
+        assert!(mid.total() > 0.0, "occupancy must be visible mid-run");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the SM")]
+    fn unplaceable_kernel_fails_fast() {
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        // 512 regs/thread × 256 threads = 131072 regs > 65536.
+        s.launch(alu_kernel("hog", 4, 8, 1, 512));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let _ = gpu.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_cycles")]
+    fn max_cycles_budget_is_enforced() {
+        let mut cfg = GpuConfig::test_tiny();
+        cfg.max_cycles = 10;
+        let mut gpu = GpuSim::new(cfg, PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(alu_kernel("long", 1000, 2, 4, 16));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let _ = gpu.run();
+    }
+
+    #[test]
+    fn summary_mentions_every_stream() {
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(alu_kernel("a", 10, 1, 1, 16));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let r = gpu.run();
+        let text = r.summary();
+        assert!(text.contains("stream1"));
+        assert!(text.contains("L2"));
+        assert_eq!(r.makespan(), r.per_stream[&C].stats.finish_cycle);
+    }
+
+    #[test]
+    fn kernel_log_records_the_timeline() {
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(alu_kernel("first", 20, 2, 2, 16));
+        s.launch(alu_kernel("second", 20, 2, 2, 16));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let r = gpu.run();
+        assert_eq!(r.kernel_log.len(), 2);
+        assert_eq!(r.kernel_log[0].name, "first");
+        assert_eq!(r.kernel_log[1].name, "second");
+        assert!(r.kernel_log[0].end_cycle <= r.kernel_log[1].start_cycle + 1,
+            "stream kernels serialise");
+        assert!(r.kernel_log[0].elapsed() > 0);
+        assert_eq!(r.kernel_log[0].ctas, 2);
+    }
+
+    #[test]
+    fn ipc_timeline_sums_to_total_instructions() {
+        let cfg = GpuConfig::test_tiny();
+        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
+        gpu.occupancy_interval = 50;
+        gpu.load(bundle_two(
+            alu_kernel("g", 500, 2, 8, 16),
+            alu_kernel("c", 500, 2, 8, 16),
+        ));
+        let r = gpu.run();
+        assert!(!r.ipc_timeline.is_empty());
+        let g_sum: u64 = r.ipc_timeline.iter().filter_map(|(_, m)| m.get(&G)).sum();
+        // The final partial window after the last sample is not captured,
+        // so the timeline sums to at most the total.
+        assert!(g_sum <= r.per_stream[&G].stats.instructions);
+        assert!(g_sum > 0);
+    }
+
+    #[test]
+    fn empty_kernel_completes_instantly() {
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(KernelTrace::new("empty", 32, 8, 0, vec![]));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let r = gpu.run();
+        assert_eq!(r.per_stream[&C].stats.kernels, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "load() may only be called once")]
+    fn double_load_panics() {
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        gpu.load(TraceBundle::from_streams(vec![Stream::new(C, StreamKind::Compute)]));
+        gpu.load(TraceBundle::from_streams(vec![Stream::new(G, StreamKind::Graphics)]));
+    }
+
+    #[test]
+    fn l2_composition_reflects_data_classes() {
+        let cfg = GpuConfig::test_tiny();
+        let mut gpu = GpuSim::new(cfg, PartitionSpec::greedy());
+        let mut s = Stream::new(C, StreamKind::Compute);
+        s.launch(mem_kernel("m", 4, 1));
+        gpu.load(TraceBundle::from_streams(vec![s]));
+        let r = gpu.run();
+        assert!(r.l2_composition.class_lines(DataClass::Compute) > 0);
+        assert!(r.l2_stats.total().accesses > 0);
+        assert!(r.l1_stats.total().accesses > 0);
+    }
+}

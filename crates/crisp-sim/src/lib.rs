@@ -1,0 +1,40 @@
+//! Cycle-level concurrent GPU simulator for CRISP.
+//!
+//! Assembles the substrates — SM cores from `crisp-sm`, the memory hierarchy
+//! from `crisp-mem` — into a whole GPU, replays [`crisp_trace::TraceBundle`]s
+//! on it, and implements the GPU-sharing machinery that is the paper's core
+//! contribution:
+//!
+//! * **Streams** execute concurrently; commands within a stream are ordered.
+//! * The **CTA scheduler** ([`gpu::GpuSim`]) issues CTAs to SMs under a
+//!   [`PartitionSpec`]:
+//!   - `Greedy` — Accel-Sim's default: fill SMs from the oldest kernel.
+//!   - `Mps` — coarse inter-SM partition, shared L2.
+//!   - `Mig` — inter-SM partition plus L2 bank masks (full isolation).
+//!   - `FgStatic` — fine-grained intra-SM partition via per-stream resource
+//!     quotas (async-compute style).
+//!   - `FgDynamic` — the quota ratio is chosen at runtime by
+//!     **warped-slicer** (Xu et al., ISCA 2016): parallel SMs sample
+//!     different ratios, and water-filling over the measured performance
+//!     curves picks the split, re-evaluated at kernel launches and drawcalls.
+//! * The L2 can independently run **TAP** set partitioning or **MiG** bank
+//!   masking (see `crisp-mem`).
+//! * Statistics are kept **per stream** (the paper extends Accel-Sim the
+//!   same way), including occupancy timelines (Fig 13) and L2 composition
+//!   snapshots (Figs 11, 15).
+
+mod config;
+mod gpu;
+mod policy;
+mod slicer;
+mod stats;
+
+pub use config::GpuConfig;
+pub use gpu::{GpuSim, KernelRecord, SimResult, StreamResult, CLEAR_STATS_MARKER};
+pub use policy::{L2Policy, PartitionSpec, SmPartition};
+pub use slicer::{SlicerConfig, WarpedSlicer};
+pub use stats::{OccupancySample, PerStreamStats};
+
+pub use crisp_mem::{TapConfig, MemConfig};
+pub use crisp_sm::{ResourceQuota, SchedulerPolicy, SmConfig, StallBreakdown};
+pub use crisp_trace::{StreamId, StreamKind, TraceBundle};

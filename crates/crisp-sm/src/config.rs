@@ -1,0 +1,139 @@
+//! SM configuration: resource caps and execution-pipe timing.
+
+use crisp_trace::{Op, Space};
+use serde::{Deserialize, Serialize};
+
+/// Warp-scheduler selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Greedy-then-oldest: keep issuing from the same warp until it
+    /// stalls, then fall back to the oldest ready warp (Accel-Sim's
+    /// default, best for locality).
+    Gto,
+    /// Loose round-robin: rotate through ready warps, spreading issue
+    /// bandwidth evenly (better fairness, worse intra-warp locality).
+    Lrr,
+}
+
+/// Static configuration of one SM.
+///
+/// Defaults follow the paper's Table II (shared by the Jetson Orin and the
+/// RTX 3070 rows): 64 warps, 4 schedulers, 65536 registers, 4 units of each
+/// execution class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmConfig {
+    /// Maximum resident warps.
+    pub max_warps: u32,
+    /// Maximum resident threads (warp slots × 32 unless reduced).
+    pub max_threads: u32,
+    /// Maximum resident CTAs.
+    pub max_ctas: u32,
+    /// Architectural registers in the register file.
+    pub max_regs: u32,
+    /// Shared-memory capacity in bytes (the L1 carve-out).
+    pub max_smem: u32,
+    /// Warp schedulers (issue ports) per SM.
+    pub schedulers: u32,
+    /// FP32 pipelines.
+    pub fp_units: u32,
+    /// Integer pipelines.
+    pub int_units: u32,
+    /// Special-function pipelines.
+    pub sfu_units: u32,
+    /// Tensor-core pipelines.
+    pub tensor_units: u32,
+    /// Sector accesses the LSU can present to the L1 per cycle
+    /// (4 × 32 B = 128 B/cycle, the Ampere L1 port width).
+    pub l1_ports: u32,
+    /// Pending memory instructions the LSU queue holds.
+    pub lsu_queue_depth: usize,
+    /// Shared-memory access latency in cycles.
+    pub smem_latency: u64,
+    /// Warp-scheduler policy.
+    pub scheduler: SchedulerPolicy,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig {
+            max_warps: 64,
+            max_threads: 2048,
+            max_ctas: 32,
+            max_regs: 65536,
+            max_smem: 100 << 10,
+            schedulers: 4,
+            fp_units: 4,
+            int_units: 4,
+            sfu_units: 4,
+            tensor_units: 4,
+            l1_ports: 4,
+            lsu_queue_depth: 8,
+            smem_latency: 29,
+            scheduler: SchedulerPolicy::Gto,
+        }
+    }
+}
+
+impl SmConfig {
+    /// (latency, initiation interval) of an opcode's execution pipe.
+    ///
+    /// Memory opcodes return the pipe cost of address generation; their real
+    /// latency comes from the memory system.
+    pub fn timing(&self, op: Op) -> (u64, u64) {
+        match op {
+            Op::IntAlu => (4, 1),
+            Op::FpAlu | Op::FpMul | Op::FpFma => (4, 1),
+            Op::Sfu => (21, 4),
+            Op::Tensor => (16, 2),
+            Op::Branch => (2, 1),
+            Op::Bar | Op::Exit => (1, 1),
+            Op::Ld(Space::Shared) | Op::St(Space::Shared) => (self.smem_latency, 1),
+            Op::Ld(_) | Op::St(_) => (1, 1),
+        }
+    }
+
+    /// Number of pipes available for an opcode class.
+    pub fn units_for(&self, op: Op) -> u32 {
+        match op {
+            Op::IntAlu | Op::Branch => self.int_units,
+            Op::FpAlu | Op::FpMul | Op::FpFma => self.fp_units,
+            Op::Sfu => self.sfu_units,
+            Op::Tensor => self.tensor_units,
+            // Memory ops contend on the LSU queue instead of a pipe group.
+            Op::Bar | Op::Exit | Op::Ld(_) | Op::St(_) => self.schedulers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_ii() {
+        let c = SmConfig::default();
+        assert_eq!(c.max_warps, 64);
+        assert_eq!(c.schedulers, 4);
+        assert_eq!(c.max_regs, 65536);
+        assert_eq!(c.fp_units, 4);
+        assert_eq!(c.sfu_units, 4);
+        assert_eq!(c.int_units, 4);
+        assert_eq!(c.tensor_units, 4);
+    }
+
+    #[test]
+    fn sfu_is_long_latency_low_throughput() {
+        let c = SmConfig::default();
+        let (fp_lat, fp_ii) = c.timing(Op::FpFma);
+        let (sfu_lat, sfu_ii) = c.timing(Op::Sfu);
+        assert!(sfu_lat > fp_lat);
+        assert!(sfu_ii > fp_ii);
+    }
+
+    #[test]
+    fn shared_memory_latency_is_configurable() {
+        let mut c = SmConfig::default();
+        c.smem_latency = 40;
+        assert_eq!(c.timing(Op::Ld(Space::Shared)).0, 40);
+    }
+}

@@ -1,0 +1,30 @@
+//! Streaming-multiprocessor (SM) core model for CRISP.
+//!
+//! Replays warp traces on a cycle-level SIMT core: per-scheduler
+//! greedy-then-oldest (GTO) warp selection, a register scoreboard,
+//! execution-unit pipelines with per-class latency and initiation interval
+//! (4× FP, 4× SFU, 4× INT, 4× TENSOR per SM as in the paper's Table II),
+//! and a load-store unit that coalesces per-lane addresses into 32 B sectors
+//! and feeds them to the unified L1 in `crisp-mem`.
+//!
+//! CTAs are the unit of work: the GPU-level CTA scheduler in `crisp-sim`
+//! checks a CTA's resource needs (threads, registers, shared memory, warp
+//! and CTA slots) against the SM's remaining — possibly partitioned —
+//! resources, launches it with [`Sm::launch_cta`], and learns about commits
+//! from [`Sm::cycle`]'s output. That issue/commit resource protocol is
+//! exactly the lever the paper's fine-grained intra-SM partitioning
+//! manipulates.
+
+mod config;
+mod cta;
+mod lsu;
+mod sm;
+mod units;
+mod warp;
+
+pub use config::{SchedulerPolicy, SmConfig};
+pub use cta::{CtaResources, CtaWork, ResourceQuota, SmResources, Usage};
+pub use lsu::Lsu;
+pub use sm::{CtaCommit, CycleOutput, Sm, StallBreakdown};
+pub use units::ExecUnits;
+pub use warp::{WarpState, WarpStatus};

@@ -1,0 +1,159 @@
+//! Per-warp execution state: trace cursor, scoreboard, blocking status.
+
+use std::sync::Arc;
+
+use crisp_trace::{Instr, KernelTrace, Reg, StreamId};
+
+/// Why a warp cannot issue right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpStatus {
+    /// Ready to issue its next instruction (subject to unit availability).
+    Ready,
+    /// Waiting on the CTA barrier.
+    AtBarrier,
+    /// Trace exhausted; warp has exited.
+    Exited,
+}
+
+fn reg_bit(r: Reg) -> u128 {
+    assert!(r.0 < 128, "scoreboard supports register ids 0..128, got {}", r.0);
+    1u128 << r.0
+}
+
+/// One resident warp.
+#[derive(Debug, Clone)]
+pub struct WarpState {
+    /// Kernel this warp replays.
+    pub kernel: Arc<KernelTrace>,
+    /// CTA index within the grid.
+    pub cta_index: usize,
+    /// Warp index within the CTA.
+    pub warp_index: usize,
+    /// Resident-CTA handle this warp belongs to (slot id in the SM).
+    pub cta_slot: usize,
+    /// Stream for statistics.
+    pub stream: StreamId,
+    /// Next instruction index in the warp's trace.
+    pub pc: usize,
+    /// Bitmask of registers with writes in flight (bit = register id).
+    pub pending_writes: u128,
+    /// Current blocking status.
+    pub status: WarpStatus,
+    /// Issue order tiebreaker: launch sequence (lower = older).
+    pub age: u64,
+}
+
+impl WarpState {
+    /// A fresh warp at the start of its trace.
+    pub fn new(
+        kernel: Arc<KernelTrace>,
+        cta_index: usize,
+        warp_index: usize,
+        cta_slot: usize,
+        stream: StreamId,
+        age: u64,
+    ) -> Self {
+        WarpState {
+            kernel,
+            cta_index,
+            warp_index,
+            cta_slot,
+            stream,
+            pc: 0,
+            pending_writes: 0,
+            status: WarpStatus::Ready,
+            age,
+        }
+    }
+
+    /// The next instruction to issue, if the trace has one.
+    pub fn next_instr(&self) -> Option<&Instr> {
+        self.kernel.ctas[self.cta_index].warps[self.warp_index].get(self.pc)
+    }
+
+    /// Whether the scoreboard blocks `instr` (RAW on sources, WAW on the
+    /// destination).
+    pub fn scoreboard_blocks(&self, instr: &Instr) -> bool {
+        if self.pending_writes == 0 {
+            return false;
+        }
+        instr.src_regs().any(|r| self.pending_writes & reg_bit(r) != 0)
+            || instr.dst.is_some_and(|d| self.pending_writes & reg_bit(d) != 0)
+    }
+
+    /// Mark `reg` as having a write in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register id is 128 or higher (trace generators keep
+    /// dependency register ids small).
+    pub fn set_pending(&mut self, reg: Reg) {
+        self.pending_writes |= reg_bit(reg);
+    }
+
+    /// A write to `reg` has retired.
+    pub fn clear_pending(&mut self, reg: Reg) {
+        self.pending_writes &= !reg_bit(reg);
+    }
+
+    /// Advance past the just-issued instruction.
+    pub fn advance(&mut self) {
+        self.pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_trace::{CtaTrace, MemAccess, Op, Space, WarpTrace};
+
+    fn warp_with(instrs: Vec<Instr>) -> WarpState {
+        let mut w = WarpTrace::new();
+        w.extend(instrs);
+        w.seal();
+        let k = KernelTrace::new("k", 32, 8, 0, vec![CtaTrace::new(vec![w])]);
+        WarpState::new(Arc::new(k), 0, 0, 0, StreamId(0), 0)
+    }
+
+    #[test]
+    fn cursor_walks_the_trace() {
+        let mut w = warp_with(vec![Instr::alu(Op::IntAlu, Reg(1), &[]), Instr::branch()]);
+        assert_eq!(w.next_instr().unwrap().op, Op::IntAlu);
+        w.advance();
+        assert_eq!(w.next_instr().unwrap().op, Op::Branch);
+        w.advance();
+        assert_eq!(w.next_instr().unwrap().op, Op::Exit);
+        w.advance();
+        assert!(w.next_instr().is_none());
+    }
+
+    #[test]
+    fn raw_hazard_blocks() {
+        let mut w = warp_with(vec![Instr::alu(Op::FpFma, Reg(2), &[Reg(1)])]);
+        let i = w.next_instr().unwrap().clone();
+        assert!(!w.scoreboard_blocks(&i));
+        w.set_pending(Reg(1));
+        assert!(w.scoreboard_blocks(&i), "RAW on r1");
+        w.clear_pending(Reg(1));
+        assert!(!w.scoreboard_blocks(&i));
+    }
+
+    #[test]
+    fn waw_hazard_blocks() {
+        let mut w = warp_with(vec![Instr::alu(Op::FpFma, Reg(2), &[])]);
+        let i = w.next_instr().unwrap().clone();
+        w.set_pending(Reg(2));
+        assert!(w.scoreboard_blocks(&i), "WAW on r2");
+    }
+
+    #[test]
+    fn stores_reading_pending_data_block() {
+        let mut w = warp_with(vec![Instr::store(
+            Reg(3),
+            MemAccess::coalesced(Space::Global, crisp_trace::DataClass::Compute, 4, 0, 32),
+        )]);
+        let i = w.next_instr().unwrap().clone();
+        w.set_pending(Reg(3));
+        assert!(w.scoreboard_blocks(&i));
+    }
+}

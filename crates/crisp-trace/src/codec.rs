@@ -1,0 +1,484 @@
+//! Compact binary serialization for trace bundles.
+//!
+//! Trace-driven simulation lives and dies by trace files — the CRISP
+//! artifact ships hundreds of gigabytes of them. This codec stores a
+//! [`TraceBundle`] in a dense binary form: one byte per opcode,
+//! LEB128 varints for counts, and zig-zag delta encoding for per-lane
+//! addresses (consecutive lanes usually touch consecutive addresses, so
+//! deltas are tiny). No external crates; plain `std::io`.
+//!
+//! # Example
+//!
+//! ```
+//! # use crisp_trace::*;
+//! # use crisp_trace::codec::{read_bundle, write_bundle};
+//! let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+//! let mut w = WarpTrace::new();
+//! w.push(Instr::alu(Op::FpFma, Reg(1), &[Reg(2)]));
+//! w.seal();
+//! s.launch(KernelTrace::new("k", 32, 8, 0, vec![CtaTrace::new(vec![w])]));
+//! let bundle = TraceBundle::from_streams(vec![s]);
+//!
+//! let mut buf = Vec::new();
+//! write_bundle(&bundle, &mut buf)?;
+//! let back = read_bundle(&mut buf.as_slice())?;
+//! assert_eq!(bundle, back);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::isa::{DataClass, Instr, MemAccess, Op, Reg, Space, MAX_SRCS};
+use crate::kernel::{CtaTrace, KernelTrace, WarpTrace};
+use crate::stream::{Command, Stream, StreamId, StreamKind, TraceBundle};
+
+const MAGIC: &[u8; 4] = b"CRSP";
+const VERSION: u32 = 1;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        if shift >= 64 {
+            return Err(bad("varint overflow"));
+        }
+        v |= ((b[0] & 0x7F) as u64) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn space_tag(s: Space) -> u8 {
+    match s {
+        Space::Global => 0,
+        Space::Shared => 1,
+        Space::Local => 2,
+        Space::Tex => 3,
+    }
+}
+
+fn tag_space(t: u8) -> io::Result<Space> {
+    Ok(match t {
+        0 => Space::Global,
+        1 => Space::Shared,
+        2 => Space::Local,
+        3 => Space::Tex,
+        _ => return Err(bad("bad space tag")),
+    })
+}
+
+fn op_tag(op: Op) -> u8 {
+    match op {
+        Op::IntAlu => 0,
+        Op::FpAlu => 1,
+        Op::FpMul => 2,
+        Op::FpFma => 3,
+        Op::Sfu => 4,
+        Op::Tensor => 5,
+        Op::Branch => 6,
+        Op::Bar => 7,
+        Op::Exit => 8,
+        Op::Ld(s) => 9 + space_tag(s),
+        Op::St(s) => 13 + space_tag(s),
+    }
+}
+
+fn tag_op(t: u8) -> io::Result<Op> {
+    Ok(match t {
+        0 => Op::IntAlu,
+        1 => Op::FpAlu,
+        2 => Op::FpMul,
+        3 => Op::FpFma,
+        4 => Op::Sfu,
+        5 => Op::Tensor,
+        6 => Op::Branch,
+        7 => Op::Bar,
+        8 => Op::Exit,
+        9..=12 => Op::Ld(tag_space(t - 9)?),
+        13..=16 => Op::St(tag_space(t - 13)?),
+        _ => return Err(bad("bad op tag")),
+    })
+}
+
+fn class_tag(c: DataClass) -> u8 {
+    match c {
+        DataClass::Texture => 0,
+        DataClass::Pipeline => 1,
+        DataClass::Compute => 2,
+    }
+}
+
+fn tag_class(t: u8) -> io::Result<DataClass> {
+    Ok(match t {
+        0 => DataClass::Texture,
+        1 => DataClass::Pipeline,
+        2 => DataClass::Compute,
+        _ => return Err(bad("bad class tag")),
+    })
+}
+
+fn write_instr<W: Write>(w: &mut W, i: &Instr) -> io::Result<()> {
+    w.write_all(&[op_tag(i.op)])?;
+    let dst = i.dst.map_or(u16::MAX, |r| r.0);
+    w.write_all(&dst.to_le_bytes())?;
+    for s in &i.srcs {
+        let v = s.map_or(u16::MAX, |r| r.0);
+        w.write_all(&v.to_le_bytes())?;
+    }
+    if let Some(m) = &i.mem {
+        w.write_all(&[space_tag(m.space), class_tag(m.class), m.width])?;
+        write_varint(w, m.addrs.len() as u64)?;
+        let mut prev = 0i64;
+        for &a in &m.addrs {
+            let delta = a as i64 - prev;
+            write_varint(w, zigzag(delta))?;
+            prev = a as i64;
+        }
+    }
+    Ok(())
+}
+
+fn read_instr<R: Read>(r: &mut R) -> io::Result<Instr> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let op = tag_op(tag[0])?;
+    let mut u16buf = [0u8; 2];
+    r.read_exact(&mut u16buf)?;
+    let dst_raw = u16::from_le_bytes(u16buf);
+    let dst = (dst_raw != u16::MAX).then_some(Reg(dst_raw));
+    let mut srcs = [None; MAX_SRCS];
+    for s in &mut srcs {
+        r.read_exact(&mut u16buf)?;
+        let v = u16::from_le_bytes(u16buf);
+        *s = (v != u16::MAX).then_some(Reg(v));
+    }
+    let mem = if op.is_mem() {
+        let mut hdr = [0u8; 3];
+        r.read_exact(&mut hdr)?;
+        let space = tag_space(hdr[0])?;
+        let class = tag_class(hdr[1])?;
+        let width = hdr[2];
+        let n = read_varint(r)? as usize;
+        if n == 0 || n > crate::WARP_SIZE {
+            return Err(bad("bad lane count"));
+        }
+        let mut addrs = Vec::with_capacity(n);
+        let mut prev = 0i64;
+        for _ in 0..n {
+            let delta = unzigzag(read_varint(r)?);
+            prev = prev.wrapping_add(delta);
+            addrs.push(prev as u64);
+        }
+        Some(MemAccess { space, class, width, addrs })
+    } else {
+        None
+    };
+    Ok(Instr { op, dst, srcs, mem })
+}
+
+fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_varint(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
+    let n = read_varint(r)? as usize;
+    if n > 1 << 20 {
+        return Err(bad("string too long"));
+    }
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad("invalid utf-8"))
+}
+
+fn write_kernel<W: Write>(w: &mut W, k: &KernelTrace) -> io::Result<()> {
+    write_string(w, &k.name)?;
+    w.write_all(&k.block_threads.to_le_bytes())?;
+    w.write_all(&k.regs_per_thread.to_le_bytes())?;
+    w.write_all(&k.smem_per_cta.to_le_bytes())?;
+    write_varint(w, k.ctas.len() as u64)?;
+    for cta in &k.ctas {
+        write_varint(w, cta.warps.len() as u64)?;
+        for warp in &cta.warps {
+            write_varint(w, warp.len() as u64)?;
+            for i in warp.iter() {
+                write_instr(w, i)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_kernel<R: Read>(r: &mut R) -> io::Result<KernelTrace> {
+    let name = read_string(r)?;
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let block_threads = u32::from_le_bytes(u32buf);
+    r.read_exact(&mut u32buf)?;
+    let regs = u32::from_le_bytes(u32buf);
+    r.read_exact(&mut u32buf)?;
+    let smem = u32::from_le_bytes(u32buf);
+    let grid = read_varint(r)? as usize;
+    let mut ctas = Vec::with_capacity(grid.min(1 << 20));
+    for _ in 0..grid {
+        let n_warps = read_varint(r)? as usize;
+        let mut warps = Vec::with_capacity(n_warps.min(64));
+        for _ in 0..n_warps {
+            let n_instrs = read_varint(r)? as usize;
+            let mut warp = WarpTrace::new();
+            for _ in 0..n_instrs {
+                warp.push(read_instr(r)?);
+            }
+            warps.push(warp);
+        }
+        ctas.push(CtaTrace::new(warps));
+    }
+    Ok(KernelTrace::new(name, block_threads, regs, smem, ctas))
+}
+
+/// Write a bundle in the CRSP binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_bundle<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_varint(w, bundle.streams.len() as u64)?;
+    for s in &bundle.streams {
+        w.write_all(&s.id.0.to_le_bytes())?;
+        w.write_all(&[match s.kind {
+            StreamKind::Graphics => 0,
+            StreamKind::Compute => 1,
+        }])?;
+        write_varint(w, s.commands.len() as u64)?;
+        for c in &s.commands {
+            match c {
+                Command::Launch(k) => {
+                    w.write_all(&[0])?;
+                    write_kernel(w, k)?;
+                }
+                Command::Marker(m) => {
+                    w.write_all(&[1])?;
+                    write_string(w, m)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read a bundle written by [`write_bundle`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic number, version or structure, and
+/// propagates underlying I/O errors.
+pub fn read_bundle<R: Read>(r: &mut R) -> io::Result<TraceBundle> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a CRSP trace (bad magic)"));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(bad("unsupported CRSP trace version"));
+    }
+    let n_streams = read_varint(r)? as usize;
+    let mut streams = Vec::with_capacity(n_streams.min(1024));
+    for _ in 0..n_streams {
+        r.read_exact(&mut u32buf)?;
+        let id = StreamId(u32::from_le_bytes(u32buf));
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind)?;
+        let kind = match kind[0] {
+            0 => StreamKind::Graphics,
+            1 => StreamKind::Compute,
+            _ => return Err(bad("bad stream kind")),
+        };
+        let n_cmds = read_varint(r)? as usize;
+        let mut s = Stream::new(id, kind);
+        for _ in 0..n_cmds {
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            match tag[0] {
+                0 => {
+                    s.launch(read_kernel(r)?);
+                }
+                1 => {
+                    s.marker(read_string(r)?);
+                }
+                _ => return Err(bad("bad command tag")),
+            }
+        }
+        streams.push(s);
+    }
+    Ok(TraceBundle::from_streams(streams))
+}
+
+/// Write a bundle to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(bundle: &TraceBundle, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_bundle(bundle, &mut f)?;
+    f.flush()
+}
+
+/// Read a bundle from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and format errors from [`read_bundle`].
+pub fn load(path: impl AsRef<std::path::Path>) -> io::Result<TraceBundle> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_bundle(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{DataClass, Instr, MemAccess, Op, Reg, Space};
+
+    fn sample_bundle() -> TraceBundle {
+        let mut w = WarpTrace::new();
+        w.push(Instr::alu(Op::FpFma, Reg(3), &[Reg(1), Reg(2)]));
+        w.push(Instr::load(
+            Reg(4),
+            MemAccess::coalesced(Space::Global, DataClass::Compute, 4, 0x1234_5678, 32),
+        ));
+        w.push(Instr::load(
+            Reg(5),
+            MemAccess::scattered(Space::Tex, DataClass::Texture, 8, vec![500, 100, 900_000]),
+        ));
+        w.push(Instr::store(
+            Reg(3),
+            MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, 16),
+        ));
+        w.push(Instr::bar());
+        w.push(Instr::branch());
+        w.seal();
+        let k = KernelTrace::new("kern", 64, 24, 4096, vec![CtaTrace::new(vec![w.clone(), w])]);
+        let mut g = Stream::new(StreamId(0), StreamKind::Graphics);
+        g.marker("draw:x").launch(k.clone());
+        let mut c = Stream::new(StreamId(1), StreamKind::Compute);
+        c.launch(k);
+        TraceBundle::from_streams(vec![g, c])
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let b = sample_bundle();
+        let mut buf = Vec::new();
+        write_bundle(&b, &mut buf).unwrap();
+        let back = read_bundle(&mut buf.as_slice()).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let b = sample_bundle();
+        let mut buf = Vec::new();
+        write_bundle(&b, &mut buf).unwrap();
+        // 2 streams × (7 instrs × 2 warps); a coalesced 32-lane access costs
+        // a couple of bytes per lane, not 8.
+        assert!(buf.len() < 900, "encoding too large: {} bytes", buf.len());
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN + 1] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = b"NOPE".to_vec();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        assert!(read_bundle(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let b = sample_bundle();
+        let mut buf = Vec::new();
+        write_bundle(&b, &mut buf).unwrap();
+        for cut in [5, 10, buf.len() / 2, buf.len() - 1] {
+            assert!(read_bundle(&mut buf[..cut].to_vec().as_slice()).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let b = sample_bundle();
+        let p = std::env::temp_dir().join("crisp_codec_test.crsp");
+        save(&b, &p).unwrap();
+        let back = load(&p).unwrap();
+        assert_eq!(b, back);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn all_op_tags_roundtrip() {
+        let spaces = [Space::Global, Space::Shared, Space::Local, Space::Tex];
+        let mut ops = vec![
+            Op::IntAlu,
+            Op::FpAlu,
+            Op::FpMul,
+            Op::FpFma,
+            Op::Sfu,
+            Op::Tensor,
+            Op::Branch,
+            Op::Bar,
+            Op::Exit,
+        ];
+        for s in spaces {
+            ops.push(Op::Ld(s));
+            ops.push(Op::St(s));
+        }
+        for op in ops {
+            assert_eq!(tag_op(op_tag(op)).unwrap(), op);
+        }
+    }
+}

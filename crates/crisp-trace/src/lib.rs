@@ -1,0 +1,40 @@
+//! Trace ISA and stream model for the CRISP GPU simulator.
+//!
+//! CRISP is trace-driven, like Accel-Sim: frontends (the functional graphics
+//! pipeline in `crisp-gfx`, the compute-workload generators in `crisp-scenes`)
+//! produce instruction traces, and the timing model (`crisp-sim`) replays them
+//! cycle by cycle. This crate defines the interchange format.
+//!
+//! A trace records, per warp, the dynamic instruction stream with
+//! register-level dependencies and per-lane memory addresses — exactly the
+//! information Accel-Sim's SASS tracer captures on silicon, and all that a
+//! cycle-level timing model needs. Traces are organised as
+//! [`Instr`] → [`WarpTrace`] → [`CtaTrace`] → [`KernelTrace`] →
+//! [`Stream`] → [`TraceBundle`].
+//!
+//! # Example
+//!
+//! ```
+//! use crisp_trace::{Instr, Op, Reg, Space, DataClass, MemAccess, WarpTrace};
+//!
+//! let mut w = WarpTrace::new();
+//! // A global load into r1 followed by a dependent FMA.
+//! w.push(Instr::load(
+//!     Reg(1),
+//!     MemAccess::coalesced(Space::Global, DataClass::Compute, 4, 0x1000, 32),
+//! ));
+//! w.push(Instr::alu(Op::FpFma, Reg(2), &[Reg(1), Reg(2)]));
+//! w.push(Instr::exit());
+//! assert_eq!(w.len(), 3);
+//! ```
+
+mod analysis;
+pub mod codec;
+mod isa;
+mod kernel;
+mod stream;
+
+pub use analysis::{ClassFootprint, InstrMix, ReuseHistogram, TexLinesHistogram, LINE_BYTES, SECTOR_BYTES};
+pub use isa::{DataClass, Instr, MemAccess, Op, Reg, Space, MAX_SRCS, WARP_SIZE};
+pub use kernel::{CtaTrace, KernelTrace, WarpTrace};
+pub use stream::{Command, Stream, StreamId, StreamKind, TraceBundle};

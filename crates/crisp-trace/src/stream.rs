@@ -1,0 +1,207 @@
+//! Streams and trace bundles.
+//!
+//! A stream is an in-order sequence of commands, mirroring CUDA streams and
+//! Vulkan queue submissions. The paper treats each rendering batch as a
+//! stream command and gives the compute kernel its program-defined stream;
+//! CRISP aggregates statistics *per stream* (Section III-A, citing the
+//! per-stream stat work of Qiao et al.).
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::KernelTrace;
+
+/// Identifier of a stream within a [`TraceBundle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// What kind of work a stream carries; partition policies use this to decide
+/// which side of the GPU a stream's CTAs land on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// Raster graphics rendering (vertex + fragment shading kernels).
+    Graphics,
+    /// General-purpose compute (CUDA-style kernels).
+    Compute,
+}
+
+/// One in-order command in a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Launch a kernel; the next command does not begin until it drains
+    /// (within this stream — other streams proceed concurrently).
+    Launch(KernelTrace),
+    /// A boundary marker (drawcall or API event). Dynamic partitioners reset
+    /// their sampling at these (paper: "the dynamic partition is reset ...
+    /// at the new drawcall for rendering workloads").
+    Marker(String),
+}
+
+/// An in-order sequence of commands sharing one [`StreamId`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stream {
+    /// Stream identifier; unique within a bundle.
+    pub id: StreamId,
+    /// Work classification.
+    pub kind: StreamKind,
+    /// Ordered commands.
+    pub commands: Vec<Command>,
+}
+
+impl Stream {
+    /// An empty stream.
+    pub fn new(id: StreamId, kind: StreamKind) -> Self {
+        Stream { id, kind, commands: Vec::new() }
+    }
+
+    /// Append a kernel launch.
+    pub fn launch(&mut self, k: KernelTrace) -> &mut Self {
+        self.commands.push(Command::Launch(k));
+        self
+    }
+
+    /// Append a marker.
+    pub fn marker(&mut self, label: impl Into<String>) -> &mut Self {
+        self.commands.push(Command::Marker(label.into()));
+        self
+    }
+
+    /// Number of kernel launches in the stream.
+    pub fn kernel_count(&self) -> usize {
+        self.commands
+            .iter()
+            .filter(|c| matches!(c, Command::Launch(_)))
+            .count()
+    }
+
+    /// Iterate over the kernels in launch order.
+    pub fn kernels(&self) -> impl Iterator<Item = &KernelTrace> {
+        self.commands.iter().filter_map(|c| match c {
+            Command::Launch(k) => Some(k),
+            Command::Marker(_) => None,
+        })
+    }
+
+    /// Total dynamic instructions over all kernels.
+    pub fn instr_count(&self) -> usize {
+        self.kernels().map(KernelTrace::instr_count).sum()
+    }
+}
+
+/// A set of streams replayed together — the unit of concurrent simulation.
+///
+/// Execution traces "can be collected separately for each task and replayed
+/// together to achieve concurrent execution" (paper Section III); a bundle is
+/// the replayed-together set.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceBundle {
+    /// Streams, in no particular order; ids must be unique.
+    pub streams: Vec<Stream>,
+}
+
+impl TraceBundle {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        TraceBundle::default()
+    }
+
+    /// A bundle from streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two streams share an id.
+    pub fn from_streams(streams: Vec<Stream>) -> Self {
+        let mut ids: Vec<_> = streams.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "duplicate stream ids in bundle");
+        TraceBundle { streams }
+    }
+
+    /// Add a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id already exists.
+    pub fn push(&mut self, s: Stream) {
+        assert!(
+            self.streams.iter().all(|x| x.id != s.id),
+            "duplicate stream id {}",
+            s.id
+        );
+        self.streams.push(s);
+    }
+
+    /// Look up a stream by id.
+    pub fn stream(&self, id: StreamId) -> Option<&Stream> {
+        self.streams.iter().find(|s| s.id == id)
+    }
+
+    /// Total dynamic instruction count over every stream.
+    pub fn instr_count(&self) -> usize {
+        self.streams.iter().map(Stream::instr_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, Op, Reg};
+    use crate::kernel::{CtaTrace, WarpTrace};
+
+    fn tiny_kernel(name: &str) -> KernelTrace {
+        let mut w = WarpTrace::new();
+        w.push(Instr::alu(Op::IntAlu, Reg(0), &[]));
+        w.seal();
+        KernelTrace::new(name, 32, 8, 0, vec![CtaTrace::new(vec![w])])
+    }
+
+    #[test]
+    fn stream_orders_commands() {
+        let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+        s.marker("start").launch(tiny_kernel("a")).launch(tiny_kernel("b"));
+        assert_eq!(s.kernel_count(), 2);
+        assert_eq!(s.kernels().map(|k| k.name.as_str()).collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(s.instr_count(), 4); // 2 kernels × (alu + exit)
+    }
+
+    #[test]
+    fn bundle_lookup() {
+        let mut b = TraceBundle::new();
+        b.push(Stream::new(StreamId(0), StreamKind::Graphics));
+        b.push(Stream::new(StreamId(1), StreamKind::Compute));
+        assert_eq!(b.stream(StreamId(1)).unwrap().kind, StreamKind::Compute);
+        assert!(b.stream(StreamId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stream id")]
+    fn bundle_rejects_duplicate_ids() {
+        let mut b = TraceBundle::new();
+        b.push(Stream::new(StreamId(0), StreamKind::Graphics));
+        b.push(Stream::new(StreamId(0), StreamKind::Compute));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stream ids")]
+    fn from_streams_rejects_duplicates() {
+        let _ = TraceBundle::from_streams(vec![
+            Stream::new(StreamId(2), StreamKind::Graphics),
+            Stream::new(StreamId(2), StreamKind::Compute),
+        ]);
+    }
+
+    #[test]
+    fn bundle_types_are_serializable() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<TraceBundle>();
+        assert_serde::<Stream>();
+        assert_serde::<Command>();
+    }
+}

@@ -1,0 +1,45 @@
+//! Experiment customization: define your own GPU configuration.
+//!
+//! The paper's artifact appendix: "Customization can be done by adjusting
+//! the GPU configuration file." Here we sketch a hypothetical next-gen
+//! mobile XR part (more SMs than Orin, wider DRAM) and compare a mixed
+//! rendering+VIO workload across the three machines.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example custom_gpu
+//! ```
+
+use crisp_core::prelude::*;
+use crisp_core::{concurrent_bundle, simulate, COMPUTE_STREAM, GRAPHICS_STREAM};
+
+fn main() {
+    // A custom part: 24 SMs at 1.1 GHz with 273 GB/s (an XR SoC sketch).
+    let mut xr_soc = GpuConfig::jetson_orin();
+    xr_soc.name = "XR-SoC (custom)".into();
+    xr_soc.n_sms = 24;
+    xr_soc.core_clock_mhz = 1100.0;
+    xr_soc.dram_gbps = 273.0;
+    xr_soc.l2_bytes = 8 << 20; // 8 MB L2
+    xr_soc.l2_banks = 16;
+
+    let scene = Scene::build(SceneId::SponzaPbr, 0.5);
+
+    println!("{:<18} {:>12} {:>10} {:>10}", "GPU", "makespan cy", "ms", "L2 hit");
+    for gpu in [GpuConfig::jetson_orin(), GpuConfig::rtx3070(), xr_soc] {
+        let frame = scene.render(160, 90, false, GRAPHICS_STREAM);
+        let spec = PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM);
+        let r = simulate(
+            gpu.clone(),
+            spec,
+            concurrent_bundle(frame.trace, vio(COMPUTE_STREAM, ComputeScale::tiny())),
+        );
+        println!(
+            "{:<18} {:>12} {:>10.4} {:>9.1}%",
+            gpu.name,
+            r.makespan(),
+            gpu.cycles_to_ms(r.makespan()),
+            r.l2_stats.total().hit_rate() * 100.0
+        );
+    }
+}

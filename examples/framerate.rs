@@ -1,0 +1,48 @@
+//! Frame-rate study: how much FPS does a rendering workload lose when a
+//! system service shares the GPU, under different partitions?
+//!
+//! Simulates a short orbiting-camera sequence of the Platformer scene,
+//! alone and with the VIO pipeline running concurrently, and reports
+//! per-frame times and effective FPS (at the simulated GPU's clock; the
+//! scaled scenes are far lighter than real games, so FPS values are only
+//! comparable to each other).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example framerate
+//! ```
+
+use crisp_core::prelude::*;
+use crisp_core::{COMPUTE_STREAM, GRAPHICS_STREAM};
+
+fn main() {
+    let gpu = GpuConfig::jetson_orin();
+    let scene = Scene::build(SceneId::Platformer, 0.4);
+    let frames = 4;
+
+    let alone = simulate_frames(&scene, 160, 90, frames, &gpu, PartitionSpec::greedy(), None);
+
+    let spec = PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM);
+    let shared = simulate_frames(
+        &scene,
+        160,
+        90,
+        frames,
+        &gpu,
+        spec,
+        Some(vio(COMPUTE_STREAM, ComputeScale { factor: 0.5 })),
+    );
+
+    println!("PL sequence on {} ({} frames):\n", gpu.name, frames);
+    println!("{:<8} {:>14} {:>14}", "frame", "alone (cy)", "with VIO (cy)");
+    for i in 0..frames {
+        println!("{:<8} {:>14} {:>14}", i, alone.frame_cycles(i), shared.frame_cycles(i));
+    }
+    println!(
+        "\nFPS alone: {:.0}   FPS with VIO: {:.0}   ({:.1}% frame-time overhead)",
+        alone.fps(&gpu),
+        shared.fps(&gpu),
+        (alone.fps(&gpu) / shared.fps(&gpu) - 1.0) * 100.0
+    );
+    println!("\nshared run summary:\n{}", shared.result.summary());
+}

@@ -1,0 +1,28 @@
+//! Render every evaluated scene to a PPM image (the paper's Figures 5/8
+//! visuals), including the Sponza LoD on/off comparison.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example render_gallery
+//! ```
+//!
+//! Images are written to `target/gallery/`.
+
+use crisp_core::experiments::render_scene_to_ppm;
+use crisp_core::Resolution;
+use crisp_scenes::SceneId;
+
+fn main() -> std::io::Result<()> {
+    let out = std::path::Path::new("target/gallery");
+    std::fs::create_dir_all(out)?;
+    for id in SceneId::ALL {
+        let path = out.join(format!("{}.ppm", id.label().to_lowercase()));
+        let cov = render_scene_to_ppm(id, 1.0, Resolution::Scaled2K, false, &path)?;
+        println!("{:<4} -> {} (coverage {:.1}%)", id.label(), path.display(), cov * 100.0);
+    }
+    // Figure 8: Sponza with LoD forced off (mip 0 everywhere) aliases.
+    let lod0 = out.join("spl_lod0.ppm");
+    let cov = render_scene_to_ppm(SceneId::SponzaKhronos, 1.0, Resolution::Scaled2K, true, &lod0)?;
+    println!("SPL (LoD off) -> {} (coverage {:.1}%)", lod0.display(), cov * 100.0);
+    Ok(())
+}
