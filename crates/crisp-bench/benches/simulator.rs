@@ -1,47 +1,67 @@
-//! Criterion micro-benchmarks of the simulator's own building blocks plus
-//! an end-to-end frame simulation. These measure *simulator* performance
+//! Micro-benchmarks of the simulator's own building blocks plus an
+//! end-to-end frame simulation. These measure *simulator* performance
 //! (host-side), complementing the figure binaries that measure *simulated*
 //! performance.
+//!
+//! The harness is hand-rolled (`std::time`) so the workspace stays free of
+//! external crates and `cargo bench` works without registry access.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
 
 use crisp_core::prelude::*;
 use crisp_core::{simulate, GRAPHICS_STREAM};
 use crisp_trace::TraceBundle;
 
-fn bench_cache(c: &mut Criterion) {
-    use crisp_mem::{AccessKind, CacheCore, CacheGeometry, MemReq, ReqToken};
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("l2_access_fill_mixed", |b| {
-        b.iter_batched(
-            || CacheCore::new(CacheGeometry { size_bytes: 256 << 10, assoc: 16 }),
-            |mut cache| {
-                let w = (0, cache.num_sets());
-                let tok = ReqToken { sm: 0, id: 0 };
-                for i in 0..10_000u64 {
-                    let addr = (i * 97) % (1 << 22);
-                    let r = MemReq::read(addr, StreamId(0), DataClass::Compute, tok);
-                    if cache.access(&r, AccessKind::Read, w) != crisp_mem::AccessOutcome::Hit {
-                        let _ = cache.fill(
-                            r.line_addr(),
-                            r.sector_in_line(),
-                            StreamId(0),
-                            DataClass::Compute,
-                            false,
-                            w,
-                        );
-                    }
-                }
-                cache
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+/// Run `f` repeatedly for a handful of timed iterations (after one warmup)
+/// and report the best per-iteration time plus derived throughput.
+fn bench<R>(name: &str, elements: u64, iters: u32, mut f: impl FnMut() -> R) {
+    let _ = std::hint::black_box(f()); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let _ = std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let rate = if best > 0.0 {
+        elements as f64 / best
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{name:<28} {:>10.3} ms/iter {:>14.0} elems/s",
+        best * 1e3,
+        rate
+    );
 }
 
-fn bench_raster(c: &mut Criterion) {
+fn bench_cache() {
+    use crisp_mem::{AccessKind, CacheCore, CacheGeometry, MemReq, ReqToken};
+    bench("cache/l2_access_fill_mixed", 10_000, 20, || {
+        let mut cache = CacheCore::new(CacheGeometry {
+            size_bytes: 256 << 10,
+            assoc: 16,
+        });
+        let w = (0, cache.num_sets());
+        let tok = ReqToken { sm: 0, id: 0 };
+        for i in 0..10_000u64 {
+            let addr = (i * 97) % (1 << 22);
+            let r = MemReq::read(addr, StreamId(0), DataClass::Compute, tok);
+            if cache.access(&r, AccessKind::Read, w) != crisp_mem::AccessOutcome::Hit {
+                let _ = cache.fill(
+                    r.line_addr(),
+                    r.sector_in_line(),
+                    StreamId(0),
+                    DataClass::Compute,
+                    false,
+                    w,
+                );
+            }
+        }
+        cache
+    });
+}
+
+fn bench_raster() {
     use crisp_gfx::raster::{rasterize, ScreenVertex};
     use crisp_gfx::{Framebuffer, Vec2, Vec3, Vec4};
     let sv = |x: f32, y: f32, u: f32, v: f32| ScreenVertex {
@@ -53,28 +73,20 @@ fn bench_raster(c: &mut Criterion) {
         normal: Vec3::new(0.0, 0.0, 1.0),
         layer: 0,
     };
-    let mut g = c.benchmark_group("raster");
-    g.throughput(Throughput::Elements(256 * 256 / 2));
-    g.bench_function("triangle_256px", |b| {
-        b.iter_batched(
-            || Framebuffer::new(256, 256),
-            |mut fb| {
-                let tri = [
-                    sv(0.0, 0.0, 0.0, 0.0),
-                    sv(0.0, 256.0, 0.0, 1.0),
-                    sv(256.0, 256.0, 1.0, 1.0),
-                ];
-                let frags = rasterize(&tri, &mut fb);
-                assert!(!frags.is_empty());
-                (fb, frags)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("raster/triangle_256px", 256 * 256 / 2, 20, || {
+        let mut fb = Framebuffer::new(256, 256);
+        let tri = [
+            sv(0.0, 0.0, 0.0, 0.0),
+            sv(0.0, 256.0, 0.0, 1.0),
+            sv(256.0, 256.0, 1.0, 1.0),
+        ];
+        let frags = rasterize(&tri, &mut fb);
+        assert!(!frags.is_empty());
+        (fb, frags)
     });
-    g.finish();
 }
 
-fn bench_batching(c: &mut Criterion) {
+fn bench_batching() {
     use crisp_gfx::batch::vs_invocation_count;
     // A 100×100 grid's index stream: ~60k indices with heavy reuse.
     let mut idx = Vec::new();
@@ -85,65 +97,63 @@ fn bench_batching(c: &mut Criterion) {
             idx.extend_from_slice(&[a, a + 1, a + w, a + 1, a + w + 1, a + w]);
         }
     }
-    let mut g = c.benchmark_group("batching");
-    g.throughput(Throughput::Elements(idx.len() as u64 / 3));
-    g.bench_function("grid_100x100_batch96", |b| {
-        b.iter(|| vs_invocation_count(std::hint::black_box(&idx), 96))
-    });
-    g.finish();
+    bench(
+        "batching/grid_100x100_b96",
+        idx.len() as u64 / 3,
+        20,
+        || vs_invocation_count(std::hint::black_box(&idx), 96),
+    );
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("sponza_frame_sim_tiny", |b| {
-        let scene = Scene::build(SceneId::SponzaKhronos, 0.2);
-        b.iter(|| {
-            let f = scene.render(96, 54, false, GRAPHICS_STREAM);
-            let r = simulate(
-                GpuConfig::test_tiny(),
-                PartitionSpec::greedy(),
-                TraceBundle::from_streams(vec![f.trace]),
-            );
-            std::hint::black_box(r.cycles)
-        })
+fn bench_end_to_end() {
+    let scene = Scene::build(SceneId::SponzaKhronos, 0.2);
+    bench("e2e/sponza_frame_sim_tiny", 1, 5, || {
+        let f = scene.render(96, 54, false, GRAPHICS_STREAM);
+        let r = simulate(
+            GpuConfig::test_tiny(),
+            PartitionSpec::greedy(),
+            TraceBundle::from_streams(vec![f.trace]),
+        );
+        r.cycles
     });
-    g.bench_function("concurrent_pair_sim_tiny", |b| {
-        let scene = Scene::build(SceneId::SponzaPbr, 0.2);
-        let gpu = GpuConfig::test_tiny();
-        b.iter(|| {
-            let f = scene.render(96, 54, false, GRAPHICS_STREAM);
-            let compute = vio(crisp_core::COMPUTE_STREAM, ComputeScale::tiny());
-            let spec =
-                PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, crisp_core::COMPUTE_STREAM);
-            let r = simulate(gpu.clone(), spec, crisp_core::concurrent_bundle(f.trace, compute));
-            std::hint::black_box(r.cycles)
-        })
+    let scene = Scene::build(SceneId::SponzaPbr, 0.2);
+    let gpu = GpuConfig::test_tiny();
+    bench("e2e/concurrent_pair_tiny", 1, 5, || {
+        let f = scene.render(96, 54, false, GRAPHICS_STREAM);
+        let compute = vio(crisp_core::COMPUTE_STREAM, ComputeScale::tiny());
+        let spec = PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, crisp_core::COMPUTE_STREAM);
+        let r = simulate(
+            gpu.clone(),
+            spec,
+            crisp_core::concurrent_bundle(f.trace, compute),
+        );
+        r.cycles
     });
-    g.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec() {
     use crisp_trace::codec;
     let scene = Scene::build(SceneId::SponzaKhronos, 0.2);
     let frame = scene.render(96, 54, false, GRAPHICS_STREAM);
     let bundle = TraceBundle::from_streams(vec![frame.trace]);
     let mut buf = Vec::new();
     codec::write_bundle(&bundle, &mut buf).expect("encode");
-    let mut g = c.benchmark_group("codec");
-    g.throughput(Throughput::Bytes(buf.len() as u64));
-    g.bench_function("encode", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(buf.len());
-            codec::write_bundle(std::hint::black_box(&bundle), &mut out).expect("encode");
-            out
-        })
+    let bytes = buf.len() as u64;
+    bench("codec/encode", bytes, 10, || {
+        let mut out = Vec::with_capacity(buf.len());
+        codec::write_bundle(std::hint::black_box(&bundle), &mut out).expect("encode");
+        out
     });
-    g.bench_function("decode", |b| {
-        b.iter(|| codec::read_bundle(&mut std::hint::black_box(&buf).as_slice()).expect("decode"))
+    bench("codec/decode", bytes, 10, || {
+        codec::read_bundle(&mut std::hint::black_box(&buf).as_slice()).expect("decode")
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_raster, bench_batching, bench_codec, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    println!("{:<28} {:>15} {:>17}", "benchmark", "time", "throughput");
+    bench_cache();
+    bench_raster();
+    bench_batching();
+    bench_codec();
+    bench_end_to_end();
+}

@@ -4,7 +4,10 @@ use crisp_core::experiments as exp;
 
 fn main() {
     let s = crisp_bench::scale();
-    crisp_bench::emit("ablation_batch_size", &exp::ablation_batch_size(s).to_table());
+    crisp_bench::emit(
+        "ablation_batch_size",
+        &exp::ablation_batch_size(s).to_table(),
+    );
     crisp_bench::emit("ablation_l1_ports", &exp::ablation_l1_ports(s).to_table());
     crisp_bench::emit("ablation_mshr", &exp::ablation_mshr(s).to_table());
     let sched = exp::ablation_scheduler(s);

@@ -6,11 +6,25 @@ use crisp_scenes::SceneId;
 fn main() -> std::io::Result<()> {
     let scale = crisp_bench::scale();
     let lod0 = std::env::args().any(|a| a == "--lod0");
-    let path = crisp_bench::out_dir().join(if lod0 { "fig05_planets_lod0.ppm" } else { "fig05_planets.ppm" });
-    let cov = render_scene_to_ppm(SceneId::Planets, scale.detail, Resolution::Scaled2K, lod0, &path)?;
+    let path = crisp_bench::out_dir().join(if lod0 {
+        "fig05_planets_lod0.ppm"
+    } else {
+        "fig05_planets.ppm"
+    });
+    let cov = render_scene_to_ppm(
+        SceneId::Planets,
+        scale.detail,
+        Resolution::Scaled2K,
+        lod0,
+        &path,
+    )?;
     crisp_bench::emit(
         "fig05_render_planets",
-        &format!("rendered planets (lod0={lod0}) to {} with {:.1}% coverage\n", path.display(), cov * 100.0),
+        &format!(
+            "rendered planets (lod0={lod0}) to {} with {:.1}% coverage\n",
+            path.display(),
+            cov * 100.0
+        ),
     );
     Ok(())
 }

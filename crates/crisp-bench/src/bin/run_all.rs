@@ -6,22 +6,64 @@ use crisp_scenes::SceneId;
 fn main() -> std::io::Result<()> {
     let s = crisp_bench::scale();
     crisp_bench::emit("table02_configs", &exp::table02_configs().to_table());
-    crisp_bench::emit("fig03_vertex_batching", &exp::fig03_vertex_batching(s).to_table());
+    crisp_bench::emit(
+        "fig03_vertex_batching",
+        &exp::fig03_vertex_batching(s).to_table(),
+    );
     let dir = crisp_bench::out_dir();
-    let cov = exp::render_scene_to_ppm(SceneId::Planets, s.detail, Resolution::Scaled2K, false, dir.join("fig05_planets.ppm"))?;
+    let cov = exp::render_scene_to_ppm(
+        SceneId::Planets,
+        s.detail,
+        Resolution::Scaled2K,
+        false,
+        dir.join("fig05_planets.ppm"),
+    )?;
     println!("fig05: planets rendered, coverage {:.1}%", cov * 100.0);
-    crisp_bench::emit("fig06_frame_correlation", &exp::fig06_frame_correlation(s).to_table());
+    crisp_bench::emit(
+        "fig06_frame_correlation",
+        &exp::fig06_frame_correlation(s).to_table(),
+    );
     crisp_bench::emit("fig07_mip_merge", &exp::fig07_mip_merge().to_table());
-    let _ = exp::render_scene_to_ppm(SceneId::SponzaKhronos, s.detail, Resolution::Scaled2K, false, dir.join("fig08_sponza_lod_on.ppm"))?;
-    let _ = exp::render_scene_to_ppm(SceneId::SponzaKhronos, s.detail, Resolution::Scaled2K, true, dir.join("fig08_sponza_lod_off.ppm"))?;
+    let _ = exp::render_scene_to_ppm(
+        SceneId::SponzaKhronos,
+        s.detail,
+        Resolution::Scaled2K,
+        false,
+        dir.join("fig08_sponza_lod_on.ppm"),
+    )?;
+    let _ = exp::render_scene_to_ppm(
+        SceneId::SponzaKhronos,
+        s.detail,
+        Resolution::Scaled2K,
+        true,
+        dir.join("fig08_sponza_lod_off.ppm"),
+    )?;
     crisp_bench::emit("fig09_lod_mape", &exp::fig09_lod_mape(s).to_table());
-    crisp_bench::emit("fig10_texlines_histogram", &exp::fig10_texlines_histogram(s).to_table());
-    crisp_bench::emit("fig11_l2_composition", &exp::fig11_l2_composition(s).to_table());
-    crisp_bench::emit("fig12_warped_slicer", &exp::fig12_warped_slicer(s).to_table());
-    crisp_bench::emit("fig13_occupancy_timeline", &exp::fig13_occupancy_timeline(s).to_table());
+    crisp_bench::emit(
+        "fig10_texlines_histogram",
+        &exp::fig10_texlines_histogram(s).to_table(),
+    );
+    crisp_bench::emit(
+        "fig11_l2_composition",
+        &exp::fig11_l2_composition(s).to_table(),
+    );
+    crisp_bench::emit(
+        "fig12_warped_slicer",
+        &exp::fig12_warped_slicer(s).to_table(),
+    );
+    crisp_bench::emit(
+        "fig13_occupancy_timeline",
+        &exp::fig13_occupancy_timeline(s).to_table(),
+    );
     crisp_bench::emit("fig14_tap", &exp::fig14_tap(s).to_table());
-    crisp_bench::emit("fig15_tap_composition", &exp::fig15_tap_composition(s).to_table());
-    crisp_bench::emit("ablation_batch_size", &exp::ablation_batch_size(s).to_table());
+    crisp_bench::emit(
+        "fig15_tap_composition",
+        &exp::fig15_tap_composition(s).to_table(),
+    );
+    crisp_bench::emit(
+        "ablation_batch_size",
+        &exp::ablation_batch_size(s).to_table(),
+    );
     crisp_bench::emit("ablation_l1_ports", &exp::ablation_l1_ports(s).to_table());
     crisp_bench::emit("ablation_mshr", &exp::ablation_mshr(s).to_table());
     Ok(())

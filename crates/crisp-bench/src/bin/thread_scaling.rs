@@ -1,0 +1,78 @@
+//! Worker-thread scaling of the sharded cycle loop.
+//!
+//! Runs the same mixed render+compute workload at 1, 2, 4 and 8 worker
+//! threads on the RTX 3070 model (46 SMs — enough per-cycle work for the
+//! shards to amortize the barrier) and reports simulated cycles/second
+//! plus the speedup over the serial loop. Results are checked to be
+//! identical at every thread count before timing is reported.
+//!
+//! `CRISP_SCALE=quick` shrinks the workload; `CRISP_THREADS=a,b,c`
+//! overrides the thread counts.
+
+use std::time::Instant;
+
+use crisp_bench::scale;
+use crisp_core::prelude::*;
+use crisp_core::{concurrent_bundle, COMPUTE_STREAM, GRAPHICS_STREAM};
+use crisp_sim::SimResult;
+
+fn bundle(scale_detail: f32, w: u32, h: u32, compute: ComputeScale) -> TraceBundle {
+    let frame = Scene::build(SceneId::SponzaPbr, scale_detail).render(w, h, false, GRAPHICS_STREAM);
+    concurrent_bundle(frame.trace, holo(COMPUTE_STREAM, compute))
+}
+
+fn run(gpu: &GpuConfig, trace: TraceBundle, threads: usize) -> (SimResult, f64) {
+    let start = Instant::now();
+    let result = Simulation::builder()
+        .gpu(gpu.clone())
+        .partition(PartitionSpec::fg_even(gpu, GRAPHICS_STREAM, COMPUTE_STREAM))
+        .threads(threads)
+        .telemetry(Telemetry::NONE)
+        .trace(trace)
+        .run();
+    let secs = start.elapsed().as_secs_f64();
+    (result, secs)
+}
+
+fn main() {
+    let s = scale();
+    let (w, h) = s.res.dims();
+    let gpu = GpuConfig::rtx3070();
+
+    let threads: Vec<usize> = std::env::var("CRISP_THREADS")
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![1, 2, 4, 8]);
+
+    println!("== thread scaling: {} ({} SMs) ==", gpu.name, gpu.n_sms);
+    println!(
+        "host parallelism: {:?}",
+        std::thread::available_parallelism()
+    );
+
+    let mut baseline: Option<(u64, f64)> = None;
+    for &n in &threads {
+        let (result, secs) = run(&gpu, bundle(s.detail, w, h, s.compute), n);
+        match baseline {
+            None => {
+                baseline = Some((result.cycles, secs));
+                println!(
+                    "{n:>2} threads: {:>12} cycles in {secs:>7.2}s = {:>10.0} cycles/s (baseline)",
+                    result.cycles,
+                    result.cycles as f64 / secs,
+                );
+            }
+            Some((cycles, serial_secs)) => {
+                assert_eq!(
+                    result.cycles, cycles,
+                    "thread count changed the simulation — determinism violated"
+                );
+                println!(
+                    "{n:>2} threads: {:>12} cycles in {secs:>7.2}s = {:>10.0} cycles/s ({:.2}x)",
+                    result.cycles,
+                    result.cycles as f64 / secs,
+                    serial_secs / secs,
+                );
+            }
+        }
+    }
+}

@@ -36,7 +36,10 @@ fn row(name: &str, s: &Stream) -> Vec<String> {
         format!("{:.0}%", (m.global_mem + m.shared_mem) as f64 / t * 100.0),
         format!("{:.0}%", m.tex as f64 / t * 100.0),
         format!("{:.2}", f.bytes(DataClass::Texture) as f64 / 1e6),
-        format!("{:.2}", (f.bytes(DataClass::Pipeline) + f.bytes(DataClass::Compute)) as f64 / 1e6),
+        format!(
+            "{:.2}",
+            (f.bytes(DataClass::Pipeline) + f.bytes(DataClass::Compute)) as f64 / 1e6
+        ),
     ]
 }
 
@@ -55,7 +58,9 @@ fn main() {
     rows.push(row("ATW", &timewarp(c, w, h, scale.compute)));
     rows.push(row("UPSCALE", &upscaler(c, scale.compute)));
     let table = crisp_core::report::table(
-        &["workload", "instrs", "fp", "int", "sfu", "tensor", "mem", "tex", "tex MB", "data MB"],
+        &[
+            "workload", "instrs", "fp", "int", "sfu", "tensor", "mem", "tex", "tex MB", "data MB",
+        ],
         &rows,
     );
     crisp_bench::emit("trace_stats", &table);

@@ -42,7 +42,9 @@ fn main() {
 
     let f11 = exp::fig11_l2_composition(s);
     let pt = f11.row(crisp_scenes::SceneId::Pistol).texture_fraction;
-    let spl = f11.row(crisp_scenes::SceneId::SponzaKhronos).texture_fraction;
+    let spl = f11
+        .row(crisp_scenes::SceneId::SponzaKhronos)
+        .texture_fraction;
     checks.push(Check {
         name: "fig11: PBR holds more texture lines than basic",
         pass: pt > spl,
@@ -86,7 +88,11 @@ fn main() {
         }
         println!("[{status}] {:<46} {}", c.name, c.detail);
     }
-    println!("\n{} / {} checks passed", checks.len() - failed, checks.len());
+    println!(
+        "\n{} / {} checks passed",
+        checks.len() - failed,
+        checks.len()
+    );
     if failed > 0 {
         std::process::exit(1);
     }

@@ -3,10 +3,10 @@
 //! granularity.
 
 use crisp_gfx::batch::vs_invocation_count;
+use crisp_mem::Replacement;
 use crisp_scenes::silicon::mape;
 use crisp_scenes::{all_scenes, holo, Scene, SceneId};
-use crisp_mem::Replacement;
-use crisp_sim::{GpuConfig, GpuSim, PartitionSpec, SchedulerPolicy};
+use crisp_sim::{GpuConfig, PartitionSpec, SchedulerPolicy, Simulation, Telemetry};
 use crisp_trace::TraceBundle;
 
 use crate::report::{f3, pct, table};
@@ -85,7 +85,10 @@ pub struct HwSweep {
 impl HwSweep {
     /// Cycles at the smallest and largest knob values.
     pub fn endpoints(&self) -> (u64, u64) {
-        (self.rows.first().expect("non-empty").1, self.rows.last().expect("non-empty").1)
+        (
+            self.rows.first().expect("non-empty").1,
+            self.rows.last().expect("non-empty").1,
+        )
     }
 
     /// Text-table rendering.
@@ -103,10 +106,13 @@ impl HwSweep {
 fn sim_frame(gpu: &GpuConfig, scene: &Scene, scale: ExpScale) -> u64 {
     let (w, h) = scale.res.dims();
     let f = scene.render(w, h, false, GRAPHICS_STREAM);
-    let mut sim = GpuSim::new(gpu.clone(), PartitionSpec::greedy());
-    sim.occupancy_interval = 0;
-    sim.load(TraceBundle::from_streams(vec![f.trace]));
-    sim.run().cycles
+    Simulation::builder()
+        .gpu(gpu.clone())
+        .partition(PartitionSpec::greedy())
+        .telemetry(Telemetry::NONE)
+        .trace(TraceBundle::from_streams(vec![f.trace]))
+        .run()
+        .cycles
 }
 
 /// Sweep the L1 data-port width (sectors/cycle) on the texture-heavy SPH
@@ -121,7 +127,10 @@ pub fn ablation_l1_ports(scale: ExpScale) -> HwSweep {
             (p as u64, sim_frame(&gpu, &scene, scale))
         })
         .collect();
-    HwSweep { knob: "l1 ports", rows }
+    HwSweep {
+        knob: "l1 ports",
+        rows,
+    }
 }
 
 /// Sweep the L1 MSHR capacity (memory-level parallelism per SM).
@@ -135,7 +144,10 @@ pub fn ablation_mshr(scale: ExpScale) -> HwSweep {
             (e as u64, sim_frame(&gpu, &scene, scale))
         })
         .collect();
-    HwSweep { knob: "L1 MSHR entries", rows }
+    HwSweep {
+        knob: "L1 MSHR entries",
+        rows,
+    }
 }
 
 /// GTO vs LRR warp scheduling on a graphics frame.
@@ -166,10 +178,12 @@ pub fn ablation_replacement(scale: ExpScale) -> Vec<(&'static str, u64, f64)> {
             gpu.l2_replacement = pol;
             let (w, h) = scale.res.dims();
             let f = scene.render(w, h, false, GRAPHICS_STREAM);
-            let mut sim = GpuSim::new(gpu, PartitionSpec::greedy());
-            sim.occupancy_interval = 0;
-            sim.load(TraceBundle::from_streams(vec![f.trace]));
-            let r = sim.run();
+            let r = Simulation::builder()
+                .gpu(gpu)
+                .partition(PartitionSpec::greedy())
+                .telemetry(Telemetry::NONE)
+                .trace(TraceBundle::from_streams(vec![f.trace]))
+                .run();
             (name, r.cycles, r.l2_stats.total().hit_rate())
         })
         .collect()
@@ -189,14 +203,28 @@ pub fn ablation_mig_banks(scale: ExpScale) -> Vec<(u32, f64)> {
             let run = |spec: PartitionSpec| {
                 let f = scene.render(w, h, false, GRAPHICS_STREAM);
                 let c = holo(COMPUTE_STREAM, scale.compute);
-                let mut sim = GpuSim::new(gpu.clone(), spec);
-                sim.occupancy_interval = 0;
-                sim.load(TraceBundle::from_streams(vec![f.trace, c]));
-                let r = sim.run();
-                r.per_stream.values().map(|s| s.stats.finish_cycle).max().expect("streams ran")
+                let r = Simulation::builder()
+                    .gpu(gpu.clone())
+                    .partition(spec)
+                    .telemetry(Telemetry::NONE)
+                    .trace(TraceBundle::from_streams(vec![f.trace, c]))
+                    .run();
+                r.per_stream
+                    .values()
+                    .map(|s| s.stats.finish_cycle)
+                    .max()
+                    .expect("streams ran")
             };
-            let mps = run(PartitionSpec::mps_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM));
-            let mig = run(PartitionSpec::mig_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM));
+            let mps = run(PartitionSpec::mps_even(
+                &gpu,
+                GRAPHICS_STREAM,
+                COMPUTE_STREAM,
+            ));
+            let mig = run(PartitionSpec::mig_even(
+                &gpu,
+                GRAPHICS_STREAM,
+                COMPUTE_STREAM,
+            ));
             (banks, mps as f64 / mig as f64)
         })
         .collect()

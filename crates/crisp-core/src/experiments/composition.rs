@@ -2,7 +2,7 @@
 
 use crisp_gfx::{FilterMode, Texture, TextureFormat, Vec2};
 use crisp_scenes::{Scene, SceneId};
-use crisp_sim::{GpuConfig, GpuSim, PartitionSpec};
+use crisp_sim::{GpuConfig, PartitionSpec, Simulation, Telemetry};
 use crisp_trace::{DataClass, TraceBundle};
 
 use crate::report::{pct, table};
@@ -31,7 +31,15 @@ impl Fig07Result {
 
 /// Run the Figure 7 demonstration on the paper's 4×4 texture.
 pub fn fig07_mip_merge() -> Fig07Result {
-    let t = Texture::new("fig7", 4, 4, 1, TextureFormat::Rgba8, FilterMode::Nearest, 0x1000);
+    let t = Texture::new(
+        "fig7",
+        4,
+        4,
+        1,
+        TextureFormat::Rgba8,
+        FilterMode::Nearest,
+        0x1000,
+    );
     let uvs = [
         Vec2::new(0.05, 0.05),
         Vec2::new(0.30, 0.05),
@@ -39,12 +47,18 @@ pub fn fig07_mip_merge() -> Fig07Result {
         Vec2::new(0.30, 0.30),
     ];
     let distinct = |lod: f32| {
-        let mut a: Vec<u64> = uvs.iter().flat_map(|&uv| t.sample_addrs(uv, lod, 0, false)).collect();
+        let mut a: Vec<u64> = uvs
+            .iter()
+            .flat_map(|&uv| t.sample_addrs(uv, lod, 0, false))
+            .collect();
         a.sort_unstable();
         a.dedup();
         a.len()
     };
-    Fig07Result { texels_level0: distinct(0.0), texels_level1: distinct(1.0) }
+    Fig07Result {
+        texels_level0: distinct(0.0),
+        texels_level1: distinct(1.0),
+    }
 }
 
 /// One scene's L2 breakdown (Figure 11).
@@ -90,7 +104,10 @@ impl Fig11Result {
 
     /// Look up a row.
     pub fn row(&self, id: SceneId) -> &Fig11Row {
-        self.rows.iter().find(|r| r.scene == id).expect("scene present")
+        self.rows
+            .iter()
+            .find(|r| r.scene == id)
+            .expect("scene present")
     }
 }
 
@@ -98,11 +115,13 @@ fn composition_run(scene: &Scene, scale: ExpScale) -> Fig11Row {
     let (w, h) = scale.res.dims();
     let f = scene.render(w, h, false, GRAPHICS_STREAM);
     let gpu = GpuConfig::rtx3070();
-    let mut sim = GpuSim::new(gpu, PartitionSpec::greedy());
-    sim.occupancy_interval = 0;
-    sim.composition_interval = 5_000;
-    sim.load(TraceBundle::from_streams(vec![f.trace]));
-    let r = sim.run();
+    let r = Simulation::builder()
+        .gpu(gpu)
+        .partition(PartitionSpec::greedy())
+        .telemetry(Telemetry::COMPOSITION)
+        .composition_interval(5_000)
+        .trace(TraceBundle::from_streams(vec![f.trace]))
+        .run();
     let samples: Vec<f64> = r
         .l2_composition_timeline
         .iter()
@@ -114,10 +133,10 @@ fn composition_run(scene: &Scene, scale: ExpScale) -> Fig11Row {
     } else {
         samples.iter().sum::<f64>() / samples.len() as f64
     };
-    let peak = samples
-        .iter()
-        .copied()
-        .fold(r.l2_composition.class_fraction(DataClass::Texture), f64::max);
+    let peak = samples.iter().copied().fold(
+        r.l2_composition.class_fraction(DataClass::Texture),
+        f64::max,
+    );
     Fig11Row {
         scene: scene.id,
         texture_fraction: avg,

@@ -2,7 +2,7 @@
 
 use crisp_scenes::{holo, nn, vio, ComputeScale, Scene, SceneId};
 use crisp_sim::{
-    GpuConfig, GpuSim, OccupancySample, PartitionSpec, SimResult, SlicerConfig, TapConfig,
+    GpuConfig, OccupancySample, PartitionSpec, SimResult, Simulation, SlicerConfig, TapConfig,
 };
 use crisp_trace::{DataClass, Stream, StreamId, TraceBundle};
 
@@ -63,15 +63,21 @@ fn run_pair(
     let (w, h) = scale.res.dims();
     let frame = scene.render(w, h, false, GRAPHICS_STREAM);
     let cstream = compute.build(COMPUTE_STREAM, scale.compute);
-    let mut sim = GpuSim::new(gpu.clone(), spec);
-    sim.occupancy_interval = occupancy_interval;
-    sim.load(TraceBundle::from_streams(vec![frame.trace, cstream]));
-    sim.run()
+    Simulation::builder()
+        .gpu(gpu.clone())
+        .partition(spec)
+        .occupancy_interval(occupancy_interval)
+        .trace(TraceBundle::from_streams(vec![frame.trace, cstream]))
+        .run()
 }
 
 /// Makespan metric: cycles until both streams completed.
 fn makespan(r: &SimResult) -> u64 {
-    r.per_stream.values().map(|s| s.stats.finish_cycle).max().unwrap_or(r.cycles)
+    r.per_stream
+        .values()
+        .map(|s| s.stats.finish_cycle)
+        .max()
+        .unwrap_or(r.cycles)
 }
 
 /// One workload pair's normalized results.
@@ -115,7 +121,12 @@ impl Fig12Result {
         let vals: Vec<f64> = self
             .rows
             .iter()
-            .filter_map(|r| r.speedups.iter().find(|(p, _)| *p == policy).map(|(_, s)| *s))
+            .filter_map(|r| {
+                r.speedups
+                    .iter()
+                    .find(|(p, _)| *p == policy)
+                    .map(|(_, s)| *s)
+            })
             .collect();
         assert!(!vals.is_empty(), "unknown policy {policy}");
         (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
@@ -126,7 +137,12 @@ impl Fig12Result {
 fn pair_scenes(scale: ExpScale) -> Vec<SceneId> {
     match scale.res {
         crate::Resolution::Tiny => vec![SceneId::SponzaPbr, SceneId::Pistol],
-        _ => vec![SceneId::SponzaPbr, SceneId::Pistol, SceneId::SponzaKhronos, SceneId::Planets],
+        _ => vec![
+            SceneId::SponzaPbr,
+            SceneId::Pistol,
+            SceneId::SponzaKhronos,
+            SceneId::Planets,
+        ],
     }
 }
 
@@ -208,7 +224,10 @@ impl Fig13Result {
 
     /// Peak total occupancy over the run.
     pub fn peak_total(&self) -> f64 {
-        self.occupancy.iter().map(OccupancySample::total).fold(0.0, f64::max)
+        self.occupancy
+            .iter()
+            .map(OccupancySample::total)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -225,7 +244,10 @@ pub fn fig13_occupancy_timeline(scale: ExpScale) -> Fig13Result {
         scale,
         500,
     );
-    Fig13Result { occupancy: r.occupancy, slicer_history: r.slicer_history }
+    Fig13Result {
+        occupancy: r.occupancy,
+        slicer_history: r.slicer_history,
+    }
 }
 
 /// Figure 14: TAP vs MiG vs MPS on the RTX 3070 model.
@@ -258,7 +280,12 @@ impl Fig14Result {
         let vals: Vec<f64> = self
             .rows
             .iter()
-            .filter_map(|r| r.speedups.iter().find(|(p, _)| *p == policy).map(|(_, s)| *s))
+            .filter_map(|r| {
+                r.speedups
+                    .iter()
+                    .find(|(p, _)| *p == policy)
+                    .map(|(_, s)| *s)
+            })
             .collect();
         assert!(!vals.is_empty(), "unknown policy {policy}");
         vals.iter().sum::<f64>() / vals.len() as f64
@@ -271,7 +298,11 @@ pub fn fig14_tap(scale: ExpScale) -> Fig14Result {
     // Long epochs: a set-window remap orphans resident lines (their
     // index changes), so repartitioning must be rare to amortise the
     // refill — mirroring TAP's slow epoch-level adaptation.
-    let tap_cfg = TapConfig { epoch_accesses: 250_000, sample_every: 4, min_sets: 1 };
+    let tap_cfg = TapConfig {
+        epoch_accesses: 250_000,
+        sample_every: 4,
+        min_sets: 1,
+    };
     let mut rows = Vec::new();
     for scene_id in pair_scenes(scale) {
         let scene = Scene::build(scene_id, scale.detail);
@@ -335,8 +366,11 @@ impl Fig15Result {
 
     /// Text-table rendering.
     pub fn to_table(&self) -> String {
-        let rows: Vec<Vec<String>> =
-            self.fractions.iter().map(|(l, f)| vec![l.to_string(), pct(*f)]).collect();
+        let rows: Vec<Vec<String>> = self
+            .fractions
+            .iter()
+            .map(|(l, f)| vec![l.to_string(), pct(*f)])
+            .collect();
         format!(
             "{}\nTAP allocation: {:?}\n(paper: TAP allocates most cache lines to rendering because HOLO is compute-bound)\n",
             table(&["class", "share of valid L2 lines"], &rows),
@@ -352,7 +386,11 @@ pub fn fig15_tap_composition(scale: ExpScale) -> Fig15Result {
     // A shorter epoch than Figure 14's: this run is a single frame and the
     // interesting output is the *allocation* TAP converges to, so the
     // controller must get at least one re-evaluation in.
-    let tap_cfg = TapConfig { epoch_accesses: 40_000, sample_every: 4, min_sets: 1 };
+    let tap_cfg = TapConfig {
+        epoch_accesses: 40_000,
+        sample_every: 4,
+        min_sets: 1,
+    };
     let scene = Scene::build(SceneId::SponzaPbr, scale.detail);
     let r = run_pair(
         &gpu,
@@ -397,7 +435,11 @@ mod tests {
         }
         // EVEN should at least compete with MPS on average (paper: EVEN is
         // the fastest of the three).
-        assert!(r.geomean("EVEN") > 0.8, "EVEN geomean {}", r.geomean("EVEN"));
+        assert!(
+            r.geomean("EVEN") > 0.8,
+            "EVEN geomean {}",
+            r.geomean("EVEN")
+        );
         assert!(r.to_table().contains("Dynamic"));
     }
 
@@ -420,7 +462,10 @@ mod tests {
     fn fig15_rendering_dominates_the_l2() {
         let r = fig15_tap_composition(ExpScale::quick());
         let total: f64 = r.fractions.iter().map(|(_, f)| f).sum();
-        assert!((total - 1.0).abs() < 1e-6, "fractions must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "fractions must sum to 1, got {total}"
+        );
         assert!(
             r.rendering_fraction() > 0.5,
             "rendering must dominate: {}",

@@ -44,8 +44,10 @@ mod tests {
     fn lod_toggle_changes_the_image() {
         let pa = std::env::temp_dir().join("crisp_fig08_on.ppm");
         let pb = std::env::temp_dir().join("crisp_fig08_off.ppm");
-        let _ = render_scene_to_ppm(SceneId::SponzaKhronos, 0.2, Resolution::Tiny, false, &pa).unwrap();
-        let _ = render_scene_to_ppm(SceneId::SponzaKhronos, 0.2, Resolution::Tiny, true, &pb).unwrap();
+        let _ =
+            render_scene_to_ppm(SceneId::SponzaKhronos, 0.2, Resolution::Tiny, false, &pa).unwrap();
+        let _ =
+            render_scene_to_ppm(SceneId::SponzaKhronos, 0.2, Resolution::Tiny, true, &pb).unwrap();
         let a = std::fs::read(&pa).unwrap();
         let b = std::fs::read(&pb).unwrap();
         assert_ne!(a, b, "mip-0 sampling must change texel colours");

@@ -16,21 +16,31 @@ impl Table02Result {
     pub fn to_table(&self) -> String {
         let rows: Vec<Vec<String>> = vec![
             row("# SMs", &self.configs, |c| c.n_sms.to_string()),
-            row("# Registers / SM", &self.configs, |c| c.sm.max_regs.to_string()),
+            row("# Registers / SM", &self.configs, |c| {
+                c.sm.max_regs.to_string()
+            }),
             row("L1D + Shared / SM", &self.configs, |c| {
                 format!("{} KB", (c.l1_bytes + c.sm.max_smem as u64) >> 10)
             }),
             row("Warps / SM", &self.configs, |c| c.sm.max_warps.to_string()),
-            row("Schedulers / SM", &self.configs, |c| c.sm.schedulers.to_string()),
+            row("Schedulers / SM", &self.configs, |c| {
+                c.sm.schedulers.to_string()
+            }),
             row("Exec units", &self.configs, |c| {
                 format!(
                     "{} FP, {} SFU, {} INT, {} TENSOR",
                     c.sm.fp_units, c.sm.sfu_units, c.sm.int_units, c.sm.tensor_units
                 )
             }),
-            row("L2 cache", &self.configs, |c| format!("{} MB", c.l2_bytes >> 20)),
-            row("Core clock", &self.configs, |c| format!("{} MHz", c.core_clock_mhz)),
-            row("Memory BW", &self.configs, |c| format!("{} GB/s", c.dram_gbps)),
+            row("L2 cache", &self.configs, |c| {
+                format!("{} MB", c.l2_bytes >> 20)
+            }),
+            row("Core clock", &self.configs, |c| {
+                format!("{} MHz", c.core_clock_mhz)
+            }),
+            row("Memory BW", &self.configs, |c| {
+                format!("{} GB/s", c.dram_gbps)
+            }),
         ];
         let headers: Vec<&str> = std::iter::once("")
             .chain(self.configs.iter().map(|c| c.name.as_str()))
@@ -40,12 +50,16 @@ impl Table02Result {
 }
 
 fn row(label: &str, configs: &[GpuConfig], f: impl Fn(&GpuConfig) -> String) -> Vec<String> {
-    std::iter::once(label.to_string()).chain(configs.iter().map(f)).collect()
+    std::iter::once(label.to_string())
+        .chain(configs.iter().map(f))
+        .collect()
 }
 
 /// Produce Table II from the Jetson Orin and RTX 3070 presets.
 pub fn table02_configs() -> Table02Result {
-    Table02Result { configs: vec![GpuConfig::jetson_orin(), GpuConfig::rtx3070()] }
+    Table02Result {
+        configs: vec![GpuConfig::jetson_orin(), GpuConfig::rtx3070()],
+    }
 }
 
 #[cfg(test)]

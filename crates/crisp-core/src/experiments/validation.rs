@@ -2,7 +2,7 @@
 
 use crisp_scenes::silicon::{correlation, mape, Silicon};
 use crisp_scenes::{all_scenes, Scene, SceneId};
-use crisp_sim::{GpuConfig, GpuSim, PartitionSpec};
+use crisp_sim::{GpuConfig, PartitionSpec, Simulation, Telemetry};
 use crisp_trace::{KernelTrace, Space, Stream, TexLinesHistogram, TraceBundle, SECTOR_BYTES};
 
 use crate::report::{f3, pct, table};
@@ -53,7 +53,10 @@ pub fn fig03_vertex_batching(scale: ExpScale) -> Fig03Result {
     }
     let xs: Vec<f64> = points.iter().map(|p| p.1 as f64).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.2 as f64).collect();
-    Fig03Result { correlation: correlation(&xs, &ys), points }
+    Fig03Result {
+        correlation: correlation(&xs, &ys),
+        points,
+    }
 }
 
 /// One Figure 6 data point.
@@ -108,10 +111,13 @@ impl Fig06Result {
 
 /// Simulate a graphics-only frame and return total cycles.
 fn simulate_frame(gpu: &GpuConfig, trace: Stream) -> u64 {
-    let mut sim = GpuSim::new(gpu.clone(), PartitionSpec::greedy());
-    sim.occupancy_interval = 0;
-    sim.load(TraceBundle::from_streams(vec![trace]));
-    sim.run().cycles
+    Simulation::builder()
+        .gpu(gpu.clone())
+        .partition(PartitionSpec::greedy())
+        .telemetry(Telemetry::NONE)
+        .trace(TraceBundle::from_streams(vec![trace]))
+        .run()
+        .cycles
 }
 
 /// Run Figure 6 on the RTX 3070 model: every scene at the 2K- and 4K-class
@@ -203,7 +209,12 @@ impl Fig09Result {
             .rows
             .iter()
             .map(|(n, hw, on, off)| {
-                vec![n.clone(), format!("{hw:.0}"), on.to_string(), off.to_string()]
+                vec![
+                    n.clone(),
+                    format!("{hw:.0}"),
+                    on.to_string(),
+                    off.to_string(),
+                ]
             })
             .collect();
         format!(
@@ -297,7 +308,11 @@ mod tests {
     #[test]
     fn fig03_correlates_strongly() {
         let r = fig03_vertex_batching(ExpScale::quick());
-        assert!(r.points.len() >= 20, "need many drawcalls, got {}", r.points.len());
+        assert!(
+            r.points.len() >= 20,
+            "need many drawcalls, got {}",
+            r.points.len()
+        );
         assert!(
             r.correlation > 0.95,
             "warps×32 must track true threads: {}",
@@ -311,7 +326,11 @@ mod tests {
     #[test]
     fn fig09_lod_off_is_much_worse() {
         let r = fig09_lod_mape(ExpScale::quick());
-        assert!(r.mape_lod_on < 0.6, "LoD-on MAPE too big: {}", r.mape_lod_on);
+        assert!(
+            r.mape_lod_on < 0.6,
+            "LoD-on MAPE too big: {}",
+            r.mape_lod_on
+        );
         assert!(
             r.mape_lod_off > 2.0 * r.mape_lod_on,
             "LoD-off must be far worse: {} vs {}",
@@ -337,7 +356,11 @@ mod tests {
         // EXPERIMENTS.md).
         let r = fig06_frame_correlation(ExpScale::quick());
         assert_eq!(r.rows.len(), 6, "six scenes at tiny res");
-        assert!(r.correlation > 0.2, "correlation too low: {}", r.correlation);
+        assert!(
+            r.correlation > 0.2,
+            "correlation too low: {}",
+            r.correlation
+        );
         assert!(r.rows.iter().all(|row| row.sim_ms > 0.0 && row.hw_ms > 0.0));
         // The "sim is always longer than hw" property is a paper-scale
         // claim (throughput-bound frames); drain-bound tiny frames don't

@@ -8,7 +8,7 @@
 //! profiler.
 
 use crisp_scenes::Scene;
-use crisp_sim::{GpuConfig, GpuSim, PartitionSpec, SimResult};
+use crisp_sim::{GpuConfig, PartitionSpec, SimResult, Simulation, Telemetry};
 use crisp_trace::{Stream, TraceBundle};
 
 use crate::GRAPHICS_STREAM;
@@ -30,7 +30,11 @@ impl FrameTimes {
     /// Panics if `i` is out of range.
     pub fn frame_cycles(&self, i: usize) -> u64 {
         let end = self.frame_end_cycles[i];
-        let start = if i == 0 { 0 } else { self.frame_end_cycles[i - 1] };
+        let start = if i == 0 {
+            0
+        } else {
+            self.frame_end_cycles[i - 1]
+        };
         end - start
     }
 
@@ -61,17 +65,19 @@ pub fn simulate_frames(
     spec: PartitionSpec,
     companion: Option<Stream>,
 ) -> FrameTimes {
-    let (trace, per_frame_stats) = scene.render_sequence(width, height, false, GRAPHICS_STREAM, n_frames);
-    let kernels_per_frame: Vec<usize> =
-        per_frame_stats.iter().map(|s| s.draws.len() * 2).collect();
+    let (trace, per_frame_stats) =
+        scene.render_sequence(width, height, false, GRAPHICS_STREAM, n_frames);
+    let kernels_per_frame: Vec<usize> = per_frame_stats.iter().map(|s| s.draws.len() * 2).collect();
     let mut streams = vec![trace];
     if let Some(c) = companion {
         streams.push(c);
     }
-    let mut sim = GpuSim::new(gpu.clone(), spec);
-    sim.occupancy_interval = 0;
-    sim.load(TraceBundle::from_streams(streams));
-    let result = sim.run();
+    let result = Simulation::builder()
+        .gpu(gpu.clone())
+        .partition(spec)
+        .telemetry(Telemetry::NONE)
+        .trace(TraceBundle::from_streams(streams))
+        .run();
 
     // Split the graphics kernel log back into frames.
     let gfx_ends: Vec<u64> = result
@@ -86,14 +92,17 @@ pub fn simulate_frames(
         idx += n;
         frame_end_cycles.push(gfx_ends[idx - 1]);
     }
-    FrameTimes { frame_end_cycles, result }
+    FrameTimes {
+        frame_end_cycles,
+        result,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crisp_scenes::{vio, ComputeScale, SceneId};
     use crate::COMPUTE_STREAM;
+    use crisp_scenes::{vio, ComputeScale, SceneId};
 
     #[test]
     fn frame_boundaries_are_monotone() {

@@ -34,7 +34,7 @@ pub mod framerate;
 pub mod qos;
 pub mod report;
 
-use crisp_sim::GpuSim;
+use crisp_sim::Simulation;
 use crisp_trace::{Stream, StreamId, TraceBundle};
 
 /// The stream id CRISP uses for rendering work.
@@ -93,30 +93,28 @@ pub fn simulate(
     spec: crisp_sim::PartitionSpec,
     bundle: TraceBundle,
 ) -> crisp_sim::SimResult {
-    let mut sim = GpuSim::new(gpu, spec);
-    sim.load(bundle);
-    sim.run()
+    Simulation::builder()
+        .gpu(gpu)
+        .partition(spec)
+        .trace(bundle)
+        .run()
 }
 
 /// Everything a CRISP user typically needs.
 pub mod prelude {
     pub use crate::framerate::{simulate_frames, FrameTimes};
     pub use crate::qos::{Deadline, QosReport};
-    pub use crate::{
-        concurrent_bundle, simulate, Resolution, COMPUTE_STREAM, GRAPHICS_STREAM,
-    };
+    pub use crate::{concurrent_bundle, simulate, Resolution, COMPUTE_STREAM, GRAPHICS_STREAM};
     pub use crisp_gfx::{
-        DrawCall, FragmentShader, Framebuffer, FrameStats, RenderConfig, Renderer, Texture,
+        DrawCall, FragmentShader, FrameStats, Framebuffer, RenderConfig, Renderer, Texture,
         VertexShader,
     };
     pub use crisp_scenes::{holo, nn, vio, ComputeScale, Scene, SceneId, Silicon};
     pub use crisp_sim::{
-        GpuConfig, GpuSim, L2Policy, PartitionSpec, SimResult, SlicerConfig, SmPartition,
-        TapConfig,
+        GpuConfig, GpuSim, L2Policy, PartitionSpec, SimResult, Simulation, SimulationBuilder,
+        SlicerConfig, SmPartition, TapConfig, Telemetry,
     };
-    pub use crisp_trace::{
-        DataClass, Stream, StreamId, StreamKind, TraceBundle,
-    };
+    pub use crisp_trace::{DataClass, Stream, StreamId, StreamKind, TraceBundle};
 }
 
 #[cfg(test)]

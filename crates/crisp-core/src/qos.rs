@@ -90,7 +90,13 @@ impl QosReport {
                 .get(&id)
                 .unwrap_or_else(|| panic!("deadline for unknown stream {id}"));
             let latency_ms = gpu.cycles_to_ms(stream.stats.elapsed());
-            verdicts.insert(id, QosVerdict { latency_ms, budget_ms: d.budget_ms });
+            verdicts.insert(
+                id,
+                QosVerdict {
+                    latency_ms,
+                    budget_ms: d.budget_ms,
+                },
+            );
         }
         QosReport { verdicts }
     }
@@ -105,7 +111,9 @@ impl QosReport {
         self.verdicts
             .iter()
             .min_by(|a, b| {
-                a.1.slack_ms().partial_cmp(&b.1.slack_ms()).expect("finite slack")
+                a.1.slack_ms()
+                    .partial_cmp(&b.1.slack_ms())
+                    .expect("finite slack")
             })
             .map(|(&id, &v)| (id, v))
     }
@@ -148,8 +156,7 @@ mod tests {
     #[test]
     fn impossible_budget_is_violated() {
         let (r, gpu) = run();
-        let report =
-            QosReport::evaluate(&r, &gpu, [(GRAPHICS_STREAM, Deadline::ms(1e-6))]);
+        let report = QosReport::evaluate(&r, &gpu, [(GRAPHICS_STREAM, Deadline::ms(1e-6))]);
         assert!(!report.all_met());
         let v = report.verdicts[&GRAPHICS_STREAM];
         assert!(v.slack_ms() < 0.0);

@@ -73,8 +73,15 @@ enum Cmd {
     BindFs(FragmentShader),
     BindVs(VertexShader),
     BindTexture(usize, TextureHandle),
-    Draw { mesh: MeshHandle, model: Mat4 },
-    DrawInstanced { mesh: MeshHandle, model: Mat4, instances: Vec<Instance> },
+    Draw {
+        mesh: MeshHandle,
+        model: Mat4,
+    },
+    DrawInstanced {
+        mesh: MeshHandle,
+        model: Mat4,
+        instances: Vec<Instance>,
+    },
 }
 
 /// A command buffer in the recording state.
@@ -121,7 +128,11 @@ impl CommandBuffer {
         model: Mat4,
         instances: Vec<Instance>,
     ) -> &mut Self {
-        self.cmds.push(Cmd::DrawInstanced { mesh, model, instances });
+        self.cmds.push(Cmd::DrawInstanced {
+            mesh,
+            model,
+            instances,
+        });
         self
     }
 
@@ -169,7 +180,8 @@ impl Device {
         vertices: Vec<Vertex>,
         indices: Vec<u32>,
     ) -> MeshHandle {
-        self.meshes.push(Mesh::new(name, vertices, indices, &mut self.buffer_alloc));
+        self.meshes
+            .push(Mesh::new(name, vertices, indices, &mut self.buffer_alloc));
         MeshHandle(self.meshes.len() - 1)
     }
 
@@ -185,7 +197,9 @@ impl Device {
     ) -> TextureHandle {
         let probe = Texture::new(name, width, height, layers, format, filter, 0);
         let base = self.texture_alloc.alloc(probe.size_bytes(), 256);
-        self.textures.push(Texture::new(name, width, height, layers, format, filter, base));
+        self.textures.push(Texture::new(
+            name, width, height, layers, format, filter, base,
+        ));
         TextureHandle(self.textures.len() - 1)
     }
 
@@ -255,7 +269,11 @@ impl Device {
                         0,
                     ));
                 }
-                Cmd::DrawInstanced { mesh, model, instances } => {
+                Cmd::DrawInstanced {
+                    mesh,
+                    model,
+                    instances,
+                } => {
                     let ibuf = self
                         .instance_alloc
                         .alloc(instances.len() as u64 * INSTANCE_STRIDE, 256);
@@ -275,7 +293,11 @@ impl Device {
         let mut renderer = Renderer::new(self.cfg.clone());
         let trace = renderer.render(&draws, &view_proj);
         let stats = renderer.stats().clone();
-        SubmittedFrame { trace, stats, framebuffer: renderer.into_framebuffer() }
+        SubmittedFrame {
+            trace,
+            stats,
+            framebuffer: renderer.into_framebuffer(),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -334,8 +356,7 @@ mod tests {
     fn record_and_submit_renders_a_frame() {
         let mut dev = device();
         let mesh = dev.create_mesh("q", quad_verts(), vec![0, 1, 2, 0, 2, 3]);
-        let tex =
-            dev.create_texture("t", 64, 64, 1, TextureFormat::Rgba8, FilterMode::Bilinear);
+        let tex = dev.create_texture("t", 64, 64, 1, TextureFormat::Rgba8, FilterMode::Bilinear);
         let mut cb = dev.begin_commands();
         cb.bind_fragment_shader(FragmentShader::basic_textured())
             .bind_texture(0, tex)
@@ -351,8 +372,7 @@ mod tests {
     fn state_persists_across_draws() {
         let mut dev = device();
         let mesh = dev.create_mesh("q", quad_verts(), vec![0, 1, 2]);
-        let tex =
-            dev.create_texture("t", 32, 32, 1, TextureFormat::Rgba8, FilterMode::Nearest);
+        let tex = dev.create_texture("t", 32, 32, 1, TextureFormat::Rgba8, FilterMode::Nearest);
         let mut cb = dev.begin_commands();
         cb.bind_fragment_shader(FragmentShader::phong());
         cb.bind_texture(0, tex);

@@ -7,14 +7,12 @@
 //! size of 96 unique vertices, matching Kerbl's observation for NVIDIA
 //! hardware.
 
-use serde::{Deserialize, Serialize};
-
 /// Unique vertices per batch ("At batchsize = 96, we achieved the highest
 /// correlation on vertex shader invocation count").
 pub const BATCH_SIZE: usize = 96;
 
 /// One vertex-shading batch.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Batch {
     /// Unique mesh-level vertex indices, in first-use order. Each entry is
     /// one vertex-shader invocation.
@@ -37,7 +35,7 @@ impl Batch {
 ///
 /// Panics if `indices` is not a multiple of 3 or `batch_size < 3`.
 pub fn vertex_batches(indices: &[u32], batch_size: usize) -> Vec<Batch> {
-    assert!(indices.len() % 3 == 0, "triangle list required");
+    assert!(indices.len().is_multiple_of(3), "triangle list required");
     assert!(batch_size >= 3, "a batch must fit at least one triangle");
     let mut batches = Vec::new();
     let mut cur = Batch::default();
@@ -162,8 +160,10 @@ mod tests {
     #[test]
     fn invocation_count_matches_batches() {
         let idx = grid_indices(17, 9);
-        let total: u64 =
-            vertex_batches(&idx, 96).iter().map(|b| b.vs_invocations() as u64).sum();
+        let total: u64 = vertex_batches(&idx, 96)
+            .iter()
+            .map(|b| b.vs_invocations() as u64)
+            .sum();
         assert_eq!(total, vs_invocation_count(&idx, 96));
     }
 

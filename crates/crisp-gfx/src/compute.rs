@@ -9,13 +9,10 @@
 //! Together with [`crate::api::Device`] this covers both halves of the
 //! async-compute pairing the paper studies.
 
-use crisp_trace::{
-    CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Op, Reg, Space, WARP_SIZE,
-};
-use serde::{Deserialize, Serialize};
+use crisp_trace::{CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Op, Reg, Space, WARP_SIZE};
 
 /// Per-warp cost model of a compute shader.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ComputeShader {
     /// Coalesced global loads per warp (each 32 lanes × `load_width`).
     pub loads: u32,
@@ -111,7 +108,11 @@ pub fn dispatch(
 ) -> KernelTrace {
     assert!(grid > 0 && warps_per_cta > 0, "dispatch must be non-empty");
     let row_bytes = WARP_SIZE as u64 * shader.load_width as u64;
-    let stride = if shader.load_stride == 0 { row_bytes } else { shader.load_stride };
+    let stride = if shader.load_stride == 0 {
+        row_bytes
+    } else {
+        shader.load_stride
+    };
     let ctas = (0..grid)
         .map(|c| {
             let warps = (0..warps_per_cta)
@@ -135,12 +136,24 @@ pub fn dispatch(
                         let _ = r;
                         w.push(Instr::store(
                             Reg(2),
-                            MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, WARP_SIZE),
+                            MemAccess::coalesced(
+                                Space::Shared,
+                                DataClass::Compute,
+                                4,
+                                0,
+                                WARP_SIZE,
+                            ),
                         ));
                         w.push(Instr::bar());
                         w.push(Instr::load(
                             Reg(8),
-                            MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, WARP_SIZE),
+                            MemAccess::coalesced(
+                                Space::Shared,
+                                DataClass::Compute,
+                                4,
+                                0,
+                                WARP_SIZE,
+                            ),
                         ));
                     }
                     for i in 0..shader.fp_ops {
@@ -157,7 +170,11 @@ pub fn dispatch(
                         w.push(Instr::alu(Op::Sfu, Reg(6 + (i % 2) as u16), &[Reg(10)]));
                     }
                     for i in 0..shader.tensor_ops {
-                        w.push(Instr::alu(Op::Tensor, Reg(30 + (i % 4) as u16), &[Reg(8), Reg(9)]));
+                        w.push(Instr::alu(
+                            Op::Tensor,
+                            Reg(30 + (i % 4) as u16),
+                            &[Reg(8), Reg(9)],
+                        ));
                     }
                     for s in 0..shader.stores {
                         let base = output
@@ -206,7 +223,10 @@ mod tests {
     fn presets_have_their_signatures() {
         let cb = dispatch("cb", &ComputeShader::compute_bound(), 2, 2, 0, 0x1000);
         let m = InstrMix::of_kernel(&cb);
-        assert!(m.fp + m.sfu > (m.global_mem + m.shared_mem) * 20, "compute-bound");
+        assert!(
+            m.fp + m.sfu > (m.global_mem + m.shared_mem) * 20,
+            "compute-bound"
+        );
 
         let gemm = dispatch("g", &ComputeShader::gemm(), 2, 2, 0, 0x1000);
         let m = InstrMix::of_kernel(&gemm);

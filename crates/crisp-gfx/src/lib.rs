@@ -35,8 +35,8 @@ pub mod shader;
 pub mod texture;
 
 pub use api::{CommandBuffer, Device, MeshHandle, SubmittedFrame, TextureHandle};
-pub use compute::{dispatch, ComputeShader};
 pub use batch::{vertex_batches, Batch, BATCH_SIZE};
+pub use compute::{dispatch, ComputeShader};
 pub use fb::Framebuffer;
 pub use math::{Mat4, Vec2, Vec3, Vec4};
 pub use mesh::{AddressAllocator, Mesh, Vertex};

@@ -4,10 +4,8 @@
 //! needs: perspective projection, look-at view matrices, and point/vector
 //! transforms. No external math crate is used.
 
-use serde::{Deserialize, Serialize};
-
 /// A 2-component vector (texture coordinates, screen positions).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Vec2 {
     /// X / U component.
     pub x: f32,
@@ -25,15 +23,19 @@ impl Vec2 {
     pub fn scale(self, s: f32) -> Self {
         Vec2::new(self.x * s, self.y * s)
     }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
 
     /// Component-wise subtraction.
-    pub fn sub(self, o: Vec2) -> Self {
+    fn sub(self, o: Vec2) -> Self {
         Vec2::new(self.x - o.x, self.y - o.y)
     }
 }
 
 /// A 3-component vector.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Vec3 {
     /// X component.
     pub x: f32,
@@ -50,17 +52,11 @@ impl Vec3 {
     }
 
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-
-    /// Vector addition.
-    pub fn add(self, o: Vec3) -> Self {
-        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
-    }
-
-    /// Vector subtraction.
-    pub fn sub(self, o: Vec3) -> Self {
-        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
-    }
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Uniform scale.
     pub fn scale(self, s: f32) -> Self {
@@ -101,8 +97,26 @@ impl Vec3 {
     }
 }
 
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+
+    /// Vector addition.
+    fn add(self, o: Vec3) -> Self {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+
+    /// Vector subtraction.
+    fn sub(self, o: Vec3) -> Self {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
 /// A 4-component homogeneous vector.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Vec4 {
     /// X component.
     pub x: f32,
@@ -132,7 +146,7 @@ impl Vec4 {
 }
 
 /// A column-major 4×4 matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat4 {
     /// Columns of the matrix.
     pub cols: [Vec4; 4],
@@ -197,9 +211,14 @@ impl Mat4 {
     ///
     /// Panics if `aspect`, `near` or `far` are non-positive or equal.
     pub fn perspective(fov_y_rad: f32, aspect: f32, near: f32, far: f32) -> Self {
-        assert!(aspect > 0.0 && near > 0.0 && far > near, "bad projection parameters");
+        assert!(
+            aspect > 0.0 && near > 0.0 && far > near,
+            "bad projection parameters"
+        );
         let f = 1.0 / (fov_y_rad / 2.0).tan();
-        let mut m = Mat4 { cols: [Vec4::default(); 4] };
+        let mut m = Mat4 {
+            cols: [Vec4::default(); 4],
+        };
         m.cols[0].x = f / aspect;
         m.cols[1].y = f;
         m.cols[2].z = far / (near - far);
@@ -210,7 +229,7 @@ impl Mat4 {
 
     /// Right-handed look-at view matrix.
     pub fn look_at(eye: Vec3, center: Vec3, up: Vec3) -> Self {
-        let f = center.sub(eye).normalized();
+        let f = (center - eye).normalized();
         let s = f.cross(up).normalized();
         let u = s.cross(f);
         Mat4 {
@@ -236,7 +255,9 @@ impl Mat4 {
 
     /// Matrix × matrix.
     pub fn mul(&self, o: &Mat4) -> Mat4 {
-        Mat4 { cols: [0, 1, 2, 3].map(|i| self.mul_vec(o.cols[i])) }
+        Mat4 {
+            cols: [0, 1, 2, 3].map(|i| self.mul_vec(o.cols[i])),
+        }
     }
 
     /// Transform a point (w = 1) and return the homogeneous result.
@@ -280,8 +301,14 @@ mod tests {
     #[test]
     fn translation_moves_points_not_directions() {
         let m = Mat4::translate(Vec3::new(1.0, 2.0, 3.0));
-        assert_eq!(m.transform_point(Vec3::ZERO).xyz(), Vec3::new(1.0, 2.0, 3.0));
-        assert_eq!(m.transform_dir(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(
+            m.transform_point(Vec3::ZERO).xyz(),
+            Vec3::new(1.0, 2.0, 3.0)
+        );
+        assert_eq!(
+            m.transform_dir(Vec3::new(1.0, 0.0, 0.0)),
+            Vec3::new(1.0, 0.0, 0.0)
+        );
     }
 
     #[test]
@@ -312,9 +339,16 @@ mod tests {
 
     #[test]
     fn look_at_centers_the_target() {
-        let v = Mat4::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        let v = Mat4::look_at(
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let c = v.transform_point(Vec3::ZERO).xyz();
-        assert!(close(c.x, 0.0) && close(c.y, 0.0) && close(c.z, -5.0), "{c:?}");
+        assert!(
+            close(c.x, 0.0) && close(c.y, 0.0) && close(c.z, -5.0),
+            "{c:?}"
+        );
     }
 
     #[test]

@@ -1,14 +1,12 @@
 //! Meshes, vertex layout, and the simulated address space.
 
-use serde::{Deserialize, Serialize};
-
 use crate::math::{Vec2, Vec3};
 
 /// One vertex: position, normal, texture coordinates and a texture-array
 /// layer (Planets indexes a layered texture per instance through a vertex
 /// attribute — "an index in the vertex attribute describes the layer of the
 /// texture to use").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Vertex {
     /// Object-space position.
     pub pos: Vec3,
@@ -32,7 +30,7 @@ pub const INDEX_STRIDE: u64 = 4;
 pub const ATTR_STRIDE: u64 = 48;
 
 /// An indexed triangle mesh plus its simulated buffer addresses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mesh {
     /// Debug name.
     pub name: String,
@@ -59,12 +57,18 @@ impl Mesh {
         indices: Vec<u32>,
         alloc: &mut AddressAllocator,
     ) -> Self {
-        assert!(indices.len() % 3 == 0, "triangle list required");
+        assert!(indices.len().is_multiple_of(3), "triangle list required");
         let n = vertices.len() as u32;
         assert!(indices.iter().all(|&i| i < n), "index out of range");
         let vb_addr = alloc.alloc(vertices.len() as u64 * VERTEX_STRIDE, 256);
         let ib_addr = alloc.alloc(indices.len() as u64 * INDEX_STRIDE, 256);
-        Mesh { name: name.into(), vertices, indices, vb_addr, ib_addr }
+        Mesh {
+            name: name.into(),
+            vertices,
+            indices,
+            vb_addr,
+            ib_addr,
+        }
     }
 
     /// Number of triangles.
@@ -89,7 +93,7 @@ impl Mesh {
 /// seeded; the conventional layout puts vertex/index data at 256 MiB,
 /// textures at 1 GiB, inter-stage attributes at 2 GiB and the framebuffer
 /// at 3 GiB (see [`AddressAllocator::standard_layout`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressAllocator {
     next: u64,
 }
@@ -158,7 +162,10 @@ mod tests {
         assert_eq!(m.triangle_count(), 2);
         assert_eq!(m.vertex_addr(1) - m.vertex_addr(0), VERTEX_STRIDE);
         assert_eq!(m.index_addr(1) - m.index_addr(0), INDEX_STRIDE);
-        assert!(m.ib_addr >= m.vb_addr + 4 * VERTEX_STRIDE, "buffers must not overlap");
+        assert!(
+            m.ib_addr >= m.vb_addr + 4 * VERTEX_STRIDE,
+            "buffers must not overlap"
+        );
     }
 
     #[test]

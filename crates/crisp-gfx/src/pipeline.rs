@@ -22,7 +22,6 @@ use crisp_trace::{
     CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Op, Reg, Space, Stream, StreamId,
     StreamKind, WarpTrace, WARP_SIZE,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::batch::{vertex_batches, Batch, BATCH_SIZE};
 use crate::fb::Framebuffer;
@@ -36,7 +35,7 @@ use crate::texture::Texture;
 pub const INSTANCE_STRIDE: u64 = 80;
 
 /// One instance of an instanced draw.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Instance {
     /// Instance transform (applied after the drawcall's model matrix).
     pub transform: Mat4,
@@ -47,7 +46,10 @@ pub struct Instance {
 impl Instance {
     /// An identity instance using layer 0.
     pub fn identity() -> Self {
-        Instance { transform: Mat4::identity(), layer: 0 }
+        Instance {
+            transform: Mat4::identity(),
+            layer: 0,
+        }
     }
 }
 
@@ -95,7 +97,7 @@ impl DrawCall {
 }
 
 /// Statistics for one executed drawcall.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DrawStats {
     /// Drawcall name.
     pub name: String,
@@ -122,7 +124,7 @@ pub struct DrawStats {
 }
 
 /// Statistics for a full frame.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FrameStats {
     /// Per-drawcall stats in submission order.
     pub draws: Vec<DrawStats>,
@@ -146,7 +148,7 @@ impl FrameStats {
 }
 
 /// Renderer configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RenderConfig {
     /// Framebuffer width in pixels.
     pub width: u32,
@@ -195,7 +197,12 @@ impl Renderer {
     /// A renderer with a cleared framebuffer.
     pub fn new(cfg: RenderConfig) -> Self {
         let fb = Framebuffer::new(cfg.width, cfg.height);
-        Renderer { cfg, fb, attr_cursor: AddressAllocator::ATTR_BASE, stats: FrameStats::default() }
+        Renderer {
+            cfg,
+            fb,
+            attr_cursor: AddressAllocator::ATTR_BASE,
+            stats: FrameStats::default(),
+        }
     }
 
     /// The functional framebuffer.
@@ -252,7 +259,10 @@ impl Renderer {
             d.textures.len(),
             d.fs.map_slots
         );
-        let mut ds = DrawStats { name: d.name.clone(), ..DrawStats::default() };
+        let mut ds = DrawStats {
+            name: d.name.clone(),
+            ..DrawStats::default()
+        };
         let batches = vertex_batches(&d.mesh.indices, BATCH_SIZE);
         ds.batches = (batches.len() * d.instances.len()) as u64;
 
@@ -274,8 +284,7 @@ impl Renderer {
 
                 vs_ctas.push(self.vs_cta(d, b, inst_addr, instanced, attr_base, &mut index_pos));
                 ds.vs_invocations += b.vs_invocations() as u64;
-                ds.vs_threads_from_warps +=
-                    (b.unique.len().div_ceil(WARP_SIZE) * WARP_SIZE) as u64;
+                ds.vs_threads_from_warps += (b.unique.len().div_ceil(WARP_SIZE) * WARP_SIZE) as u64;
 
                 // Functional transform of the batch's unique vertices.
                 let screen: Vec<Option<ScreenVertex>> = b
@@ -326,7 +335,11 @@ impl Renderer {
         // Tile/quad-order sort: fragments grouped by screen locality so
         // quads form naturally within warps (paper's approximated quads).
         frags.sort_by_key(|(f, _)| {
-            (f.tile(grid.tiles_x), (f.y & !1, f.x & !1), (f.y & 1, f.x & 1))
+            (
+                f.tile(grid.tiles_x),
+                (f.y & !1, f.x & !1),
+                (f.y & 1, f.x & 1),
+            )
         });
 
         let fs_ctas = self.fs_ctas(d, &frags, &mut ds, &mut tex_rows);
@@ -372,14 +385,17 @@ impl Renderer {
                     Space::Global,
                     DataClass::Pipeline,
                     4,
-                    d.mesh.index_addr((*index_pos + (w_idx * WARP_SIZE) as u64) as usize),
+                    d.mesh
+                        .index_addr((*index_pos + (w_idx * WARP_SIZE) as u64) as usize),
                     lanes,
                 ),
             ));
             // Attribute fetches: position, normal, uv per unique vertex.
             for (reg, off, width) in [(2u16, 0u64, 12u8), (3, 12, 12), (4, 24, 8)] {
-                let addrs: Vec<u64> =
-                    chunk.iter().map(|&vi| d.mesh.vertex_addr(vi) + off).collect();
+                let addrs: Vec<u64> = chunk
+                    .iter()
+                    .map(|&vi| d.mesh.vertex_addr(vi) + off)
+                    .collect();
                 w.push(Instr::load(
                     Reg(reg),
                     MemAccess::scattered(Space::Global, DataClass::Pipeline, width, addrs),
@@ -487,8 +503,10 @@ impl Renderer {
                 .collect();
             let max_fp = footprints.iter().map(Vec::len).max().unwrap_or(0);
             for k in 0..max_fp {
-                let addrs: Vec<u64> =
-                    footprints.iter().filter_map(|f| f.get(k).copied()).collect();
+                let addrs: Vec<u64> = footprints
+                    .iter()
+                    .filter_map(|f| f.get(k).copied())
+                    .collect();
                 if addrs.is_empty() {
                     continue;
                 }
@@ -510,7 +528,10 @@ impl Renderer {
             w.push(Instr::alu(
                 Op::FpFma,
                 Reg(8 + (i % 12) as u16),
-                &[Reg(40 + (i % 12) as u16 % 12), Reg(8 + ((i + 1) % 12) as u16)],
+                &[
+                    Reg(40 + (i % 12) as u16 % 12),
+                    Reg(8 + ((i + 1) % 12) as u16),
+                ],
             ));
         }
         for i in 0..d.fs.sfu_ops {
@@ -520,7 +541,10 @@ impl Renderer {
             w.push(Instr::alu(Op::IntAlu, Reg(22 + (i % 2) as u16), &[Reg(8)]));
         }
         // Colour store (the black-box output write; ROP itself is skipped).
-        let px_addrs: Vec<u64> = chunk.iter().map(|(f, _)| self.fb.pixel_addr(f.x, f.y)).collect();
+        let px_addrs: Vec<u64> = chunk
+            .iter()
+            .map(|(f, _)| self.fb.pixel_addr(f.x, f.y))
+            .collect();
         w.push(Instr::store(
             Reg(8),
             MemAccess::scattered(Space::Global, DataClass::Pipeline, 4, px_addrs),
@@ -602,12 +626,24 @@ mod tests {
 
     fn tex(alloc: &mut AddressAllocator) -> Texture {
         let base = alloc.alloc(1 << 20, 256);
-        Texture::new("t", 256, 256, 1, TextureFormat::Rgba8, FilterMode::Nearest, base)
+        Texture::new(
+            "t",
+            256,
+            256,
+            1,
+            TextureFormat::Rgba8,
+            FilterMode::Nearest,
+            base,
+        )
     }
 
     fn camera() -> Mat4 {
         let proj = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 100.0);
-        let view = Mat4::look_at(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        let view = Mat4::look_at(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         proj.mul(&view)
     }
 
@@ -618,7 +654,13 @@ mod tests {
         let mut cfg = RenderConfig::new(64, 64);
         cfg.lod0 = lod0;
         let mut r = Renderer::new(cfg);
-        let d = DrawCall::simple("q", mesh, vec![t], FragmentShader::basic_textured(), Mat4::identity());
+        let d = DrawCall::simple(
+            "q",
+            mesh,
+            vec![t],
+            FragmentShader::basic_textured(),
+            Mat4::identity(),
+        );
         let s = r.render(&[d], &camera());
         let cov = r.framebuffer().coverage();
         (s, r.stats().clone(), cov)
@@ -635,7 +677,10 @@ mod tests {
         assert_eq!(d.prims, 2);
         assert_eq!(d.culled, 0);
         assert!(d.fragments > 0);
-        assert!(cov > 0.2, "quad must cover a good part of the screen: {cov}");
+        assert!(
+            cov > 0.2,
+            "quad must cover a good part of the screen: {cov}"
+        );
     }
 
     #[test]
@@ -724,7 +769,13 @@ mod tests {
             alloc.alloc(1 << 22, 256),
         );
         let ibuf = alloc.alloc(4096, 256);
-        let mut d = DrawCall::simple("inst", mesh, vec![t], FragmentShader::basic_textured(), Mat4::identity());
+        let mut d = DrawCall::simple(
+            "inst",
+            mesh,
+            vec![t],
+            FragmentShader::basic_textured(),
+            Mat4::identity(),
+        );
         d.instance_buffer = ibuf;
         d.instances = (0..5)
             .map(|i| Instance {
@@ -735,7 +786,11 @@ mod tests {
         let mut r = Renderer::new(RenderConfig::new(64, 64));
         let _ = r.render(&[d], &camera());
         let ds = &r.stats().draws[0];
-        assert_eq!(ds.vs_invocations, 4 * 5, "each instance re-shades the batch");
+        assert_eq!(
+            ds.vs_invocations,
+            4 * 5,
+            "each instance re-shades the batch"
+        );
         assert_eq!(ds.prims, 10);
     }
 
@@ -752,8 +807,14 @@ mod tests {
         let mesh = quad_mesh(&mut alloc);
         let t = tex(&mut alloc);
         let mut r = Renderer::new(RenderConfig::new(32, 32));
-        let d = DrawCall::simple("q", mesh, vec![t], FragmentShader::basic_textured(), Mat4::identity());
-        let _ = r.render(&[d.clone()], &camera());
+        let d = DrawCall::simple(
+            "q",
+            mesh,
+            vec![t],
+            FragmentShader::basic_textured(),
+            Mat4::identity(),
+        );
+        let _ = r.render(std::slice::from_ref(&d), &camera());
         assert!(!r.stats().draws.is_empty());
         r.reset();
         assert!(r.stats().draws.is_empty());
@@ -766,7 +827,13 @@ mod tests {
         let mut alloc = AddressAllocator::standard_layout();
         let mesh = quad_mesh(&mut alloc);
         let mut r = Renderer::new(RenderConfig::new(32, 32));
-        let d = DrawCall::simple("bad", mesh, vec![], FragmentShader::basic_textured(), Mat4::identity());
+        let d = DrawCall::simple(
+            "bad",
+            mesh,
+            vec![],
+            FragmentShader::basic_textured(),
+            Mat4::identity(),
+        );
         let _ = r.render(&[d], &camera());
     }
 

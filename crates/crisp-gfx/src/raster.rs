@@ -6,8 +6,6 @@
 //! cannot compute runtime derivatives, "the LoD for each fragment is
 //! calculated during rasterization" and later looked up by the texture unit.
 
-use serde::{Deserialize, Serialize};
-
 use crate::fb::Framebuffer;
 use crate::math::{Vec2, Vec3, Vec4};
 
@@ -15,7 +13,7 @@ use crate::math::{Vec2, Vec3, Vec4};
 pub const TILE_SIZE: u32 = 16;
 
 /// A vertex after the vertex shader, in clip space plus screen mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScreenVertex {
     /// Clip-space position.
     pub clip: Vec4,
@@ -36,7 +34,14 @@ pub struct ScreenVertex {
 impl ScreenVertex {
     /// Map a clip-space vertex to the screen. Returns `None` when behind
     /// the camera (w <= 0), which the caller must treat as clipped.
-    pub fn from_clip(clip: Vec4, uv: Vec2, normal: Vec3, layer: u32, width: u32, height: u32) -> Option<Self> {
+    pub fn from_clip(
+        clip: Vec4,
+        uv: Vec2,
+        normal: Vec3,
+        layer: u32,
+        width: u32,
+        height: u32,
+    ) -> Option<Self> {
         Self::from_clip_viewport(clip, uv, normal, layer, (0, 0, width, height))
     }
 
@@ -72,7 +77,7 @@ impl ScreenVertex {
 
 /// One fragment produced by the rasterizer, carrying its pre-computed LoD
 /// derivatives.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fragment {
     /// Pixel x.
     pub x: u32,
@@ -130,8 +135,8 @@ pub fn rasterize(v: &[ScreenVertex; 3], fb: &mut Framebuffer) -> Vec<Fragment> {
     let e1 = (bx - ax, by - ay);
     let e2 = (cx - ax, cy - ay);
     let det = e1.0 * e2.1 - e1.1 * e2.0;
-    let duv1 = v[1].uv.sub(v[0].uv);
-    let duv2 = v[2].uv.sub(v[0].uv);
+    let duv1 = v[1].uv - v[0].uv;
+    let duv2 = v[2].uv - v[0].uv;
     let inv_det = 1.0 / det;
     let duv_dx = Vec2::new(
         (duv1.x * e2.1 - duv2.x * e1.1) * inv_det,
@@ -192,7 +197,7 @@ pub fn rasterize(v: &[ScreenVertex; 3], fb: &mut Framebuffer) -> Vec<Fragment> {
 
 /// The ITR screen-tile grid: maps fragments/primitives to tiles and tiles
 /// to the SM that rasterizes them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileGrid {
     /// Tiles per row.
     pub tiles_x: u32,
@@ -203,7 +208,10 @@ pub struct TileGrid {
 impl TileGrid {
     /// The grid covering a `width`×`height` screen.
     pub fn new(width: u32, height: u32) -> Self {
-        TileGrid { tiles_x: width.div_ceil(TILE_SIZE), tiles_y: height.div_ceil(TILE_SIZE) }
+        TileGrid {
+            tiles_x: width.div_ceil(TILE_SIZE),
+            tiles_y: height.div_ceil(TILE_SIZE),
+        }
     }
 
     /// Total tiles.
@@ -408,7 +416,7 @@ mod tests {
             layer: 0,
         };
         let g = TileGrid::new(64, 64);
-        assert_eq!(f.tile(g.tiles_x), (17 / 16) * 4 + (33 / 16));
+        assert_eq!(f.tile(g.tiles_x), 4 + (33 / 16));
     }
 
     #[test]

@@ -11,10 +11,8 @@
 //! scenes (Godot Sponza, Pistol) sample eight maps and run the full
 //! physically-based lighting math.
 
-use serde::{Deserialize, Serialize};
-
 /// Which lighting model the functional shader applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShaderKind {
     /// Albedo texture × N·L diffuse — the Khronos-samples style shader.
     BasicTextured,
@@ -27,7 +25,7 @@ pub enum ShaderKind {
 }
 
 /// Vertex-shader cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VertexShader {
     /// FMA-class operations per vertex.
     pub fp_ops: u32,
@@ -41,17 +39,25 @@ impl VertexShader {
     /// The standard model-view-projection transform plus normal transform:
     /// two 4×4 matrix multiplies and a 3×3 (≈ 28 FMA).
     pub fn transform() -> Self {
-        VertexShader { fp_ops: 28, int_ops: 6, regs: 32 }
+        VertexShader {
+            fp_ops: 28,
+            int_ops: 6,
+            regs: 32,
+        }
     }
 
     /// A heavier vertex shader (skinning-like workloads).
     pub fn skinned() -> Self {
-        VertexShader { fp_ops: 96, int_ops: 14, regs: 48 }
+        VertexShader {
+            fp_ops: 96,
+            int_ops: 14,
+            regs: 48,
+        }
     }
 }
 
 /// Fragment-shader cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FragmentShader {
     /// Lighting model for functional shading.
     pub kind: ShaderKind,

@@ -6,13 +6,12 @@
 //! only the missing sector.
 
 use crisp_trace::{DataClass, StreamId, LINE_BYTES};
-use serde::{Deserialize, Serialize};
 
 use crate::req::MemReq;
 use crate::stats::{CompositionSnapshot, MemStats};
 
 /// Size/associativity of a cache. Line size is fixed at 128 B.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -29,7 +28,7 @@ impl CacheGeometry {
     pub fn sets(&self) -> u64 {
         let denom = LINE_BYTES * self.assoc as u64;
         assert!(
-            self.size_bytes % denom == 0 && self.size_bytes > 0,
+            self.size_bytes.is_multiple_of(denom) && self.size_bytes > 0,
             "capacity {}B is not a multiple of assoc*line ({}B)",
             self.size_bytes,
             denom
@@ -44,7 +43,7 @@ impl CacheGeometry {
 }
 
 /// Victim-selection policy within a set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Replacement {
     /// Evict the least-recently-used way (the paper's baseline: "The
     /// baseline cache replacement policy, LRU, is efficient enough").
@@ -226,7 +225,8 @@ impl CacheCore {
             }
             None => AccessOutcome::LineMiss,
         };
-        self.stats.record(req.stream, req.class, outcome == AccessOutcome::Hit);
+        self.stats
+            .record(req.stream, req.class, outcome == AccessOutcome::Hit);
         outcome
     }
 
@@ -299,7 +299,11 @@ impl CacheCore {
 
     /// Apply a write with write-validate (allocate-on-write) semantics; used
     /// by the L2. Returns `(was_hit, eviction writeback)`.
-    pub fn write_validate(&mut self, req: &MemReq, window: (u64, u64)) -> (bool, Option<Writeback>) {
+    pub fn write_validate(
+        &mut self,
+        req: &MemReq,
+        window: (u64, u64),
+    ) -> (bool, Option<Writeback>) {
         let out = self.access(req, AccessKind::WriteValidate, window);
         match out {
             AccessOutcome::Hit => (true, None),
@@ -347,7 +351,10 @@ mod tests {
 
     fn geom_tiny() -> CacheGeometry {
         // 2 sets × 2 ways × 128 B.
-        CacheGeometry { size_bytes: 512, assoc: 2 }
+        CacheGeometry {
+            size_bytes: 512,
+            assoc: 2,
+        }
     }
 
     fn rd(addr: u64) -> MemReq {
@@ -360,14 +367,32 @@ mod tests {
 
     #[test]
     fn geometry_sets() {
-        assert_eq!(CacheGeometry { size_bytes: 4 << 20, assoc: 16 }.sets(), 2048);
-        assert_eq!(CacheGeometry { size_bytes: 4 << 20, assoc: 16 }.lines(), 32768);
+        assert_eq!(
+            CacheGeometry {
+                size_bytes: 4 << 20,
+                assoc: 16
+            }
+            .sets(),
+            2048
+        );
+        assert_eq!(
+            CacheGeometry {
+                size_bytes: 4 << 20,
+                assoc: 16
+            }
+            .lines(),
+            32768
+        );
     }
 
     #[test]
     #[should_panic(expected = "not a multiple")]
     fn geometry_rejects_ragged_capacity() {
-        let _ = CacheGeometry { size_bytes: 1000, assoc: 3 }.sets();
+        let _ = CacheGeometry {
+            size_bytes: 1000,
+            assoc: 3,
+        }
+        .sets();
     }
 
     #[test]
@@ -376,7 +401,16 @@ mod tests {
         let w = full(&c);
         let r = rd(0x80);
         assert_eq!(c.access(&r, AccessKind::Read, w), AccessOutcome::LineMiss);
-        assert!(c.fill(r.line_addr(), r.sector_in_line(), S0, DataClass::Compute, false, w).is_none());
+        assert!(c
+            .fill(
+                r.line_addr(),
+                r.sector_in_line(),
+                S0,
+                DataClass::Compute,
+                false,
+                w
+            )
+            .is_none());
         assert_eq!(c.access(&r, AccessKind::Read, w), AccessOutcome::Hit);
         let s = c.stats().get(S0, DataClass::Compute);
         assert_eq!((s.accesses, s.hits, s.misses), (2, 1, 1));
@@ -389,9 +423,26 @@ mod tests {
         let r0 = rd(0x100); // sector 0 of line 0x100
         let r1 = rd(0x120); // sector 1 of same line
         assert_eq!(c.access(&r0, AccessKind::Read, w), AccessOutcome::LineMiss);
-        c.fill(r0.line_addr(), r0.sector_in_line(), S0, DataClass::Compute, false, w);
-        assert_eq!(c.access(&r1, AccessKind::Read, w), AccessOutcome::SectorMiss);
-        c.fill(r1.line_addr(), r1.sector_in_line(), S0, DataClass::Compute, false, w);
+        c.fill(
+            r0.line_addr(),
+            r0.sector_in_line(),
+            S0,
+            DataClass::Compute,
+            false,
+            w,
+        );
+        assert_eq!(
+            c.access(&r1, AccessKind::Read, w),
+            AccessOutcome::SectorMiss
+        );
+        c.fill(
+            r1.line_addr(),
+            r1.sector_in_line(),
+            S0,
+            DataClass::Compute,
+            false,
+            w,
+        );
         assert_eq!(c.access(&r1, AccessKind::Read, w), AccessOutcome::Hit);
     }
 
@@ -413,9 +464,18 @@ mod tests {
             c.fill(r.line_addr(), 0, S0, DataClass::Compute, false, w);
         }
         // First line was LRU and must be gone; the last two must be resident.
-        assert_eq!(c.access(&rd(conflicting[0]), AccessKind::Read, w), AccessOutcome::LineMiss);
-        assert_eq!(c.access(&rd(conflicting[1]), AccessKind::Read, w), AccessOutcome::Hit);
-        assert_eq!(c.access(&rd(conflicting[2]), AccessKind::Read, w), AccessOutcome::Hit);
+        assert_eq!(
+            c.access(&rd(conflicting[0]), AccessKind::Read, w),
+            AccessOutcome::LineMiss
+        );
+        assert_eq!(
+            c.access(&rd(conflicting[1]), AccessKind::Read, w),
+            AccessOutcome::Hit
+        );
+        assert_eq!(
+            c.access(&rd(conflicting[2]), AccessKind::Read, w),
+            AccessOutcome::Hit
+        );
     }
 
     #[test]
@@ -424,7 +484,14 @@ mod tests {
         let w = full(&c);
         let r = rd(0x80);
         let _ = c.access(&r, AccessKind::Read, w);
-        c.fill(r.line_addr(), r.sector_in_line(), S0, DataClass::Compute, false, w);
+        c.fill(
+            r.line_addr(),
+            r.sector_in_line(),
+            S0,
+            DataClass::Compute,
+            false,
+            w,
+        );
         assert_eq!(c.access(&r, AccessKind::Read, w), AccessOutcome::Hit);
         // Under conflict pressure it evicts *something* but stays bounded.
         for i in 0..256u64 {
@@ -477,7 +544,10 @@ mod tests {
     #[test]
     fn set_window_confines_indexing() {
         // 8-set cache; restrict a stream to sets [4, 8).
-        let mut c = CacheCore::new(CacheGeometry { size_bytes: 8 * 2 * 128, assoc: 2 });
+        let mut c = CacheCore::new(CacheGeometry {
+            size_bytes: 8 * 2 * 128,
+            assoc: 2,
+        });
         let win = (4, 4);
         for i in 0..64u64 {
             let r = rd(i * LINE_BYTES);

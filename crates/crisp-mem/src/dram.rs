@@ -204,7 +204,10 @@ mod tests {
         for i in 0..8u64 {
             last2 = d2.request_at(0, (i % 2) * stride + i * 32, S, false);
         }
-        assert!(last2 > sequential * 2, "conflicts must cost: {last2} vs {sequential}");
+        assert!(
+            last2 > sequential * 2,
+            "conflicts must cost: {last2} vs {sequential}"
+        );
         assert_eq!(d2.row_stats().1, 8);
     }
 

@@ -123,7 +123,14 @@ mod tests {
     const S: StreamId = StreamId(0);
 
     fn bank() -> L2Bank {
-        L2Bank::new(CacheGeometry { size_bytes: 4096, assoc: 4 }, 8, 4)
+        L2Bank::new(
+            CacheGeometry {
+                size_bytes: 4096,
+                assoc: 4,
+            },
+            8,
+            4,
+        )
     }
 
     fn rd(addr: u64, id: u64) -> MemReq {
@@ -149,7 +156,14 @@ mod tests {
 
     #[test]
     fn mshr_exhaustion_stalls() {
-        let mut b = L2Bank::new(CacheGeometry { size_bytes: 4096, assoc: 4 }, 1, 1);
+        let mut b = L2Bank::new(
+            CacheGeometry {
+                size_bytes: 4096,
+                assoc: 4,
+            },
+            1,
+            1,
+        );
         let w = win(&b);
         assert_eq!(b.read(&rd(0x000, 1), w), L2Outcome::MissToDram);
         assert_eq!(b.read(&rd(0x200, 2), w), L2Outcome::Stall);
@@ -163,7 +177,11 @@ mod tests {
         let w = win(&b);
         let wr = MemReq::write(0x80, S, DataClass::Pipeline, ReqToken { sm: 0, id: 0 });
         assert!(b.write(&wr, w).is_none());
-        assert_eq!(b.read(&rd(0x80, 1), w), L2Outcome::Hit, "write-validate makes data visible");
+        assert_eq!(
+            b.read(&rd(0x80, 1), w),
+            L2Outcome::Hit,
+            "write-validate makes data visible"
+        );
     }
 
     #[test]

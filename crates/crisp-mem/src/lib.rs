@@ -23,12 +23,20 @@
 //! [`MemReq`]s tagged with an opaque [`ReqToken`]; completions come back from
 //! [`MemSystem::tick`]. `crisp-sm` turns warp instructions into requests and
 //! `crisp-sim` drives the clock.
+//!
+//! The hierarchy is split along the threading boundary of `crisp-sim`'s
+//! parallel executor: each SM owns an [`SmMemPort`] (private L1 + MSHRs +
+//! an egress queue) it can use from any worker thread, while the shared
+//! [`MemSystem`] (crossbar, banked L2, DRAM) drains every port's egress in
+//! ascending SM-id order each tick — making simulation results bit-identical
+//! at any worker-thread count.
 
 mod cache;
 mod dram;
 mod l2;
 mod mshr;
 mod partition;
+mod port;
 mod req;
 mod stats;
 mod system;
@@ -39,6 +47,7 @@ pub use dram::{Dram, DRAM_BANKS, ROW_BYTES};
 pub use l2::{L2Bank, L2Outcome};
 pub use mshr::{Mshr, MshrOutcome};
 pub use partition::{BankMap, SetPartition, TapConfig, TapController};
+pub use port::SmMemPort;
 pub use req::{Completion, MemReq, ReqToken, SECTORS_PER_LINE};
 pub use stats::{ClassStreamCounters, CompositionSnapshot, MemStats};
 pub use system::{L1AccessResult, MemConfig, MemSystem};

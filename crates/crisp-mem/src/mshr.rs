@@ -39,7 +39,11 @@ impl Mshr {
     /// `max_merges` waiters per sector.
     pub fn new(max_entries: usize, max_merges: usize) -> Self {
         assert!(max_entries > 0 && max_merges > 0);
-        Mshr { entries: HashMap::new(), max_entries, max_merges }
+        Mshr {
+            entries: HashMap::new(),
+            max_entries,
+            max_merges,
+        }
     }
 
     /// Track a miss on `sector_addr` for `token`.
@@ -54,13 +58,21 @@ impl Mshr {
         if self.entries.len() >= self.max_entries {
             return MshrOutcome::Full;
         }
-        self.entries.insert(sector_addr, Entry { waiters: vec![token] });
+        self.entries.insert(
+            sector_addr,
+            Entry {
+                waiters: vec![token],
+            },
+        );
         MshrOutcome::Allocated
     }
 
     /// A fill for `sector_addr` arrived; returns every waiting token.
     pub fn on_fill(&mut self, sector_addr: u64) -> Vec<ReqToken> {
-        self.entries.remove(&sector_addr).map(|e| e.waiters).unwrap_or_default()
+        self.entries
+            .remove(&sector_addr)
+            .map(|e| e.waiters)
+            .unwrap_or_default()
     }
 
     /// Whether a fetch for `sector_addr` is already in flight.

@@ -19,11 +19,10 @@
 use std::collections::HashMap;
 
 use crisp_trace::{StreamId, LINE_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Maps addresses to L2 banks, optionally restricting each stream to a bank
 /// subset (MiG).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BankMap {
     n_banks: u32,
     /// `None` = all banks shared (MPS/TAP); `Some` = per-stream allowed banks.
@@ -37,7 +36,10 @@ impl BankMap {
     /// All banks shared by every stream.
     pub fn shared(n_banks: u32) -> Self {
         assert!(n_banks > 0);
-        BankMap { n_banks, masks: None }
+        BankMap {
+            n_banks,
+            masks: None,
+        }
     }
 
     /// MiG-style: each stream only uses its listed banks.
@@ -49,9 +51,15 @@ impl BankMap {
         assert!(n_banks > 0);
         for (s, m) in &masks {
             assert!(!m.is_empty(), "stream {s} has an empty bank mask");
-            assert!(m.iter().all(|&b| b < n_banks), "bank index out of range for {s}");
+            assert!(
+                m.iter().all(|&b| b < n_banks),
+                "bank index out of range for {s}"
+            );
         }
-        BankMap { n_banks, masks: Some(masks) }
+        BankMap {
+            n_banks,
+            masks: Some(masks),
+        }
     }
 
     /// Convenience MiG split of banks into two contiguous halves.
@@ -73,7 +81,10 @@ impl BankMap {
     pub fn banks_for(&self, stream: StreamId) -> Vec<u32> {
         match &self.masks {
             None => (0..self.n_banks).collect(),
-            Some(m) => m.get(&stream).cloned().unwrap_or_else(|| (0..self.n_banks).collect()),
+            Some(m) => m
+                .get(&stream)
+                .cloned()
+                .unwrap_or_else(|| (0..self.n_banks).collect()),
         }
     }
 
@@ -100,14 +111,16 @@ impl BankMap {
         let offset = addr % BANK_INTERLEAVE_BYTES;
         let banks = match &self.masks {
             None => self.n_banks as u64,
-            Some(m) => m.get(&stream).map_or(self.n_banks as u64, |a| a.len() as u64),
+            Some(m) => m
+                .get(&stream)
+                .map_or(self.n_banks as u64, |a| a.len() as u64),
         };
         (chunk / banks) * BANK_INTERLEAVE_BYTES + offset
     }
 }
 
 /// TAP controller parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TapConfig {
     /// Re-evaluate the allocation after this many observed accesses.
     pub epoch_accesses: u64,
@@ -120,7 +133,11 @@ pub struct TapConfig {
 
 impl Default for TapConfig {
     fn default() -> Self {
-        TapConfig { epoch_accesses: 100_000, sample_every: 16, min_sets: 1 }
+        TapConfig {
+            epoch_accesses: 100_000,
+            sample_every: 16,
+            min_sets: 1,
+        }
     }
 }
 
@@ -136,7 +153,12 @@ struct Umon {
 
 impl Umon {
     fn new(depth: usize) -> Self {
-        Umon { stack: Vec::with_capacity(depth), way_hits: vec![0; depth], accesses: 0, sampled: 0 }
+        Umon {
+            stack: Vec::with_capacity(depth),
+            way_hits: vec![0; depth],
+            accesses: 0,
+            sampled: 0,
+        }
     }
 
     fn observe(&mut self, line_addr: u64, sample: bool) {
@@ -200,12 +222,18 @@ impl TapController {
     /// Panics if fewer than two streams are given or the sets cannot cover
     /// the minimum allocation.
     pub fn new(streams: Vec<StreamId>, sets_per_bank: u64, assoc: u32, cfg: TapConfig) -> Self {
-        assert!(streams.len() >= 2, "TAP partitions between at least two streams");
+        assert!(
+            streams.len() >= 2,
+            "TAP partitions between at least two streams"
+        );
         assert!(
             sets_per_bank >= cfg.min_sets * streams.len() as u64,
             "not enough sets for the minimum allocation"
         );
-        let umons = streams.iter().map(|&s| (s, Umon::new(assoc as usize))).collect();
+        let umons = streams
+            .iter()
+            .map(|&s| (s, Umon::new(assoc as usize)))
+            .collect();
         let mut tap = TapController {
             cfg,
             sets_per_bank,
@@ -240,7 +268,7 @@ impl TapController {
 
     /// Record one L2 access (pre-indexing) so the UMONs learn utility.
     pub fn observe(&mut self, stream: StreamId, line_addr: u64) {
-        let sample = (line_addr / LINE_BYTES) % self.cfg.sample_every == 0;
+        let sample = (line_addr / LINE_BYTES).is_multiple_of(self.cfg.sample_every);
         if let Some(u) = self.umons.get_mut(&stream) {
             u.observe(line_addr, sample);
         }
@@ -263,7 +291,13 @@ impl TapController {
         // down, so the memory-hungry rendering stream wins the capacity
         // (paper Figure 15: "TAP allocates most cache lines to rendering
         // because HOLO is compute-bounded").
-        let max_acc = self.umons.values().map(|u| u.accesses).max().unwrap_or(0).max(1);
+        let max_acc = self
+            .umons
+            .values()
+            .map(|u| u.accesses)
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let weight = |s: &StreamId| self.umons[s].accesses as f64 / max_acc as f64;
         let mut units = vec![1usize; n]; // everyone keeps >= 1 unit
         let total_units = self.assoc.max(n);
@@ -272,10 +306,10 @@ impl TapController {
                 .max_by(|&a, &b| {
                     let sa = self.streams[a];
                     let sb = self.streams[b];
-                    let ua =
-                        self.umons[&sa].marginal_utility(units[a].min(self.assoc - 1)) * weight(&sa);
-                    let ub =
-                        self.umons[&sb].marginal_utility(units[b].min(self.assoc - 1)) * weight(&sb);
+                    let ua = self.umons[&sa].marginal_utility(units[a].min(self.assoc - 1))
+                        * weight(&sa);
+                    let ub = self.umons[&sb].marginal_utility(units[b].min(self.assoc - 1))
+                        * weight(&sb);
                     // Residual ties go to the stream with the higher access
                     // rate — idle capacity helps the client that actually
                     // touches the cache.
@@ -310,12 +344,18 @@ impl TapController {
 
     /// The current set window (start, count) for `stream`.
     pub fn window(&self, stream: StreamId) -> (u64, u64) {
-        self.windows.get(&stream).copied().unwrap_or((0, self.sets_per_bank))
+        self.windows
+            .get(&stream)
+            .copied()
+            .unwrap_or((0, self.sets_per_bank))
     }
 
     /// Current allocation as (stream, sets) pairs in stream order.
     pub fn allocation(&self) -> Vec<(StreamId, u64)> {
-        self.streams.iter().map(|&s| (s, self.windows[&s].1)).collect()
+        self.streams
+            .iter()
+            .map(|&s| (s, self.windows[&s].1))
+            .collect()
     }
 
     /// Number of completed repartition epochs.
@@ -427,7 +467,11 @@ mod tests {
     fn tap_starves_the_low_utility_stream() {
         // Stream A: heavy reuse over a working set that fits (high utility).
         // Stream B: barely any accesses (a compute-bound stream like HOLO).
-        let cfg = TapConfig { epoch_accesses: 4_000, sample_every: 1, min_sets: 1 };
+        let cfg = TapConfig {
+            epoch_accesses: 4_000,
+            sample_every: 1,
+            min_sets: 1,
+        };
         let mut t = TapController::new(vec![A, B], 64, 16, cfg);
         for round in 0..4u64 {
             for i in 0..2_000u64 {
@@ -441,7 +485,10 @@ mod tests {
         assert!(t.repartitions() >= 1, "controller must have re-evaluated");
         let (_, a_sets) = t.window(A);
         let (_, b_sets) = t.window(B);
-        assert!(a_sets > b_sets, "high-utility stream must win sets: {a_sets} vs {b_sets}");
+        assert!(
+            a_sets > b_sets,
+            "high-utility stream must win sets: {a_sets} vs {b_sets}"
+        );
         assert!(b_sets >= 1, "floor of one set");
         assert_eq!(a_sets + b_sets, 64);
     }
@@ -462,6 +509,10 @@ mod tests {
         let p = SetPartition::Static(m);
         assert_eq!(p.window(A, sets), (0, 96));
         assert_eq!(p.window(B, sets), (96, 32));
-        assert_eq!(p.window(StreamId(9), sets), (0, 128), "unknown stream gets everything");
+        assert_eq!(
+            p.window(StreamId(9), sets),
+            (0, 128),
+            "unknown stream gets everything"
+        );
     }
 }

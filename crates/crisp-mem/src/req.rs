@@ -1,14 +1,13 @@
 //! Memory requests, tokens and completions.
 
 use crisp_trace::{DataClass, StreamId, LINE_BYTES, SECTOR_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Sectors per cache line (128 B line / 32 B sector).
 pub const SECTORS_PER_LINE: u64 = LINE_BYTES / SECTOR_BYTES;
 
 /// Opaque token the issuer attaches to a request so it can recognise the
 /// completion. The memory system never interprets it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReqToken {
     /// Issuing SM.
     pub sm: u16,
@@ -17,7 +16,7 @@ pub struct ReqToken {
 }
 
 /// A sector-granular memory request, the unit the hierarchy operates on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemReq {
     /// Sector-aligned byte address.
     pub addr: u64,
@@ -34,12 +33,24 @@ pub struct MemReq {
 impl MemReq {
     /// A read of the sector containing `addr`.
     pub fn read(addr: u64, stream: StreamId, class: DataClass, token: ReqToken) -> Self {
-        MemReq { addr: addr & !(SECTOR_BYTES - 1), is_write: false, stream, class, token }
+        MemReq {
+            addr: addr & !(SECTOR_BYTES - 1),
+            is_write: false,
+            stream,
+            class,
+            token,
+        }
     }
 
     /// A write to the sector containing `addr`.
     pub fn write(addr: u64, stream: StreamId, class: DataClass, token: ReqToken) -> Self {
-        MemReq { addr: addr & !(SECTOR_BYTES - 1), is_write: true, stream, class, token }
+        MemReq {
+            addr: addr & !(SECTOR_BYTES - 1),
+            is_write: true,
+            stream,
+            class,
+            token,
+        }
     }
 
     /// The 128 B line address containing this sector.
@@ -54,7 +65,7 @@ impl MemReq {
 }
 
 /// A finished read returned by the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The token the issuer attached.
     pub token: ReqToken,

@@ -3,10 +3,9 @@
 use std::collections::BTreeMap;
 
 use crisp_trace::{DataClass, StreamId};
-use serde::{Deserialize, Serialize};
 
 /// Access/hit/miss counters kept per `(stream, class)` key.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassStreamCounters {
     /// Sector-granular accesses.
     pub accesses: u64,
@@ -29,7 +28,7 @@ impl ClassStreamCounters {
 }
 
 /// Aggregated statistics for one cache (or the whole hierarchy level).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemStats {
     by_key: BTreeMap<(StreamId, DataClass), ClassStreamCounters>,
 }
@@ -53,7 +52,10 @@ impl MemStats {
 
     /// Counters for one `(stream, class)` pair.
     pub fn get(&self, stream: StreamId, class: DataClass) -> ClassStreamCounters {
-        self.by_key.get(&(stream, class)).copied().unwrap_or_default()
+        self.by_key
+            .get(&(stream, class))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Sum of counters over every class for one stream.
@@ -112,7 +114,7 @@ impl MemStats {
 /// A point-in-time breakdown of valid cache lines by owner, the quantity
 /// Figures 11 and 15 plot ("up to 60% of cachelines are occupied by texture
 /// data").
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompositionSnapshot {
     lines: BTreeMap<(StreamId, DataClass), u64>,
     /// Total line capacity of the structure snapshotted.
@@ -122,7 +124,10 @@ pub struct CompositionSnapshot {
 impl CompositionSnapshot {
     /// An empty snapshot with the given capacity.
     pub fn new(capacity_lines: u64) -> Self {
-        CompositionSnapshot { lines: BTreeMap::new(), capacity_lines }
+        CompositionSnapshot {
+            lines: BTreeMap::new(),
+            capacity_lines,
+        }
     }
 
     /// Count one valid line owned by `(stream, class)`.
@@ -145,12 +150,20 @@ impl CompositionSnapshot {
 
     /// Valid lines owned by `class`, any stream.
     pub fn class_lines(&self, class: DataClass) -> u64 {
-        self.lines.iter().filter(|((_, c), _)| *c == class).map(|(_, n)| n).sum()
+        self.lines
+            .iter()
+            .filter(|((_, c), _)| *c == class)
+            .map(|(_, n)| n)
+            .sum()
     }
 
     /// Valid lines owned by `stream`, any class.
     pub fn stream_lines(&self, stream: StreamId) -> u64 {
-        self.lines.iter().filter(|((s, _), _)| *s == stream).map(|(_, n)| n).sum()
+        self.lines
+            .iter()
+            .filter(|((s, _), _)| *s == stream)
+            .map(|(_, n)| n)
+            .sum()
     }
 
     /// Total valid lines.

@@ -1,22 +1,26 @@
-//! The assembled memory hierarchy: per-SM unified L1s → crossbar → banked
-//! L2 → DRAM partitions, driven by an external clock.
+//! The assembled shared memory hierarchy: crossbar → banked L2 → DRAM
+//! partitions, driven by an external clock.
 //!
-//! `crisp-sm`'s load-store units call [`MemSystem::l1_read`] /
-//! [`MemSystem::l1_write`]; `crisp-sim` calls [`MemSystem::tick`] once per
-//! core cycle and routes the returned [`Completion`]s back to the issuing
-//! warps.
+//! The SM-private side (unified L1 + MSHRs) lives in [`SmMemPort`]; each SM
+//! owns its port and can therefore tick on a worker thread without touching
+//! shared state. `crisp-sim` calls [`MemSystem::tick`] once per core cycle
+//! with every port: the tick first **drains each port's egress queue in
+//! ascending SM-id order** (reproducing the exact request interleaving of a
+//! single-threaded run), then advances the L2/DRAM pipelines, and finally
+//! fills the ports with arriving responses, returning the [`Completion`]s to
+//! route back to the issuing warps.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crisp_trace::{DataClass, StreamId};
 
-use crate::cache::{AccessKind, AccessOutcome, CacheCore, CacheGeometry, Replacement};
+use crate::cache::{CacheGeometry, Replacement};
 use crate::dram::Dram;
 use crate::l2::{L2Bank, L2Outcome};
-use crate::mshr::{Mshr, MshrOutcome};
 use crate::partition::{BankMap, SetPartition};
-use crate::req::{Completion, MemReq};
+use crate::port::SmMemPort;
+use crate::req::Completion;
 use crate::stats::{CompositionSnapshot, MemStats};
 use crate::xbar::Xbar;
 
@@ -55,7 +59,9 @@ pub struct MemConfig {
 impl MemConfig {
     fn l2_bank_geom(&self) -> CacheGeometry {
         assert!(
-            self.l2_geom.size_bytes % self.n_l2_banks as u64 == 0,
+            self.l2_geom
+                .size_bytes
+                .is_multiple_of(self.n_l2_banks as u64),
             "L2 capacity must divide evenly across banks"
         );
         CacheGeometry {
@@ -115,12 +121,11 @@ struct DramReturn {
     class_idx: u8,
 }
 
-/// The complete modelled memory hierarchy.
+/// The shared half of the modelled memory hierarchy (crossbar, L2, DRAM).
+/// The per-SM half is [`SmMemPort`].
 #[derive(Debug)]
 pub struct MemSystem {
     cfg: MemConfig,
-    l1: Vec<CacheCore>,
-    l1_mshr: Vec<Mshr>,
     xbar_in: Xbar,
     banks: Vec<L2Bank>,
     bank_map: BankMap,
@@ -137,32 +142,33 @@ impl MemSystem {
     pub fn new(cfg: MemConfig) -> Self {
         let bank_geom = cfg.l2_bank_geom();
         MemSystem {
-            l1: (0..cfg.n_sms).map(|_| CacheCore::new(cfg.l1_geom)).collect(),
-            l1_mshr: (0..cfg.n_sms)
-                .map(|_| Mshr::new(cfg.l1_mshr_entries, cfg.l1_mshr_merges))
-                .collect(),
             xbar_in: Xbar::new(cfg.n_l2_banks as usize, cfg.xbar_latency),
             banks: (0..cfg.n_l2_banks)
                 .map(|_| {
-                    L2Bank::with_replacement(
-                        bank_geom,
-                        cfg.l2_mshr_entries,
-                        16,
-                        cfg.l2_replacement,
-                    )
+                    L2Bank::with_replacement(bank_geom, cfg.l2_mshr_entries, 16, cfg.l2_replacement)
                 })
                 .collect(),
             bank_map: BankMap::shared(cfg.n_l2_banks),
             partition: SetPartition::Shared,
             dram: (0..cfg.n_l2_banks)
                 .map(|_| {
-                    Dram::new(cfg.dram_latency, cfg.dram_bytes_per_cycle / cfg.n_l2_banks as f64)
+                    Dram::new(
+                        cfg.dram_latency,
+                        cfg.dram_bytes_per_cycle / cfg.n_l2_banks as f64,
+                    )
                 })
                 .collect(),
             dram_ret: (0..cfg.n_l2_banks).map(|_| BinaryHeap::new()).collect(),
             responses: BinaryHeap::new(),
             cfg,
         }
+    }
+
+    /// One [`SmMemPort`] per SM, matching this hierarchy's configuration.
+    pub fn make_ports(&self) -> Vec<SmMemPort> {
+        (0..self.cfg.n_sms)
+            .map(|i| SmMemPort::new(i as u16, &self.cfg))
+            .collect()
     }
 
     /// Replace the bank map (MiG masks).
@@ -186,51 +192,27 @@ impl MemSystem {
         &self.cfg
     }
 
-    /// Present a sector-granular load from SM `sm` at cycle `now`.
-    pub fn l1_read(&mut self, sm: usize, req: MemReq, now: u64) -> L1AccessResult {
-        debug_assert_eq!(req.token.sm as usize, sm, "token must carry the issuing SM");
-        let mshr = &mut self.l1_mshr[sm];
-        if !mshr.can_accept(req.addr) {
-            return L1AccessResult::Stall;
-        }
-        if mshr.is_pending(req.addr) {
-            self.l1[sm].record_mshr_merge(req.stream, req.class);
-            let _ = mshr.on_miss(req.addr, req.token);
-            return L1AccessResult::Pending;
-        }
-        let window = (0, self.l1[sm].num_sets());
-        match self.l1[sm].access(&req, AccessKind::Read, window) {
-            AccessOutcome::Hit => L1AccessResult::Hit { ready_at: now + self.cfg.l1_latency },
-            AccessOutcome::SectorMiss | AccessOutcome::LineMiss => {
-                match self.l1_mshr[sm].on_miss(req.addr, req.token) {
-                    MshrOutcome::Allocated => {
-                        let bank = self.bank_map.bank_of(req.stream, req.addr);
-                        self.xbar_in.push(now, bank, req);
-                        L1AccessResult::Pending
-                    }
-                    MshrOutcome::Merged => L1AccessResult::Pending,
-                    MshrOutcome::Full => unreachable!("can_accept checked"),
-                }
+    /// Advance the hierarchy one cycle; returns loads completed this cycle.
+    ///
+    /// `ports` must be every SM's port in ascending SM-id order — the drain
+    /// and fill phases index it by SM id. The deterministic drain order is
+    /// the linchpin of reproducible parallel simulation: whatever thread
+    /// cycled each SM, the crossbar sees requests in (SM id, issue order).
+    pub fn tick(&mut self, now: u64, ports: &mut [&mut SmMemPort]) -> Vec<Completion> {
+        // 0. Drain every port's egress queue in ascending SM-id order.
+        for port in ports.iter_mut() {
+            while let Some(req) = port.egress.pop_front() {
+                let bank = self.bank_map.bank_of(req.stream, req.addr);
+                self.xbar_in.push(now, bank, req);
             }
         }
-    }
 
-    /// Present a sector-granular store. L1 is write-through/no-allocate; the
-    /// write is forwarded to the L2 (write-validate) and completes
-    /// immediately from the warp's perspective.
-    pub fn l1_write(&mut self, sm: usize, req: MemReq, now: u64) {
-        let window = (0, self.l1[sm].num_sets());
-        let _ = self.l1[sm].access(&req, AccessKind::WriteNoAllocate, window);
-        let bank = self.bank_map.bank_of(req.stream, req.addr);
-        self.xbar_in.push(now, bank, req);
-    }
-
-    /// Advance the hierarchy one cycle; returns loads completed this cycle.
-    pub fn tick(&mut self, now: u64) -> Vec<Completion> {
         // 1. Each L2 bank accepts at most one request per cycle from the
         //    crossbar.
         for bank_idx in 0..self.banks.len() as u32 {
-            let Some(req) = self.xbar_in.pop_ready(now, bank_idx) else { continue };
+            let Some(req) = self.xbar_in.pop_ready(now, bank_idx) else {
+                continue;
+            };
             let sets = self.banks[bank_idx as usize].cache().num_sets();
             self.partition.observe(req.stream, req.line_addr());
             let window = self.partition.window(req.stream, sets);
@@ -256,12 +238,8 @@ impl MemSystem {
                     }
                     L2Outcome::MissToDram => {
                         let local = self.bank_map.local_addr(req.stream, req.addr);
-                        let ready = self.dram[bank_idx as usize].request_at(
-                            now,
-                            local,
-                            req.stream,
-                            false,
-                        );
+                        let ready =
+                            self.dram[bank_idx as usize].request_at(now, local, req.stream, false);
                         self.dram_ret[bank_idx as usize].push(Reverse(DramReturn {
                             ready_at: ready,
                             sector: req.addr,
@@ -312,48 +290,33 @@ impl MemSystem {
             }
         }
 
-        // 3. Responses arriving at SMs fill the L1 and wake merged loads.
+        // 3. Responses arriving at SMs fill their port's L1 and wake merged
+        //    loads.
         let mut done = Vec::new();
         while let Some(&Reverse(r)) = self.responses.peek() {
             if r.ready_at > now {
                 break;
             }
             self.responses.pop();
-            let sm = r.sm as usize;
-            let line = r.sector & !(crisp_trace::LINE_BYTES - 1);
-            let sector = (r.sector % crisp_trace::LINE_BYTES) / crisp_trace::SECTOR_BYTES;
-            let window = (0, self.l1[sm].num_sets());
-            // L1 lines are never dirty (write-through), so the eviction
-            // writeback is always empty.
-            let _ = self.l1[sm].fill(line, sector, r.stream, idx_class(r.class_idx), false, window);
-            for token in self.l1_mshr[sm].on_fill(r.sector) {
-                done.push(Completion { token, addr: r.sector, ready_at: now });
+            let port = &mut ports[r.sm as usize];
+            for token in port.on_response(r.sector, r.stream, idx_class(r.class_idx)) {
+                done.push(Completion {
+                    token,
+                    addr: r.sector,
+                    ready_at: now,
+                });
             }
         }
         done
     }
 
-    /// Whether any request is still in flight anywhere in the hierarchy.
+    /// Whether any request is still in flight in the shared hierarchy.
+    /// (Each [`SmMemPort`] answers for its own in-flight sectors.)
     pub fn quiescent(&self) -> bool {
         self.xbar_in.in_flight() == 0
             && self.responses.is_empty()
             && self.dram_ret.iter().all(BinaryHeap::is_empty)
             && self.banks.iter().all(|b| b.in_flight() == 0)
-            && self.l1_mshr.iter().all(|m| m.in_flight() == 0)
-    }
-
-    /// L1 statistics of one SM.
-    pub fn l1_stats(&self, sm: usize) -> &MemStats {
-        self.l1[sm].stats()
-    }
-
-    /// L1 statistics summed over every SM.
-    pub fn l1_stats_total(&self) -> MemStats {
-        let mut t = MemStats::new();
-        for c in &self.l1 {
-            t.merge(c.stats());
-        }
-        t
     }
 
     /// L2 statistics summed over every bank.
@@ -384,11 +347,9 @@ impl MemSystem {
         self.dram.iter().map(Dram::total_bytes).sum()
     }
 
-    /// Clear all cache statistics (tags and contents are kept).
+    /// Clear L2 statistics (tags and contents are kept). L1 statistics live
+    /// in the ports; clear them with [`SmMemPort::clear_stats`].
     pub fn clear_stats(&mut self) {
-        for c in &mut self.l1 {
-            c.clear_stats();
-        }
         for b in &mut self.banks {
             b.cache_mut().clear_stats();
         }
@@ -398,18 +359,24 @@ impl MemSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::req::ReqToken;
+    use crate::req::{MemReq, ReqToken};
 
     const S: StreamId = StreamId(0);
 
     fn small_cfg() -> MemConfig {
         MemConfig {
             n_sms: 2,
-            l1_geom: CacheGeometry { size_bytes: 4096, assoc: 4 },
+            l1_geom: CacheGeometry {
+                size_bytes: 4096,
+                assoc: 4,
+            },
             l1_latency: 4,
             l1_mshr_entries: 8,
             l1_mshr_merges: 8,
-            l2_geom: CacheGeometry { size_bytes: 32768, assoc: 8 },
+            l2_geom: CacheGeometry {
+                size_bytes: 32768,
+                assoc: 8,
+            },
             n_l2_banks: 2,
             l2_latency: 20,
             l2_mshr_entries: 16,
@@ -424,11 +391,17 @@ mod tests {
         ReqToken { sm, id }
     }
 
-    fn run_until_complete(ms: &mut MemSystem, start: u64, budget: u64) -> Vec<Completion> {
+    fn run_until_complete(
+        ms: &mut MemSystem,
+        ports: &mut [SmMemPort],
+        start: u64,
+        budget: u64,
+    ) -> Vec<Completion> {
         let mut all = Vec::new();
         for now in start..start + budget {
-            all.extend(ms.tick(now));
-            if ms.quiescent() {
+            let mut refs: Vec<&mut SmMemPort> = ports.iter_mut().collect();
+            all.extend(ms.tick(now, &mut refs));
+            if ms.quiescent() && ports.iter().all(SmMemPort::quiescent) {
                 break;
             }
         }
@@ -438,27 +411,33 @@ mod tests {
     #[test]
     fn cold_miss_round_trip_completes() {
         let mut ms = MemSystem::new(small_cfg());
+        let mut ports = ms.make_ports();
         let req = MemReq::read(0x1000, S, DataClass::Compute, tok(0, 7));
-        assert_eq!(ms.l1_read(0, req, 0), L1AccessResult::Pending);
-        let done = run_until_complete(&mut ms, 0, 10_000);
+        assert_eq!(ports[0].read(req, 0), L1AccessResult::Pending);
+        let done = run_until_complete(&mut ms, &mut ports, 0, 10_000);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].token, tok(0, 7));
         // Latency must at least cover xbar + dram + l2 + xbar.
-        assert!(done[0].ready_at >= 4 + 100 + 20 + 4, "got {}", done[0].ready_at);
+        assert!(
+            done[0].ready_at >= 4 + 100 + 20 + 4,
+            "got {}",
+            done[0].ready_at
+        );
         assert!(ms.quiescent());
     }
 
     #[test]
     fn second_access_hits_in_l1() {
         let mut ms = MemSystem::new(small_cfg());
+        let mut ports = ms.make_ports();
         let req = MemReq::read(0x1000, S, DataClass::Compute, tok(0, 1));
-        let _ = ms.l1_read(0, req, 0);
-        let _ = run_until_complete(&mut ms, 0, 10_000);
-        match ms.l1_read(0, MemReq::read(0x1000, S, DataClass::Compute, tok(0, 2)), 500) {
+        let _ = ports[0].read(req, 0);
+        let _ = run_until_complete(&mut ms, &mut ports, 0, 10_000);
+        match ports[0].read(MemReq::read(0x1000, S, DataClass::Compute, tok(0, 2)), 500) {
             L1AccessResult::Hit { ready_at } => assert_eq!(ready_at, 504),
             other => panic!("expected hit, got {other:?}"),
         }
-        let stats = ms.l1_stats(0).get(S, DataClass::Compute);
+        let stats = ports[0].stats().get(S, DataClass::Compute);
         assert_eq!(stats.accesses, 2);
         assert_eq!(stats.hits, 1);
     }
@@ -466,52 +445,45 @@ mod tests {
     #[test]
     fn merged_misses_complete_together() {
         let mut ms = MemSystem::new(small_cfg());
+        let mut ports = ms.make_ports();
         let a = MemReq::read(0x2000, S, DataClass::Compute, tok(0, 1));
         let b = MemReq::read(0x2000, S, DataClass::Compute, tok(0, 2));
-        assert_eq!(ms.l1_read(0, a, 0), L1AccessResult::Pending);
-        assert_eq!(ms.l1_read(0, b, 0), L1AccessResult::Pending);
-        let done = run_until_complete(&mut ms, 0, 10_000);
+        assert_eq!(ports[0].read(a, 0), L1AccessResult::Pending);
+        assert_eq!(ports[0].read(b, 0), L1AccessResult::Pending);
+        let done = run_until_complete(&mut ms, &mut ports, 0, 10_000);
         assert_eq!(done.len(), 2, "both merged loads must complete");
     }
 
     #[test]
     fn two_sms_requesting_same_sector_both_complete() {
         let mut ms = MemSystem::new(small_cfg());
+        let mut ports = ms.make_ports();
         let a = MemReq::read(0x3000, S, DataClass::Compute, tok(0, 1));
         let b = MemReq::read(0x3000, S, DataClass::Compute, tok(1, 1));
-        let _ = ms.l1_read(0, a, 0);
-        let _ = ms.l1_read(1, b, 0);
-        let done = run_until_complete(&mut ms, 0, 10_000);
+        let _ = ports[0].read(a, 0);
+        let _ = ports[1].read(b, 0);
+        let done = run_until_complete(&mut ms, &mut ports, 0, 10_000);
         let mut sms: Vec<u16> = done.iter().map(|c| c.token.sm).collect();
         sms.sort_unstable();
         assert_eq!(sms, vec![0, 1]);
     }
 
     #[test]
-    fn l1_mshr_exhaustion_stalls() {
-        let mut cfg = small_cfg();
-        cfg.l1_mshr_entries = 1;
-        let mut ms = MemSystem::new(cfg);
-        let a = MemReq::read(0x0000, S, DataClass::Compute, tok(0, 1));
-        let b = MemReq::read(0x4000, S, DataClass::Compute, tok(0, 2));
-        assert_eq!(ms.l1_read(0, a, 0), L1AccessResult::Pending);
-        assert_eq!(ms.l1_read(0, b, 0), L1AccessResult::Stall);
-    }
-
-    #[test]
     fn writes_reach_l2_and_reads_hit_there() {
         let mut ms = MemSystem::new(small_cfg());
+        let mut ports = ms.make_ports();
         let w = MemReq::write(0x5000, S, DataClass::Pipeline, tok(0, 0));
-        ms.l1_write(0, w, 0);
+        ports[0].write(w);
         // Drain the write into the L2.
         for now in 0..50 {
-            let _ = ms.tick(now);
+            let mut refs: Vec<&mut SmMemPort> = ports.iter_mut().collect();
+            let _ = ms.tick(now, &mut refs);
         }
         // A read from another SM must be an L2 hit (no DRAM read traffic).
-        let (reads_before, _) = (ms.dram_total_bytes(), ());
+        let reads_before = ms.dram_total_bytes();
         let r = MemReq::read(0x5000, S, DataClass::Pipeline, tok(1, 9));
-        assert_eq!(ms.l1_read(1, r, 100), L1AccessResult::Pending);
-        let done = run_until_complete(&mut ms, 100, 10_000);
+        assert_eq!(ports[1].read(r, 100), L1AccessResult::Pending);
+        let done = run_until_complete(&mut ms, &mut ports, 100, 10_000);
         assert_eq!(done.len(), 1);
         assert_eq!(
             ms.dram_total_bytes(),
@@ -525,15 +497,16 @@ mod tests {
     #[test]
     fn mig_bank_masks_isolate_dram_partitions() {
         let mut ms = MemSystem::new(small_cfg());
+        let mut ports = ms.make_ports();
         let s0 = StreamId(0);
         let s1 = StreamId(1);
         ms.set_bank_map(BankMap::mig_even_split(2, s0, s1));
         // Stream 0 reads many distinct lines → only partition 0 sees bytes.
         for i in 0..16u64 {
             let r = MemReq::read(i * 128, s0, DataClass::Compute, tok(0, i));
-            let _ = ms.l1_read(0, r, 0);
+            let _ = ports[0].read(r, 0);
         }
-        let _ = run_until_complete(&mut ms, 0, 20_000);
+        let _ = run_until_complete(&mut ms, &mut ports, 0, 20_000);
         assert!(ms.dram_bytes(s0) > 0);
         assert_eq!(ms.dram_bytes(s1), 0);
         // All stream-0 traffic went to bank 0's DRAM partition.
@@ -545,6 +518,7 @@ mod tests {
         // Bank masks and set windows are orthogonal: a system can restrict
         // banks per stream AND partition sets inside them.
         let mut ms = MemSystem::new(small_cfg());
+        let mut ports = ms.make_ports();
         let s0 = StreamId(0);
         let s1 = StreamId(1);
         ms.set_bank_map(BankMap::mig_even_split(2, s0, s1));
@@ -553,14 +527,18 @@ mod tests {
             vec![s0, s1],
             sets,
             8,
-            crate::partition::TapConfig { epoch_accesses: 50, sample_every: 1, min_sets: 1 },
+            crate::partition::TapConfig {
+                epoch_accesses: 50,
+                sample_every: 1,
+                min_sets: 1,
+            },
         );
         ms.set_partition(SetPartition::Tap(tap));
         for i in 0..32u64 {
             let r = MemReq::read(i * 128, s0, DataClass::Compute, tok(0, i));
-            let _ = ms.l1_read(0, r, 0);
+            let _ = ports[0].read(r, 0);
         }
-        let _ = run_until_complete(&mut ms, 0, 20_000);
+        let _ = run_until_complete(&mut ms, &mut ports, 0, 20_000);
         assert!(ms.dram_bytes(s0) > 0);
         assert_eq!(ms.dram_bytes(s1), 0, "bank isolation still holds under TAP");
     }
@@ -569,5 +547,6 @@ mod tests {
     fn quiescent_when_idle() {
         let ms = MemSystem::new(small_cfg());
         assert!(ms.quiescent());
+        assert!(ms.make_ports().iter().all(SmMemPort::quiescent));
     }
 }

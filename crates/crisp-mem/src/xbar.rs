@@ -15,7 +15,10 @@ pub(crate) struct Xbar {
 
 impl Xbar {
     pub(crate) fn new(n_dsts: usize, latency: u64) -> Self {
-        Xbar { latency, queues: vec![VecDeque::new(); n_dsts] }
+        Xbar {
+            latency,
+            queues: vec![VecDeque::new(); n_dsts],
+        }
     }
 
     /// Inject a request at `now` towards `dst`.
@@ -51,7 +54,12 @@ mod tests {
     use crisp_trace::{DataClass, StreamId};
 
     fn req(addr: u64) -> MemReq {
-        MemReq::read(addr, StreamId(0), DataClass::Compute, ReqToken { sm: 0, id: 0 })
+        MemReq::read(
+            addr,
+            StreamId(0),
+            DataClass::Compute,
+            ReqToken { sm: 0, id: 0 },
+        )
     }
 
     #[test]

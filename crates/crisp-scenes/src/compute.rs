@@ -18,13 +18,12 @@ use crisp_trace::{
     CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Op, Reg, Space, Stream, StreamId,
     StreamKind, WarpTrace, WARP_SIZE,
 };
-use serde::{Deserialize, Serialize};
 
 /// Base of the compute address region (clear of the graphics regions).
 const COMPUTE_BASE: u64 = 0x6000_0000;
 
 /// Scales grid sizes of the compute workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeScale {
     /// Grid-size multiplier (1.0 = default evaluation size).
     pub factor: f32,
@@ -93,27 +92,52 @@ pub fn vio(stream: StreamId, scale: ComputeScale) -> Stream {
         s.launch(gaussian_kernel(level, lvl_img, pitch >> level, lvl_ctas));
         s.launch(fast9_kernel(level, lvl_img, pitch >> level, lvl_ctas));
         s.launch(undistort_kernel(level, lvl_img, lvl_ctas));
-        s.launch(optical_flow_kernel(level, lvl_img, pitch >> level, lvl_ctas));
+        s.launch(optical_flow_kernel(
+            level,
+            lvl_img,
+            pitch >> level,
+            lvl_ctas,
+        ));
     }
     s.launch(reduce_kernel(img, scale.ctas(2)));
     s
 }
 
-fn stencil_warp(img: u64, pitch: u64, cta: usize, warp: usize, rows: u64, int_ops: u32, fp_ops: u32) -> WarpTrace {
+fn stencil_warp(
+    img: u64,
+    pitch: u64,
+    cta: usize,
+    warp: usize,
+    rows: u64,
+    int_ops: u32,
+    fp_ops: u32,
+) -> WarpTrace {
     let mut w = WarpTrace::new();
     let row_base = img + (cta as u64 * 8 + warp as u64 * 2) * pitch;
     for r in 0..rows {
         // Rotate destinations so the row fetches overlap in the LSU.
         w.push(Instr::load(
             Reg(2 + (r % 6) as u16),
-            MemAccess::coalesced(Space::Global, DataClass::Compute, 1, row_base + r * pitch, WARP_SIZE),
+            MemAccess::coalesced(
+                Space::Global,
+                DataClass::Compute,
+                1,
+                row_base + r * pitch,
+                WARP_SIZE,
+            ),
         ));
     }
     int_block(&mut w, int_ops);
     fp_block(&mut w, fp_ops);
     w.push(Instr::store(
         Reg(10),
-        MemAccess::coalesced(Space::Global, DataClass::Compute, 1, row_base + 0x40_0000, WARP_SIZE),
+        MemAccess::coalesced(
+            Space::Global,
+            DataClass::Compute,
+            1,
+            row_base + 0x40_0000,
+            WARP_SIZE,
+        ),
     ));
     w.seal();
     w
@@ -121,21 +145,39 @@ fn stencil_warp(img: u64, pitch: u64, cta: usize, warp: usize, rows: u64, int_op
 
 fn grayscale_kernel(img: u64, pitch: u64, ctas: usize) -> KernelTrace {
     let ctav = (0..ctas)
-        .map(|c| CtaTrace::new((0..4).map(|w| stencil_warp(img, pitch, c, w, 1, 8, 6)).collect()))
+        .map(|c| {
+            CtaTrace::new(
+                (0..4)
+                    .map(|w| stencil_warp(img, pitch, c, w, 1, 8, 6))
+                    .collect(),
+            )
+        })
         .collect();
     KernelTrace::new("vio_grayscale", 128, 24, 0, ctav)
 }
 
 fn gaussian_kernel(level: u32, img: u64, pitch: u64, ctas: usize) -> KernelTrace {
     let ctav = (0..ctas)
-        .map(|c| CtaTrace::new((0..4).map(|w| stencil_warp(img, pitch, c, w, 5, 10, 25)).collect()))
+        .map(|c| {
+            CtaTrace::new(
+                (0..4)
+                    .map(|w| stencil_warp(img, pitch, c, w, 5, 10, 25))
+                    .collect(),
+            )
+        })
         .collect();
     KernelTrace::new(format!("vio_gauss_l{level}"), 128, 28, 0, ctav)
 }
 
 fn fast9_kernel(level: u32, img: u64, pitch: u64, ctas: usize) -> KernelTrace {
     let ctav = (0..ctas)
-        .map(|c| CtaTrace::new((0..4).map(|w| stencil_warp(img, pitch, c, w, 7, 64, 4)).collect()))
+        .map(|c| {
+            CtaTrace::new(
+                (0..4)
+                    .map(|w| stencil_warp(img, pitch, c, w, 7, 64, 4))
+                    .collect(),
+            )
+        })
         .collect();
     KernelTrace::new(format!("vio_fast9_l{level}"), 128, 32, 0, ctav)
 }
@@ -150,7 +192,9 @@ fn undistort_kernel(level: u32, img: u64, ctas: usize) -> KernelTrace {
                         // Gather: per-lane addresses from the distortion map.
                         for g in 0..4u64 {
                             let addrs: Vec<u64> = (0..WARP_SIZE as u64)
-                                .map(|l| img + mix(c as u64 * 64 + wi as u64 * 8 + g, l) % 0x40_0000)
+                                .map(|l| {
+                                    img + mix(c as u64 * 64 + wi as u64 * 8 + g, l) % 0x40_0000
+                                })
                                 .collect();
                             w.push(Instr::load(
                                 Reg(2 + g as u16),
@@ -189,10 +233,18 @@ fn optical_flow_kernel(level: u32, img: u64, pitch: u64, ctas: usize) -> KernelT
                         // Window loads from two frames.
                         for r in 0..4u64 {
                             for frame in 0..2u64 {
-                                let base = img + frame * 0x40_0000 + (c as u64 * 8 + wi as u64 * 2 + r) * pitch;
+                                let base = img
+                                    + frame * 0x40_0000
+                                    + (c as u64 * 8 + wi as u64 * 2 + r) * pitch;
                                 w.push(Instr::load(
                                     Reg(2 + (r * 2 + frame) as u16),
-                                    MemAccess::coalesced(Space::Global, DataClass::Compute, 1, base, WARP_SIZE),
+                                    MemAccess::coalesced(
+                                        Space::Global,
+                                        DataClass::Compute,
+                                        1,
+                                        base,
+                                        WARP_SIZE,
+                                    ),
                                 ));
                             }
                         }
@@ -200,14 +252,26 @@ fn optical_flow_kernel(level: u32, img: u64, pitch: u64, ctas: usize) -> KernelT
                         for _ in 0..2 {
                             w.push(Instr::store(
                                 Reg(2),
-                                MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, WARP_SIZE),
+                                MemAccess::coalesced(
+                                    Space::Shared,
+                                    DataClass::Compute,
+                                    4,
+                                    0,
+                                    WARP_SIZE,
+                                ),
                             ));
                         }
                         w.push(Instr::bar());
                         for _ in 0..4 {
                             w.push(Instr::load(
                                 Reg(4),
-                                MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, WARP_SIZE),
+                                MemAccess::coalesced(
+                                    Space::Shared,
+                                    DataClass::Compute,
+                                    4,
+                                    0,
+                                    WARP_SIZE,
+                                ),
                             ));
                         }
                         fp_block(&mut w, 60);
@@ -255,7 +319,13 @@ fn reduce_kernel(img: u64, ctas: usize) -> KernelTrace {
                         w.push(Instr::bar());
                         w.push(Instr::store(
                             Reg(24),
-                            MemAccess::coalesced(Space::Global, DataClass::Compute, 4, img + 0x70_0000, 1),
+                            MemAccess::coalesced(
+                                Space::Global,
+                                DataClass::Compute,
+                                4,
+                                img + 0x70_0000,
+                                1,
+                            ),
                         ));
                         w.seal();
                         w
@@ -314,7 +384,13 @@ pub fn holo(stream: StreamId, scale: ComputeScale) -> Stream {
                 )
             })
             .collect();
-        s.launch(KernelTrace::new(format!("holo_phase_{pass}"), 256, 40, 0, ctav));
+        s.launch(KernelTrace::new(
+            format!("holo_phase_{pass}"),
+            256,
+            40,
+            0,
+            ctav,
+        ));
     }
     // Normalisation pass.
     let ctas = scale.ctas(8);
@@ -367,10 +443,30 @@ pub fn nn(stream: StreamId, scale: ComputeScale) -> Stream {
     s.marker("nn:frame");
     // Principal kernels: conv → conv → gemm → conv → gemm.
     s.launch(conv_kernel(0, act, wgt, scale.ctas(8)));
-    s.launch(conv_kernel(1, act + 0x100_0000, wgt + 0x20_0000, scale.ctas(6)));
-    s.launch(gemm_kernel(0, act + 0x200_0000, wgt + 0x40_0000, scale.ctas(4)));
-    s.launch(conv_kernel(2, act + 0x300_0000, wgt + 0x60_0000, scale.ctas(6)));
-    s.launch(gemm_kernel(1, act + 0x400_0000, wgt + 0x80_0000, scale.ctas(4)));
+    s.launch(conv_kernel(
+        1,
+        act + 0x100_0000,
+        wgt + 0x20_0000,
+        scale.ctas(6),
+    ));
+    s.launch(gemm_kernel(
+        0,
+        act + 0x200_0000,
+        wgt + 0x40_0000,
+        scale.ctas(4),
+    ));
+    s.launch(conv_kernel(
+        2,
+        act + 0x300_0000,
+        wgt + 0x60_0000,
+        scale.ctas(6),
+    ));
+    s.launch(gemm_kernel(
+        1,
+        act + 0x400_0000,
+        wgt + 0x80_0000,
+        scale.ctas(4),
+    ));
     s
 }
 
@@ -463,14 +559,26 @@ fn gemm_kernel(idx: u32, act: u64, wgt: u64, ctas: usize) -> KernelTrace {
                             for _ in 0..2 {
                                 w.push(Instr::store(
                                     Reg(2),
-                                    MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, WARP_SIZE),
+                                    MemAccess::coalesced(
+                                        Space::Shared,
+                                        DataClass::Compute,
+                                        4,
+                                        0,
+                                        WARP_SIZE,
+                                    ),
                                 ));
                             }
                             w.push(Instr::bar());
                             for _ in 0..4 {
                                 w.push(Instr::load(
                                     Reg(4),
-                                    MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, WARP_SIZE),
+                                    MemAccess::coalesced(
+                                        Space::Shared,
+                                        DataClass::Compute,
+                                        4,
+                                        0,
+                                        WARP_SIZE,
+                                    ),
                                 ));
                             }
                             for t in 0..8u16 {
@@ -498,143 +606,6 @@ fn gemm_kernel(idx: u32, act: u64, wgt: u64, ctas: usize) -> KernelTrace {
     KernelTrace::new(format!("nn_gemm{idx}"), 256, 64, 24 << 10, ctav)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crisp_trace::InstrMix;
-
-    fn mixes(s: &Stream) -> InstrMix {
-        let mut m = InstrMix::default();
-        for k in s.kernels() {
-            let km = InstrMix::of_kernel(k);
-            m.int_alu += km.int_alu;
-            m.fp += km.fp;
-            m.sfu += km.sfu;
-            m.tensor += km.tensor;
-            m.control += km.control;
-            m.global_mem += km.global_mem;
-            m.shared_mem += km.shared_mem;
-            m.tex += km.tex;
-        }
-        m
-    }
-
-    #[test]
-    fn vio_is_many_small_kernels() {
-        let s = vio(StreamId(1), ComputeScale::default());
-        assert!(s.kernel_count() >= 12, "got {}", s.kernel_count());
-        for k in s.kernels() {
-            assert!(k.grid() <= 20, "VIO kernels are small, {} has {}", k.name, k.grid());
-        }
-    }
-
-    #[test]
-    fn holo_is_compute_bound() {
-        let s = holo(StreamId(1), ComputeScale::default());
-        let m = mixes(&s);
-        let mem = m.global_mem + m.shared_mem;
-        assert!(
-            (m.fp + m.sfu) as f64 / mem as f64 > 30.0,
-            "HOLO must be compute-dominated: fp+sfu={} mem={mem}",
-            m.fp + m.sfu
-        );
-    }
-
-    #[test]
-    fn nn_uses_shared_memory_and_tensor_cores() {
-        let s = nn(StreamId(1), ComputeScale::default());
-        let m = mixes(&s);
-        assert!(m.shared_mem > 0);
-        assert!(m.tensor > 0);
-        // Convs are memory-heavy: global accesses rival FP work.
-        assert!(m.global_mem as f64 > m.fp as f64 * 0.2);
-        // Low occupancy: small grids.
-        for k in s.kernels() {
-            assert!(k.grid() <= 8, "{} grid {}", k.name, k.grid());
-        }
-    }
-
-    #[test]
-    fn nn_kernels_demand_big_smem() {
-        let s = nn(StreamId(1), ComputeScale::default());
-        let gemm = s.kernels().find(|k| k.name.starts_with("nn_gemm")).unwrap();
-        assert!(gemm.smem_per_cta >= 16 << 10);
-        assert_eq!(gemm.regs_per_thread, 64);
-    }
-
-    #[test]
-    fn scale_shrinks_grids() {
-        let full = vio(StreamId(1), ComputeScale::default());
-        let tiny = vio(StreamId(1), ComputeScale::tiny());
-        assert!(tiny.instr_count() < full.instr_count());
-        assert_eq!(tiny.kernel_count(), full.kernel_count(), "kernel count is structural");
-    }
-
-    #[test]
-    fn all_workloads_tag_compute_class() {
-        for s in [
-            vio(StreamId(1), ComputeScale::tiny()),
-            holo(StreamId(1), ComputeScale::tiny()),
-            nn(StreamId(1), ComputeScale::tiny()),
-        ] {
-            let mut f = crisp_trace::ClassFootprint::new();
-            for k in s.kernels() {
-                f.add_kernel(k);
-            }
-            assert!(f.lines(DataClass::Compute) > 0);
-            assert_eq!(f.lines(DataClass::Texture), 0);
-        }
-    }
-
-    #[test]
-    fn timewarp_reads_the_framebuffer_region() {
-        let s = timewarp(StreamId(2), 160, 90, ComputeScale::tiny());
-        let mut f = crisp_trace::ClassFootprint::new();
-        for k in s.kernels() {
-            f.add_kernel(k);
-        }
-        assert!(f.lines(DataClass::Compute) > 0);
-        // Every gather address must land inside the framebuffer of a
-        // 160x90 frame or the warp's own output buffer.
-        let fb = AddressAllocator::FRAMEBUFFER_BASE;
-        let fb_end = fb + 160 * 90 * 4;
-        let mut reads_fb = false;
-        for k in s.kernels() {
-            for cta in &k.ctas {
-                for w in &cta.warps {
-                    for i in w.iter() {
-                        if let Some(m) = &i.mem {
-                            if i.op.is_load() {
-                                for &a in &m.addrs {
-                                    assert!(a >= fb && a < fb_end, "gather out of fb: {a:#x}");
-                                    reads_fb = true;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        assert!(reads_fb, "timewarp must consume the rendered frame");
-    }
-
-    #[test]
-    fn upscaler_is_tensor_heavy() {
-        let s = upscaler(StreamId(2), ComputeScale::default());
-        let m = mixes(&s);
-        assert!(m.tensor > m.fp, "tensor ops dominate: {} vs {}", m.tensor, m.fp);
-        assert!(m.shared_mem > 0);
-        assert_eq!(s.kernel_count(), 3, "three network layers");
-    }
-
-    #[test]
-    fn streams_are_deterministic() {
-        let a = vio(StreamId(1), ComputeScale::default());
-        let b = vio(StreamId(1), ComputeScale::default());
-        assert_eq!(a, b);
-    }
-}
-
 /// Asynchronous timewarp: the MR post-process that re-projects the
 /// rendered frame to the user's latest head pose ("a compute shader is
 /// executed to warp the scene to reflect the user's latest position",
@@ -650,7 +621,9 @@ pub fn timewarp(stream: StreamId, width: u32, height: u32, scale: ComputeScale) 
     let out = fb + 0x1000_0000;
     let pixels = width as u64 * height as u64;
     let warps_needed = pixels.div_ceil(WARP_SIZE as u64 * 4); // 4 px per lane
-    let ctas = (warps_needed.div_ceil(8) as usize).max(1).min(scale.ctas(64).max(1) * 8);
+    let ctas = (warps_needed.div_ceil(8) as usize)
+        .max(1)
+        .min(scale.ctas(64).max(1) * 8);
     s.marker("timewarp:frame");
     let ctav = (0..ctas)
         .map(|c| {
@@ -722,7 +695,11 @@ pub fn upscaler(stream: StreamId, scale: ComputeScale) -> Stream {
                             let mut w = WarpTrace::new();
                             // Input tile from the framebuffer (or previous
                             // layer's activations).
-                            let base = if layer == 0 { fb } else { out + layer as u64 * 0x100_0000 };
+                            let base = if layer == 0 {
+                                fb
+                            } else {
+                                out + layer as u64 * 0x100_0000
+                            };
                             for k in 0..4u64 {
                                 w.push(Instr::load(
                                     Reg(2 + k as u16),
@@ -739,14 +716,26 @@ pub fn upscaler(stream: StreamId, scale: ComputeScale) -> Stream {
                             for _ in 0..2 {
                                 w.push(Instr::store(
                                     Reg(2),
-                                    MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, WARP_SIZE),
+                                    MemAccess::coalesced(
+                                        Space::Shared,
+                                        DataClass::Compute,
+                                        4,
+                                        0,
+                                        WARP_SIZE,
+                                    ),
                                 ));
                             }
                             w.push(Instr::bar());
                             for _ in 0..4 {
                                 w.push(Instr::load(
                                     Reg(6),
-                                    MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, WARP_SIZE),
+                                    MemAccess::coalesced(
+                                        Space::Shared,
+                                        DataClass::Compute,
+                                        4,
+                                        0,
+                                        WARP_SIZE,
+                                    ),
                                 ));
                             }
                             for t in 0..24u16 {
@@ -772,7 +761,164 @@ pub fn upscaler(stream: StreamId, scale: ComputeScale) -> Stream {
                 )
             })
             .collect();
-        s.launch(KernelTrace::new(format!("upscale_l{layer}"), 256, 56, 16 << 10, ctav));
+        s.launch(KernelTrace::new(
+            format!("upscale_l{layer}"),
+            256,
+            56,
+            16 << 10,
+            ctav,
+        ));
     }
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_trace::InstrMix;
+
+    fn mixes(s: &Stream) -> InstrMix {
+        let mut m = InstrMix::default();
+        for k in s.kernels() {
+            let km = InstrMix::of_kernel(k);
+            m.int_alu += km.int_alu;
+            m.fp += km.fp;
+            m.sfu += km.sfu;
+            m.tensor += km.tensor;
+            m.control += km.control;
+            m.global_mem += km.global_mem;
+            m.shared_mem += km.shared_mem;
+            m.tex += km.tex;
+        }
+        m
+    }
+
+    #[test]
+    fn vio_is_many_small_kernels() {
+        let s = vio(StreamId(1), ComputeScale::default());
+        assert!(s.kernel_count() >= 12, "got {}", s.kernel_count());
+        for k in s.kernels() {
+            assert!(
+                k.grid() <= 20,
+                "VIO kernels are small, {} has {}",
+                k.name,
+                k.grid()
+            );
+        }
+    }
+
+    #[test]
+    fn holo_is_compute_bound() {
+        let s = holo(StreamId(1), ComputeScale::default());
+        let m = mixes(&s);
+        let mem = m.global_mem + m.shared_mem;
+        assert!(
+            (m.fp + m.sfu) as f64 / mem as f64 > 30.0,
+            "HOLO must be compute-dominated: fp+sfu={} mem={mem}",
+            m.fp + m.sfu
+        );
+    }
+
+    #[test]
+    fn nn_uses_shared_memory_and_tensor_cores() {
+        let s = nn(StreamId(1), ComputeScale::default());
+        let m = mixes(&s);
+        assert!(m.shared_mem > 0);
+        assert!(m.tensor > 0);
+        // Convs are memory-heavy: global accesses rival FP work.
+        assert!(m.global_mem as f64 > m.fp as f64 * 0.2);
+        // Low occupancy: small grids.
+        for k in s.kernels() {
+            assert!(k.grid() <= 8, "{} grid {}", k.name, k.grid());
+        }
+    }
+
+    #[test]
+    fn nn_kernels_demand_big_smem() {
+        let s = nn(StreamId(1), ComputeScale::default());
+        let gemm = s.kernels().find(|k| k.name.starts_with("nn_gemm")).unwrap();
+        assert!(gemm.smem_per_cta >= 16 << 10);
+        assert_eq!(gemm.regs_per_thread, 64);
+    }
+
+    #[test]
+    fn scale_shrinks_grids() {
+        let full = vio(StreamId(1), ComputeScale::default());
+        let tiny = vio(StreamId(1), ComputeScale::tiny());
+        assert!(tiny.instr_count() < full.instr_count());
+        assert_eq!(
+            tiny.kernel_count(),
+            full.kernel_count(),
+            "kernel count is structural"
+        );
+    }
+
+    #[test]
+    fn all_workloads_tag_compute_class() {
+        for s in [
+            vio(StreamId(1), ComputeScale::tiny()),
+            holo(StreamId(1), ComputeScale::tiny()),
+            nn(StreamId(1), ComputeScale::tiny()),
+        ] {
+            let mut f = crisp_trace::ClassFootprint::new();
+            for k in s.kernels() {
+                f.add_kernel(k);
+            }
+            assert!(f.lines(DataClass::Compute) > 0);
+            assert_eq!(f.lines(DataClass::Texture), 0);
+        }
+    }
+
+    #[test]
+    fn timewarp_reads_the_framebuffer_region() {
+        let s = timewarp(StreamId(2), 160, 90, ComputeScale::tiny());
+        let mut f = crisp_trace::ClassFootprint::new();
+        for k in s.kernels() {
+            f.add_kernel(k);
+        }
+        assert!(f.lines(DataClass::Compute) > 0);
+        // Every gather address must land inside the framebuffer of a
+        // 160x90 frame or the warp's own output buffer.
+        let fb = AddressAllocator::FRAMEBUFFER_BASE;
+        let fb_end = fb + 160 * 90 * 4;
+        let mut reads_fb = false;
+        for k in s.kernels() {
+            for cta in &k.ctas {
+                for w in &cta.warps {
+                    for i in w.iter() {
+                        if let Some(m) = &i.mem {
+                            if i.op.is_load() {
+                                for &a in &m.addrs {
+                                    assert!(a >= fb && a < fb_end, "gather out of fb: {a:#x}");
+                                    reads_fb = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(reads_fb, "timewarp must consume the rendered frame");
+    }
+
+    #[test]
+    fn upscaler_is_tensor_heavy() {
+        let s = upscaler(StreamId(2), ComputeScale::default());
+        let m = mixes(&s);
+        assert!(
+            m.tensor > m.fp,
+            "tensor ops dominate: {} vs {}",
+            m.tensor,
+            m.fp
+        );
+        assert!(m.shared_mem > 0);
+        assert_eq!(s.kernel_count(), 3, "three network layers");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = vio(StreamId(1), ComputeScale::default());
+        let b = vio(StreamId(1), ComputeScale::default());
+        assert_eq!(a, b);
+    }
 }

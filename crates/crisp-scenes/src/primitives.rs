@@ -37,12 +37,36 @@ pub fn grid_plane(name: &str, n: u32, size: f32, alloc: &mut AddressAllocator) -
 /// A unit axis-aligned box (24 vertices, 12 triangles).
 pub fn box_mesh(name: &str, half: Vec3, alloc: &mut AddressAllocator) -> Mesh {
     let faces: [(Vec3, Vec3, Vec3); 6] = [
-        (Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
-        (Vec3::new(0.0, 0.0, -1.0), Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
-        (Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0)),
-        (Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0)),
-        (Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0)),
-        (Vec3::new(0.0, -1.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
+        (
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ),
+        (
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ),
+        (
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ),
+        (
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ),
+        (
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, -1.0),
+        ),
+        (
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ),
     ];
     let mut vertices = Vec::with_capacity(24);
     let mut indices = Vec::with_capacity(36);
@@ -74,7 +98,13 @@ pub fn box_mesh(name: &str, half: Vec3, alloc: &mut AddressAllocator) -> Mesh {
 }
 
 /// A UV sphere with `rings`×`sectors` quads.
-pub fn uv_sphere(name: &str, rings: u32, sectors: u32, radius: f32, alloc: &mut AddressAllocator) -> Mesh {
+pub fn uv_sphere(
+    name: &str,
+    rings: u32,
+    sectors: u32,
+    radius: f32,
+    alloc: &mut AddressAllocator,
+) -> Mesh {
     assert!(rings >= 2 && sectors >= 3);
     let mut vertices = Vec::new();
     for r in 0..=rings {
@@ -106,7 +136,13 @@ pub fn uv_sphere(name: &str, rings: u32, sectors: u32, radius: f32, alloc: &mut 
 }
 
 /// An open cylinder along +Y.
-pub fn cylinder(name: &str, sectors: u32, radius: f32, height: f32, alloc: &mut AddressAllocator) -> Mesh {
+pub fn cylinder(
+    name: &str,
+    sectors: u32,
+    radius: f32,
+    height: f32,
+    alloc: &mut AddressAllocator,
+) -> Mesh {
     assert!(sectors >= 3);
     let mut vertices = Vec::new();
     for y in 0..2u32 {

@@ -1,13 +1,12 @@
 //! The six rendering workloads evaluated in the paper, built procedurally
 //! with matched statistics (Section V-A).
 
+use crisp_gfx::pipeline::{Instance, INSTANCE_STRIDE};
 use crisp_gfx::{
-    AddressAllocator, DrawCall, FilterMode, FragmentShader, Framebuffer, FrameStats, Mat4,
+    AddressAllocator, DrawCall, FilterMode, FragmentShader, FrameStats, Framebuffer, Mat4,
     RenderConfig, Renderer, Texture, TextureFormat, Vec3,
 };
-use crisp_gfx::pipeline::{Instance, INSTANCE_STRIDE};
 use crisp_trace::{Stream, StreamId};
-use serde::{Deserialize, Serialize};
 
 use crate::primitives::{box_mesh, cylinder, grid_plane, uv_sphere};
 
@@ -18,7 +17,7 @@ fn crisp_sim_marker() -> String {
 }
 
 /// Identifier of a rendering workload, with the paper's abbreviations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SceneId {
     /// Khronos Vulkan-Samples Sponza (SPL) — basic shading.
     SponzaKhronos,
@@ -117,7 +116,11 @@ impl Scene {
         let mut r = Renderer::new(cfg);
         let trace = r.render(&self.draws, &self.view_proj);
         let stats = r.stats().clone();
-        RenderedFrame { trace, stats, framebuffer: r.into_framebuffer() }
+        RenderedFrame {
+            trace,
+            stats,
+            framebuffer: r.into_framebuffer(),
+        }
     }
 
     /// Render a stereo (side-by-side) frame: the left and right eyes view
@@ -142,15 +145,19 @@ impl Scene {
             r.set_viewport(Some((x0, 0, half, height)));
             // Approximate per-eye view: shift the world laterally by the
             // half-IPD (a translation after the combined view-projection).
-            let eye = self
-                .view_proj
-                .mul(&Mat4::translate(Vec3::new(sign * eye_separation, 0.0, 0.0)));
+            let eye =
+                self.view_proj
+                    .mul(&Mat4::translate(Vec3::new(sign * eye_separation, 0.0, 0.0)));
             let pass = r.render(&self.draws, &eye);
             out.marker(format!("eye:{label}"));
             out.commands.extend(pass.commands);
         }
         let stats = r.stats().clone();
-        RenderedFrame { trace: out, stats, framebuffer: r.into_framebuffer() }
+        RenderedFrame {
+            trace: out,
+            stats,
+            framebuffer: r.into_framebuffer(),
+        }
     }
 
     /// Render an animated sequence: `n_frames` frames with the camera
@@ -217,7 +224,10 @@ impl Scene {
 
 /// Convenience: build every scene at `detail`.
 pub fn all_scenes(detail: f32) -> Vec<Scene> {
-    SceneId::ALL.iter().map(|&id| Scene::build(id, detail)).collect()
+    SceneId::ALL
+        .iter()
+        .map(|&id| Scene::build(id, detail))
+        .collect()
 }
 
 fn dim(base: u32, detail: f32, min: u32) -> u32 {
@@ -249,9 +259,25 @@ fn pbr_maps(size: u32, tex_alloc: &mut AddressAllocator) -> Vec<Texture> {
 }
 
 fn basic_map(name: &str, size: u32, tex_alloc: &mut AddressAllocator) -> Vec<Texture> {
-    let probe = Texture::new(name, size, size, 1, TextureFormat::Rgba8, FilterMode::Bilinear, 0);
+    let probe = Texture::new(
+        name,
+        size,
+        size,
+        1,
+        TextureFormat::Rgba8,
+        FilterMode::Bilinear,
+        0,
+    );
     let base = tex_alloc.alloc(probe.size_bytes(), 256);
-    vec![Texture::new(name, size, size, 1, TextureFormat::Rgba8, FilterMode::Bilinear, base)]
+    vec![Texture::new(
+        name,
+        size,
+        size,
+        1,
+        TextureFormat::Rgba8,
+        FilterMode::Bilinear,
+        base,
+    )]
 }
 
 fn camera(eye: Vec3, target: Vec3, fov: f32) -> Mat4 {
@@ -271,14 +297,28 @@ fn sponza(
     tex_alloc: &mut AddressAllocator,
 ) -> Scene {
     let mut draws = Vec::new();
-    let fs = if pbr { FragmentShader::pbr() } else { FragmentShader::basic_textured() };
+    let fs = if pbr {
+        FragmentShader::pbr()
+    } else {
+        FragmentShader::basic_textured()
+    };
     let mat = |tex_alloc: &mut AddressAllocator, name: &str| {
-        if pbr { pbr_maps(256, tex_alloc) } else { basic_map(name, 512, tex_alloc) }
+        if pbr {
+            pbr_maps(256, tex_alloc)
+        } else {
+            basic_map(name, 512, tex_alloc)
+        }
     };
 
     // Atrium floor.
     let floor = grid_plane("floor", dim(48, detail, 4), 40.0, alloc);
-    draws.push(DrawCall::simple("floor", floor, mat(tex_alloc, "floor_tex"), fs, Mat4::identity()));
+    draws.push(DrawCall::simple(
+        "floor",
+        floor,
+        mat(tex_alloc, "floor_tex"),
+        fs,
+        Mat4::identity(),
+    ));
 
     // Two colonnades of columns.
     let col_tex = mat(tex_alloc, "column_tex");
@@ -318,7 +358,13 @@ fn sponza(
     // Drapes: the curved high-poly detail geometry.
     let drape_tex = mat(tex_alloc, "drape_tex");
     for i in 0..dim(4, detail, 1) {
-        let m = uv_sphere(&format!("drape{i}"), dim(16, detail, 4), dim(20, detail, 6), 1.6, alloc);
+        let m = uv_sphere(
+            &format!("drape{i}"),
+            dim(16, detail, 4),
+            dim(20, detail, 6),
+            1.6,
+            alloc,
+        );
         draws.push(DrawCall::simple(
             format!("drape{i}"),
             m,
@@ -393,14 +439,36 @@ fn pistol(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAllo
 /// data streams.
 fn planets(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAllocator) -> Scene {
     // Layered texture for the asteroids.
-    let probe = Texture::new("rock", 128, 128, 8, TextureFormat::Rgba8, FilterMode::Bilinear, 0);
+    let probe = Texture::new(
+        "rock",
+        128,
+        128,
+        8,
+        TextureFormat::Rgba8,
+        FilterMode::Bilinear,
+        0,
+    );
     let base = tex_alloc.alloc(probe.size_bytes(), 256);
-    let rock = Texture::new("rock", 128, 128, 8, TextureFormat::Rgba8, FilterMode::Bilinear, base);
+    let rock = Texture::new(
+        "rock",
+        128,
+        128,
+        8,
+        TextureFormat::Rgba8,
+        FilterMode::Bilinear,
+        base,
+    );
 
     let mut draws = Vec::new();
 
     // The central planet.
-    let planet = uv_sphere("planet", dim(28, detail, 8), dim(36, detail, 10), 5.0, alloc);
+    let planet = uv_sphere(
+        "planet",
+        dim(28, detail, 8),
+        dim(36, detail, 10),
+        5.0,
+        alloc,
+    );
     draws.push(DrawCall::simple(
         "planet",
         planet,
@@ -429,7 +497,13 @@ fn planets(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAll
             }
         })
         .collect();
-    let mut d = DrawCall::simple("asteroids", rock_mesh, vec![rock], FragmentShader::basic_textured(), Mat4::identity());
+    let mut d = DrawCall::simple(
+        "asteroids",
+        rock_mesh,
+        vec![rock],
+        FragmentShader::basic_textured(),
+        Mat4::identity(),
+    );
     d.instances = instances;
     d.instance_buffer = instance_buffer;
     draws.push(d);
@@ -442,7 +516,11 @@ fn planets(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAll
 }
 
 /// Godot Platformer 3D: many simple Phong-shaded objects.
-fn platformer(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAllocator) -> Scene {
+fn platformer(
+    detail: f32,
+    alloc: &mut AddressAllocator,
+    tex_alloc: &mut AddressAllocator,
+) -> Scene {
     let mut draws = Vec::new();
     let ground = grid_plane("ground", dim(32, detail, 4), 60.0, alloc);
     draws.push(DrawCall::simple(
@@ -483,19 +561,41 @@ fn platformer(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut Address
 }
 
 /// Godot Material Testers: a grid of spheres with mixed material systems.
-fn material_testers(detail: f32, alloc: &mut AddressAllocator, tex_alloc: &mut AddressAllocator) -> Scene {
+fn material_testers(
+    detail: f32,
+    alloc: &mut AddressAllocator,
+    tex_alloc: &mut AddressAllocator,
+) -> Scene {
     let mut draws = Vec::new();
     let pbr = pbr_maps(256, tex_alloc);
     let phong_tex = basic_map("mt_phong", 256, tex_alloc);
     let basic_tex = basic_map("mt_basic", 256, tex_alloc);
     for i in 0..9u32 {
-        let m = uv_sphere(&format!("mt{i}"), dim(22, detail, 6), dim(30, detail, 8), 1.0, alloc);
+        let m = uv_sphere(
+            &format!("mt{i}"),
+            dim(22, detail, 6),
+            dim(30, detail, 8),
+            1.0,
+            alloc,
+        );
         let x = (i % 3) as f32 * 2.6 - 2.6;
         let y = (i / 3) as f32 * 2.6 - 2.6;
         let model = Mat4::translate(Vec3::new(x, y, 0.0));
         let d = match i % 3 {
-            0 => DrawCall::simple(format!("mt_pbr{i}"), m, pbr.clone(), FragmentShader::pbr(), model),
-            1 => DrawCall::simple(format!("mt_phong{i}"), m, phong_tex.clone(), FragmentShader::phong(), model),
+            0 => DrawCall::simple(
+                format!("mt_pbr{i}"),
+                m,
+                pbr.clone(),
+                FragmentShader::pbr(),
+                model,
+            ),
+            1 => DrawCall::simple(
+                format!("mt_phong{i}"),
+                m,
+                phong_tex.clone(),
+                FragmentShader::phong(),
+                model,
+            ),
             _ => DrawCall::simple(
                 format!("mt_basic{i}"),
                 m,
@@ -557,13 +657,20 @@ mod tests {
     #[test]
     fn planets_is_instanced_and_vertex_heavy() {
         let it = Scene::build(SceneId::Planets, 0.5);
-        let inst_draw = it.draws.iter().find(|d| d.instances.len() > 1).expect("instanced draw");
+        let inst_draw = it
+            .draws
+            .iter()
+            .find(|d| d.instances.len() > 1)
+            .expect("instanced draw");
         assert!(inst_draw.instances.len() >= 8);
         assert!(inst_draw.textures[0].layers == 8, "layered texture");
         // Vertex-bound: VS invocations comparable to fragments.
         let f = it.render(128, 72, false, StreamId(0));
         let ratio = f.stats.fragments() as f64 / f.stats.vs_invocations() as f64;
-        assert!(ratio < 20.0, "planets must be vertex-heavy, frag/vs = {ratio}");
+        assert!(
+            ratio < 20.0,
+            "planets must be vertex-heavy, frag/vs = {ratio}"
+        );
     }
 
     #[test]

@@ -91,8 +91,9 @@ impl Silicon {
             let vs_warps = ds.vs_threads_from_warps as f64 / 32.0;
             let vs_instr = vs_warps * (d.vs.fp_ops + d.vs.int_ops + 7) as f64;
             let fs_warps = (ds.fragments as f64 / 32.0).ceil();
-            let fs_fixed =
-                (d.fs.fp_ops + d.fs.sfu_ops + d.fs.int_ops) as f64 + d.fs.map_slots as f64 * 2.0 + 9.0;
+            let fs_fixed = (d.fs.fp_ops + d.fs.sfu_ops + d.fs.int_ops) as f64
+                + d.fs.map_slots as f64 * 2.0
+                + 9.0;
             let fs_instr = fs_warps * fs_fixed + ds.tex_instrs as f64;
             // Texture sectors occupy the L1 data port; distinct DRAM rows
             // pay their activations on the critical path.
@@ -215,11 +216,12 @@ mod tests {
         let scene = Scene::build(SceneId::SponzaKhronos, 0.2);
         let small = scene.render(96, 54, false, StreamId(0));
         let large = scene.render(192, 108, false, StreamId(0));
-        let t_small =
-            Silicon::frame_time_ms("spl", &scene.draws, &small.stats, 14, 1300.0, 200.0);
-        let t_large =
-            Silicon::frame_time_ms("spl", &scene.draws, &large.stats, 14, 1300.0, 200.0);
-        assert!(t_large > t_small, "4× pixels must cost more: {t_small} vs {t_large}");
+        let t_small = Silicon::frame_time_ms("spl", &scene.draws, &small.stats, 14, 1300.0, 200.0);
+        let t_large = Silicon::frame_time_ms("spl", &scene.draws, &large.stats, 14, 1300.0, 200.0);
+        assert!(
+            t_large > t_small,
+            "4× pixels must cost more: {t_small} vs {t_large}"
+        );
         assert!(t_small > 0.0);
     }
 

@@ -2,10 +2,9 @@
 
 use crisp_mem::{CacheGeometry, MemConfig, Replacement};
 use crisp_sm::SmConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a simulated GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Human-readable name ("RTX 3070", "Jetson Orin").
     pub name: String,
@@ -42,6 +41,10 @@ pub struct GpuConfig {
     pub l1_mshr_entries: usize,
     /// L2 victim-selection policy.
     pub l2_replacement: Replacement,
+    /// Worker threads for the per-cycle SM loop (1 = fully serial). Any
+    /// value produces bit-identical results; see the shard executor in
+    /// `crisp_sim::gpu`.
+    pub threads: usize,
 }
 
 impl GpuConfig {
@@ -51,7 +54,10 @@ impl GpuConfig {
         GpuConfig {
             name: "Jetson Orin".into(),
             n_sms: 14,
-            sm: SmConfig { max_smem: 68 << 10, ..SmConfig::default() },
+            sm: SmConfig {
+                max_smem: 68 << 10,
+                ..SmConfig::default()
+            },
             l1_bytes: 128 << 10, // 196 KB carve: 128 KB data + 68 KB shared
             l1_assoc: 4,
             l1_latency: 32,
@@ -66,6 +72,7 @@ impl GpuConfig {
             max_cycles: u64::MAX,
             l1_mshr_entries: 64,
             l2_replacement: Replacement::Lru,
+            threads: 1,
         }
     }
 
@@ -75,7 +82,10 @@ impl GpuConfig {
         GpuConfig {
             name: "RTX 3070".into(),
             n_sms: 46,
-            sm: SmConfig { max_smem: 64 << 10, ..SmConfig::default() },
+            sm: SmConfig {
+                max_smem: 64 << 10,
+                ..SmConfig::default()
+            },
             l1_bytes: 96 << 10, // 128 KB carve: 96 KB data + 32 KB shared
             l1_assoc: 4,
             l1_latency: 28,
@@ -90,6 +100,7 @@ impl GpuConfig {
             max_cycles: u64::MAX,
             l1_mshr_entries: 64,
             l2_replacement: Replacement::Lru,
+            threads: 1,
         }
     }
 
@@ -99,7 +110,12 @@ impl GpuConfig {
         GpuConfig {
             name: "test-tiny".into(),
             n_sms: 2,
-            sm: SmConfig { max_warps: 16, max_threads: 512, max_ctas: 8, ..SmConfig::default() },
+            sm: SmConfig {
+                max_warps: 16,
+                max_threads: 512,
+                max_ctas: 8,
+                ..SmConfig::default()
+            },
             l1_bytes: 16 << 10,
             l1_assoc: 4,
             l1_latency: 8,
@@ -114,6 +130,7 @@ impl GpuConfig {
             max_cycles: 50_000_000,
             l1_mshr_entries: 64,
             l2_replacement: Replacement::Lru,
+            threads: 1,
         }
     }
 
@@ -131,11 +148,17 @@ impl GpuConfig {
     pub fn mem_config(&self) -> MemConfig {
         MemConfig {
             n_sms: self.n_sms,
-            l1_geom: CacheGeometry { size_bytes: self.l1_bytes, assoc: self.l1_assoc },
+            l1_geom: CacheGeometry {
+                size_bytes: self.l1_bytes,
+                assoc: self.l1_assoc,
+            },
             l1_latency: self.l1_latency,
             l1_mshr_entries: self.l1_mshr_entries,
             l1_mshr_merges: 16,
-            l2_geom: CacheGeometry { size_bytes: self.l2_bytes, assoc: self.l2_assoc },
+            l2_geom: CacheGeometry {
+                size_bytes: self.l2_bytes,
+                assoc: self.l2_assoc,
+            },
             n_l2_banks: self.l2_banks,
             l2_latency: self.l2_latency,
             l2_mshr_entries: 64,

@@ -4,9 +4,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use crisp_mem::{
-    BankMap, CompositionSnapshot, MemStats, MemSystem, SetPartition, TapController,
-};
+use crisp_mem::{BankMap, CompositionSnapshot, MemStats, MemSystem, SetPartition, TapController};
 use crisp_sm::{CtaResources, CtaWork, ResourceQuota, Sm, StallBreakdown};
 use crisp_trace::{Command, KernelTrace, StreamId, StreamKind, TraceBundle};
 
@@ -88,7 +86,9 @@ pub const CLEAR_STATS_MARKER: &str = "crisp:clear-stats";
 impl SimResult {
     /// Convenience: cycles until `stream` finished.
     pub fn stream_cycles(&self, stream: StreamId) -> u64 {
-        self.per_stream.get(&stream).map_or(0, |r| r.stats.finish_cycle)
+        self.per_stream
+            .get(&stream)
+            .map_or(0, |r| r.stats.finish_cycle)
     }
 
     /// Cycles until every stream finished (the concurrent makespan).
@@ -104,7 +104,12 @@ impl SimResult {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{} cycles ({} streams)", self.cycles, self.per_stream.len());
+        let _ = writeln!(
+            out,
+            "{} cycles ({} streams)",
+            self.cycles,
+            self.per_stream.len()
+        );
         for (id, r) in &self.per_stream {
             let _ = writeln!(
                 out,
@@ -157,13 +162,13 @@ impl StreamState {
     }
 }
 
-/// The simulator. Build with [`GpuSim::new`], add work with
-/// [`GpuSim::load`], then call [`GpuSim::run`].
+/// The simulator. Build with [`Simulation::builder`](crate::Simulation),
+/// then call [`GpuSim::run`] (the builder's `run()` does both).
 ///
 /// # Example
 ///
 /// ```
-/// use crisp_sim::{GpuConfig, GpuSim, PartitionSpec};
+/// use crisp_sim::{GpuConfig, Simulation};
 /// use crisp_trace::{CtaTrace, Instr, KernelTrace, Op, Reg, Stream, StreamId,
 ///                   StreamKind, TraceBundle, WarpTrace};
 ///
@@ -174,17 +179,29 @@ impl StreamState {
 /// let mut s = Stream::new(StreamId(0), StreamKind::Compute);
 /// s.launch(k);
 ///
-/// let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
-/// gpu.load(TraceBundle::from_streams(vec![s]));
-/// let result = gpu.run();
+/// let result = Simulation::builder()
+///     .gpu(GpuConfig::test_tiny())
+///     .trace(TraceBundle::from_streams(vec![s]))
+///     .run();
 /// assert!(result.cycles > 0);
 /// ```
+///
+/// # Threading
+///
+/// With `threads > 1` (via [`GpuConfig::threads`] or the builder's
+/// `.threads(n)`), the per-cycle SM loop is sharded over persistent worker
+/// threads. Every cross-SM interaction — CTA dispatch, the memory
+/// hierarchy, telemetry — stays on the driving thread, and each SM's
+/// memory traffic is buffered in its private [`crisp_mem::SmMemPort`] and
+/// drained into the crossbar in ascending SM-id order. Results are
+/// therefore **bit-identical at any thread count**.
 #[derive(Debug)]
 pub struct GpuSim {
     cfg: GpuConfig,
     spec: PartitionSpec,
     sms: Vec<Sm>,
     mem: MemSystem,
+    threads: usize,
     streams: Vec<StreamState>,
     slicer: Option<WarpedSlicer>,
     now: u64,
@@ -207,13 +224,25 @@ pub struct GpuSim {
 
 impl GpuSim {
     /// A GPU with the given configuration and partition policy, no work.
+    #[deprecated(note = "use `Simulation::builder()` instead")]
     pub fn new(cfg: GpuConfig, spec: PartitionSpec) -> Self {
+        Self::with_spec(cfg, spec)
+    }
+
+    /// Internal constructor behind both [`GpuSim::new`] and the builder.
+    pub(crate) fn with_spec(cfg: GpuConfig, spec: PartitionSpec) -> Self {
         let mem = MemSystem::new(cfg.mem_config());
-        let sms = (0..cfg.n_sms).map(|i| Sm::new(i, cfg.sm)).collect();
+        let sms = mem
+            .make_ports()
+            .into_iter()
+            .enumerate()
+            .map(|(i, port)| Sm::new(i, cfg.sm, port))
+            .collect();
         GpuSim {
             mem,
             sms,
             spec,
+            threads: cfg.threads.max(1),
             streams: Vec::new(),
             slicer: None,
             now: 0,
@@ -251,7 +280,11 @@ impl GpuSim {
         ids.sort_unstable();
         // Graphics stream first for slicer convention.
         let ordered_pair = || -> (StreamId, StreamId) {
-            assert_eq!(ids.len(), 2, "this partition policy expects exactly two streams");
+            assert_eq!(
+                ids.len(),
+                2,
+                "this partition policy expects exactly two streams"
+            );
             let g = bundle
                 .streams
                 .iter()
@@ -265,12 +298,14 @@ impl GpuSim {
             L2Policy::Shared => {}
             L2Policy::BankSplit => {
                 let (a, b) = ordered_pair();
-                self.mem.set_bank_map(BankMap::mig_even_split(self.cfg.l2_banks, a, b));
+                self.mem
+                    .set_bank_map(BankMap::mig_even_split(self.cfg.l2_banks, a, b));
             }
             L2Policy::Tap(tap_cfg) => {
                 let sets_per_bank =
                     self.cfg.l2_bytes / self.cfg.l2_banks as u64 / 128 / self.cfg.l2_assoc as u64;
-                let tap = TapController::new(ids.clone(), sets_per_bank, self.cfg.l2_assoc, *tap_cfg);
+                let tap =
+                    TapController::new(ids.clone(), sets_per_bank, self.cfg.l2_assoc, *tap_cfg);
                 self.mem.set_partition(SetPartition::Tap(tap));
             }
         }
@@ -299,6 +334,17 @@ impl GpuSim {
         self.streams.sort_by_key(|s| s.id);
     }
 
+    /// Worker threads the cycle loop will use (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Override the worker-thread count (also settable via
+    /// [`GpuConfig::threads`]). Results are identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
     /// Run to completion.
     ///
     /// # Panics
@@ -306,18 +352,19 @@ impl GpuSim {
     /// Panics if the GPU makes no progress for 10M cycles (a CTA that can
     /// never be placed) or exceeds `cfg.max_cycles`.
     pub fn run(&mut self) -> SimResult {
-        while self.work_remains() {
-            self.step();
-            assert!(
-                self.now <= self.cfg.max_cycles,
-                "exceeded max_cycles={} — raise GpuConfig::max_cycles",
-                self.cfg.max_cycles
-            );
-            assert!(
-                self.now - self.last_progress < 10_000_000,
-                "no progress for 10M cycles at cycle {} — unplaceable CTA?",
-                self.now
-            );
+        // More workers than SMs would just idle; never exceed one SM/worker.
+        let workers = self.threads.min(self.sms.len().max(1));
+        if workers > 1 {
+            if let Some(violation) = self.run_parallel(workers) {
+                panic!("{violation}");
+            }
+        } else {
+            while self.work_remains() {
+                self.step();
+                if let Some(violation) = self.budget_violation() {
+                    panic!("{violation}");
+                }
+            }
         }
         self.result()
     }
@@ -328,28 +375,114 @@ impl GpuSim {
             || !self.mem.quiescent()
     }
 
+    /// Like [`work_remains`](Self::work_remains) but over SMs that have been
+    /// moved out of `self` (the parallel path keeps them in shards).
+    fn work_remains_refs(&self, sms: &[&mut Sm]) -> bool {
+        self.streams.iter().any(StreamState::work_remains)
+            || sms.iter().any(|sm| sm.busy())
+            || !self.mem.quiescent()
+    }
+
+    /// Whether the whole memory hierarchy — shared L2/DRAM *and* every SM's
+    /// private L1/MSHRs/egress — has drained.
+    fn hierarchy_quiescent(&self, sms: &[&mut Sm]) -> bool {
+        self.mem.quiescent() && sms.iter().all(|sm| sm.port().quiescent())
+    }
+
+    fn budget_violation(&self) -> Option<String> {
+        if self.now > self.cfg.max_cycles {
+            return Some(format!(
+                "exceeded max_cycles={} — raise GpuConfig::max_cycles",
+                self.cfg.max_cycles
+            ));
+        }
+        if self.now - self.last_progress >= 10_000_000 {
+            return Some(format!(
+                "no progress for 10M cycles at cycle {} — unplaceable CTA?",
+                self.now
+            ));
+        }
+        None
+    }
+
     /// Advance exactly one cycle (exposed for incremental drivers).
     pub fn step(&mut self) {
+        let mut sms = std::mem::take(&mut self.sms);
+        let mut refs: Vec<&mut Sm> = sms.iter_mut().collect();
         let now = self.now;
-        self.advance_streams(now);
-        self.issue_ctas(now);
-        self.cycle_sms(now);
-        let completions = self.mem.tick(now);
-        for c in completions {
-            self.sms[c.token.sm as usize].on_mem_completion(c.token.id);
+        self.advance_streams(now, &mut refs);
+        self.issue_ctas(now, &mut refs);
+        for sm in refs.iter_mut() {
+            if !sm.busy() {
+                continue;
+            }
+            let out = sm.cycle(now);
+            self.absorb_output(now, out);
         }
-        self.slicer_tick(now);
-        if self.occupancy_interval > 0 && now % self.occupancy_interval == 0 {
-            self.sample_occupancy(now);
-        }
-        if self.composition_interval > 0 && now > 0 && now % self.composition_interval == 0 {
-            self.composition_timeline.push((now, self.mem.l2_composition()));
-        }
+        self.finish_cycle(now, &mut refs);
+        drop(refs);
+        self.sms = sms;
         self.now += 1;
     }
 
+    /// Fold one SM's cycle output into global accounting: progress
+    /// watchdog, per-stream CTA/kernel completion, the kernel log.
+    fn absorb_output(&mut self, now: u64, out: crisp_sm::CycleOutput) {
+        if out.issued > 0 {
+            self.last_progress = now;
+        }
+        for commit in out.commits {
+            let stats = self.stats.get_mut(&commit.stream).expect("registered");
+            stats.ctas += 1;
+            let st = self
+                .streams
+                .iter_mut()
+                .find(|s| s.id == commit.stream)
+                .expect("stream exists");
+            let done = {
+                let r = st.current.as_mut().expect("commit for a running kernel");
+                r.outstanding -= 1;
+                r.outstanding == 0 && r.next_cta >= r.kernel.grid()
+            };
+            if done {
+                let r = st.current.take().expect("running kernel");
+                stats.kernels += 1;
+                self.kernel_log.push(KernelRecord {
+                    stream: commit.stream,
+                    name: r.kernel.name.clone(),
+                    start_cycle: r.start_cycle,
+                    end_cycle: now,
+                    ctas: r.kernel.grid() as u64,
+                });
+            }
+        }
+    }
+
+    /// Everything after the per-SM compute phase: drain the ports through
+    /// the shared memory system, deliver completions, tick the slicer,
+    /// sample telemetry.
+    fn finish_cycle(&mut self, now: u64, sms: &mut [&mut Sm]) {
+        let completions = {
+            let mut ports: Vec<&mut crisp_mem::SmMemPort> =
+                sms.iter_mut().map(|sm| sm.port_mut()).collect();
+            self.mem.tick(now, &mut ports)
+        };
+        for c in completions {
+            sms[c.token.sm as usize].on_mem_completion(c.token.id);
+        }
+        self.slicer_tick(now, sms);
+        if self.occupancy_interval > 0 && now.is_multiple_of(self.occupancy_interval) {
+            self.sample_occupancy(now, sms);
+        }
+        if self.composition_interval > 0 && now > 0 && now.is_multiple_of(self.composition_interval)
+        {
+            self.composition_timeline
+                .push((now, self.mem.l2_composition()));
+        }
+    }
+
     /// Pop markers and begin the next kernel of each idle stream.
-    fn advance_streams(&mut self, now: u64) {
+    fn advance_streams(&mut self, now: u64, sms: &mut [&mut Sm]) {
         for si in 0..self.streams.len() {
             loop {
                 if self.streams[si].current.is_some() {
@@ -360,7 +493,7 @@ impl GpuSim {
                 // only post-marker (steady-state) traffic.
                 if matches!(self.streams[si].commands.front(),
                     Some(Command::Marker(l)) if l == CLEAR_STATS_MARKER)
-                    && !self.mem.quiescent()
+                    && !self.hierarchy_quiescent(sms)
                 {
                     break;
                 }
@@ -368,7 +501,10 @@ impl GpuSim {
                     if !self.streams[si].finished && self.streams[si].started {
                         self.streams[si].finished = true;
                         let id = self.streams[si].id;
-                        self.stats.get_mut(&id).expect("stream registered").finish_cycle = now;
+                        self.stats
+                            .get_mut(&id)
+                            .expect("stream registered")
+                            .finish_cycle = now;
                     }
                     break;
                 };
@@ -376,9 +512,12 @@ impl GpuSim {
                     Command::Marker(label) => {
                         if label == CLEAR_STATS_MARKER {
                             self.mem.clear_stats();
+                            for sm in sms.iter_mut() {
+                                sm.port_mut().clear_stats();
+                            }
                         }
                         // Drawcall boundary: dynamic partitions reset here.
-                        self.reset_slicer(now);
+                        self.reset_slicer(now, sms);
                     }
                     Command::Launch(k) => {
                         let id = self.streams[si].id;
@@ -388,7 +527,7 @@ impl GpuSim {
                         }
                         if self.streams[si].kind == StreamKind::Compute {
                             // Kernel-launch boundary resets the partition too.
-                            self.reset_slicer(now);
+                            self.reset_slicer(now, sms);
                         }
                         {
                             // Fail fast on kernels whose CTAs can never be
@@ -430,11 +569,11 @@ impl GpuSim {
         }
     }
 
-    fn reset_slicer(&mut self, now: u64) {
+    fn reset_slicer(&mut self, now: u64, sms: &mut [&mut Sm]) {
         if let Some(sl) = self.slicer.as_mut() {
             sl.on_reset(now);
             let streams = sl.streams();
-            for sm in &mut self.sms {
+            for sm in sms.iter_mut() {
                 for s in streams {
                     let _ = sm.take_window_issued(s);
                 }
@@ -450,7 +589,7 @@ impl GpuSim {
     }
 
     /// Issue at most one CTA per SM per cycle, honouring the partition.
-    fn issue_ctas(&mut self, _now: u64) {
+    fn issue_ctas(&mut self, _now: u64, sms: &mut [&mut Sm]) {
         let n_streams = self.streams.len();
         if n_streams == 0 {
             return;
@@ -458,9 +597,13 @@ impl GpuSim {
         // Rotate the stream priority in non-greedy modes so no stream is
         // structurally favoured; greedy always starts from stream 0.
         let greedy = matches!(self.spec.sm, SmPartition::Greedy);
-        let start = if greedy { 0 } else { self.rr_offset % n_streams };
+        let start = if greedy {
+            0
+        } else {
+            self.rr_offset % n_streams
+        };
         self.rr_offset += 1;
-        for sm_id in 0..self.sms.len() {
+        for sm_id in 0..sms.len() {
             for k in 0..n_streams {
                 let si = (start + k) % n_streams;
                 let (id, has_work) = {
@@ -475,13 +618,13 @@ impl GpuSim {
                     continue;
                 }
                 // Inter-SM partitions restrict which SMs a stream may use.
-                if !self.allowed_sms.get(&id).map_or(true, |m| m[sm_id]) {
+                if !self.allowed_sms.get(&id).is_none_or(|m| m[sm_id]) {
                     continue;
                 }
                 let quota = self.quota_for(sm_id, id);
                 let running = self.streams[si].current.as_mut().expect("has_work checked");
                 let res = CtaResources::of_kernel(&running.kernel);
-                if !self.sms[sm_id].fits(id, res, quota) {
+                if !sms[sm_id].fits(id, res, quota) {
                     continue;
                 }
                 let work = CtaWork {
@@ -493,77 +636,225 @@ impl GpuSim {
                 self.cta_seq += 1;
                 running.next_cta += 1;
                 running.outstanding += 1;
-                self.sms[sm_id].launch_cta(work);
+                sms[sm_id].launch_cta(work);
                 self.last_progress = self.now;
                 break; // one CTA per SM per cycle
             }
         }
     }
 
-    fn cycle_sms(&mut self, now: u64) {
-        for sm_id in 0..self.sms.len() {
-            if !self.sms[sm_id].busy() {
-                continue;
-            }
-            let out = self.sms[sm_id].cycle(now, &mut self.mem);
-            if out.issued > 0 {
-                self.last_progress = now;
-            }
-            for commit in out.commits {
-                let stats = self.stats.get_mut(&commit.stream).expect("registered");
-                stats.ctas += 1;
-                let st = self
-                    .streams
-                    .iter_mut()
-                    .find(|s| s.id == commit.stream)
-                    .expect("stream exists");
-                let done = {
-                    let r = st.current.as_mut().expect("commit for a running kernel");
-                    r.outstanding -= 1;
-                    r.outstanding == 0 && r.next_cta >= r.kernel.grid()
-                };
-                if done {
-                    let r = st.current.take().expect("running kernel");
-                    stats.kernels += 1;
-                    self.kernel_log.push(KernelRecord {
-                        stream: commit.stream,
-                        name: r.kernel.name.clone(),
-                        start_cycle: r.start_cycle,
-                        end_cycle: now,
-                        ctas: r.kernel.grid() as u64,
-                    });
-                }
-            }
-        }
-    }
-
-    fn slicer_tick(&mut self, now: u64) {
-        let Some(sl) = self.slicer.as_mut() else { return };
+    fn slicer_tick(&mut self, now: u64, sms: &mut [&mut Sm]) {
+        let Some(sl) = self.slicer.as_mut() else {
+            return;
+        };
         if !sl.is_sampling() {
             return;
         }
-        let sms = &mut self.sms;
         let n = sms.len();
         let _ = sl.maybe_decide(now, n, |sm, stream| sms[sm].take_window_issued(stream));
     }
 
-    fn sample_occupancy(&mut self, now: u64) {
+    fn sample_occupancy(&mut self, now: u64, sms: &[&mut Sm]) {
         let mut by_stream = BTreeMap::new();
         let mut issued_delta = BTreeMap::new();
         for st in &self.streams {
-            let mean: f64 = self
-                .sms
+            let mean: f64 = sms
                 .iter()
                 .map(|sm| sm.resources().stream_warp_occupancy(st.id))
                 .sum::<f64>()
-                / self.sms.len() as f64;
+                / sms.len() as f64;
             by_stream.insert(st.id, mean);
-            let total: u64 = self.sms.iter().map(|sm| sm.issued_for(st.id)).sum();
+            let total: u64 = sms.iter().map(|sm| sm.issued_for(st.id)).sum();
             let prev = self.last_issued_snapshot.insert(st.id, total).unwrap_or(0);
             issued_delta.insert(st.id, total - prev);
         }
-        self.occupancy.push(OccupancySample { cycle: now, by_stream });
+        self.occupancy.push(OccupancySample {
+            cycle: now,
+            by_stream,
+        });
         self.ipc_timeline.push((now, issued_delta));
+    }
+
+    /// The sharded cycle loop: `workers` persistent threads each own a
+    /// contiguous slice of SMs and tick them concurrently; everything that
+    /// crosses SM boundaries happens on this thread between generations.
+    ///
+    /// Determinism: the compute phase of a cycle is embarrassingly parallel
+    /// (each SM only touches its own state and its private
+    /// [`crisp_mem::SmMemPort`]); the shared [`MemSystem`] then drains every
+    /// port's egress in ascending SM-id order, which is exactly the order
+    /// the serial loop pushes requests — so results are bit-identical.
+    ///
+    /// Returns a budget-violation message instead of panicking inside the
+    /// thread scope (a panic there would strand waiting workers).
+    fn run_parallel(&mut self, workers: usize) -> Option<String> {
+        use std::sync::{Condvar, Mutex};
+
+        struct Shard {
+            sms: Vec<Sm>,
+            out: Vec<crisp_sm::CycleOutput>,
+        }
+
+        /// Generation-counted barrier state, guarded by one mutex.
+        struct BarrierState {
+            /// Advances once per cycle; workers run when it passes theirs.
+            gen: u64,
+            /// Cycle number for the current generation.
+            now: u64,
+            /// Workers that have finished the current generation.
+            done: usize,
+            quit: bool,
+            /// A worker panicked while ticking its shard.
+            poisoned: bool,
+        }
+
+        struct Ctrl {
+            state: Mutex<BarrierState>,
+            /// Signalled by the driver when `gen` advances or `quit` is set.
+            go: Condvar,
+            /// Signalled by the last worker of a generation.
+            all_done: Condvar,
+        }
+
+        // Lock even if a worker panicked while holding the mutex; the
+        // poisoned flag is handled explicitly below.
+        fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        let n_sms = self.sms.len();
+        let chunk = n_sms.div_ceil(workers);
+        let mut pool = std::mem::take(&mut self.sms);
+        let mut shards: Vec<Mutex<Shard>> = Vec::new();
+        while !pool.is_empty() {
+            let rest = pool.split_off(chunk.min(pool.len()));
+            shards.push(Mutex::new(Shard {
+                sms: pool,
+                out: Vec::new(),
+            }));
+            pool = rest;
+        }
+        let shards = &shards;
+        let n_workers = shards.len();
+        let ctrl = &Ctrl {
+            state: Mutex::new(BarrierState {
+                gen: 0,
+                now: 0,
+                done: 0,
+                quit: false,
+                poisoned: false,
+            }),
+            go: Condvar::new(),
+            all_done: Condvar::new(),
+        };
+
+        let mut violation: Option<String> = None;
+        std::thread::scope(|scope| {
+            for shard in shards.iter() {
+                scope.spawn(move || {
+                    let mut my_gen = 0u64;
+                    loop {
+                        let now = {
+                            let mut st = lock(&ctrl.state);
+                            while st.gen == my_gen && !st.quit {
+                                st = ctrl
+                                    .go
+                                    .wait(st)
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            }
+                            if st.quit {
+                                return;
+                            }
+                            my_gen = st.gen;
+                            st.now
+                        };
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut g = lock(shard);
+                            let sh = &mut *g;
+                            sh.out.clear();
+                            for sm in sh.sms.iter_mut() {
+                                let out = if sm.busy() {
+                                    sm.cycle(now)
+                                } else {
+                                    crisp_sm::CycleOutput::default()
+                                };
+                                sh.out.push(out);
+                            }
+                        }));
+                        let mut st = lock(&ctrl.state);
+                        if r.is_err() {
+                            st.poisoned = true;
+                        }
+                        st.done += 1;
+                        if st.done == n_workers {
+                            ctrl.all_done.notify_one();
+                        }
+                    }
+                });
+            }
+
+            loop {
+                let now = self.now;
+                // Serial pre-phase: stream advance + CTA dispatch.
+                {
+                    let mut guards: Vec<_> = shards.iter().map(lock).collect();
+                    let mut refs: Vec<&mut Sm> =
+                        guards.iter_mut().flat_map(|g| g.sms.iter_mut()).collect();
+                    if !self.work_remains_refs(&refs) {
+                        break;
+                    }
+                    self.advance_streams(now, &mut refs);
+                    self.issue_ctas(now, &mut refs);
+                }
+                // Parallel compute phase: release the workers, wait for all.
+                let poisoned = {
+                    let mut st = lock(&ctrl.state);
+                    st.done = 0;
+                    st.now = now;
+                    st.gen += 1;
+                    ctrl.go.notify_all();
+                    while st.done < n_workers {
+                        st = ctrl
+                            .all_done
+                            .wait(st)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    st.poisoned
+                };
+                if poisoned {
+                    violation = Some("a simulation worker thread panicked".into());
+                    break;
+                }
+                // Serial post-phase: outputs in SM order, then the memory
+                // hierarchy, slicer, and telemetry.
+                {
+                    let mut guards: Vec<_> = shards.iter().map(lock).collect();
+                    for g in guards.iter_mut() {
+                        for out in std::mem::take(&mut g.out) {
+                            self.absorb_output(now, out);
+                        }
+                    }
+                    let mut refs: Vec<&mut Sm> =
+                        guards.iter_mut().flat_map(|g| g.sms.iter_mut()).collect();
+                    self.finish_cycle(now, &mut refs);
+                }
+                self.now += 1;
+                if let Some(v) = self.budget_violation() {
+                    violation = Some(v);
+                    break;
+                }
+            }
+            let mut st = lock(&ctrl.state);
+            st.quit = true;
+            ctrl.go.notify_all();
+        });
+
+        self.sms = shards
+            .iter()
+            .flat_map(|s| std::mem::take(&mut lock(s).sms))
+            .collect();
+        debug_assert_eq!(self.sms.len(), n_sms);
+        violation
     }
 
     fn result(&mut self) -> SimResult {
@@ -578,7 +869,13 @@ impl GpuSim {
             .stats
             .iter()
             .map(|(&id, &stats)| {
-                (id, StreamResult { stats, dram_bytes: self.mem.dram_bytes(id) })
+                (
+                    id,
+                    StreamResult {
+                        stats,
+                        dram_bytes: self.mem.dram_bytes(id),
+                    },
+                )
             })
             .collect();
         let per_sm_instructions: Vec<BTreeMap<StreamId, u64>> = self
@@ -603,16 +900,24 @@ impl GpuSim {
             SetPartition::Tap(t) => Some(t.allocation()),
             _ => None,
         };
+        let mut l1_stats = MemStats::new();
+        for sm in &self.sms {
+            l1_stats.merge(sm.port().stats());
+        }
         SimResult {
             cycles: self.now,
             per_stream,
-            l1_stats: self.mem.l1_stats_total(),
+            l1_stats,
             l2_stats: self.mem.l2_stats_total(),
             l2_composition: self.mem.l2_composition(),
             l2_composition_timeline: std::mem::take(&mut self.composition_timeline),
             occupancy: std::mem::take(&mut self.occupancy),
             ipc_timeline: std::mem::take(&mut self.ipc_timeline),
-            slicer_history: self.slicer.as_ref().map(|s| s.history().to_vec()).unwrap_or_default(),
+            slicer_history: self
+                .slicer
+                .as_ref()
+                .map(|s| s.history().to_vec())
+                .unwrap_or_default(),
             tap_allocation,
             kernel_log: std::mem::take(&mut self.kernel_log),
             per_sm_instructions,
@@ -635,9 +940,7 @@ impl GpuSim {
 mod tests {
     use super::*;
     use crate::slicer::SlicerConfig;
-    use crisp_trace::{
-        CtaTrace, DataClass, Instr, MemAccess, Op, Reg, Space, Stream, WarpTrace,
-    };
+    use crisp_trace::{CtaTrace, DataClass, Instr, MemAccess, Op, Reg, Space, Stream, WarpTrace};
 
     const G: StreamId = StreamId(0);
     const C: StreamId = StreamId(1);
@@ -685,7 +988,7 @@ mod tests {
 
     #[test]
     fn single_stream_completes_and_reports() {
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 20, 2, 4, 16));
         s.launch(alu_kernel("b", 20, 2, 4, 16));
@@ -703,13 +1006,13 @@ mod tests {
     fn kernels_in_a_stream_are_serialised() {
         // Kernel b must not start before kernel a fully commits: with one
         // large kernel a and tiny b, total cycles >= a's cycles + b's.
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 200, 4, 2, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
         let solo_a = gpu.run().cycles;
 
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 200, 4, 2, 16));
         s.launch(alu_kernel("b", 200, 4, 2, 16));
@@ -728,7 +1031,7 @@ mod tests {
         let b = alu_kernel("c", 300, 2, 6, 16);
 
         // Serial baseline: one stream after the other (same stream).
-        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(a.clone());
         s.launch(b.clone());
@@ -736,7 +1039,7 @@ mod tests {
         let serial = gpu.run().cycles;
 
         // Concurrent under even intra-SM partition.
-        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
         gpu.load(bundle_two(a, b));
         let conc = gpu.run().cycles;
         assert!(
@@ -748,7 +1051,7 @@ mod tests {
     #[test]
     fn mps_partitions_sms() {
         let cfg = GpuConfig::test_tiny(); // 2 SMs → 1 each
-        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::mps_even(&cfg, G, C));
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::mps_even(&cfg, G, C));
         gpu.load(bundle_two(
             alu_kernel("g", 50, 2, 4, 16),
             alu_kernel("c", 50, 2, 4, 16),
@@ -760,7 +1063,7 @@ mod tests {
 
     #[test]
     fn stalls_aggregate_over_sms() {
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 50, 2, 4, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
@@ -772,7 +1075,7 @@ mod tests {
     #[test]
     fn per_sm_instructions_respect_inter_sm_partitions() {
         let cfg = GpuConfig::test_tiny(); // 2 SMs
-        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::mps_even(&cfg, G, C));
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::mps_even(&cfg, G, C));
         gpu.load(bundle_two(
             alu_kernel("g", 50, 2, 4, 16),
             alu_kernel("c", 50, 2, 4, 16),
@@ -780,8 +1083,8 @@ mod tests {
         let r = gpu.run();
         assert_eq!(r.per_sm_instructions.len(), 2);
         // SM 0 belongs to the graphics stream, SM 1 to compute: no leakage.
-        assert!(r.per_sm_instructions[0].get(&C).is_none());
-        assert!(r.per_sm_instructions[1].get(&G).is_none());
+        assert!(!r.per_sm_instructions[0].contains_key(&C));
+        assert!(!r.per_sm_instructions[1].contains_key(&G));
         // Per-SM counts sum to the per-stream totals.
         let g_sum: u64 = r.per_sm_instructions.iter().filter_map(|m| m.get(&G)).sum();
         assert_eq!(g_sum, r.per_stream[&G].stats.instructions);
@@ -790,7 +1093,7 @@ mod tests {
     #[test]
     fn mig_isolates_dram_partitions() {
         let cfg = GpuConfig::test_tiny();
-        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::mig_even(&cfg, G, C));
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::mig_even(&cfg, G, C));
         let mut gs = Stream::new(G, StreamKind::Graphics);
         gs.launch(mem_kernel("gmem", 4, 3));
         let mut cs = Stream::new(C, StreamKind::Compute);
@@ -804,14 +1107,20 @@ mod tests {
     #[test]
     fn warped_slicer_makes_decisions() {
         let cfg = GpuConfig::test_tiny();
-        let slicer = SlicerConfig { sample_cycles: 200, ratios: vec![(2, 8), (4, 8), (6, 8)] };
-        let mut gpu = GpuSim::new(cfg, PartitionSpec::fg_dynamic(slicer));
+        let slicer = SlicerConfig {
+            sample_cycles: 200,
+            ratios: vec![(2, 8), (4, 8), (6, 8)],
+        };
+        let mut gpu = GpuSim::with_spec(cfg, PartitionSpec::fg_dynamic(slicer));
         gpu.load(bundle_two(
             alu_kernel("g", 2000, 2, 12, 16),
             alu_kernel("c", 2000, 2, 12, 16),
         ));
         let r = gpu.run();
-        assert!(!r.slicer_history.is_empty(), "slicer must have decided at least once");
+        assert!(
+            !r.slicer_history.is_empty(),
+            "slicer must have decided at least once"
+        );
         for (_, f) in &r.slicer_history {
             assert!((0.0..=1.0).contains(f));
         }
@@ -820,8 +1129,12 @@ mod tests {
     #[test]
     fn tap_reports_allocation() {
         let cfg = GpuConfig::test_tiny();
-        let tap = crisp_mem::TapConfig { epoch_accesses: 200, sample_every: 1, min_sets: 1 };
-        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::tap_even(&cfg, G, C, tap));
+        let tap = crisp_mem::TapConfig {
+            epoch_accesses: 200,
+            sample_every: 1,
+            min_sets: 1,
+        };
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::tap_even(&cfg, G, C, tap));
         let mut gs = Stream::new(G, StreamKind::Graphics);
         gs.launch(mem_kernel("gmem", 6, 1));
         let mut cs = Stream::new(C, StreamKind::Compute);
@@ -837,7 +1150,7 @@ mod tests {
     #[test]
     fn occupancy_timeline_is_sampled() {
         let cfg = GpuConfig::test_tiny();
-        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
         gpu.occupancy_interval = 50;
         gpu.load(bundle_two(
             alu_kernel("g", 500, 2, 8, 16),
@@ -852,7 +1165,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds the SM")]
     fn unplaceable_kernel_fails_fast() {
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         // 512 regs/thread × 256 threads = 131072 regs > 65536.
         s.launch(alu_kernel("hog", 4, 8, 1, 512));
@@ -865,7 +1178,7 @@ mod tests {
     fn max_cycles_budget_is_enforced() {
         let mut cfg = GpuConfig::test_tiny();
         cfg.max_cycles = 10;
-        let mut gpu = GpuSim::new(cfg, PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(cfg, PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("long", 1000, 2, 4, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
@@ -874,7 +1187,7 @@ mod tests {
 
     #[test]
     fn summary_mentions_every_stream() {
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 10, 1, 1, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
@@ -887,7 +1200,7 @@ mod tests {
 
     #[test]
     fn kernel_log_records_the_timeline() {
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("first", 20, 2, 2, 16));
         s.launch(alu_kernel("second", 20, 2, 2, 16));
@@ -896,8 +1209,10 @@ mod tests {
         assert_eq!(r.kernel_log.len(), 2);
         assert_eq!(r.kernel_log[0].name, "first");
         assert_eq!(r.kernel_log[1].name, "second");
-        assert!(r.kernel_log[0].end_cycle <= r.kernel_log[1].start_cycle + 1,
-            "stream kernels serialise");
+        assert!(
+            r.kernel_log[0].end_cycle <= r.kernel_log[1].start_cycle + 1,
+            "stream kernels serialise"
+        );
         assert!(r.kernel_log[0].elapsed() > 0);
         assert_eq!(r.kernel_log[0].ctas, 2);
     }
@@ -905,7 +1220,7 @@ mod tests {
     #[test]
     fn ipc_timeline_sums_to_total_instructions() {
         let cfg = GpuConfig::test_tiny();
-        let mut gpu = GpuSim::new(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
         gpu.occupancy_interval = 50;
         gpu.load(bundle_two(
             alu_kernel("g", 500, 2, 8, 16),
@@ -922,7 +1237,7 @@ mod tests {
 
     #[test]
     fn empty_kernel_completes_instantly() {
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(KernelTrace::new("empty", 32, 8, 0, vec![]));
         gpu.load(TraceBundle::from_streams(vec![s]));
@@ -933,15 +1248,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "load() may only be called once")]
     fn double_load_panics() {
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
-        gpu.load(TraceBundle::from_streams(vec![Stream::new(C, StreamKind::Compute)]));
-        gpu.load(TraceBundle::from_streams(vec![Stream::new(G, StreamKind::Graphics)]));
+        let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        gpu.load(TraceBundle::from_streams(vec![Stream::new(
+            C,
+            StreamKind::Compute,
+        )]));
+        gpu.load(TraceBundle::from_streams(vec![Stream::new(
+            G,
+            StreamKind::Graphics,
+        )]));
     }
 
     #[test]
     fn l2_composition_reflects_data_classes() {
         let cfg = GpuConfig::test_tiny();
-        let mut gpu = GpuSim::new(cfg, PartitionSpec::greedy());
+        let mut gpu = GpuSim::with_spec(cfg, PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(mem_kernel("m", 4, 1));
         gpu.load(TraceBundle::from_streams(vec![s]));

@@ -22,19 +22,26 @@
 //! * Statistics are kept **per stream** (the paper extends Accel-Sim the
 //!   same way), including occupancy timelines (Fig 13) and L2 composition
 //!   snapshots (Figs 11, 15).
+//!
+//! The front door is [`Simulation::builder`]: pick a [`GpuConfig`], a
+//! [`PartitionSpec`], optionally a worker-thread count (`.threads(n)` — the
+//! sharded cycle loop is bit-identical to serial at any count) and a
+//! [`Telemetry`] set, hand it a trace, and `run()`.
 
 mod config;
 mod gpu;
 mod policy;
+mod sim;
 mod slicer;
 mod stats;
 
 pub use config::GpuConfig;
 pub use gpu::{GpuSim, KernelRecord, SimResult, StreamResult, CLEAR_STATS_MARKER};
 pub use policy::{L2Policy, PartitionSpec, SmPartition};
+pub use sim::{Simulation, SimulationBuilder, Telemetry};
 pub use slicer::{SlicerConfig, WarpedSlicer};
 pub use stats::{OccupancySample, PerStreamStats};
 
-pub use crisp_mem::{TapConfig, MemConfig};
+pub use crisp_mem::{MemConfig, TapConfig};
 pub use crisp_sm::{ResourceQuota, SchedulerPolicy, SmConfig, StallBreakdown};
 pub use crisp_trace::{StreamId, StreamKind, TraceBundle};

@@ -50,7 +50,10 @@ pub struct PartitionSpec {
 impl PartitionSpec {
     /// Accel-Sim's default greedy scheduler, shared L2.
     pub fn greedy() -> Self {
-        PartitionSpec { sm: SmPartition::Greedy, l2: L2Policy::Shared }
+        PartitionSpec {
+            sm: SmPartition::Greedy,
+            l2: L2Policy::Shared,
+        }
     }
 
     /// MPS with an even inter-SM split between two streams; L2 shared.
@@ -59,13 +62,19 @@ impl PartitionSpec {
         let mut m = HashMap::new();
         m.insert(a, (0..half).collect());
         m.insert(b, (half..cfg.n_sms).collect());
-        PartitionSpec { sm: SmPartition::InterSm(m), l2: L2Policy::Shared }
+        PartitionSpec {
+            sm: SmPartition::InterSm(m),
+            l2: L2Policy::Shared,
+        }
     }
 
     /// MiG with an even inter-SM split and bank-level L2 isolation.
     pub fn mig_even(cfg: &GpuConfig, a: StreamId, b: StreamId) -> Self {
         let spec = PartitionSpec::mps_even(cfg, a, b);
-        PartitionSpec { sm: spec.sm, l2: L2Policy::BankSplit }
+        PartitionSpec {
+            sm: spec.sm,
+            l2: L2Policy::BankSplit,
+        }
     }
 
     /// Fine-grained intra-SM partition with an even static split ("EVEN" in
@@ -74,13 +83,19 @@ impl PartitionSpec {
         let mut q = HashMap::new();
         q.insert(a, ResourceQuota::fraction(&cfg.sm, 1, 2));
         q.insert(b, ResourceQuota::fraction(&cfg.sm, 1, 2));
-        PartitionSpec { sm: SmPartition::IntraSm(q), l2: L2Policy::Shared }
+        PartitionSpec {
+            sm: SmPartition::IntraSm(q),
+            l2: L2Policy::Shared,
+        }
     }
 
     /// Fine-grained intra-SM partition driven by warped-slicer ("Dynamic"
     /// in Figure 12).
     pub fn fg_dynamic(slicer: SlicerConfig) -> Self {
-        PartitionSpec { sm: SmPartition::IntraSmDynamic(slicer), l2: L2Policy::Shared }
+        PartitionSpec {
+            sm: SmPartition::IntraSmDynamic(slicer),
+            l2: L2Policy::Shared,
+        }
     }
 
     /// Fine-grained intra-SM partition with arbitrary per-stream fractions
@@ -100,23 +115,33 @@ impl PartitionSpec {
             total += num as f64 / denom as f64;
             q.insert(id, ResourceQuota::fraction(&cfg.sm, num, denom));
         }
-        assert!(total <= 1.0 + 1e-9, "quota fractions exceed the SM ({total})");
-        PartitionSpec { sm: SmPartition::IntraSm(q), l2: L2Policy::Shared }
+        assert!(
+            total <= 1.0 + 1e-9,
+            "quota fractions exceed the SM ({total})"
+        );
+        PartitionSpec {
+            sm: SmPartition::IntraSm(q),
+            l2: L2Policy::Shared,
+        }
     }
 
     /// MPS inter-SM split with TAP set partitioning in the L2 (Figure 14's
     /// "TAP" configuration).
     pub fn tap_even(cfg: &GpuConfig, a: StreamId, b: StreamId, tap: TapConfig) -> Self {
         let spec = PartitionSpec::mps_even(cfg, a, b);
-        PartitionSpec { sm: spec.sm, l2: L2Policy::Tap(tap) }
+        PartitionSpec {
+            sm: spec.sm,
+            l2: L2Policy::Tap(tap),
+        }
     }
 
     /// The SMs `stream` may receive CTAs on, out of `n_sms`.
     pub fn sms_for(&self, stream: StreamId, n_sms: usize) -> Vec<usize> {
         match &self.sm {
-            SmPartition::InterSm(m) => {
-                m.get(&stream).cloned().unwrap_or_else(|| (0..n_sms).collect())
-            }
+            SmPartition::InterSm(m) => m
+                .get(&stream)
+                .cloned()
+                .unwrap_or_else(|| (0..n_sms).collect()),
             _ => (0..n_sms).collect(),
         }
     }
@@ -125,9 +150,10 @@ impl PartitionSpec {
     /// quota chosen by the slicer at runtime, handled in `GpuSim`).
     pub fn static_quota(&self, stream: StreamId, _sm_cfg: &SmConfig) -> ResourceQuota {
         match &self.sm {
-            SmPartition::IntraSm(q) => {
-                q.get(&stream).copied().unwrap_or_else(ResourceQuota::unlimited)
-            }
+            SmPartition::IntraSm(q) => q
+                .get(&stream)
+                .copied()
+                .unwrap_or_else(ResourceQuota::unlimited),
             _ => ResourceQuota::unlimited(),
         }
     }
@@ -181,13 +207,14 @@ mod tests {
     #[test]
     fn fg_fractions_supports_three_streams() {
         let cfg = GpuConfig::jetson_orin();
-        let p = PartitionSpec::fg_fractions(
-            &cfg,
-            [(A, (4, 8)), (B, (2, 8)), (StreamId(2), (2, 8))],
-        );
+        let p =
+            PartitionSpec::fg_fractions(&cfg, [(A, (4, 8)), (B, (2, 8)), (StreamId(2), (2, 8))]);
         assert_eq!(p.static_quota(A, &cfg.sm).warps, cfg.sm.max_warps / 2);
         assert_eq!(p.static_quota(B, &cfg.sm).warps, cfg.sm.max_warps / 4);
-        assert_eq!(p.static_quota(StreamId(2), &cfg.sm).warps, cfg.sm.max_warps / 4);
+        assert_eq!(
+            p.static_quota(StreamId(2), &cfg.sm).warps,
+            cfg.sm.max_warps / 4
+        );
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! The front-door simulation API: a fluent builder over [`GpuSim`].
+//!
+//! ```
+//! use crisp_sim::{GpuConfig, PartitionSpec, Simulation, Telemetry};
+//! # use crisp_trace::{CtaTrace, Instr, KernelTrace, Op, Reg, Stream, StreamId,
+//! #                   StreamKind, TraceBundle, WarpTrace};
+//! # let mut w = WarpTrace::new();
+//! # w.push(Instr::alu(Op::FpFma, Reg(1), &[]));
+//! # w.seal();
+//! # let k = KernelTrace::new("k", 32, 16, 0, vec![CtaTrace::new(vec![w])]);
+//! # let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+//! # s.launch(k);
+//! # let bundle = TraceBundle::from_streams(vec![s]);
+//! let result = Simulation::builder()
+//!     .gpu(GpuConfig::test_tiny())
+//!     .partition(PartitionSpec::greedy())
+//!     .threads(4)                  // bit-identical to .threads(1)
+//!     .telemetry(Telemetry::FULL)
+//!     .trace(bundle)
+//!     .run();
+//! assert!(result.cycles > 0);
+//! ```
+
+use crate::config::GpuConfig;
+use crate::gpu::{GpuSim, SimResult};
+use crate::policy::{L2Policy, PartitionSpec};
+use crisp_trace::TraceBundle;
+
+/// Which periodic telemetry a simulation records.
+///
+/// A set of flags combined with `|`. Collecting timelines costs memory and
+/// a little time on large runs; [`Telemetry::NONE`] turns them all off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Telemetry(u8);
+
+impl Telemetry {
+    /// No periodic sampling: `occupancy` and `ipc_timeline` stay empty and
+    /// only the final L2 composition snapshot is taken.
+    pub const NONE: Telemetry = Telemetry(0);
+    /// Occupancy + per-stream IPC timelines (paper Figure 13).
+    pub const OCCUPANCY: Telemetry = Telemetry(1);
+    /// Periodic L2 composition snapshots (paper Figures 11 and 15).
+    pub const COMPOSITION: Telemetry = Telemetry(2);
+    /// Everything.
+    pub const FULL: Telemetry = Telemetry(1 | 2);
+
+    /// Whether every flag in `other` is enabled.
+    pub fn contains(self, other: Telemetry) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for Telemetry {
+    type Output = Telemetry;
+    fn bitor(self, rhs: Telemetry) -> Telemetry {
+        Telemetry(self.0 | rhs.0)
+    }
+}
+
+impl Default for Telemetry {
+    /// Occupancy sampling on, composition timeline off — the historical
+    /// default of [`GpuSim`].
+    fn default() -> Self {
+        Telemetry::OCCUPANCY
+    }
+}
+
+/// Entry point of the simulation API; see [`Simulation::builder`].
+///
+/// The name exists so call sites read `Simulation::builder()...run()`;
+/// configuring and running happens entirely on [`SimulationBuilder`].
+#[derive(Debug)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Start configuring a simulation. Every knob has a sensible default:
+    /// Jetson Orin hardware, greedy (unpartitioned) scheduling, shared L2,
+    /// one worker thread, occupancy telemetry, no trace.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+}
+
+/// Fluent configuration for one simulation run.
+#[derive(Debug, Default)]
+pub struct SimulationBuilder {
+    gpu: Option<GpuConfig>,
+    partition: Option<PartitionSpec>,
+    l2: Option<L2Policy>,
+    threads: Option<usize>,
+    telemetry: Telemetry,
+    occupancy_interval: Option<u64>,
+    composition_interval: Option<u64>,
+    trace: Option<TraceBundle>,
+}
+
+impl SimulationBuilder {
+    /// Hardware configuration (default: [`GpuConfig::jetson_orin`]).
+    pub fn gpu(mut self, cfg: GpuConfig) -> Self {
+        self.gpu = Some(cfg);
+        self
+    }
+
+    /// Partition policy (default: [`PartitionSpec::greedy`]).
+    pub fn partition(mut self, spec: PartitionSpec) -> Self {
+        self.partition = Some(spec);
+        self
+    }
+
+    /// Override just the L2 policy of the partition spec.
+    pub fn l2(mut self, policy: L2Policy) -> Self {
+        self.l2 = Some(policy);
+        self
+    }
+
+    /// Worker threads for the cycle loop (default: [`GpuConfig::threads`],
+    /// i.e. 1). Results are bit-identical for any value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Which periodic telemetry to record (default:
+    /// [`Telemetry::OCCUPANCY`]).
+    pub fn telemetry(mut self, t: Telemetry) -> Self {
+        self.telemetry = t;
+        self
+    }
+
+    /// Cycles between occupancy/IPC samples (default 2000; 0 disables,
+    /// equivalent to dropping [`Telemetry::OCCUPANCY`]).
+    pub fn occupancy_interval(mut self, cycles: u64) -> Self {
+        self.occupancy_interval = Some(cycles);
+        self
+    }
+
+    /// Cycles between L2 composition snapshots (default 10_000 when
+    /// [`Telemetry::COMPOSITION`] is enabled; 0 disables the timeline).
+    pub fn composition_interval(mut self, cycles: u64) -> Self {
+        self.composition_interval = Some(cycles);
+        self
+    }
+
+    /// The workload to replay.
+    pub fn trace(mut self, bundle: TraceBundle) -> Self {
+        self.trace = Some(bundle);
+        self
+    }
+
+    /// Construct the configured [`GpuSim`] without running it (incremental
+    /// drivers call [`GpuSim::step`] themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace violates the partition policy's expectations
+    /// (see [`GpuSim::load`]).
+    pub fn build(self) -> GpuSim {
+        let cfg = self.gpu.unwrap_or_else(GpuConfig::jetson_orin);
+        let mut spec = self.partition.unwrap_or_else(PartitionSpec::greedy);
+        if let Some(l2) = self.l2 {
+            spec.l2 = l2;
+        }
+        let mut sim = GpuSim::with_spec(cfg, spec);
+        if let Some(n) = self.threads {
+            sim.set_threads(n);
+        }
+        sim.occupancy_interval = match self.occupancy_interval {
+            Some(cycles) => cycles,
+            None if self.telemetry.contains(Telemetry::OCCUPANCY) => 2_000,
+            None => 0,
+        };
+        sim.composition_interval = match self.composition_interval {
+            Some(cycles) => cycles,
+            None if self.telemetry.contains(Telemetry::COMPOSITION) => 10_000,
+            None => 0,
+        };
+        if let Some(bundle) = self.trace {
+            sim.load(bundle);
+        }
+        sim
+    }
+
+    /// Build and run to completion.
+    ///
+    /// # Panics
+    ///
+    /// As [`GpuSim::run`]: on an unplaceable CTA or a blown cycle budget.
+    pub fn run(self) -> SimResult {
+        self.build().run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_trace::{
+        CtaTrace, Instr, KernelTrace, Op, Reg, Stream, StreamId, StreamKind, WarpTrace,
+    };
+
+    fn bundle() -> TraceBundle {
+        let mut w = WarpTrace::new();
+        for i in 0..20 {
+            w.push(Instr::alu(Op::FpFma, Reg((i % 8) + 1), &[]));
+        }
+        w.seal();
+        let k = KernelTrace::new("k", 64, 16, 0, vec![CtaTrace::new(vec![w; 2]); 4]);
+        let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+        s.launch(k);
+        TraceBundle::from_streams(vec![s])
+    }
+
+    #[test]
+    fn defaults_match_historical_behavior() {
+        let sim = Simulation::builder().build();
+        assert_eq!(sim.config().name, "Jetson Orin");
+        assert_eq!(sim.occupancy_interval, 2_000);
+        assert_eq!(sim.composition_interval, 0);
+        assert_eq!(sim.threads(), 1);
+    }
+
+    #[test]
+    fn telemetry_flags_combine() {
+        assert!(Telemetry::FULL.contains(Telemetry::OCCUPANCY));
+        assert!(Telemetry::FULL.contains(Telemetry::COMPOSITION));
+        assert!(!Telemetry::NONE.contains(Telemetry::OCCUPANCY));
+        assert_eq!(
+            Telemetry::OCCUPANCY | Telemetry::COMPOSITION,
+            Telemetry::FULL
+        );
+    }
+
+    #[test]
+    fn telemetry_none_disables_sampling() {
+        let r = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .telemetry(Telemetry::NONE)
+            .trace(bundle())
+            .run();
+        assert!(r.occupancy.is_empty());
+        assert!(r.ipc_timeline.is_empty());
+        assert!(r.l2_composition_timeline.is_empty());
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn explicit_interval_overrides_telemetry() {
+        let sim = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .telemetry(Telemetry::NONE)
+            .occupancy_interval(50)
+            .build();
+        assert_eq!(sim.occupancy_interval, 50);
+    }
+
+    #[test]
+    fn composition_telemetry_samples_timeline() {
+        let mut w = WarpTrace::new();
+        for i in 0..500 {
+            w.push(Instr::alu(Op::FpFma, Reg((i % 8) + 1), &[]));
+        }
+        w.seal();
+        let k = KernelTrace::new("long", 64, 16, 0, vec![CtaTrace::new(vec![w; 2]); 4]);
+        let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+        s.launch(k);
+        let r = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .telemetry(Telemetry::FULL)
+            .occupancy_interval(50)
+            .composition_interval(25)
+            .trace(TraceBundle::from_streams(vec![s]))
+            .run();
+        assert!(r.cycles > 100, "workload long enough to sample");
+        assert!(!r.occupancy.is_empty());
+        assert!(!r.l2_composition_timeline.is_empty());
+    }
+
+    #[test]
+    fn l2_override_applies() {
+        let cfg = GpuConfig::test_tiny();
+        let spec = PartitionSpec::greedy();
+        let sim = Simulation::builder()
+            .gpu(cfg)
+            .partition(spec)
+            .l2(L2Policy::Shared)
+            .build();
+        assert_eq!(sim.threads(), 1);
+    }
+
+    #[test]
+    fn threads_knob_reaches_the_sim() {
+        let sim = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .threads(4)
+            .build();
+        assert_eq!(sim.threads(), 4);
+        let mut cfg = GpuConfig::test_tiny();
+        cfg.threads = 3;
+        let sim = Simulation::builder().gpu(cfg).build();
+        assert_eq!(sim.threads(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_works() {
+        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
+        gpu.load(bundle());
+        assert!(gpu.run().cycles > 0);
+    }
+}

@@ -9,10 +9,9 @@
 
 use crisp_sm::{ResourceQuota, SmConfig};
 use crisp_trace::StreamId;
-use serde::{Deserialize, Serialize};
 
 /// Warped-slicer tuning knobs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlicerConfig {
     /// Length of the sampling window in cycles.
     pub sample_cycles: u64,
@@ -93,7 +92,9 @@ impl WarpedSlicer {
 
     /// A new kernel launch or drawcall: restart sampling.
     pub fn on_reset(&mut self, now: u64) {
-        self.state = State::Sampling { until: now + self.cfg.sample_cycles };
+        self.state = State::Sampling {
+            until: now + self.cfg.sample_cycles,
+        };
         self.resets += 1;
     }
 
@@ -132,7 +133,9 @@ impl WarpedSlicer {
         n_sms: usize,
         mut issued: impl FnMut(usize, StreamId) -> u64,
     ) -> bool {
-        let State::Sampling { until } = self.state else { return false };
+        let State::Sampling { until } = self.state else {
+            return false;
+        };
         if now < until {
             return false;
         }
@@ -199,7 +202,10 @@ mod tests {
     fn unmanaged_stream_is_unlimited() {
         let s = slicer();
         let cfg = SmConfig::default();
-        assert_eq!(s.quota_for(0, StreamId(42), &cfg), ResourceQuota::unlimited());
+        assert_eq!(
+            s.quota_for(0, StreamId(42), &cfg),
+            ResourceQuota::unlimited()
+        );
     }
 
     #[test]
@@ -240,7 +246,11 @@ mod tests {
         // middle: sqrt(4/8)+sqrt(4/8) beats any lopsided split.
         let decided = s.maybe_decide(10_000, 14, |sm, stream| {
             let c = (sm % 7) as f64;
-            let v = if stream == A { (c + 1.0).sqrt() } else { (7.0 - c).sqrt() };
+            let v = if stream == A {
+                (c + 1.0).sqrt()
+            } else {
+                (7.0 - c).sqrt()
+            };
             (v * 1000.0) as u64
         });
         assert!(decided);
@@ -256,7 +266,10 @@ mod tests {
         s.on_reset(20_000);
         assert!(s.is_sampling());
         assert_eq!(s.resets(), 1);
-        assert!(!s.maybe_decide(25_000, 14, |_, _| 1), "new window runs to 30k");
+        assert!(
+            !s.maybe_decide(25_000, 14, |_, _| 1),
+            "new window runs to 30k"
+        );
         assert!(s.maybe_decide(30_000, 14, |_, _| 1));
     }
 }

@@ -8,10 +8,9 @@
 use std::collections::BTreeMap;
 
 use crisp_trace::StreamId;
-use serde::{Deserialize, Serialize};
 
 /// One occupancy sample: resident-warp fraction per stream at a cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OccupancySample {
     /// Sample cycle.
     pub cycle: u64,
@@ -27,7 +26,7 @@ impl OccupancySample {
 }
 
 /// Counters for one stream.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PerStreamStats {
     /// Cycle the stream's first CTA was issued.
     pub start_cycle: u64,
@@ -85,7 +84,10 @@ mod tests {
         let mut by_stream = BTreeMap::new();
         by_stream.insert(StreamId(0), 0.4);
         by_stream.insert(StreamId(1), 0.25);
-        let s = OccupancySample { cycle: 10, by_stream };
+        let s = OccupancySample {
+            cycle: 10,
+            by_stream,
+        };
         assert!((s.total() - 0.65).abs() < 1e-12);
     }
 }

@@ -1,10 +1,9 @@
 //! SM configuration: resource caps and execution-pipe timing.
 
 use crisp_trace::{Op, Space};
-use serde::{Deserialize, Serialize};
 
 /// Warp-scheduler selection policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerPolicy {
     /// Greedy-then-oldest: keep issuing from the same warp until it
     /// stalls, then fall back to the oldest ready warp (Accel-Sim's
@@ -20,7 +19,7 @@ pub enum SchedulerPolicy {
 /// Defaults follow the paper's Table II (shared by the Jetson Orin and the
 /// RTX 3070 rows): 64 warps, 4 schedulers, 65536 registers, 4 units of each
 /// execution class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmConfig {
     /// Maximum resident warps.
     pub max_warps: u32,
@@ -132,8 +131,10 @@ mod tests {
 
     #[test]
     fn shared_memory_latency_is_configurable() {
-        let mut c = SmConfig::default();
-        c.smem_latency = 40;
+        let c = SmConfig {
+            smem_latency: 40,
+            ..SmConfig::default()
+        };
         assert_eq!(c.timing(Op::Ld(Space::Shared)).0, 40);
     }
 }

@@ -11,12 +11,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crisp_trace::{KernelTrace, StreamId, WARP_SIZE};
-use serde::{Deserialize, Serialize};
 
 use crate::config::SmConfig;
 
 /// Resources one CTA occupies while resident.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CtaResources {
     /// Thread slots.
     pub threads: u32,
@@ -61,7 +60,7 @@ impl CtaWork {
 }
 
 /// Resources in use, either SM-wide or per stream.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Usage {
     /// Thread slots in use.
     pub threads: u32,
@@ -95,7 +94,7 @@ impl Usage {
 
 /// A per-stream ceiling on SM resources — the fine-grained intra-SM
 /// partition. `ResourceQuota::unlimited()` disables the partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceQuota {
     /// Max thread slots for the stream.
     pub threads: u32,
@@ -112,7 +111,13 @@ pub struct ResourceQuota {
 impl ResourceQuota {
     /// No per-stream restriction (bounded only by the SM's physical caps).
     pub fn unlimited() -> Self {
-        ResourceQuota { threads: u32::MAX, warps: u32::MAX, regs: u32::MAX, smem: u32::MAX, ctas: u32::MAX }
+        ResourceQuota {
+            threads: u32::MAX,
+            warps: u32::MAX,
+            regs: u32::MAX,
+            smem: u32::MAX,
+            ctas: u32::MAX,
+        }
     }
 
     /// A quota that is `num/denom` of the SM's physical resources — the
@@ -141,7 +146,11 @@ pub struct SmResources {
 impl SmResources {
     /// Empty accounting for an SM with configuration `cfg`.
     pub fn new(cfg: SmConfig) -> Self {
-        SmResources { cfg, total: Usage::default(), by_stream: HashMap::new() }
+        SmResources {
+            cfg,
+            total: Usage::default(),
+            by_stream: HashMap::new(),
+        }
     }
 
     /// Whether a CTA needing `r` fits under both the physical caps and the
@@ -152,7 +161,7 @@ impl SmResources {
             && t.warps + r.warps <= self.cfg.max_warps
             && t.regs + r.regs <= self.cfg.max_regs
             && t.smem + r.smem <= self.cfg.max_smem
-            && t.ctas + 1 <= self.cfg.max_ctas;
+            && t.ctas < self.cfg.max_ctas;
         if !phys {
             return false;
         }
@@ -161,7 +170,7 @@ impl SmResources {
             && s.warps + r.warps <= quota.warps
             && s.regs + r.regs <= quota.regs
             && s.smem + r.smem <= quota.smem
-            && s.ctas + 1 <= quota.ctas
+            && s.ctas < quota.ctas
     }
 
     /// Commit the allocation of `r` to `stream`.
@@ -230,12 +239,23 @@ mod tests {
     fn physical_caps_gate_issue() {
         let cfg = SmConfig::default();
         let mut res = SmResources::new(cfg);
-        let big = CtaResources { threads: 1024, warps: 32, regs: 32768, smem: 0 };
+        let big = CtaResources {
+            threads: 1024,
+            warps: 32,
+            regs: 32768,
+            smem: 0,
+        };
         assert!(res.fits(S0, big, ResourceQuota::unlimited()));
         res.allocate(S0, big);
-        assert!(res.fits(S0, big, ResourceQuota::unlimited()), "second still fits");
+        assert!(
+            res.fits(S0, big, ResourceQuota::unlimited()),
+            "second still fits"
+        );
         res.allocate(S0, big);
-        assert!(!res.fits(S0, big, ResourceQuota::unlimited()), "third exceeds warps/regs");
+        assert!(
+            !res.fits(S0, big, ResourceQuota::unlimited()),
+            "third exceeds warps/regs"
+        );
     }
 
     #[test]
@@ -244,7 +264,12 @@ mod tests {
         // registers". A register-heavy CTA exhausts the RF before warp slots.
         let cfg = SmConfig::default();
         let mut res = SmResources::new(cfg);
-        let reg_heavy = CtaResources { threads: 256, warps: 8, regs: 256 * 128, smem: 0 };
+        let reg_heavy = CtaResources {
+            threads: 256,
+            warps: 8,
+            regs: 256 * 128,
+            smem: 0,
+        };
         let mut issued = 0;
         while res.fits(S0, reg_heavy, ResourceQuota::unlimited()) {
             res.allocate(S0, reg_heavy);
@@ -259,7 +284,12 @@ mod tests {
         let cfg = SmConfig::default();
         let mut res = SmResources::new(cfg);
         let half = ResourceQuota::fraction(&cfg, 1, 2);
-        let cta = CtaResources { threads: 256, warps: 8, regs: 8192, smem: 0 };
+        let cta = CtaResources {
+            threads: 256,
+            warps: 8,
+            regs: 8192,
+            smem: 0,
+        };
         // Stream 0 may only fill half the warps (32 → 4 CTAs of 8 warps).
         let mut s0 = 0;
         while res.fits(S0, cta, half) {
@@ -278,7 +308,12 @@ mod tests {
     fn release_returns_resources() {
         let cfg = SmConfig::default();
         let mut res = SmResources::new(cfg);
-        let cta = CtaResources { threads: 512, warps: 16, regs: 16384, smem: 2048 };
+        let cta = CtaResources {
+            threads: 512,
+            warps: 16,
+            regs: 16384,
+            smem: 2048,
+        };
         res.allocate(S0, cta);
         res.release(S0, cta);
         assert_eq!(res.total(), Usage::default());

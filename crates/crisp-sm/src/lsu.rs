@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use crisp_mem::{L1AccessResult, MemReq, MemSystem, ReqToken};
+use crisp_mem::{L1AccessResult, MemReq, ReqToken, SmMemPort};
 use crisp_trace::{DataClass, Space, StreamId};
 
 use crate::config::SmConfig;
@@ -51,7 +51,11 @@ pub struct Lsu {
 impl Lsu {
     /// An empty LSU with the configured queue depth.
     pub fn new(cfg: &SmConfig) -> Self {
-        Lsu { queue: VecDeque::new(), depth: cfg.lsu_queue_depth, sectors_issued: 0 }
+        Lsu {
+            queue: VecDeque::new(),
+            depth: cfg.lsu_queue_depth,
+            sectors_issued: 0,
+        }
     }
 
     /// Whether another memory instruction can be accepted this cycle.
@@ -74,18 +78,21 @@ impl Lsu {
         self.queue.push_back(e);
     }
 
-    /// Work the head of the queue, presenting up to `cfg.l1_ports` sectors.
+    /// Work the head of the queue, presenting up to `cfg.l1_ports` sectors
+    /// to the SM's private memory port.
     pub(crate) fn process(
         &mut self,
         sm_id: usize,
         now: u64,
         cfg: &SmConfig,
-        mem: &mut MemSystem,
+        port: &mut SmMemPort,
     ) -> Vec<LsuEvent> {
         let mut events = Vec::new();
         let mut budget = cfg.l1_ports;
         while budget > 0 {
-            let Some(head) = self.queue.front_mut() else { break };
+            let Some(head) = self.queue.front_mut() else {
+                break;
+            };
             // Shared-memory instructions: one conflict-free port slot.
             if head.space == Space::Shared {
                 budget -= 1;
@@ -104,21 +111,29 @@ impl Lsu {
                 continue;
             }
             let addr = head.sectors[head.next];
-            let token = ReqToken { sm: sm_id as u16, id: head.inflight_id };
+            let token = ReqToken {
+                sm: sm_id as u16,
+                id: head.inflight_id,
+            };
             if head.is_load {
                 let req = MemReq::read(addr, head.stream, head.class, token);
-                match mem.l1_read(sm_id, req, now) {
+                match port.read(req, now) {
                     L1AccessResult::Hit { ready_at } => {
-                        events.push(LsuEvent::Ready { inflight_id: head.inflight_id, ready_at });
+                        events.push(LsuEvent::Ready {
+                            inflight_id: head.inflight_id,
+                            ready_at,
+                        });
                     }
                     L1AccessResult::Pending => {
-                        events.push(LsuEvent::Sent { inflight_id: head.inflight_id });
+                        events.push(LsuEvent::Sent {
+                            inflight_id: head.inflight_id,
+                        });
                     }
                     L1AccessResult::Stall => break, // retry same sector next cycle
                 }
             } else {
                 let req = MemReq::write(addr, head.stream, head.class, token);
-                mem.l1_write(sm_id, req, now);
+                port.write(req);
             }
             head.next += 1;
             budget -= 1;
@@ -136,14 +151,20 @@ mod tests {
     use super::*;
     use crisp_mem::{CacheGeometry, MemConfig};
 
-    fn mem() -> MemSystem {
-        MemSystem::new(MemConfig {
+    fn mem_cfg() -> MemConfig {
+        MemConfig {
             n_sms: 1,
-            l1_geom: CacheGeometry { size_bytes: 4096, assoc: 4 },
+            l1_geom: CacheGeometry {
+                size_bytes: 4096,
+                assoc: 4,
+            },
             l1_latency: 4,
             l1_mshr_entries: 32,
             l1_mshr_merges: 8,
-            l2_geom: CacheGeometry { size_bytes: 32768, assoc: 8 },
+            l2_geom: CacheGeometry {
+                size_bytes: 32768,
+                assoc: 8,
+            },
             n_l2_banks: 2,
             l2_latency: 20,
             l2_mshr_entries: 16,
@@ -151,7 +172,11 @@ mod tests {
             dram_latency: 100,
             dram_bytes_per_cycle: 64.0,
             l2_replacement: crisp_mem::Replacement::Lru,
-        })
+        }
+    }
+
+    fn port() -> SmMemPort {
+        SmMemPort::new(0, &mem_cfg())
     }
 
     fn load_entry(id: u64, sectors: Vec<u64>) -> LsuEntry {
@@ -170,12 +195,12 @@ mod tests {
     fn port_budget_limits_sectors_per_cycle() {
         let cfg = SmConfig::default(); // 4 ports
         let mut lsu = Lsu::new(&cfg);
-        let mut m = mem();
+        let mut p = port();
         lsu.push(load_entry(1, (0..8).map(|i| i * 32).collect()));
-        let ev = lsu.process(0, 0, &cfg, &mut m);
+        let ev = lsu.process(0, 0, &cfg, &mut p);
         assert_eq!(ev.len(), 4, "only 4 sectors in cycle 0");
         assert!(!lsu.is_empty());
-        let ev = lsu.process(0, 1, &cfg, &mut m);
+        let ev = lsu.process(0, 1, &cfg, &mut p);
         assert_eq!(ev.len(), 4);
         assert!(lsu.is_empty());
         assert_eq!(lsu.sectors_issued(), 8);
@@ -185,14 +210,17 @@ mod tests {
     fn shared_memory_resolves_locally() {
         let cfg = SmConfig::default();
         let mut lsu = Lsu::new(&cfg);
-        let mut m = mem();
+        let mut p = port();
         let mut e = load_entry(7, vec![]);
         e.space = Space::Shared;
         lsu.push(e);
-        let ev = lsu.process(0, 10, &cfg, &mut m);
+        let ev = lsu.process(0, 10, &cfg, &mut p);
         assert_eq!(
             ev,
-            vec![LsuEvent::Ready { inflight_id: 7, ready_at: 10 + cfg.smem_latency }]
+            vec![LsuEvent::Ready {
+                inflight_id: 7,
+                ready_at: 10 + cfg.smem_latency
+            }]
         );
     }
 
@@ -200,11 +228,11 @@ mod tests {
     fn stores_produce_no_events_but_consume_ports() {
         let cfg = SmConfig::default();
         let mut lsu = Lsu::new(&cfg);
-        let mut m = mem();
+        let mut p = port();
         let mut e = load_entry(3, vec![0, 32]);
         e.is_load = false;
         lsu.push(e);
-        let ev = lsu.process(0, 0, &cfg, &mut m);
+        let ev = lsu.process(0, 0, &cfg, &mut p);
         assert!(ev.is_empty());
         assert_eq!(lsu.sectors_issued(), 2);
         assert!(lsu.is_empty());
@@ -223,16 +251,21 @@ mod tests {
 
     #[test]
     fn mshr_stall_retries_same_sector() {
-        let mut cfg = SmConfig::default();
-        cfg.l1_ports = 4;
-        let mut m = MemSystem::new(MemConfig {
-            l1_mshr_entries: 1, // only one outstanding sector
-            ..*mem().config()
-        });
+        let cfg = SmConfig {
+            l1_ports: 4,
+            ..SmConfig::default()
+        };
+        let mut p = SmMemPort::new(
+            0,
+            &MemConfig {
+                l1_mshr_entries: 1, // only one outstanding sector
+                ..mem_cfg()
+            },
+        );
         let mut lsu = Lsu::new(&cfg);
         // Two sectors in different lines: second allocation must stall.
         lsu.push(load_entry(1, vec![0x0000, 0x4000]));
-        let ev = lsu.process(0, 0, &cfg, &mut m);
+        let ev = lsu.process(0, 0, &cfg, &mut p);
         assert_eq!(ev.len(), 1, "second sector stalled on MSHR");
         assert!(!lsu.is_empty());
     }

@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use crisp_mem::MemSystem;
+use crisp_mem::SmMemPort;
 use crisp_trace::{DataClass, Op, Reg, Space, StreamId, SECTOR_BYTES};
 
 use crate::config::{SchedulerPolicy, SmConfig};
@@ -76,6 +76,11 @@ struct Inflight {
 }
 
 /// One streaming multiprocessor.
+///
+/// An `Sm` owns its [`SmMemPort`] (private L1 + MSHRs), so a whole cycle —
+/// [`Sm::cycle`] — touches no shared state and may run on any worker
+/// thread. The type is `Send` by construction; the parallel executor in
+/// `crisp-sim` relies on that to ship SM shards across threads.
 #[derive(Debug)]
 pub struct Sm {
     id: usize,
@@ -85,6 +90,7 @@ pub struct Sm {
     ctas: Vec<Option<ResidentCta>>,
     units: ExecUnits,
     lsu: Lsu,
+    port: SmMemPort,
     /// ALU result writebacks: (ready_at, warp_slot, reg).
     writebacks: BinaryHeap<Reverse<(u64, usize, u16)>>,
     /// Locally-satisfied memory sectors: (ready_at, inflight_id).
@@ -101,8 +107,17 @@ pub struct Sm {
 }
 
 impl Sm {
-    /// An idle SM with the given id and configuration.
-    pub fn new(id: usize, cfg: SmConfig) -> Self {
+    /// An idle SM with the given id, configuration, and memory port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port's SM id does not match `id`.
+    pub fn new(id: usize, cfg: SmConfig, port: SmMemPort) -> Self {
+        assert_eq!(
+            port.sm() as usize,
+            id,
+            "memory port belongs to a different SM"
+        );
         Sm {
             id,
             cfg,
@@ -111,6 +126,7 @@ impl Sm {
             ctas: (0..cfg.max_ctas).map(|_| None).collect(),
             units: ExecUnits::new(&cfg),
             lsu: Lsu::new(&cfg),
+            port,
             writebacks: BinaryHeap::new(),
             mem_ready: BinaryHeap::new(),
             inflight: HashMap::new(),
@@ -137,6 +153,17 @@ impl Sm {
     /// Resource accounting (occupancy queries).
     pub fn resources(&self) -> &SmResources {
         &self.resources
+    }
+
+    /// This SM's private memory port (L1 statistics, quiescence).
+    pub fn port(&self) -> &SmMemPort {
+        &self.port
+    }
+
+    /// Mutable access to the memory port — the shared hierarchy drains and
+    /// fills it each tick.
+    pub fn port_mut(&mut self) -> &mut SmMemPort {
+        &mut self.port
     }
 
     /// Whether a CTA with needs `r` from `stream` can be issued under
@@ -167,7 +194,11 @@ impl Sm {
                 }
             }
         }
-        assert_eq!(slots.len(), n_warps, "no free warp slots despite fits() check");
+        assert_eq!(
+            slots.len(),
+            n_warps,
+            "no free warp slots despite fits() check"
+        );
         self.n_resident_warps += n_warps;
         for (wi, &slot) in slots.iter().enumerate() {
             self.warps[slot] = Some(WarpState::new(
@@ -192,8 +223,8 @@ impl Sm {
         });
     }
 
-    /// Route a memory completion (from [`MemSystem::tick`]) back to its
-    /// load instruction.
+    /// Route a memory completion (from the shared hierarchy's tick) back to
+    /// its load instruction.
     pub fn on_mem_completion(&mut self, inflight_id: u64) {
         let done = match self.inflight.get_mut(&inflight_id) {
             Some(f) => {
@@ -228,6 +259,7 @@ impl Sm {
             || !self.inflight.is_empty()
             || !self.writebacks.is_empty()
             || !self.mem_ready.is_empty()
+            || !self.port.quiescent()
     }
 
     /// Sectors this SM has presented to the L1 (bandwidth statistic).
@@ -240,8 +272,9 @@ impl Sm {
         self.stalls
     }
 
-    /// Advance one cycle.
-    pub fn cycle(&mut self, now: u64, mem: &mut MemSystem) -> CycleOutput {
+    /// Advance one cycle. Touches only SM-private state (including the
+    /// owned memory port), so distinct SMs may cycle concurrently.
+    pub fn cycle(&mut self, now: u64) -> CycleOutput {
         let mut out = CycleOutput::default();
 
         // 1. Retire ALU writebacks due this cycle.
@@ -264,10 +297,13 @@ impl Sm {
             self.on_mem_completion(id);
         }
 
-        // 3. Work the LSU.
-        for ev in self.lsu.process(self.id, now, &self.cfg, mem) {
+        // 3. Work the LSU against the private port.
+        for ev in self.lsu.process(self.id, now, &self.cfg, &mut self.port) {
             match ev {
-                LsuEvent::Ready { inflight_id, ready_at } => {
+                LsuEvent::Ready {
+                    inflight_id,
+                    ready_at,
+                } => {
                     self.mem_ready.push(Reverse((ready_at, inflight_id)));
                 }
                 LsuEvent::Sent { .. } => {}
@@ -325,7 +361,7 @@ impl Sm {
         for slot in (s..self.warps.len()).step_by(n_sched) {
             if self.warp_can_issue(slot, now) {
                 let age = self.warps[slot].as_ref().map(|w| w.age).unwrap_or(u64::MAX);
-                if best.map_or(true, |(ba, _)| age < ba) {
+                if best.is_none_or(|(ba, _)| age < ba) {
                     best = Some((age, slot));
                 }
             }
@@ -352,11 +388,15 @@ impl Sm {
     }
 
     fn warp_can_issue(&mut self, slot: usize, now: u64) -> bool {
-        let Some(w) = self.warps[slot].as_ref() else { return false };
+        let Some(w) = self.warps[slot].as_ref() else {
+            return false;
+        };
         if w.status != WarpStatus::Ready {
             return false;
         }
-        let Some(instr) = w.next_instr() else { return false };
+        let Some(instr) = w.next_instr() else {
+            return false;
+        };
         if w.scoreboard_blocks(instr) {
             return false;
         }
@@ -401,13 +441,28 @@ impl Sm {
                 let id = self.next_inflight;
                 self.next_inflight += 1;
                 if is_load {
-                    let remaining = if space == Space::Shared { 1 } else { sectors.len() };
-                    self.inflight.insert(id, Inflight { warp_slot: slot, reg: dst, remaining });
+                    let remaining = if space == Space::Shared {
+                        1
+                    } else {
+                        sectors.len()
+                    };
+                    self.inflight.insert(
+                        id,
+                        Inflight {
+                            warp_slot: slot,
+                            reg: dst,
+                            remaining,
+                        },
+                    );
                     if let (Some(d), Some(w)) = (dst, self.warps[slot].as_mut()) {
                         w.set_pending(d);
                     }
                 }
-                let class = if space == Space::Tex { DataClass::Texture } else { access.class };
+                let class = if space == Space::Tex {
+                    DataClass::Texture
+                } else {
+                    access.class
+                };
                 self.lsu.push(LsuEntry {
                     stream,
                     class,
@@ -459,7 +514,11 @@ impl Sm {
     }
 
     fn release_barrier(&mut self, cta_slot: usize) {
-        let slots = self.ctas[cta_slot].as_ref().expect("cta exists").warp_slots.clone();
+        let slots = self.ctas[cta_slot]
+            .as_ref()
+            .expect("cta exists")
+            .warp_slots
+            .clone();
         for s in slots {
             if let Some(w) = self.warps[s].as_mut() {
                 if w.status == WarpStatus::AtBarrier {
@@ -508,18 +567,24 @@ impl Sm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crisp_mem::{CacheGeometry, MemConfig};
+    use crisp_mem::{CacheGeometry, MemConfig, MemSystem};
     use crisp_trace::{CtaTrace, Instr, KernelTrace, MemAccess, WarpTrace};
     use std::sync::Arc;
 
-    fn mem() -> MemSystem {
-        MemSystem::new(MemConfig {
+    fn mem_cfg() -> MemConfig {
+        MemConfig {
             n_sms: 1,
-            l1_geom: CacheGeometry { size_bytes: 16384, assoc: 4 },
+            l1_geom: CacheGeometry {
+                size_bytes: 16384,
+                assoc: 4,
+            },
             l1_latency: 4,
             l1_mshr_entries: 32,
             l1_mshr_merges: 8,
-            l2_geom: CacheGeometry { size_bytes: 65536, assoc: 8 },
+            l2_geom: CacheGeometry {
+                size_bytes: 65536,
+                assoc: 8,
+            },
             n_l2_banks: 2,
             l2_latency: 20,
             l2_mshr_entries: 32,
@@ -527,16 +592,28 @@ mod tests {
             dram_latency: 100,
             dram_bytes_per_cycle: 64.0,
             l2_replacement: crisp_mem::Replacement::Lru,
-        })
+        }
+    }
+
+    fn mem() -> MemSystem {
+        MemSystem::new(mem_cfg())
+    }
+
+    fn new_sm(cfg: SmConfig) -> Sm {
+        Sm::new(0, cfg, SmMemPort::new(0, &mem_cfg()))
     }
 
     fn run_to_completion(sm: &mut Sm, mem: &mut MemSystem, budget: u64) -> (Vec<CtaCommit>, u64) {
         let mut commits = Vec::new();
         let mut cycles = 0;
         for now in 0..budget {
-            let out = sm.cycle(now, mem);
+            let out = sm.cycle(now);
             commits.extend(out.commits);
-            for c in mem.tick(now) {
+            let completions = {
+                let mut ports = [sm.port_mut()];
+                mem.tick(now, &mut ports)
+            };
+            for c in completions {
                 sm.on_mem_completion(c.token.id);
             }
             cycles = now + 1;
@@ -548,7 +625,12 @@ mod tests {
     }
 
     fn launch(sm: &mut Sm, k: &Arc<KernelTrace>, cta_index: usize, seq: u64) {
-        let work = CtaWork { stream: StreamId(0), kernel: k.clone(), cta_index, seq };
+        let work = CtaWork {
+            stream: StreamId(0),
+            kernel: k.clone(),
+            cta_index,
+            seq,
+        };
         assert!(sm.fits(StreamId(0), work.resources(), ResourceQuota::unlimited()));
         sm.launch_cta(work);
     }
@@ -561,20 +643,36 @@ mod tests {
         }
         w.seal();
         let cta = CtaTrace::new(vec![w; n_warps]);
-        Arc::new(KernelTrace::new("alu", 32 * n_warps as u32, 16, 0, vec![cta; n_ctas]))
+        Arc::new(KernelTrace::new(
+            "alu",
+            32 * n_warps as u32,
+            16,
+            0,
+            vec![cta; n_ctas],
+        ))
     }
 
     #[test]
     fn single_warp_alu_kernel_completes() {
-        let mut sm = Sm::new(0, SmConfig::default());
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         let k = alu_kernel(10, 1, 1);
         launch(&mut sm, &k, 0, 0);
         let (commits, cycles) = run_to_completion(&mut sm, &mut m, 1000);
         assert_eq!(commits.len(), 1);
-        assert_eq!(commits[0], CtaCommit { stream: StreamId(0), seq: 0, cta_index: 0 });
+        assert_eq!(
+            commits[0],
+            CtaCommit {
+                stream: StreamId(0),
+                seq: 0,
+                cta_index: 0
+            }
+        );
         assert!(!sm.busy());
-        assert!(cycles >= 11, "10 FMAs + exit takes at least 11 cycles, got {cycles}");
+        assert!(
+            cycles >= 11,
+            "10 FMAs + exit takes at least 11 cycles, got {cycles}"
+        );
         assert_eq!(sm.issued_for(StreamId(0)), 11);
     }
 
@@ -586,12 +684,21 @@ mod tests {
             w.push(Instr::alu(Op::FpFma, Reg(1), &[Reg(1)]));
         }
         w.seal();
-        let k = Arc::new(KernelTrace::new("dep", 32, 16, 0, vec![CtaTrace::new(vec![w])]));
-        let mut sm = Sm::new(0, SmConfig::default());
+        let k = Arc::new(KernelTrace::new(
+            "dep",
+            32,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ));
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         launch(&mut sm, &k, 0, 0);
         let (_, cycles) = run_to_completion(&mut sm, &mut m, 1000);
-        assert!(cycles >= 40, "10 dependent FMAs × 4-cycle latency, got {cycles}");
+        assert!(
+            cycles >= 40,
+            "10 dependent FMAs × 4-cycle latency, got {cycles}"
+        );
     }
 
     #[test]
@@ -604,7 +711,7 @@ mod tests {
         w.seal();
         let cta = CtaTrace::new(vec![w; 8]);
         let k = Arc::new(KernelTrace::new("dep8", 256, 16, 0, vec![cta]));
-        let mut sm = Sm::new(0, SmConfig::default());
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         launch(&mut sm, &k, 0, 0);
         let (_, cycles) = run_to_completion(&mut sm, &mut m, 10_000);
@@ -620,14 +727,23 @@ mod tests {
         ));
         w.push(Instr::alu(Op::FpFma, Reg(2), &[Reg(1)])); // depends on the load
         w.seal();
-        let k = Arc::new(KernelTrace::new("ld", 32, 16, 0, vec![CtaTrace::new(vec![w])]));
-        let mut sm = Sm::new(0, SmConfig::default());
+        let k = Arc::new(KernelTrace::new(
+            "ld",
+            32,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ));
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         launch(&mut sm, &k, 0, 0);
         let (commits, cycles) = run_to_completion(&mut sm, &mut m, 10_000);
         assert_eq!(commits.len(), 1);
         // Must include the DRAM round trip (~130+ cycles).
-        assert!(cycles > 100, "dependent FMA must wait for DRAM, got {cycles}");
+        assert!(
+            cycles > 100,
+            "dependent FMA must wait for DRAM, got {cycles}"
+        );
     }
 
     #[test]
@@ -645,8 +761,14 @@ mod tests {
         w1.push(Instr::bar());
         w1.push(Instr::alu(Op::IntAlu, Reg(20), &[]));
         w1.seal();
-        let k = Arc::new(KernelTrace::new("bar", 64, 16, 0, vec![CtaTrace::new(vec![w0, w1])]));
-        let mut sm = Sm::new(0, SmConfig::default());
+        let k = Arc::new(KernelTrace::new(
+            "bar",
+            64,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w0, w1])],
+        ));
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         launch(&mut sm, &k, 0, 0);
         let (commits, _) = run_to_completion(&mut sm, &mut m, 10_000);
@@ -666,8 +788,14 @@ mod tests {
             w1.push(Instr::alu(Op::Sfu, Reg(i + 1), &[]));
         }
         w1.seal(); // exits immediately after ALU work, never hits a bar
-        let k = Arc::new(KernelTrace::new("exitbar", 64, 16, 0, vec![CtaTrace::new(vec![w0, w1])]));
-        let mut sm = Sm::new(0, SmConfig::default());
+        let k = Arc::new(KernelTrace::new(
+            "exitbar",
+            64,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w0, w1])],
+        ));
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         launch(&mut sm, &k, 0, 0);
         let (commits, _) = run_to_completion(&mut sm, &mut m, 10_000);
@@ -676,7 +804,7 @@ mod tests {
 
     #[test]
     fn commits_free_resources_for_refill() {
-        let mut sm = Sm::new(0, SmConfig::default());
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         let k = alu_kernel(4, 4, 2);
         launch(&mut sm, &k, 0, 0);
@@ -684,7 +812,11 @@ mod tests {
         assert_eq!(before, 4);
         let (commits, _) = run_to_completion(&mut sm, &mut m, 10_000);
         assert_eq!(commits.len(), 1);
-        assert_eq!(sm.resources().total().warps, 0, "commit releases warp slots");
+        assert_eq!(
+            sm.resources().total().warps,
+            0,
+            "commit releases warp slots"
+        );
         launch(&mut sm, &k, 1, 1);
         let (commits, _) = run_to_completion(&mut sm, &mut m, 10_000);
         assert_eq!(commits.len(), 1);
@@ -692,7 +824,7 @@ mod tests {
 
     #[test]
     fn stall_breakdown_accounts_every_scheduler_slot() {
-        let mut sm = Sm::new(0, SmConfig::default());
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         // A dependent FMA chain: mostly blocked cycles.
         let mut w = WarpTrace::new();
@@ -700,7 +832,13 @@ mod tests {
             w.push(Instr::alu(Op::FpFma, Reg(1), &[Reg(1)]));
         }
         w.seal();
-        let k = Arc::new(KernelTrace::new("dep", 32, 16, 0, vec![CtaTrace::new(vec![w])]));
+        let k = Arc::new(KernelTrace::new(
+            "dep",
+            32,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ));
         launch(&mut sm, &k, 0, 0);
         let (_, cycles) = run_to_completion(&mut sm, &mut m, 10_000);
         let st = sm.stalls();
@@ -716,7 +854,7 @@ mod tests {
 
     #[test]
     fn per_stream_issue_counters() {
-        let mut sm = Sm::new(0, SmConfig::default());
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         let k = alu_kernel(5, 1, 1);
         launch(&mut sm, &k, 0, 0);
@@ -728,9 +866,11 @@ mod tests {
 
     #[test]
     fn lrr_scheduler_completes_and_interleaves() {
-        let mut cfg = SmConfig::default();
-        cfg.scheduler = crate::config::SchedulerPolicy::Lrr;
-        let mut sm = Sm::new(0, cfg);
+        let cfg = SmConfig {
+            scheduler: crate::config::SchedulerPolicy::Lrr,
+            ..SmConfig::default()
+        };
+        let mut sm = new_sm(cfg);
         let mut m = mem();
         let k = alu_kernel(50, 4, 1);
         launch(&mut sm, &k, 0, 0);
@@ -738,7 +878,7 @@ mod tests {
         assert_eq!(commits.len(), 1);
         // Same work under GTO for comparison: both must complete; LRR
         // interleaving may differ in cycles but not by orders of magnitude.
-        let mut sm2 = Sm::new(0, SmConfig::default());
+        let mut sm2 = new_sm(SmConfig::default());
         let mut m2 = mem();
         launch(&mut sm2, &k, 0, 0);
         let (_, gto_cycles) = run_to_completion(&mut sm2, &mut m2, 10_000);
@@ -762,14 +902,20 @@ mod tests {
         ));
         w.push(Instr::alu(Op::FpFma, Reg(2), &[Reg(1)]));
         w.seal();
-        let k = Arc::new(KernelTrace::new("tail", 32, 16, 0, vec![CtaTrace::new(vec![w])]));
-        let mut sm = Sm::new(0, SmConfig::default());
+        let k = Arc::new(KernelTrace::new(
+            "tail",
+            32,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ));
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         launch(&mut sm, &k, 0, 0);
         let (commits, _) = run_to_completion(&mut sm, &mut m, 10_000);
         assert_eq!(commits.len(), 1);
         // 5 lanes over 2 distinct sectors: exactly 2 L1 accesses.
-        assert_eq!(m.l1_stats(0).total().accesses, 2);
+        assert_eq!(sm.port().stats().total().accesses, 2);
     }
 
     #[test]
@@ -780,12 +926,21 @@ mod tests {
             MemAccess::coalesced(Space::Tex, DataClass::Texture, 4, 0x2000, 32),
         ));
         w.seal();
-        let k = Arc::new(KernelTrace::new("tex", 32, 16, 0, vec![CtaTrace::new(vec![w])]));
-        let mut sm = Sm::new(0, SmConfig::default());
+        let k = Arc::new(KernelTrace::new(
+            "tex",
+            32,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ));
+        let mut sm = new_sm(SmConfig::default());
         let mut m = mem();
         launch(&mut sm, &k, 0, 0);
         let _ = run_to_completion(&mut sm, &mut m, 10_000);
-        let tex = m.l1_stats(0).get(StreamId(0), DataClass::Texture);
-        assert!(tex.accesses > 0, "texture accesses must be tagged at the L1");
+        let tex = sm.port().stats().get(StreamId(0), DataClass::Texture);
+        assert!(
+            tex.accesses > 0,
+            "texture accesses must be tagged at the L1"
+        );
     }
 }

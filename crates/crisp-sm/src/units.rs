@@ -82,8 +82,14 @@ mod tests {
         for _ in 0..cfg.fp_units {
             assert!(u.try_issue(Op::FpFma, 0, &cfg));
         }
-        assert!(!u.try_issue(Op::FpFma, 0, &cfg), "all 4 FP pipes taken this cycle");
-        assert!(u.try_issue(Op::FpFma, 1, &cfg), "II=1 frees them next cycle");
+        assert!(
+            !u.try_issue(Op::FpFma, 0, &cfg),
+            "all 4 FP pipes taken this cycle"
+        );
+        assert!(
+            u.try_issue(Op::FpFma, 1, &cfg),
+            "II=1 frees them next cycle"
+        );
     }
 
     #[test]
@@ -104,7 +110,10 @@ mod tests {
         for _ in 0..cfg.fp_units {
             let _ = u.try_issue(Op::FpFma, 0, &cfg);
         }
-        assert!(u.try_issue(Op::IntAlu, 0, &cfg), "INT pipes unaffected by FP pressure");
+        assert!(
+            u.try_issue(Op::IntAlu, 0, &cfg),
+            "INT pipes unaffected by FP pressure"
+        );
         assert!(u.try_issue(Op::Tensor, 0, &cfg));
     }
 

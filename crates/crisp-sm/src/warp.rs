@@ -16,7 +16,11 @@ pub enum WarpStatus {
 }
 
 fn reg_bit(r: Reg) -> u128 {
-    assert!(r.0 < 128, "scoreboard supports register ids 0..128, got {}", r.0);
+    assert!(
+        r.0 < 128,
+        "scoreboard supports register ids 0..128, got {}",
+        r.0
+    );
     1u128 << r.0
 }
 
@@ -77,8 +81,12 @@ impl WarpState {
         if self.pending_writes == 0 {
             return false;
         }
-        instr.src_regs().any(|r| self.pending_writes & reg_bit(r) != 0)
-            || instr.dst.is_some_and(|d| self.pending_writes & reg_bit(d) != 0)
+        instr
+            .src_regs()
+            .any(|r| self.pending_writes & reg_bit(r) != 0)
+            || instr
+                .dst
+                .is_some_and(|d| self.pending_writes & reg_bit(d) != 0)
     }
 
     /// Mark `reg` as having a write in flight.

@@ -6,8 +6,6 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::{DataClass, Op, Space};
 use crate::kernel::{CtaTrace, KernelTrace};
 
@@ -19,7 +17,7 @@ pub const LINE_BYTES: u64 = 128;
 pub const SECTOR_BYTES: u64 = 32;
 
 /// Dynamic instruction mix of a kernel or CTA.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InstrMix {
     /// Integer ALU instructions.
     pub int_alu: u64,
@@ -81,7 +79,7 @@ impl InstrMix {
 }
 
 /// Distinct cache-line footprint per [`DataClass`].
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClassFootprint {
     lines: BTreeMap<DataClass, HashSet<u64>>,
 }
@@ -126,7 +124,7 @@ impl ClassFootprint {
 /// of cache lines referenced in each instruction differs. ... most CTAs
 /// referenced 3 to 5 cache lines" — per texture instruction, the mean over a
 /// drawcall varying 2.54–21.19 across applications.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TexLinesHistogram {
     counts: BTreeMap<u32, u64>,
     total_ctas: u64,
@@ -190,7 +188,7 @@ impl TexLinesHistogram {
 /// use. Classic locality characterisation — small distances are L1-served,
 /// mid distances are what the L2 absorbs, `None` (cold) is compulsory
 /// traffic.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReuseHistogram {
     /// Bucketed by log2(distance): bucket `b` counts distances in
     /// `[2^b, 2^(b+1))`; bucket 0 includes distance 0 and 1.
@@ -321,7 +319,11 @@ mod tests {
         let k = KernelTrace::new("k", 32, 8, 0, vec![CtaTrace::new(vec![w])]);
         let mut f = ClassFootprint::new();
         f.add_kernel(&k);
-        assert_eq!(f.lines(DataClass::Compute), 1, "only the global access counts");
+        assert_eq!(
+            f.lines(DataClass::Compute),
+            1,
+            "only the global access counts"
+        );
         assert_eq!(f.bytes(DataClass::Compute), 128);
         assert_eq!(f.lines(DataClass::Texture), 0);
     }

@@ -196,7 +196,12 @@ fn read_instr<R: Read>(r: &mut R) -> io::Result<Instr> {
             prev = prev.wrapping_add(delta);
             addrs.push(prev as u64);
         }
-        Some(MemAccess { space, class, width, addrs })
+        Some(MemAccess {
+            space,
+            class,
+            width,
+            addrs,
+        })
     } else {
         None
     };
@@ -389,7 +394,13 @@ mod tests {
         w.push(Instr::bar());
         w.push(Instr::branch());
         w.seal();
-        let k = KernelTrace::new("kern", 64, 24, 4096, vec![CtaTrace::new(vec![w.clone(), w])]);
+        let k = KernelTrace::new(
+            "kern",
+            64,
+            24,
+            4096,
+            vec![CtaTrace::new(vec![w.clone(), w])],
+        );
         let mut g = Stream::new(StreamId(0), StreamKind::Graphics);
         g.marker("draw:x").launch(k.clone());
         let mut c = Stream::new(StreamId(1), StreamKind::Compute);
@@ -445,7 +456,10 @@ mod tests {
         let mut buf = Vec::new();
         write_bundle(&b, &mut buf).unwrap();
         for cut in [5, 10, buf.len() / 2, buf.len() - 1] {
-            assert!(read_bundle(&mut buf[..cut].to_vec().as_slice()).is_err(), "cut at {cut}");
+            assert!(
+                read_bundle(&mut buf[..cut].to_vec().as_slice()).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 

@@ -5,8 +5,6 @@
 //! dependencies, and — for memory instructions — per-lane addresses tagged
 //! with an address space and a data class.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of threads in a warp. Fixed at 32, matching every NVIDIA GPU the
 /// paper models.
 pub const WARP_SIZE: usize = 32;
@@ -18,11 +16,11 @@ pub const MAX_SRCS: usize = 3;
 ///
 /// Trace-level dependencies are expressed between these; the timing model's
 /// scoreboard tracks pending writes per `(warp, Reg)` pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u16);
 
 /// Memory address spaces distinguished by the timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Space {
     /// Device memory through L1 → L2 → DRAM.
     Global,
@@ -45,7 +43,7 @@ impl Space {
 
 /// Classification of the data a memory access touches, used for the L2
 /// composition case studies (paper Figures 11 and 15).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DataClass {
     /// Texel data fetched by texture units.
     Texture,
@@ -75,7 +73,7 @@ impl DataClass {
 /// The timing model maps each class to an execution pipe (FP / INT / SFU /
 /// TENSOR / LSU) with a (latency, initiation-interval) pair; the functional
 /// semantics are irrelevant to replay and are not recorded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Integer ALU (IADD, LOP, SHF, ...).
     IntAlu,
@@ -116,7 +114,7 @@ impl Op {
 
 /// The memory behaviour of one dynamic warp instruction: per-active-lane
 /// byte addresses plus space/class tags.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemAccess {
     /// Address space.
     pub space: Space,
@@ -132,7 +130,7 @@ impl MemAccess {
     /// A fully-coalesced unit-stride access: `lanes` consecutive lanes each
     /// touching `width` bytes starting at `base`.
     pub fn coalesced(space: Space, class: DataClass, width: u8, base: u64, lanes: usize) -> Self {
-        assert!(lanes >= 1 && lanes <= WARP_SIZE, "lanes must be 1..=32");
+        assert!((1..=WARP_SIZE).contains(&lanes), "lanes must be 1..=32");
         MemAccess {
             space,
             class,
@@ -144,7 +142,12 @@ impl MemAccess {
     /// An access with explicit per-lane addresses.
     pub fn scattered(space: Space, class: DataClass, width: u8, addrs: Vec<u64>) -> Self {
         assert!(!addrs.is_empty() && addrs.len() <= WARP_SIZE);
-        MemAccess { space, class, width, addrs }
+        MemAccess {
+            space,
+            class,
+            width,
+            addrs,
+        }
     }
 
     /// Distinct aligned chunks of `chunk` bytes touched by this access.
@@ -170,7 +173,7 @@ impl MemAccess {
 ///
 /// `dst`/`srcs` express the register dependencies the scoreboard enforces.
 /// Memory instructions additionally carry a [`MemAccess`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instr {
     /// Opcode class.
     pub op: Op,
@@ -196,7 +199,12 @@ impl Instr {
         for (slot, &r) in s.iter_mut().zip(srcs) {
             *slot = Some(r);
         }
-        Instr { op, dst: Some(dst), srcs: s, mem: None }
+        Instr {
+            op,
+            dst: Some(dst),
+            srcs: s,
+            mem: None,
+        }
     }
 
     /// A load writing `dst`.
@@ -221,17 +229,32 @@ impl Instr {
 
     /// A CTA barrier.
     pub fn bar() -> Self {
-        Instr { op: Op::Bar, dst: None, srcs: [None; MAX_SRCS], mem: None }
+        Instr {
+            op: Op::Bar,
+            dst: None,
+            srcs: [None; MAX_SRCS],
+            mem: None,
+        }
     }
 
     /// A branch (control-flow latency marker).
     pub fn branch() -> Self {
-        Instr { op: Op::Branch, dst: None, srcs: [None; MAX_SRCS], mem: None }
+        Instr {
+            op: Op::Branch,
+            dst: None,
+            srcs: [None; MAX_SRCS],
+            mem: None,
+        }
     }
 
     /// The warp-terminating instruction.
     pub fn exit() -> Self {
-        Instr { op: Op::Exit, dst: None, srcs: [None; MAX_SRCS], mem: None }
+        Instr {
+            op: Op::Exit,
+            dst: None,
+            srcs: [None; MAX_SRCS],
+            mem: None,
+        }
     }
 
     /// Iterator over the source registers that are present.
@@ -269,12 +292,7 @@ mod tests {
 
     #[test]
     fn scattered_access_distinct_lines() {
-        let m = MemAccess::scattered(
-            Space::Tex,
-            DataClass::Texture,
-            4,
-            vec![0, 128, 256, 130],
-        );
+        let m = MemAccess::scattered(Space::Tex, DataClass::Texture, 4, vec![0, 128, 256, 130]);
         assert_eq!(m.distinct_chunks(128), vec![0, 1, 2]);
     }
 
@@ -288,7 +306,10 @@ mod tests {
     fn alu_builder_records_deps() {
         let i = Instr::alu(Op::FpFma, Reg(5), &[Reg(1), Reg(2), Reg(3)]);
         assert_eq!(i.dst, Some(Reg(5)));
-        assert_eq!(i.src_regs().collect::<Vec<_>>(), vec![Reg(1), Reg(2), Reg(3)]);
+        assert_eq!(
+            i.src_regs().collect::<Vec<_>>(),
+            vec![Reg(1), Reg(2), Reg(3)]
+        );
         assert!(i.mem.is_none());
     }
 

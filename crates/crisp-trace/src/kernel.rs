@@ -1,11 +1,9 @@
 //! Warp, CTA and kernel trace containers.
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::{Instr, WARP_SIZE};
 
 /// The dynamic instruction stream of one warp.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WarpTrace {
     instrs: Vec<Instr>,
 }
@@ -56,13 +54,15 @@ impl WarpTrace {
 
 impl FromIterator<Instr> for WarpTrace {
     fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
-        WarpTrace { instrs: iter.into_iter().collect() }
+        WarpTrace {
+            instrs: iter.into_iter().collect(),
+        }
     }
 }
 
 /// The trace of one cooperative thread array (thread block): one
 /// [`WarpTrace`] per warp.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CtaTrace {
     /// Per-warp traces; `warps.len() * 32 >= threads` of the launch.
     pub warps: Vec<WarpTrace>,
@@ -91,7 +91,7 @@ impl CtaTrace {
 /// Graphics work is expressed as kernels too: each vertex-shading batch and
 /// each fragment-shading tile group becomes a `KernelTrace`, which is what
 /// lets the timing model treat rendering and CUDA uniformly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelTrace {
     /// Human-readable kernel name (e.g. `"vs_batch_17"`, `"vio_fast9"`).
     pub name: String,

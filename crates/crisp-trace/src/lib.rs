@@ -34,7 +34,9 @@ mod isa;
 mod kernel;
 mod stream;
 
-pub use analysis::{ClassFootprint, InstrMix, ReuseHistogram, TexLinesHistogram, LINE_BYTES, SECTOR_BYTES};
+pub use analysis::{
+    ClassFootprint, InstrMix, ReuseHistogram, TexLinesHistogram, LINE_BYTES, SECTOR_BYTES,
+};
 pub use isa::{DataClass, Instr, MemAccess, Op, Reg, Space, MAX_SRCS, WARP_SIZE};
 pub use kernel::{CtaTrace, KernelTrace, WarpTrace};
 pub use stream::{Command, Stream, StreamId, StreamKind, TraceBundle};

@@ -6,12 +6,10 @@
 //! CRISP aggregates statistics *per stream* (Section III-A, citing the
 //! per-stream stat work of Qiao et al.).
 
-use serde::{Deserialize, Serialize};
-
 use crate::kernel::KernelTrace;
 
 /// Identifier of a stream within a [`TraceBundle`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamId(pub u32);
 
 impl std::fmt::Display for StreamId {
@@ -22,7 +20,7 @@ impl std::fmt::Display for StreamId {
 
 /// What kind of work a stream carries; partition policies use this to decide
 /// which side of the GPU a stream's CTAs land on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StreamKind {
     /// Raster graphics rendering (vertex + fragment shading kernels).
     Graphics,
@@ -31,7 +29,7 @@ pub enum StreamKind {
 }
 
 /// One in-order command in a stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Launch a kernel; the next command does not begin until it drains
     /// (within this stream — other streams proceed concurrently).
@@ -43,7 +41,7 @@ pub enum Command {
 }
 
 /// An in-order sequence of commands sharing one [`StreamId`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stream {
     /// Stream identifier; unique within a bundle.
     pub id: StreamId,
@@ -56,7 +54,11 @@ pub struct Stream {
 impl Stream {
     /// An empty stream.
     pub fn new(id: StreamId, kind: StreamKind) -> Self {
-        Stream { id, kind, commands: Vec::new() }
+        Stream {
+            id,
+            kind,
+            commands: Vec::new(),
+        }
     }
 
     /// Append a kernel launch.
@@ -98,7 +100,7 @@ impl Stream {
 /// Execution traces "can be collected separately for each task and replayed
 /// together to achieve concurrent execution" (paper Section III); a bundle is
 /// the replayed-together set.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceBundle {
     /// Streams, in no particular order; ids must be unique.
     pub streams: Vec<Stream>,
@@ -165,9 +167,14 @@ mod tests {
     #[test]
     fn stream_orders_commands() {
         let mut s = Stream::new(StreamId(0), StreamKind::Compute);
-        s.marker("start").launch(tiny_kernel("a")).launch(tiny_kernel("b"));
+        s.marker("start")
+            .launch(tiny_kernel("a"))
+            .launch(tiny_kernel("b"));
         assert_eq!(s.kernel_count(), 2);
-        assert_eq!(s.kernels().map(|k| k.name.as_str()).collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(
+            s.kernels().map(|k| k.name.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
         assert_eq!(s.instr_count(), 4); // 2 kernels × (alu + exit)
     }
 
@@ -198,10 +205,11 @@ mod tests {
     }
 
     #[test]
-    fn bundle_types_are_serializable() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<TraceBundle>();
-        assert_serde::<Stream>();
-        assert_serde::<Command>();
+    fn bundle_types_are_send_sync() {
+        // Shard workers move kernels and streams across threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceBundle>();
+        assert_send_sync::<Stream>();
+        assert_send_sync::<Command>();
     }
 }

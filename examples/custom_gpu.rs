@@ -25,7 +25,10 @@ fn main() {
 
     let scene = Scene::build(SceneId::SponzaPbr, 0.5);
 
-    println!("{:<18} {:>12} {:>10} {:>10}", "GPU", "makespan cy", "ms", "L2 hit");
+    println!(
+        "{:<18} {:>12} {:>10} {:>10}",
+        "GPU", "makespan cy", "ms", "L2 hit"
+    );
     for gpu in [GpuConfig::jetson_orin(), GpuConfig::rtx3070(), xr_soc] {
         let frame = scene.render(160, 90, false, GRAPHICS_STREAM);
         let spec = PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM);

@@ -34,9 +34,17 @@ fn main() {
     );
 
     println!("PL sequence on {} ({} frames):\n", gpu.name, frames);
-    println!("{:<8} {:>14} {:>14}", "frame", "alone (cy)", "with VIO (cy)");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "frame", "alone (cy)", "with VIO (cy)"
+    );
     for i in 0..frames {
-        println!("{:<8} {:>14} {:>14}", i, alone.frame_cycles(i), shared.frame_cycles(i));
+        println!(
+            "{:<8} {:>14} {:>14}",
+            i,
+            alone.frame_cycles(i),
+            shared.frame_cycles(i)
+        );
     }
     println!(
         "\nFPS alone: {:.0}   FPS with VIO: {:.0}   ({:.1}% frame-time overhead)",

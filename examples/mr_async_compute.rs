@@ -21,8 +21,14 @@ fn main() {
     let (w, h) = crisp_core::Resolution::Tiny.dims();
     let scale = ComputeScale { factor: 0.4 };
 
-    println!("MR workload study on {} (SPH rendering + system task)\n", gpu.name);
-    println!("{:<8} {:>12} {:>12} {:>10}", "task", "serial (cy)", "async (cy)", "speedup");
+    println!(
+        "MR workload study on {} (SPH rendering + system task)\n",
+        gpu.name
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "task", "serial (cy)", "async (cy)", "speedup"
+    );
 
     for (label, stream) in [
         ("VIO", vio(COMPUTE_STREAM, scale)),

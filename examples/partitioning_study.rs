@@ -17,10 +17,22 @@ fn main() {
 
     let specs: Vec<(&str, PartitionSpec)> = vec![
         ("Greedy", PartitionSpec::greedy()),
-        ("MPS-even", PartitionSpec::mps_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM)),
-        ("MiG-even", PartitionSpec::mig_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM)),
-        ("FG-even", PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM)),
-        ("FG-dynamic", PartitionSpec::fg_dynamic(SlicerConfig::default())),
+        (
+            "MPS-even",
+            PartitionSpec::mps_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+        ),
+        (
+            "MiG-even",
+            PartitionSpec::mig_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+        ),
+        (
+            "FG-even",
+            PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+        ),
+        (
+            "FG-dynamic",
+            PartitionSpec::fg_dynamic(SlicerConfig::default()),
+        ),
         (
             "MPS+TAP",
             PartitionSpec::tap_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM, TapConfig::default()),
@@ -45,14 +57,13 @@ fn main() {
             .unwrap_or(r.cycles);
         let base = *baseline.get_or_insert(makespan);
         println!(
-            "{:<12} {:>12} {:>12} {:>12} {:>9.1}%  ({:.2}x vs {})",
+            "{:<12} {:>12} {:>12} {:>12} {:>9.1}%  ({:.2}x vs Greedy)",
             name,
             makespan,
             r.per_stream[&GRAPHICS_STREAM].stats.finish_cycle,
             r.per_stream[&COMPUTE_STREAM].stats.finish_cycle,
             r.l2_stats.total().hit_rate() * 100.0,
             base as f64 / makespan as f64,
-            "Greedy",
         );
     }
 }

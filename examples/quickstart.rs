@@ -28,17 +28,27 @@ fn main() {
     println!("VIO stream: {} kernels", compute.kernel_count());
 
     // 3. Simulate both streams concurrently under a fine-grained intra-SM
-    //    partition (the async-compute configuration).
+    //    partition (the async-compute configuration). The worker-thread
+    //    count only changes wall-clock time, never the results.
     let gpu = GpuConfig::jetson_orin();
-    let spec = PartitionSpec::fg_even(&gpu, crisp_core::GRAPHICS_STREAM, crisp_core::COMPUTE_STREAM);
-    let result = crisp_core::simulate(
-        gpu.clone(),
-        spec,
-        crisp_core::concurrent_bundle(frame.trace, compute),
+    let spec = PartitionSpec::fg_even(
+        &gpu,
+        crisp_core::GRAPHICS_STREAM,
+        crisp_core::COMPUTE_STREAM,
     );
+    let result = Simulation::builder()
+        .gpu(gpu.clone())
+        .partition(spec)
+        .threads(std::thread::available_parallelism().map_or(1, |n| n.get().min(4)))
+        .trace(crisp_core::concurrent_bundle(frame.trace, compute))
+        .run();
 
-    println!("\nsimulated {} cycles ({:.3} ms at {} MHz)", result.cycles,
-        gpu.cycles_to_ms(result.cycles), gpu.core_clock_mhz);
+    println!(
+        "\nsimulated {} cycles ({:.3} ms at {} MHz)",
+        result.cycles,
+        gpu.cycles_to_ms(result.cycles),
+        gpu.core_clock_mhz
+    );
     for (id, r) in &result.per_stream {
         println!(
             "  {id}: {} instrs, IPC {:.2}, {} CTAs, {} KiB DRAM",

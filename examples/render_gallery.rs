@@ -18,11 +18,26 @@ fn main() -> std::io::Result<()> {
     for id in SceneId::ALL {
         let path = out.join(format!("{}.ppm", id.label().to_lowercase()));
         let cov = render_scene_to_ppm(id, 1.0, Resolution::Scaled2K, false, &path)?;
-        println!("{:<4} -> {} (coverage {:.1}%)", id.label(), path.display(), cov * 100.0);
+        println!(
+            "{:<4} -> {} (coverage {:.1}%)",
+            id.label(),
+            path.display(),
+            cov * 100.0
+        );
     }
     // Figure 8: Sponza with LoD forced off (mip 0 everywhere) aliases.
     let lod0 = out.join("spl_lod0.ppm");
-    let cov = render_scene_to_ppm(SceneId::SponzaKhronos, 1.0, Resolution::Scaled2K, true, &lod0)?;
-    println!("SPL (LoD off) -> {} (coverage {:.1}%)", lod0.display(), cov * 100.0);
+    let cov = render_scene_to_ppm(
+        SceneId::SponzaKhronos,
+        1.0,
+        Resolution::Scaled2K,
+        true,
+        &lod0,
+    )?;
+    println!(
+        "SPL (LoD off) -> {} (coverage {:.1}%)",
+        lod0.display(),
+        cov * 100.0
+    );
     Ok(())
 }

@@ -41,7 +41,10 @@ fn main() -> std::io::Result<()> {
     let gpu = GpuConfig::jetson_orin();
     for (name, spec) in [
         ("greedy", PartitionSpec::greedy()),
-        ("fg-even", PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM)),
+        (
+            "fg-even",
+            PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
+        ),
     ] {
         let loaded = codec::load(&path)?;
         let r = simulate(gpu.clone(), spec, loaded);

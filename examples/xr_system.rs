@@ -37,10 +37,7 @@ fn main() {
     let atw = timewarp(ATW, w, h, ComputeScale { factor: 0.5 });
     let vio_stream = vio(VIO, ComputeScale { factor: 0.5 });
 
-    let spec = PartitionSpec::fg_fractions(
-        &gpu,
-        [(GFX, (4, 8)), (ATW, (2, 8)), (VIO, (2, 8))],
-    );
+    let spec = PartitionSpec::fg_fractions(&gpu, [(GFX, (4, 8)), (ATW, (2, 8)), (VIO, (2, 8))]);
     let bundle = TraceBundle::from_streams(vec![frame.trace, atw, vio_stream]);
     let r = simulate(gpu.clone(), spec, bundle);
 
@@ -63,7 +60,12 @@ fn main() {
             s.dram_bytes / 1024
         );
     }
-    let makespan = r.per_stream.values().map(|s| s.stats.finish_cycle).max().unwrap();
+    let makespan = r
+        .per_stream
+        .values()
+        .map(|s| s.stats.finish_cycle)
+        .max()
+        .unwrap();
     println!(
         "\nframe + services makespan: {} cycles ({:.3} ms) — MTP budget is 15-20 ms",
         makespan,

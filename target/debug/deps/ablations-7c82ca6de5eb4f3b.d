@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-7c82ca6de5eb4f3b.d: crates/crisp-bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-7c82ca6de5eb4f3b: crates/crisp-bench/src/bin/ablations.rs
+
+crates/crisp-bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8bd2f7fb79411d30.d: crates/crisp-bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-8bd2f7fb79411d30: crates/crisp-bench/src/bin/ablations.rs
+
+crates/crisp-bench/src/bin/ablations.rs:

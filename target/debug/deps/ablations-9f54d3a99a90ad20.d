@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-9f54d3a99a90ad20.d: crates/crisp-bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-9f54d3a99a90ad20.rmeta: crates/crisp-bench/src/bin/ablations.rs Cargo.toml
+
+crates/crisp-bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

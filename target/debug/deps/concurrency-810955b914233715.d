@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-810955b914233715.d: crates/crisp-core/../../tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-810955b914233715: crates/crisp-core/../../tests/concurrency.rs
+
+crates/crisp-core/../../tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-f68fd034a04d0b42.d: crates/crisp-core/../../tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-f68fd034a04d0b42.rmeta: crates/crisp-core/../../tests/concurrency.rs Cargo.toml
+
+crates/crisp-core/../../tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crisp_bench-2c248a8d5e513f3d.d: crates/crisp-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_bench-2c248a8d5e513f3d.rmeta: crates/crisp-bench/src/lib.rs Cargo.toml
+
+crates/crisp-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

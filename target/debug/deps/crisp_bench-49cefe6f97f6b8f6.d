@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crisp_bench-49cefe6f97f6b8f6.d: crates/crisp-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_bench-49cefe6f97f6b8f6.rmeta: crates/crisp-bench/src/lib.rs Cargo.toml
+
+crates/crisp-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crisp_bench-6295bfcdebb2a29a.d: crates/crisp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/crisp_bench-6295bfcdebb2a29a: crates/crisp-bench/src/lib.rs
+
+crates/crisp-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crisp_bench-c379e9dbfe19e041.d: crates/crisp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcrisp_bench-c379e9dbfe19e041.rlib: crates/crisp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcrisp_bench-c379e9dbfe19e041.rmeta: crates/crisp-bench/src/lib.rs
+
+crates/crisp-bench/src/lib.rs:

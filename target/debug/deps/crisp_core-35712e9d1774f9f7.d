@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/crisp_core-35712e9d1774f9f7.d: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs
+
+/root/repo/target/debug/deps/crisp_core-35712e9d1774f9f7: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs
+
+crates/crisp-core/src/lib.rs:
+crates/crisp-core/src/experiments/mod.rs:
+crates/crisp-core/src/experiments/ablations.rs:
+crates/crisp-core/src/experiments/composition.rs:
+crates/crisp-core/src/experiments/concurrent.rs:
+crates/crisp-core/src/experiments/renders.rs:
+crates/crisp-core/src/experiments/table02.rs:
+crates/crisp-core/src/experiments/validation.rs:
+crates/crisp-core/src/framerate.rs:
+crates/crisp-core/src/qos.rs:
+crates/crisp-core/src/report.rs:

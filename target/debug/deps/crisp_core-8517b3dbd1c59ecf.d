@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/crisp_core-8517b3dbd1c59ecf.d: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_core-8517b3dbd1c59ecf.rmeta: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs Cargo.toml
+
+crates/crisp-core/src/lib.rs:
+crates/crisp-core/src/experiments/mod.rs:
+crates/crisp-core/src/experiments/ablations.rs:
+crates/crisp-core/src/experiments/composition.rs:
+crates/crisp-core/src/experiments/concurrent.rs:
+crates/crisp-core/src/experiments/renders.rs:
+crates/crisp-core/src/experiments/table02.rs:
+crates/crisp-core/src/experiments/validation.rs:
+crates/crisp-core/src/framerate.rs:
+crates/crisp-core/src/qos.rs:
+crates/crisp-core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/crisp_core-ce26549b6fa3792e.d: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs
+
+/root/repo/target/debug/deps/libcrisp_core-ce26549b6fa3792e.rlib: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs
+
+/root/repo/target/debug/deps/libcrisp_core-ce26549b6fa3792e.rmeta: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs
+
+crates/crisp-core/src/lib.rs:
+crates/crisp-core/src/experiments/mod.rs:
+crates/crisp-core/src/experiments/ablations.rs:
+crates/crisp-core/src/experiments/composition.rs:
+crates/crisp-core/src/experiments/concurrent.rs:
+crates/crisp-core/src/experiments/renders.rs:
+crates/crisp-core/src/experiments/table02.rs:
+crates/crisp-core/src/experiments/validation.rs:
+crates/crisp-core/src/framerate.rs:
+crates/crisp-core/src/qos.rs:
+crates/crisp-core/src/report.rs:

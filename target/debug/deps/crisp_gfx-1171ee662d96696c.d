@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/crisp_gfx-1171ee662d96696c.d: crates/crisp-gfx/src/lib.rs crates/crisp-gfx/src/api.rs crates/crisp-gfx/src/batch.rs crates/crisp-gfx/src/compute.rs crates/crisp-gfx/src/fb.rs crates/crisp-gfx/src/math.rs crates/crisp-gfx/src/mesh.rs crates/crisp-gfx/src/pipeline.rs crates/crisp-gfx/src/raster.rs crates/crisp-gfx/src/shader.rs crates/crisp-gfx/src/texture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_gfx-1171ee662d96696c.rmeta: crates/crisp-gfx/src/lib.rs crates/crisp-gfx/src/api.rs crates/crisp-gfx/src/batch.rs crates/crisp-gfx/src/compute.rs crates/crisp-gfx/src/fb.rs crates/crisp-gfx/src/math.rs crates/crisp-gfx/src/mesh.rs crates/crisp-gfx/src/pipeline.rs crates/crisp-gfx/src/raster.rs crates/crisp-gfx/src/shader.rs crates/crisp-gfx/src/texture.rs Cargo.toml
+
+crates/crisp-gfx/src/lib.rs:
+crates/crisp-gfx/src/api.rs:
+crates/crisp-gfx/src/batch.rs:
+crates/crisp-gfx/src/compute.rs:
+crates/crisp-gfx/src/fb.rs:
+crates/crisp-gfx/src/math.rs:
+crates/crisp-gfx/src/mesh.rs:
+crates/crisp-gfx/src/pipeline.rs:
+crates/crisp-gfx/src/raster.rs:
+crates/crisp-gfx/src/shader.rs:
+crates/crisp-gfx/src/texture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/crisp_gfx-2ec95662e6ba8f1b.d: crates/crisp-gfx/src/lib.rs crates/crisp-gfx/src/api.rs crates/crisp-gfx/src/batch.rs crates/crisp-gfx/src/compute.rs crates/crisp-gfx/src/fb.rs crates/crisp-gfx/src/math.rs crates/crisp-gfx/src/mesh.rs crates/crisp-gfx/src/pipeline.rs crates/crisp-gfx/src/raster.rs crates/crisp-gfx/src/shader.rs crates/crisp-gfx/src/texture.rs
+
+/root/repo/target/debug/deps/libcrisp_gfx-2ec95662e6ba8f1b.rlib: crates/crisp-gfx/src/lib.rs crates/crisp-gfx/src/api.rs crates/crisp-gfx/src/batch.rs crates/crisp-gfx/src/compute.rs crates/crisp-gfx/src/fb.rs crates/crisp-gfx/src/math.rs crates/crisp-gfx/src/mesh.rs crates/crisp-gfx/src/pipeline.rs crates/crisp-gfx/src/raster.rs crates/crisp-gfx/src/shader.rs crates/crisp-gfx/src/texture.rs
+
+/root/repo/target/debug/deps/libcrisp_gfx-2ec95662e6ba8f1b.rmeta: crates/crisp-gfx/src/lib.rs crates/crisp-gfx/src/api.rs crates/crisp-gfx/src/batch.rs crates/crisp-gfx/src/compute.rs crates/crisp-gfx/src/fb.rs crates/crisp-gfx/src/math.rs crates/crisp-gfx/src/mesh.rs crates/crisp-gfx/src/pipeline.rs crates/crisp-gfx/src/raster.rs crates/crisp-gfx/src/shader.rs crates/crisp-gfx/src/texture.rs
+
+crates/crisp-gfx/src/lib.rs:
+crates/crisp-gfx/src/api.rs:
+crates/crisp-gfx/src/batch.rs:
+crates/crisp-gfx/src/compute.rs:
+crates/crisp-gfx/src/fb.rs:
+crates/crisp-gfx/src/math.rs:
+crates/crisp-gfx/src/mesh.rs:
+crates/crisp-gfx/src/pipeline.rs:
+crates/crisp-gfx/src/raster.rs:
+crates/crisp-gfx/src/shader.rs:
+crates/crisp-gfx/src/texture.rs:

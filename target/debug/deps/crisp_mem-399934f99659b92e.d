@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/crisp_mem-399934f99659b92e.d: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_mem-399934f99659b92e.rmeta: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs Cargo.toml
+
+crates/crisp-mem/src/lib.rs:
+crates/crisp-mem/src/cache.rs:
+crates/crisp-mem/src/dram.rs:
+crates/crisp-mem/src/l2.rs:
+crates/crisp-mem/src/mshr.rs:
+crates/crisp-mem/src/partition.rs:
+crates/crisp-mem/src/port.rs:
+crates/crisp-mem/src/req.rs:
+crates/crisp-mem/src/stats.rs:
+crates/crisp-mem/src/system.rs:
+crates/crisp-mem/src/xbar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/crisp_mem-5eda0f37b2b1fb5a.d: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs
+
+/root/repo/target/debug/deps/libcrisp_mem-5eda0f37b2b1fb5a.rlib: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs
+
+/root/repo/target/debug/deps/libcrisp_mem-5eda0f37b2b1fb5a.rmeta: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs
+
+crates/crisp-mem/src/lib.rs:
+crates/crisp-mem/src/cache.rs:
+crates/crisp-mem/src/dram.rs:
+crates/crisp-mem/src/l2.rs:
+crates/crisp-mem/src/mshr.rs:
+crates/crisp-mem/src/partition.rs:
+crates/crisp-mem/src/port.rs:
+crates/crisp-mem/src/req.rs:
+crates/crisp-mem/src/stats.rs:
+crates/crisp-mem/src/system.rs:
+crates/crisp-mem/src/xbar.rs:

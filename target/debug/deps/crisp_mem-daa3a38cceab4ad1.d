@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/crisp_mem-daa3a38cceab4ad1.d: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs
+
+/root/repo/target/debug/deps/crisp_mem-daa3a38cceab4ad1: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs
+
+crates/crisp-mem/src/lib.rs:
+crates/crisp-mem/src/cache.rs:
+crates/crisp-mem/src/dram.rs:
+crates/crisp-mem/src/l2.rs:
+crates/crisp-mem/src/mshr.rs:
+crates/crisp-mem/src/partition.rs:
+crates/crisp-mem/src/port.rs:
+crates/crisp-mem/src/req.rs:
+crates/crisp-mem/src/stats.rs:
+crates/crisp-mem/src/system.rs:
+crates/crisp-mem/src/xbar.rs:

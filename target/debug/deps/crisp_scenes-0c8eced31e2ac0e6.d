@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crisp_scenes-0c8eced31e2ac0e6.d: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_scenes-0c8eced31e2ac0e6.rmeta: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs Cargo.toml
+
+crates/crisp-scenes/src/lib.rs:
+crates/crisp-scenes/src/compute.rs:
+crates/crisp-scenes/src/primitives.rs:
+crates/crisp-scenes/src/scenes.rs:
+crates/crisp-scenes/src/silicon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crisp_scenes-75a19f64211c0c79.d: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs
+
+/root/repo/target/debug/deps/crisp_scenes-75a19f64211c0c79: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs
+
+crates/crisp-scenes/src/lib.rs:
+crates/crisp-scenes/src/compute.rs:
+crates/crisp-scenes/src/primitives.rs:
+crates/crisp-scenes/src/scenes.rs:
+crates/crisp-scenes/src/silicon.rs:

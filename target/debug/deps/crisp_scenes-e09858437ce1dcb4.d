@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crisp_scenes-e09858437ce1dcb4.d: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs
+
+/root/repo/target/debug/deps/libcrisp_scenes-e09858437ce1dcb4.rlib: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs
+
+/root/repo/target/debug/deps/libcrisp_scenes-e09858437ce1dcb4.rmeta: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs
+
+crates/crisp-scenes/src/lib.rs:
+crates/crisp-scenes/src/compute.rs:
+crates/crisp-scenes/src/primitives.rs:
+crates/crisp-scenes/src/scenes.rs:
+crates/crisp-scenes/src/silicon.rs:

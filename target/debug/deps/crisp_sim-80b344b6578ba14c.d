@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crisp_sim-80b344b6578ba14c.d: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libcrisp_sim-80b344b6578ba14c.rlib: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libcrisp_sim-80b344b6578ba14c.rmeta: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs
+
+crates/crisp-sim/src/lib.rs:
+crates/crisp-sim/src/config.rs:
+crates/crisp-sim/src/gpu.rs:
+crates/crisp-sim/src/policy.rs:
+crates/crisp-sim/src/sim.rs:
+crates/crisp-sim/src/slicer.rs:
+crates/crisp-sim/src/stats.rs:

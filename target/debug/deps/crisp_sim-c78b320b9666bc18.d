@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/crisp_sim-c78b320b9666bc18.d: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_sim-c78b320b9666bc18.rmeta: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs Cargo.toml
+
+crates/crisp-sim/src/lib.rs:
+crates/crisp-sim/src/config.rs:
+crates/crisp-sim/src/gpu.rs:
+crates/crisp-sim/src/policy.rs:
+crates/crisp-sim/src/sim.rs:
+crates/crisp-sim/src/slicer.rs:
+crates/crisp-sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crisp_sim-ce5d994ef9ca2bf0.d: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs
+
+/root/repo/target/debug/deps/crisp_sim-ce5d994ef9ca2bf0: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs
+
+crates/crisp-sim/src/lib.rs:
+crates/crisp-sim/src/config.rs:
+crates/crisp-sim/src/gpu.rs:
+crates/crisp-sim/src/policy.rs:
+crates/crisp-sim/src/sim.rs:
+crates/crisp-sim/src/slicer.rs:
+crates/crisp-sim/src/stats.rs:

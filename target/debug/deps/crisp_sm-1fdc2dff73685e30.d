@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crisp_sm-1fdc2dff73685e30.d: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs
+
+/root/repo/target/debug/deps/libcrisp_sm-1fdc2dff73685e30.rlib: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs
+
+/root/repo/target/debug/deps/libcrisp_sm-1fdc2dff73685e30.rmeta: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs
+
+crates/crisp-sm/src/lib.rs:
+crates/crisp-sm/src/config.rs:
+crates/crisp-sm/src/cta.rs:
+crates/crisp-sm/src/lsu.rs:
+crates/crisp-sm/src/sm.rs:
+crates/crisp-sm/src/units.rs:
+crates/crisp-sm/src/warp.rs:

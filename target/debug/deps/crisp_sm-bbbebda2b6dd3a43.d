@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/crisp_sm-bbbebda2b6dd3a43.d: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_sm-bbbebda2b6dd3a43.rmeta: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs Cargo.toml
+
+crates/crisp-sm/src/lib.rs:
+crates/crisp-sm/src/config.rs:
+crates/crisp-sm/src/cta.rs:
+crates/crisp-sm/src/lsu.rs:
+crates/crisp-sm/src/sm.rs:
+crates/crisp-sm/src/units.rs:
+crates/crisp-sm/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

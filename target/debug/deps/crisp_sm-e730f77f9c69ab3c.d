@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crisp_sm-e730f77f9c69ab3c.d: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs
+
+/root/repo/target/debug/deps/crisp_sm-e730f77f9c69ab3c: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs
+
+crates/crisp-sm/src/lib.rs:
+crates/crisp-sm/src/config.rs:
+crates/crisp-sm/src/cta.rs:
+crates/crisp-sm/src/lsu.rs:
+crates/crisp-sm/src/sm.rs:
+crates/crisp-sm/src/units.rs:
+crates/crisp-sm/src/warp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crisp_trace-03f40727157e2c38.d: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs
+
+/root/repo/target/debug/deps/crisp_trace-03f40727157e2c38: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs
+
+crates/crisp-trace/src/lib.rs:
+crates/crisp-trace/src/analysis.rs:
+crates/crisp-trace/src/codec.rs:
+crates/crisp-trace/src/isa.rs:
+crates/crisp-trace/src/kernel.rs:
+crates/crisp-trace/src/stream.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crisp_trace-4d5503807e01800b.d: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs
+
+/root/repo/target/debug/deps/libcrisp_trace-4d5503807e01800b.rlib: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs
+
+/root/repo/target/debug/deps/libcrisp_trace-4d5503807e01800b.rmeta: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs
+
+crates/crisp-trace/src/lib.rs:
+crates/crisp-trace/src/analysis.rs:
+crates/crisp-trace/src/codec.rs:
+crates/crisp-trace/src/isa.rs:
+crates/crisp-trace/src/kernel.rs:
+crates/crisp-trace/src/stream.rs:

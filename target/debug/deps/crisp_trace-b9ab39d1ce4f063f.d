@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crisp_trace-b9ab39d1ce4f063f.d: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrisp_trace-b9ab39d1ce4f063f.rmeta: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs Cargo.toml
+
+crates/crisp-trace/src/lib.rs:
+crates/crisp-trace/src/analysis.rs:
+crates/crisp-trace/src/codec.rs:
+crates/crisp-trace/src/isa.rs:
+crates/crisp-trace/src/kernel.rs:
+crates/crisp-trace/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

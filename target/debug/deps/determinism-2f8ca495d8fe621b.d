@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-2f8ca495d8fe621b.d: crates/crisp-core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-2f8ca495d8fe621b: crates/crisp-core/../../tests/determinism.rs
+
+crates/crisp-core/../../tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-802a7d8bd2568f3b.d: crates/crisp-core/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-802a7d8bd2568f3b.rmeta: crates/crisp-core/../../tests/determinism.rs Cargo.toml
+
+crates/crisp-core/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-305a17dab5dfe382.d: crates/crisp-core/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-305a17dab5dfe382.rmeta: crates/crisp-core/../../tests/end_to_end.rs Cargo.toml
+
+crates/crisp-core/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e6b568990c7950e7.d: crates/crisp-core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e6b568990c7950e7: crates/crisp-core/../../tests/end_to_end.rs
+
+crates/crisp-core/../../tests/end_to_end.rs:

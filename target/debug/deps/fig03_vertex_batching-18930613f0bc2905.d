@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_vertex_batching-18930613f0bc2905.d: crates/crisp-bench/src/bin/fig03_vertex_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_vertex_batching-18930613f0bc2905.rmeta: crates/crisp-bench/src/bin/fig03_vertex_batching.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig03_vertex_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_vertex_batching-7fa5d79af6b89a5a.d: crates/crisp-bench/src/bin/fig03_vertex_batching.rs
+
+/root/repo/target/debug/deps/fig03_vertex_batching-7fa5d79af6b89a5a: crates/crisp-bench/src/bin/fig03_vertex_batching.rs
+
+crates/crisp-bench/src/bin/fig03_vertex_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_vertex_batching-b9c1ff0b4331f533.d: crates/crisp-bench/src/bin/fig03_vertex_batching.rs
+
+/root/repo/target/debug/deps/fig03_vertex_batching-b9c1ff0b4331f533: crates/crisp-bench/src/bin/fig03_vertex_batching.rs
+
+crates/crisp-bench/src/bin/fig03_vertex_batching.rs:

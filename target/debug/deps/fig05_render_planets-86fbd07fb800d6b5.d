@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_render_planets-86fbd07fb800d6b5.d: crates/crisp-bench/src/bin/fig05_render_planets.rs
+
+/root/repo/target/debug/deps/fig05_render_planets-86fbd07fb800d6b5: crates/crisp-bench/src/bin/fig05_render_planets.rs
+
+crates/crisp-bench/src/bin/fig05_render_planets.rs:

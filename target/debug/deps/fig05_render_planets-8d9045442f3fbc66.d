@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_render_planets-8d9045442f3fbc66.d: crates/crisp-bench/src/bin/fig05_render_planets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_render_planets-8d9045442f3fbc66.rmeta: crates/crisp-bench/src/bin/fig05_render_planets.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig05_render_planets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

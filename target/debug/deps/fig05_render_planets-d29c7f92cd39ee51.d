@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_render_planets-d29c7f92cd39ee51.d: crates/crisp-bench/src/bin/fig05_render_planets.rs
+
+/root/repo/target/debug/deps/fig05_render_planets-d29c7f92cd39ee51: crates/crisp-bench/src/bin/fig05_render_planets.rs
+
+crates/crisp-bench/src/bin/fig05_render_planets.rs:

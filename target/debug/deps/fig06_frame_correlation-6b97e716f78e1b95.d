@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_frame_correlation-6b97e716f78e1b95.d: crates/crisp-bench/src/bin/fig06_frame_correlation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_frame_correlation-6b97e716f78e1b95.rmeta: crates/crisp-bench/src/bin/fig06_frame_correlation.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig06_frame_correlation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

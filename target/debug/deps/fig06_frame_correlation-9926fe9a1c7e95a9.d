@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_frame_correlation-9926fe9a1c7e95a9.d: crates/crisp-bench/src/bin/fig06_frame_correlation.rs
+
+/root/repo/target/debug/deps/fig06_frame_correlation-9926fe9a1c7e95a9: crates/crisp-bench/src/bin/fig06_frame_correlation.rs
+
+crates/crisp-bench/src/bin/fig06_frame_correlation.rs:

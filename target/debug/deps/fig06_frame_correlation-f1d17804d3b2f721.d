@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_frame_correlation-f1d17804d3b2f721.d: crates/crisp-bench/src/bin/fig06_frame_correlation.rs
+
+/root/repo/target/debug/deps/fig06_frame_correlation-f1d17804d3b2f721: crates/crisp-bench/src/bin/fig06_frame_correlation.rs
+
+crates/crisp-bench/src/bin/fig06_frame_correlation.rs:

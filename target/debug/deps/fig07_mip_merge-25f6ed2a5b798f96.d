@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_mip_merge-25f6ed2a5b798f96.d: crates/crisp-bench/src/bin/fig07_mip_merge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_mip_merge-25f6ed2a5b798f96.rmeta: crates/crisp-bench/src/bin/fig07_mip_merge.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig07_mip_merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_mip_merge-83b2845683f1cc1f.d: crates/crisp-bench/src/bin/fig07_mip_merge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_mip_merge-83b2845683f1cc1f.rmeta: crates/crisp-bench/src/bin/fig07_mip_merge.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig07_mip_merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

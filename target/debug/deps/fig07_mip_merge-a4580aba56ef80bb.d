@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_mip_merge-a4580aba56ef80bb.d: crates/crisp-bench/src/bin/fig07_mip_merge.rs
+
+/root/repo/target/debug/deps/fig07_mip_merge-a4580aba56ef80bb: crates/crisp-bench/src/bin/fig07_mip_merge.rs
+
+crates/crisp-bench/src/bin/fig07_mip_merge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_mip_merge-f363978f317d5c7c.d: crates/crisp-bench/src/bin/fig07_mip_merge.rs
+
+/root/repo/target/debug/deps/fig07_mip_merge-f363978f317d5c7c: crates/crisp-bench/src/bin/fig07_mip_merge.rs
+
+crates/crisp-bench/src/bin/fig07_mip_merge.rs:

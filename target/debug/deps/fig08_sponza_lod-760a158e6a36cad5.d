@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_sponza_lod-760a158e6a36cad5.d: crates/crisp-bench/src/bin/fig08_sponza_lod.rs
+
+/root/repo/target/debug/deps/fig08_sponza_lod-760a158e6a36cad5: crates/crisp-bench/src/bin/fig08_sponza_lod.rs
+
+crates/crisp-bench/src/bin/fig08_sponza_lod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_sponza_lod-7c3e7d37224f363b.d: crates/crisp-bench/src/bin/fig08_sponza_lod.rs
+
+/root/repo/target/debug/deps/fig08_sponza_lod-7c3e7d37224f363b: crates/crisp-bench/src/bin/fig08_sponza_lod.rs
+
+crates/crisp-bench/src/bin/fig08_sponza_lod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_sponza_lod-d847bb190a6f7af4.d: crates/crisp-bench/src/bin/fig08_sponza_lod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_sponza_lod-d847bb190a6f7af4.rmeta: crates/crisp-bench/src/bin/fig08_sponza_lod.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig08_sponza_lod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_lod_mape-5556cfa42a488367.d: crates/crisp-bench/src/bin/fig09_lod_mape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_lod_mape-5556cfa42a488367.rmeta: crates/crisp-bench/src/bin/fig09_lod_mape.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig09_lod_mape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

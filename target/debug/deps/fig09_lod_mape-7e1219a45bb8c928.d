@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_lod_mape-7e1219a45bb8c928.d: crates/crisp-bench/src/bin/fig09_lod_mape.rs
+
+/root/repo/target/debug/deps/fig09_lod_mape-7e1219a45bb8c928: crates/crisp-bench/src/bin/fig09_lod_mape.rs
+
+crates/crisp-bench/src/bin/fig09_lod_mape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_lod_mape-91a966cfab39cc4e.d: crates/crisp-bench/src/bin/fig09_lod_mape.rs
+
+/root/repo/target/debug/deps/fig09_lod_mape-91a966cfab39cc4e: crates/crisp-bench/src/bin/fig09_lod_mape.rs
+
+crates/crisp-bench/src/bin/fig09_lod_mape.rs:

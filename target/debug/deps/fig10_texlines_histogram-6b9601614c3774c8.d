@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_texlines_histogram-6b9601614c3774c8.d: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_texlines_histogram-6b9601614c3774c8.rmeta: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig10_texlines_histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_texlines_histogram-a4a90dbacae5275b.d: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs
+
+/root/repo/target/debug/deps/fig10_texlines_histogram-a4a90dbacae5275b: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs
+
+crates/crisp-bench/src/bin/fig10_texlines_histogram.rs:

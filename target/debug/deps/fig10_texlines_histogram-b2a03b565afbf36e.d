@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_texlines_histogram-b2a03b565afbf36e.d: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs
+
+/root/repo/target/debug/deps/fig10_texlines_histogram-b2a03b565afbf36e: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs
+
+crates/crisp-bench/src/bin/fig10_texlines_histogram.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_texlines_histogram-cc98a8a2f8419b61.d: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_texlines_histogram-cc98a8a2f8419b61.rmeta: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig10_texlines_histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

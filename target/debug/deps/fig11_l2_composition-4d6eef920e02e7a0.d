@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_l2_composition-4d6eef920e02e7a0.d: crates/crisp-bench/src/bin/fig11_l2_composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_l2_composition-4d6eef920e02e7a0.rmeta: crates/crisp-bench/src/bin/fig11_l2_composition.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig11_l2_composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_l2_composition-c6dd1ca44322e7c2.d: crates/crisp-bench/src/bin/fig11_l2_composition.rs
+
+/root/repo/target/debug/deps/fig11_l2_composition-c6dd1ca44322e7c2: crates/crisp-bench/src/bin/fig11_l2_composition.rs
+
+crates/crisp-bench/src/bin/fig11_l2_composition.rs:

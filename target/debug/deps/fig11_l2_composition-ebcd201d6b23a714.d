@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_l2_composition-ebcd201d6b23a714.d: crates/crisp-bench/src/bin/fig11_l2_composition.rs
+
+/root/repo/target/debug/deps/fig11_l2_composition-ebcd201d6b23a714: crates/crisp-bench/src/bin/fig11_l2_composition.rs
+
+crates/crisp-bench/src/bin/fig11_l2_composition.rs:

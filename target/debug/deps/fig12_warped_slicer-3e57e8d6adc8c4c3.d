@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_warped_slicer-3e57e8d6adc8c4c3.d: crates/crisp-bench/src/bin/fig12_warped_slicer.rs
+
+/root/repo/target/debug/deps/fig12_warped_slicer-3e57e8d6adc8c4c3: crates/crisp-bench/src/bin/fig12_warped_slicer.rs
+
+crates/crisp-bench/src/bin/fig12_warped_slicer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_warped_slicer-4701c8236abc757c.d: crates/crisp-bench/src/bin/fig12_warped_slicer.rs
+
+/root/repo/target/debug/deps/fig12_warped_slicer-4701c8236abc757c: crates/crisp-bench/src/bin/fig12_warped_slicer.rs
+
+crates/crisp-bench/src/bin/fig12_warped_slicer.rs:

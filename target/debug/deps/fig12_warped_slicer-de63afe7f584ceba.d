@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_warped_slicer-de63afe7f584ceba.d: crates/crisp-bench/src/bin/fig12_warped_slicer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_warped_slicer-de63afe7f584ceba.rmeta: crates/crisp-bench/src/bin/fig12_warped_slicer.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig12_warped_slicer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

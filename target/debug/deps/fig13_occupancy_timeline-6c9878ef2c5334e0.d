@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_occupancy_timeline-6c9878ef2c5334e0.d: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_occupancy_timeline-6c9878ef2c5334e0.rmeta: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_occupancy_timeline-7bd2f6f1b0feb58f.d: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_occupancy_timeline-7bd2f6f1b0feb58f.rmeta: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

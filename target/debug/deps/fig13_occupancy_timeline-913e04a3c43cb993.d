@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_occupancy_timeline-913e04a3c43cb993.d: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs
+
+/root/repo/target/debug/deps/fig13_occupancy_timeline-913e04a3c43cb993: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs
+
+crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_occupancy_timeline-f07665757106c1b7.d: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs
+
+/root/repo/target/debug/deps/fig13_occupancy_timeline-f07665757106c1b7: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs
+
+crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_tap-a729e7809d63e147.d: crates/crisp-bench/src/bin/fig14_tap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_tap-a729e7809d63e147.rmeta: crates/crisp-bench/src/bin/fig14_tap.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig14_tap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_tap-d5b3d1e2b895c54b.d: crates/crisp-bench/src/bin/fig14_tap.rs
+
+/root/repo/target/debug/deps/fig14_tap-d5b3d1e2b895c54b: crates/crisp-bench/src/bin/fig14_tap.rs
+
+crates/crisp-bench/src/bin/fig14_tap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_tap-e97dd89066ccb756.d: crates/crisp-bench/src/bin/fig14_tap.rs
+
+/root/repo/target/debug/deps/fig14_tap-e97dd89066ccb756: crates/crisp-bench/src/bin/fig14_tap.rs
+
+crates/crisp-bench/src/bin/fig14_tap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_tap_composition-97263ed4e0a3812c.d: crates/crisp-bench/src/bin/fig15_tap_composition.rs
+
+/root/repo/target/debug/deps/fig15_tap_composition-97263ed4e0a3812c: crates/crisp-bench/src/bin/fig15_tap_composition.rs
+
+crates/crisp-bench/src/bin/fig15_tap_composition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_tap_composition-c7787aa7f7cc37c7.d: crates/crisp-bench/src/bin/fig15_tap_composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_tap_composition-c7787aa7f7cc37c7.rmeta: crates/crisp-bench/src/bin/fig15_tap_composition.rs Cargo.toml
+
+crates/crisp-bench/src/bin/fig15_tap_composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

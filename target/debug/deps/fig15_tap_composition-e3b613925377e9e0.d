@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_tap_composition-e3b613925377e9e0.d: crates/crisp-bench/src/bin/fig15_tap_composition.rs
+
+/root/repo/target/debug/deps/fig15_tap_composition-e3b613925377e9e0: crates/crisp-bench/src/bin/fig15_tap_composition.rs
+
+crates/crisp-bench/src/bin/fig15_tap_composition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-40e8748b8c2c3811.d: crates/crisp-core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-40e8748b8c2c3811: crates/crisp-core/../../tests/properties.rs
+
+crates/crisp-core/../../tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f00ad7783ce27657.d: crates/crisp-core/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f00ad7783ce27657.rmeta: crates/crisp-core/../../tests/properties.rs Cargo.toml
+
+crates/crisp-core/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

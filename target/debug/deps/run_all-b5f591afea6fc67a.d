@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-b5f591afea6fc67a.d: crates/crisp-bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-b5f591afea6fc67a: crates/crisp-bench/src/bin/run_all.rs
+
+crates/crisp-bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-da3490a20dab667d.d: crates/crisp-bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-da3490a20dab667d: crates/crisp-bench/src/bin/run_all.rs
+
+crates/crisp-bench/src/bin/run_all.rs:

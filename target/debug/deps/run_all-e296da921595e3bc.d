@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_all-e296da921595e3bc.d: crates/crisp-bench/src/bin/run_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_all-e296da921595e3bc.rmeta: crates/crisp-bench/src/bin/run_all.rs Cargo.toml
+
+crates/crisp-bench/src/bin/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-bd0c2872d43236b4.d: crates/crisp-bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-bd0c2872d43236b4.rmeta: crates/crisp-bench/benches/simulator.rs Cargo.toml
+
+crates/crisp-bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table02_configs-55b33b78bfaca724.d: crates/crisp-bench/src/bin/table02_configs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable02_configs-55b33b78bfaca724.rmeta: crates/crisp-bench/src/bin/table02_configs.rs Cargo.toml
+
+crates/crisp-bench/src/bin/table02_configs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_configs-5e1006974a5d507e.d: crates/crisp-bench/src/bin/table02_configs.rs
+
+/root/repo/target/debug/deps/table02_configs-5e1006974a5d507e: crates/crisp-bench/src/bin/table02_configs.rs
+
+crates/crisp-bench/src/bin/table02_configs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_configs-7798579c326a6a47.d: crates/crisp-bench/src/bin/table02_configs.rs
+
+/root/repo/target/debug/deps/table02_configs-7798579c326a6a47: crates/crisp-bench/src/bin/table02_configs.rs
+
+crates/crisp-bench/src/bin/table02_configs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table02_configs-b415d26658b4c2d0.d: crates/crisp-bench/src/bin/table02_configs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable02_configs-b415d26658b4c2d0.rmeta: crates/crisp-bench/src/bin/table02_configs.rs Cargo.toml
+
+crates/crisp-bench/src/bin/table02_configs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thread_scaling-441967d022d9d186.d: crates/crisp-bench/src/bin/thread_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_scaling-441967d022d9d186.rmeta: crates/crisp-bench/src/bin/thread_scaling.rs Cargo.toml
+
+crates/crisp-bench/src/bin/thread_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_scaling-aa9469900510e172.d: crates/crisp-bench/src/bin/thread_scaling.rs
+
+/root/repo/target/debug/deps/thread_scaling-aa9469900510e172: crates/crisp-bench/src/bin/thread_scaling.rs
+
+crates/crisp-bench/src/bin/thread_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_scaling-ead8fdde457a3edb.d: crates/crisp-bench/src/bin/thread_scaling.rs
+
+/root/repo/target/debug/deps/thread_scaling-ead8fdde457a3edb: crates/crisp-bench/src/bin/thread_scaling.rs
+
+crates/crisp-bench/src/bin/thread_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_stats-0fe8a1de5555a6fc.d: crates/crisp-bench/src/bin/trace_stats.rs
+
+/root/repo/target/debug/deps/trace_stats-0fe8a1de5555a6fc: crates/crisp-bench/src/bin/trace_stats.rs
+
+crates/crisp-bench/src/bin/trace_stats.rs:

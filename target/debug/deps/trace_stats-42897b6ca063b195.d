@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_stats-42897b6ca063b195.d: crates/crisp-bench/src/bin/trace_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_stats-42897b6ca063b195.rmeta: crates/crisp-bench/src/bin/trace_stats.rs Cargo.toml
+
+crates/crisp-bench/src/bin/trace_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_stats-614ec408d298d9fd.d: crates/crisp-bench/src/bin/trace_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_stats-614ec408d298d9fd.rmeta: crates/crisp-bench/src/bin/trace_stats.rs Cargo.toml
+
+crates/crisp-bench/src/bin/trace_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_stats-f21a9c3595b9658f.d: crates/crisp-bench/src/bin/trace_stats.rs
+
+/root/repo/target/debug/deps/trace_stats-f21a9c3595b9658f: crates/crisp-bench/src/bin/trace_stats.rs
+
+crates/crisp-bench/src/bin/trace_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate-17cfbdce6694c6f7.d: crates/crisp-bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate-17cfbdce6694c6f7.rmeta: crates/crisp-bench/src/bin/validate.rs Cargo.toml
+
+crates/crisp-bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

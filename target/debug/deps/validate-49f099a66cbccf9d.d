@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate-49f099a66cbccf9d.d: crates/crisp-bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate-49f099a66cbccf9d.rmeta: crates/crisp-bench/src/bin/validate.rs Cargo.toml
+
+crates/crisp-bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate-5fbd447432202a3b.d: crates/crisp-bench/src/bin/validate.rs
+
+/root/repo/target/debug/deps/validate-5fbd447432202a3b: crates/crisp-bench/src/bin/validate.rs
+
+crates/crisp-bench/src/bin/validate.rs:

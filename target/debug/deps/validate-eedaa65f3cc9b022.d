@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate-eedaa65f3cc9b022.d: crates/crisp-bench/src/bin/validate.rs
+
+/root/repo/target/debug/deps/validate-eedaa65f3cc9b022: crates/crisp-bench/src/bin/validate.rs
+
+crates/crisp-bench/src/bin/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_gpu-6991a74f2c6181a3.d: crates/crisp-core/../../examples/custom_gpu.rs
+
+/root/repo/target/debug/examples/custom_gpu-6991a74f2c6181a3: crates/crisp-core/../../examples/custom_gpu.rs
+
+crates/crisp-core/../../examples/custom_gpu.rs:

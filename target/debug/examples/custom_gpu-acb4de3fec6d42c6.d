@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_gpu-acb4de3fec6d42c6.d: crates/crisp-core/../../examples/custom_gpu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_gpu-acb4de3fec6d42c6.rmeta: crates/crisp-core/../../examples/custom_gpu.rs Cargo.toml
+
+crates/crisp-core/../../examples/custom_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

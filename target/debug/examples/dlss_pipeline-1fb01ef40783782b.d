@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dlss_pipeline-1fb01ef40783782b.d: crates/crisp-core/../../examples/dlss_pipeline.rs
+
+/root/repo/target/debug/examples/dlss_pipeline-1fb01ef40783782b: crates/crisp-core/../../examples/dlss_pipeline.rs
+
+crates/crisp-core/../../examples/dlss_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dlss_pipeline-4742c99d23cb6d9f.d: crates/crisp-core/../../examples/dlss_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdlss_pipeline-4742c99d23cb6d9f.rmeta: crates/crisp-core/../../examples/dlss_pipeline.rs Cargo.toml
+
+crates/crisp-core/../../examples/dlss_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

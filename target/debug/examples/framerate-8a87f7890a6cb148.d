@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/framerate-8a87f7890a6cb148.d: crates/crisp-core/../../examples/framerate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libframerate-8a87f7890a6cb148.rmeta: crates/crisp-core/../../examples/framerate.rs Cargo.toml
+
+crates/crisp-core/../../examples/framerate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/framerate-a87ac991d5975698.d: crates/crisp-core/../../examples/framerate.rs
+
+/root/repo/target/debug/examples/framerate-a87ac991d5975698: crates/crisp-core/../../examples/framerate.rs
+
+crates/crisp-core/../../examples/framerate.rs:

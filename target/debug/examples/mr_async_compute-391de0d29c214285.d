@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mr_async_compute-391de0d29c214285.d: crates/crisp-core/../../examples/mr_async_compute.rs
+
+/root/repo/target/debug/examples/mr_async_compute-391de0d29c214285: crates/crisp-core/../../examples/mr_async_compute.rs
+
+crates/crisp-core/../../examples/mr_async_compute.rs:

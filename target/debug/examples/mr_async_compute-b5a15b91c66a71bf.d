@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mr_async_compute-b5a15b91c66a71bf.d: crates/crisp-core/../../examples/mr_async_compute.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmr_async_compute-b5a15b91c66a71bf.rmeta: crates/crisp-core/../../examples/mr_async_compute.rs Cargo.toml
+
+crates/crisp-core/../../examples/mr_async_compute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partitioning_study-179eca1ba77f6651.d: crates/crisp-core/../../examples/partitioning_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartitioning_study-179eca1ba77f6651.rmeta: crates/crisp-core/../../examples/partitioning_study.rs Cargo.toml
+
+crates/crisp-core/../../examples/partitioning_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

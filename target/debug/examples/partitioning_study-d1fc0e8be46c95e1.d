@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioning_study-d1fc0e8be46c95e1.d: crates/crisp-core/../../examples/partitioning_study.rs
+
+/root/repo/target/debug/examples/partitioning_study-d1fc0e8be46c95e1: crates/crisp-core/../../examples/partitioning_study.rs
+
+crates/crisp-core/../../examples/partitioning_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ba971a5bd65a3001.d: crates/crisp-core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ba971a5bd65a3001: crates/crisp-core/../../examples/quickstart.rs
+
+crates/crisp-core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-d69acf140c023856.d: crates/crisp-core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-d69acf140c023856.rmeta: crates/crisp-core/../../examples/quickstart.rs Cargo.toml
+
+crates/crisp-core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/render_gallery-3e88a22de0001bec.d: crates/crisp-core/../../examples/render_gallery.rs Cargo.toml
+
+/root/repo/target/debug/examples/librender_gallery-3e88a22de0001bec.rmeta: crates/crisp-core/../../examples/render_gallery.rs Cargo.toml
+
+crates/crisp-core/../../examples/render_gallery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

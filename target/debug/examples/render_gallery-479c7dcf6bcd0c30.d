@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/render_gallery-479c7dcf6bcd0c30.d: crates/crisp-core/../../examples/render_gallery.rs
+
+/root/repo/target/debug/examples/render_gallery-479c7dcf6bcd0c30: crates/crisp-core/../../examples/render_gallery.rs
+
+crates/crisp-core/../../examples/render_gallery.rs:

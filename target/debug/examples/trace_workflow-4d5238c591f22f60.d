@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_workflow-4d5238c591f22f60.d: crates/crisp-core/../../examples/trace_workflow.rs
+
+/root/repo/target/debug/examples/trace_workflow-4d5238c591f22f60: crates/crisp-core/../../examples/trace_workflow.rs
+
+crates/crisp-core/../../examples/trace_workflow.rs:

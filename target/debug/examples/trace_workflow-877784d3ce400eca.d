@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_workflow-877784d3ce400eca.d: crates/crisp-core/../../examples/trace_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_workflow-877784d3ce400eca.rmeta: crates/crisp-core/../../examples/trace_workflow.rs Cargo.toml
+
+crates/crisp-core/../../examples/trace_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

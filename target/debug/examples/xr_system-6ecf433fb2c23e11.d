@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xr_system-6ecf433fb2c23e11.d: crates/crisp-core/../../examples/xr_system.rs
+
+/root/repo/target/debug/examples/xr_system-6ecf433fb2c23e11: crates/crisp-core/../../examples/xr_system.rs
+
+crates/crisp-core/../../examples/xr_system.rs:

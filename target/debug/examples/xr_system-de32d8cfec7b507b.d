@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/xr_system-de32d8cfec7b507b.d: crates/crisp-core/../../examples/xr_system.rs Cargo.toml
+
+/root/repo/target/debug/examples/libxr_system-de32d8cfec7b507b.rmeta: crates/crisp-core/../../examples/xr_system.rs Cargo.toml
+
+crates/crisp-core/../../examples/xr_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

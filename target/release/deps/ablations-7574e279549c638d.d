@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-7574e279549c638d.d: crates/crisp-bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-7574e279549c638d: crates/crisp-bench/src/bin/ablations.rs
+
+crates/crisp-bench/src/bin/ablations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crisp_bench-f2ba9b0ee8ccc6f6.d: crates/crisp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libcrisp_bench-f2ba9b0ee8ccc6f6.rlib: crates/crisp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libcrisp_bench-f2ba9b0ee8ccc6f6.rmeta: crates/crisp-bench/src/lib.rs
+
+crates/crisp-bench/src/lib.rs:

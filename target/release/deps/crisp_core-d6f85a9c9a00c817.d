@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/crisp_core-d6f85a9c9a00c817.d: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs
+
+/root/repo/target/release/deps/libcrisp_core-d6f85a9c9a00c817.rlib: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs
+
+/root/repo/target/release/deps/libcrisp_core-d6f85a9c9a00c817.rmeta: crates/crisp-core/src/lib.rs crates/crisp-core/src/experiments/mod.rs crates/crisp-core/src/experiments/ablations.rs crates/crisp-core/src/experiments/composition.rs crates/crisp-core/src/experiments/concurrent.rs crates/crisp-core/src/experiments/renders.rs crates/crisp-core/src/experiments/table02.rs crates/crisp-core/src/experiments/validation.rs crates/crisp-core/src/framerate.rs crates/crisp-core/src/qos.rs crates/crisp-core/src/report.rs
+
+crates/crisp-core/src/lib.rs:
+crates/crisp-core/src/experiments/mod.rs:
+crates/crisp-core/src/experiments/ablations.rs:
+crates/crisp-core/src/experiments/composition.rs:
+crates/crisp-core/src/experiments/concurrent.rs:
+crates/crisp-core/src/experiments/renders.rs:
+crates/crisp-core/src/experiments/table02.rs:
+crates/crisp-core/src/experiments/validation.rs:
+crates/crisp-core/src/framerate.rs:
+crates/crisp-core/src/qos.rs:
+crates/crisp-core/src/report.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/crisp_gfx-3a1826a7e0d70ec4.d: crates/crisp-gfx/src/lib.rs crates/crisp-gfx/src/api.rs crates/crisp-gfx/src/batch.rs crates/crisp-gfx/src/compute.rs crates/crisp-gfx/src/fb.rs crates/crisp-gfx/src/math.rs crates/crisp-gfx/src/mesh.rs crates/crisp-gfx/src/pipeline.rs crates/crisp-gfx/src/raster.rs crates/crisp-gfx/src/shader.rs crates/crisp-gfx/src/texture.rs
+
+/root/repo/target/release/deps/libcrisp_gfx-3a1826a7e0d70ec4.rlib: crates/crisp-gfx/src/lib.rs crates/crisp-gfx/src/api.rs crates/crisp-gfx/src/batch.rs crates/crisp-gfx/src/compute.rs crates/crisp-gfx/src/fb.rs crates/crisp-gfx/src/math.rs crates/crisp-gfx/src/mesh.rs crates/crisp-gfx/src/pipeline.rs crates/crisp-gfx/src/raster.rs crates/crisp-gfx/src/shader.rs crates/crisp-gfx/src/texture.rs
+
+/root/repo/target/release/deps/libcrisp_gfx-3a1826a7e0d70ec4.rmeta: crates/crisp-gfx/src/lib.rs crates/crisp-gfx/src/api.rs crates/crisp-gfx/src/batch.rs crates/crisp-gfx/src/compute.rs crates/crisp-gfx/src/fb.rs crates/crisp-gfx/src/math.rs crates/crisp-gfx/src/mesh.rs crates/crisp-gfx/src/pipeline.rs crates/crisp-gfx/src/raster.rs crates/crisp-gfx/src/shader.rs crates/crisp-gfx/src/texture.rs
+
+crates/crisp-gfx/src/lib.rs:
+crates/crisp-gfx/src/api.rs:
+crates/crisp-gfx/src/batch.rs:
+crates/crisp-gfx/src/compute.rs:
+crates/crisp-gfx/src/fb.rs:
+crates/crisp-gfx/src/math.rs:
+crates/crisp-gfx/src/mesh.rs:
+crates/crisp-gfx/src/pipeline.rs:
+crates/crisp-gfx/src/raster.rs:
+crates/crisp-gfx/src/shader.rs:
+crates/crisp-gfx/src/texture.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/crisp_mem-727ae6b257f0611d.d: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs
+
+/root/repo/target/release/deps/libcrisp_mem-727ae6b257f0611d.rlib: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs
+
+/root/repo/target/release/deps/libcrisp_mem-727ae6b257f0611d.rmeta: crates/crisp-mem/src/lib.rs crates/crisp-mem/src/cache.rs crates/crisp-mem/src/dram.rs crates/crisp-mem/src/l2.rs crates/crisp-mem/src/mshr.rs crates/crisp-mem/src/partition.rs crates/crisp-mem/src/port.rs crates/crisp-mem/src/req.rs crates/crisp-mem/src/stats.rs crates/crisp-mem/src/system.rs crates/crisp-mem/src/xbar.rs
+
+crates/crisp-mem/src/lib.rs:
+crates/crisp-mem/src/cache.rs:
+crates/crisp-mem/src/dram.rs:
+crates/crisp-mem/src/l2.rs:
+crates/crisp-mem/src/mshr.rs:
+crates/crisp-mem/src/partition.rs:
+crates/crisp-mem/src/port.rs:
+crates/crisp-mem/src/req.rs:
+crates/crisp-mem/src/stats.rs:
+crates/crisp-mem/src/system.rs:
+crates/crisp-mem/src/xbar.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/crisp_scenes-eef82312f081ac97.d: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs
+
+/root/repo/target/release/deps/libcrisp_scenes-eef82312f081ac97.rlib: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs
+
+/root/repo/target/release/deps/libcrisp_scenes-eef82312f081ac97.rmeta: crates/crisp-scenes/src/lib.rs crates/crisp-scenes/src/compute.rs crates/crisp-scenes/src/primitives.rs crates/crisp-scenes/src/scenes.rs crates/crisp-scenes/src/silicon.rs
+
+crates/crisp-scenes/src/lib.rs:
+crates/crisp-scenes/src/compute.rs:
+crates/crisp-scenes/src/primitives.rs:
+crates/crisp-scenes/src/scenes.rs:
+crates/crisp-scenes/src/silicon.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/crisp_sim-1b03b18dc0ea675e.d: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs
+
+/root/repo/target/release/deps/libcrisp_sim-1b03b18dc0ea675e.rlib: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs
+
+/root/repo/target/release/deps/libcrisp_sim-1b03b18dc0ea675e.rmeta: crates/crisp-sim/src/lib.rs crates/crisp-sim/src/config.rs crates/crisp-sim/src/gpu.rs crates/crisp-sim/src/policy.rs crates/crisp-sim/src/sim.rs crates/crisp-sim/src/slicer.rs crates/crisp-sim/src/stats.rs
+
+crates/crisp-sim/src/lib.rs:
+crates/crisp-sim/src/config.rs:
+crates/crisp-sim/src/gpu.rs:
+crates/crisp-sim/src/policy.rs:
+crates/crisp-sim/src/sim.rs:
+crates/crisp-sim/src/slicer.rs:
+crates/crisp-sim/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/crisp_sm-a375835fbd3da5a0.d: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs
+
+/root/repo/target/release/deps/libcrisp_sm-a375835fbd3da5a0.rlib: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs
+
+/root/repo/target/release/deps/libcrisp_sm-a375835fbd3da5a0.rmeta: crates/crisp-sm/src/lib.rs crates/crisp-sm/src/config.rs crates/crisp-sm/src/cta.rs crates/crisp-sm/src/lsu.rs crates/crisp-sm/src/sm.rs crates/crisp-sm/src/units.rs crates/crisp-sm/src/warp.rs
+
+crates/crisp-sm/src/lib.rs:
+crates/crisp-sm/src/config.rs:
+crates/crisp-sm/src/cta.rs:
+crates/crisp-sm/src/lsu.rs:
+crates/crisp-sm/src/sm.rs:
+crates/crisp-sm/src/units.rs:
+crates/crisp-sm/src/warp.rs:

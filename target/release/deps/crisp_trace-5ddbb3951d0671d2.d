@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/crisp_trace-5ddbb3951d0671d2.d: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs
+
+/root/repo/target/release/deps/libcrisp_trace-5ddbb3951d0671d2.rlib: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs
+
+/root/repo/target/release/deps/libcrisp_trace-5ddbb3951d0671d2.rmeta: crates/crisp-trace/src/lib.rs crates/crisp-trace/src/analysis.rs crates/crisp-trace/src/codec.rs crates/crisp-trace/src/isa.rs crates/crisp-trace/src/kernel.rs crates/crisp-trace/src/stream.rs
+
+crates/crisp-trace/src/lib.rs:
+crates/crisp-trace/src/analysis.rs:
+crates/crisp-trace/src/codec.rs:
+crates/crisp-trace/src/isa.rs:
+crates/crisp-trace/src/kernel.rs:
+crates/crisp-trace/src/stream.rs:

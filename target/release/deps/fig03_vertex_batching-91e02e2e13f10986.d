@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_vertex_batching-91e02e2e13f10986.d: crates/crisp-bench/src/bin/fig03_vertex_batching.rs
+
+/root/repo/target/release/deps/fig03_vertex_batching-91e02e2e13f10986: crates/crisp-bench/src/bin/fig03_vertex_batching.rs
+
+crates/crisp-bench/src/bin/fig03_vertex_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_render_planets-c4edc66371e7a6ce.d: crates/crisp-bench/src/bin/fig05_render_planets.rs
+
+/root/repo/target/release/deps/fig05_render_planets-c4edc66371e7a6ce: crates/crisp-bench/src/bin/fig05_render_planets.rs
+
+crates/crisp-bench/src/bin/fig05_render_planets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_frame_correlation-b4bec7080f4f6d93.d: crates/crisp-bench/src/bin/fig06_frame_correlation.rs
+
+/root/repo/target/release/deps/fig06_frame_correlation-b4bec7080f4f6d93: crates/crisp-bench/src/bin/fig06_frame_correlation.rs
+
+crates/crisp-bench/src/bin/fig06_frame_correlation.rs:

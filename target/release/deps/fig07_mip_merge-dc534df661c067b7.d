@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_mip_merge-dc534df661c067b7.d: crates/crisp-bench/src/bin/fig07_mip_merge.rs
+
+/root/repo/target/release/deps/fig07_mip_merge-dc534df661c067b7: crates/crisp-bench/src/bin/fig07_mip_merge.rs
+
+crates/crisp-bench/src/bin/fig07_mip_merge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_sponza_lod-d72c95158726f1b2.d: crates/crisp-bench/src/bin/fig08_sponza_lod.rs
+
+/root/repo/target/release/deps/fig08_sponza_lod-d72c95158726f1b2: crates/crisp-bench/src/bin/fig08_sponza_lod.rs
+
+crates/crisp-bench/src/bin/fig08_sponza_lod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_lod_mape-01ec0bf80a144ae4.d: crates/crisp-bench/src/bin/fig09_lod_mape.rs
+
+/root/repo/target/release/deps/fig09_lod_mape-01ec0bf80a144ae4: crates/crisp-bench/src/bin/fig09_lod_mape.rs
+
+crates/crisp-bench/src/bin/fig09_lod_mape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_texlines_histogram-5b03a2fbaedbc63b.d: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs
+
+/root/repo/target/release/deps/fig10_texlines_histogram-5b03a2fbaedbc63b: crates/crisp-bench/src/bin/fig10_texlines_histogram.rs
+
+crates/crisp-bench/src/bin/fig10_texlines_histogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_l2_composition-883b955e5ff8e3ee.d: crates/crisp-bench/src/bin/fig11_l2_composition.rs
+
+/root/repo/target/release/deps/fig11_l2_composition-883b955e5ff8e3ee: crates/crisp-bench/src/bin/fig11_l2_composition.rs
+
+crates/crisp-bench/src/bin/fig11_l2_composition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_warped_slicer-abf70fc4e4751002.d: crates/crisp-bench/src/bin/fig12_warped_slicer.rs
+
+/root/repo/target/release/deps/fig12_warped_slicer-abf70fc4e4751002: crates/crisp-bench/src/bin/fig12_warped_slicer.rs
+
+crates/crisp-bench/src/bin/fig12_warped_slicer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_occupancy_timeline-65e00bdc448fc2de.d: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs
+
+/root/repo/target/release/deps/fig13_occupancy_timeline-65e00bdc448fc2de: crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs
+
+crates/crisp-bench/src/bin/fig13_occupancy_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_tap-1d8f04cdd78305da.d: crates/crisp-bench/src/bin/fig14_tap.rs
+
+/root/repo/target/release/deps/fig14_tap-1d8f04cdd78305da: crates/crisp-bench/src/bin/fig14_tap.rs
+
+crates/crisp-bench/src/bin/fig14_tap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_tap_composition-acceec2706578c93.d: crates/crisp-bench/src/bin/fig15_tap_composition.rs
+
+/root/repo/target/release/deps/fig15_tap_composition-acceec2706578c93: crates/crisp-bench/src/bin/fig15_tap_composition.rs
+
+crates/crisp-bench/src/bin/fig15_tap_composition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-553c3c46f700714d.d: crates/crisp-bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-553c3c46f700714d: crates/crisp-bench/src/bin/run_all.rs
+
+crates/crisp-bench/src/bin/run_all.rs:

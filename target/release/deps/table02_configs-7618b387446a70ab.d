@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02_configs-7618b387446a70ab.d: crates/crisp-bench/src/bin/table02_configs.rs
+
+/root/repo/target/release/deps/table02_configs-7618b387446a70ab: crates/crisp-bench/src/bin/table02_configs.rs
+
+crates/crisp-bench/src/bin/table02_configs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thread_scaling-179dc90c1bcaf062.d: crates/crisp-bench/src/bin/thread_scaling.rs
+
+/root/repo/target/release/deps/thread_scaling-179dc90c1bcaf062: crates/crisp-bench/src/bin/thread_scaling.rs
+
+crates/crisp-bench/src/bin/thread_scaling.rs:

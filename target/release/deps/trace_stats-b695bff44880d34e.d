@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_stats-b695bff44880d34e.d: crates/crisp-bench/src/bin/trace_stats.rs
+
+/root/repo/target/release/deps/trace_stats-b695bff44880d34e: crates/crisp-bench/src/bin/trace_stats.rs
+
+crates/crisp-bench/src/bin/trace_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate-94624cfc2200b1fb.d: crates/crisp-bench/src/bin/validate.rs
+
+/root/repo/target/release/deps/validate-94624cfc2200b1fb: crates/crisp-bench/src/bin/validate.rs
+
+crates/crisp-bench/src/bin/validate.rs:

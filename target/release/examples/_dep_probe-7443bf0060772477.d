@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_dep_probe-7443bf0060772477.d: crates/crisp-core/../../examples/_dep_probe.rs
+
+/root/repo/target/release/examples/_dep_probe-7443bf0060772477: crates/crisp-core/../../examples/_dep_probe.rs
+
+crates/crisp-core/../../examples/_dep_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-cf8c75e29272112c.d: crates/crisp-core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-cf8c75e29272112c: crates/crisp-core/../../examples/quickstart.rs
+
+crates/crisp-core/../../examples/quickstart.rs:

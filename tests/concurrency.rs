@@ -13,7 +13,11 @@ fn frame() -> Stream {
 }
 
 fn makespan(r: &SimResult) -> u64 {
-    r.per_stream.values().map(|s| s.stats.finish_cycle).max().unwrap()
+    r.per_stream
+        .values()
+        .map(|s| s.stats.finish_cycle)
+        .max()
+        .unwrap()
 }
 
 #[test]
@@ -21,7 +25,9 @@ fn async_compute_beats_serial_execution() {
     let gpu = GpuConfig::jetson_orin();
     // Serial: graphics then compute in one stream.
     let mut serial = frame();
-    serial.commands.extend(holo(GRAPHICS_STREAM, ComputeScale::tiny()).commands);
+    serial
+        .commands
+        .extend(holo(GRAPHICS_STREAM, ComputeScale::tiny()).commands);
     let serial_cycles = simulate(
         gpu.clone(),
         PartitionSpec::greedy(),
@@ -49,12 +55,19 @@ fn both_streams_make_progress_under_every_policy() {
         PartitionSpec::mps_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
         PartitionSpec::mig_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
         PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
-        PartitionSpec::fg_dynamic(SlicerConfig { sample_cycles: 2_000, ..SlicerConfig::default() }),
+        PartitionSpec::fg_dynamic(SlicerConfig {
+            sample_cycles: 2_000,
+            ..SlicerConfig::default()
+        }),
         PartitionSpec::tap_even(
             &gpu,
             GRAPHICS_STREAM,
             COMPUTE_STREAM,
-            TapConfig { epoch_accesses: 5_000, sample_every: 2, min_sets: 1 },
+            TapConfig {
+                epoch_accesses: 5_000,
+                sample_every: 2,
+                min_sets: 1,
+            },
         ),
     ];
     for spec in specs {
@@ -131,7 +144,11 @@ fn tap_gives_the_compute_bound_stream_few_sets() {
             &gpu,
             GRAPHICS_STREAM,
             COMPUTE_STREAM,
-            TapConfig { epoch_accesses: 5_000, sample_every: 1, min_sets: 1 },
+            TapConfig {
+                epoch_accesses: 5_000,
+                sample_every: 1,
+                min_sets: 1,
+            },
         ),
         concurrent_bundle(frame(), holo(COMPUTE_STREAM, ComputeScale::tiny())),
     );
@@ -147,7 +164,10 @@ fn tap_gives_the_compute_bound_stream_few_sets() {
 #[test]
 fn dynamic_partition_resets_at_drawcalls_and_kernel_launches() {
     let gpu = GpuConfig::jetson_orin();
-    let slicer = SlicerConfig { sample_cycles: 500, ratios: vec![(2, 8), (4, 8), (6, 8)] };
+    let slicer = SlicerConfig {
+        sample_cycles: 500,
+        ratios: vec![(2, 8), (4, 8), (6, 8)],
+    };
     let r = simulate(
         gpu.clone(),
         PartitionSpec::fg_dynamic(slicer),
@@ -165,13 +185,19 @@ fn dynamic_partition_resets_at_drawcalls_and_kernel_launches() {
 #[test]
 fn occupancy_timeline_tracks_both_streams() {
     let gpu = GpuConfig::jetson_orin();
-    let mut sim = GpuSim::new(
-        gpu.clone(),
-        PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
-    );
-    sim.occupancy_interval = 200;
-    sim.load(concurrent_bundle(frame(), nn(COMPUTE_STREAM, ComputeScale::tiny())));
-    let r = sim.run();
+    let r = Simulation::builder()
+        .gpu(gpu.clone())
+        .partition(PartitionSpec::fg_even(
+            &gpu,
+            GRAPHICS_STREAM,
+            COMPUTE_STREAM,
+        ))
+        .occupancy_interval(200)
+        .trace(concurrent_bundle(
+            frame(),
+            nn(COMPUTE_STREAM, ComputeScale::tiny()),
+        ))
+        .run();
     let saw_gfx = r
         .occupancy
         .iter()
@@ -180,7 +206,10 @@ fn occupancy_timeline_tracks_both_streams() {
         .occupancy
         .iter()
         .any(|s| s.by_stream.get(&COMPUTE_STREAM).copied().unwrap_or(0.0) > 0.0);
-    assert!(saw_gfx && saw_nn, "both streams must appear in the timeline");
+    assert!(
+        saw_gfx && saw_nn,
+        "both streams must appear in the timeline"
+    );
 }
 
 #[test]
@@ -193,7 +222,11 @@ fn three_streams_share_one_sm_pool() {
     let f = Scene::build(SceneId::SponzaKhronos, 0.2).render(w, h, false, GRAPHICS_STREAM);
     let spec = PartitionSpec::fg_fractions(
         &gpu,
-        [(GRAPHICS_STREAM, (4, 8)), (COMPUTE_STREAM, (2, 8)), (ATW, (2, 8))],
+        [
+            (GRAPHICS_STREAM, (4, 8)),
+            (COMPUTE_STREAM, (2, 8)),
+            (ATW, (2, 8)),
+        ],
     );
     let bundle = TraceBundle::from_streams(vec![
         f.trace,
@@ -218,8 +251,14 @@ fn timewarp_consumes_the_framebuffer_through_the_l2() {
     let (w, h) = (96u32, 54u32);
     let f = Scene::build(SceneId::SponzaKhronos, 0.2).render(w, h, false, GRAPHICS_STREAM);
     let mut serial = f.trace;
-    serial.commands.extend(timewarp(GRAPHICS_STREAM, w, h, ComputeScale::tiny()).commands);
-    let r = simulate(gpu.clone(), PartitionSpec::greedy(), TraceBundle::from_streams(vec![serial]));
+    serial
+        .commands
+        .extend(timewarp(GRAPHICS_STREAM, w, h, ComputeScale::tiny()).commands);
+    let r = simulate(
+        gpu.clone(),
+        PartitionSpec::greedy(),
+        TraceBundle::from_streams(vec![serial]),
+    );
     let warmed = r.l2_stats.class_total(DataClass::Compute);
     assert!(warmed.accesses > 0, "timewarp must reach the L2");
 
@@ -248,10 +287,21 @@ fn kernel_log_interleaves_across_streams() {
         PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
         concurrent_bundle(f.trace, vio(COMPUTE_STREAM, ComputeScale::tiny())),
     );
-    let gfx_kernels = r.kernel_log.iter().filter(|k| k.stream == GRAPHICS_STREAM).count();
-    let vio_kernels = r.kernel_log.iter().filter(|k| k.stream == COMPUTE_STREAM).count();
+    let gfx_kernels = r
+        .kernel_log
+        .iter()
+        .filter(|k| k.stream == GRAPHICS_STREAM)
+        .count();
+    let vio_kernels = r
+        .kernel_log
+        .iter()
+        .filter(|k| k.stream == COMPUTE_STREAM)
+        .count();
     assert!(gfx_kernels >= 2);
-    assert!(vio_kernels >= 12, "VIO is many small kernels: {vio_kernels}");
+    assert!(
+        vio_kernels >= 12,
+        "VIO is many small kernels: {vio_kernels}"
+    );
     // At least one pair of kernels from different streams overlaps in time.
     let overlap = r.kernel_log.iter().any(|a| {
         r.kernel_log.iter().any(|b| {
@@ -271,7 +321,10 @@ fn stats_clear_marker_constants_agree() {
         crisp_trace::Command::Marker(l) => l == crisp_sim::CLEAR_STATS_MARKER,
         _ => false,
     });
-    assert!(has_marker, "render_warmed must emit crisp-sim's clear-stats marker");
+    assert!(
+        has_marker,
+        "render_warmed must emit crisp-sim's clear-stats marker"
+    );
 }
 
 #[test]

@@ -1,0 +1,152 @@
+//! Thread-count determinism: the sharded parallel cycle loop must be
+//! bit-identical to the serial one.
+//!
+//! The parallel executor's contract (see `crisp_sim::gpu`) is that each
+//! SM's memory traffic is buffered in its private `SmMemPort` and drained
+//! into the crossbar in ascending SM-id order, reproducing the serial
+//! request order exactly. These tests hold every partition policy and L2
+//! policy to that contract on a mixed render+compute bundle, comparing the
+//! *entire* `SimResult` — cycles, per-stream stats, L1/L2 stats, cache
+//! composition, telemetry timelines, and the kernel log.
+
+use crisp_core::prelude::*;
+use crisp_core::{concurrent_bundle, COMPUTE_STREAM, GRAPHICS_STREAM};
+use crisp_sim::SimResult;
+
+/// A small GPU with enough SMs that 4 workers get uneven shards.
+fn gpu() -> GpuConfig {
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.n_sms = 6;
+    cfg
+}
+
+/// A mixed bundle: one rendered frame plus the VIO kernel chain.
+fn bundle() -> TraceBundle {
+    let frame = Scene::build(SceneId::SponzaKhronos, 0.2).render(64, 36, false, GRAPHICS_STREAM);
+    concurrent_bundle(frame.trace, vio(COMPUTE_STREAM, ComputeScale::tiny()))
+}
+
+fn run(spec: PartitionSpec, l2: Option<L2Policy>, threads: usize) -> SimResult {
+    let mut b = Simulation::builder()
+        .gpu(gpu())
+        .partition(spec)
+        .threads(threads)
+        .telemetry(Telemetry::FULL)
+        .occupancy_interval(100)
+        .composition_interval(500)
+        .trace(bundle());
+    if let Some(l2) = l2 {
+        b = b.l2(l2);
+    }
+    b.run()
+}
+
+/// Field-by-field equality of two results, with a labelled panic per field
+/// so a regression names exactly what diverged.
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.per_stream, b.per_stream, "{what}: per-stream stats");
+    assert_eq!(a.l1_stats, b.l1_stats, "{what}: L1 stats");
+    assert_eq!(a.l2_stats, b.l2_stats, "{what}: L2 stats");
+    assert_eq!(a.l2_composition, b.l2_composition, "{what}: L2 composition");
+    assert_eq!(
+        a.l2_composition_timeline, b.l2_composition_timeline,
+        "{what}: composition timeline"
+    );
+    assert_eq!(a.occupancy, b.occupancy, "{what}: occupancy timeline");
+    assert_eq!(a.ipc_timeline, b.ipc_timeline, "{what}: IPC timeline");
+    assert_eq!(a.slicer_history, b.slicer_history, "{what}: slicer history");
+    assert_eq!(a.tap_allocation, b.tap_allocation, "{what}: TAP allocation");
+    assert_eq!(a.kernel_log, b.kernel_log, "{what}: kernel log");
+    assert_eq!(
+        a.per_sm_instructions, b.per_sm_instructions,
+        "{what}: per-SM instructions"
+    );
+    assert_eq!(a.stalls, b.stalls, "{what}: stall breakdown");
+}
+
+fn check(name: &str, spec: PartitionSpec, l2: Option<L2Policy>) {
+    let serial = run(spec.clone(), l2.clone(), 1);
+    assert!(serial.cycles > 0, "{name}: simulation ran");
+    for threads in [2, 4] {
+        let parallel = run(spec.clone(), l2.clone(), threads);
+        assert_identical(&serial, &parallel, &format!("{name} @ {threads} threads"));
+    }
+}
+
+#[test]
+fn greedy_is_thread_count_invariant() {
+    check("greedy", PartitionSpec::greedy(), None);
+}
+
+#[test]
+fn mps_is_thread_count_invariant() {
+    let g = gpu();
+    check(
+        "mps",
+        PartitionSpec::mps_even(&g, GRAPHICS_STREAM, COMPUTE_STREAM),
+        None,
+    );
+}
+
+#[test]
+fn mig_is_thread_count_invariant() {
+    let g = gpu();
+    check(
+        "mig",
+        PartitionSpec::mig_even(&g, GRAPHICS_STREAM, COMPUTE_STREAM),
+        None,
+    );
+}
+
+#[test]
+fn fg_static_is_thread_count_invariant() {
+    let g = gpu();
+    check(
+        "fg-static",
+        PartitionSpec::fg_even(&g, GRAPHICS_STREAM, COMPUTE_STREAM),
+        None,
+    );
+}
+
+#[test]
+fn fg_dynamic_is_thread_count_invariant() {
+    let slicer = SlicerConfig {
+        sample_cycles: 300,
+        ratios: vec![(2, 8), (4, 8), (6, 8)],
+    };
+    check("fg-dynamic", PartitionSpec::fg_dynamic(slicer), None);
+}
+
+#[test]
+fn tap_l2_is_thread_count_invariant() {
+    let tap = TapConfig {
+        epoch_accesses: 400,
+        sample_every: 1,
+        min_sets: 1,
+    };
+    let g = gpu();
+    check(
+        "fg+tap",
+        PartitionSpec::tap_even(&g, GRAPHICS_STREAM, COMPUTE_STREAM, tap),
+        None,
+    );
+}
+
+#[test]
+fn bank_split_l2_is_thread_count_invariant() {
+    let g = gpu();
+    check(
+        "mps+bank-split",
+        PartitionSpec::mps_even(&g, GRAPHICS_STREAM, COMPUTE_STREAM),
+        Some(L2Policy::BankSplit),
+    );
+}
+
+#[test]
+fn oversubscribed_thread_count_is_clamped_and_identical() {
+    // More workers than SMs: the executor clamps to one SM per worker.
+    let serial = run(PartitionSpec::greedy(), None, 1);
+    let flooded = run(PartitionSpec::greedy(), None, 64);
+    assert_identical(&serial, &flooded, "greedy @ 64 threads");
+}

@@ -93,7 +93,11 @@ fn orin_and_rtx_both_complete_graphics_frames() {
         );
         let st = &r.per_stream[&GRAPHICS_STREAM].stats;
         assert!(st.instructions > 0, "{}", gpu.name);
-        assert!(st.kernels >= 2 * 9, "{}: one VS+FS pair per drawcall", gpu.name);
+        assert!(
+            st.kernels >= 2 * 9,
+            "{}: one VS+FS pair per drawcall",
+            gpu.name
+        );
         assert!(r.l2_stats.total().hit_rate() > 0.0, "{}", gpu.name);
     }
 }
@@ -126,7 +130,11 @@ fn simulation_is_deterministic() {
         let f = scene.render(96, 54, false, GRAPHICS_STREAM);
         let compute = vio(crisp_core::COMPUTE_STREAM, ComputeScale::tiny());
         let spec = PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, crisp_core::COMPUTE_STREAM);
-        let r = simulate(gpu.clone(), spec, crisp_core::concurrent_bundle(f.trace, compute));
+        let r = simulate(
+            gpu.clone(),
+            spec,
+            crisp_core::concurrent_bundle(f.trace, compute),
+        );
         (
             r.cycles,
             r.per_stream[&GRAPHICS_STREAM].stats.instructions,
@@ -154,15 +162,18 @@ fn framebuffer_and_trace_agree_on_fragment_count() {
                     // Count lanes of the colour store (the last store).
                     w.iter()
                         .filter_map(|i| i.mem.as_ref())
-                        .filter(|m| m.space == crisp_trace::Space::Global && !m.addrs.is_empty())
-                        .last()
+                        .rfind(|m| m.space == crisp_trace::Space::Global && !m.addrs.is_empty())
                         .map(|m| m.addrs.len() as u64)
                         .unwrap_or(0)
                 })
                 .sum::<u64>()
         })
         .sum();
-    assert_eq!(fs_threads, f.stats.fragments(), "colour stores must cover every fragment");
+    assert_eq!(
+        fs_threads,
+        f.stats.fragments(),
+        "colour stores must cover every fragment"
+    );
 }
 
 #[test]
@@ -177,7 +188,10 @@ fn front_to_back_draw_order_shades_fewer_fragments() {
     let reversed = reversed_scene.render(160, 90, false, GRAPHICS_STREAM);
     // Same final image coverage either way (z-buffering is order-independent
     // for opaque geometry) ...
-    assert_eq!(forward.framebuffer.coverage(), reversed.framebuffer.coverage());
+    assert_eq!(
+        forward.framebuffer.coverage(),
+        reversed.framebuffer.coverage()
+    );
     // ... but the shaded-fragment count depends on the order.
     assert_ne!(
         forward.stats.fragments(),
@@ -191,6 +205,9 @@ fn rendering_is_deterministic_at_the_pixel_level() {
     let scene = Scene::build(SceneId::MaterialTesters, 0.2);
     let a = scene.render(128, 72, false, GRAPHICS_STREAM);
     let b = scene.render(128, 72, false, GRAPHICS_STREAM);
-    assert!(a.framebuffer.psnr(&b.framebuffer).is_infinite(), "identical frames");
+    assert!(
+        a.framebuffer.psnr(&b.framebuffer).is_infinite(),
+        "identical frames"
+    );
     assert_eq!(a.trace, b.trace, "identical traces");
 }

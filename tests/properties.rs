@@ -1,13 +1,16 @@
 //! Property-based tests over core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! The workspace carries no external crates, so instead of a proptest-style
+//! framework these properties are exercised over many deterministic
+//! pseudo-random cases drawn from a seeded xorshift generator. Failures
+//! print the case seed so a case can be replayed in isolation.
 
 use crisp_gfx::{batch, FilterMode, Texture, TextureFormat, Vec2};
 use crisp_mem::{
     AccessKind, BankMap, CacheCore, CacheGeometry, DataClass, MemReq, ReqToken, StreamId,
     TapConfig, TapController,
 };
-use crisp_sim::{GpuConfig, GpuSim, PartitionSpec};
+use crisp_sim::{GpuConfig, PartitionSpec, Simulation};
 use crisp_trace::{
     CtaTrace, Instr, KernelTrace, MemAccess, Op, Reg, Space, Stream, StreamKind, TraceBundle,
     WarpTrace,
@@ -15,149 +18,250 @@ use crisp_trace::{
 
 const TOK: ReqToken = ReqToken { sm: 0, id: 0 };
 
-proptest! {
-    /// Batching never exceeds the batch size and always covers every
-    /// triangle exactly once.
-    #[test]
-    fn batches_cover_all_triangles(
-        tris in proptest::collection::vec((0u32..64, 0u32..64, 0u32..64), 1..200),
-        batch_size in 3usize..128,
-    ) {
+/// A small deterministic PRNG (xorshift64*) for generating test cases.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (self.next() % (1 << 24)) as f32 / (1 << 24) as f32 * (hi - lo)
+    }
+}
+
+/// Batching never exceeds the batch size and always covers every triangle
+/// exactly once.
+#[test]
+fn batches_cover_all_triangles() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n_tris = rng.range(1, 200) as usize;
+        let tris: Vec<(u32, u32, u32)> = (0..n_tris)
+            .map(|_| {
+                (
+                    rng.range(0, 64) as u32,
+                    rng.range(0, 64) as u32,
+                    rng.range(0, 64) as u32,
+                )
+            })
+            .collect();
+        let batch_size = rng.range(3, 128) as usize;
         let indices: Vec<u32> = tris.iter().flat_map(|&(a, b, c)| [a, b, c]).collect();
         let batches = batch::vertex_batches(&indices, batch_size);
         let total_prims: usize = batches.iter().map(|b| b.prims.len()).sum();
-        prop_assert_eq!(total_prims, tris.len());
+        assert_eq!(total_prims, tris.len(), "seed {seed}");
         for b in &batches {
-            prop_assert!(b.unique.len() <= batch_size);
-            // Every prim slot refers into the unique list and resolves to
-            // the original vertex ids.
+            assert!(b.unique.len() <= batch_size, "seed {seed}");
+            // Every prim slot refers into the unique list.
             for p in &b.prims {
                 for &slot in p {
-                    prop_assert!((slot as usize) < b.unique.len());
+                    assert!((slot as usize) < b.unique.len(), "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Invocation counts are monotonically non-increasing in batch size and
-    /// bounded by [unique, 3 × prims].
-    #[test]
-    fn batching_invocation_bounds(
-        tris in proptest::collection::vec((0u32..32, 0u32..32, 0u32..32), 1..100),
-    ) {
-        let indices: Vec<u32> = tris.iter().flat_map(|&(a, b, c)| [a, b, c]).collect();
+/// Invocation counts are monotonically non-increasing in batch size and
+/// bounded by [unique, 3 × prims].
+#[test]
+fn batching_invocation_bounds() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n_tris = rng.range(1, 100) as usize;
+        let indices: Vec<u32> = (0..3 * n_tris).map(|_| rng.range(0, 32) as u32).collect();
         let small = batch::vs_invocation_count(&indices, 4);
         let big = batch::vs_invocation_count(&indices, 96);
-        prop_assert!(big <= small, "bigger batches cannot shade more: {} vs {}", big, small);
+        assert!(
+            big <= small,
+            "seed {seed}: bigger batches cannot shade more: {big} vs {small}"
+        );
         let mut unique = indices.clone();
         unique.sort_unstable();
         unique.dedup();
-        prop_assert!(big >= unique.len() as u64);
-        prop_assert!(small <= indices.len() as u64);
+        assert!(big >= unique.len() as u64, "seed {seed}");
+        assert!(small <= indices.len() as u64, "seed {seed}");
     }
+}
 
-    /// Coalescing: distinct chunk count is bounded by lane count and chunk
-    /// arithmetic is consistent across granularities.
-    #[test]
-    fn mem_access_chunking(
-        addrs in proptest::collection::vec(0u64..1_000_000, 1..32),
-        width in prop_oneof![Just(1u8), Just(4u8), Just(8u8), Just(16u8)],
-    ) {
-        let m = MemAccess::scattered(Space::Global, crisp_trace::DataClass::Compute, width, addrs.clone());
+/// Coalescing: distinct chunk count is bounded by lane count and chunk
+/// arithmetic is consistent across granularities.
+#[test]
+fn mem_access_chunking() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.range(1, 32) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.range(0, 1_000_000)).collect();
+        let width = [1u8, 4, 8, 16][rng.range(0, 4) as usize];
+        let m = MemAccess::scattered(Space::Global, DataClass::Compute, width, addrs.clone());
         let sectors = m.distinct_chunks(32);
         let lines = m.distinct_chunks(128);
-        prop_assert!(!sectors.is_empty());
-        prop_assert!(lines.len() <= sectors.len(), "lines cannot outnumber sectors");
-        prop_assert!(sectors.len() <= addrs.len() * 2, "a lane touches at most 2 sectors");
+        assert!(!sectors.is_empty(), "seed {seed}");
+        assert!(
+            lines.len() <= sectors.len(),
+            "seed {seed}: lines cannot outnumber sectors"
+        );
+        assert!(
+            sectors.len() <= addrs.len() * 2,
+            "seed {seed}: a lane touches at most 2 sectors"
+        );
         // Every sector's line must appear in the line set.
         for s in &sectors {
-            prop_assert!(lines.contains(&(s * 32 / 128)));
+            assert!(lines.contains(&(s * 32 / 128)), "seed {seed}");
         }
     }
+}
 
-    /// Cache invariant: after a fill, reading the same sector hits, and the
-    /// composition never exceeds capacity.
-    #[test]
-    fn cache_fill_then_hit(
-        addrs in proptest::collection::vec(0u64..(1u64 << 20), 1..200),
-    ) {
-        let mut c = CacheCore::new(CacheGeometry { size_bytes: 16 << 10, assoc: 4 });
+/// Cache invariant: after a fill, reading the same sector hits, and the
+/// composition never exceeds capacity.
+#[test]
+fn cache_fill_then_hit() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let mut c = CacheCore::new(CacheGeometry {
+            size_bytes: 16 << 10,
+            assoc: 4,
+        });
         let w = (0, c.num_sets());
-        for &a in &addrs {
+        let n = rng.range(1, 200);
+        for _ in 0..n {
+            let a = rng.range(0, 1 << 20);
             let r = MemReq::read(a, StreamId(0), DataClass::Compute, TOK);
             let _ = c.access(&r, AccessKind::Read, w);
-            let _ = c.fill(r.line_addr(), r.sector_in_line(), StreamId(0), DataClass::Compute, false, w);
+            let _ = c.fill(
+                r.line_addr(),
+                r.sector_in_line(),
+                StreamId(0),
+                DataClass::Compute,
+                false,
+                w,
+            );
             // Immediately after the fill the sector must be present.
             let again = c.access(&r, AccessKind::Read, w);
-            prop_assert_eq!(again, crisp_mem::AccessOutcome::Hit);
+            assert_eq!(again, crisp_mem::AccessOutcome::Hit, "seed {seed}");
         }
         let comp = c.composition();
-        prop_assert!(comp.valid_lines() <= comp.capacity_lines);
+        assert!(comp.valid_lines() <= comp.capacity_lines, "seed {seed}");
     }
+}
 
-    /// TAP windows always tile the bank exactly, regardless of workload.
-    #[test]
-    fn tap_windows_always_tile(
-        accesses in proptest::collection::vec((0u32..2, 0u64..4096), 0..3000),
-        sets in 8u64..128,
-    ) {
-        let cfg = TapConfig { epoch_accesses: 500, sample_every: 1, min_sets: 1 };
+/// TAP windows always tile the bank exactly, regardless of workload.
+#[test]
+fn tap_windows_always_tile() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let sets = rng.range(8, 128);
+        let cfg = TapConfig {
+            epoch_accesses: 500,
+            sample_every: 1,
+            min_sets: 1,
+        };
         let mut t = TapController::new(vec![StreamId(0), StreamId(1)], sets, 16, cfg);
-        for (s, line) in accesses {
+        let n = rng.range(0, 3000);
+        for _ in 0..n {
+            let s = rng.range(0, 2) as u32;
+            let line = rng.range(0, 4096);
             t.observe(StreamId(s), line * 128);
         }
         let alloc = t.allocation();
         let total: u64 = alloc.iter().map(|(_, n)| n).sum();
-        prop_assert_eq!(total, sets);
+        assert_eq!(total, sets, "seed {seed}");
         for (_, n) in alloc {
-            prop_assert!(n >= 1, "every stream keeps its floor");
+            assert!(n >= 1, "seed {seed}: every stream keeps its floor");
         }
         // Windows are contiguous and disjoint.
         let (s0, n0) = t.window(StreamId(0));
         let (s1, n1) = t.window(StreamId(1));
-        prop_assert_eq!(s0, 0);
-        prop_assert_eq!(s1, n0);
-        prop_assert_eq!(n0 + n1, sets);
+        assert_eq!(s0, 0, "seed {seed}");
+        assert_eq!(s1, n0, "seed {seed}");
+        assert_eq!(n0 + n1, sets, "seed {seed}");
     }
+}
 
-    /// Bank maps always return a bank the stream is allowed to use.
-    #[test]
-    fn bank_map_respects_masks(addr in 0u64..(1u64 << 30), n_banks in 2u32..32) {
+/// Bank maps always return a bank the stream is allowed to use.
+#[test]
+fn bank_map_respects_masks() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(seed);
+        let addr = rng.range(0, 1 << 30);
+        let n_banks = rng.range(2, 32) as u32;
         let a = StreamId(0);
         let b = StreamId(1);
         let m = BankMap::mig_even_split(n_banks, a, b);
         let ba = m.bank_of(a, addr);
         let bb = m.bank_of(b, addr);
-        prop_assert!(m.banks_for(a).contains(&ba));
-        prop_assert!(m.banks_for(b).contains(&bb));
-        prop_assert_ne!(ba, bb, "even split keeps the streams on disjoint banks");
+        assert!(m.banks_for(a).contains(&ba), "seed {seed}");
+        assert!(m.banks_for(b).contains(&bb), "seed {seed}");
+        assert_ne!(
+            ba, bb,
+            "seed {seed}: even split keeps the streams on disjoint banks"
+        );
     }
+}
 
-    /// Texture sampling never produces addresses outside the texture's
-    /// allocation, at any LoD, for any UV.
-    #[test]
-    fn texture_samples_stay_in_bounds(
-        u in -4.0f32..4.0,
-        v in -4.0f32..4.0,
-        lod in 0.0f32..12.0,
-        size_pow in 2u32..9,
-    ) {
-        let size = 1 << size_pow;
+/// Texture sampling never produces addresses outside the texture's
+/// allocation, at any LoD, for any UV.
+#[test]
+fn texture_samples_stay_in_bounds() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let u = rng.f32(-4.0, 4.0);
+        let v = rng.f32(-4.0, 4.0);
+        let lod = rng.f32(0.0, 12.0);
+        let size = 1u32 << rng.range(2, 9);
         let base = 0x10_0000u64;
-        let t = Texture::new("t", size, size, 1, TextureFormat::Rgba8, FilterMode::Bilinear, base);
+        let t = Texture::new(
+            "t",
+            size,
+            size,
+            1,
+            TextureFormat::Rgba8,
+            FilterMode::Bilinear,
+            base,
+        );
         for addr in t.sample_addrs(Vec2::new(u, v), lod, 0, false) {
-            prop_assert!(addr >= base);
-            prop_assert!(addr < base + t.size_bytes());
+            assert!(addr >= base, "seed {seed}");
+            assert!(addr < base + t.size_bytes(), "seed {seed}");
         }
     }
+}
 
-    /// Higher LoD never increases the distinct-texel footprint of a fixed
-    /// set of UVs (the Figure 7 merging property, generalised).
-    #[test]
-    fn mip_levels_monotonically_merge(
-        uvs in proptest::collection::vec((0.0f32..1.0, 0.0f32..1.0), 4..32),
-    ) {
-        let t = Texture::new("t", 256, 256, 1, TextureFormat::Rgba8, FilterMode::Nearest, 0);
+/// Higher LoD never increases the distinct-texel footprint of a fixed set
+/// of UVs (the Figure 7 merging property, generalised).
+#[test]
+fn mip_levels_monotonically_merge() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.range(4, 32);
+        let uvs: Vec<(f32, f32)> = (0..n)
+            .map(|_| (rng.f32(0.0, 1.0), rng.f32(0.0, 1.0)))
+            .collect();
+        let t = Texture::new(
+            "t",
+            256,
+            256,
+            1,
+            TextureFormat::Rgba8,
+            FilterMode::Nearest,
+            0,
+        );
         let mut prev = usize::MAX;
         for level in 0..t.levels() {
             let mut addrs: Vec<u64> = uvs
@@ -166,16 +270,19 @@ proptest! {
                 .collect();
             addrs.sort_unstable();
             addrs.dedup();
-            prop_assert!(addrs.len() <= prev,
-                "level {} has {} texels, previous had {}", level, addrs.len(), prev);
+            assert!(
+                addrs.len() <= prev,
+                "seed {seed}: level {level} has {} texels, previous had {prev}",
+                addrs.len()
+            );
             prev = addrs.len();
         }
         // The top level is a single texel.
-        prop_assert_eq!(prev, 1);
+        assert_eq!(prev, 1, "seed {seed}");
     }
 }
 
-/// Build a random-but-valid warp trace from a proptest recipe.
+/// Build a random-but-valid warp trace from a recipe of (kind, value) pairs.
 fn warp_from_recipe(ops: &[(u8, u64)], cta_id: u64) -> WarpTrace {
     let mut w = WarpTrace::new();
     for (i, &(kind, val)) in ops.iter().enumerate() {
@@ -200,7 +307,7 @@ fn warp_from_recipe(ops: &[(u8, u64)], cta_id: u64) -> WarpTrace {
                     Space::Global,
                     DataClass::Compute,
                     4,
-                    0x100_0000 + (cta_id * 0x1_0000 + val % 0x8000) & !3,
+                    (0x100_0000 + (cta_id * 0x1_0000 + val % 0x8000)) & !3,
                     32,
                 ),
             )),
@@ -214,100 +321,110 @@ fn warp_from_recipe(ops: &[(u8, u64)], cta_id: u64) -> WarpTrace {
     w
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    /// Fuzz: any structurally-valid kernel mix must run to completion on
-    /// the simulator without deadlock or panic, and conservation laws must
-    /// hold (CTAs committed == CTAs launched, instructions issued == trace
-    /// instructions).
-    #[test]
-    fn random_kernels_always_complete(
-        kernels in proptest::collection::vec(
-            (
-                proptest::collection::vec((0u8..6, 0u64..1_000_000), 1..40), // warp recipe
-                1usize..4,  // warps per CTA
-                1usize..6,  // CTAs
-                8u32..48,   // regs per thread
-            ),
-            1..4,
-        ),
-    ) {
+/// Draw a random kernel recipe: (warp recipe, warps per CTA, CTAs, regs).
+fn random_kernel(rng: &mut Rng, max_ops: u64) -> (Vec<(u8, u64)>, usize, usize, u32) {
+    let n_ops = rng.range(1, max_ops) as usize;
+    let recipe: Vec<(u8, u64)> = (0..n_ops)
+        .map(|_| (rng.range(0, 6) as u8, rng.range(0, 1_000_000)))
+        .collect();
+    (
+        recipe,
+        rng.range(1, 4) as usize,
+        rng.range(1, 6) as usize,
+        rng.range(8, 48) as u32,
+    )
+}
+
+/// Fuzz: any structurally-valid kernel mix must run to completion on the
+/// simulator without deadlock or panic, and conservation laws must hold
+/// (CTAs committed == CTAs launched, instructions issued == trace
+/// instructions).
+#[test]
+fn random_kernels_always_complete() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(seed);
         let mut stream = Stream::new(StreamId(0), StreamKind::Compute);
         let mut expected_instrs = 0u64;
         let mut expected_ctas = 0u64;
-        for (ki, (recipe, warps, ctas, regs)) in kernels.iter().enumerate() {
-            let ctav: Vec<CtaTrace> = (0..*ctas)
+        let n_kernels = rng.range(1, 4);
+        for ki in 0..n_kernels {
+            let (recipe, warps, ctas, regs) = random_kernel(&mut rng, 40);
+            let ctav: Vec<CtaTrace> = (0..ctas)
                 .map(|c| {
                     CtaTrace::new(
-                        (0..*warps).map(|_| warp_from_recipe(recipe, c as u64)).collect(),
+                        (0..warps)
+                            .map(|_| warp_from_recipe(&recipe, c as u64))
+                            .collect(),
                     )
                 })
                 .collect();
-            let k = KernelTrace::new(
-                format!("fuzz{ki}"),
-                32 * *warps as u32,
-                *regs,
-                0,
-                ctav,
-            );
+            let k = KernelTrace::new(format!("fuzz{ki}"), 32 * warps as u32, regs, 0, ctav);
             expected_instrs += k.instr_count() as u64;
             expected_ctas += k.grid() as u64;
             stream.launch(k);
         }
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
-        gpu.occupancy_interval = 0;
-        gpu.load(TraceBundle::from_streams(vec![stream]));
-        let r = gpu.run();
+        let r = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .occupancy_interval(0)
+            .trace(TraceBundle::from_streams(vec![stream]))
+            .run();
         let st = &r.per_stream[&StreamId(0)].stats;
-        prop_assert_eq!(st.instructions, expected_instrs, "every instruction must issue");
-        prop_assert_eq!(st.ctas, expected_ctas, "every CTA must commit");
-        prop_assert!(st.finish_cycle > 0);
+        assert_eq!(
+            st.instructions, expected_instrs,
+            "seed {seed}: every instruction must issue"
+        );
+        assert_eq!(st.ctas, expected_ctas, "seed {seed}: every CTA must commit");
+        assert!(st.finish_cycle > 0, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    /// Codec: any bundle the fuzz generator produces survives a binary
-    /// round trip bit-exactly.
-    #[test]
-    fn codec_roundtrips_random_bundles(
-        kernels in proptest::collection::vec(
-            (
-                proptest::collection::vec((0u8..6, 0u64..1_000_000), 1..20),
-                1usize..3,
-                1usize..4,
-                8u32..48,
-            ),
-            1..3,
-        ),
-        marker in "[a-z]{0,12}",
-    ) {
+/// Codec: any bundle the fuzz generator produces survives a binary round
+/// trip bit-exactly.
+#[test]
+fn codec_roundtrips_random_bundles() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
         let mut stream = Stream::new(StreamId(7), StreamKind::Compute);
+        let marker_len = rng.range(0, 13) as usize;
+        let marker: String = (0..marker_len)
+            .map(|_| (b'a' + rng.range(0, 26) as u8) as char)
+            .collect();
         stream.marker(marker);
-        for (ki, (recipe, warps, ctas, regs)) in kernels.iter().enumerate() {
-            let ctav: Vec<CtaTrace> = (0..*ctas)
-                .map(|c| CtaTrace::new(
-                    (0..*warps).map(|_| warp_from_recipe(recipe, c as u64)).collect(),
-                ))
+        let n_kernels = rng.range(1, 3);
+        for ki in 0..n_kernels {
+            let (recipe, warps, ctas, regs) = random_kernel(&mut rng, 20);
+            let ctav: Vec<CtaTrace> = (0..ctas.min(3))
+                .map(|c| {
+                    CtaTrace::new(
+                        (0..warps.min(2))
+                            .map(|_| warp_from_recipe(&recipe, c as u64))
+                            .collect(),
+                    )
+                })
                 .collect();
-            stream.launch(KernelTrace::new(format!("k{ki}"), 32 * *warps as u32, *regs, 0, ctav));
+            stream.launch(KernelTrace::new(
+                format!("k{ki}"),
+                32 * warps as u32,
+                regs,
+                0,
+                ctav,
+            ));
         }
         let bundle = TraceBundle::from_streams(vec![stream]);
         let mut buf = Vec::new();
         crisp_trace::codec::write_bundle(&bundle, &mut buf).expect("write");
         let back = crisp_trace::codec::read_bundle(&mut buf.as_slice()).expect("read");
-        prop_assert_eq!(bundle, back);
+        assert_eq!(bundle, back, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-    /// Fuzz: any two-stream intra-SM quota split (both sides >= 1/8) lets
-    /// both streams finish — no placement deadlock for any ratio.
-    #[test]
-    fn any_fg_ratio_completes(num in 1u32..8) {
+/// Fuzz: any two-stream intra-SM quota split (both sides >= 1/8) lets both
+/// streams finish — no placement deadlock for any ratio.
+#[test]
+fn any_fg_ratio_completes() {
+    for num in 1u32..8 {
         let gpu = GpuConfig::test_tiny();
-        let spec = crisp_sim::PartitionSpec::fg_fractions(
+        let spec = PartitionSpec::fg_fractions(
             &gpu,
             [(StreamId(0), (num, 8)), (StreamId(1), (8 - num, 8))],
         );
@@ -322,10 +439,12 @@ proptest! {
         a.launch(mk("a"));
         let mut b = Stream::new(StreamId(1), StreamKind::Compute);
         b.launch(mk("b"));
-        let mut gpu_sim = GpuSim::new(gpu, spec);
-        gpu_sim.load(TraceBundle::from_streams(vec![a, b]));
-        let r = gpu_sim.run();
-        prop_assert_eq!(r.per_stream[&StreamId(0)].stats.ctas, 4);
-        prop_assert_eq!(r.per_stream[&StreamId(1)].stats.ctas, 4);
+        let r = Simulation::builder()
+            .gpu(gpu)
+            .partition(spec)
+            .trace(TraceBundle::from_streams(vec![a, b]))
+            .run();
+        assert_eq!(r.per_stream[&StreamId(0)].stats.ctas, 4, "ratio {num}/8");
+        assert_eq!(r.per_stream[&StreamId(1)].stats.ctas, 4, "ratio {num}/8");
     }
 }
