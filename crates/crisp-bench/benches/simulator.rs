@@ -149,6 +149,32 @@ fn bench_codec() {
     });
 }
 
+/// Telemetry overhead: the same concurrent workload with `Telemetry::NONE`
+/// versus `Telemetry::FULL` (spans + counters + occupancy + composition).
+/// The observability contract is that NONE costs nothing — the recorder is
+/// an `Option` that is never constructed — so the NONE time here should
+/// match the plain e2e numbers above, and FULL shows the price of tracing.
+fn bench_telemetry_overhead() {
+    let scene = Scene::build(SceneId::SponzaPbr, 0.2);
+    let gpu = GpuConfig::test_tiny();
+    let run = |telemetry: Telemetry, counter_interval: u64| {
+        let f = scene.render(96, 54, false, GRAPHICS_STREAM);
+        let compute = vio(crisp_core::COMPUTE_STREAM, ComputeScale::tiny());
+        let spec = PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, crisp_core::COMPUTE_STREAM);
+        let mut b = Simulation::builder()
+            .gpu(gpu.clone())
+            .partition(spec)
+            .telemetry(telemetry)
+            .trace(crisp_core::concurrent_bundle(f.trace, compute));
+        if counter_interval > 0 {
+            b = b.counter_interval(counter_interval);
+        }
+        b.run().cycles
+    };
+    bench("telemetry/none", 1, 5, || run(Telemetry::NONE, 0));
+    bench("telemetry/full", 1, 5, || run(Telemetry::FULL, 500));
+}
+
 fn main() {
     println!("{:<28} {:>15} {:>17}", "benchmark", "time", "throughput");
     bench_cache();
@@ -156,4 +182,5 @@ fn main() {
     bench_batching();
     bench_codec();
     bench_end_to_end();
+    bench_telemetry_overhead();
 }

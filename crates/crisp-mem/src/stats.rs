@@ -95,6 +95,23 @@ impl MemStats {
         t
     }
 
+    /// Grand totals — alias of [`MemStats::total`] under the name exporters
+    /// use.
+    pub fn totals(&self) -> ClassStreamCounters {
+        self.total()
+    }
+
+    /// Every `(stream, class)` key with recorded traffic, in key order.
+    pub fn keys(&self) -> impl Iterator<Item = (StreamId, DataClass)> + '_ {
+        self.by_key.keys().copied()
+    }
+
+    /// Every `((stream, class), counters)` entry, in key order — lets
+    /// exporters walk the table without reaching into the private map.
+    pub fn iter(&self) -> impl Iterator<Item = ((StreamId, DataClass), ClassStreamCounters)> + '_ {
+        self.by_key.iter().map(|(k, c)| (*k, *c))
+    }
+
     /// Merge another stats object into this one.
     pub fn merge(&mut self, other: &MemStats) {
         for (k, c) in &other.by_key {
@@ -224,6 +241,23 @@ mod tests {
         assert_eq!(s.class_total(DataClass::Compute).accesses, 1);
         assert_eq!(s.total().accesses, 3);
         assert_eq!(s.total().hits, 2);
+        assert_eq!(s.totals(), s.total());
+    }
+
+    #[test]
+    fn keys_and_iter_walk_in_key_order() {
+        let mut s = MemStats::new();
+        s.record(StreamId(1), DataClass::Compute, true);
+        s.record(StreamId(0), DataClass::Texture, false);
+        s.record(StreamId(0), DataClass::Pipeline, true);
+        let keys: Vec<_> = s.keys().collect();
+        assert_eq!(keys.len(), 3);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted by key");
+        let summed: u64 = s.iter().map(|(_, c)| c.accesses).sum();
+        assert_eq!(summed, s.totals().accesses);
+        assert!(s
+            .iter()
+            .any(|((st, cl), c)| st == StreamId(0) && cl == DataClass::Texture && c.misses == 1));
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Chrome Trace Event Format export.
+//!
+//! Emits the JSON object form (`{"traceEvents": [...]}`) understood by
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`:
+//!
+//! * spans → `"ph": "X"` complete events (`ts`/`dur` in simulated cycles,
+//!   nominally microseconds to the viewer),
+//! * instants → `"ph": "i"` events,
+//! * counter samples → `"ph": "C"` counter tracks,
+//! * track naming → `"ph": "M"` `thread_name` metadata, so streams read as
+//!   `stream0`, SMs as `sm3`.
+//!
+//! Output order is fully determined by the [`TraceLog`] (metadata sorted by
+//! track, then spans in merge order, instants, counters), so two logs that
+//! compare equal export byte-identical JSON.
+
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+
+use crate::span::{TraceLog, Track};
+
+/// (pid, tid) coordinates of a track in the exported trace.
+fn track_ids(t: Track) -> (u32, u32) {
+    match t {
+        Track::Gpu => (0, 0),
+        Track::Stream(s) => (0, 1 + s),
+        Track::Sm(i) => (0, 1000 + i),
+    }
+}
+
+fn track_name(t: Track) -> String {
+    match t {
+        Track::Gpu => "gpu".to_string(),
+        Track::Stream(s) => format!("stream{s}"),
+        Track::Sm(i) => format!("sm{i}"),
+    }
+}
+
+/// Escape a string for a JSON string literal (without the quotes).
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number (non-finite values clamp to 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Serialize `log` as a Chrome Trace Event Format JSON string.
+pub fn chrome_trace_string(log: &TraceLog) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(log, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// Write `log` as Chrome Trace Event Format JSON.
+pub fn write_chrome_trace(log: &TraceLog, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let mut sep = |w: &mut dyn Write| -> io::Result<()> {
+        if first {
+            first = false;
+            Ok(())
+        } else {
+            w.write_all(b",\n")
+        }
+    };
+
+    // Track-name metadata, sorted by track for stable output.
+    let mut tracks: BTreeSet<Track> = BTreeSet::new();
+    for s in log.spans() {
+        tracks.insert(s.track);
+    }
+    for i in log.instants() {
+        tracks.insert(i.track);
+    }
+    if !log.counters().is_empty() {
+        tracks.insert(Track::Gpu);
+    }
+    for t in &tracks {
+        let (pid, tid) = track_ids(*t);
+        sep(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+            json_str(&track_name(*t)),
+        )?;
+    }
+
+    for s in log.spans() {
+        let (pid, tid) = track_ids(s.track);
+        sep(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":{},\"cat\":{}",
+            s.start,
+            s.dur,
+            json_str(&s.name),
+            json_str(s.cat),
+        )?;
+        if !s.args.is_empty() {
+            w.write_all(b",\"args\":{")?;
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "{}:{}", json_str(k), json_str(v))?;
+            }
+            w.write_all(b"}")?;
+        }
+        w.write_all(b"}")?;
+    }
+
+    for i in log.instants() {
+        let (pid, tid) = track_ids(i.track);
+        sep(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":{},\"cat\":{}}}",
+            i.at,
+            json_str(&i.name),
+            json_str(i.cat),
+        )?;
+    }
+
+    // Counter tracks hang off the GPU process.
+    for c in log.counters() {
+        sep(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"C\",\"pid\":0,\"ts\":{},\"name\":{},\"args\":{{\"value\":{}}}}}",
+            c.cycle,
+            json_str(&c.name),
+            json_num(c.value),
+        )?;
+    }
+
+    w.write_all(b"]}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::TraceRecorder;
+
+    fn sample_log() -> TraceLog {
+        let mut r = TraceRecorder::new(2, true, true);
+        r.kernel_span(0, "vs \"quoted\"\n", 0, 100, 4);
+        r.cta_issued(0, 1, 0, 3, 5);
+        r.cta_committed(0, 42);
+        r.marker(0, "draw0", 0);
+        r.counter(50, "l2/hit_rate", 0.5);
+        r.counter(100, "bad", f64::NAN);
+        r.finish(100)
+    }
+
+    #[test]
+    fn export_is_valid_json() {
+        let s = chrome_trace_string(&sample_log());
+        json::validate(&s).expect("exporter must emit well-formed JSON");
+        assert!(s.contains("\"traceEvents\""));
+        assert!(s.contains("thread_name"));
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.contains("\"value\":0"), "NaN clamps to 0");
+    }
+
+    #[test]
+    fn empty_log_is_valid_json() {
+        let s = chrome_trace_string(&TraceLog::default());
+        json::validate(&s).expect("empty trace still valid");
+    }
+
+    #[test]
+    fn equal_logs_export_identical_bytes() {
+        assert_eq!(
+            chrome_trace_string(&sample_log()),
+            chrome_trace_string(&sample_log())
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! CSV exporters: counter time-series and registry snapshots.
+//!
+//! Fields that could contain commas or quotes (names, label strings) are
+//! double-quote escaped per RFC 4180; numeric fields are emitted bare.
+
+use std::io::{self, Write};
+
+use crate::registry::{MetricValue, MetricsSnapshot};
+use crate::span::TraceLog;
+
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Write the counter time-series of `log` as `cycle,counter,value` rows.
+pub fn write_counters_csv(log: &TraceLog, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "cycle,counter,value")?;
+    for c in log.counters() {
+        writeln!(w, "{},{},{}", c.cycle, field(&c.name), num(c.value))?;
+    }
+    Ok(())
+}
+
+/// Serialize the counter time-series as a CSV string.
+pub fn counters_csv_string(log: &TraceLog) -> String {
+    let mut buf = Vec::new();
+    write_counters_csv(log, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// Write a registry snapshot as `metric,labels,kind,value` rows
+/// (histograms flatten to their count/sum/min/mean/max).
+pub fn write_metrics_csv(metrics: &MetricsSnapshot, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "metric,labels,kind,value")?;
+    for (name, labels, v) in metrics.iter() {
+        let labels = field(&labels.to_string());
+        match v {
+            MetricValue::Counter(c) => {
+                writeln!(w, "{},{labels},counter,{c}", field(name))?;
+            }
+            MetricValue::Gauge(g) => {
+                writeln!(w, "{},{labels},gauge,{}", field(name), num(*g))?;
+            }
+            MetricValue::Histogram(h) => {
+                writeln!(w, "{},{labels},hist_count,{}", field(name), h.count())?;
+                writeln!(w, "{},{labels},hist_sum,{}", field(name), h.sum())?;
+                writeln!(w, "{},{labels},hist_min,{}", field(name), h.min())?;
+                writeln!(w, "{},{labels},hist_mean,{}", field(name), num(h.mean()))?;
+                writeln!(w, "{},{labels},hist_max,{}", field(name), h.max())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serialize a registry snapshot as a CSV string.
+pub fn metrics_csv_string(metrics: &MetricsSnapshot) -> String {
+    let mut buf = Vec::new();
+    write_metrics_csv(metrics, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Labels, MetricRegistry};
+    use crate::span::TraceRecorder;
+
+    #[test]
+    fn counters_csv_rows() {
+        let mut r = TraceRecorder::new(1, false, true);
+        r.counter(0, "a,b", 1.5);
+        r.counter(10, "plain", 2.0);
+        let csv = counters_csv_string(&r.finish(10));
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "cycle,counter,value");
+        assert_eq!(lines[1], "0,\"a,b\",1.5");
+        assert_eq!(lines[2], "10,plain,2");
+    }
+
+    #[test]
+    fn metrics_csv_covers_all_kinds() {
+        let mut reg = MetricRegistry::new();
+        reg.counter_add("c", Labels::new().with("sm", 1), 7);
+        reg.gauge_set("g", Labels::new(), 0.5);
+        reg.observe("h", Labels::new(), 4);
+        let csv = metrics_csv_string(&reg.snapshot());
+        assert!(csv.contains("c,{sm=1},counter,7"));
+        assert!(csv.contains("g,,gauge,0.5"));
+        assert!(csv.contains("h,,hist_count,1"));
+        assert!(csv.contains("h,,hist_sum,4"));
+    }
+}

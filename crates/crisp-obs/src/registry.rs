@@ -1,0 +1,396 @@
+//! The hierarchical metric registry: counters, gauges, and histograms keyed
+//! by name + sorted labels, with a deterministic (BTree-ordered) snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sorted set of `key=value` labels qualifying a metric.
+///
+/// Labels are kept sorted by key, so two label sets built in different
+/// orders compare equal and iterate identically — a prerequisite for
+/// byte-identical exports.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    /// The empty label set.
+    pub fn new() -> Self {
+        Labels::default()
+    }
+
+    /// Add (or replace) one label. Chainable:
+    /// `Labels::new().with("sm", 3).with("stream", 0)`.
+    pub fn with(mut self, key: &str, value: impl fmt::Display) -> Self {
+        let value = value.to_string();
+        match self.0.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.0[i].1 = value,
+            Err(i) => self.0.insert(i, (key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.0[i].1.as_str())
+    }
+
+    /// Iterate labels in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Whether no labels are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Labels {
+    /// Renders as `{k1=v1,k2=v2}` (empty string when no labels).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return Ok(());
+        }
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A power-of-two-bucketed histogram over `u64` observations.
+///
+/// Bucket `i` counts values whose bit length is `i` (value 0 lands in
+/// bucket 0), giving log-scaled resolution from 1 to `u64::MAX` in 65
+/// buckets with O(1) observation cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[(u64::BITS - v.leading_zeros()) as usize] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in [0, 1]: the upper bound of the bucket
+    /// containing the `q`-th observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^i - 1 (bucket 0 holds only 0).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 }.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One recorded metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time value.
+    Gauge(f64),
+    /// Distribution of `u64` observations (boxed: the bucket array would
+    /// otherwise dwarf the scalar variants).
+    Histogram(Box<Histogram>),
+}
+
+/// The writable registry. Collect during / after a run, then freeze with
+/// [`MetricRegistry::snapshot`].
+///
+/// Mixing kinds under one `(name, labels)` key is a programming error and
+/// panics in debug builds; release builds let the first kind win.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricRegistry {
+    metrics: BTreeMap<(String, Labels), MetricValue>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    /// Add `v` to the counter `name{labels}` (creating it at 0).
+    pub fn counter_add(&mut self, name: &str, labels: Labels, v: u64) {
+        match self
+            .metrics
+            .entry((name.to_string(), labels))
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += v,
+            other => debug_assert!(false, "{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set the gauge `name{labels}`.
+    pub fn gauge_set(&mut self, name: &str, labels: Labels, v: f64) {
+        self.metrics
+            .insert((name.to_string(), labels), MetricValue::Gauge(v));
+    }
+
+    /// Record one observation into the histogram `name{labels}`.
+    pub fn observe(&mut self, name: &str, labels: Labels, v: u64) {
+        match self
+            .metrics
+            .entry((name.to_string(), labels))
+            .or_insert_with(|| MetricValue::Histogram(Box::default()))
+        {
+            MetricValue::Histogram(h) => h.observe(v),
+            other => debug_assert!(false, "{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Freeze into an immutable snapshot.
+    pub fn snapshot(self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// An immutable, deterministically-ordered view of a finished registry.
+/// This is what [`SimResult`](../../crisp_sim/struct.SimResult.html)-level
+/// consumers and exporters read.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    metrics: BTreeMap<(String, Labels), MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The counter `name{labels}`, if recorded.
+    pub fn counter(&self, name: &str, labels: &Labels) -> Option<u64> {
+        match self.metrics.get(&(name.to_string(), labels.clone()))? {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name{labels}`, if recorded.
+    pub fn gauge(&self, name: &str, labels: &Labels) -> Option<f64> {
+        match self.metrics.get(&(name.to_string(), labels.clone()))? {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name{labels}`, if recorded.
+    pub fn histogram(&self, name: &str, labels: &Labels) -> Option<&Histogram> {
+        match self.metrics.get(&(name.to_string(), labels.clone()))? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter named `name`, over all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.series(name)
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// All `(labels, value)` entries of the metric `name`, in label order.
+    pub fn series<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a Labels, &'a MetricValue)> {
+        self.metrics
+            .range((name.to_string(), Labels::new())..)
+            .take_while(move |((n, _), _)| n == name)
+            .map(|((_, l), v)| (l, v))
+    }
+
+    /// Every metric, ordered by `(name, labels)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Labels, &MetricValue)> {
+        self.metrics.iter().map(|((n, l), v)| (n.as_str(), l, v))
+    }
+
+    /// Number of distinct `(name, labels)` entries.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// A plain-text listing (one `name{labels} value` line per metric) —
+    /// the debugging / diffing format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, labels, v) in self.iter() {
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{name}{labels} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{labels} {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{labels} count={} sum={} min={} mean={:.1} p95~{} max={}",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.mean(),
+                        h.quantile(0.95),
+                        h.max(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_and_dedup() {
+        let a = Labels::new().with("stream", 1).with("sm", 2);
+        let b = Labels::new().with("sm", 2).with("stream", 1);
+        assert_eq!(a, b);
+        let c = a.clone().with("sm", 9);
+        assert_eq!(c.get("sm"), Some("9"));
+        assert_eq!(c.get("stream"), Some("1"));
+        assert_eq!(a.to_string(), "{sm=2,stream=1}");
+        assert_eq!(Labels::new().to_string(), "");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricRegistry::new();
+        let l = Labels::new().with("sm", 0);
+        r.counter_add("sm/issued", l.clone(), 5);
+        r.counter_add("sm/issued", l.clone(), 7);
+        r.counter_add("sm/issued", Labels::new().with("sm", 1), 3);
+        let s = r.snapshot();
+        assert_eq!(s.counter("sm/issued", &l), Some(12));
+        assert_eq!(s.counter_total("sm/issued"), 15);
+        assert_eq!(s.series("sm/issued").count(), 2);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = MetricRegistry::new();
+        r.gauge_set("ipc", Labels::new(), 1.0);
+        r.gauge_set("ipc", Labels::new(), 2.5);
+        assert_eq!(r.snapshot().gauge("ipc", &Labels::new()), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+        assert!(h.quantile(0.5) >= 3);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+        assert_eq!(Histogram::default().min(), 0);
+    }
+
+    #[test]
+    fn snapshot_orders_deterministically() {
+        let mut a = MetricRegistry::new();
+        a.counter_add("b", Labels::new(), 1);
+        a.counter_add("a", Labels::new().with("x", 1), 2);
+        let mut b = MetricRegistry::new();
+        b.counter_add("a", Labels::new().with("x", 1), 2);
+        b.counter_add("b", Labels::new(), 1);
+        assert_eq!(a.snapshot().to_text(), b.snapshot().to_text());
+    }
+
+    #[test]
+    fn series_does_not_leak_prefix_names() {
+        let mut r = MetricRegistry::new();
+        r.counter_add("sm", Labels::new(), 1);
+        r.counter_add("sm/issued", Labels::new(), 2);
+        let s = r.snapshot();
+        assert_eq!(s.counter_total("sm"), 1);
+        assert_eq!(s.counter_total("sm/issued"), 2);
+    }
+}

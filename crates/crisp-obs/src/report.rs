@@ -1,0 +1,199 @@
+//! Human-readable end-of-run profile report.
+//!
+//! The report is assembled purely from a [`MetricsSnapshot`] and a
+//! [`TraceLog`], using the metric names the simulator records
+//! (`sim/cycles`, `sm/instructions{sm=..}`, `sm/stall/<cause>{sm=..}`,
+//! `l1/hits`, `l2/hits`, …). Sections whose inputs are absent are skipped,
+//! so the report degrades gracefully when only part of the telemetry was
+//! enabled.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Labels, MetricValue, MetricsSnapshot};
+use crate::span::TraceLog;
+
+/// Stall-cause metric suffixes, in report order.
+const STALL_CAUSES: &[(&str, &str)] = &[
+    ("sm/stall/scoreboard", "scoreboard dep"),
+    ("sm/stall/mem_pending", "memory pending"),
+    ("sm/stall/mshr_full", "MSHR full"),
+    ("sm/stall/pipe_busy", "exec pipe busy"),
+    ("sm/stall/barrier", "barrier wait"),
+];
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Counters of `name` grouped as `(label value of `key`, count)` in label
+/// order, e.g. per-stream or per-SM series.
+fn by_label<'a>(
+    metrics: &'a MetricsSnapshot,
+    name: &'a str,
+    key: &'a str,
+) -> impl Iterator<Item = (&'a str, u64)> {
+    metrics.series(name).filter_map(move |(l, v)| match v {
+        MetricValue::Counter(c) => Some((l.get(key).unwrap_or("?"), *c)),
+        _ => None,
+    })
+}
+
+/// Render the end-of-run profile report.
+pub fn profile_report(metrics: &MetricsSnapshot, log: &TraceLog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== CRISP profile report ===");
+
+    // --- Totals -----------------------------------------------------------
+    let cycles = metrics.gauge("sim/cycles", &Labels::new()).unwrap_or(0.0);
+    let instructions = metrics.counter_total("sm/instructions");
+    if cycles > 0.0 {
+        let _ = writeln!(
+            out,
+            "cycles: {cycles:.0}   instructions: {instructions}   ipc: {:.3}",
+            instructions as f64 / cycles
+        );
+    }
+
+    // --- Per-stream work --------------------------------------------------
+    let streams: Vec<_> = by_label(metrics, "stream/instructions", "stream").collect();
+    if !streams.is_empty() {
+        let _ = writeln!(out, "\n-- per-stream --");
+        let _ = writeln!(out, "{:<8} {:>14} {:>8}", "stream", "instructions", "share");
+        for (stream, n) in &streams {
+            let _ = writeln!(out, "{stream:<8} {n:>14} {:>7.1}%", pct(*n, instructions));
+        }
+    }
+
+    // --- Stall causes -----------------------------------------------------
+    let blocked: u64 = STALL_CAUSES
+        .iter()
+        .map(|(name, _)| metrics.counter_total(name))
+        .sum();
+    if blocked > 0 {
+        let _ = writeln!(out, "\n-- stall causes ({blocked} blocked slots) --");
+        for (name, label) in STALL_CAUSES {
+            let n = metrics.counter_total(name);
+            if n > 0 {
+                let _ = writeln!(out, "{label:<16} {n:>12} {:>6.1}%", pct(n, blocked));
+            }
+        }
+    }
+
+    // --- Per-SM imbalance -------------------------------------------------
+    let per_sm: Vec<_> = by_label(metrics, "sm/instructions", "sm").collect();
+    if per_sm.len() > 1 {
+        let max = per_sm.iter().map(|(_, n)| *n).max().unwrap_or(0);
+        let min = per_sm.iter().map(|(_, n)| *n).min().unwrap_or(0);
+        let mean = per_sm.iter().map(|(_, n)| *n).sum::<u64>() as f64 / per_sm.len() as f64;
+        let _ = writeln!(
+            out,
+            "\n-- SM balance ({} SMs) --\ninstructions/SM: min={min} mean={mean:.0} max={max} (max/min {})",
+            per_sm.len(),
+            if min == 0 {
+                "inf".to_string()
+            } else {
+                format!("{:.2}", max as f64 / min as f64)
+            }
+        );
+    }
+
+    // --- Cache hit rates --------------------------------------------------
+    for (level, hits_name, miss_name) in [
+        ("L1", "l1/hits", "l1/misses"),
+        ("L2", "l2/hits", "l2/misses"),
+    ] {
+        let hits = metrics.counter_total(hits_name);
+        let misses = metrics.counter_total(miss_name);
+        if hits + misses > 0 {
+            let _ = writeln!(
+                out,
+                "{level} accesses: {} hit rate: {:.1}%",
+                hits + misses,
+                pct(hits, hits + misses)
+            );
+        }
+    }
+
+    // --- Top kernels by duration -----------------------------------------
+    let mut kernels: Vec<_> = log.spans().filter(|s| s.cat == "kernel").collect();
+    if !kernels.is_empty() {
+        // Stable tie-break on (start, name) keeps the listing deterministic.
+        kernels.sort_by(|a, b| {
+            b.dur
+                .cmp(&a.dur)
+                .then(a.start.cmp(&b.start))
+                .then(a.name.cmp(&b.name))
+        });
+        let shown = kernels.len().min(10);
+        let _ = writeln!(
+            out,
+            "\n-- top kernels by duration ({shown} of {}) --",
+            kernels.len()
+        );
+        for k in kernels.iter().take(shown) {
+            let stream = match k.track {
+                crate::span::Track::Stream(s) => s.to_string(),
+                _ => "?".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} stream{stream:<3} start={:<10} dur={}",
+                k.name, k.start, k.dur
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+    use crate::span::TraceRecorder;
+
+    #[test]
+    fn report_covers_all_sections() {
+        let mut reg = MetricRegistry::new();
+        reg.gauge_set("sim/cycles", Labels::new(), 1000.0);
+        for sm in 0..2u32 {
+            let l = Labels::new().with("sm", sm);
+            reg.counter_add("sm/instructions", l.clone(), 400 + sm as u64 * 100);
+            reg.counter_add("sm/stall/scoreboard", l.clone(), 50);
+            reg.counter_add("sm/stall/mshr_full", l, 10);
+        }
+        reg.counter_add("stream/instructions", Labels::new().with("stream", 0), 600);
+        reg.counter_add("stream/instructions", Labels::new().with("stream", 1), 300);
+        reg.counter_add("l2/hits", Labels::new(), 75);
+        reg.counter_add("l2/misses", Labels::new(), 25);
+
+        let mut rec = TraceRecorder::new(1, true, false);
+        rec.kernel_span(0, "vs_main", 0, 800, 16);
+        rec.kernel_span(1, "matmul", 100, 1000, 32);
+
+        let report = profile_report(&reg.snapshot(), &rec.finish(1000));
+        assert!(report.contains("ipc: 0.900"));
+        assert!(report.contains("scoreboard dep"));
+        assert!(
+            report.contains("83.3%"),
+            "scoreboard share of blocked slots"
+        );
+        assert!(report.contains("min=400 mean=450 max=500"));
+        assert!(report.contains("L2 accesses: 100 hit rate: 75.0%"));
+        assert!(report.contains("matmul"));
+        let matmul = report.find("matmul").unwrap();
+        let vs = report.find("vs_main").unwrap();
+        assert!(matmul < vs, "kernels sorted by duration descending");
+    }
+
+    #[test]
+    fn empty_inputs_yield_header_only() {
+        let report = profile_report(&MetricsSnapshot::default(), &TraceLog::default());
+        assert!(report.starts_with("=== CRISP profile report ==="));
+        assert_eq!(report.lines().count(), 1);
+    }
+}

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use crisp_mem::{BankMap, CompositionSnapshot, MemStats, MemSystem, SetPartition, TapController};
+use crisp_obs::{Labels, MetricRegistry, MetricsSnapshot, TraceLog, TraceRecorder};
 use crisp_sm::{CtaResources, CtaWork, ResourceQuota, Sm, StallBreakdown};
 use crisp_trace::{Command, KernelTrace, StreamId, StreamKind, TraceBundle};
 
@@ -73,9 +74,17 @@ pub struct SimResult {
     /// Instructions each SM issued per stream (index = SM id) — the
     /// spatial view of the partition (which SMs actually ran what).
     pub per_sm_instructions: Vec<BTreeMap<StreamId, u64>>,
-    /// Scheduler-slot accounting summed over all SMs: how many issue slots
-    /// issued, were blocked (hazards/backpressure), or had no warps.
-    pub stalls: StallBreakdown,
+    /// Scheduler-slot accounting per SM (index = SM id), including the
+    /// stall-cause breakdown. [`SimResult::stalls`] derives the aggregate.
+    pub per_sm_stalls: Vec<StallBreakdown>,
+    /// The unified metric registry snapshot: every counter the run
+    /// produced, keyed by `sm` / `stream` / `class` labels. Always
+    /// populated (built once at end of run from final state).
+    pub metrics: MetricsSnapshot,
+    /// The span/counter timeline. Empty unless
+    /// [`Telemetry::TIMELINE`](crate::Telemetry::TIMELINE) or
+    /// [`Telemetry::METRICS`](crate::Telemetry::METRICS) was enabled.
+    pub timeline: TraceLog,
 }
 
 /// Marker label that clears memory-hierarchy statistics when consumed —
@@ -98,6 +107,54 @@ impl SimResult {
             .map(|s| s.stats.finish_cycle)
             .max()
             .unwrap_or(self.cycles)
+    }
+
+    /// Scheduler-slot accounting summed over all SMs (the aggregate view of
+    /// [`per_sm_stalls`](Self::per_sm_stalls)).
+    pub fn stalls(&self) -> StallBreakdown {
+        let mut total = StallBreakdown::default();
+        for s in &self.per_sm_stalls {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// The run's timeline as Chrome Trace Event Format JSON — load it at
+    /// <https://ui.perfetto.dev> or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        crisp_obs::chrome::chrome_trace_string(&self.timeline)
+    }
+
+    /// The sampled counter series as `cycle,counter,value` CSV.
+    pub fn counters_csv(&self) -> String {
+        crisp_obs::csv::counters_csv_string(&self.timeline)
+    }
+
+    /// The metric registry snapshot as `metric,labels,kind,value` CSV.
+    pub fn metrics_csv(&self) -> String {
+        crisp_obs::csv::metrics_csv_string(&self.metrics)
+    }
+
+    /// The human-readable end-of-run profile report.
+    pub fn profile_report(&self) -> String {
+        crisp_obs::report::profile_report(&self.metrics, &self.timeline)
+    }
+
+    /// Write every profile artifact into `dir` (created if missing):
+    /// `trace.json`, `counters.csv`, `metrics.csv`, `profile.txt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or writing
+    /// the files.
+    pub fn write_profile(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("trace.json"), self.chrome_trace_json())?;
+        std::fs::write(dir.join("counters.csv"), self.counters_csv())?;
+        std::fs::write(dir.join("metrics.csv"), self.metrics_csv())?;
+        std::fs::write(dir.join("profile.txt"), self.profile_report())?;
+        Ok(())
     }
 
     /// A compact human-readable summary of the run.
@@ -213,7 +270,19 @@ pub struct GpuSim {
     pub occupancy_interval: u64,
     /// Cycles between L2 composition snapshots (0 = final only).
     pub composition_interval: u64,
+    /// Cycles between counter samples in the trace (0 = off).
+    pub counter_interval: u64,
     composition_timeline: Vec<(u64, CompositionSnapshot)>,
+    /// Span/counter recorder; `None` (the default) keeps the hot path free
+    /// of any recording work.
+    recorder: Option<TraceRecorder>,
+    /// Previous cumulative values behind the sampled counter deltas.
+    /// Separate from `last_issued_snapshot` so counter sampling never
+    /// perturbs the `ipc_timeline` windows.
+    counter_prev_issued: BTreeMap<StreamId, u64>,
+    counter_prev_dram: BTreeMap<StreamId, u64>,
+    counter_prev_l1: (u64, u64),
+    counter_prev_l2: (u64, u64),
     cta_seq: u64,
     last_progress: u64,
     rr_offset: usize,
@@ -252,7 +321,13 @@ impl GpuSim {
             last_issued_snapshot: BTreeMap::new(),
             occupancy_interval: 2_000,
             composition_interval: 0,
+            counter_interval: 0,
             composition_timeline: Vec::new(),
+            recorder: None,
+            counter_prev_issued: BTreeMap::new(),
+            counter_prev_dram: BTreeMap::new(),
+            counter_prev_l1: (0, 0),
+            counter_prev_l2: (0, 0),
             cta_seq: 0,
             last_progress: 0,
             rr_offset: 0,
@@ -345,6 +420,18 @@ impl GpuSim {
         self.threads = threads.max(1);
     }
 
+    /// Install (or drop) the span/counter recorder. The builder calls this
+    /// from its `telemetry` flags; directly-constructed `GpuSim`s keep
+    /// recording off. All recording happens on the driving thread, so the
+    /// timeline is bit-identical at any worker-thread count.
+    pub fn set_telemetry(&mut self, spans: bool, counters: bool) {
+        self.recorder = if spans || counters {
+            Some(TraceRecorder::new(self.sms.len(), spans, counters))
+        } else {
+            None
+        };
+    }
+
     /// Run to completion.
     ///
     /// # Panics
@@ -432,6 +519,9 @@ impl GpuSim {
             self.last_progress = now;
         }
         for commit in out.commits {
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.cta_committed(commit.seq, now);
+            }
             let stats = self.stats.get_mut(&commit.stream).expect("registered");
             stats.ctas += 1;
             let st = self
@@ -447,6 +537,15 @@ impl GpuSim {
             if done {
                 let r = st.current.take().expect("running kernel");
                 stats.kernels += 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.kernel_span(
+                        commit.stream.0,
+                        &r.kernel.name,
+                        r.start_cycle,
+                        now,
+                        r.kernel.grid() as u64,
+                    );
+                }
                 self.kernel_log.push(KernelRecord {
                     stream: commit.stream,
                     name: r.kernel.name.clone(),
@@ -479,6 +578,77 @@ impl GpuSim {
             self.composition_timeline
                 .push((now, self.mem.l2_composition()));
         }
+        if self.counter_interval > 0
+            && now > 0
+            && now.is_multiple_of(self.counter_interval)
+            && self
+                .recorder
+                .as_ref()
+                .is_some_and(TraceRecorder::records_counters)
+        {
+            self.sample_counters(now, sms);
+        }
+    }
+
+    /// Sample the counter series into the trace: per-stream IPC and DRAM
+    /// traffic, plus windowed L1/L2 hit rates. Deltas use `saturating_sub`
+    /// because [`CLEAR_STATS_MARKER`] can reset the underlying cumulative
+    /// statistics mid-run.
+    fn sample_counters(&mut self, now: u64, sms: &[&mut Sm]) {
+        let interval = self.counter_interval as f64;
+        let mut samples: Vec<(String, f64)> = Vec::new();
+        for st in &self.streams {
+            let total: u64 = sms.iter().map(|sm| sm.issued_for(st.id)).sum();
+            let prev = self.counter_prev_issued.insert(st.id, total).unwrap_or(0);
+            samples.push((
+                format!("{}/ipc", st.id),
+                total.saturating_sub(prev) as f64 / interval,
+            ));
+            let dram = self.mem.dram_bytes(st.id);
+            let prev = self.counter_prev_dram.insert(st.id, dram).unwrap_or(0);
+            samples.push((
+                format!("{}/dram_bytes", st.id),
+                dram.saturating_sub(prev) as f64,
+            ));
+        }
+        let mut l1 = (0u64, 0u64);
+        for sm in sms.iter() {
+            let t = sm.port().stats().totals();
+            l1.0 += t.accesses;
+            l1.1 += t.hits;
+        }
+        let window = (
+            l1.0.saturating_sub(self.counter_prev_l1.0),
+            l1.1.saturating_sub(self.counter_prev_l1.1),
+        );
+        self.counter_prev_l1 = l1;
+        samples.push((
+            "l1/hit_rate".to_string(),
+            if window.0 == 0 {
+                0.0
+            } else {
+                window.1 as f64 / window.0 as f64
+            },
+        ));
+        let t = self.mem.l2_stats_total().totals();
+        let l2 = (t.accesses, t.hits);
+        let window = (
+            l2.0.saturating_sub(self.counter_prev_l2.0),
+            l2.1.saturating_sub(self.counter_prev_l2.1),
+        );
+        self.counter_prev_l2 = l2;
+        samples.push((
+            "l2/hit_rate".to_string(),
+            if window.0 == 0 {
+                0.0
+            } else {
+                window.1 as f64 / window.0 as f64
+            },
+        ));
+        let rec = self.recorder.as_mut().expect("caller checked recorder");
+        for (name, v) in samples {
+            rec.counter(now, name, v);
+        }
     }
 
     /// Pop markers and begin the next kernel of each idle stream.
@@ -510,6 +680,9 @@ impl GpuSim {
                 };
                 match cmd {
                     Command::Marker(label) => {
+                        if let Some(rec) = self.recorder.as_mut() {
+                            rec.marker(self.streams[si].id.0, &label, now);
+                        }
                         if label == CLEAR_STATS_MARKER {
                             self.mem.clear_stats();
                             for sm in sms.iter_mut() {
@@ -548,6 +721,9 @@ impl GpuSim {
                         if k.grid() == 0 {
                             // Empty launch completes instantly.
                             self.stats.get_mut(&id).expect("registered").kernels += 1;
+                            if let Some(rec) = self.recorder.as_mut() {
+                                rec.kernel_span(id.0, &k.name, now, now, 0);
+                            }
                             self.kernel_log.push(KernelRecord {
                                 stream: id,
                                 name: k.name,
@@ -589,7 +765,7 @@ impl GpuSim {
     }
 
     /// Issue at most one CTA per SM per cycle, honouring the partition.
-    fn issue_ctas(&mut self, _now: u64, sms: &mut [&mut Sm]) {
+    fn issue_ctas(&mut self, now: u64, sms: &mut [&mut Sm]) {
         let n_streams = self.streams.len();
         if n_streams == 0 {
             return;
@@ -627,16 +803,21 @@ impl GpuSim {
                 if !sms[sm_id].fits(id, res, quota) {
                     continue;
                 }
+                let seq = self.cta_seq;
+                let cta_index = running.next_cta;
                 let work = CtaWork {
                     stream: id,
                     kernel: running.kernel.clone(),
-                    cta_index: running.next_cta,
-                    seq: self.cta_seq,
+                    cta_index,
+                    seq,
                 };
                 self.cta_seq += 1;
                 running.next_cta += 1;
                 running.outstanding += 1;
                 sms[sm_id].launch_cta(work);
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.cta_issued(seq, sm_id as u32, id.0, cta_index, now);
+                }
                 self.last_progress = self.now;
                 break; // one CTA per SM per cycle
             }
@@ -889,13 +1070,7 @@ impl GpuSim {
                     .collect()
             })
             .collect();
-        let mut stalls = StallBreakdown::default();
-        for sm in &self.sms {
-            let s = sm.stalls();
-            stalls.issued += s.issued;
-            stalls.blocked += s.blocked;
-            stalls.empty += s.empty;
-        }
+        let per_sm_stalls: Vec<StallBreakdown> = self.sms.iter().map(Sm::stalls).collect();
         let tap_allocation = match self.mem.partition() {
             SetPartition::Tap(t) => Some(t.allocation()),
             _ => None,
@@ -904,11 +1079,19 @@ impl GpuSim {
         for sm in &self.sms {
             l1_stats.merge(sm.port().stats());
         }
+        let l2_stats = self.mem.l2_stats_total();
+        let kernel_log = std::mem::take(&mut self.kernel_log);
+        let metrics = self.build_registry(&per_sm_stalls, &l1_stats, &l2_stats, &kernel_log);
+        let timeline = self
+            .recorder
+            .take()
+            .map(|r| r.finish(self.now))
+            .unwrap_or_default();
         SimResult {
             cycles: self.now,
             per_stream,
             l1_stats,
-            l2_stats: self.mem.l2_stats_total(),
+            l2_stats,
             l2_composition: self.mem.l2_composition(),
             l2_composition_timeline: std::mem::take(&mut self.composition_timeline),
             occupancy: std::mem::take(&mut self.occupancy),
@@ -919,10 +1102,63 @@ impl GpuSim {
                 .map(|s| s.history().to_vec())
                 .unwrap_or_default(),
             tap_allocation,
-            kernel_log: std::mem::take(&mut self.kernel_log),
+            kernel_log,
             per_sm_instructions,
-            stalls,
+            per_sm_stalls,
+            metrics,
+            timeline,
         }
+    }
+
+    /// Fold the run's final state into the unified metric registry. Keys
+    /// and label sets are BTree-ordered, so the snapshot (and everything
+    /// exported from it) is deterministic.
+    fn build_registry(
+        &self,
+        per_sm_stalls: &[StallBreakdown],
+        l1_stats: &MemStats,
+        l2_stats: &MemStats,
+        kernel_log: &[KernelRecord],
+    ) -> MetricsSnapshot {
+        let mut reg = MetricRegistry::new();
+        reg.gauge_set("sim/cycles", Labels::new(), self.now as f64);
+        for (i, sm) in self.sms.iter().enumerate() {
+            let l = Labels::new().with("sm", i);
+            let issued: u64 = self.stats.keys().map(|&id| sm.issued_for(id)).sum();
+            reg.counter_add("sm/instructions", l.clone(), issued);
+            let s = &per_sm_stalls[i];
+            reg.counter_add("sm/slots/issued", l.clone(), s.issued);
+            reg.counter_add("sm/slots/blocked", l.clone(), s.blocked);
+            reg.counter_add("sm/slots/empty", l.clone(), s.empty);
+            reg.counter_add("sm/stall/scoreboard", l.clone(), s.scoreboard);
+            reg.counter_add("sm/stall/mem_pending", l.clone(), s.mem_pending);
+            reg.counter_add("sm/stall/mshr_full", l.clone(), s.mshr_full);
+            reg.counter_add("sm/stall/pipe_busy", l.clone(), s.pipe_busy);
+            reg.counter_add("sm/stall/barrier", l, s.barrier);
+        }
+        for (&id, st) in &self.stats {
+            let l = Labels::new().with("stream", id.0);
+            reg.counter_add("stream/instructions", l.clone(), st.instructions);
+            reg.counter_add("stream/ctas", l.clone(), st.ctas);
+            reg.counter_add("stream/kernels", l.clone(), st.kernels);
+            reg.counter_add("dram/bytes", l, self.mem.dram_bytes(id));
+        }
+        for (level, stats) in [("l1", l1_stats), ("l2", l2_stats)] {
+            for ((stream, class), c) in stats.iter() {
+                let l = Labels::new()
+                    .with("stream", stream.0)
+                    .with("class", format!("{class:?}"));
+                reg.counter_add(&format!("{level}/accesses"), l.clone(), c.accesses);
+                reg.counter_add(&format!("{level}/hits"), l.clone(), c.hits);
+                reg.counter_add(&format!("{level}/misses"), l, c.misses);
+            }
+        }
+        for k in kernel_log {
+            let l = Labels::new().with("stream", k.stream.0);
+            reg.counter_add("kernel/count", l.clone(), 1);
+            reg.observe("kernel/cycles", l, k.elapsed());
+        }
+        reg.snapshot()
     }
 
     /// Direct access to the memory system (post-run inspection).
@@ -1068,8 +1304,9 @@ mod tests {
         s.launch(alu_kernel("a", 50, 2, 4, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
         let r = gpu.run();
-        assert_eq!(r.stalls.issued, r.per_stream[&C].stats.instructions);
-        assert!(r.stalls.issue_efficiency() > 0.0);
+        let stalls = r.stalls();
+        assert_eq!(stalls.issued, r.per_stream[&C].stats.instructions);
+        assert!(stalls.issue_efficiency() > 0.0);
     }
 
     #[test]

@@ -43,5 +43,7 @@ pub use slicer::{SlicerConfig, WarpedSlicer};
 pub use stats::{OccupancySample, PerStreamStats};
 
 pub use crisp_mem::{MemConfig, TapConfig};
+pub use crisp_obs as obs;
+pub use crisp_obs::{Labels, MetricsSnapshot, TraceLog};
 pub use crisp_sm::{ResourceQuota, SchedulerPolicy, SmConfig, StallBreakdown};
 pub use crisp_trace::{StreamId, StreamKind, TraceBundle};

@@ -41,8 +41,19 @@ impl Telemetry {
     pub const OCCUPANCY: Telemetry = Telemetry(1);
     /// Periodic L2 composition snapshots (paper Figures 11 and 15).
     pub const COMPOSITION: Telemetry = Telemetry(2);
-    /// Everything.
-    pub const FULL: Telemetry = Telemetry(1 | 2);
+    /// Cycle-stamped span timeline: kernel launch→retire, CTA issue→commit,
+    /// stream markers. Exported via [`SimResult::chrome_trace_json`].
+    pub const TIMELINE: Telemetry = Telemetry(1 << 2);
+    /// Periodic counter sampling (per-stream IPC, cache hit rates, DRAM
+    /// traffic) into the trace, plus the counter CSV export.
+    pub const METRICS: Telemetry = Telemetry(1 << 3);
+    /// Everything — always the union of every defined flag.
+    pub const FULL: Telemetry = Telemetry(
+        Telemetry::OCCUPANCY.0
+            | Telemetry::COMPOSITION.0
+            | Telemetry::TIMELINE.0
+            | Telemetry::METRICS.0,
+    );
 
     /// Whether every flag in `other` is enabled.
     pub fn contains(self, other: Telemetry) -> bool {
@@ -91,6 +102,8 @@ pub struct SimulationBuilder {
     telemetry: Telemetry,
     occupancy_interval: Option<u64>,
     composition_interval: Option<u64>,
+    counter_interval: Option<u64>,
+    profile_to: Option<std::path::PathBuf>,
     trace: Option<TraceBundle>,
 }
 
@@ -141,6 +154,26 @@ impl SimulationBuilder {
         self
     }
 
+    /// Cycles between counter samples in the trace (default 1000 when
+    /// [`Telemetry::METRICS`] is enabled; a non-zero value here enables
+    /// counter sampling even without the flag, mirroring
+    /// [`occupancy_interval`](Self::occupancy_interval)).
+    pub fn counter_interval(mut self, cycles: u64) -> Self {
+        self.counter_interval = Some(cycles);
+        self
+    }
+
+    /// Write the run's profile artifacts into `dir` after
+    /// [`run`](Self::run): `trace.json` (Chrome Trace Event Format, load in
+    /// Perfetto), `counters.csv`, `metrics.csv`, and `profile.txt` (the
+    /// human-readable report). Equivalent to calling
+    /// [`SimResult::write_profile`] yourself; only applies to `run()`, not
+    /// [`build`](Self::build).
+    pub fn profile_to(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.profile_to = Some(dir.into());
+        self
+    }
+
     /// The workload to replay.
     pub fn trace(mut self, bundle: TraceBundle) -> Self {
         self.trace = Some(bundle);
@@ -174,6 +207,15 @@ impl SimulationBuilder {
             None if self.telemetry.contains(Telemetry::COMPOSITION) => 10_000,
             None => 0,
         };
+        sim.counter_interval = match self.counter_interval {
+            Some(cycles) => cycles,
+            None if self.telemetry.contains(Telemetry::METRICS) => 1_000,
+            None => 0,
+        };
+        sim.set_telemetry(
+            self.telemetry.contains(Telemetry::TIMELINE),
+            sim.counter_interval > 0,
+        );
         if let Some(bundle) = self.trace {
             sim.load(bundle);
         }
@@ -185,8 +227,17 @@ impl SimulationBuilder {
     /// # Panics
     ///
     /// As [`GpuSim::run`]: on an unplaceable CTA or a blown cycle budget.
-    pub fn run(self) -> SimResult {
-        self.build().run()
+    /// Additionally panics if [`profile_to`](Self::profile_to) was set and
+    /// the artifacts cannot be written.
+    pub fn run(mut self) -> SimResult {
+        let profile_dir = self.profile_to.take();
+        let result = self.build().run();
+        if let Some(dir) = profile_dir {
+            result
+                .write_profile(&dir)
+                .unwrap_or_else(|e| panic!("failed to write profile to {}: {e}", dir.display()));
+        }
+        result
     }
 }
 
@@ -222,11 +273,19 @@ mod tests {
     fn telemetry_flags_combine() {
         assert!(Telemetry::FULL.contains(Telemetry::OCCUPANCY));
         assert!(Telemetry::FULL.contains(Telemetry::COMPOSITION));
+        assert!(Telemetry::FULL.contains(Telemetry::TIMELINE));
+        assert!(Telemetry::FULL.contains(Telemetry::METRICS));
         assert!(!Telemetry::NONE.contains(Telemetry::OCCUPANCY));
+        // FULL is exactly the union of every defined flag — adding a flag
+        // without folding it into FULL is the historical bug this guards.
         assert_eq!(
-            Telemetry::OCCUPANCY | Telemetry::COMPOSITION,
+            Telemetry::OCCUPANCY
+                | Telemetry::COMPOSITION
+                | Telemetry::TIMELINE
+                | Telemetry::METRICS,
             Telemetry::FULL
         );
+        assert!(!(Telemetry::OCCUPANCY | Telemetry::COMPOSITION).contains(Telemetry::TIMELINE));
     }
 
     #[test]
@@ -239,7 +298,52 @@ mod tests {
         assert!(r.occupancy.is_empty());
         assert!(r.ipc_timeline.is_empty());
         assert!(r.l2_composition_timeline.is_empty());
+        assert!(r.timeline.is_empty(), "no spans without TIMELINE");
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn timeline_telemetry_records_spans() {
+        let r = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .telemetry(Telemetry::TIMELINE)
+            .trace(bundle())
+            .run();
+        // One kernel span + one CTA span per CTA in the grid.
+        assert!(r.timeline.span_count() >= 5, "kernel + 4 CTA spans");
+        assert!(r
+            .timeline
+            .spans()
+            .any(|s| s.cat == "kernel" && s.name == "k"));
+        let json = r.chrome_trace_json();
+        crisp_obs::json::validate(&json).expect("valid Chrome trace");
+    }
+
+    #[test]
+    fn metrics_telemetry_samples_counters() {
+        let mut w = WarpTrace::new();
+        for i in 0..400 {
+            w.push(Instr::alu(Op::FpFma, Reg((i % 8) + 1), &[]));
+        }
+        w.seal();
+        let k = KernelTrace::new("long", 64, 16, 0, vec![CtaTrace::new(vec![w; 2]); 4]);
+        let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+        s.launch(k);
+        let r = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .telemetry(Telemetry::METRICS)
+            .counter_interval(50)
+            .trace(TraceBundle::from_streams(vec![s]))
+            .run();
+        assert!(!r.timeline.counters().is_empty());
+        assert!(r
+            .timeline
+            .counters()
+            .iter()
+            .any(|c| c.name == "stream0/ipc" && c.value > 0.0));
+        let csv = r.counters_csv();
+        assert!(csv.starts_with("cycle,counter,value\n"));
+        assert!(csv.lines().count() > 1);
     }
 
     #[test]

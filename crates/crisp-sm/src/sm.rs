@@ -33,15 +33,33 @@ pub struct CycleOutput {
 }
 
 /// Why scheduler issue slots went unused (one count per scheduler-cycle).
+///
+/// `blocked` is always the sum of the five cause fields; each blocked slot
+/// is attributed to the highest-priority cause among the scheduler's
+/// resident warps (memory pending > MSHR full > scoreboard > pipe busy >
+/// barrier), so a slot waiting on both a DRAM round trip and an ALU hazard
+/// reads as a memory stall.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
     /// Slots that issued an instruction.
     pub issued: u64,
     /// No warps resident on this scheduler's slots.
     pub empty: u64,
-    /// Warps resident but all blocked (scoreboard, barrier, unit or LSU
-    /// backpressure).
+    /// Warps resident but all blocked (sum of the cause fields below).
     pub blocked: u64,
+    /// Blocked on a scoreboard hazard whose producer is an ALU/SFU op.
+    pub scoreboard: u64,
+    /// Blocked on a scoreboard hazard whose producer is an outstanding
+    /// memory load (DRAM / L2 round trip).
+    pub mem_pending: u64,
+    /// A memory instruction was ready but the LSU queue (L1 MSHR
+    /// backpressure) had no room.
+    pub mshr_full: u64,
+    /// An ALU/SFU/tensor instruction was ready but every matching exec
+    /// pipe was busy.
+    pub pipe_busy: u64,
+    /// Every live warp was parked at the CTA barrier.
+    pub barrier: u64,
 }
 
 impl StallBreakdown {
@@ -55,6 +73,30 @@ impl StallBreakdown {
             self.issued as f64 / active as f64
         }
     }
+
+    /// Accumulate `other` into `self` (aggregating per-SM breakdowns).
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.issued += other.issued;
+        self.empty += other.empty;
+        self.blocked += other.blocked;
+        self.scoreboard += other.scoreboard;
+        self.mem_pending += other.mem_pending;
+        self.mshr_full += other.mshr_full;
+        self.pipe_busy += other.pipe_busy;
+        self.barrier += other.barrier;
+    }
+}
+
+/// Highest-priority reason a blocked scheduler slot could not issue.
+/// Variant order is priority order (ascending), so `max` picks the cause
+/// to report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum StallCause {
+    Barrier,
+    PipeBusy,
+    Scoreboard,
+    MshrFull,
+    MemPending,
 }
 
 #[derive(Debug)]
@@ -321,8 +363,15 @@ impl Sm {
                 } else {
                     self.last_issued[s] = None;
                 }
-            } else if self.scheduler_has_live_warp(s) {
+            } else if let Some(cause) = self.classify_stall(s) {
                 self.stalls.blocked += 1;
+                match cause {
+                    StallCause::Barrier => self.stalls.barrier += 1,
+                    StallCause::PipeBusy => self.stalls.pipe_busy += 1,
+                    StallCause::Scoreboard => self.stalls.scoreboard += 1,
+                    StallCause::MshrFull => self.stalls.mshr_full += 1,
+                    StallCause::MemPending => self.stalls.mem_pending += 1,
+                }
             } else {
                 self.stalls.empty += 1;
             }
@@ -330,14 +379,46 @@ impl Sm {
         out
     }
 
-    /// Whether scheduler `s` has any non-exited resident warp.
-    fn scheduler_has_live_warp(&self, s: usize) -> bool {
+    /// Attribute scheduler `s`'s failure to issue: the highest-priority
+    /// cause over its live resident warps, or `None` when the scheduler has
+    /// no live warps at all (an `empty` slot).
+    ///
+    /// Runs only on blocked slots, where the old accounting already scanned
+    /// the scheduler's warps — the cause lookup rides on that same scan.
+    fn classify_stall(&self, s: usize) -> Option<StallCause> {
         let n_sched = self.cfg.schedulers as usize;
-        (s..self.warps.len()).step_by(n_sched).any(|slot| {
-            self.warps[slot]
-                .as_ref()
-                .is_some_and(|w| w.status != WarpStatus::Exited)
-        })
+        let mut cause: Option<StallCause> = None;
+        for slot in (s..self.warps.len()).step_by(n_sched) {
+            let Some(w) = self.warps[slot].as_ref() else {
+                continue;
+            };
+            let c = match w.status {
+                WarpStatus::Exited => continue,
+                WarpStatus::AtBarrier => StallCause::Barrier,
+                WarpStatus::Ready => {
+                    let Some(instr) = w.next_instr() else {
+                        continue;
+                    };
+                    if w.scoreboard_blocks(instr) {
+                        if w.blocked_on_mem(instr) {
+                            StallCause::MemPending
+                        } else {
+                            StallCause::Scoreboard
+                        }
+                    } else {
+                        // The warp was ready yet not picked: its structural
+                        // resource is exhausted. (Bar/Exit always issue, so
+                        // they cannot reach this arm.)
+                        match instr.op {
+                            Op::Ld(_) | Op::St(_) => StallCause::MshrFull,
+                            _ => StallCause::PipeBusy,
+                        }
+                    }
+                }
+            };
+            cause = Some(cause.map_or(c, |prev| prev.max(c)));
+        }
+        cause
     }
 
     /// Warp selection for scheduler `s`, per the configured policy.
@@ -455,7 +536,7 @@ impl Sm {
                         },
                     );
                     if let (Some(d), Some(w)) = (dst, self.warps[slot].as_mut()) {
-                        w.set_pending(d);
+                        w.set_pending_mem(d);
                     }
                 }
                 let class = if space == Space::Tex {
@@ -849,6 +930,106 @@ mod tests {
         assert_eq!(
             st.issued + st.blocked + st.empty,
             cycles * SmConfig::default().schedulers as u64
+        );
+        // And every blocked slot carries exactly one cause.
+        assert_eq!(
+            st.blocked,
+            st.scoreboard + st.mem_pending + st.mshr_full + st.pipe_busy + st.barrier
+        );
+        assert!(
+            st.scoreboard > 0,
+            "an ALU dependency chain stalls on the scoreboard"
+        );
+        assert_eq!(st.mem_pending, 0, "no memory instructions in this kernel");
+    }
+
+    #[test]
+    fn load_dependency_stalls_attribute_to_memory() {
+        let mut w = WarpTrace::new();
+        w.push(Instr::load(
+            Reg(1),
+            MemAccess::coalesced(Space::Global, DataClass::Compute, 4, 0x1000, 32),
+        ));
+        w.push(Instr::alu(Op::FpFma, Reg(2), &[Reg(1)]));
+        w.seal();
+        let k = Arc::new(KernelTrace::new(
+            "ldchain",
+            32,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ));
+        let mut sm = new_sm(SmConfig::default());
+        let mut m = mem();
+        launch(&mut sm, &k, 0, 0);
+        let _ = run_to_completion(&mut sm, &mut m, 10_000);
+        let st = sm.stalls();
+        assert!(
+            st.mem_pending > 50,
+            "the DRAM round trip dominates the wait: {st:?}"
+        );
+        assert!(
+            st.mem_pending > st.scoreboard,
+            "memory wait must not be misfiled as an ALU hazard: {st:?}"
+        );
+    }
+
+    #[test]
+    fn barrier_waits_attribute_to_barrier() {
+        // Warp 1 parks at the barrier while warp 0 (a different scheduler)
+        // grinds through SFU work.
+        let mut w0 = WarpTrace::new();
+        for i in 0..16 {
+            w0.push(Instr::alu(Op::Sfu, Reg(i + 1), &[Reg(i + 1)]));
+        }
+        w0.push(Instr::bar());
+        w0.seal();
+        let mut w1 = WarpTrace::new();
+        w1.push(Instr::bar());
+        w1.seal();
+        let k = Arc::new(KernelTrace::new(
+            "barwait",
+            64,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w0, w1])],
+        ));
+        let mut sm = new_sm(SmConfig::default());
+        let mut m = mem();
+        launch(&mut sm, &k, 0, 0);
+        let _ = run_to_completion(&mut sm, &mut m, 10_000);
+        let st = sm.stalls();
+        assert!(st.barrier > 0, "warp 1 waited at the barrier: {st:?}");
+    }
+
+    #[test]
+    fn stall_breakdowns_merge() {
+        let mut a = StallBreakdown {
+            issued: 1,
+            empty: 2,
+            blocked: 3,
+            scoreboard: 1,
+            mem_pending: 1,
+            mshr_full: 1,
+            pipe_busy: 0,
+            barrier: 0,
+        };
+        let b = StallBreakdown {
+            issued: 10,
+            empty: 0,
+            blocked: 2,
+            scoreboard: 0,
+            mem_pending: 0,
+            mshr_full: 0,
+            pipe_busy: 1,
+            barrier: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.issued, 11);
+        assert_eq!(a.blocked, 5);
+        assert_eq!(
+            a.blocked,
+            a.scoreboard + a.mem_pending + a.mshr_full + a.pipe_busy + a.barrier
         );
     }
 

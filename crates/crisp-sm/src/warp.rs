@@ -41,6 +41,10 @@ pub struct WarpState {
     pub pc: usize,
     /// Bitmask of registers with writes in flight (bit = register id).
     pub pending_writes: u128,
+    /// Subset of [`pending_writes`](Self::pending_writes) whose producer is
+    /// an outstanding memory load — used to attribute scoreboard stalls to
+    /// memory latency rather than ALU dependencies.
+    pub pending_mem: u128,
     /// Current blocking status.
     pub status: WarpStatus,
     /// Issue order tiebreaker: launch sequence (lower = older).
@@ -65,6 +69,7 @@ impl WarpState {
             stream,
             pc: 0,
             pending_writes: 0,
+            pending_mem: 0,
             status: WarpStatus::Ready,
             age,
         }
@@ -99,9 +104,32 @@ impl WarpState {
         self.pending_writes |= reg_bit(reg);
     }
 
+    /// Mark `reg` as having a *memory load* in flight (also sets the plain
+    /// pending bit).
+    pub fn set_pending_mem(&mut self, reg: Reg) {
+        let bit = reg_bit(reg);
+        self.pending_writes |= bit;
+        self.pending_mem |= bit;
+    }
+
     /// A write to `reg` has retired.
     pub fn clear_pending(&mut self, reg: Reg) {
-        self.pending_writes &= !reg_bit(reg);
+        let bit = reg_bit(reg);
+        self.pending_writes &= !bit;
+        self.pending_mem &= !bit;
+    }
+
+    /// Whether the scoreboard hazard on `instr` involves a register whose
+    /// producer is an outstanding memory load. Only meaningful when
+    /// [`scoreboard_blocks`](Self::scoreboard_blocks) is true.
+    pub fn blocked_on_mem(&self, instr: &Instr) -> bool {
+        if self.pending_mem == 0 {
+            return false;
+        }
+        instr.src_regs().any(|r| self.pending_mem & reg_bit(r) != 0)
+            || instr
+                .dst
+                .is_some_and(|d| self.pending_mem & reg_bit(d) != 0)
     }
 
     /// Advance past the just-issued instruction.
@@ -152,6 +180,24 @@ mod tests {
         let i = w.next_instr().unwrap().clone();
         w.set_pending(Reg(2));
         assert!(w.scoreboard_blocks(&i), "WAW on r2");
+    }
+
+    #[test]
+    fn mem_pending_mask_tracks_load_producers() {
+        let mut w = warp_with(vec![Instr::alu(Op::FpFma, Reg(3), &[Reg(1), Reg(2)])]);
+        let i = w.next_instr().unwrap().clone();
+        w.set_pending(Reg(1)); // ALU producer
+        assert!(w.scoreboard_blocks(&i));
+        assert!(
+            !w.blocked_on_mem(&i),
+            "ALU dependency is not a memory stall"
+        );
+        w.set_pending_mem(Reg(2)); // load producer
+        assert!(w.blocked_on_mem(&i), "load dependency is a memory stall");
+        w.clear_pending(Reg(2));
+        assert!(!w.blocked_on_mem(&i));
+        assert!(w.scoreboard_blocks(&i), "r1 still pending");
+        assert_eq!(w.pending_mem, 0, "clear_pending clears the mem bit too");
     }
 
     #[test]

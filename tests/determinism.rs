@@ -34,6 +34,7 @@ fn run(spec: PartitionSpec, l2: Option<L2Policy>, threads: usize) -> SimResult {
         .telemetry(Telemetry::FULL)
         .occupancy_interval(100)
         .composition_interval(500)
+        .counter_interval(100)
         .trace(bundle());
     if let Some(l2) = l2 {
         b = b.l2(l2);
@@ -62,7 +63,24 @@ fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
         a.per_sm_instructions, b.per_sm_instructions,
         "{what}: per-SM instructions"
     );
-    assert_eq!(a.stalls, b.stalls, "{what}: stall breakdown");
+    assert_eq!(
+        a.per_sm_stalls, b.per_sm_stalls,
+        "{what}: per-SM stall breakdowns"
+    );
+    assert_eq!(
+        a.metrics.to_text(),
+        b.metrics.to_text(),
+        "{what}: metrics snapshot"
+    );
+    // The exported artifacts must be byte-identical, not merely
+    // structurally equal — this is what lets users diff trace files
+    // across machines and thread counts.
+    assert_eq!(
+        a.chrome_trace_json(),
+        b.chrome_trace_json(),
+        "{what}: Chrome trace export"
+    );
+    assert_eq!(a.counters_csv(), b.counters_csv(), "{what}: counters CSV");
 }
 
 fn check(name: &str, spec: PartitionSpec, l2: Option<L2Policy>) {
