@@ -175,6 +175,71 @@ fn bench_telemetry_overhead() {
     bench("telemetry/full", 1, 5, || run(Telemetry::FULL, 500));
 }
 
+/// Checkpoint overhead: serialize/deserialize a mid-flight concurrent
+/// simulation (full architectural state — warps, caches, MSHRs, stats,
+/// telemetry), and fast-forward (functional warming) vs detailed simulation
+/// throughput over the same command stream. Element counts are checkpoint
+/// bytes and simulated cycles respectively, so the rates read as bytes/s
+/// and cycles/s.
+fn bench_checkpoint() {
+    let scene = Scene::build(SceneId::SponzaPbr, 0.2);
+    let gpu = GpuConfig::test_tiny();
+    let spec = PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, crisp_core::COMPUTE_STREAM);
+    let build = || {
+        let f = scene.render(96, 54, false, GRAPHICS_STREAM);
+        let compute = vio(crisp_core::COMPUTE_STREAM, ComputeScale::tiny());
+        Simulation::builder()
+            .gpu(gpu.clone())
+            .partition(spec.clone())
+            .telemetry(Telemetry::FULL)
+            .counter_interval(500)
+            .trace(crisp_core::concurrent_bundle(f.trace, compute))
+            .build()
+    };
+
+    let mut sim = build();
+    sim.run_until(5_000);
+    let mut bytes = Vec::new();
+    sim.write_checkpoint(&mut bytes).expect("serialize");
+    let size = bytes.len() as u64;
+    bench("ckpt/write", size, 10, || {
+        let mut out = Vec::with_capacity(bytes.len());
+        std::hint::black_box(&sim)
+            .write_checkpoint(&mut out)
+            .expect("serialize");
+        out
+    });
+    bench("ckpt/read", size, 10, || {
+        GpuSim::read_checkpoint(std::hint::black_box(&bytes).as_slice()).expect("deserialize")
+    });
+
+    // Detailed vs fast-forward over the same prefix: detailed charges
+    // cycles, warming only touches the memory state. Rate both in the
+    // detailed run's cycles so the two rows are directly comparable.
+    let cycles = {
+        let mut sim = build();
+        sim.run();
+        sim.now()
+    };
+    bench("ckpt/detailed_prefix", cycles, 5, || {
+        let mut sim = build();
+        sim.run()
+    });
+    bench("ckpt/fast_forward_prefix", cycles, 5, || {
+        let f = scene.render(96, 54, false, GRAPHICS_STREAM);
+        let mut g = f.trace;
+        g.marker("roi");
+        let mut compute = vio(crisp_core::COMPUTE_STREAM, ComputeScale::tiny());
+        compute.marker("roi");
+        let mut sim = Simulation::builder()
+            .gpu(gpu.clone())
+            .partition(spec.clone())
+            .trace(crisp_core::concurrent_bundle(g, compute))
+            .build();
+        sim.fast_forward_to_marker("roi")
+    });
+}
+
 fn main() {
     println!("{:<28} {:>15} {:>17}", "benchmark", "time", "throughput");
     bench_cache();
@@ -183,4 +248,5 @@ fn main() {
     bench_codec();
     bench_end_to_end();
     bench_telemetry_overhead();
+    bench_checkpoint();
 }

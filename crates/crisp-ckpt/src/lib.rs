@@ -1,0 +1,664 @@
+//! Deterministic checkpoint/restore plumbing for the CRISP simulator.
+//!
+//! Trace-driven cycle simulation is slow; the standard mitigation — used by
+//! the parallel Accel-Sim work this repo reproduces — is to snapshot the full
+//! architectural state mid-run and resume (or fast-forward) from there. This
+//! crate provides the *format* layer for those snapshots:
+//!
+//! * [`Writer`]/[`Reader`]: a tiny, dependency-free binary codec (LEB128
+//!   varints, zig-zag signed values, bit-exact `f64`, length-capped
+//!   allocations) in the same style as `crisp_trace::codec`,
+//! * [`CheckpointState`]: the trait every stateful simulator component
+//!   implements to expose a stable, ordered view of itself,
+//! * [`KernelTable`]: interning for `Arc<KernelTrace>` handles so that warps
+//!   resident on different SMs share one kernel copy after restore exactly as
+//!   they did before it.
+//!
+//! The actual component serializers live next to the components (they need
+//! private-field access); this crate only defines the wire discipline. The
+//! determinism contract is: `save` walks every collection in a deterministic
+//! order (sorted keys for hash maps, heap contents as sorted lists), so the
+//! byte stream — and therefore the restored simulator — is identical no
+//! matter how many worker threads produced the state.
+//!
+//! A checkpoint starts with the magic tag `CKPT` and a version word, written
+//! and checked through the same found-vs-expected helpers as the `CRSP`
+//! trace format, so mixing the two file kinds up fails with a message naming
+//! both.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use crisp_trace::codec::{
+    check_magic, check_version, read_kernel, read_string, read_varint, unzigzag, write_kernel,
+    write_string, write_varint, zigzag,
+};
+use crisp_trace::{DataClass, KernelTrace, Space, StreamId};
+
+/// Magic tag opening every checkpoint file.
+pub const MAGIC: &[u8; 4] = b"CKPT";
+
+/// Checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Human-readable format name used in found-vs-expected error messages.
+pub const FORMAT_NAME: &str = "CKPT checkpoint";
+
+/// An `InvalidData` error with the given message.
+pub fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Checkpoint writer: a thin typed layer over any [`Write`].
+#[derive(Debug)]
+pub struct Writer<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> Writer<W> {
+    /// Wrap a sink. Call [`Writer::header`] first for a standalone file.
+    pub fn new(inner: W) -> Self {
+        Writer { inner }
+    }
+
+    /// Write the `CKPT` magic and version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn header(&mut self) -> io::Result<()> {
+        self.inner.write_all(MAGIC)?;
+        self.inner.write_all(&VERSION.to_le_bytes())
+    }
+
+    /// Unwrap the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Write one raw byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.inner.write_all(&[v])
+    }
+
+    /// Write a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u16(&mut self, v: u16) -> io::Result<()> {
+        self.inner.write_all(&v.to_le_bytes())
+    }
+
+    /// Write a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.inner.write_all(&v.to_le_bytes())
+    }
+
+    /// Write a `u64` as an LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u64(&mut self, v: u64) -> io::Result<()> {
+        write_varint(&mut self.inner, v)
+    }
+
+    /// Write a `usize` as a varint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn len(&mut self, v: usize) -> io::Result<()> {
+        write_varint(&mut self.inner, v as u64)
+    }
+
+    /// Write an `i64` zig-zag encoded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn i64(&mut self, v: i64) -> io::Result<()> {
+        write_varint(&mut self.inner, zigzag(v))
+    }
+
+    /// Write an `f64` bit-exactly (as its IEEE-754 bit pattern).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn f64(&mut self, v: f64) -> io::Result<()> {
+        self.inner.write_all(&v.to_bits().to_le_bytes())
+    }
+
+    /// Write a `u128` as two varint halves (scoreboard masks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u128(&mut self, v: u128) -> io::Result<()> {
+        self.u64(v as u64)?;
+        self.u64((v >> 64) as u64)
+    }
+
+    /// Write a bool as one byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn bool(&mut self, v: bool) -> io::Result<()> {
+        self.u8(v as u8)
+    }
+
+    /// Write a length-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn str(&mut self, s: &str) -> io::Result<()> {
+        write_string(&mut self.inner, s)
+    }
+
+    /// Write an `Option` as a presence byte plus the value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and callback errors.
+    pub fn option<T>(
+        &mut self,
+        v: Option<&T>,
+        f: impl FnOnce(&mut Self, &T) -> io::Result<()>,
+    ) -> io::Result<()> {
+        match v {
+            Some(x) => {
+                self.u8(1)?;
+                f(self, x)
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Write a [`KernelTrace`] inline in the CRSP per-kernel layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn kernel(&mut self, k: &KernelTrace) -> io::Result<()> {
+        write_kernel(&mut self.inner, k)
+    }
+
+    /// Write a [`StreamId`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn stream(&mut self, s: StreamId) -> io::Result<()> {
+        self.u32(s.0)
+    }
+
+    /// Write a [`DataClass`] tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn class(&mut self, c: DataClass) -> io::Result<()> {
+        self.u8(match c {
+            DataClass::Texture => 0,
+            DataClass::Pipeline => 1,
+            DataClass::Compute => 2,
+        })
+    }
+
+    /// Write a [`Space`] tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn space(&mut self, s: Space) -> io::Result<()> {
+        self.u8(match s {
+            Space::Global => 0,
+            Space::Shared => 1,
+            Space::Local => 2,
+            Space::Tex => 3,
+        })
+    }
+}
+
+/// Checkpoint reader: the typed counterpart of [`Writer`], with every
+/// length-driven allocation capped so corrupt input fails with `Err` instead
+/// of panicking or exhausting memory.
+#[derive(Debug)]
+pub struct Reader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> Reader<R> {
+    /// Wrap a source. Call [`Reader::header`] first for a standalone file.
+    pub fn new(inner: R) -> Self {
+        Reader { inner }
+    }
+
+    /// Check the `CKPT` magic and version, reporting found-vs-expected.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a foreign magic or version.
+    pub fn header(&mut self) -> io::Result<()> {
+        check_magic(&mut self.inner, MAGIC, FORMAT_NAME)?;
+        check_version(&mut self.inner, VERSION, FORMAT_NAME)
+    }
+
+    /// Read one raw byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.inner.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Read a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u16(&mut self) -> io::Result<u16> {
+        let mut b = [0u8; 2];
+        self.inner.read_exact(&mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.inner.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Read a varint `u64`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on overflow; I/O errors otherwise.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        read_varint(&mut self.inner)
+    }
+
+    /// Read a varint length and require it to be at most `cap`. Every
+    /// collection restore goes through this so a flipped bit in a length
+    /// prefix cannot drive an unbounded allocation.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the length exceeds `cap`.
+    pub fn len(&mut self, cap: usize) -> io::Result<usize> {
+        let n = read_varint(&mut self.inner)?;
+        if n > cap as u64 {
+            return Err(bad(format!("length {n} exceeds cap {cap}")));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read a zig-zag encoded `i64`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on overflow; I/O errors otherwise.
+    pub fn i64(&mut self) -> io::Result<i64> {
+        Ok(unzigzag(read_varint(&mut self.inner)?))
+    }
+
+    /// Read an `f64` bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn f64(&mut self) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        self.inner.read_exact(&mut b)?;
+        Ok(f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    /// Read a `u128` written by [`Writer::u128`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn u128(&mut self) -> io::Result<u128> {
+        let lo = self.u64()?;
+        let hi = self.u64()?;
+        Ok((lo as u128) | ((hi as u128) << 64))
+    }
+
+    /// Read a bool; any byte other than 0/1 is corruption.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a non-boolean byte.
+    pub fn bool(&mut self) -> io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(bad(format!("bad bool byte {b}"))),
+        }
+    }
+
+    /// Read a length-prefixed string (capped at 1 MiB).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on oversized length or invalid UTF-8.
+    pub fn str(&mut self) -> io::Result<String> {
+        read_string(&mut self.inner)
+    }
+
+    /// Read an `Option` written by [`Writer::option`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad presence byte; propagates callback errors.
+    pub fn option<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> io::Result<T>,
+    ) -> io::Result<Option<T>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            b => Err(bad(format!("bad option tag {b}"))),
+        }
+    }
+
+    /// Read a [`KernelTrace`] written by [`Writer::kernel`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on structural corruption.
+    pub fn kernel(&mut self) -> io::Result<KernelTrace> {
+        read_kernel(&mut self.inner)
+    }
+
+    /// Read a [`StreamId`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn stream(&mut self) -> io::Result<StreamId> {
+        Ok(StreamId(self.u32()?))
+    }
+
+    /// Read a [`DataClass`] tag.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on an unknown tag.
+    pub fn class(&mut self) -> io::Result<DataClass> {
+        Ok(match self.u8()? {
+            0 => DataClass::Texture,
+            1 => DataClass::Pipeline,
+            2 => DataClass::Compute,
+            t => return Err(bad(format!("bad data-class tag {t}"))),
+        })
+    }
+
+    /// Read a [`Space`] tag.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on an unknown tag.
+    pub fn space(&mut self) -> io::Result<Space> {
+        Ok(match self.u8()? {
+            0 => Space::Global,
+            1 => Space::Shared,
+            2 => Space::Local,
+            3 => Space::Tex,
+            t => return Err(bad(format!("bad space tag {t}"))),
+        })
+    }
+}
+
+/// State that can be checkpointed and restored.
+///
+/// `SaveCtx`/`RestoreCtx` carry whatever surrounding information the
+/// component does not own itself — typically its configuration (geometry,
+/// capacities), which the checkpoint stores once at the top level rather
+/// than repeating per component, plus shared tables like [`KernelTable`].
+pub trait CheckpointState: Sized {
+    /// Context borrowed during save (e.g. a [`KernelTable`] being built).
+    type SaveCtx<'a>;
+    /// Context borrowed during restore (e.g. configuration to rebuild
+    /// derived fields from).
+    type RestoreCtx<'a>;
+
+    /// Serialize `self` deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn save<W: Write>(&self, w: &mut Writer<W>, ctx: Self::SaveCtx<'_>) -> io::Result<()>;
+
+    /// Rebuild a value from the stream. Implementations must validate every
+    /// index and capacity against `ctx` and return `Err` — never panic — on
+    /// corrupt input.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on corrupt input; I/O errors otherwise.
+    fn restore<R: Read>(r: &mut Reader<R>, ctx: Self::RestoreCtx<'_>) -> io::Result<Self>;
+}
+
+/// Maximum kernels a checkpoint's kernel table may hold (allocation cap;
+/// real tables hold one in-flight kernel per stream).
+pub const MAX_TABLE_KERNELS: usize = 1 << 16;
+
+/// Interning table for the `Arc<KernelTrace>` handles shared between a
+/// stream's running kernel and the warps/CTAs resident on SMs.
+///
+/// During save the driving code interns each distinct Arc (by pointer
+/// identity) and components store the index; during restore components look
+/// the index back up and clone the Arc, re-establishing the sharing.
+#[derive(Debug, Default, Clone)]
+pub struct KernelTable {
+    kernels: Vec<Arc<KernelTrace>>,
+}
+
+impl KernelTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        KernelTable::default()
+    }
+
+    /// Number of interned kernels.
+    pub fn count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Intern `k`, returning its index. Pointer identity — not structural
+    /// equality — decides uniqueness, mirroring the Arc sharing being saved.
+    pub fn intern(&mut self, k: &Arc<KernelTrace>) -> u64 {
+        if let Some(i) = self.kernels.iter().position(|e| Arc::ptr_eq(e, k)) {
+            return i as u64;
+        }
+        self.kernels.push(Arc::clone(k));
+        (self.kernels.len() - 1) as u64
+    }
+
+    /// The index of an already-interned kernel.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if `k` was never interned — a save-order bug.
+    pub fn index_of(&self, k: &Arc<KernelTrace>) -> io::Result<u64> {
+        self.kernels
+            .iter()
+            .position(|e| Arc::ptr_eq(e, k))
+            .map(|i| i as u64)
+            .ok_or_else(|| bad("kernel not interned in checkpoint table"))
+    }
+
+    /// The kernel at `idx`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on an out-of-range index.
+    pub fn get(&self, idx: u64) -> io::Result<Arc<KernelTrace>> {
+        self.kernels
+            .get(idx as usize)
+            .cloned()
+            .ok_or_else(|| bad(format!("kernel table index {idx} out of range")))
+    }
+
+    /// Serialize the table (each kernel inline, in intern order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: Write>(&self, w: &mut Writer<W>) -> io::Result<()> {
+        w.len(self.kernels.len())?;
+        for k in &self.kernels {
+            w.kernel(k)?;
+        }
+        Ok(())
+    }
+
+    /// Read a table written by [`KernelTable::save`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on corrupt input.
+    pub fn restore<R: Read>(r: &mut Reader<R>) -> io::Result<Self> {
+        let n = r.len(MAX_TABLE_KERNELS)?;
+        let mut kernels = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            kernels.push(Arc::new(r.kernel()?));
+        }
+        Ok(KernelTable { kernels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_trace::{CtaTrace, Instr, Op, Reg, WarpTrace};
+
+    fn kernel(name: &str) -> Arc<KernelTrace> {
+        let mut w = WarpTrace::new();
+        w.push(Instr::alu(Op::FpFma, Reg(1), &[Reg(2)]));
+        w.seal();
+        Arc::new(KernelTrace::new(
+            name,
+            64,
+            16,
+            0,
+            vec![CtaTrace::new(vec![w.clone(), w])],
+        ))
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.header().unwrap();
+        w.u8(7).unwrap();
+        w.u16(0xBEEF).unwrap();
+        w.u32(0xDEAD_BEEF).unwrap();
+        w.u64(u64::MAX).unwrap();
+        w.i64(-42).unwrap();
+        w.f64(0.1 + 0.2).unwrap();
+        w.u128(1u128 << 99 | 3).unwrap();
+        w.bool(true).unwrap();
+        w.str("hello").unwrap();
+        w.option(Some(&5u64), |w, v| w.u64(*v)).unwrap();
+        w.option::<u64>(None, |w, v| w.u64(*v)).unwrap();
+
+        let mut r = Reader::new(buf.as_slice());
+        r.header().unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(r.u128().unwrap(), 1u128 << 99 | 3);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.option(|r| r.u64()).unwrap(), Some(5));
+        assert_eq!(r.option(|r| r.u64()).unwrap(), None);
+    }
+
+    #[test]
+    fn header_rejects_foreign_magic_with_both_names() {
+        let mut buf = b"CRSP".to_vec();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        let err = Reader::new(buf.as_slice())
+            .header()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("CRSP") && err.contains("CKPT"), "{err}");
+    }
+
+    #[test]
+    fn header_rejects_future_version() {
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = Reader::new(buf.as_slice())
+            .header()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("found 99"), "{err}");
+    }
+
+    #[test]
+    fn len_cap_blocks_oversized_allocations() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX).unwrap();
+        assert!(Reader::new(buf.as_slice()).len(1000).is_err());
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_error() {
+        assert!(Reader::new([2u8].as_slice()).bool().is_err());
+        assert!(Reader::new([9u8].as_slice()).option(|r| r.u8()).is_err());
+    }
+
+    #[test]
+    fn kernel_table_interns_by_pointer_identity() {
+        let a = kernel("a");
+        let a2 = Arc::clone(&a);
+        let b = kernel("a"); // structurally equal, different allocation
+        let mut t = KernelTable::new();
+        assert_eq!(t.intern(&a), 0);
+        assert_eq!(t.intern(&a2), 0);
+        assert_eq!(t.intern(&b), 1);
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.index_of(&a2).unwrap(), 0);
+        assert!(t.index_of(&kernel("x")).is_err());
+    }
+
+    #[test]
+    fn kernel_table_roundtrip() {
+        let mut t = KernelTable::new();
+        t.intern(&kernel("vs_main"));
+        t.intern(&kernel("vio"));
+        let mut buf = Vec::new();
+        t.save(&mut Writer::new(&mut buf)).unwrap();
+        let back = KernelTable::restore(&mut Reader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.count(), 2);
+        assert_eq!(back.get(0).unwrap().name, "vs_main");
+        assert_eq!(back.get(1).unwrap().name, "vio");
+        assert!(back.get(2).is_err());
+    }
+}

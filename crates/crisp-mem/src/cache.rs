@@ -5,6 +5,9 @@
 //! is fetched and validated per sector, so a "line hit, sector miss" fetches
 //! only the missing sector.
 
+use std::io;
+
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_trace::{DataClass, StreamId, LINE_BYTES};
 
 use crate::req::MemReq;
@@ -338,6 +341,62 @@ impl CacheCore {
             }
         }
         c
+    }
+}
+
+impl CheckpointState for CacheCore {
+    type SaveCtx<'a> = ();
+    /// Geometry and replacement policy come from the configuration stored
+    /// once at the top of the checkpoint, not per cache.
+    type RestoreCtx<'a> = (CacheGeometry, Replacement);
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.len(self.lines.len())?;
+        for l in &self.lines {
+            w.u64(l.tag)?;
+            w.u8(l.valid_sectors)?;
+            w.u8(l.dirty_sectors)?;
+            w.u64(l.last_use)?;
+            w.stream(l.owner_stream)?;
+            w.class(l.owner_class)?;
+        }
+        // The access clock drives LRU ages and the deterministic Random
+        // victim; it must survive bit-exactly.
+        w.u64(self.clock)?;
+        self.stats.save(w, ())
+    }
+
+    fn restore<R: io::Read>(
+        r: &mut Reader<R>,
+        (geom, replacement): (CacheGeometry, Replacement),
+    ) -> io::Result<Self> {
+        let sets = geom.sets();
+        let expected = (sets * geom.assoc as u64) as usize;
+        let n = r.len(expected)?;
+        if n != expected {
+            return Err(bad(format!(
+                "cache has {n} lines, geometry implies {expected}"
+            )));
+        }
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            lines.push(Line {
+                tag: r.u64()?,
+                valid_sectors: r.u8()?,
+                dirty_sectors: r.u8()?,
+                last_use: r.u64()?,
+                owner_stream: r.stream()?,
+                owner_class: r.class()?,
+            });
+        }
+        Ok(CacheCore {
+            geom,
+            sets,
+            lines,
+            clock: r.u64()?,
+            stats: MemStats::restore(r, ())?,
+            replacement,
+        })
     }
 }
 

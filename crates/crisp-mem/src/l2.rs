@@ -7,6 +7,9 @@
 //! redistribution ("the origin SM writes the output attributes to the L2
 //! cache").
 
+use std::io;
+
+use crisp_ckpt::{CheckpointState, Reader, Writer};
 use crisp_trace::{DataClass, StreamId};
 
 use crate::cache::{AccessKind, AccessOutcome, CacheCore, CacheGeometry, Replacement, Writeback};
@@ -113,6 +116,49 @@ impl L2Bank {
     /// In-flight DRAM fetches.
     pub fn in_flight(&self) -> usize {
         self.mshr.in_flight()
+    }
+
+    /// Functionally warm one read: probe the tag array and install the
+    /// sector immediately on a miss, with no MSHR, crossbar or DRAM timing.
+    /// Returns whether the access missed (so the caller can warm the DRAM
+    /// row buffers too). Used by fast-forward mode.
+    pub fn warm_read(&mut self, req: &MemReq, window: (u64, u64)) -> bool {
+        match self.cache.access(req, AccessKind::Read, window) {
+            AccessOutcome::Hit => false,
+            AccessOutcome::SectorMiss | AccessOutcome::LineMiss => {
+                let _ = self.cache.fill(
+                    req.line_addr(),
+                    req.sector_in_line(),
+                    req.stream,
+                    req.class,
+                    false,
+                    window,
+                );
+                true
+            }
+        }
+    }
+}
+
+impl CheckpointState for L2Bank {
+    type SaveCtx<'a> = ();
+    /// `(geometry, mshr entries, mshr merges, replacement)` from the
+    /// configuration.
+    type RestoreCtx<'a> = (CacheGeometry, usize, usize, Replacement);
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        self.cache.save(w, ())?;
+        self.mshr.save(w, ())
+    }
+
+    fn restore<R: io::Read>(
+        r: &mut Reader<R>,
+        (geom, entries, merges, replacement): (CacheGeometry, usize, usize, Replacement),
+    ) -> io::Result<Self> {
+        Ok(L2Bank {
+            cache: CacheCore::restore(r, (geom, replacement))?,
+            mshr: Mshr::restore(r, (entries, merges))?,
+        })
     }
 }
 

@@ -7,6 +7,9 @@
 //! stalls (the effect the LoD case study quantifies).
 
 use std::collections::HashMap;
+use std::io;
+
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 
 use crate::req::ReqToken;
 
@@ -93,6 +96,56 @@ impl Mshr {
     /// Number of in-flight sectors.
     pub fn in_flight(&self) -> usize {
         self.entries.len()
+    }
+}
+
+impl CheckpointState for Mshr {
+    type SaveCtx<'a> = ();
+    /// `(max_entries, max_merges)` from the configuration.
+    type RestoreCtx<'a> = (usize, usize);
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        // The entry map is keyed-access only, but serialize sorted by sector
+        // anyway so the byte stream is deterministic.
+        let mut sectors: Vec<u64> = self.entries.keys().copied().collect();
+        sectors.sort_unstable();
+        w.len(sectors.len())?;
+        for s in sectors {
+            w.u64(s)?;
+            let waiters = &self.entries[&s].waiters;
+            w.len(waiters.len())?;
+            for t in waiters {
+                t.save(w, ())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(
+        r: &mut Reader<R>,
+        (max_entries, max_merges): (usize, usize),
+    ) -> io::Result<Self> {
+        if max_entries == 0 || max_merges == 0 {
+            return Err(bad("mshr capacities must be positive"));
+        }
+        let n = r.len(max_entries)?;
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let sector = r.u64()?;
+            let n_waiters = r.len(max_merges)?;
+            let mut waiters = Vec::with_capacity(n_waiters);
+            for _ in 0..n_waiters {
+                waiters.push(ReqToken::restore(r, ())?);
+            }
+            if entries.insert(sector, Entry { waiters }).is_some() {
+                return Err(bad("duplicate mshr sector"));
+            }
+        }
+        Ok(Mshr {
+            entries,
+            max_entries,
+            max_merges,
+        })
     }
 }
 

@@ -17,7 +17,9 @@
 //! (LRU stack-distance histograms) and a greedy water-filling allocation.
 
 use std::collections::HashMap;
+use std::io;
 
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_trace::{StreamId, LINE_BYTES};
 
 /// Maps addresses to L2 banks, optionally restricting each stream to a bank
@@ -119,6 +121,58 @@ impl BankMap {
     }
 }
 
+impl CheckpointState for BankMap {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u32(self.n_banks)?;
+        w.option(self.masks.as_ref(), |w, m| {
+            let mut streams: Vec<StreamId> = m.keys().copied().collect();
+            streams.sort_unstable();
+            w.len(streams.len())?;
+            for s in streams {
+                w.stream(s)?;
+                let banks = &m[&s];
+                w.len(banks.len())?;
+                for &b in banks {
+                    w.u32(b)?;
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let n_banks = r.u32()?;
+        if n_banks == 0 {
+            return Err(bad("bank map needs at least one bank"));
+        }
+        let masks = r.option(|r| {
+            let n = r.len(1 << 16)?;
+            let mut m = HashMap::with_capacity(n);
+            for _ in 0..n {
+                let s = r.stream()?;
+                let len = r.len(n_banks as usize)?;
+                if len == 0 {
+                    return Err(bad("empty bank mask"));
+                }
+                let mut banks = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let b = r.u32()?;
+                    if b >= n_banks {
+                        return Err(bad("bank index out of range"));
+                    }
+                    banks.push(b);
+                }
+                m.insert(s, banks);
+            }
+            Ok(m)
+        })?;
+        Ok(BankMap { n_banks, masks })
+    }
+}
+
 /// TAP controller parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TapConfig {
@@ -197,6 +251,50 @@ impl Umon {
         }
         self.accesses /= 2;
         self.sampled /= 2;
+    }
+}
+
+impl CheckpointState for Umon {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        // The stack capacity doubles as the UMON depth (observe evicts when
+        // len == capacity), so record it explicitly.
+        w.len(self.way_hits.len())?;
+        w.len(self.stack.len())?;
+        for &a in &self.stack {
+            w.u64(a)?;
+        }
+        for &h in &self.way_hits {
+            w.u64(h)?;
+        }
+        w.u64(self.accesses)?;
+        w.u64(self.sampled)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let depth = r.len(1 << 16)?;
+        if depth == 0 {
+            return Err(bad("umon depth must be positive"));
+        }
+        let n_stack = r.len(depth)?;
+        // Rebuild exactly as `Umon::new` does so the eviction-triggering
+        // capacity matches the original.
+        let mut stack = Vec::with_capacity(depth);
+        for _ in 0..n_stack {
+            stack.push(r.u64()?);
+        }
+        let mut way_hits = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            way_hits.push(r.u64()?);
+        }
+        Ok(Umon {
+            stack,
+            way_hits,
+            accesses: r.u64()?,
+            sampled: r.u64()?,
+        })
     }
 }
 
@@ -364,6 +462,76 @@ impl TapController {
     }
 }
 
+impl CheckpointState for TapController {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u64(self.cfg.epoch_accesses)?;
+        w.u64(self.cfg.sample_every)?;
+        w.u64(self.cfg.min_sets)?;
+        w.u64(self.sets_per_bank)?;
+        w.len(self.assoc)?;
+        w.len(self.streams.len())?;
+        // Umons and windows are keyed by stream; walking `streams` (the
+        // canonical order) covers every entry deterministically.
+        for &s in &self.streams {
+            w.stream(s)?;
+            self.umons[&s].save(w, ())?;
+            let (start, count) = self.windows[&s];
+            w.u64(start)?;
+            w.u64(count)?;
+        }
+        w.u64(self.since_epoch)?;
+        w.u64(self.repartitions)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let cfg = TapConfig {
+            epoch_accesses: r.u64()?,
+            sample_every: r.u64()?,
+            min_sets: r.u64()?,
+        };
+        let sets_per_bank = r.u64()?;
+        let assoc = r.len(1 << 16)?;
+        let n = r.len(1 << 16)?;
+        if n < 2 {
+            return Err(bad("TAP controller needs at least two streams"));
+        }
+        let mut streams = Vec::with_capacity(n);
+        let mut umons = HashMap::with_capacity(n);
+        let mut windows = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let s = r.stream()?;
+            if umons.contains_key(&s) {
+                return Err(bad("duplicate TAP stream"));
+            }
+            let u = Umon::restore(r, ())?;
+            let start = r.u64()?;
+            let count = r.u64()?;
+            if start
+                .checked_add(count)
+                .is_none_or(|end| end > sets_per_bank)
+            {
+                return Err(bad("TAP window out of range"));
+            }
+            streams.push(s);
+            umons.insert(s, u);
+            windows.insert(s, (start, count));
+        }
+        Ok(TapController {
+            cfg,
+            sets_per_bank,
+            assoc,
+            streams,
+            umons,
+            windows,
+            since_epoch: r.u64()?,
+            repartitions: r.u64()?,
+        })
+    }
+}
+
 /// How L2 sets are divided among streams.
 #[derive(Debug, Clone)]
 pub enum SetPartition {
@@ -390,6 +558,53 @@ impl SetPartition {
         if let SetPartition::Tap(t) = self {
             t.observe(stream, line_addr);
         }
+    }
+}
+
+impl CheckpointState for SetPartition {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        match self {
+            SetPartition::Shared => w.u8(0),
+            SetPartition::Static(m) => {
+                w.u8(1)?;
+                let mut streams: Vec<StreamId> = m.keys().copied().collect();
+                streams.sort_unstable();
+                w.len(streams.len())?;
+                for s in streams {
+                    w.stream(s)?;
+                    let (start, count) = m[&s];
+                    w.u64(start)?;
+                    w.u64(count)?;
+                }
+                Ok(())
+            }
+            SetPartition::Tap(t) => {
+                w.u8(2)?;
+                t.save(w, ())
+            }
+        }
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        Ok(match r.u8()? {
+            0 => SetPartition::Shared,
+            1 => {
+                let n = r.len(1 << 16)?;
+                let mut m = HashMap::with_capacity(n);
+                for _ in 0..n {
+                    let s = r.stream()?;
+                    let start = r.u64()?;
+                    let count = r.u64()?;
+                    m.insert(s, (start, count));
+                }
+                SetPartition::Static(m)
+            }
+            2 => SetPartition::Tap(TapController::restore(r, ())?),
+            t => return Err(bad(format!("bad set-partition tag {t}"))),
+        })
     }
 }
 

@@ -13,7 +13,9 @@
 //! bit-identical at any worker count.
 
 use std::collections::VecDeque;
+use std::io;
 
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_trace::{DataClass, StreamId};
 
 use crate::cache::{AccessKind, AccessOutcome, CacheCore};
@@ -126,6 +128,71 @@ impl SmMemPort {
     /// Clear L1 statistics (tags and contents are kept).
     pub fn clear_stats(&mut self) {
         self.l1.clear_stats();
+    }
+
+    /// Functionally warm one access: probe the L1 and install the sector
+    /// immediately on a read miss, with no MSHR tracking and no egress
+    /// traffic. Returns whether the access must also visit the shared
+    /// hierarchy (read miss, or any write — the L1 is write-through).
+    /// Used by fast-forward mode.
+    pub fn warm(&mut self, req: &MemReq) -> bool {
+        let window = (0, self.l1.num_sets());
+        if req.is_write {
+            let _ = self.l1.access(req, AccessKind::WriteNoAllocate, window);
+            return true;
+        }
+        match self.l1.access(req, AccessKind::Read, window) {
+            AccessOutcome::Hit => false,
+            AccessOutcome::SectorMiss | AccessOutcome::LineMiss => {
+                let _ = self.l1.fill(
+                    req.line_addr(),
+                    req.sector_in_line(),
+                    req.stream,
+                    req.class,
+                    false,
+                    window,
+                );
+                true
+            }
+        }
+    }
+}
+
+impl CheckpointState for SmMemPort {
+    type SaveCtx<'a> = ();
+    /// `(owning SM id, hierarchy configuration)`.
+    type RestoreCtx<'a> = (u16, &'a MemConfig);
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u16(self.sm)?;
+        self.l1.save(w, ())?;
+        self.mshr.save(w, ())?;
+        w.len(self.egress.len())?;
+        for req in &self.egress {
+            req.save(w, ())?;
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, (sm, cfg): (u16, &MemConfig)) -> io::Result<Self> {
+        let found = r.u16()?;
+        if found != sm {
+            return Err(bad(format!("port belongs to SM {found}, expected SM {sm}")));
+        }
+        let l1 = CacheCore::restore(r, (cfg.l1_geom, crate::cache::Replacement::Lru))?;
+        let mshr = Mshr::restore(r, (cfg.l1_mshr_entries, cfg.l1_mshr_merges))?;
+        let n = r.len(1 << 24)?;
+        let mut egress = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            egress.push_back(MemReq::restore(r, ())?);
+        }
+        Ok(SmMemPort {
+            sm,
+            l1,
+            mshr,
+            l1_latency: cfg.l1_latency,
+            egress,
+        })
     }
 }
 

@@ -1,5 +1,8 @@
 //! Memory requests, tokens and completions.
 
+use std::io;
+
+use crisp_ckpt::{CheckpointState, Reader, Writer};
 use crisp_trace::{DataClass, StreamId, LINE_BYTES, SECTOR_BYTES};
 
 /// Sectors per cache line (128 B line / 32 B sector).
@@ -61,6 +64,46 @@ impl MemReq {
     /// Sector index within the line (0..4).
     pub fn sector_in_line(&self) -> u64 {
         (self.addr % LINE_BYTES) / SECTOR_BYTES
+    }
+}
+
+impl CheckpointState for ReqToken {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u16(self.sm)?;
+        w.u64(self.id)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        Ok(ReqToken {
+            sm: r.u16()?,
+            id: r.u64()?,
+        })
+    }
+}
+
+impl CheckpointState for MemReq {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u64(self.addr)?;
+        w.bool(self.is_write)?;
+        w.stream(self.stream)?;
+        w.class(self.class)?;
+        self.token.save(w, ())
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        Ok(MemReq {
+            addr: r.u64()?,
+            is_write: r.bool()?,
+            stream: r.stream()?,
+            class: r.class()?,
+            token: ReqToken::restore(r, ())?,
+        })
     }
 }
 

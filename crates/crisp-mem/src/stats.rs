@@ -1,7 +1,9 @@
 //! Per-stream / per-class memory statistics and L2 composition snapshots.
 
 use std::collections::BTreeMap;
+use std::io;
 
+use crisp_ckpt::{CheckpointState, Reader, Writer};
 use crisp_trace::{DataClass, StreamId};
 
 /// Access/hit/miss counters kept per `(stream, class)` key.
@@ -125,6 +127,70 @@ impl MemStats {
     /// Reset all counters.
     pub fn clear(&mut self) {
         self.by_key.clear();
+    }
+}
+
+impl CheckpointState for MemStats {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.len(self.by_key.len())?;
+        for (&(stream, class), c) in &self.by_key {
+            w.stream(stream)?;
+            w.class(class)?;
+            w.u64(c.accesses)?;
+            w.u64(c.hits)?;
+            w.u64(c.misses)?;
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let n = r.len(1 << 20)?;
+        let mut by_key = BTreeMap::new();
+        for _ in 0..n {
+            let stream = r.stream()?;
+            let class = r.class()?;
+            let c = ClassStreamCounters {
+                accesses: r.u64()?,
+                hits: r.u64()?,
+                misses: r.u64()?,
+            };
+            by_key.insert((stream, class), c);
+        }
+        Ok(MemStats { by_key })
+    }
+}
+
+impl CheckpointState for CompositionSnapshot {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u64(self.capacity_lines)?;
+        w.len(self.lines.len())?;
+        for (&(stream, class), &n) in &self.lines {
+            w.stream(stream)?;
+            w.class(class)?;
+            w.u64(n)?;
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let capacity_lines = r.u64()?;
+        let n = r.len(1 << 20)?;
+        let mut lines = BTreeMap::new();
+        for _ in 0..n {
+            let stream = r.stream()?;
+            let class = r.class()?;
+            lines.insert((stream, class), r.u64()?);
+        }
+        Ok(CompositionSnapshot {
+            lines,
+            capacity_lines,
+        })
     }
 }
 
@@ -287,6 +353,20 @@ mod tests {
         assert!((c.class_fraction(DataClass::Texture) - 0.5).abs() < 1e-12);
         assert!((c.stream_fraction(StreamId(0)) - 50.0 / 60.0).abs() < 1e-12);
         assert_eq!(c.lines(StreamId(1), DataClass::Compute), 10);
+    }
+
+    #[test]
+    fn composition_snapshot_checkpoint_roundtrip() {
+        let mut c = CompositionSnapshot::new(64);
+        c.add_line(StreamId(0), DataClass::Texture);
+        c.add_line(StreamId(1), DataClass::Compute);
+        c.add_line(StreamId(1), DataClass::Compute);
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        c.save(&mut w, ()).unwrap();
+        let mut r = Reader::new(buf.as_slice());
+        let back = CompositionSnapshot::restore(&mut r, ()).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

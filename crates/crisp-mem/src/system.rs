@@ -12,7 +12,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::io;
 
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_trace::{DataClass, StreamId};
 
 use crate::cache::{CacheGeometry, Replacement};
@@ -353,6 +355,157 @@ impl MemSystem {
         for b in &mut self.banks {
             b.cache_mut().clear_stats();
         }
+    }
+
+    /// Functionally warm one request that missed (or wrote through) an L1:
+    /// route it through the bank map and set partition, probe/fill the L2
+    /// bank, and open the DRAM row it would have touched — all with zero
+    /// timing. Used by fast-forward mode to build realistic cache and
+    /// row-buffer state before detailed simulation starts.
+    pub fn warm(&mut self, req: &crate::req::MemReq) {
+        let bank = self.bank_map.bank_of(req.stream, req.addr) as usize;
+        self.partition.observe(req.stream, req.line_addr());
+        let sets = self.banks[bank].cache().num_sets();
+        let window = self.partition.window(req.stream, sets);
+        if req.is_write {
+            if let Some(wb) = self.banks[bank].write(req, window) {
+                for s in 0..wb.dirty_sectors as u64 {
+                    let a = self
+                        .bank_map
+                        .local_addr(wb.stream, wb.line_addr + s * crisp_trace::SECTOR_BYTES);
+                    self.dram[bank].warm(a);
+                }
+            }
+        } else if self.banks[bank].warm_read(req, window) {
+            let local = self.bank_map.local_addr(req.stream, req.addr);
+            self.dram[bank].warm(local);
+        }
+    }
+}
+
+impl CheckpointState for MemSystem {
+    type SaveCtx<'a> = ();
+    /// The configuration the original system was built with (already
+    /// validated by the caller — geometry asserts would panic on garbage).
+    type RestoreCtx<'a> = &'a MemConfig;
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        self.xbar_in.save(w, ())?;
+        w.len(self.banks.len())?;
+        for b in &self.banks {
+            b.save(w, ())?;
+        }
+        self.bank_map.save(w, ())?;
+        self.partition.save(w, ())?;
+        for d in &self.dram {
+            d.save(w, ())?;
+        }
+        // BinaryHeaps iterate in arbitrary order; serialize their contents
+        // sorted so the byte stream is deterministic. Push-rebuilding sorted
+        // input on restore yields a heap that pops identically.
+        for heap in &self.dram_ret {
+            let mut v: Vec<DramReturn> = heap.iter().map(|Reverse(r)| *r).collect();
+            v.sort_unstable();
+            w.len(v.len())?;
+            for r in v {
+                w.u64(r.ready_at)?;
+                w.u64(r.sector)?;
+                w.stream(r.stream)?;
+                w.u8(r.class_idx)?;
+            }
+        }
+        let mut v: Vec<Response> = self.responses.iter().map(|Reverse(r)| *r).collect();
+        v.sort_unstable();
+        w.len(v.len())?;
+        for r in v {
+            w.u64(r.ready_at)?;
+            w.u16(r.sm)?;
+            w.u64(r.sector)?;
+            w.stream(r.stream)?;
+            w.u8(r.class_idx)?;
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, cfg: &MemConfig) -> io::Result<Self> {
+        let n_banks = cfg.n_l2_banks as usize;
+        let bank_geom = cfg.l2_bank_geom();
+        let xbar_in = Xbar::restore(r, (n_banks, cfg.xbar_latency))?;
+        let n = r.len(n_banks)?;
+        if n != n_banks {
+            return Err(bad(format!(
+                "checkpoint has {n} L2 banks, config implies {n_banks}"
+            )));
+        }
+        let mut banks = Vec::with_capacity(n_banks);
+        for _ in 0..n_banks {
+            banks.push(L2Bank::restore(
+                r,
+                (bank_geom, cfg.l2_mshr_entries, 16, cfg.l2_replacement),
+            )?);
+        }
+        let bank_map = BankMap::restore(r, ())?;
+        if bank_map.n_banks() != cfg.n_l2_banks {
+            return Err(bad("bank map does not match the configured bank count"));
+        }
+        let partition = SetPartition::restore(r, ())?;
+        let mut dram = Vec::with_capacity(n_banks);
+        for _ in 0..n_banks {
+            dram.push(Dram::restore(r, ())?);
+        }
+        let mut dram_ret = Vec::with_capacity(n_banks);
+        for _ in 0..n_banks {
+            let len = r.len(1 << 24)?;
+            let mut heap = BinaryHeap::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let ready_at = r.u64()?;
+                let sector = r.u64()?;
+                let stream = r.stream()?;
+                let class_idx = r.u8()?;
+                if class_idx > 2 {
+                    return Err(bad(format!("bad data-class index {class_idx}")));
+                }
+                heap.push(Reverse(DramReturn {
+                    ready_at,
+                    sector,
+                    stream,
+                    class_idx,
+                }));
+            }
+            dram_ret.push(heap);
+        }
+        let len = r.len(1 << 24)?;
+        let mut responses = BinaryHeap::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            let ready_at = r.u64()?;
+            let sm = r.u16()?;
+            if sm as usize >= cfg.n_sms {
+                return Err(bad(format!("response addressed to nonexistent SM {sm}")));
+            }
+            let sector = r.u64()?;
+            let stream = r.stream()?;
+            let class_idx = r.u8()?;
+            if class_idx > 2 {
+                return Err(bad(format!("bad data-class index {class_idx}")));
+            }
+            responses.push(Reverse(Response {
+                ready_at,
+                sm,
+                sector,
+                stream,
+                class_idx,
+            }));
+        }
+        Ok(MemSystem {
+            cfg: *cfg,
+            xbar_in,
+            banks,
+            bank_map,
+            partition,
+            dram,
+            dram_ret,
+            responses,
+        })
     }
 }
 

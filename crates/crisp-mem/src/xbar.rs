@@ -3,6 +3,9 @@
 //! bandwidth (the mechanism behind MiG's bandwidth loss in Figure 14).
 
 use std::collections::VecDeque;
+use std::io;
+
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 
 use crate::req::MemReq;
 
@@ -44,6 +47,45 @@ impl Xbar {
     /// Total queued requests (for drain checks).
     pub(crate) fn in_flight(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+impl CheckpointState for Xbar {
+    type SaveCtx<'a> = ();
+    /// `(destination count, latency)` from the configuration.
+    type RestoreCtx<'a> = (usize, u64);
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.len(self.queues.len())?;
+        for q in &self.queues {
+            w.len(q.len())?;
+            for (arrive, req) in q {
+                w.u64(*arrive)?;
+                req.save(w, ())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(
+        r: &mut Reader<R>,
+        (n_dsts, latency): (usize, u64),
+    ) -> io::Result<Self> {
+        let n = r.len(n_dsts)?;
+        if n != n_dsts {
+            return Err(bad(format!("xbar has {n} queues, config implies {n_dsts}")));
+        }
+        let mut queues = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.len(1 << 24)?;
+            let mut q = VecDeque::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let arrive = r.u64()?;
+                q.push_back((arrive, MemReq::restore(r, ())?));
+            }
+            queues.push(q);
+        }
+        Ok(Xbar { latency, queues })
     }
 }
 

@@ -101,6 +101,33 @@ impl TraceLog {
     pub fn is_empty(&self) -> bool {
         self.span_count() == 0 && self.instants.is_empty() && self.counters.is_empty()
     }
+
+    /// Driver-thread spans only (excluding the per-SM buffers), in record
+    /// order. Used by checkpoint serialization, which must preserve the
+    /// buffer structure rather than the merged view.
+    pub fn driver_spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// The per-SM span buffers (index = SM id).
+    pub fn sm_span_buffers(&self) -> &[Vec<SpanEvent>] {
+        &self.sm_spans
+    }
+
+    /// Reassemble a log from its raw parts (checkpoint restore).
+    pub fn from_parts(
+        spans: Vec<SpanEvent>,
+        sm_spans: Vec<Vec<SpanEvent>>,
+        instants: Vec<InstantEvent>,
+        counters: Vec<CounterSample>,
+    ) -> Self {
+        TraceLog {
+            spans,
+            sm_spans,
+            instants,
+            counters,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -214,6 +241,54 @@ impl TraceRecorder {
                 name: name.into(),
                 value,
             });
+        }
+    }
+
+    /// The log recorded so far (checkpoint serialization).
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+
+    /// Open CTA spans as `(seq, sm, stream, cta_index, start)` tuples,
+    /// sorted by sequence number (checkpoint serialization).
+    pub fn open_cta_entries(&self) -> Vec<(u64, u32, u32, usize, u64)> {
+        let mut v: Vec<_> = self
+            .open_ctas
+            .iter()
+            .map(|(&seq, &(c, start))| (seq, c.sm, c.stream, c.cta_index, start))
+            .collect();
+        v.sort_unstable_by_key(|&(seq, ..)| seq);
+        v
+    }
+
+    /// Reassemble a recorder from a restored log, the open-CTA tuples from
+    /// [`TraceRecorder::open_cta_entries`], and the recording flags.
+    pub fn from_parts(
+        log: TraceLog,
+        open: Vec<(u64, u32, u32, usize, u64)>,
+        record_spans: bool,
+        record_counters: bool,
+    ) -> Self {
+        TraceRecorder {
+            log,
+            open_ctas: open
+                .into_iter()
+                .map(|(seq, sm, stream, cta_index, start)| {
+                    (
+                        seq,
+                        (
+                            OpenCta {
+                                sm,
+                                stream,
+                                cta_index,
+                            },
+                            start,
+                        ),
+                    )
+                })
+                .collect(),
+            record_spans,
+            record_counters,
         }
     }
 

@@ -1,7 +1,11 @@
 //! Whole-GPU configurations, including the paper's Table II presets.
 
+use std::io;
+
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_mem::{CacheGeometry, MemConfig, Replacement};
 use crisp_sm::SmConfig;
+use crisp_trace::LINE_BYTES;
 
 /// Configuration of a simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,6 +174,115 @@ impl GpuConfig {
     }
 }
 
+impl CheckpointState for GpuConfig {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.str(&self.name)?;
+        w.u64(self.n_sms as u64)?;
+        self.sm.save(w, ())?;
+        w.u64(self.l1_bytes)?;
+        w.u32(self.l1_assoc)?;
+        w.u64(self.l1_latency)?;
+        w.u64(self.l2_bytes)?;
+        w.u32(self.l2_assoc)?;
+        w.u32(self.l2_banks)?;
+        w.u64(self.l2_latency)?;
+        w.u64(self.xbar_latency)?;
+        w.u64(self.dram_latency)?;
+        w.f64(self.core_clock_mhz)?;
+        w.f64(self.dram_gbps)?;
+        w.u64(self.max_cycles)?;
+        w.u64(self.l1_mshr_entries as u64)?;
+        w.u8(match self.l2_replacement {
+            Replacement::Lru => 0,
+            Replacement::Random => 1,
+        })?;
+        w.u64(self.threads as u64)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let cfg = GpuConfig {
+            name: r.str()?,
+            n_sms: r.u64()? as usize,
+            sm: SmConfig::restore(r, ())?,
+            l1_bytes: r.u64()?,
+            l1_assoc: r.u32()?,
+            l1_latency: r.u64()?,
+            l2_bytes: r.u64()?,
+            l2_assoc: r.u32()?,
+            l2_banks: r.u32()?,
+            l2_latency: r.u64()?,
+            xbar_latency: r.u64()?,
+            dram_latency: r.u64()?,
+            core_clock_mhz: r.f64()?,
+            dram_gbps: r.f64()?,
+            max_cycles: r.u64()?,
+            l1_mshr_entries: r.u64()? as usize,
+            l2_replacement: match r.u8()? {
+                0 => Replacement::Lru,
+                1 => Replacement::Random,
+                t => return Err(bad(format!("unknown replacement policy tag {t}"))),
+            },
+            threads: r.u64()? as usize,
+        };
+        // Cache geometry construction *asserts* well-formedness (whole
+        // number of sets, bank divisibility), so a corrupt checkpoint must
+        // be rejected here with an `Err`, before `mem_config()` can panic.
+        if cfg.n_sms == 0 || cfg.n_sms > 4096 {
+            return Err(bad(format!("implausible SM count {}", cfg.n_sms)));
+        }
+        if cfg.l1_assoc == 0
+            || cfg.l1_bytes == 0
+            || !cfg
+                .l1_bytes
+                .is_multiple_of(LINE_BYTES * cfg.l1_assoc as u64)
+        {
+            return Err(bad(format!(
+                "invalid L1 geometry: {} bytes, {}-way",
+                cfg.l1_bytes, cfg.l1_assoc
+            )));
+        }
+        let bank_bytes = match cfg.l2_banks {
+            0 => 0,
+            b => cfg.l2_bytes / b as u64,
+        };
+        if cfg.l2_assoc == 0
+            || cfg.l2_banks == 0
+            || !cfg.l2_bytes.is_multiple_of(cfg.l2_banks as u64)
+            || bank_bytes == 0
+            || !bank_bytes.is_multiple_of(LINE_BYTES * cfg.l2_assoc as u64)
+        {
+            return Err(bad(format!(
+                "invalid L2 geometry: {} bytes, {}-way, {} banks",
+                cfg.l2_bytes, cfg.l2_assoc, cfg.l2_banks
+            )));
+        }
+        if cfg.l1_mshr_entries == 0 || cfg.l1_mshr_entries > 1 << 16 {
+            return Err(bad(format!(
+                "implausible L1 MSHR count {}",
+                cfg.l1_mshr_entries
+            )));
+        }
+        if !(cfg.core_clock_mhz.is_finite()
+            && cfg.core_clock_mhz > 0.0
+            && cfg.dram_gbps.is_finite()
+            && cfg.dram_gbps > 0.0
+            && cfg.dram_bytes_per_cycle().is_finite())
+        {
+            return Err(bad(format!(
+                "invalid clocking: {} MHz, {} GB/s",
+                cfg.core_clock_mhz, cfg.dram_gbps
+            )));
+        }
+        if cfg.threads == 0 || cfg.threads > 4096 {
+            return Err(bad(format!("implausible thread count {}", cfg.threads)));
+        }
+        Ok(cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +313,35 @@ mod tests {
         let orin = GpuConfig::jetson_orin();
         // 1.3M cycles at 1300 MHz = 1 ms.
         assert!((orin.cycles_to_ms(1_300_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_presets() {
+        for cfg in [
+            GpuConfig::jetson_orin(),
+            GpuConfig::rtx3070(),
+            GpuConfig::test_tiny(),
+        ] {
+            let mut buf = Vec::new();
+            let mut w = Writer::new(&mut buf);
+            cfg.save(&mut w, ()).unwrap();
+            let mut r = Reader::new(buf.as_slice());
+            assert_eq!(GpuConfig::restore(&mut r, ()).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_broken_geometry() {
+        let cfg = GpuConfig {
+            l1_bytes: 1000, // not a multiple of 128 * assoc
+            ..GpuConfig::test_tiny()
+        };
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        cfg.save(&mut w, ()).unwrap();
+        let mut r = Reader::new(buf.as_slice());
+        let err = GpuConfig::restore(&mut r, ()).unwrap_err();
+        assert!(err.to_string().contains("L1 geometry"), "{err}");
     }
 
     #[test]

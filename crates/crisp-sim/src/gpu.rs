@@ -2,12 +2,21 @@
 //! partition policy, and the cycle loop.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use crisp_mem::{BankMap, CompositionSnapshot, MemStats, MemSystem, SetPartition, TapController};
-use crisp_obs::{Labels, MetricRegistry, MetricsSnapshot, TraceLog, TraceRecorder};
+use crisp_ckpt::{bad, CheckpointState, KernelTable, Reader, Writer};
+use crisp_mem::{
+    BankMap, CompositionSnapshot, MemReq, MemStats, MemSystem, ReqToken, SetPartition,
+    TapController,
+};
+use crisp_obs::{
+    CounterSample, InstantEvent, Labels, MetricRegistry, MetricsSnapshot, SpanEvent, TraceLog,
+    TraceRecorder, Track,
+};
 use crisp_sm::{CtaResources, CtaWork, ResourceQuota, Sm, StallBreakdown};
-use crisp_trace::{Command, KernelTrace, StreamId, StreamKind, TraceBundle};
+use crisp_trace::{Command, KernelTrace, Space, StreamId, StreamKind, TraceBundle, SECTOR_BYTES};
 
 use crate::config::GpuConfig;
 use crate::policy::{L2Policy, PartitionSpec, SmPartition};
@@ -289,16 +298,21 @@ pub struct GpuSim {
     /// Cached per-stream SM allowlists (index = SM id), built at load().
     allowed_sms: BTreeMap<StreamId, Vec<bool>>,
     kernel_log: Vec<KernelRecord>,
+    /// Write a checkpoint every this many cycles during [`GpuSim::run`]
+    /// (0 = never). Not itself part of the checkpointed state: a resumed
+    /// simulator starts with checkpointing off unless re-enabled.
+    pub checkpoint_every: u64,
+    /// Directory periodic checkpoints are written into as
+    /// `ckpt-<cycle>.ckpt`; `None` means the current directory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// While set, streams park in front of a marker with this label instead
+    /// of popping it — the cross-stream barrier behind
+    /// [`run_to_marker`](Self::run_to_marker). Transient; never serialized.
+    hold_at_marker: Option<String>,
 }
 
 impl GpuSim {
-    /// A GPU with the given configuration and partition policy, no work.
-    #[deprecated(note = "use `Simulation::builder()` instead")]
-    pub fn new(cfg: GpuConfig, spec: PartitionSpec) -> Self {
-        Self::with_spec(cfg, spec)
-    }
-
-    /// Internal constructor behind both [`GpuSim::new`] and the builder.
+    /// Internal constructor behind the builder.
     pub(crate) fn with_spec(cfg: GpuConfig, spec: PartitionSpec) -> Self {
         let mem = MemSystem::new(cfg.mem_config());
         let sms = mem
@@ -333,6 +347,9 @@ impl GpuSim {
             rr_offset: 0,
             allowed_sms: BTreeMap::new(),
             kernel_log: Vec::new(),
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            hold_at_marker: None,
             cfg,
         }
     }
@@ -434,38 +451,120 @@ impl GpuSim {
 
     /// Run to completion.
     ///
+    /// When [`checkpoint_every`](Self::checkpoint_every) is non-zero, a
+    /// checkpoint is written into [`checkpoint_dir`](Self::checkpoint_dir)
+    /// at every multiple of that cycle count.
+    ///
     /// # Panics
     ///
     /// Panics if the GPU makes no progress for 10M cycles (a CTA that can
-    /// never be placed) or exceeds `cfg.max_cycles`.
+    /// never be placed), exceeds `cfg.max_cycles`, or a periodic checkpoint
+    /// cannot be written.
     pub fn run(&mut self) -> SimResult {
-        // More workers than SMs would just idle; never exceed one SM/worker.
-        let workers = self.threads.min(self.sms.len().max(1));
-        if workers > 1 {
-            if let Some(violation) = self.run_parallel(workers) {
-                panic!("{violation}");
-            }
-        } else {
-            while self.work_remains() {
-                self.step();
-                if let Some(violation) = self.budget_violation() {
-                    panic!("{violation}");
+        if let Some(interval) = std::num::NonZeroU64::new(self.checkpoint_every) {
+            loop {
+                let boundary =
+                    (self.now / interval.get() + 1).saturating_mul(self.checkpoint_every);
+                if self.run_segment(Some(boundary)) {
+                    break;
+                }
+                let dir = self.checkpoint_dir.clone().unwrap_or_default();
+                let path = dir.join(format!("ckpt-{}.ckpt", self.now));
+                if let Err(e) = self.save_checkpoint(&path) {
+                    panic!("failed to write checkpoint {}: {e}", path.display());
                 }
             }
+        } else {
+            self.run_segment(None);
         }
         self.result()
     }
 
+    /// Advance until no work remains or `cycle` is reached, whichever comes
+    /// first. Returns `true` when the simulation finished. Continue with
+    /// another `run_until` or a final [`GpuSim::run`] for the result.
+    ///
+    /// # Panics
+    ///
+    /// Same budget panics as [`GpuSim::run`].
+    pub fn run_until(&mut self, cycle: u64) -> bool {
+        self.run_segment(Some(cycle))
+    }
+
+    /// Run in detail until every stream is parked in front of its next
+    /// `label` marker and the machine has drained — the marker acts as a
+    /// cross-stream barrier. Streams without such a marker simply run to
+    /// completion. Returns the cycle the barrier was reached; a subsequent
+    /// [`run`](Self::run) releases all streams in the same cycle.
+    ///
+    /// This is the detailed-mode counterpart of
+    /// [`fast_forward_to_marker`](Self::fast_forward_to_marker): both leave
+    /// every stream aligned at the marker, so a sampled region of interest
+    /// can be compared against a detailed reference with identical phasing.
+    ///
+    /// # Panics
+    ///
+    /// Same budget panics as [`GpuSim::run`].
+    pub fn run_to_marker(&mut self, label: &str) -> u64 {
+        self.hold_at_marker = Some(label.to_string());
+        self.run_segment(None);
+        self.hold_at_marker = None;
+        self.now
+    }
+
+    /// Shared driver behind [`run`](Self::run) and
+    /// [`run_until`](Self::run_until): pick serial or sharded execution and
+    /// advance until done or the cycle limit. Returns `true` when all work
+    /// has drained.
+    fn run_segment(&mut self, limit: Option<u64>) -> bool {
+        // More workers than SMs would just idle; never exceed one SM/worker.
+        let workers = self.threads.min(self.sms.len().max(1));
+        if workers > 1 {
+            match self.run_parallel(workers, limit) {
+                Ok(done) => done,
+                Err(violation) => panic!("{violation}"),
+            }
+        } else {
+            self.run_serial(limit)
+        }
+    }
+
+    fn run_serial(&mut self, limit: Option<u64>) -> bool {
+        while self.work_remains() {
+            if limit.is_some_and(|l| self.now >= l) {
+                return false;
+            }
+            self.step();
+            if let Some(violation) = self.budget_violation() {
+                panic!("{violation}");
+            }
+        }
+        true
+    }
+
     fn work_remains(&self) -> bool {
-        self.streams.iter().any(StreamState::work_remains)
+        self.streams
+            .iter()
+            .any(|s| s.work_remains() && !self.parked(s))
             || self.sms.iter().any(Sm::busy)
             || !self.mem.quiescent()
+    }
+
+    /// Whether `st` is waiting at the held barrier marker: its previous
+    /// kernel completed and the marker is next in line.
+    fn parked(&self, st: &StreamState) -> bool {
+        self.hold_at_marker.as_deref().is_some_and(|hold| {
+            st.current.is_none()
+                && matches!(st.commands.front(), Some(Command::Marker(l)) if l == hold)
+        })
     }
 
     /// Like [`work_remains`](Self::work_remains) but over SMs that have been
     /// moved out of `self` (the parallel path keeps them in shards).
     fn work_remains_refs(&self, sms: &[&mut Sm]) -> bool {
-        self.streams.iter().any(StreamState::work_remains)
+        self.streams
+            .iter()
+            .any(|s| s.work_remains() && !self.parked(s))
             || sms.iter().any(|sm| sm.busy())
             || !self.mem.quiescent()
     }
@@ -667,6 +766,11 @@ impl GpuSim {
                 {
                     break;
                 }
+                // A held marker is a cross-stream barrier: park in front of
+                // it (run_to_marker ends once every stream is parked).
+                if self.parked(&self.streams[si]) {
+                    break;
+                }
                 let Some(cmd) = self.streams[si].commands.pop_front() else {
                     if !self.streams[si].finished && self.streams[si].started {
                         self.streams[si].finished = true;
@@ -866,9 +970,11 @@ impl GpuSim {
     /// port's egress in ascending SM-id order, which is exactly the order
     /// the serial loop pushes requests — so results are bit-identical.
     ///
-    /// Returns a budget-violation message instead of panicking inside the
-    /// thread scope (a panic there would strand waiting workers).
-    fn run_parallel(&mut self, workers: usize) -> Option<String> {
+    /// Returns `Ok(true)` when all work drained, `Ok(false)` when the cycle
+    /// `limit` was reached first, and a budget-violation message as `Err`
+    /// instead of panicking inside the thread scope (a panic there would
+    /// strand waiting workers).
+    fn run_parallel(&mut self, workers: usize, limit: Option<u64>) -> Result<bool, String> {
         use std::sync::{Condvar, Mutex};
 
         struct Shard {
@@ -930,6 +1036,7 @@ impl GpuSim {
         };
 
         let mut violation: Option<String> = None;
+        let mut finished = false;
         std::thread::scope(|scope| {
             for shard in shards.iter() {
                 scope.spawn(move || {
@@ -975,6 +1082,9 @@ impl GpuSim {
             }
 
             loop {
+                if limit.is_some_and(|l| self.now >= l) {
+                    break;
+                }
                 let now = self.now;
                 // Serial pre-phase: stream advance + CTA dispatch.
                 {
@@ -982,6 +1092,7 @@ impl GpuSim {
                     let mut refs: Vec<&mut Sm> =
                         guards.iter_mut().flat_map(|g| g.sms.iter_mut()).collect();
                     if !self.work_remains_refs(&refs) {
+                        finished = true;
                         break;
                     }
                     self.advance_streams(now, &mut refs);
@@ -1035,7 +1146,10 @@ impl GpuSim {
             .flat_map(|s| std::mem::take(&mut lock(s).sms))
             .collect();
         debug_assert_eq!(self.sms.len(), n_sms);
-        violation
+        match violation {
+            Some(v) => Err(v),
+            None => Ok(finished),
+        }
     }
 
     fn result(&mut self) -> SimResult {
@@ -1170,6 +1284,622 @@ impl GpuSim {
     pub fn now(&self) -> u64 {
         self.now
     }
+
+    /// Functionally drain every stream's commands up to (and including) the
+    /// first marker named `label`, warming the L1/L2/DRAM state with each
+    /// skipped kernel's memory footprint but charging **zero cycles** — the
+    /// fast-forward half of ROI sampling. Detailed simulation then starts at
+    /// the region of interest with realistic cache contents.
+    ///
+    /// All memory-hierarchy statistics are cleared afterwards, so the
+    /// detailed region's numbers cover only its own traffic. Returns the
+    /// number of commands skipped. Streams without the marker are left
+    /// untouched (their work runs in detail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after detailed simulation has started.
+    pub fn fast_forward_to_marker(&mut self, label: &str) -> u64 {
+        assert!(
+            self.now == 0 && !self.sms.iter().any(Sm::busy),
+            "fast_forward_to_marker must run before detailed simulation"
+        );
+        let mut skipped = 0u64;
+        for si in 0..self.streams.len() {
+            let has_marker = self.streams[si]
+                .commands
+                .iter()
+                .any(|c| matches!(c, Command::Marker(l) if l == label));
+            if !has_marker {
+                continue;
+            }
+            let id = self.streams[si].id;
+            while let Some(cmd) = self.streams[si].commands.pop_front() {
+                skipped += 1;
+                match cmd {
+                    Command::Marker(l) => {
+                        if l == label {
+                            break;
+                        }
+                    }
+                    Command::Launch(k) => self.warm_kernel(id, &k),
+                }
+            }
+        }
+        // Warming must not pollute the ROI's statistics.
+        self.mem.clear_stats();
+        for sm in &mut self.sms {
+            sm.port_mut().clear_stats();
+        }
+        skipped
+    }
+
+    /// Replay one kernel's memory footprint through the hierarchy without
+    /// timing: every global-memory sector visits the L1 of the SM the CTA
+    /// would run on, and L1 misses/writes touch the shared L2/DRAM model.
+    fn warm_kernel(&mut self, stream: StreamId, k: &KernelTrace) {
+        let all: Vec<usize> = (0..self.sms.len()).collect();
+        let allowed: Vec<usize> = match self.allowed_sms.get(&stream) {
+            Some(mask) => {
+                let v: Vec<usize> = mask
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &a)| a)
+                    .map(|(i, _)| i)
+                    .collect();
+                if v.is_empty() {
+                    all
+                } else {
+                    v
+                }
+            }
+            None => all,
+        };
+        let mut chunks = Vec::new();
+        for (cta_index, cta) in k.ctas.iter().enumerate() {
+            let sm = allowed[cta_index % allowed.len()];
+            let token = ReqToken {
+                sm: sm as u16,
+                id: 0,
+            };
+            for w in &cta.warps {
+                for instr in w.iter() {
+                    let Some(mem) = &instr.mem else { continue };
+                    if mem.space == Space::Shared {
+                        continue;
+                    }
+                    let is_load = instr.op.is_load();
+                    mem.distinct_chunks_into(SECTOR_BYTES, &mut chunks);
+                    for &chunk in &chunks {
+                        let addr = chunk * SECTOR_BYTES;
+                        let req = if is_load {
+                            MemReq::read(addr, stream, mem.class, token)
+                        } else {
+                            MemReq::write(addr, stream, mem.class, token)
+                        };
+                        if self.sms[sm].port_mut().warm(&req) {
+                            self.mem.warm(&req);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Write a checkpoint of the full architectural state to `path`
+    /// (parent directories are created as needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization errors.
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        let mut sink = std::io::BufWriter::new(file);
+        self.write_checkpoint(&mut sink)?;
+        use std::io::Write as _;
+        sink.flush()
+    }
+
+    /// Serialize the full architectural state — streams, SMs, memory
+    /// hierarchy, statistics, telemetry — into `sink` in the versioned
+    /// `CKPT` format. [`GpuSim::read_checkpoint`] restores a simulator that
+    /// continues **bit-identically** at any worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_checkpoint<W: io::Write>(&self, sink: W) -> io::Result<()> {
+        let mut w = Writer::new(sink);
+        w.header()?;
+        self.cfg.save(&mut w, ())?;
+        self.spec.save(&mut w, ())?;
+        w.u64(self.threads as u64)?;
+
+        // Kernel interning: every Arc<KernelTrace> alive in the simulator
+        // (running kernels and resident warps) is written once and referred
+        // to by table index, preserving Arc identity across restore.
+        let mut table = KernelTable::new();
+        for st in &self.streams {
+            if let Some(r) = &st.current {
+                table.intern(&r.kernel);
+            }
+        }
+        for sm in &self.sms {
+            sm.intern_kernels(&mut table);
+        }
+        table.save(&mut w)?;
+
+        w.u64(self.now)?;
+        w.u64(self.cta_seq)?;
+        w.u64(self.last_progress)?;
+        w.u64(self.rr_offset as u64)?;
+        w.u64(self.occupancy_interval)?;
+        w.u64(self.composition_interval)?;
+        w.u64(self.counter_interval)?;
+
+        w.len(self.streams.len())?;
+        for st in &self.streams {
+            w.stream(st.id)?;
+            w.u8(match st.kind {
+                StreamKind::Graphics => 0,
+                StreamKind::Compute => 1,
+            })?;
+            w.len(st.commands.len())?;
+            for cmd in &st.commands {
+                match cmd {
+                    Command::Launch(k) => {
+                        w.u8(0)?;
+                        w.kernel(k)?;
+                    }
+                    Command::Marker(l) => {
+                        w.u8(1)?;
+                        w.str(l)?;
+                    }
+                }
+            }
+            w.option(st.current.as_ref(), |w, r| {
+                w.u64(table.index_of(&r.kernel)?)?;
+                w.u64(r.next_cta as u64)?;
+                w.u64(r.outstanding as u64)?;
+                w.u64(r.start_cycle)
+            })?;
+            w.bool(st.started)?;
+            w.bool(st.finished)?;
+        }
+
+        w.len(self.stats.len())?;
+        for (&id, st) in &self.stats {
+            w.stream(id)?;
+            st.save(&mut w, ())?;
+        }
+        w.len(self.occupancy.len())?;
+        for s in &self.occupancy {
+            s.save(&mut w, ())?;
+        }
+        w.len(self.ipc_timeline.len())?;
+        for (cycle, m) in &self.ipc_timeline {
+            w.u64(*cycle)?;
+            write_stream_u64_map(&mut w, m)?;
+        }
+        write_stream_u64_map(&mut w, &self.last_issued_snapshot)?;
+        w.len(self.composition_timeline.len())?;
+        for (cycle, snap) in &self.composition_timeline {
+            w.u64(*cycle)?;
+            snap.save(&mut w, ())?;
+        }
+        write_stream_u64_map(&mut w, &self.counter_prev_issued)?;
+        write_stream_u64_map(&mut w, &self.counter_prev_dram)?;
+        w.u64(self.counter_prev_l1.0)?;
+        w.u64(self.counter_prev_l1.1)?;
+        w.u64(self.counter_prev_l2.0)?;
+        w.u64(self.counter_prev_l2.1)?;
+
+        w.len(self.allowed_sms.len())?;
+        for (&id, mask) in &self.allowed_sms {
+            w.stream(id)?;
+            w.len(mask.len())?;
+            for &b in mask {
+                w.bool(b)?;
+            }
+        }
+        w.len(self.kernel_log.len())?;
+        for k in &self.kernel_log {
+            w.stream(k.stream)?;
+            w.str(&k.name)?;
+            w.u64(k.start_cycle)?;
+            w.u64(k.end_cycle)?;
+            w.u64(k.ctas)?;
+        }
+        w.option(self.slicer.as_ref(), |w, s| s.save(w, ()))?;
+        w.option(self.recorder.as_ref(), save_recorder)?;
+
+        for sm in &self.sms {
+            sm.save(&mut w, &table)?;
+        }
+        self.mem.save(&mut w, ())?;
+        Ok(())
+    }
+
+    /// Restore a simulator from a checkpoint written by
+    /// [`GpuSim::write_checkpoint`]. The worker-thread count is restored
+    /// from the checkpoint but may be overridden with
+    /// [`GpuSim::set_threads`] — results are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on any malformed, truncated, or corrupt input;
+    /// never panics.
+    pub fn read_checkpoint<R: io::Read>(src: R) -> io::Result<GpuSim> {
+        let mut r = Reader::new(src);
+        r.header()?;
+        let cfg = GpuConfig::restore(&mut r, ())?;
+        let spec = PartitionSpec::restore(&mut r, ())?;
+        let threads = r.u64()?.clamp(1, 1 << 16) as usize;
+        let table = KernelTable::restore(&mut r)?;
+
+        let now = r.u64()?;
+        let cta_seq = r.u64()?;
+        let last_progress = r.u64()?;
+        let rr_offset = r.u64()? as usize;
+        let occupancy_interval = r.u64()?;
+        let composition_interval = r.u64()?;
+        let counter_interval = r.u64()?;
+
+        let n_streams = r.len(1 << 16)?;
+        let mut streams = Vec::with_capacity(n_streams.min(64));
+        for _ in 0..n_streams {
+            let id = r.stream()?;
+            let kind = match r.u8()? {
+                0 => StreamKind::Graphics,
+                1 => StreamKind::Compute,
+                t => return Err(bad(format!("unknown stream-kind tag {t}"))),
+            };
+            let n_cmds = r.len(1 << 20)?;
+            let mut commands = VecDeque::with_capacity(n_cmds.min(1 << 12));
+            for _ in 0..n_cmds {
+                commands.push_back(match r.u8()? {
+                    0 => Command::Launch(r.kernel()?),
+                    1 => Command::Marker(r.str()?),
+                    t => return Err(bad(format!("unknown command tag {t}"))),
+                });
+            }
+            let current = r.option(|r| {
+                let kernel = table.get(r.u64()?)?;
+                let next_cta = r.u64()? as usize;
+                let outstanding = r.u64()? as usize;
+                let start_cycle = r.u64()?;
+                if next_cta > kernel.grid() || outstanding > kernel.grid() {
+                    return Err(bad("running-kernel cursor past its grid"));
+                }
+                Ok(RunningKernel {
+                    kernel,
+                    next_cta,
+                    outstanding,
+                    start_cycle,
+                })
+            })?;
+            let started = r.bool()?;
+            let finished = r.bool()?;
+            streams.push(StreamState {
+                id,
+                kind,
+                commands,
+                current,
+                started,
+                finished,
+            });
+        }
+
+        let n_stats = r.len(1 << 16)?;
+        let mut stats = BTreeMap::new();
+        for _ in 0..n_stats {
+            let id = r.stream()?;
+            stats.insert(id, PerStreamStats::restore(&mut r, ())?);
+        }
+        let n = r.len(1 << 28)?;
+        let mut occupancy = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            occupancy.push(OccupancySample::restore(&mut r, ())?);
+        }
+        let n = r.len(1 << 28)?;
+        let mut ipc_timeline = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let cycle = r.u64()?;
+            ipc_timeline.push((cycle, read_stream_u64_map(&mut r)?));
+        }
+        let last_issued_snapshot = read_stream_u64_map(&mut r)?;
+        let n = r.len(1 << 28)?;
+        let mut composition_timeline = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let cycle = r.u64()?;
+            composition_timeline.push((cycle, CompositionSnapshot::restore(&mut r, ())?));
+        }
+        let counter_prev_issued = read_stream_u64_map(&mut r)?;
+        let counter_prev_dram = read_stream_u64_map(&mut r)?;
+        let counter_prev_l1 = (r.u64()?, r.u64()?);
+        let counter_prev_l2 = (r.u64()?, r.u64()?);
+
+        let n_masks = r.len(1 << 16)?;
+        let mut allowed_sms = BTreeMap::new();
+        for _ in 0..n_masks {
+            let id = r.stream()?;
+            let len = r.len(1 << 16)?;
+            if len != cfg.n_sms {
+                return Err(bad(format!(
+                    "SM allowlist for {id} has {len} entries, config has {} SMs",
+                    cfg.n_sms
+                )));
+            }
+            let mut mask = Vec::with_capacity(len);
+            for _ in 0..len {
+                mask.push(r.bool()?);
+            }
+            allowed_sms.insert(id, mask);
+        }
+        let n = r.len(1 << 24)?;
+        let mut kernel_log = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            kernel_log.push(KernelRecord {
+                stream: r.stream()?,
+                name: r.str()?,
+                start_cycle: r.u64()?,
+                end_cycle: r.u64()?,
+                ctas: r.u64()?,
+            });
+        }
+        let slicer = r.option(|r| WarpedSlicer::restore(r, ()))?;
+        let recorder = r.option(|r| restore_recorder(r, cfg.n_sms))?;
+
+        let mem_cfg = cfg.mem_config();
+        let mut sms = Vec::with_capacity(cfg.n_sms);
+        for i in 0..cfg.n_sms {
+            sms.push(Sm::restore(&mut r, (i, cfg.sm, &mem_cfg, &table))?);
+        }
+        let mem = MemSystem::restore(&mut r, &mem_cfg)?;
+
+        Ok(GpuSim {
+            cfg,
+            spec,
+            sms,
+            mem,
+            threads,
+            streams,
+            slicer,
+            now,
+            stats,
+            occupancy,
+            ipc_timeline,
+            last_issued_snapshot,
+            occupancy_interval,
+            composition_interval,
+            counter_interval,
+            composition_timeline,
+            recorder,
+            counter_prev_issued,
+            counter_prev_dram,
+            counter_prev_l1,
+            counter_prev_l2,
+            cta_seq,
+            last_progress,
+            rr_offset,
+            allowed_sms,
+            kernel_log,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            hold_at_marker: None,
+        })
+    }
+}
+
+fn write_stream_u64_map<W: io::Write>(
+    w: &mut Writer<W>,
+    m: &BTreeMap<StreamId, u64>,
+) -> io::Result<()> {
+    w.len(m.len())?;
+    for (&id, &v) in m {
+        w.stream(id)?;
+        w.u64(v)?;
+    }
+    Ok(())
+}
+
+fn read_stream_u64_map<R: io::Read>(r: &mut Reader<R>) -> io::Result<BTreeMap<StreamId, u64>> {
+    let n = r.len(1 << 16)?;
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        let id = r.stream()?;
+        m.insert(id, r.u64()?);
+    }
+    Ok(m)
+}
+
+fn save_track<W: io::Write>(w: &mut Writer<W>, t: Track) -> io::Result<()> {
+    match t {
+        Track::Gpu => w.u8(0),
+        Track::Stream(s) => {
+            w.u8(1)?;
+            w.u32(s)
+        }
+        Track::Sm(s) => {
+            w.u8(2)?;
+            w.u32(s)
+        }
+    }
+}
+
+fn restore_track<R: io::Read>(r: &mut Reader<R>) -> io::Result<Track> {
+    Ok(match r.u8()? {
+        0 => Track::Gpu,
+        1 => Track::Stream(r.u32()?),
+        2 => Track::Sm(r.u32()?),
+        t => return Err(bad(format!("unknown track tag {t}"))),
+    })
+}
+
+/// Span categories form a closed set (the recorder only emits these), which
+/// lets restore rebuild the `&'static str` tags.
+fn cat_tag(cat: &str) -> io::Result<u8> {
+    match cat {
+        "cta" => Ok(0),
+        "kernel" => Ok(1),
+        "marker" => Ok(2),
+        _ => Err(bad(format!("unknown span category {cat:?}"))),
+    }
+}
+
+fn cat_from(tag: u8) -> io::Result<&'static str> {
+    Ok(match tag {
+        0 => "cta",
+        1 => "kernel",
+        2 => "marker",
+        t => return Err(bad(format!("unknown span-category tag {t}"))),
+    })
+}
+
+fn save_span<W: io::Write>(w: &mut Writer<W>, s: &SpanEvent) -> io::Result<()> {
+    save_track(w, s.track)?;
+    w.str(&s.name)?;
+    w.u8(cat_tag(s.cat)?)?;
+    w.u64(s.start)?;
+    w.u64(s.dur)?;
+    w.len(s.args.len())?;
+    for (k, v) in &s.args {
+        w.str(k)?;
+        w.str(v)?;
+    }
+    Ok(())
+}
+
+fn restore_span<R: io::Read>(r: &mut Reader<R>) -> io::Result<SpanEvent> {
+    let track = restore_track(r)?;
+    let name = r.str()?;
+    let cat = cat_from(r.u8()?)?;
+    let start = r.u64()?;
+    let dur = r.u64()?;
+    let n_args = r.len(1 << 10)?;
+    let mut args = Vec::with_capacity(n_args);
+    for _ in 0..n_args {
+        let k = r.str()?;
+        let v = r.str()?;
+        args.push((k, v));
+    }
+    Ok(SpanEvent {
+        track,
+        name,
+        cat,
+        start,
+        dur,
+        args,
+    })
+}
+
+fn save_recorder<W: io::Write>(w: &mut Writer<W>, rec: &TraceRecorder) -> io::Result<()> {
+    w.bool(rec.records_spans())?;
+    w.bool(rec.records_counters())?;
+    let log = rec.log();
+    w.len(log.driver_spans().len())?;
+    for s in log.driver_spans() {
+        save_span(w, s)?;
+    }
+    w.len(log.sm_span_buffers().len())?;
+    for buf in log.sm_span_buffers() {
+        w.len(buf.len())?;
+        for s in buf {
+            save_span(w, s)?;
+        }
+    }
+    w.len(log.instants().len())?;
+    for i in log.instants() {
+        save_track(w, i.track)?;
+        w.str(&i.name)?;
+        w.u8(cat_tag(i.cat)?)?;
+        w.u64(i.at)?;
+    }
+    w.len(log.counters().len())?;
+    for c in log.counters() {
+        w.u64(c.cycle)?;
+        w.str(&c.name)?;
+        w.f64(c.value)?;
+    }
+    let open = rec.open_cta_entries();
+    w.len(open.len())?;
+    for (seq, sm, stream, cta_index, start) in open {
+        w.u64(seq)?;
+        w.u32(sm)?;
+        w.u32(stream)?;
+        w.u64(cta_index as u64)?;
+        w.u64(start)?;
+    }
+    Ok(())
+}
+
+fn restore_recorder<R: io::Read>(r: &mut Reader<R>, n_sms: usize) -> io::Result<TraceRecorder> {
+    let record_spans = r.bool()?;
+    let record_counters = r.bool()?;
+    let n = r.len(1 << 28)?;
+    let mut spans = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        spans.push(restore_span(r)?);
+    }
+    let n_bufs = r.len(1 << 16)?;
+    if n_bufs != n_sms {
+        return Err(bad(format!(
+            "trace log has {n_bufs} SM buffers, config has {n_sms} SMs"
+        )));
+    }
+    let mut sm_spans = Vec::with_capacity(n_bufs);
+    for _ in 0..n_bufs {
+        let n = r.len(1 << 28)?;
+        let mut buf = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            buf.push(restore_span(r)?);
+        }
+        sm_spans.push(buf);
+    }
+    let n = r.len(1 << 28)?;
+    let mut instants = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let track = restore_track(r)?;
+        let name = r.str()?;
+        let cat = cat_from(r.u8()?)?;
+        let at = r.u64()?;
+        instants.push(InstantEvent {
+            track,
+            name,
+            cat,
+            at,
+        });
+    }
+    let n = r.len(1 << 28)?;
+    let mut counters = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let cycle = r.u64()?;
+        let name = r.str()?;
+        let value = r.f64()?;
+        counters.push(CounterSample { cycle, name, value });
+    }
+    let n_open = r.len(1 << 20)?;
+    let mut open = Vec::with_capacity(n_open.min(1 << 12));
+    for _ in 0..n_open {
+        let seq = r.u64()?;
+        let sm = r.u32()?;
+        let stream = r.u32()?;
+        let cta_index = r.u64()? as usize;
+        let start = r.u64()?;
+        open.push((seq, sm, stream, cta_index, start));
+    }
+    Ok(TraceRecorder::from_parts(
+        TraceLog::from_parts(spans, sm_spans, instants, counters),
+        open,
+        record_spans,
+        record_counters,
+    ))
 }
 
 #[cfg(test)]
@@ -1494,6 +2224,129 @@ mod tests {
             G,
             StreamKind::Graphics,
         )]));
+    }
+
+    /// A telemetry-heavy two-stream workload for checkpoint tests.
+    fn ckpt_sim() -> GpuSim {
+        let cfg = GpuConfig::test_tiny();
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
+        gpu.set_telemetry(true, true);
+        gpu.occupancy_interval = 50;
+        gpu.composition_interval = 60;
+        gpu.counter_interval = 40;
+        gpu.load(bundle_two(
+            alu_kernel("g", 300, 2, 6, 16),
+            mem_kernel("cmem", 6, 3),
+        ));
+        gpu
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_identically() {
+        let r_base = ckpt_sim().run();
+
+        let mut gpu = ckpt_sim();
+        assert!(!gpu.run_until(100), "workload must outlast the checkpoint");
+        let mut bytes = Vec::new();
+        gpu.write_checkpoint(&mut bytes).unwrap();
+        let mut resumed = GpuSim::read_checkpoint(&bytes[..]).unwrap();
+        let r_resumed = resumed.run();
+        // The checkpointed original keeps running unperturbed too.
+        let r_orig = gpu.run();
+
+        for r in [&r_orig, &r_resumed] {
+            assert_eq!(r.cycles, r_base.cycles);
+            assert_eq!(r.per_stream, r_base.per_stream);
+            assert_eq!(r.per_sm_stalls, r_base.per_sm_stalls);
+            assert_eq!(r.occupancy, r_base.occupancy);
+            assert_eq!(r.kernel_log, r_base.kernel_log);
+            assert_eq!(r.metrics_csv(), r_base.metrics_csv());
+            assert_eq!(r.chrome_trace_json(), r_base.chrome_trace_json());
+            assert_eq!(r.counters_csv(), r_base.counters_csv());
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_thread_count_independent() {
+        let r_base = ckpt_sim().run();
+        let mut gpu = ckpt_sim();
+        gpu.run_until(100);
+        let mut bytes = Vec::new();
+        gpu.write_checkpoint(&mut bytes).unwrap();
+        for threads in [2, 4] {
+            let mut resumed = GpuSim::read_checkpoint(&bytes[..]).unwrap();
+            resumed.set_threads(threads);
+            let r = resumed.run();
+            assert_eq!(r.cycles, r_base.cycles);
+            assert_eq!(r.per_stream, r_base.per_stream);
+            assert_eq!(r.chrome_trace_json(), r_base.chrome_trace_json());
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_written_and_resumable() {
+        let dir = std::env::temp_dir().join(format!("crisp-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r_base = ckpt_sim().run();
+
+        let mut gpu = ckpt_sim();
+        gpu.checkpoint_every = 100;
+        gpu.checkpoint_dir = Some(dir.clone());
+        let r_full = gpu.run();
+        assert_eq!(r_full.cycles, r_base.cycles);
+
+        let first = dir.join("ckpt-100.ckpt");
+        assert!(first.exists(), "periodic checkpoint must be on disk");
+        let mut resumed = crate::Simulation::resume(&first).unwrap();
+        assert_eq!(resumed.now(), 100);
+        let r = resumed.run();
+        assert_eq!(r.cycles, r_base.cycles);
+        assert_eq!(r.per_stream, r_base.per_stream);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_checkpoint_rejects_garbage() {
+        assert!(GpuSim::read_checkpoint(&b""[..]).is_err());
+        assert!(GpuSim::read_checkpoint(&b"not a checkpoint"[..]).is_err());
+        let mut bytes = Vec::new();
+        ckpt_sim().write_checkpoint(&mut bytes).unwrap();
+        // Truncation anywhere must error, never panic.
+        assert!(GpuSim::read_checkpoint(&bytes[..bytes.len() / 2]).is_err());
+        assert!(GpuSim::read_checkpoint(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn run_to_marker_parks_all_streams_at_the_barrier() {
+        let cfg = GpuConfig::test_tiny();
+        let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
+        gpu.set_telemetry(true, false);
+        let mut sg = Stream::new(G, StreamKind::Graphics);
+        sg.launch(alu_kernel("g0", 300, 2, 6, 16));
+        sg.marker("roi");
+        sg.launch(alu_kernel("g1", 300, 2, 6, 16));
+        let mut sc = Stream::new(C, StreamKind::Compute);
+        sc.launch(mem_kernel("c0", 6, 3));
+        sc.marker("roi");
+        sc.launch(mem_kernel("c1", 6, 3));
+        gpu.load(TraceBundle::from_streams(vec![sg, sc]));
+
+        let barrier = gpu.run_to_marker("roi");
+        assert!(barrier > 0, "the pre-barrier kernels take time");
+        let r = gpu.run();
+        assert!(r.cycles > barrier, "the post-barrier kernels take time");
+        // Both streams cross the barrier in the same cycle: the slower
+        // stream's kernel gates the faster one's marker.
+        let marks: Vec<u64> = r
+            .timeline
+            .instants()
+            .iter()
+            .filter(|i| i.name == "roi")
+            .map(|i| i.at)
+            .collect();
+        assert_eq!(marks, vec![barrier, barrier]);
+        assert_eq!(r.per_stream[&G].stats.kernels, 2);
+        assert_eq!(r.per_stream[&C].stats.kernels, 2);
     }
 
     #[test]

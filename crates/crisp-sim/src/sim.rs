@@ -90,6 +90,22 @@ impl Simulation {
     pub fn builder() -> SimulationBuilder {
         SimulationBuilder::default()
     }
+
+    /// Restore a simulator from a checkpoint file written via
+    /// [`SimulationBuilder::checkpoint_every`] or
+    /// [`GpuSim::save_checkpoint`]. The resumed run is **bit-identical** to
+    /// the uninterrupted one — same [`SimResult`], metrics, and exported
+    /// timeline — at any worker-thread count ([`GpuSim::set_threads`] may
+    /// be called on the result).
+    ///
+    /// # Errors
+    ///
+    /// Returns filesystem errors and `InvalidData` for malformed, truncated,
+    /// or corrupt checkpoints; never panics on bad input.
+    pub fn resume(path: impl AsRef<std::path::Path>) -> std::io::Result<GpuSim> {
+        let file = std::fs::File::open(path)?;
+        GpuSim::read_checkpoint(std::io::BufReader::new(file))
+    }
 }
 
 /// Fluent configuration for one simulation run.
@@ -104,6 +120,9 @@ pub struct SimulationBuilder {
     composition_interval: Option<u64>,
     counter_interval: Option<u64>,
     profile_to: Option<std::path::PathBuf>,
+    checkpoint_every: Option<u64>,
+    checkpoint_to: Option<std::path::PathBuf>,
+    fast_forward_to: Option<String>,
     trace: Option<TraceBundle>,
 }
 
@@ -174,6 +193,31 @@ impl SimulationBuilder {
         self
     }
 
+    /// Write a checkpoint every `cycles` cycles during the run (0 disables,
+    /// the default). Files are named `ckpt-<cycle>.ckpt` inside the
+    /// [`checkpoint_to`](Self::checkpoint_to) directory. Resume with
+    /// [`Simulation::resume`].
+    pub fn checkpoint_every(mut self, cycles: u64) -> Self {
+        self.checkpoint_every = Some(cycles);
+        self
+    }
+
+    /// Directory periodic checkpoints are written into (default: the
+    /// current directory). Created on first write if missing.
+    pub fn checkpoint_to(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_to = Some(dir.into());
+        self
+    }
+
+    /// Skip ahead to the region of interest: functionally drain every
+    /// stream's commands up to the first marker named `label`, warming the
+    /// cache/DRAM state without charging cycles, then simulate in detail
+    /// from there (see [`GpuSim::fast_forward_to_marker`]).
+    pub fn fast_forward_to(mut self, label: impl Into<String>) -> Self {
+        self.fast_forward_to = Some(label.into());
+        self
+    }
+
     /// The workload to replay.
     pub fn trace(mut self, bundle: TraceBundle) -> Self {
         self.trace = Some(bundle);
@@ -216,8 +260,15 @@ impl SimulationBuilder {
             self.telemetry.contains(Telemetry::TIMELINE),
             sim.counter_interval > 0,
         );
+        if let Some(cycles) = self.checkpoint_every {
+            sim.checkpoint_every = cycles;
+        }
+        sim.checkpoint_dir = self.checkpoint_to;
         if let Some(bundle) = self.trace {
             sim.load(bundle);
+        }
+        if let Some(label) = self.fast_forward_to {
+            sim.fast_forward_to_marker(&label);
         }
         sim
     }
@@ -404,10 +455,66 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_works() {
-        let mut gpu = GpuSim::new(GpuConfig::test_tiny(), PartitionSpec::greedy());
-        gpu.load(bundle());
+    fn builder_constructs_a_runnable_sim() {
+        let mut gpu = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .partition(PartitionSpec::greedy())
+            .trace(bundle())
+            .build();
         assert!(gpu.run().cycles > 0);
+    }
+
+    #[test]
+    fn checkpoint_knobs_reach_the_sim() {
+        let sim = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .checkpoint_every(5_000)
+            .checkpoint_to("/tmp/ckpts")
+            .build();
+        assert_eq!(sim.checkpoint_every, 5_000);
+        assert_eq!(
+            sim.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ckpts"))
+        );
+    }
+
+    #[test]
+    fn fast_forward_skips_to_the_marker() {
+        // Two identical kernels split by a marker: fast-forwarding to the
+        // marker must simulate only the second one in detail.
+        let mk = |name: &str| {
+            let mut w = WarpTrace::new();
+            for i in 0..200 {
+                w.push(Instr::alu(Op::FpFma, Reg((i % 8) + 1), &[]));
+            }
+            w.seal();
+            KernelTrace::new(name, 64, 16, 0, vec![CtaTrace::new(vec![w; 2]); 4])
+        };
+        let two_phase = || {
+            let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+            s.launch(mk("warmup"));
+            s.marker("roi");
+            s.launch(mk("roi_kernel"));
+            TraceBundle::from_streams(vec![s])
+        };
+        let full = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .trace(two_phase())
+            .run();
+        let roi = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .trace(two_phase())
+            .fast_forward_to("roi")
+            .run();
+        assert_eq!(full.per_stream[&StreamId(0)].stats.kernels, 2);
+        assert_eq!(roi.per_stream[&StreamId(0)].stats.kernels, 1);
+        assert!(
+            roi.cycles * 2 < full.cycles + 10,
+            "ROI run must only simulate the second kernel: full {} roi {}",
+            full.cycles,
+            roi.cycles
+        );
+        assert_eq!(roi.kernel_log.len(), 1);
+        assert_eq!(roi.kernel_log[0].name, "roi_kernel");
     }
 }

@@ -7,6 +7,9 @@
 //! at compute-kernel launches and at graphics drawcalls (paper Fig 12
 //! methodology).
 
+use std::io;
+
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_sm::{ResourceQuota, SmConfig};
 use crisp_trace::StreamId;
 
@@ -174,6 +177,102 @@ impl WarpedSlicer {
     }
 }
 
+impl CheckpointState for SlicerConfig {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u64(self.sample_cycles)?;
+        w.len(self.ratios.len())?;
+        for &(num, denom) in &self.ratios {
+            w.u32(num)?;
+            w.u32(denom)?;
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let sample_cycles = r.u64()?;
+        let n = r.len(1 << 12)?;
+        let mut ratios = Vec::with_capacity(n);
+        for _ in 0..n {
+            let num = r.u32()?;
+            let denom = r.u32()?;
+            // `ResourceQuota::fraction` divides by `denom` and the slicer
+            // computes `denom - num` for the complement side — both panic
+            // paths on corrupt input.
+            if denom == 0 || num > denom {
+                return Err(bad(format!("invalid slicer ratio {num}/{denom}")));
+            }
+            ratios.push((num, denom));
+        }
+        Ok(SlicerConfig {
+            sample_cycles,
+            ratios,
+        })
+    }
+}
+
+impl CheckpointState for WarpedSlicer {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        self.cfg.save(w, ())?;
+        w.stream(self.streams[0])?;
+        w.stream(self.streams[1])?;
+        match self.state {
+            State::Sampling { until } => {
+                w.u8(0)?;
+                w.u64(until)?;
+            }
+            State::Applied => w.u8(1)?,
+        }
+        w.u32(self.chosen.0)?;
+        w.u32(self.chosen.1)?;
+        w.len(self.history.len())?;
+        for &(cycle, frac) in &self.history {
+            w.u64(cycle)?;
+            w.f64(frac)?;
+        }
+        w.u64(self.resets)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let cfg = SlicerConfig::restore(r, ())?;
+        if cfg.ratios.is_empty() {
+            return Err(bad("slicer checkpoint has no candidate ratios"));
+        }
+        let streams = [r.stream()?, r.stream()?];
+        let state = match r.u8()? {
+            0 => State::Sampling { until: r.u64()? },
+            1 => State::Applied,
+            t => return Err(bad(format!("unknown slicer state tag {t}"))),
+        };
+        let chosen = (r.u32()?, r.u32()?);
+        if chosen.1 == 0 || chosen.0 > chosen.1 {
+            return Err(bad(format!(
+                "invalid chosen slicer ratio {}/{}",
+                chosen.0, chosen.1
+            )));
+        }
+        let n = r.len(1 << 20)?;
+        let mut history = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            let cycle = r.u64()?;
+            history.push((cycle, r.f64()?));
+        }
+        Ok(WarpedSlicer {
+            cfg,
+            streams,
+            state,
+            chosen,
+            history,
+            resets: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +355,38 @@ mod tests {
         assert!(decided);
         let f = s.chosen_fraction();
         assert!((f - 0.5).abs() < 0.15, "middle ratio expected, got {f}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_slicer() {
+        let mut s = slicer();
+        let _ = s.maybe_decide(10_000, 14, |sm, _| (sm as u64 + 1) * 10);
+        s.on_reset(20_000);
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        s.save(&mut w, ()).unwrap();
+        let mut r = Reader::new(buf.as_slice());
+        let back = WarpedSlicer::restore(&mut r, ()).unwrap();
+        assert_eq!(back.streams(), s.streams());
+        assert_eq!(back.is_sampling(), s.is_sampling());
+        assert_eq!(back.chosen_fraction(), s.chosen_fraction());
+        assert_eq!(back.history(), s.history());
+        assert_eq!(back.resets(), s.resets());
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_zero_denominator() {
+        // Hand-craft a config with a zero denominator — `fraction` would
+        // divide by it at quota time.
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.u64(100).unwrap(); // sample_cycles
+        w.len(1).unwrap();
+        w.u32(1).unwrap(); // num
+        w.u32(0).unwrap(); // denom = 0
+        let mut r = Reader::new(buf.as_slice());
+        let err = SlicerConfig::restore(&mut r, ()).unwrap_err();
+        assert!(err.to_string().contains("ratio"), "{err}");
     }
 
     #[test]

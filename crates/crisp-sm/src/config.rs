@@ -1,5 +1,8 @@
 //! SM configuration: resource caps and execution-pipe timing.
 
+use std::io;
+
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_trace::{Op, Space};
 
 /// Warp-scheduler selection policy.
@@ -104,6 +107,84 @@ impl SmConfig {
     }
 }
 
+impl CheckpointState for SmConfig {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u32(self.max_warps)?;
+        w.u32(self.max_threads)?;
+        w.u32(self.max_ctas)?;
+        w.u32(self.max_regs)?;
+        w.u32(self.max_smem)?;
+        w.u32(self.schedulers)?;
+        w.u32(self.fp_units)?;
+        w.u32(self.int_units)?;
+        w.u32(self.sfu_units)?;
+        w.u32(self.tensor_units)?;
+        w.u32(self.l1_ports)?;
+        w.u64(self.lsu_queue_depth as u64)?;
+        w.u64(self.smem_latency)?;
+        w.u8(match self.scheduler {
+            SchedulerPolicy::Gto => 0,
+            SchedulerPolicy::Lrr => 1,
+        })
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let cfg = SmConfig {
+            max_warps: r.u32()?,
+            max_threads: r.u32()?,
+            max_ctas: r.u32()?,
+            max_regs: r.u32()?,
+            max_smem: r.u32()?,
+            schedulers: r.u32()?,
+            fp_units: r.u32()?,
+            int_units: r.u32()?,
+            sfu_units: r.u32()?,
+            tensor_units: r.u32()?,
+            l1_ports: r.u32()?,
+            lsu_queue_depth: r.u64()? as usize,
+            smem_latency: r.u64()?,
+            scheduler: match r.u8()? {
+                0 => SchedulerPolicy::Gto,
+                1 => SchedulerPolicy::Lrr,
+                t => return Err(bad(format!("unknown scheduler policy tag {t}"))),
+            },
+        };
+        // Restored counts bound later allocations (warp slots, pipeline
+        // vectors, LSU queue) — reject values a real SM could never have
+        // before anything is sized from them.
+        if cfg.max_warps == 0 || cfg.max_warps > 4096 {
+            return Err(bad(format!("implausible max_warps {}", cfg.max_warps)));
+        }
+        if cfg.max_ctas == 0 || cfg.max_ctas > 4096 {
+            return Err(bad(format!("implausible max_ctas {}", cfg.max_ctas)));
+        }
+        if cfg.schedulers == 0 || cfg.schedulers > 4096 {
+            return Err(bad(format!("implausible schedulers {}", cfg.schedulers)));
+        }
+        for (name, v) in [
+            ("fp_units", cfg.fp_units),
+            ("int_units", cfg.int_units),
+            ("sfu_units", cfg.sfu_units),
+            ("tensor_units", cfg.tensor_units),
+            ("l1_ports", cfg.l1_ports),
+        ] {
+            if v > 4096 {
+                return Err(bad(format!("implausible {name} {v}")));
+            }
+        }
+        if cfg.lsu_queue_depth > 1 << 16 {
+            return Err(bad(format!(
+                "implausible lsu_queue_depth {}",
+                cfg.lsu_queue_depth
+            )));
+        }
+        Ok(cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +208,34 @@ mod tests {
         let (sfu_lat, sfu_ii) = c.timing(Op::Sfu);
         assert!(sfu_lat > fp_lat);
         assert!(sfu_ii > fp_ii);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_config() {
+        let c = SmConfig {
+            max_warps: 48,
+            scheduler: SchedulerPolicy::Lrr,
+            ..SmConfig::default()
+        };
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        c.save(&mut w, ()).unwrap();
+        let mut r = Reader::new(buf.as_slice());
+        assert_eq!(SmConfig::restore(&mut r, ()).unwrap(), c);
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_implausible_counts() {
+        let c = SmConfig {
+            max_warps: 1 << 20,
+            ..SmConfig::default()
+        };
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        c.save(&mut w, ()).unwrap();
+        let mut r = Reader::new(buf.as_slice());
+        let err = SmConfig::restore(&mut r, ()).unwrap_err();
+        assert!(err.to_string().contains("max_warps"));
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! caps.
 
 use std::collections::HashMap;
+use std::io;
 use std::sync::Arc;
 
+use crisp_ckpt::{CheckpointState, Reader, Writer};
 use crisp_trace::{KernelTrace, StreamId, WARP_SIZE};
 
 use crate::config::SmConfig;
@@ -206,6 +208,106 @@ impl SmResources {
     /// Resident-warp occupancy of one stream in [0, 1].
     pub fn stream_warp_occupancy(&self, stream: StreamId) -> f64 {
         self.of_stream(stream).warps as f64 / self.cfg.max_warps as f64
+    }
+}
+
+impl CheckpointState for CtaResources {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u32(self.threads)?;
+        w.u32(self.warps)?;
+        w.u32(self.regs)?;
+        w.u32(self.smem)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        Ok(CtaResources {
+            threads: r.u32()?,
+            warps: r.u32()?,
+            regs: r.u32()?,
+            smem: r.u32()?,
+        })
+    }
+}
+
+impl CheckpointState for ResourceQuota {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u32(self.threads)?;
+        w.u32(self.warps)?;
+        w.u32(self.regs)?;
+        w.u32(self.smem)?;
+        w.u32(self.ctas)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        Ok(ResourceQuota {
+            threads: r.u32()?,
+            warps: r.u32()?,
+            regs: r.u32()?,
+            smem: r.u32()?,
+            ctas: r.u32()?,
+        })
+    }
+}
+
+impl CheckpointState for Usage {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u32(self.threads)?;
+        w.u32(self.warps)?;
+        w.u32(self.regs)?;
+        w.u32(self.smem)?;
+        w.u32(self.ctas)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        Ok(Usage {
+            threads: r.u32()?,
+            warps: r.u32()?,
+            regs: r.u32()?,
+            smem: r.u32()?,
+            ctas: r.u32()?,
+        })
+    }
+}
+
+impl CheckpointState for SmResources {
+    type SaveCtx<'a> = ();
+    /// The SM configuration the accounting was built against.
+    type RestoreCtx<'a> = SmConfig;
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        self.total.save(w, ())?;
+        let mut streams: Vec<StreamId> = self.by_stream.keys().copied().collect();
+        streams.sort_unstable();
+        w.len(streams.len())?;
+        for s in streams {
+            w.stream(s)?;
+            self.by_stream[&s].save(w, ())?;
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, cfg: SmConfig) -> io::Result<Self> {
+        let total = Usage::restore(r, ())?;
+        let n = r.len(1 << 16)?;
+        let mut by_stream = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let s = r.stream()?;
+            by_stream.insert(s, Usage::restore(r, ())?);
+        }
+        Ok(SmResources {
+            cfg,
+            total,
+            by_stream,
+        })
     }
 }
 

@@ -8,7 +8,9 @@
 //! case study shows is exaggerated 6× when mipmapping is not modelled.
 
 use std::collections::VecDeque;
+use std::io;
 
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_mem::{L1AccessResult, MemReq, ReqToken, SmMemPort};
 use crisp_trace::{DataClass, Space, StreamId};
 
@@ -143,6 +145,76 @@ impl Lsu {
             }
         }
         events
+    }
+}
+
+impl CheckpointState for LsuEntry {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.stream(self.stream)?;
+        w.class(self.class)?;
+        w.space(self.space)?;
+        w.bool(self.is_load)?;
+        w.len(self.sectors.len())?;
+        for &s in &self.sectors {
+            w.u64(s)?;
+        }
+        w.u64(self.next as u64)?;
+        w.u64(self.inflight_id)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        let stream = r.stream()?;
+        let class = r.class()?;
+        let space = r.space()?;
+        let is_load = r.bool()?;
+        let n = r.len(1 << 16)?;
+        let mut sectors = Vec::with_capacity(n);
+        for _ in 0..n {
+            sectors.push(r.u64()?);
+        }
+        let next = r.u64()? as usize;
+        if next > sectors.len() {
+            return Err(bad("lsu entry cursor past its sector list"));
+        }
+        Ok(LsuEntry {
+            stream,
+            class,
+            space,
+            is_load,
+            sectors,
+            next,
+            inflight_id: r.u64()?,
+        })
+    }
+}
+
+impl CheckpointState for Lsu {
+    type SaveCtx<'a> = ();
+    /// The SM configuration, which fixes the queue depth.
+    type RestoreCtx<'a> = &'a SmConfig;
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.len(self.queue.len())?;
+        for e in &self.queue {
+            e.save(w, ())?;
+        }
+        w.u64(self.sectors_issued)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, cfg: &SmConfig) -> io::Result<Self> {
+        let n = r.len(cfg.lsu_queue_depth)?;
+        let mut queue = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            queue.push_back(LsuEntry::restore(r, ())?);
+        }
+        Ok(Lsu {
+            queue,
+            depth: cfg.lsu_queue_depth,
+            sectors_issued: r.u64()?,
+        })
     }
 }
 

@@ -2,8 +2,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::io;
 
-use crisp_mem::SmMemPort;
+use crisp_ckpt::{bad, CheckpointState, KernelTable, Reader, Writer};
+use crisp_mem::{MemConfig, SmMemPort};
 use crisp_trace::{DataClass, Op, Reg, Space, StreamId, SECTOR_BYTES};
 
 use crate::config::{SchedulerPolicy, SmConfig};
@@ -302,6 +304,15 @@ impl Sm {
             || !self.writebacks.is_empty()
             || !self.mem_ready.is_empty()
             || !self.port.quiescent()
+    }
+
+    /// Intern every kernel referenced by a resident warp into `table` so
+    /// that a later [`CheckpointState::save`] can encode warps by table
+    /// index.
+    pub fn intern_kernels(&self, table: &mut KernelTable) {
+        for w in self.warps.iter().flatten() {
+            table.intern(&w.kernel);
+        }
     }
 
     /// Sectors this SM has presented to the L1 (bandwidth statistic).
@@ -642,6 +653,291 @@ impl Sm {
                 cta_index: cta.cta_index,
             });
         }
+    }
+}
+
+impl CheckpointState for StallBreakdown {
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = ();
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u64(self.issued)?;
+        w.u64(self.empty)?;
+        w.u64(self.blocked)?;
+        w.u64(self.scoreboard)?;
+        w.u64(self.mem_pending)?;
+        w.u64(self.mshr_full)?;
+        w.u64(self.pipe_busy)?;
+        w.u64(self.barrier)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, _: ()) -> io::Result<Self> {
+        Ok(StallBreakdown {
+            issued: r.u64()?,
+            empty: r.u64()?,
+            blocked: r.u64()?,
+            scoreboard: r.u64()?,
+            mem_pending: r.u64()?,
+            mshr_full: r.u64()?,
+            pipe_busy: r.u64()?,
+            barrier: r.u64()?,
+        })
+    }
+}
+
+impl CheckpointState for ResidentCta {
+    type SaveCtx<'a> = ();
+    /// Warp-slot bound (`cfg.max_warps`) for index validation.
+    type RestoreCtx<'a> = usize;
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.stream(self.stream)?;
+        w.u64(self.seq)?;
+        w.u64(self.cta_index as u64)?;
+        self.resources.save(w, ())?;
+        w.len(self.warp_slots.len())?;
+        for &s in &self.warp_slots {
+            w.u64(s as u64)?;
+        }
+        w.u64(self.live_warps as u64)?;
+        w.u64(self.at_barrier as u64)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, max_warps: usize) -> io::Result<Self> {
+        let stream = r.stream()?;
+        let seq = r.u64()?;
+        let cta_index = r.u64()? as usize;
+        let resources = CtaResources::restore(r, ())?;
+        let n = r.len(max_warps)?;
+        let mut warp_slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = r.u64()? as usize;
+            if s >= max_warps {
+                return Err(bad(format!("cta warp slot {s} >= {max_warps}")));
+            }
+            warp_slots.push(s);
+        }
+        let live_warps = r.u64()? as usize;
+        let at_barrier = r.u64()? as usize;
+        if live_warps > warp_slots.len() || at_barrier > warp_slots.len() {
+            return Err(bad("cta warp counts exceed its slot list"));
+        }
+        Ok(ResidentCta {
+            stream,
+            seq,
+            cta_index,
+            resources,
+            warp_slots,
+            live_warps,
+            at_barrier,
+        })
+    }
+}
+
+impl CheckpointState for Sm {
+    /// The checkpoint's kernel table (resident warps reference kernels by
+    /// table index).
+    type SaveCtx<'a> = &'a KernelTable;
+    /// `(sm id, core config, hierarchy config, kernel table)` — everything
+    /// outside the serialized state needed to rebuild the SM.
+    type RestoreCtx<'a> = (usize, SmConfig, &'a MemConfig, &'a KernelTable);
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, table: &KernelTable) -> io::Result<()> {
+        w.u64(self.id as u64)?;
+        self.resources.save(w, ())?;
+        w.len(self.warps.len())?;
+        for warp in &self.warps {
+            w.option(warp.as_ref(), |w, ws| ws.save(w, table))?;
+        }
+        w.len(self.ctas.len())?;
+        for cta in &self.ctas {
+            w.option(cta.as_ref(), |w, c| c.save(w, ()))?;
+        }
+        self.units.save(w, ())?;
+        self.lsu.save(w, ())?;
+        self.port.save(w, ())?;
+        // Heap contents serialized sorted for a deterministic byte stream;
+        // sorted push-rebuild pops identically.
+        let mut wbs: Vec<(u64, usize, u16)> = self.writebacks.iter().map(|Reverse(x)| *x).collect();
+        wbs.sort_unstable();
+        w.len(wbs.len())?;
+        for (t, slot, reg) in wbs {
+            w.u64(t)?;
+            w.u64(slot as u64)?;
+            w.u16(reg)?;
+        }
+        let mut ready: Vec<(u64, u64)> = self.mem_ready.iter().map(|Reverse(x)| *x).collect();
+        ready.sort_unstable();
+        w.len(ready.len())?;
+        for (t, id) in ready {
+            w.u64(t)?;
+            w.u64(id)?;
+        }
+        let mut ids: Vec<u64> = self.inflight.keys().copied().collect();
+        ids.sort_unstable();
+        w.len(ids.len())?;
+        for id in ids {
+            let f = &self.inflight[&id];
+            w.u64(id)?;
+            w.u64(f.warp_slot as u64)?;
+            w.option(f.reg.as_ref(), |w, r| w.u16(r.0))?;
+            w.u64(f.remaining as u64)?;
+        }
+        w.u64(self.next_inflight)?;
+        w.u64(self.launch_seq)?;
+        w.len(self.last_issued.len())?;
+        for slot in &self.last_issued {
+            w.option(slot.as_ref(), |w, &s| w.u64(s as u64))?;
+        }
+        for counters in [&self.issued_by_stream, &self.window_issued] {
+            let mut streams: Vec<StreamId> = counters.keys().copied().collect();
+            streams.sort_unstable();
+            w.len(streams.len())?;
+            for s in streams {
+                w.stream(s)?;
+                w.u64(counters[&s])?;
+            }
+        }
+        self.stalls.save(w, ())
+    }
+
+    fn restore<R: io::Read>(
+        r: &mut Reader<R>,
+        (id, cfg, mem_cfg, table): (usize, SmConfig, &MemConfig, &KernelTable),
+    ) -> io::Result<Self> {
+        let found = r.u64()? as usize;
+        if found != id {
+            return Err(bad(format!("checkpoint SM id {found}, expected {id}")));
+        }
+        let resources = SmResources::restore(r, cfg)?;
+        let max_warps = cfg.max_warps as usize;
+        let n = r.len(max_warps)?;
+        if n != max_warps {
+            return Err(bad(format!(
+                "SM has {n} warp slots, config implies {max_warps}"
+            )));
+        }
+        let mut warps = Vec::with_capacity(n);
+        let mut n_resident_warps = 0;
+        for _ in 0..n {
+            let warp = r.option(|r| WarpState::restore(r, table))?;
+            if let Some(w) = &warp {
+                if w.cta_slot >= cfg.max_ctas as usize {
+                    return Err(bad(format!("warp cta slot {} out of range", w.cta_slot)));
+                }
+                n_resident_warps += 1;
+            }
+            warps.push(warp);
+        }
+        let max_ctas = cfg.max_ctas as usize;
+        let n = r.len(max_ctas)?;
+        if n != max_ctas {
+            return Err(bad(format!(
+                "SM has {n} CTA slots, config implies {max_ctas}"
+            )));
+        }
+        let mut ctas = Vec::with_capacity(n);
+        for _ in 0..n {
+            ctas.push(r.option(|r| ResidentCta::restore(r, max_warps))?);
+        }
+        let units = ExecUnits::restore(r, &cfg)?;
+        let lsu = Lsu::restore(r, &cfg)?;
+        let port = SmMemPort::restore(r, (id as u16, mem_cfg))?;
+        let n = r.len(1 << 24)?;
+        let mut writebacks = BinaryHeap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let t = r.u64()?;
+            let slot = r.u64()? as usize;
+            if slot >= max_warps {
+                return Err(bad(format!("writeback warp slot {slot} out of range")));
+            }
+            let reg = r.u16()?;
+            if reg >= 128 {
+                return Err(bad(format!("writeback register {reg} out of range")));
+            }
+            writebacks.push(Reverse((t, slot, reg)));
+        }
+        let n = r.len(1 << 24)?;
+        let mut mem_ready = BinaryHeap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let t = r.u64()?;
+            let id = r.u64()?;
+            mem_ready.push(Reverse((t, id)));
+        }
+        let n = r.len(1 << 24)?;
+        let mut inflight = HashMap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let fid = r.u64()?;
+            let warp_slot = r.u64()? as usize;
+            if warp_slot >= max_warps {
+                return Err(bad(format!("inflight warp slot {warp_slot} out of range")));
+            }
+            let reg = r.option(|r| r.u16())?;
+            if reg.is_some_and(|x| x >= 128) {
+                return Err(bad("inflight register out of range"));
+            }
+            let remaining = r.u64()? as usize;
+            if inflight
+                .insert(
+                    fid,
+                    Inflight {
+                        warp_slot,
+                        reg: reg.map(Reg),
+                        remaining,
+                    },
+                )
+                .is_some()
+            {
+                return Err(bad("duplicate inflight id"));
+            }
+        }
+        let next_inflight = r.u64()?;
+        let launch_seq = r.u64()?;
+        let n_sched = cfg.schedulers as usize;
+        let n = r.len(n_sched)?;
+        if n != n_sched {
+            return Err(bad(format!(
+                "SM has {n} scheduler pointers, config implies {n_sched}"
+            )));
+        }
+        let mut last_issued = Vec::with_capacity(n);
+        for _ in 0..n {
+            let slot = r.option(|r| r.u64())?.map(|s| s as usize);
+            if slot.is_some_and(|s| s >= max_warps) {
+                return Err(bad("scheduler pointer out of range"));
+            }
+            last_issued.push(slot);
+        }
+        let mut counters = [HashMap::new(), HashMap::new()];
+        for map in &mut counters {
+            let n = r.len(1 << 16)?;
+            for _ in 0..n {
+                let s = r.stream()?;
+                let v = r.u64()?;
+                map.insert(s, v);
+            }
+        }
+        let [issued_by_stream, window_issued] = counters;
+        Ok(Sm {
+            id,
+            cfg,
+            resources,
+            warps,
+            ctas,
+            units,
+            lsu,
+            port,
+            writebacks,
+            mem_ready,
+            inflight,
+            next_inflight,
+            launch_seq,
+            last_issued,
+            issued_by_stream,
+            window_issued,
+            n_resident_warps,
+            stalls: StallBreakdown::restore(r, ())?,
+        })
     }
 }
 

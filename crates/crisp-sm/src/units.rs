@@ -6,6 +6,9 @@
 //! what the warped-slicer case study surfaces ("running concurrently with
 //! the graphics workload causes FP bottlenecks" for HOLO).
 
+use std::io;
+
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_trace::Op;
 
 use crate::config::SmConfig;
@@ -68,6 +71,40 @@ impl ExecUnits {
             _ => return 0,
         };
         group.iter().filter(|&&t| t > now).count()
+    }
+}
+
+impl CheckpointState for ExecUnits {
+    type SaveCtx<'a> = ();
+    /// The SM configuration, which fixes the pipeline counts.
+    type RestoreCtx<'a> = &'a SmConfig;
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        for group in [&self.fp, &self.int, &self.sfu, &self.tensor] {
+            w.len(group.len())?;
+            for &next_free in group {
+                w.u64(next_free)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, cfg: &SmConfig) -> io::Result<Self> {
+        let mut read_group = |expected: u32| -> io::Result<Vec<u64>> {
+            let n = r.len(expected as usize)?;
+            if n != expected as usize {
+                return Err(bad(format!(
+                    "exec-unit group has {n} pipes, config implies {expected}"
+                )));
+            }
+            (0..n).map(|_| r.u64()).collect()
+        };
+        Ok(ExecUnits {
+            fp: read_group(cfg.fp_units)?,
+            int: read_group(cfg.int_units)?,
+            sfu: read_group(cfg.sfu_units)?,
+            tensor: read_group(cfg.tensor_units)?,
+        })
     }
 }
 

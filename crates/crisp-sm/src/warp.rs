@@ -1,7 +1,9 @@
 //! Per-warp execution state: trace cursor, scoreboard, blocking status.
 
+use std::io;
 use std::sync::Arc;
 
+use crisp_ckpt::{bad, CheckpointState, KernelTable, Reader, Writer};
 use crisp_trace::{Instr, KernelTrace, Reg, StreamId};
 
 /// Why a warp cannot issue right now.
@@ -135,6 +137,70 @@ impl WarpState {
     /// Advance past the just-issued instruction.
     pub fn advance(&mut self) {
         self.pc += 1;
+    }
+}
+
+impl CheckpointState for WarpState {
+    /// The checkpoint's kernel table; the warp's kernel is written as an
+    /// index into it rather than inline.
+    type SaveCtx<'a> = &'a KernelTable;
+    type RestoreCtx<'a> = &'a KernelTable;
+
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, table: &KernelTable) -> io::Result<()> {
+        w.u64(table.index_of(&self.kernel)?)?;
+        w.u64(self.cta_index as u64)?;
+        w.u64(self.warp_index as u64)?;
+        w.u64(self.cta_slot as u64)?;
+        w.stream(self.stream)?;
+        w.u64(self.pc as u64)?;
+        w.u128(self.pending_writes)?;
+        w.u128(self.pending_mem)?;
+        w.u8(match self.status {
+            WarpStatus::Ready => 0,
+            WarpStatus::AtBarrier => 1,
+            WarpStatus::Exited => 2,
+        })?;
+        w.u64(self.age)
+    }
+
+    fn restore<R: io::Read>(r: &mut Reader<R>, table: &KernelTable) -> io::Result<Self> {
+        let kernel = table.get(r.u64()?)?;
+        let cta_index = r.u64()? as usize;
+        let warp_index = r.u64()? as usize;
+        let cta_slot = r.u64()? as usize;
+        let n_ctas = kernel.ctas.len();
+        if cta_index >= n_ctas {
+            return Err(bad(format!("warp cta index {cta_index} >= {n_ctas}")));
+        }
+        let n_warps = kernel.ctas[cta_index].warps.len();
+        if warp_index >= n_warps {
+            return Err(bad(format!("warp index {warp_index} >= {n_warps}")));
+        }
+        let stream = r.stream()?;
+        let pc = r.u64()? as usize;
+        let pending_writes = r.u128()?;
+        let pending_mem = r.u128()?;
+        if pending_mem & !pending_writes != 0 {
+            return Err(bad("pending_mem must be a subset of pending_writes"));
+        }
+        let status = match r.u8()? {
+            0 => WarpStatus::Ready,
+            1 => WarpStatus::AtBarrier,
+            2 => WarpStatus::Exited,
+            t => return Err(bad(format!("bad warp status tag {t}"))),
+        };
+        Ok(WarpState {
+            kernel,
+            cta_index,
+            warp_index,
+            cta_slot,
+            stream,
+            pc,
+            pending_writes,
+            pending_mem,
+            status,
+            age: r.u64()?,
+        })
     }
 }
 

@@ -39,7 +39,52 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+/// Read and validate a 4-byte magic tag, reporting found-vs-expected on a
+/// mismatch. `what` names the format (e.g. `"CRSP trace"`) so that feeding a
+/// checkpoint to the trace reader — or vice versa — fails with a message that
+/// identifies both files.
+///
+/// # Errors
+///
+/// `InvalidData` when the tag differs from `expected`; I/O errors otherwise.
+pub fn check_magic<R: Read>(r: &mut R, expected: &[u8; 4], what: &str) -> io::Result<()> {
+    let mut found = [0u8; 4];
+    r.read_exact(&mut found)?;
+    if &found != expected {
+        return Err(bad(&format!(
+            "not a {what} file: found magic `{}`, expected `{}`",
+            found.escape_ascii(),
+            expected.escape_ascii()
+        )));
+    }
+    Ok(())
+}
+
+/// Read a little-endian `u32` version field and require it to equal
+/// `expected`, reporting found-vs-expected on a mismatch.
+///
+/// # Errors
+///
+/// `InvalidData` when the version differs from `expected`; I/O errors
+/// otherwise.
+pub fn check_version<R: Read>(r: &mut R, expected: u32, what: &str) -> io::Result<()> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    let found = u32::from_le_bytes(buf);
+    if found != expected {
+        return Err(bad(&format!(
+            "unsupported {what} version: found {found}, expected {expected}"
+        )));
+    }
+    Ok(())
+}
+
+/// Write `v` as an LEB128 varint.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -50,7 +95,12 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+/// Read an LEB128 varint written by [`write_varint`].
+///
+/// # Errors
+///
+/// `InvalidData` on a varint longer than 64 bits; I/O errors otherwise.
+pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
@@ -67,11 +117,14 @@ fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     }
 }
 
-fn zigzag(v: i64) -> u64 {
+/// Zig-zag map a signed value onto an unsigned one so small magnitudes of
+/// either sign encode as short varints.
+pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -208,12 +261,23 @@ fn read_instr<R: Read>(r: &mut R) -> io::Result<Instr> {
     Ok(Instr { op, dst, srcs, mem })
 }
 
-fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+/// Write a length-prefixed UTF-8 string.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
     write_varint(w, s.len() as u64)?;
     w.write_all(s.as_bytes())
 }
 
-fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
+/// Read a string written by [`write_string`]. Lengths above 1 MiB are
+/// rejected before allocating, so corrupt length prefixes cannot OOM.
+///
+/// # Errors
+///
+/// `InvalidData` on an oversized length or invalid UTF-8.
+pub fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
     let n = read_varint(r)? as usize;
     if n > 1 << 20 {
         return Err(bad("string too long"));
@@ -223,7 +287,13 @@ fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
     String::from_utf8(buf).map_err(|_| bad("invalid utf-8"))
 }
 
-fn write_kernel<W: Write>(w: &mut W, k: &KernelTrace) -> io::Result<()> {
+/// Write one [`KernelTrace`] in the CRSP per-kernel layout (also reused by
+/// the checkpoint format for in-flight kernels).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_kernel<W: Write>(w: &mut W, k: &KernelTrace) -> io::Result<()> {
     write_string(w, &k.name)?;
     w.write_all(&k.block_threads.to_le_bytes())?;
     w.write_all(&k.regs_per_thread.to_le_bytes())?;
@@ -241,7 +311,14 @@ fn write_kernel<W: Write>(w: &mut W, k: &KernelTrace) -> io::Result<()> {
     Ok(())
 }
 
-fn read_kernel<R: Read>(r: &mut R) -> io::Result<KernelTrace> {
+/// Read a kernel written by [`write_kernel`].
+///
+/// # Errors
+///
+/// `InvalidData` on structural corruption — including CTAs with more warps
+/// than the block geometry allows, which would otherwise trip the
+/// [`KernelTrace::new`] assertion.
+pub fn read_kernel<R: Read>(r: &mut R) -> io::Result<KernelTrace> {
     let name = read_string(r)?;
     let mut u32buf = [0u8; 4];
     r.read_exact(&mut u32buf)?;
@@ -250,10 +327,16 @@ fn read_kernel<R: Read>(r: &mut R) -> io::Result<KernelTrace> {
     let regs = u32::from_le_bytes(u32buf);
     r.read_exact(&mut u32buf)?;
     let smem = u32::from_le_bytes(u32buf);
+    let max_warps = block_threads
+        .max(crate::WARP_SIZE as u32)
+        .div_ceil(crate::WARP_SIZE as u32) as usize;
     let grid = read_varint(r)? as usize;
     let mut ctas = Vec::with_capacity(grid.min(1 << 20));
     for _ in 0..grid {
         let n_warps = read_varint(r)? as usize;
+        if n_warps > max_warps {
+            return Err(bad("cta has more warps than the block geometry allows"));
+        }
         let mut warps = Vec::with_capacity(n_warps.min(64));
         for _ in 0..n_warps {
             let n_instrs = read_varint(r)? as usize;
@@ -307,17 +390,9 @@ pub fn write_bundle<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()>
 /// Returns `InvalidData` on a bad magic number, version or structure, and
 /// propagates underlying I/O errors.
 pub fn read_bundle<R: Read>(r: &mut R) -> io::Result<TraceBundle> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad("not a CRSP trace (bad magic)"));
-    }
+    check_magic(r, MAGIC, "CRSP trace")?;
+    check_version(r, VERSION, "CRSP trace")?;
     let mut u32buf = [0u8; 4];
-    r.read_exact(&mut u32buf)?;
-    let version = u32::from_le_bytes(u32buf);
-    if version != VERSION {
-        return Err(bad("unsupported CRSP trace version"));
-    }
     let n_streams = read_varint(r)? as usize;
     let mut streams = Vec::with_capacity(n_streams.min(1024));
     for _ in 0..n_streams {
@@ -448,6 +523,40 @@ mod tests {
         let mut buf = b"NOPE".to_vec();
         buf.extend_from_slice(&1u32.to_le_bytes());
         assert!(read_bundle(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn magic_errors_report_found_and_expected() {
+        let mut buf = b"CKPT".to_vec();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        let err = read_bundle(&mut buf.as_slice()).unwrap_err().to_string();
+        assert!(err.contains("CKPT"), "found magic missing: {err}");
+        assert!(err.contains("CRSP"), "expected magic missing: {err}");
+    }
+
+    #[test]
+    fn version_errors_report_found_and_expected() {
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&42u32.to_le_bytes());
+        let err = read_bundle(&mut buf.as_slice()).unwrap_err().to_string();
+        assert!(err.contains("found 42"), "found version missing: {err}");
+        assert!(
+            err.contains("expected 1"),
+            "expected version missing: {err}"
+        );
+    }
+
+    #[test]
+    fn overfull_cta_in_stream_is_an_error_not_a_panic() {
+        // Hand-craft a kernel whose CTA claims 2 warps in a 32-thread block.
+        let mut buf = Vec::new();
+        write_string(&mut buf, "k").unwrap();
+        buf.extend_from_slice(&32u32.to_le_bytes()); // block_threads
+        buf.extend_from_slice(&8u32.to_le_bytes()); // regs
+        buf.extend_from_slice(&0u32.to_le_bytes()); // smem
+        write_varint(&mut buf, 1).unwrap(); // grid
+        write_varint(&mut buf, 2).unwrap(); // warps in cta 0: too many
+        assert!(read_kernel(&mut buf.as_slice()).is_err());
     }
 
     #[test]

@@ -154,18 +154,24 @@ impl MemAccess {
     /// With `chunk = 32` this yields the sector count the coalescer produces;
     /// with `chunk = 128` the cache-line count.
     pub fn distinct_chunks(&self, chunk: u64) -> Vec<u64> {
-        let mut v: Vec<u64> = self
-            .addrs
-            .iter()
-            .flat_map(|&a| {
-                let first = a / chunk;
-                let last = (a + self.width as u64 - 1) / chunk;
-                first..=last
-            })
-            .collect();
-        v.sort_unstable();
-        v.dedup();
+        let mut v = Vec::new();
+        self.distinct_chunks_into(chunk, &mut v);
         v
+    }
+
+    /// Allocation-free [`Self::distinct_chunks`]: clears `out` and fills it
+    /// with the distinct chunk ids. Hot paths (functional cache warming
+    /// replays every memory instruction of a skipped region) reuse one
+    /// scratch vector across millions of calls.
+    pub fn distinct_chunks_into(&self, chunk: u64, out: &mut Vec<u64>) {
+        out.clear();
+        for &a in &self.addrs {
+            let first = a / chunk;
+            let last = (a + self.width as u64 - 1) / chunk;
+            out.extend(first..=last);
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 }
 

@@ -168,3 +168,87 @@ fn oversubscribed_thread_count_is_clamped_and_identical() {
     let flooded = run(PartitionSpec::greedy(), None, 64);
     assert_identical(&serial, &flooded, "greedy @ 64 threads");
 }
+
+/// Build (don't run) the same simulation `run()` uses.
+fn build_sim(spec: PartitionSpec, l2: Option<L2Policy>, threads: usize) -> GpuSim {
+    let mut b = Simulation::builder()
+        .gpu(gpu())
+        .partition(spec)
+        .threads(threads)
+        .telemetry(Telemetry::FULL)
+        .occupancy_interval(100)
+        .composition_interval(500)
+        .counter_interval(100)
+        .trace(bundle());
+    if let Some(l2) = l2 {
+        b = b.l2(l2);
+    }
+    b.build()
+}
+
+/// Resume determinism: a run checkpointed mid-flight and restored must
+/// finish with byte-identical results and exports — at any worker-thread
+/// count on either side of the checkpoint.
+fn check_resume(name: &str, spec: PartitionSpec, l2: Option<L2Policy>, ckpt_threads: usize) {
+    let full = run(spec.clone(), l2.clone(), 1);
+    let mut sim = build_sim(spec, l2, ckpt_threads);
+    let done = sim.run_until(full.cycles / 2);
+    assert!(!done, "{name}: workload must outlast the checkpoint cycle");
+    let mut bytes = Vec::new();
+    sim.write_checkpoint(&mut bytes).expect("serialize");
+    for threads in [1, 2, 4] {
+        let mut resumed = GpuSim::read_checkpoint(&bytes[..]).expect("deserialize");
+        resumed.set_threads(threads);
+        let r = resumed.run();
+        assert_identical(&full, &r, &format!("{name} resume @ {threads} threads"));
+    }
+}
+
+#[test]
+fn greedy_resume_is_bit_identical() {
+    check_resume("greedy", PartitionSpec::greedy(), None, 1);
+}
+
+#[test]
+fn mig_resume_is_bit_identical() {
+    let g = gpu();
+    check_resume(
+        "mig",
+        PartitionSpec::mig_even(&g, GRAPHICS_STREAM, COMPUTE_STREAM),
+        None,
+        1,
+    );
+}
+
+#[test]
+fn fg_static_resume_from_parallel_run_is_bit_identical() {
+    // The checkpoint itself is taken from a sharded (2-thread) run.
+    let g = gpu();
+    check_resume(
+        "fg-static",
+        PartitionSpec::fg_even(&g, GRAPHICS_STREAM, COMPUTE_STREAM),
+        None,
+        2,
+    );
+}
+
+#[test]
+fn periodic_checkpoint_files_resume_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("crisp-determinism-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let full = run(PartitionSpec::greedy(), None, 1);
+
+    let every = (full.cycles / 3).max(1);
+    let mut sim = build_sim(PartitionSpec::greedy(), None, 1);
+    sim.checkpoint_every = every;
+    sim.checkpoint_dir = Some(dir.clone());
+    let direct = sim.run();
+    assert_identical(&full, &direct, "greedy with periodic checkpointing");
+
+    let path = dir.join(format!("ckpt-{every}.ckpt"));
+    assert!(path.exists(), "expected checkpoint at {}", path.display());
+    let mut resumed = Simulation::resume(&path).expect("resume from file");
+    let r = resumed.run();
+    assert_identical(&full, &r, "greedy resumed from periodic checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+}

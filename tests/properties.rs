@@ -10,7 +10,7 @@ use crisp_mem::{
     AccessKind, BankMap, CacheCore, CacheGeometry, DataClass, MemReq, ReqToken, StreamId,
     TapConfig, TapController,
 };
-use crisp_sim::{GpuConfig, PartitionSpec, Simulation};
+use crisp_sim::{GpuConfig, GpuSim, PartitionSpec, Simulation};
 use crisp_trace::{
     CtaTrace, Instr, KernelTrace, MemAccess, Op, Reg, Space, Stream, StreamKind, TraceBundle,
     WarpTrace,
@@ -416,6 +416,113 @@ fn codec_roundtrips_random_bundles() {
         let back = crisp_trace::codec::read_bundle(&mut buf.as_slice()).expect("read");
         assert_eq!(bundle, back, "seed {seed}");
     }
+}
+
+/// Shared corruption harness for binary readers: every strided truncation
+/// of a valid byte image must be rejected with `Err`, and every single-bit
+/// flip must either decode or error — never panic or allocate unboundedly.
+/// Both the `CRSP` trace codec and the `CKPT` checkpoint reader are held to
+/// this contract.
+fn assert_reader_robust<T>(bytes: &[u8], read: impl Fn(&[u8]) -> std::io::Result<T>, what: &str) {
+    assert!(read(bytes).is_ok(), "{what}: pristine bytes must decode");
+    let stride = (bytes.len() / 64).max(1);
+    for cut in (0..bytes.len()).step_by(stride) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            read(&bytes[..cut]).is_err()
+        }));
+        let rejected = result
+            .unwrap_or_else(|_| panic!("{what}: truncation at {cut}/{} panicked", bytes.len()));
+        assert!(rejected, "{what}: truncation at {cut} must be rejected");
+    }
+    for i in (0..bytes.len()).step_by(stride) {
+        for bit in [0u8, 3, 7] {
+            let mut flipped = bytes.to_vec();
+            flipped[i] ^= 1 << bit;
+            // A flipped payload byte may still decode to different-but-valid
+            // data; the contract is only that it never panics or OOMs.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = read(&flipped);
+            }));
+            assert!(
+                result.is_ok(),
+                "{what}: bit flip at byte {i} bit {bit} panicked"
+            );
+        }
+    }
+}
+
+/// Corrupt `CRSP` bundles must be rejected with `Err`, never a panic.
+#[test]
+fn corrupt_trace_bundles_are_rejected_not_fatal() {
+    let mut rng = Rng::new(11);
+    let mut stream = Stream::new(StreamId(3), StreamKind::Compute);
+    stream.marker("phase");
+    for ki in 0..2 {
+        let (recipe, warps, ctas, regs) = random_kernel(&mut rng, 20);
+        let ctav: Vec<CtaTrace> = (0..ctas.min(3))
+            .map(|c| {
+                CtaTrace::new(
+                    (0..warps.min(2))
+                        .map(|_| warp_from_recipe(&recipe, c as u64))
+                        .collect(),
+                )
+            })
+            .collect();
+        stream.launch(KernelTrace::new(
+            format!("k{ki}"),
+            32 * warps as u32,
+            regs,
+            0,
+            ctav,
+        ));
+    }
+    let bundle = TraceBundle::from_streams(vec![stream]);
+    let mut bytes = Vec::new();
+    crisp_trace::codec::write_bundle(&bundle, &mut bytes).expect("write");
+    assert_reader_robust(
+        &bytes,
+        |b| crisp_trace::codec::read_bundle(&mut &b[..]),
+        "CRSP bundle",
+    );
+}
+
+/// Corrupt `CKPT` checkpoints must be rejected with `Err`, never a panic —
+/// including mid-run images with live warps, caches, and telemetry.
+#[test]
+fn corrupt_checkpoints_are_rejected_not_fatal() {
+    let mut rng = Rng::new(5);
+    let mut stream = Stream::new(StreamId(0), StreamKind::Compute);
+    for ki in 0..2 {
+        let (recipe, warps, ctas, regs) = random_kernel(&mut rng, 30);
+        let ctav: Vec<CtaTrace> = (0..ctas)
+            .map(|c| {
+                CtaTrace::new(
+                    (0..warps)
+                        .map(|_| warp_from_recipe(&recipe, c as u64))
+                        .collect(),
+                )
+            })
+            .collect();
+        stream.launch(KernelTrace::new(
+            format!("k{ki}"),
+            32 * warps as u32,
+            regs,
+            0,
+            ctav,
+        ));
+    }
+    let mut sim = Simulation::builder()
+        .gpu(GpuConfig::test_tiny())
+        .telemetry(crisp_sim::Telemetry::FULL)
+        .occupancy_interval(20)
+        .composition_interval(30)
+        .counter_interval(25)
+        .trace(TraceBundle::from_streams(vec![stream]))
+        .build();
+    sim.run_until(60);
+    let mut bytes = Vec::new();
+    sim.write_checkpoint(&mut bytes).expect("serialize");
+    assert_reader_robust(&bytes, |b| GpuSim::read_checkpoint(b), "CKPT checkpoint");
 }
 
 /// Fuzz: any two-stream intra-SM quota split (both sides >= 1/8) lets both
