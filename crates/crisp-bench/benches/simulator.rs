@@ -169,7 +169,7 @@ fn bench_telemetry_overhead() {
         if counter_interval > 0 {
             b = b.counter_interval(counter_interval);
         }
-        b.run().cycles
+        b.run_or_panic().cycles
     };
     bench("telemetry/none", 1, 5, || run(Telemetry::NONE, 0));
     bench("telemetry/full", 1, 5, || run(Telemetry::FULL, 500));
@@ -198,7 +198,7 @@ fn bench_checkpoint() {
     };
 
     let mut sim = build();
-    sim.run_until(5_000);
+    sim.run_until(5_000).unwrap();
     let mut bytes = Vec::new();
     sim.write_checkpoint(&mut bytes).expect("serialize");
     let size = bytes.len() as u64;
@@ -218,12 +218,12 @@ fn bench_checkpoint() {
     // detailed run's cycles so the two rows are directly comparable.
     let cycles = {
         let mut sim = build();
-        sim.run();
+        sim.run_or_panic();
         sim.now()
     };
     bench("ckpt/detailed_prefix", cycles, 5, || {
         let mut sim = build();
-        sim.run()
+        sim.run_or_panic()
     });
     bench("ckpt/fast_forward_prefix", cycles, 5, || {
         let f = scene.render(96, 54, false, GRAPHICS_STREAM);

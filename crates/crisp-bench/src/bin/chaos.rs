@@ -1,0 +1,659 @@
+//! Fault-injection harness: every mutation of a known-good simulation must
+//! come back as a structured `Err(SimError)` — never a panic, never a hang.
+//!
+//! Each case starts from a valid trace/config pair and injects exactly one
+//! fault: a structural trace mutation (unterminated warp, barrier mismatch,
+//! out-of-range register, malformed memory payload, ...), a configuration
+//! inconsistency (partition beyond the SM count, oversubscribed quotas,
+//! unwritable checkpoint directory, ...), a runtime wedge that only the
+//! forward-progress watchdog can catch, or a corrupt checkpoint file. The
+//! harness runs every case under `catch_unwind` and fails — with a non-zero
+//! exit code — if any case panics, completes successfully, or takes longer
+//! than the wall-clock guard.
+//!
+//! `--quick` runs the runtime cases at a single worker-thread count
+//! (CI smoke); the default sweeps 1/2/4 threads.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use crisp_sim::{
+    GpuConfig, L2Policy, PartitionSpec, ResourceQuota, SimError, Simulation, SmPartition,
+};
+use crisp_trace::{
+    CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Op, Reg, Space, Stream, StreamId,
+    StreamKind, TraceBundle, WarpTrace, MAX_SRCS,
+};
+
+const S0: StreamId = StreamId(0);
+const S1: StreamId = StreamId(1);
+
+/// Wall-clock guard: a fault that keeps a case running this long counts as
+/// a hang even if it would eventually error out.
+const CASE_DEADLINE: Duration = Duration::from_secs(60);
+
+/// A short, well-formed warp.
+fn good_warp() -> WarpTrace {
+    let mut w = WarpTrace::new();
+    w.push(Instr::load(
+        Reg(1),
+        MemAccess::coalesced(Space::Global, DataClass::Compute, 4, 0, 32),
+    ));
+    w.push(Instr::alu(Op::FpFma, Reg(2), &[Reg(1)]));
+    w.seal();
+    w
+}
+
+/// A well-formed single-stream bundle the config mutations start from.
+fn good_bundle() -> TraceBundle {
+    let k = KernelTrace::new(
+        "baseline",
+        64,
+        8,
+        0,
+        vec![CtaTrace::new(vec![good_warp(); 2]); 2],
+    );
+    let mut s = Stream::new(S0, StreamKind::Compute);
+    s.launch(k);
+    TraceBundle::from_streams(vec![s])
+}
+
+/// Wrap a kernel into a single-stream bundle.
+fn bundle_of(k: KernelTrace) -> TraceBundle {
+    let mut s = Stream::new(S0, StreamKind::Compute);
+    s.launch(k);
+    TraceBundle::from_streams(vec![s])
+}
+
+fn gpu() -> GpuConfig {
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.n_sms = 4;
+    cfg
+}
+
+/// The canonical runtime deadlock: warp 0 parks at a barrier, warp 1's
+/// trace ends without `Exit` so it can never arrive.
+fn wedged_bundle() -> TraceBundle {
+    let mut at_barrier = WarpTrace::new();
+    at_barrier.push(Instr::alu(Op::IntAlu, Reg(1), &[]));
+    at_barrier.push(Instr::bar());
+    at_barrier.seal();
+    let mut truncated = WarpTrace::new();
+    truncated.push(Instr::alu(Op::IntAlu, Reg(2), &[]));
+    bundle_of(KernelTrace::new(
+        "wedged",
+        64,
+        8,
+        0,
+        vec![CtaTrace::new(vec![at_barrier, truncated])],
+    ))
+}
+
+/// A scratch path under the system temp dir, unique to this process.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("crisp-chaos-{tag}-{}", std::process::id()))
+}
+
+/// `Ok(first line of the diagnostic)` when the fault surfaced as an error;
+/// `Err(reason)` when it was missed, panicked, or blew the deadline.
+type CaseOutcome = Result<String, String>;
+
+fn first_line(s: &str) -> String {
+    s.lines().next().unwrap_or_default().to_string()
+}
+
+/// Run one simulation attempt and demand a structured error.
+fn expect_sim_err(run: impl FnOnce() -> Result<crisp_sim::SimResult, SimError>) -> CaseOutcome {
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(Err(e)) => Ok(first_line(&e.to_string())),
+        Ok(Ok(_)) => Err("completed successfully — the fault went undetected".into()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            Err(format!(
+                "panicked instead of returning Err: {}",
+                first_line(msg)
+            ))
+        }
+    }
+}
+
+struct Case {
+    name: &'static str,
+    run: Box<dyn FnOnce() -> CaseOutcome>,
+}
+
+fn case(name: &'static str, run: impl FnOnce() -> CaseOutcome + 'static) -> Case {
+    Case {
+        name,
+        run: Box::new(run),
+    }
+}
+
+/// A case that feeds a mutated bundle through the default builder.
+fn trace_case(name: &'static str, make: impl FnOnce() -> TraceBundle + 'static) -> Case {
+    case(name, move || {
+        expect_sim_err(|| Simulation::builder().gpu(gpu()).trace(make()).run())
+    })
+}
+
+fn cases(quick: bool) -> Vec<Case> {
+    let mut v: Vec<Case> = Vec::new();
+
+    // --- structural trace mutations (caught by pre-flight validation) ---
+    v.push(trace_case("trace/unterminated-warp", || {
+        let mut w = WarpTrace::new();
+        w.push(Instr::alu(Op::IntAlu, Reg(1), &[]));
+        // no seal(): the trace ends without Exit
+        bundle_of(KernelTrace::new(
+            "m",
+            64,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w, good_warp()])],
+        ))
+    }));
+    v.push(trace_case("trace/barrier-missing-participant", || {
+        let mut with_bar = WarpTrace::new();
+        with_bar.push(Instr::bar());
+        with_bar.seal();
+        // sibling warp never executes the barrier
+        bundle_of(KernelTrace::new(
+            "m",
+            64,
+            8,
+            0,
+            vec![CtaTrace::new(vec![with_bar, good_warp()])],
+        ))
+    }));
+    v.push(trace_case("trace/reg-out-of-range", || {
+        let mut w = WarpTrace::new();
+        w.push(Instr::alu(Op::IntAlu, Reg(500), &[]));
+        w.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ))
+    }));
+    v.push(trace_case("trace/too-many-lanes", || {
+        let mut w = WarpTrace::new();
+        w.push(Instr::load(
+            Reg(1),
+            MemAccess {
+                space: Space::Global,
+                class: DataClass::Compute,
+                width: 4,
+                addrs: (0..33).collect(), // a warp has 32 lanes
+            },
+        ));
+        w.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ))
+    }));
+    v.push(trace_case("trace/no-active-lanes", || {
+        let mut w = WarpTrace::new();
+        w.push(Instr::load(
+            Reg(1),
+            MemAccess {
+                space: Space::Global,
+                class: DataClass::Compute,
+                width: 4,
+                addrs: Vec::new(),
+            },
+        ));
+        w.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ))
+    }));
+    v.push(trace_case("trace/zero-width-access", || {
+        let mut w = WarpTrace::new();
+        w.push(Instr::load(
+            Reg(1),
+            MemAccess {
+                space: Space::Global,
+                class: DataClass::Compute,
+                width: 0,
+                addrs: vec![0; 32],
+            },
+        ));
+        w.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ))
+    }));
+    v.push(trace_case("trace/missing-mem-payload", || {
+        let mut w = WarpTrace::new();
+        w.push(Instr {
+            op: Op::Ld(Space::Global),
+            dst: Some(Reg(1)),
+            srcs: [None; MAX_SRCS],
+            mem: None,
+        });
+        w.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ))
+    }));
+    v.push(trace_case("trace/unexpected-mem-payload", || {
+        let mut w = WarpTrace::new();
+        w.push(Instr {
+            op: Op::IntAlu,
+            dst: Some(Reg(1)),
+            srcs: [None; MAX_SRCS],
+            mem: Some(MemAccess::coalesced(
+                Space::Global,
+                DataClass::Compute,
+                4,
+                0,
+                1,
+            )),
+        });
+        w.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ))
+    }));
+    v.push(trace_case("trace/code-after-exit", || {
+        let mut w = WarpTrace::new();
+        w.push(Instr::exit());
+        w.push(Instr::alu(Op::IntAlu, Reg(1), &[]));
+        w.push(Instr::exit());
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ))
+    }));
+    v.push(trace_case("trace/overfull-cta", || {
+        // block_threads = 32 permits one warp; KernelTrace::new asserts
+        // this, so splice the second warp in behind the constructor's back
+        let mut k = KernelTrace::new("m", 32, 8, 0, vec![CtaTrace::new(vec![good_warp()])]);
+        k.ctas[0].warps.push(good_warp());
+        bundle_of(k)
+    }));
+    v.push(trace_case("trace/empty-cta", || {
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(Vec::new())],
+        ))
+    }));
+    v.push(trace_case("trace/empty-warp", || {
+        bundle_of(KernelTrace::new(
+            "m",
+            64,
+            8,
+            0,
+            vec![CtaTrace::new(vec![WarpTrace::new(), good_warp()])],
+        ))
+    }));
+    v.push(trace_case("trace/empty-marker-label", || {
+        let mut bundle = good_bundle();
+        bundle.streams[0].marker("");
+        bundle
+    }));
+    v.push(trace_case("trace/duplicate-stream-id", || {
+        // from_streams() rejects duplicates eagerly, so splice them in raw
+        let mut bundle = TraceBundle::new();
+        let mut a = Stream::new(S0, StreamKind::Compute);
+        a.launch(KernelTrace::new(
+            "a",
+            64,
+            8,
+            0,
+            vec![CtaTrace::new(vec![good_warp(); 2])],
+        ));
+        let mut b = Stream::new(S0, StreamKind::Graphics);
+        b.launch(KernelTrace::new(
+            "b",
+            64,
+            8,
+            0,
+            vec![CtaTrace::new(vec![good_warp(); 2])],
+        ));
+        bundle.streams.push(a);
+        bundle.streams.push(b);
+        bundle
+    }));
+
+    // --- configuration mutations (caught by pre-flight cross-checks) ---
+    v.push(case("config/partition-sm-out-of-range", || {
+        expect_sim_err(|| {
+            let mut map = HashMap::new();
+            map.insert(S0, vec![0usize, 17]);
+            Simulation::builder()
+                .gpu(gpu())
+                .partition(PartitionSpec {
+                    sm: SmPartition::InterSm(map),
+                    l2: L2Policy::Shared,
+                })
+                .trace(good_bundle())
+                .run()
+        })
+    }));
+    v.push(case("config/partition-empty-sm-list", || {
+        expect_sim_err(|| {
+            let mut map = HashMap::new();
+            map.insert(S0, Vec::new());
+            Simulation::builder()
+                .gpu(gpu())
+                .partition(PartitionSpec {
+                    sm: SmPartition::InterSm(map),
+                    l2: L2Policy::Shared,
+                })
+                .trace(good_bundle())
+                .run()
+        })
+    }));
+    v.push(case("config/intra-sm-oversubscribed", || {
+        expect_sim_err(|| {
+            let cfg = gpu();
+            let hog = ResourceQuota {
+                threads: cfg.sm.max_threads, // two of these cannot coexist
+                warps: cfg.sm.max_warps,
+                regs: cfg.sm.max_regs,
+                smem: cfg.sm.max_smem,
+                ctas: 1,
+            };
+            let mut map = HashMap::new();
+            map.insert(S0, hog);
+            map.insert(S1, hog);
+            Simulation::builder()
+                .gpu(cfg)
+                .partition(PartitionSpec {
+                    sm: SmPartition::IntraSm(map),
+                    l2: L2Policy::Shared,
+                })
+                .trace(good_bundle())
+                .run()
+        })
+    }));
+    v.push(case("config/bank-split-needs-two-streams", || {
+        expect_sim_err(|| {
+            Simulation::builder()
+                .gpu(gpu())
+                .partition(PartitionSpec {
+                    sm: SmPartition::Greedy,
+                    l2: L2Policy::BankSplit,
+                })
+                .trace(good_bundle())
+                .run()
+        })
+    }));
+    v.push(case("config/missing-fast-forward-marker", || {
+        expect_sim_err(|| {
+            Simulation::builder()
+                .gpu(gpu())
+                .trace(good_bundle())
+                .fast_forward_to("roi-that-does-not-exist")
+                .run()
+        })
+    }));
+    v.push(case("config/zero-cycle-budget", || {
+        expect_sim_err(|| {
+            let mut cfg = gpu();
+            cfg.max_cycles = 0;
+            Simulation::builder().gpu(cfg).trace(good_bundle()).run()
+        })
+    }));
+    v.push(case("config/unplaceable-kernel", || {
+        expect_sim_err(|| {
+            // 40k registers per thread can never fit on one SM
+            let k = KernelTrace::new(
+                "hog",
+                64,
+                40_000,
+                0,
+                vec![CtaTrace::new(vec![good_warp(); 2])],
+            );
+            Simulation::builder().gpu(gpu()).trace(bundle_of(k)).run()
+        })
+    }));
+    v.push(case("config/checkpoint-dir-is-a-file", || {
+        let dir = scratch("ckpt-file");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let file = dir.join("occupied");
+        std::fs::write(&file, b"x").expect("scratch file");
+        let out = expect_sim_err(|| {
+            Simulation::builder()
+                .gpu(gpu())
+                .trace(good_bundle())
+                .checkpoint_every(100)
+                .checkpoint_to(&file)
+                .run()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }));
+
+    // --- runtime faults (pre-flight disabled; the watchdog must catch them) ---
+    let thread_counts: &[usize] = if quick { &[2] } else { &[1, 2, 4] };
+    for &threads in thread_counts {
+        v.push(case(
+            match threads {
+                1 => "runtime/deadlock-1-thread",
+                2 => "runtime/deadlock-2-threads",
+                _ => "runtime/deadlock-4-threads",
+            },
+            move || {
+                expect_sim_err(|| {
+                    Simulation::builder()
+                        .gpu(gpu())
+                        .threads(threads)
+                        .preflight(false)
+                        .watchdog(2_000)
+                        .trace(wedged_bundle())
+                        .run()
+                })
+            },
+        ));
+    }
+    v.push(case("runtime/cycle-budget-exceeded", || {
+        expect_sim_err(|| {
+            let mut cfg = gpu();
+            cfg.max_cycles = 3_000;
+            Simulation::builder()
+                .gpu(cfg)
+                .preflight(false)
+                .watchdog(0) // watchdog off: the budget is the only net
+                .trace(wedged_bundle())
+                .run()
+        })
+    }));
+    v.push(case("runtime/worker-panic", || {
+        expect_sim_err(|| {
+            let mut w = WarpTrace::new();
+            w.push(Instr::alu(Op::IntAlu, Reg(300), &[])); // past the scoreboard
+            w.seal();
+            let k = KernelTrace::new("hot", 32, 8, 0, vec![CtaTrace::new(vec![w])]);
+            Simulation::builder()
+                .gpu(gpu())
+                .threads(2)
+                .preflight(false)
+                .trace(bundle_of(k))
+                .run()
+        })
+    }));
+
+    // --- checkpoint corruption ---
+    v.push(case("checkpoint/truncated-file", || {
+        let dir = scratch("truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("bad.ckpt");
+        std::fs::write(&path, b"CKPT").expect("scratch file"); // magic only, no body
+        let out = match catch_unwind(AssertUnwindSafe(|| Simulation::resume(&path))) {
+            Ok(Err(e)) => Ok(first_line(&e.to_string())),
+            Ok(Ok(_)) => Err("resumed from a truncated checkpoint".into()),
+            Err(_) => Err("panicked instead of returning Err".into()),
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }));
+
+    v
+}
+
+/// Corpus mode: every trace the repo's own frontends produce must pass the
+/// pre-flight validator — before and after a codec round-trip. With explicit
+/// paths, validates those `.crsp` files instead.
+fn run_corpus(paths: &[String]) -> i32 {
+    use crisp_core::{COMPUTE_STREAM, GRAPHICS_STREAM};
+    use crisp_scenes::{holo, nn, vio, ComputeScale, Scene, SceneId};
+
+    let mut corpus: Vec<(String, TraceBundle)> = Vec::new();
+    if paths.is_empty() {
+        let frame =
+            Scene::build(SceneId::SponzaKhronos, 0.2).render(96, 54, false, GRAPHICS_STREAM);
+        corpus.push((
+            "sponza-frame".into(),
+            TraceBundle::from_streams(vec![frame.trace]),
+        ));
+        for (name, stream) in [
+            ("vio", vio(COMPUTE_STREAM, ComputeScale::tiny())),
+            ("holo", holo(COMPUTE_STREAM, ComputeScale::tiny())),
+            ("nn", nn(COMPUTE_STREAM, ComputeScale::tiny())),
+        ] {
+            corpus.push((name.into(), TraceBundle::from_streams(vec![stream])));
+        }
+        let frame =
+            Scene::build(SceneId::SponzaKhronos, 0.2).render(96, 54, false, GRAPHICS_STREAM);
+        corpus.push((
+            "concurrent-render+vio".into(),
+            TraceBundle::from_streams(vec![frame.trace, vio(COMPUTE_STREAM, ComputeScale::tiny())]),
+        ));
+    } else {
+        for p in paths {
+            match crisp_trace::codec::load(p) {
+                Ok(b) => corpus.push((p.clone(), b)),
+                Err(e) => {
+                    println!("  FAIL {p}: unreadable: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for (name, bundle) in &corpus {
+        let instrs: usize = bundle
+            .streams
+            .iter()
+            .flat_map(|s| s.kernels())
+            .map(|k| k.instr_count())
+            .sum();
+        match crisp_trace::validate_bundle(bundle) {
+            Ok(()) => println!("  ok   {name:<24} {instrs} instructions, validator clean"),
+            Err(errs) => {
+                failures += 1;
+                println!("  FAIL {name:<24} {} validation errors:", errs.len());
+                for e in errs.iter().take(5) {
+                    println!("         {e}");
+                }
+            }
+        }
+        // The codec must preserve validity, not just bytes.
+        let path = scratch(&format!("corpus-{}", name.replace('/', "_")));
+        if let Err(e) = crisp_trace::codec::save(bundle, &path)
+            .and_then(|()| crisp_trace::codec::load(&path))
+            .map_err(|e| e.to_string())
+            .and_then(|b| crisp_trace::validate_bundle(&b).map_err(|errs| errs[0].to_string()))
+        {
+            failures += 1;
+            println!("  FAIL {name:<24} codec round-trip: {e}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+    if failures > 0 {
+        println!(
+            "corpus: {failures}/{} bundles FAILED validation",
+            corpus.len()
+        );
+        1
+    } else {
+        println!("corpus: all {} bundles validator-clean", corpus.len());
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--corpus") {
+        std::process::exit(run_corpus(&args[1..]));
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+
+    // Expected panics (the worker-panic case, asserts behind catch_unwind)
+    // would spray backtraces over the report; keep the output to ours.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let all = cases(quick);
+    let total = all.len();
+    println!(
+        "== chaos: {total} fault injections{} ==",
+        if quick { " (--quick)" } else { "" }
+    );
+
+    let mut failures = 0usize;
+    for c in all {
+        let start = Instant::now();
+        let outcome = (c.run)();
+        let elapsed = start.elapsed();
+        let outcome = match outcome {
+            Ok(_) if elapsed > CASE_DEADLINE => Err(format!(
+                "errored, but only after {elapsed:.1?} — watchdog window too lax"
+            )),
+            other => other,
+        };
+        match outcome {
+            Ok(diag) => println!("  ok   {:<38} {diag}", c.name),
+            Err(why) => {
+                failures += 1;
+                println!("  FAIL {:<38} {why}", c.name);
+            }
+        }
+    }
+
+    std::panic::set_hook(default_hook);
+
+    if failures > 0 {
+        println!("chaos: {failures}/{total} cases FAILED");
+        std::process::exit(1);
+    }
+    println!("chaos: all {total} cases returned structured errors — no panics, no hangs");
+}

@@ -27,7 +27,7 @@ fn run(gpu: &GpuConfig, trace: TraceBundle, threads: usize) -> SimResult {
         .telemetry(Telemetry::FULL)
         .counter_interval(500)
         .trace(trace)
-        .run()
+        .run_or_panic()
 }
 
 fn main() {

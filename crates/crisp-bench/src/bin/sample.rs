@@ -61,7 +61,7 @@ fn main() {
         Simulation::builder()
             .gpu(gpu.clone())
             .trace(TraceBundle::from_streams(vec![f.trace]))
-            .run()
+            .run_or_panic()
             .cycles
     };
     let chain_cycles = Simulation::builder()
@@ -70,7 +70,7 @@ fn main() {
             COMPUTE_STREAM,
             s.compute,
         )]))
-        .run()
+        .run_or_panic()
         .cycles;
     let mut chains_per_frame = (frame_cycles / chain_cycles.max(1)).max(1) as usize;
     {
@@ -85,7 +85,7 @@ fn main() {
             .gpu(gpu.clone())
             .partition(spec.clone())
             .trace(TraceBundle::from_streams(vec![f.trace, probe]))
-            .run();
+            .run_or_panic();
         let g_finish = r.per_stream[&GRAPHICS_STREAM].stats.finish_cycle;
         let c_finish = r.per_stream[&COMPUTE_STREAM].stats.finish_cycle.max(1);
         let scaled = chains_per_frame as f64 * g_finish as f64 / c_finish as f64;
@@ -137,10 +137,12 @@ fn main() {
     //    fast-forward produces), then the ROI in detail.
     let mut sim = build(bundle.clone());
     let t = Instant::now();
-    let skipped_cycles = sim.run_to_marker(ROI_MARKER);
+    let skipped_cycles = sim
+        .run_to_marker(ROI_MARKER)
+        .expect("detailed run to marker");
     let t_detail_skip = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let full = sim.run();
+    let full = sim.run_or_panic();
     let t_full = t_detail_skip + t.elapsed().as_secs_f64();
     let ipc_g_full = roi_ipc(&full, GRAPHICS_STREAM, g_roi_instr);
     let ipc_c_full = roi_ipc(&full, COMPUTE_STREAM, c_roi_instr);
@@ -151,7 +153,7 @@ fn main() {
     let skipped_cmds = ff.fast_forward_to_marker(ROI_MARKER);
     let t_ff_skip = t.elapsed().as_secs_f64().max(1e-9);
     let t = Instant::now();
-    let roi = ff.run();
+    let roi = ff.run_or_panic();
     let t_roi = t.elapsed().as_secs_f64();
     // The sampled run issues only ROI instructions, so the per-stream
     // counters are the ROI's own.

@@ -29,7 +29,7 @@ fn run(gpu: &GpuConfig, trace: TraceBundle, threads: usize) -> (SimResult, f64) 
         .threads(threads)
         .telemetry(Telemetry::NONE)
         .trace(trace)
-        .run();
+        .run_or_panic();
     let secs = start.elapsed().as_secs_f64();
     (result, secs)
 }

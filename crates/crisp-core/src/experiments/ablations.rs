@@ -111,7 +111,7 @@ fn sim_frame(gpu: &GpuConfig, scene: &Scene, scale: ExpScale) -> u64 {
         .partition(PartitionSpec::greedy())
         .telemetry(Telemetry::NONE)
         .trace(TraceBundle::from_streams(vec![f.trace]))
-        .run()
+        .run_or_panic()
         .cycles
 }
 
@@ -183,7 +183,7 @@ pub fn ablation_replacement(scale: ExpScale) -> Vec<(&'static str, u64, f64)> {
                 .partition(PartitionSpec::greedy())
                 .telemetry(Telemetry::NONE)
                 .trace(TraceBundle::from_streams(vec![f.trace]))
-                .run();
+                .run_or_panic();
             (name, r.cycles, r.l2_stats.total().hit_rate())
         })
         .collect()
@@ -208,7 +208,7 @@ pub fn ablation_mig_banks(scale: ExpScale) -> Vec<(u32, f64)> {
                     .partition(spec)
                     .telemetry(Telemetry::NONE)
                     .trace(TraceBundle::from_streams(vec![f.trace, c]))
-                    .run();
+                    .run_or_panic();
                 r.per_stream
                     .values()
                     .map(|s| s.stats.finish_cycle)

@@ -121,7 +121,7 @@ fn composition_run(scene: &Scene, scale: ExpScale) -> Fig11Row {
         .telemetry(Telemetry::COMPOSITION)
         .composition_interval(5_000)
         .trace(TraceBundle::from_streams(vec![f.trace]))
-        .run();
+        .run_or_panic();
     let samples: Vec<f64> = r
         .l2_composition_timeline
         .iter()

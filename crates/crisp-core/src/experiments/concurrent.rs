@@ -68,7 +68,7 @@ fn run_pair(
         .partition(spec)
         .occupancy_interval(occupancy_interval)
         .trace(TraceBundle::from_streams(vec![frame.trace, cstream]))
-        .run()
+        .run_or_panic()
 }
 
 /// Makespan metric: cycles until both streams completed.

@@ -116,7 +116,7 @@ fn simulate_frame(gpu: &GpuConfig, trace: Stream) -> u64 {
         .partition(PartitionSpec::greedy())
         .telemetry(Telemetry::NONE)
         .trace(TraceBundle::from_streams(vec![trace]))
-        .run()
+        .run_or_panic()
         .cycles
 }
 

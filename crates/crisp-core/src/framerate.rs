@@ -77,7 +77,7 @@ pub fn simulate_frames(
         .partition(spec)
         .telemetry(Telemetry::NONE)
         .trace(TraceBundle::from_streams(streams))
-        .run();
+        .run_or_panic();
 
     // Split the graphics kernel log back into frames.
     let gfx_ends: Vec<u64> = result

@@ -97,7 +97,7 @@ pub fn simulate(
         .gpu(gpu)
         .partition(spec)
         .trace(bundle)
-        .run()
+        .run_or_panic()
 }
 
 /// Everything a CRISP user typically needs.
@@ -111,8 +111,8 @@ pub mod prelude {
     };
     pub use crisp_scenes::{holo, nn, vio, ComputeScale, Scene, SceneId, Silicon};
     pub use crisp_sim::{
-        GpuConfig, GpuSim, L2Policy, PartitionSpec, SimResult, Simulation, SimulationBuilder,
-        SlicerConfig, SmPartition, TapConfig, Telemetry,
+        DeadlockReport, GpuConfig, GpuSim, L2Policy, PartitionSpec, SimError, SimResult,
+        Simulation, SimulationBuilder, SlicerConfig, SmPartition, TapConfig, Telemetry,
     };
     pub use crisp_trace::{DataClass, Stream, StreamId, StreamKind, TraceBundle};
 }

@@ -77,7 +77,17 @@ impl SmMemPort {
                         L1AccessResult::Pending
                     }
                     MshrOutcome::Merged => L1AccessResult::Pending,
-                    MshrOutcome::Full => unreachable!("can_accept checked"),
+                    // Invariant: `can_accept` at the top of this function
+                    // guarantees the MSHR has room for `req.addr`, and
+                    // nothing between there and here allocates an entry, so
+                    // this arm is unreachable. Degrade to a stall anyway:
+                    // the caller retries next cycle, which at worst costs a
+                    // cycle and a double-counted L1 miss — strictly better
+                    // than tearing down a multi-hour run.
+                    MshrOutcome::Full => {
+                        debug_assert!(false, "MSHR full after can_accept said otherwise");
+                        L1AccessResult::Stall
+                    }
                 }
             }
         }

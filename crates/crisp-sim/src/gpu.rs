@@ -19,6 +19,7 @@ use crisp_sm::{CtaResources, CtaWork, ResourceQuota, Sm, StallBreakdown};
 use crisp_trace::{Command, KernelTrace, Space, StreamId, StreamKind, TraceBundle, SECTOR_BYTES};
 
 use crate::config::GpuConfig;
+use crate::error::{DeadlockReport, HangContext, SimError, StreamFrontier};
 use crate::policy::{L2Policy, PartitionSpec, SmPartition};
 use crate::slicer::WarpedSlicer;
 use crate::stats::{OccupancySample, PerStreamStats};
@@ -100,6 +101,34 @@ pub struct SimResult {
 /// used to measure steady-state (warmed-cache) hit rates: replay one frame,
 /// clear, replay again.
 pub const CLEAR_STATS_MARKER: &str = "crisp:clear-stats";
+
+/// Default forward-progress watchdog window (cycles without any SM issuing
+/// an instruction before the run fails with [`SimError::Deadlock`]).
+pub const DEFAULT_WATCHDOG: u64 = 10_000_000;
+
+/// Why the cycle loop gave up. Internal: converted into a full
+/// [`SimError`] by `GpuSim::failure` once every SM is back on the driving
+/// thread (the report needs them).
+#[derive(Debug)]
+enum Violation {
+    /// `now` crossed `cfg.max_cycles`.
+    Budget,
+    /// The forward-progress watchdog window elapsed without any SM issuing.
+    Stall,
+    /// A worker thread panicked; carries the payload when it was a string.
+    WorkerPanic(String),
+}
+
+/// Render a caught panic payload for diagnostics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 impl SimResult {
     /// Convenience: cycles until `stream` finished.
@@ -248,7 +277,8 @@ impl StreamState {
 /// let result = Simulation::builder()
 ///     .gpu(GpuConfig::test_tiny())
 ///     .trace(TraceBundle::from_streams(vec![s]))
-///     .run();
+///     .run()
+///     .expect("valid trace and config");
 /// assert!(result.cycles > 0);
 /// ```
 ///
@@ -305,6 +335,12 @@ pub struct GpuSim {
     /// Directory periodic checkpoints are written into as
     /// `ckpt-<cycle>.ckpt`; `None` means the current directory.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Forward-progress watchdog window: if no SM issues an instruction
+    /// for this many consecutive cycles while work remains, the run fails
+    /// with [`SimError::Deadlock`] carrying a full diagnostic report.
+    /// `0` disables the watchdog. Like `checkpoint_every`, transient
+    /// driver config — never serialized into checkpoints.
+    pub watchdog: u64,
     /// While set, streams park in front of a marker with this label instead
     /// of popping it — the cross-stream barrier behind
     /// [`run_to_marker`](Self::run_to_marker). Transient; never serialized.
@@ -349,6 +385,7 @@ impl GpuSim {
             kernel_log: Vec::new(),
             checkpoint_every: 0,
             checkpoint_dir: None,
+            watchdog: DEFAULT_WATCHDOG,
             hold_at_marker: None,
             cfg,
         }
@@ -455,39 +492,60 @@ impl GpuSim {
     /// checkpoint is written into [`checkpoint_dir`](Self::checkpoint_dir)
     /// at every multiple of that cycle count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the GPU makes no progress for 10M cycles (a CTA that can
-    /// never be placed), exceeds `cfg.max_cycles`, or a periodic checkpoint
-    /// cannot be written.
-    pub fn run(&mut self) -> SimResult {
+    /// [`SimError::CycleBudgetExceeded`] past `cfg.max_cycles`,
+    /// [`SimError::Deadlock`] when no SM issues an instruction for
+    /// [`watchdog`](Self::watchdog) cycles with work remaining,
+    /// [`SimError::WorkerPanic`] when a sharded worker thread panics, and
+    /// [`SimError::CheckpointIo`] when a periodic checkpoint cannot be
+    /// written. The hang-shaped errors carry a [`DeadlockReport`], the
+    /// partial [`SimResult`], and — when a checkpoint directory is
+    /// configured — the path of an emergency checkpoint that
+    /// [`Simulation::resume`](crate::Simulation::resume) accepts.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
         if let Some(interval) = std::num::NonZeroU64::new(self.checkpoint_every) {
             loop {
                 let boundary =
                     (self.now / interval.get() + 1).saturating_mul(self.checkpoint_every);
-                if self.run_segment(Some(boundary)) {
+                if self.run_segment(Some(boundary))? {
                     break;
                 }
                 let dir = self.checkpoint_dir.clone().unwrap_or_default();
                 let path = dir.join(format!("ckpt-{}.ckpt", self.now));
                 if let Err(e) = self.save_checkpoint(&path) {
-                    panic!("failed to write checkpoint {}: {e}", path.display());
+                    return Err(SimError::CheckpointIo {
+                        cycle: self.now,
+                        path,
+                        source: e,
+                    });
                 }
             }
         } else {
-            self.run_segment(None);
+            self.run_segment(None)?;
         }
-        self.result()
+        Ok(self.result())
+    }
+
+    /// [`run`](Self::run) that panics with the rendered diagnostic on
+    /// failure — the shim for benches and throwaway scripts where a
+    /// `Result` is just ceremony.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`], with the full diagnostic as the message.
+    pub fn run_or_panic(&mut self) -> SimResult {
+        self.run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Advance until no work remains or `cycle` is reached, whichever comes
     /// first. Returns `true` when the simulation finished. Continue with
     /// another `run_until` or a final [`GpuSim::run`] for the result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Same budget panics as [`GpuSim::run`].
-    pub fn run_until(&mut self, cycle: u64) -> bool {
+    /// Same failure modes as [`GpuSim::run`].
+    pub fn run_until(&mut self, cycle: u64) -> Result<bool, SimError> {
         self.run_segment(Some(cycle))
     }
 
@@ -502,44 +560,44 @@ impl GpuSim {
     /// every stream aligned at the marker, so a sampled region of interest
     /// can be compared against a detailed reference with identical phasing.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Same budget panics as [`GpuSim::run`].
-    pub fn run_to_marker(&mut self, label: &str) -> u64 {
+    /// Same failure modes as [`GpuSim::run`].
+    pub fn run_to_marker(&mut self, label: &str) -> Result<u64, SimError> {
         self.hold_at_marker = Some(label.to_string());
-        self.run_segment(None);
+        let r = self.run_segment(None);
         self.hold_at_marker = None;
-        self.now
+        r.map(|_| self.now)
     }
 
     /// Shared driver behind [`run`](Self::run) and
     /// [`run_until`](Self::run_until): pick serial or sharded execution and
     /// advance until done or the cycle limit. Returns `true` when all work
-    /// has drained.
-    fn run_segment(&mut self, limit: Option<u64>) -> bool {
+    /// has drained. A loop violation is converted into a full [`SimError`]
+    /// here, after the parallel path has merged shard SMs back into `self`,
+    /// so the diagnostic covers every SM even when a worker panicked.
+    fn run_segment(&mut self, limit: Option<u64>) -> Result<bool, SimError> {
         // More workers than SMs would just idle; never exceed one SM/worker.
         let workers = self.threads.min(self.sms.len().max(1));
-        if workers > 1 {
-            match self.run_parallel(workers, limit) {
-                Ok(done) => done,
-                Err(violation) => panic!("{violation}"),
-            }
+        let r = if workers > 1 {
+            self.run_parallel(workers, limit)
         } else {
             self.run_serial(limit)
-        }
+        };
+        r.map_err(|v| self.failure(v))
     }
 
-    fn run_serial(&mut self, limit: Option<u64>) -> bool {
+    fn run_serial(&mut self, limit: Option<u64>) -> Result<bool, Violation> {
         while self.work_remains() {
             if limit.is_some_and(|l| self.now >= l) {
-                return false;
+                return Ok(false);
             }
             self.step();
-            if let Some(violation) = self.budget_violation() {
-                panic!("{violation}");
+            if let Some(v) = self.budget_violation() {
+                return Err(v);
             }
         }
-        true
+        Ok(true)
     }
 
     fn work_remains(&self) -> bool {
@@ -575,20 +633,88 @@ impl GpuSim {
         self.mem.quiescent() && sms.iter().all(|sm| sm.port().quiescent())
     }
 
-    fn budget_violation(&self) -> Option<String> {
+    fn budget_violation(&self) -> Option<Violation> {
         if self.now > self.cfg.max_cycles {
-            return Some(format!(
-                "exceeded max_cycles={} — raise GpuConfig::max_cycles",
-                self.cfg.max_cycles
-            ));
+            return Some(Violation::Budget);
         }
-        if self.now - self.last_progress >= 10_000_000 {
-            return Some(format!(
-                "no progress for 10M cycles at cycle {} — unplaceable CTA?",
-                self.now
-            ));
+        if self.watchdog > 0 && self.now - self.last_progress >= self.watchdog {
+            return Some(Violation::Stall);
         }
         None
+    }
+
+    /// Per-stream dispatch frontier, for diagnostics.
+    fn stream_frontier(&self) -> Vec<StreamFrontier> {
+        self.streams
+            .iter()
+            .map(|s| StreamFrontier {
+                id: s.id,
+                finished: s.finished,
+                kernel: s.current.as_ref().map(|k| k.kernel.name.clone()),
+                next_cta: s.current.as_ref().map_or(0, |k| k.next_cta),
+                grid: s.current.as_ref().map_or(0, |k| k.kernel.grid()),
+                outstanding: s.current.as_ref().map_or(0, |k| k.outstanding),
+                commands_left: s.commands.len(),
+            })
+            .collect()
+    }
+
+    /// The full diagnostic snapshot attached to hang-shaped [`SimError`]s:
+    /// per-stream frontier plus per-SM scheduling state. Built on the
+    /// driving thread from architectural state only, so serial and sharded
+    /// runs produce identical reports at the same cycle.
+    pub fn deadlock_report(&self) -> DeadlockReport {
+        DeadlockReport {
+            cycle: self.now,
+            last_progress: self.last_progress,
+            streams: self.stream_frontier(),
+            sms: self.sms.iter().map(Sm::diagnostics).collect(),
+        }
+    }
+
+    /// Convert a loop [`Violation`] into a [`SimError`]: snapshot the
+    /// diagnostic report, stamp the telemetry timeline, write an emergency
+    /// checkpoint when a checkpoint directory is configured (best-effort),
+    /// and capture the partial result. `result()` consumes the recorder,
+    /// so it runs last.
+    fn failure(&mut self, v: Violation) -> SimError {
+        let report = self.deadlock_report();
+        let label = match &v {
+            Violation::Budget => "crisp:budget-exceeded",
+            Violation::Stall => "crisp:watchdog",
+            Violation::WorkerPanic(_) => "crisp:worker-panic",
+        };
+        let now = self.now;
+        if let Some(rec) = self.recorder.as_mut() {
+            for s in &report.streams {
+                if !s.finished {
+                    rec.marker(s.id.0, label, now);
+                }
+            }
+        }
+        let emergency_checkpoint = self.checkpoint_dir.clone().and_then(|dir| {
+            let path = dir.join(format!("emergency-{}.ckpt", self.now));
+            self.save_checkpoint(&path).ok().map(|()| path)
+        });
+        let partial = self.result();
+        let ctx = Box::new(HangContext {
+            cycle: report.cycle,
+            last_progress: report.last_progress,
+            report,
+            partial,
+            emergency_checkpoint,
+        });
+        match v {
+            Violation::Budget => SimError::CycleBudgetExceeded {
+                max_cycles: self.cfg.max_cycles,
+                ctx,
+            },
+            Violation::Stall => SimError::Deadlock {
+                window: self.watchdog,
+                ctx,
+            },
+            Violation::WorkerPanic(message) => SimError::WorkerPanic { message, ctx },
+        }
     }
 
     /// Advance exactly one cycle (exposed for incremental drivers).
@@ -971,10 +1097,13 @@ impl GpuSim {
     /// the serial loop pushes requests — so results are bit-identical.
     ///
     /// Returns `Ok(true)` when all work drained, `Ok(false)` when the cycle
-    /// `limit` was reached first, and a budget-violation message as `Err`
-    /// instead of panicking inside the thread scope (a panic there would
-    /// strand waiting workers).
-    fn run_parallel(&mut self, workers: usize, limit: Option<u64>) -> Result<bool, String> {
+    /// `limit` was reached first, and a [`Violation`] as `Err` instead of
+    /// panicking inside the thread scope (a panic there would strand
+    /// waiting workers). Worker panics are caught at the shard barrier
+    /// (`catch_unwind` around the shard tick), surfaced as
+    /// [`Violation::WorkerPanic`] with the first payload, and the shard's
+    /// SMs are recovered for the diagnostic report.
+    fn run_parallel(&mut self, workers: usize, limit: Option<u64>) -> Result<bool, Violation> {
         use std::sync::{Condvar, Mutex};
 
         struct Shard {
@@ -993,6 +1122,8 @@ impl GpuSim {
             quit: bool,
             /// A worker panicked while ticking its shard.
             poisoned: bool,
+            /// The first caught panic payload, rendered.
+            panic_msg: Option<String>,
         }
 
         struct Ctrl {
@@ -1030,12 +1161,13 @@ impl GpuSim {
                 done: 0,
                 quit: false,
                 poisoned: false,
+                panic_msg: None,
             }),
             go: Condvar::new(),
             all_done: Condvar::new(),
         };
 
-        let mut violation: Option<String> = None;
+        let mut violation: Option<Violation> = None;
         let mut finished = false;
         std::thread::scope(|scope| {
             for shard in shards.iter() {
@@ -1070,8 +1202,11 @@ impl GpuSim {
                             }
                         }));
                         let mut st = lock(&ctrl.state);
-                        if r.is_err() {
+                        if let Err(payload) = r {
                             st.poisoned = true;
+                            if st.panic_msg.is_none() {
+                                st.panic_msg = Some(panic_message(payload.as_ref()));
+                            }
                         }
                         st.done += 1;
                         if st.done == n_workers {
@@ -1111,10 +1246,12 @@ impl GpuSim {
                             .wait(st)
                             .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
-                    st.poisoned
+                    st.poisoned.then(|| st.panic_msg.take())
                 };
-                if poisoned {
-                    violation = Some("a simulation worker thread panicked".into());
+                if let Some(msg) = poisoned {
+                    violation = Some(Violation::WorkerPanic(
+                        msg.unwrap_or_else(|| "non-string panic payload".into()),
+                    ));
                     break;
                 }
                 // Serial post-phase: outputs in SM order, then the memory
@@ -1692,6 +1829,7 @@ impl GpuSim {
             kernel_log,
             checkpoint_every: 0,
             checkpoint_dir: None,
+            watchdog: DEFAULT_WATCHDOG,
             hold_at_marker: None,
         })
     }
@@ -1959,7 +2097,7 @@ mod tests {
         s.launch(alu_kernel("a", 20, 2, 4, 16));
         s.launch(alu_kernel("b", 20, 2, 4, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         let st = &r.per_stream[&C].stats;
         assert_eq!(st.kernels, 2);
         assert_eq!(st.ctas, 8);
@@ -1976,14 +2114,14 @@ mod tests {
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 200, 4, 2, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let solo_a = gpu.run().cycles;
+        let solo_a = gpu.run_or_panic().cycles;
 
         let mut gpu = GpuSim::with_spec(GpuConfig::test_tiny(), PartitionSpec::greedy());
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 200, 4, 2, 16));
         s.launch(alu_kernel("b", 200, 4, 2, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let both = gpu.run().cycles;
+        let both = gpu.run_or_panic().cycles;
         assert!(
             both as f64 > solo_a as f64 * 1.5,
             "second kernel must serialise: solo {solo_a}, both {both}"
@@ -2002,12 +2140,12 @@ mod tests {
         s.launch(a.clone());
         s.launch(b.clone());
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let serial = gpu.run().cycles;
+        let serial = gpu.run_or_panic().cycles;
 
         // Concurrent under even intra-SM partition.
         let mut gpu = GpuSim::with_spec(cfg.clone(), PartitionSpec::fg_even(&cfg, G, C));
         gpu.load(bundle_two(a, b));
-        let conc = gpu.run().cycles;
+        let conc = gpu.run_or_panic().cycles;
         assert!(
             (conc as f64) < serial as f64 * 0.95,
             "concurrency must beat serial: serial {serial}, concurrent {conc}"
@@ -2022,7 +2160,7 @@ mod tests {
             alu_kernel("g", 50, 2, 4, 16),
             alu_kernel("c", 50, 2, 4, 16),
         ));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert_eq!(r.per_stream[&G].stats.ctas, 4);
         assert_eq!(r.per_stream[&C].stats.ctas, 4);
     }
@@ -2033,7 +2171,7 @@ mod tests {
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 50, 2, 4, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         let stalls = r.stalls();
         assert_eq!(stalls.issued, r.per_stream[&C].stats.instructions);
         assert!(stalls.issue_efficiency() > 0.0);
@@ -2047,7 +2185,7 @@ mod tests {
             alu_kernel("g", 50, 2, 4, 16),
             alu_kernel("c", 50, 2, 4, 16),
         ));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert_eq!(r.per_sm_instructions.len(), 2);
         // SM 0 belongs to the graphics stream, SM 1 to compute: no leakage.
         assert!(!r.per_sm_instructions[0].contains_key(&C));
@@ -2066,7 +2204,7 @@ mod tests {
         let mut cs = Stream::new(C, StreamKind::Compute);
         cs.launch(mem_kernel("cmem", 4, 5));
         gpu.load(TraceBundle::from_streams(vec![gs, cs]));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert!(r.per_stream[&G].dram_bytes > 0);
         assert!(r.per_stream[&C].dram_bytes > 0);
     }
@@ -2083,7 +2221,7 @@ mod tests {
             alu_kernel("g", 2000, 2, 12, 16),
             alu_kernel("c", 2000, 2, 12, 16),
         ));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert!(
             !r.slicer_history.is_empty(),
             "slicer must have decided at least once"
@@ -2107,7 +2245,7 @@ mod tests {
         let mut cs = Stream::new(C, StreamKind::Compute);
         cs.launch(alu_kernel("calu", 100, 2, 6, 16));
         gpu.load(TraceBundle::from_streams(vec![gs, cs]));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         let alloc = r.tap_allocation.expect("TAP ran");
         let total: u64 = alloc.iter().map(|(_, n)| n).sum();
         let sets_per_bank = (128 << 10) / 2 / 128 / 8;
@@ -2123,7 +2261,7 @@ mod tests {
             alu_kernel("g", 500, 2, 8, 16),
             alu_kernel("c", 500, 2, 8, 16),
         ));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert!(r.occupancy.len() >= 2);
         let mid = &r.occupancy[r.occupancy.len() / 2];
         assert!(mid.total() > 0.0, "occupancy must be visible mid-run");
@@ -2137,11 +2275,10 @@ mod tests {
         // 512 regs/thread × 256 threads = 131072 regs > 65536.
         s.launch(alu_kernel("hog", 4, 8, 1, 512));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let _ = gpu.run();
+        let _ = gpu.run_or_panic();
     }
 
     #[test]
-    #[should_panic(expected = "max_cycles")]
     fn max_cycles_budget_is_enforced() {
         let mut cfg = GpuConfig::test_tiny();
         cfg.max_cycles = 10;
@@ -2149,7 +2286,21 @@ mod tests {
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("long", 1000, 2, 4, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let _ = gpu.run();
+        let err = gpu.run().expect_err("budget of 10 cycles must trip");
+        match &err {
+            SimError::CycleBudgetExceeded { max_cycles, ctx } => {
+                assert_eq!(*max_cycles, 10);
+                assert_eq!(ctx.cycle, 11, "stops on the first cycle past the budget");
+                assert!(
+                    ctx.partial.per_stream[&C].stats.instructions > 0,
+                    "partial stats carry the work done before the trip"
+                );
+                assert!(ctx.emergency_checkpoint.is_none(), "no checkpoint dir set");
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other}"),
+        }
+        assert!(err.to_string().contains("max_cycles=10"), "{err}");
+        assert_eq!(err.cycle(), Some(11));
     }
 
     #[test]
@@ -2158,7 +2309,7 @@ mod tests {
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(alu_kernel("a", 10, 1, 1, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         let text = r.summary();
         assert!(text.contains("stream1"));
         assert!(text.contains("L2"));
@@ -2172,7 +2323,7 @@ mod tests {
         s.launch(alu_kernel("first", 20, 2, 2, 16));
         s.launch(alu_kernel("second", 20, 2, 2, 16));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert_eq!(r.kernel_log.len(), 2);
         assert_eq!(r.kernel_log[0].name, "first");
         assert_eq!(r.kernel_log[1].name, "second");
@@ -2193,7 +2344,7 @@ mod tests {
             alu_kernel("g", 500, 2, 8, 16),
             alu_kernel("c", 500, 2, 8, 16),
         ));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert!(!r.ipc_timeline.is_empty());
         let g_sum: u64 = r.ipc_timeline.iter().filter_map(|(_, m)| m.get(&G)).sum();
         // The final partial window after the last sample is not captured,
@@ -2208,7 +2359,7 @@ mod tests {
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(KernelTrace::new("empty", 32, 8, 0, vec![]));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert_eq!(r.per_stream[&C].stats.kernels, 1);
     }
 
@@ -2243,16 +2394,19 @@ mod tests {
 
     #[test]
     fn checkpoint_roundtrip_resumes_bit_identically() {
-        let r_base = ckpt_sim().run();
+        let r_base = ckpt_sim().run_or_panic();
 
         let mut gpu = ckpt_sim();
-        assert!(!gpu.run_until(100), "workload must outlast the checkpoint");
+        assert!(
+            !gpu.run_until(100).unwrap(),
+            "workload must outlast the checkpoint"
+        );
         let mut bytes = Vec::new();
         gpu.write_checkpoint(&mut bytes).unwrap();
         let mut resumed = GpuSim::read_checkpoint(&bytes[..]).unwrap();
-        let r_resumed = resumed.run();
+        let r_resumed = resumed.run_or_panic();
         // The checkpointed original keeps running unperturbed too.
-        let r_orig = gpu.run();
+        let r_orig = gpu.run_or_panic();
 
         for r in [&r_orig, &r_resumed] {
             assert_eq!(r.cycles, r_base.cycles);
@@ -2268,15 +2422,15 @@ mod tests {
 
     #[test]
     fn checkpoint_resume_is_thread_count_independent() {
-        let r_base = ckpt_sim().run();
+        let r_base = ckpt_sim().run_or_panic();
         let mut gpu = ckpt_sim();
-        gpu.run_until(100);
+        gpu.run_until(100).unwrap();
         let mut bytes = Vec::new();
         gpu.write_checkpoint(&mut bytes).unwrap();
         for threads in [2, 4] {
             let mut resumed = GpuSim::read_checkpoint(&bytes[..]).unwrap();
             resumed.set_threads(threads);
-            let r = resumed.run();
+            let r = resumed.run_or_panic();
             assert_eq!(r.cycles, r_base.cycles);
             assert_eq!(r.per_stream, r_base.per_stream);
             assert_eq!(r.chrome_trace_json(), r_base.chrome_trace_json());
@@ -2287,19 +2441,19 @@ mod tests {
     fn periodic_checkpoints_are_written_and_resumable() {
         let dir = std::env::temp_dir().join(format!("crisp-ckpt-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let r_base = ckpt_sim().run();
+        let r_base = ckpt_sim().run_or_panic();
 
         let mut gpu = ckpt_sim();
         gpu.checkpoint_every = 100;
         gpu.checkpoint_dir = Some(dir.clone());
-        let r_full = gpu.run();
+        let r_full = gpu.run_or_panic();
         assert_eq!(r_full.cycles, r_base.cycles);
 
         let first = dir.join("ckpt-100.ckpt");
         assert!(first.exists(), "periodic checkpoint must be on disk");
         let mut resumed = crate::Simulation::resume(&first).unwrap();
         assert_eq!(resumed.now(), 100);
-        let r = resumed.run();
+        let r = resumed.run_or_panic();
         assert_eq!(r.cycles, r_base.cycles);
         assert_eq!(r.per_stream, r_base.per_stream);
         let _ = std::fs::remove_dir_all(&dir);
@@ -2331,9 +2485,9 @@ mod tests {
         sc.launch(mem_kernel("c1", 6, 3));
         gpu.load(TraceBundle::from_streams(vec![sg, sc]));
 
-        let barrier = gpu.run_to_marker("roi");
+        let barrier = gpu.run_to_marker("roi").unwrap();
         assert!(barrier > 0, "the pre-barrier kernels take time");
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert!(r.cycles > barrier, "the post-barrier kernels take time");
         // Both streams cross the barrier in the same cycle: the slower
         // stream's kernel gates the faster one's marker.
@@ -2356,7 +2510,7 @@ mod tests {
         let mut s = Stream::new(C, StreamKind::Compute);
         s.launch(mem_kernel("m", 4, 1));
         gpu.load(TraceBundle::from_streams(vec![s]));
-        let r = gpu.run();
+        let r = gpu.run_or_panic();
         assert!(r.l2_composition.class_lines(DataClass::Compute) > 0);
         assert!(r.l2_stats.total().accesses > 0);
         assert!(r.l1_stats.total().accesses > 0);

@@ -38,6 +38,7 @@
 //! cycles — then simulates the ROI in detail.
 
 mod config;
+mod error;
 mod gpu;
 mod policy;
 mod sim;
@@ -45,7 +46,10 @@ mod slicer;
 mod stats;
 
 pub use config::GpuConfig;
-pub use gpu::{GpuSim, KernelRecord, SimResult, StreamResult, CLEAR_STATS_MARKER};
+pub use error::{DeadlockReport, HangContext, SimError, StreamFrontier};
+pub use gpu::{
+    GpuSim, KernelRecord, SimResult, StreamResult, CLEAR_STATS_MARKER, DEFAULT_WATCHDOG,
+};
 pub use policy::{L2Policy, PartitionSpec, SmPartition};
 pub use sim::{Simulation, SimulationBuilder, Telemetry};
 pub use slicer::{SlicerConfig, WarpedSlicer};
@@ -54,5 +58,8 @@ pub use stats::{OccupancySample, PerStreamStats};
 pub use crisp_mem::{MemConfig, TapConfig};
 pub use crisp_obs as obs;
 pub use crisp_obs::{Labels, MetricsSnapshot, TraceLog};
-pub use crisp_sm::{ResourceQuota, SchedulerPolicy, SmConfig, StallBreakdown};
-pub use crisp_trace::{StreamId, StreamKind, TraceBundle};
+pub use crisp_sm::{
+    CtaDiagnostics, ResourceQuota, SchedulerPolicy, SmConfig, SmDiagnostics, StallBreakdown,
+    WarpDiagnostics, WarpStall,
+};
+pub use crisp_trace::{StreamId, StreamKind, TraceBundle, TraceError, TraceErrorKind};

@@ -17,14 +17,24 @@
 //!     .threads(4)                  // bit-identical to .threads(1)
 //!     .telemetry(Telemetry::FULL)
 //!     .trace(bundle)
-//!     .run();
+//!     .run()
+//!     .expect("valid trace and config");
 //! assert!(result.cycles > 0);
 //! ```
+//!
+//! `run()` returns `Result<SimResult, SimError>`: the trace and
+//! configuration are validated up front (pre-flight), and a run that
+//! wedges, blows its cycle budget, or loses a worker thread comes back as
+//! a structured [`SimError`] with a diagnostic report instead of a panic.
+//! Benches and throwaway scripts can use
+//! [`run_or_panic`](SimulationBuilder::run_or_panic).
 
 use crate::config::GpuConfig;
-use crate::gpu::{GpuSim, SimResult};
-use crate::policy::{L2Policy, PartitionSpec};
-use crisp_trace::TraceBundle;
+use crate::error::SimError;
+use crate::gpu::{GpuSim, SimResult, DEFAULT_WATCHDOG};
+use crate::policy::{L2Policy, PartitionSpec, SmPartition};
+use crisp_sm::CtaResources;
+use crisp_trace::{Command, TraceBundle};
 
 /// Which periodic telemetry a simulation records.
 ///
@@ -124,6 +134,8 @@ pub struct SimulationBuilder {
     checkpoint_to: Option<std::path::PathBuf>,
     fast_forward_to: Option<String>,
     trace: Option<TraceBundle>,
+    watchdog: Option<u64>,
+    skip_preflight: bool,
 }
 
 impl SimulationBuilder {
@@ -224,14 +236,184 @@ impl SimulationBuilder {
         self
     }
 
-    /// Construct the configured [`GpuSim`] without running it (incremental
-    /// drivers call [`GpuSim::step`] themselves).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace violates the partition policy's expectations
-    /// (see [`GpuSim::load`]).
-    pub fn build(self) -> GpuSim {
+    /// Forward-progress watchdog window: if no SM issues an instruction
+    /// for `cycles` consecutive cycles while work remains, the run fails
+    /// with [`SimError::Deadlock`] carrying a per-warp diagnostic report
+    /// (default [`DEFAULT_WATCHDOG`]; 0 disables).
+    pub fn watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog = Some(cycles);
+        self
+    }
+
+    /// Enable or disable pre-flight validation of the trace and
+    /// configuration (default: enabled). Disabling it lets structurally
+    /// bad inputs reach the cycle loop — useful only for testing the
+    /// runtime fail-safes themselves (the watchdog, the panic capture).
+    pub fn preflight(mut self, enabled: bool) -> Self {
+        self.skip_preflight = !enabled;
+        self
+    }
+
+    /// Pre-flight validation: lint the trace bundle
+    /// ([`crisp_trace::validate_bundle`]) and cross-check the
+    /// configuration against it, so bad inputs fail in milliseconds with a
+    /// named error instead of mid-run.
+    fn preflight_check(&self) -> Result<(), SimError> {
+        let invalid = |message: String| Err(SimError::InvalidConfig { message });
+        let cfg = self
+            .gpu
+            .clone()
+            .unwrap_or_else(crate::config::GpuConfig::jetson_orin);
+        if cfg.max_cycles == 0 {
+            return invalid("max_cycles is 0 — no cycle could ever run".into());
+        }
+        if let Some(bundle) = &self.trace {
+            crisp_trace::validate_bundle(bundle)?;
+        }
+        let n_streams = self.trace.as_ref().map(|b| b.streams.len());
+        let spec_sm = self.partition.as_ref().map(|p| &p.sm);
+        match spec_sm {
+            Some(SmPartition::InterSm(map)) => {
+                for (stream, sms) in map {
+                    if sms.is_empty() {
+                        return invalid(format!(
+                            "partition assigns no SMs to {stream} — its CTAs could \
+                             never be placed"
+                        ));
+                    }
+                    if let Some(&idx) = sms.iter().find(|&&i| i >= cfg.n_sms) {
+                        return invalid(format!(
+                            "partition assigns SM {idx} to {stream}, but the GPU has \
+                             only {} SMs",
+                            cfg.n_sms
+                        ));
+                    }
+                }
+            }
+            Some(SmPartition::IntraSm(map)) => {
+                // Summing u32::MAX ("unlimited") would always trip the
+                // check, so only bounded quotas participate.
+                let sum = |f: fn(&crisp_sm::ResourceQuota) -> u32, cap: u32, what: &str| {
+                    let bounded: Vec<u32> =
+                        map.values().map(f).filter(|&v| v != u32::MAX).collect();
+                    let total: u64 = bounded.iter().map(|&v| u64::from(v)).sum();
+                    if bounded.len() == map.len() && total > u64::from(cap) {
+                        Some(format!(
+                            "intra-SM quotas oversubscribe {what}: {total} > {cap} \
+                             physically available per SM"
+                        ))
+                    } else {
+                        None
+                    }
+                };
+                let sm = &cfg.sm;
+                let oversubscribed = [
+                    sum(|q| q.threads, sm.max_threads, "threads"),
+                    sum(|q| q.warps, sm.max_warps, "warp slots"),
+                    sum(|q| q.regs, sm.max_regs, "registers"),
+                    sum(|q| q.smem, sm.max_smem, "shared memory"),
+                ]
+                .into_iter()
+                .flatten()
+                .next();
+                if let Some(msg) = oversubscribed {
+                    return invalid(msg);
+                }
+            }
+            Some(SmPartition::IntraSmDynamic(_)) => {
+                if let Some(n) = n_streams {
+                    if n != 2 {
+                        return invalid(format!(
+                            "the warped-slicer policy expects exactly two streams, \
+                             the trace has {n}"
+                        ));
+                    }
+                }
+            }
+            Some(SmPartition::Greedy) | None => {}
+        }
+        let l2 = self.l2.as_ref().or(self.partition.as_ref().map(|p| &p.l2));
+        if let Some(L2Policy::BankSplit) = l2 {
+            if cfg.l2_banks < 2 {
+                return invalid(format!(
+                    "L2 bank-split needs at least 2 banks, the GPU has {}",
+                    cfg.l2_banks
+                ));
+            }
+            if let Some(n) = n_streams {
+                if n != 2 {
+                    return invalid(format!(
+                        "the L2 bank-split policy expects exactly two streams, \
+                         the trace has {n}"
+                    ));
+                }
+            }
+        }
+        if let Some(bundle) = &self.trace {
+            let sm = &cfg.sm;
+            for s in &bundle.streams {
+                for cmd in &s.commands {
+                    let Command::Launch(k) = cmd else { continue };
+                    if k.grid() == 0 {
+                        continue;
+                    }
+                    let res = CtaResources::of_kernel(k);
+                    if res.threads > sm.max_threads
+                        || res.warps > sm.max_warps
+                        || res.regs > sm.max_regs
+                        || res.smem > sm.max_smem
+                    {
+                        return invalid(format!(
+                            "kernel '{}' on {} needs {res:?} per CTA, which exceeds \
+                             the SM's physical resources",
+                            k.name, s.id
+                        ));
+                    }
+                }
+            }
+            if let Some(label) = &self.fast_forward_to {
+                let found = bundle.streams.iter().any(|s| {
+                    s.commands
+                        .iter()
+                        .any(|c| matches!(c, Command::Marker(l) if l == label))
+                });
+                if !found {
+                    return invalid(format!(
+                        "fast-forward marker '{label}' appears in no stream"
+                    ));
+                }
+            }
+        }
+        // Probe checkpoint-directory writability up front: an emergency or
+        // periodic checkpoint that cannot be written is discovered now, not
+        // millions of cycles in.
+        if self.checkpoint_every.is_some_and(|c| c > 0) || self.checkpoint_to.is_some() {
+            let dir = self.checkpoint_to.clone().unwrap_or_default();
+            let probe = || -> std::io::Result<()> {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(&dir)?;
+                }
+                let p = dir.join(".crisp-write-probe");
+                std::fs::write(&p, b"probe")?;
+                std::fs::remove_file(&p)
+            };
+            if let Err(e) = probe() {
+                return invalid(format!(
+                    "checkpoint directory {} is not writable: {e}",
+                    if dir.as_os_str().is_empty() {
+                        std::path::Path::new(".").display()
+                    } else {
+                        dir.display()
+                    }
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The unchecked constructor behind [`build`](Self::build) and
+    /// [`try_build`](Self::try_build).
+    fn construct(self) -> GpuSim {
         let cfg = self.gpu.unwrap_or_else(GpuConfig::jetson_orin);
         let mut spec = self.partition.unwrap_or_else(PartitionSpec::greedy);
         if let Some(l2) = self.l2 {
@@ -264,6 +446,7 @@ impl SimulationBuilder {
             sim.checkpoint_every = cycles;
         }
         sim.checkpoint_dir = self.checkpoint_to;
+        sim.watchdog = self.watchdog.unwrap_or(DEFAULT_WATCHDOG);
         if let Some(bundle) = self.trace {
             sim.load(bundle);
         }
@@ -273,22 +456,67 @@ impl SimulationBuilder {
         sim
     }
 
-    /// Build and run to completion.
+    /// Construct the configured [`GpuSim`] without running it (incremental
+    /// drivers call [`GpuSim::step`] themselves). Skips pre-flight
+    /// validation — see [`try_build`](Self::try_build) for the checked
+    /// variant.
     ///
     /// # Panics
     ///
-    /// As [`GpuSim::run`]: on an unplaceable CTA or a blown cycle budget.
-    /// Additionally panics if [`profile_to`](Self::profile_to) was set and
-    /// the artifacts cannot be written.
-    pub fn run(mut self) -> SimResult {
-        let profile_dir = self.profile_to.take();
-        let result = self.build().run();
-        if let Some(dir) = profile_dir {
-            result
-                .write_profile(&dir)
-                .unwrap_or_else(|e| panic!("failed to write profile to {}: {e}", dir.display()));
+    /// Panics if the trace violates the partition policy's expectations
+    /// (see [`GpuSim::load`]).
+    pub fn build(self) -> GpuSim {
+        self.construct()
+    }
+
+    /// Pre-flight-validate the trace and configuration, then construct the
+    /// [`GpuSim`]. This is what [`run`](Self::run) uses.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidTrace`] when the bundle fails structural
+    /// validation, [`SimError::InvalidConfig`] when the configuration is
+    /// inconsistent with itself or the trace.
+    pub fn try_build(self) -> Result<GpuSim, SimError> {
+        if !self.skip_preflight {
+            self.preflight_check()?;
         }
-        result
+        Ok(self.construct())
+    }
+
+    /// Build and run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Pre-flight errors ([`SimError::InvalidTrace`],
+    /// [`SimError::InvalidConfig`]) before the first cycle; the failure
+    /// modes of [`GpuSim::run`] during it. A
+    /// [`profile_to`](Self::profile_to) directory that cannot be written
+    /// surfaces as [`SimError::CheckpointIo`].
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        let profile_dir = self.profile_to.take();
+        let mut sim = self.try_build()?;
+        let result = sim.run()?;
+        if let Some(dir) = profile_dir {
+            if let Err(e) = result.write_profile(&dir) {
+                return Err(SimError::CheckpointIo {
+                    cycle: result.cycles,
+                    path: dir,
+                    source: e,
+                });
+            }
+        }
+        Ok(result)
+    }
+
+    /// [`run`](Self::run) that panics with the rendered diagnostic on any
+    /// failure — the shim for benches and throwaway scripts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`], with the full diagnostic as the message.
+    pub fn run_or_panic(self) -> SimResult {
+        self.run().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -345,7 +573,7 @@ mod tests {
             .gpu(GpuConfig::test_tiny())
             .telemetry(Telemetry::NONE)
             .trace(bundle())
-            .run();
+            .run_or_panic();
         assert!(r.occupancy.is_empty());
         assert!(r.ipc_timeline.is_empty());
         assert!(r.l2_composition_timeline.is_empty());
@@ -359,7 +587,7 @@ mod tests {
             .gpu(GpuConfig::test_tiny())
             .telemetry(Telemetry::TIMELINE)
             .trace(bundle())
-            .run();
+            .run_or_panic();
         // One kernel span + one CTA span per CTA in the grid.
         assert!(r.timeline.span_count() >= 5, "kernel + 4 CTA spans");
         assert!(r
@@ -385,7 +613,7 @@ mod tests {
             .telemetry(Telemetry::METRICS)
             .counter_interval(50)
             .trace(TraceBundle::from_streams(vec![s]))
-            .run();
+            .run_or_panic();
         assert!(!r.timeline.counters().is_empty());
         assert!(r
             .timeline
@@ -423,7 +651,7 @@ mod tests {
             .occupancy_interval(50)
             .composition_interval(25)
             .trace(TraceBundle::from_streams(vec![s]))
-            .run();
+            .run_or_panic();
         assert!(r.cycles > 100, "workload long enough to sample");
         assert!(!r.occupancy.is_empty());
         assert!(!r.l2_composition_timeline.is_empty());
@@ -461,7 +689,7 @@ mod tests {
             .partition(PartitionSpec::greedy())
             .trace(bundle())
             .build();
-        assert!(gpu.run().cycles > 0);
+        assert!(gpu.run_or_panic().cycles > 0);
     }
 
     #[test]
@@ -500,12 +728,12 @@ mod tests {
         let full = Simulation::builder()
             .gpu(GpuConfig::test_tiny())
             .trace(two_phase())
-            .run();
+            .run_or_panic();
         let roi = Simulation::builder()
             .gpu(GpuConfig::test_tiny())
             .trace(two_phase())
             .fast_forward_to("roi")
-            .run();
+            .run_or_panic();
         assert_eq!(full.per_stream[&StreamId(0)].stats.kernels, 2);
         assert_eq!(roi.per_stream[&StreamId(0)].stats.kernels, 1);
         assert!(

@@ -17,6 +17,7 @@
 
 mod config;
 mod cta;
+pub mod diag;
 mod lsu;
 mod sm;
 mod units;
@@ -24,6 +25,7 @@ mod warp;
 
 pub use config::{SchedulerPolicy, SmConfig};
 pub use cta::{CtaResources, CtaWork, ResourceQuota, SmResources, Usage};
+pub use diag::{CtaDiagnostics, SmDiagnostics, WarpDiagnostics, WarpStall};
 pub use lsu::Lsu;
 pub use sm::{CtaCommit, CycleOutput, Sm, StallBreakdown};
 pub use units::ExecUnits;

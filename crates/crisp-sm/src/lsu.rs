@@ -70,6 +70,12 @@ impl Lsu {
         self.queue.is_empty()
     }
 
+    /// Memory instructions currently queued (issued but not fully presented
+    /// to the L1). Used by diagnostic snapshots.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Total sectors presented to the L1/shared memory so far.
     pub fn sectors_issued(&self) -> u64 {
         self.sectors_issued

@@ -321,6 +321,68 @@ impl Sm {
     }
 
     /// Scheduler-slot accounting since construction.
+    /// Point-in-time snapshot of the SM's scheduling and memory-side state,
+    /// for deadlock reports. Read-only and deterministic: depends only on
+    /// architectural state, so serial and sharded runs of the same trace
+    /// snapshot identically at the same cycle.
+    pub fn diagnostics(&self) -> crate::diag::SmDiagnostics {
+        use crate::diag::{CtaDiagnostics, SmDiagnostics, WarpDiagnostics, WarpStall};
+        let mut warps = Vec::new();
+        for (slot, w) in self.warps.iter().enumerate() {
+            let Some(w) = w.as_ref() else { continue };
+            let trace = &w.kernel.ctas[w.cta_index].warps[w.warp_index];
+            let stall = match w.status {
+                WarpStatus::Exited => WarpStall::Exited,
+                WarpStatus::AtBarrier => WarpStall::Barrier,
+                WarpStatus::Ready => match w.next_instr() {
+                    None => WarpStall::TraceExhausted,
+                    Some(instr) if w.scoreboard_blocks(instr) => {
+                        if w.blocked_on_mem(instr) {
+                            WarpStall::MemPending
+                        } else {
+                            WarpStall::Scoreboard
+                        }
+                    }
+                    Some(_) => WarpStall::Issuable,
+                },
+            };
+            warps.push(WarpDiagnostics {
+                slot,
+                stream: w.stream,
+                cta_index: w.cta_index,
+                warp_index: w.warp_index,
+                pc: w.pc,
+                trace_len: trace.len(),
+                stall,
+                pending_regs: (w.pending_writes | w.pending_mem).count_ones(),
+            });
+        }
+        let mut ctas = Vec::new();
+        for cta in self.ctas.iter().flatten() {
+            let kernel = cta
+                .warp_slots
+                .first()
+                .and_then(|&s| self.warps[s].as_ref())
+                .map(|w| w.kernel.name.clone())
+                .unwrap_or_default();
+            ctas.push(CtaDiagnostics {
+                stream: cta.stream,
+                kernel,
+                cta_index: cta.cta_index,
+                live_warps: cta.live_warps,
+                at_barrier: cta.at_barrier,
+            });
+        }
+        SmDiagnostics {
+            id: self.id,
+            ctas,
+            warps,
+            mshr_in_flight: self.port.in_flight(),
+            lsu_queued: self.lsu.queued(),
+            writebacks_pending: self.writebacks.len(),
+        }
+    }
+
     pub fn stalls(&self) -> StallBreakdown {
         self.stalls
     }

@@ -17,10 +17,18 @@ pub enum WarpStatus {
     Exited,
 }
 
+/// Invariant: register ids stay below [`crisp_trace::SCOREBOARD_REGS`]
+/// (the scoreboard is a `u128` mask). The pre-flight validator
+/// (`crisp_trace::validate_bundle`) rejects traces that violate this before
+/// they reach the cycle path; the assert is kept as defense-in-depth because
+/// a masked release-mode shift (`1u128 << (r.0 & 127)`) would silently alias
+/// two registers and corrupt dependency tracking instead of failing loudly.
 fn reg_bit(r: Reg) -> u128 {
     assert!(
-        r.0 < 128,
-        "scoreboard supports register ids 0..128, got {}",
+        r.0 < crisp_trace::SCOREBOARD_REGS,
+        "scoreboard supports register ids 0..{}, got {} — run \
+         crisp_trace::validate_bundle on the trace before simulating",
+        crisp_trace::SCOREBOARD_REGS,
         r.0
     );
     1u128 << r.0

@@ -33,6 +33,7 @@ pub mod codec;
 mod isa;
 mod kernel;
 mod stream;
+pub mod validate;
 
 pub use analysis::{
     ClassFootprint, InstrMix, ReuseHistogram, TexLinesHistogram, LINE_BYTES, SECTOR_BYTES,
@@ -40,3 +41,6 @@ pub use analysis::{
 pub use isa::{DataClass, Instr, MemAccess, Op, Reg, Space, MAX_SRCS, WARP_SIZE};
 pub use kernel::{CtaTrace, KernelTrace, WarpTrace};
 pub use stream::{Command, Stream, StreamId, StreamKind, TraceBundle};
+pub use validate::{
+    validate_bundle, validate_kernel, TraceError, TraceErrorKind, TraceErrorSite, SCOREBOARD_REGS,
+};

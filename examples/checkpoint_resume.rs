@@ -43,7 +43,7 @@ fn main() -> std::io::Result<()> {
     let reference = build(bundle.clone())
         .checkpoint_every(50_000)
         .checkpoint_to(dir)
-        .run();
+        .run_or_panic();
     println!("reference run: {} cycles", reference.cycles);
 
     // 2. Resume from the first checkpoint. The restored simulator finishes
@@ -53,7 +53,7 @@ fn main() -> std::io::Result<()> {
     let mut resumed = Simulation::resume(&ckpt)?;
     println!("resumed from {} at cycle {}", ckpt.display(), resumed.now());
     resumed.set_threads(2);
-    let replay = resumed.run();
+    let replay = resumed.run_or_panic();
     assert_eq!(replay.cycles, reference.cycles);
     assert_eq!(replay.per_stream, reference.per_stream);
     println!("resumed run matches: {} cycles", replay.cycles);
@@ -62,7 +62,7 @@ fn main() -> std::io::Result<()> {
     //    the warmup's memory footprint is replayed functionally (warming
     //    L1/L2/DRAM, charging zero cycles) and only the ROI is simulated
     //    in detail.
-    let roi = build(bundle).fast_forward_to("roi").run();
+    let roi = build(bundle).fast_forward_to("roi").run_or_panic();
     println!(
         "ROI-only run: {} cycles ({} full), {} instructions",
         roi.cycles,

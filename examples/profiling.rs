@@ -36,7 +36,7 @@ fn main() {
         .counter_interval(200)
         .profile_to("target/profile")
         .trace(crisp_core::concurrent_bundle(frame.trace, compute))
-        .run();
+        .run_or_panic();
 
     // 3. Everything written to disk is also queryable in memory.
     println!("{}", result.profile_report());

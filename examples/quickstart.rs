@@ -41,7 +41,7 @@ fn main() {
         .partition(spec)
         .threads(std::thread::available_parallelism().map_or(1, |n| n.get().min(4)))
         .trace(crisp_core::concurrent_bundle(frame.trace, compute))
-        .run();
+        .run_or_panic();
 
     println!(
         "\nsimulated {} cycles ({:.3} ms at {} MHz)",

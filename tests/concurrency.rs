@@ -197,7 +197,7 @@ fn occupancy_timeline_tracks_both_streams() {
             frame(),
             nn(COMPUTE_STREAM, ComputeScale::tiny()),
         ))
-        .run();
+        .run_or_panic();
     let saw_gfx = r
         .occupancy
         .iter()

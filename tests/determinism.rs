@@ -39,7 +39,7 @@ fn run(spec: PartitionSpec, l2: Option<L2Policy>, threads: usize) -> SimResult {
     if let Some(l2) = l2 {
         b = b.l2(l2);
     }
-    b.run()
+    b.run_or_panic()
 }
 
 /// Field-by-field equality of two results, with a labelled panic per field
@@ -192,14 +192,14 @@ fn build_sim(spec: PartitionSpec, l2: Option<L2Policy>, threads: usize) -> GpuSi
 fn check_resume(name: &str, spec: PartitionSpec, l2: Option<L2Policy>, ckpt_threads: usize) {
     let full = run(spec.clone(), l2.clone(), 1);
     let mut sim = build_sim(spec, l2, ckpt_threads);
-    let done = sim.run_until(full.cycles / 2);
+    let done = sim.run_until(full.cycles / 2).unwrap();
     assert!(!done, "{name}: workload must outlast the checkpoint cycle");
     let mut bytes = Vec::new();
     sim.write_checkpoint(&mut bytes).expect("serialize");
     for threads in [1, 2, 4] {
         let mut resumed = GpuSim::read_checkpoint(&bytes[..]).expect("deserialize");
         resumed.set_threads(threads);
-        let r = resumed.run();
+        let r = resumed.run_or_panic();
         assert_identical(&full, &r, &format!("{name} resume @ {threads} threads"));
     }
 }
@@ -242,13 +242,13 @@ fn periodic_checkpoint_files_resume_bit_identically() {
     let mut sim = build_sim(PartitionSpec::greedy(), None, 1);
     sim.checkpoint_every = every;
     sim.checkpoint_dir = Some(dir.clone());
-    let direct = sim.run();
+    let direct = sim.run_or_panic();
     assert_identical(&full, &direct, "greedy with periodic checkpointing");
 
     let path = dir.join(format!("ckpt-{every}.ckpt"));
     assert!(path.exists(), "expected checkpoint at {}", path.display());
     let mut resumed = Simulation::resume(&path).expect("resume from file");
-    let r = resumed.run();
+    let r = resumed.run_or_panic();
     assert_identical(&full, &r, "greedy resumed from periodic checkpoint");
     let _ = std::fs::remove_dir_all(&dir);
 }

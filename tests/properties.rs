@@ -367,7 +367,7 @@ fn random_kernels_always_complete() {
             .gpu(GpuConfig::test_tiny())
             .occupancy_interval(0)
             .trace(TraceBundle::from_streams(vec![stream]))
-            .run();
+            .run_or_panic();
         let st = &r.per_stream[&StreamId(0)].stats;
         assert_eq!(
             st.instructions, expected_instrs,
@@ -519,7 +519,7 @@ fn corrupt_checkpoints_are_rejected_not_fatal() {
         .counter_interval(25)
         .trace(TraceBundle::from_streams(vec![stream]))
         .build();
-    sim.run_until(60);
+    sim.run_until(60).unwrap();
     let mut bytes = Vec::new();
     sim.write_checkpoint(&mut bytes).expect("serialize");
     assert_reader_robust(&bytes, |b| GpuSim::read_checkpoint(b), "CKPT checkpoint");
@@ -550,7 +550,7 @@ fn any_fg_ratio_completes() {
             .gpu(gpu)
             .partition(spec)
             .trace(TraceBundle::from_streams(vec![a, b]))
-            .run();
+            .run_or_panic();
         assert_eq!(r.per_stream[&StreamId(0)].stats.ctas, 4, "ratio {num}/8");
         assert_eq!(r.per_stream[&StreamId(1)].stats.ctas, 4, "ratio {num}/8");
     }
