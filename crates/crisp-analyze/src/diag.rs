@@ -1,0 +1,285 @@
+//! Diagnostic types: lint codes, severities, and located findings.
+
+use std::fmt;
+
+use crisp_trace::{TraceError, TraceErrorKind, TraceErrorSite};
+
+/// How serious a [`Diagnostic`] is.
+///
+/// Errors describe traces whose replay would *silently mis-model* the
+/// workload (a race makes the trace's implied ordering a lie; a
+/// use-before-def means the scoreboard never saw the producer). Warnings
+/// describe shapes that are legal but either wasteful (dead writes,
+/// redundant loads, uncoalesced accesses) or suspicious (cross-CTA global
+/// write overlap, which is benign for atomics-like reductions but a bug
+/// otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious or wasteful, but the replay is still meaningful.
+    Warning,
+    /// The trace violates an assumption the timing model replays silently.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in reports (`"error"` / `"warning"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Every lint the analyzer can raise. The string form ([`Self::as_str`]) is
+/// the stable name used in reports, JSON exports, and allow/deny
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// Two warps of one CTA write overlapping `Space::Shared` bytes within
+    /// the same barrier interval — the replayed ordering is arbitrary.
+    SharedWriteWrite,
+    /// One warp reads and another writes overlapping `Space::Shared` bytes
+    /// within the same barrier interval (a missing `Op::Bar` between a
+    /// producer and a consumer is the classic instance).
+    SharedReadWrite,
+    /// Two CTAs of one kernel write overlapping `Space::Global` bytes.
+    /// Downgraded to a warning: reductions and atomically-updated outputs
+    /// do this legitimately, but for ordinary stores it is a grid-level
+    /// race.
+    GlobalWriteOverlap,
+    /// An instruction reads a register no earlier instruction of the warp
+    /// defined — the scoreboard can never have tracked the producer, so
+    /// the modelled dependency latency is fiction.
+    UseBeforeDef,
+    /// A register write whose value is never read before being overwritten
+    /// (or before the warp exits): dead code in the trace generator.
+    DeadWrite,
+    /// A load identical to an earlier one (same space, width, lane
+    /// addresses) with no intervening store to that space or barrier — the
+    /// value could not have changed.
+    RedundantLoad,
+    /// A global access whose lanes span far more 32 B sectors than the
+    /// bytes they touch require (see `AnalysisConfig::uncoalesced_slack`).
+    Uncoalesced,
+    /// A shared-memory access whose lanes pile onto few banks (conflict
+    /// degree at or above `AnalysisConfig::bank_conflict_threshold`),
+    /// serialising the access.
+    BankConflict,
+}
+
+impl LintCode {
+    /// All codes, in report order.
+    pub const ALL: [LintCode; 8] = [
+        LintCode::SharedWriteWrite,
+        LintCode::SharedReadWrite,
+        LintCode::GlobalWriteOverlap,
+        LintCode::UseBeforeDef,
+        LintCode::DeadWrite,
+        LintCode::RedundantLoad,
+        LintCode::Uncoalesced,
+        LintCode::BankConflict,
+    ];
+
+    /// The stable name: `family/lint` (e.g. `"race/shared-write-write"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::SharedWriteWrite => "race/shared-write-write",
+            LintCode::SharedReadWrite => "race/shared-read-write",
+            LintCode::GlobalWriteOverlap => "race/global-write-overlap",
+            LintCode::UseBeforeDef => "dataflow/use-before-def",
+            LintCode::DeadWrite => "dataflow/dead-write",
+            LintCode::RedundantLoad => "dataflow/redundant-load",
+            LintCode::Uncoalesced => "shape/uncoalesced",
+            LintCode::BankConflict => "shape/bank-conflict",
+        }
+    }
+
+    /// Parse the stable name back into a code (exact match).
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// Severity before allow/deny configuration is applied.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::SharedWriteWrite | LintCode::SharedReadWrite | LintCode::UseBeforeDef => {
+                Severity::Error
+            }
+            LintCode::GlobalWriteOverlap
+            | LintCode::DeadWrite
+            | LintCode::RedundantLoad
+            | LintCode::Uncoalesced
+            | LintCode::BankConflict => Severity::Warning,
+        }
+    }
+
+    /// One-line fix hint attached to every diagnostic with this code.
+    pub fn hint(self) -> &'static str {
+        match self {
+            LintCode::SharedWriteWrite => {
+                "give each warp a disjoint shared-memory tile, or separate the \
+                 writes with an Op::Bar"
+            }
+            LintCode::SharedReadWrite => {
+                "insert an Op::Bar between the producing store and the \
+                 consuming load"
+            }
+            LintCode::GlobalWriteOverlap => {
+                "if the overlap models atomics or a reduction, add an allow \
+                 entry for this kernel; otherwise give each CTA a disjoint \
+                 output range"
+            }
+            LintCode::UseBeforeDef => {
+                "define the register first (a prologue IntAlu/load models the \
+                 parameter and special-register reads real kernels start with)"
+            }
+            LintCode::DeadWrite => "drop the write or read its value before redefining it",
+            LintCode::RedundantLoad => "reuse the previously loaded register instead of reloading",
+            LintCode::Uncoalesced => {
+                "restructure addresses so lanes fall into fewer 32 B sectors \
+                 (or accept the gather and its memory amplification)"
+            }
+            LintCode::BankConflict => {
+                "pad or swizzle the shared layout so lanes hit distinct banks"
+            }
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a lint code with its severity (after configuration), the
+/// site it anchors at, an optional second site (the other access of a
+/// race), a rendered message, and a fix hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Severity after allow/deny configuration.
+    pub severity: Severity,
+    /// Primary site, tagged exactly like `crisp_trace::validate` errors.
+    pub site: TraceErrorSite,
+    /// The other access of a conflict, when the finding is a pair.
+    pub related: Option<TraceErrorSite>,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// Generic fix hint for the code ([`LintCode::hint`]).
+    pub hint: &'static str,
+}
+
+impl Diagnostic {
+    /// Sort key: site first (stream, kernel, cta, warp, instr), then code —
+    /// the deterministic order reports use.
+    pub(crate) fn sort_key(&self) -> (TraceErrorSite, LintCode, Option<TraceErrorSite>) {
+        (self.site.clone(), self.code, self.related.clone())
+    }
+
+    /// Convert into the `crisp-trace` error type so analyzer findings can
+    /// ride in `SimError::InvalidTrace` next to structural ones.
+    pub fn to_trace_error(&self) -> TraceError {
+        TraceError {
+            site: self.site.clone(),
+            kind: TraceErrorKind::Semantic {
+                code: self.code.as_str().to_string(),
+                message: self.message.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity.label(),
+            self.code,
+            self.site,
+            self.message
+        )?;
+        if let Some(r) = &self.related {
+            write!(f, " (conflicts with {r})")?;
+        }
+        write!(f, "\n  hint: {}", self.hint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_names() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(LintCode::parse("no-such-lint"), None);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LintCode::ALL.len());
+    }
+
+    #[test]
+    fn race_and_dataflow_defaults() {
+        assert_eq!(
+            LintCode::SharedWriteWrite.default_severity(),
+            Severity::Error
+        );
+        assert_eq!(LintCode::UseBeforeDef.default_severity(), Severity::Error);
+        assert_eq!(
+            LintCode::GlobalWriteOverlap.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(LintCode::DeadWrite.default_severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn diagnostic_renders_site_code_and_hint() {
+        let d = Diagnostic {
+            code: LintCode::SharedReadWrite,
+            severity: Severity::Error,
+            site: TraceErrorSite {
+                stream: None,
+                kernel: Some("k".into()),
+                cta: Some(0),
+                warp: Some(1),
+                instr: Some(2),
+            },
+            related: None,
+            message: "load overlaps a store".into(),
+            hint: LintCode::SharedReadWrite.hint(),
+        };
+        let text = d.to_string();
+        assert!(text.contains("error[race/shared-read-write]"), "{text}");
+        assert!(text.contains("kernel 'k'"), "{text}");
+        assert!(text.contains("hint:"), "{text}");
+    }
+
+    #[test]
+    fn conversion_keeps_site_and_code() {
+        let d = Diagnostic {
+            code: LintCode::UseBeforeDef,
+            severity: Severity::Error,
+            site: TraceErrorSite {
+                warp: Some(3),
+                ..Default::default()
+            },
+            related: None,
+            message: "r7 read before def".into(),
+            hint: LintCode::UseBeforeDef.hint(),
+        };
+        let e = d.to_trace_error();
+        assert_eq!(e.site.warp, Some(3));
+        assert!(e.to_string().contains("dataflow/use-before-def"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Compiler-style static analysis over CRISP trace bundles.
+//!
+//! `crisp-trace`'s validator proves a bundle is *structurally* sound; this
+//! crate checks what the timing model silently assumes beyond structure —
+//! the class of defect that produces plausible-but-wrong IPC numbers
+//! instead of an error. Three analysis families run over every kernel:
+//!
+//! 1. **Barrier-interval race detection** ([`LintCode::SharedWriteWrite`],
+//!    [`LintCode::SharedReadWrite`], [`LintCode::GlobalWriteOverlap`]):
+//!    GPUVerify-style phase splitting at `Op::Bar`, conflict detection on
+//!    overlapping byte ranges.
+//! 2. **Register dataflow** ([`LintCode::UseBeforeDef`],
+//!    [`LintCode::DeadWrite`], [`LintCode::RedundantLoad`]) plus
+//!    scoreboard-pressure statistics from a backward liveness sweep.
+//! 3. **Memory shape** ([`LintCode::Uncoalesced`],
+//!    [`LintCode::BankConflict`]) plus per-`DataClass` footprints, reusing
+//!    the 128 B line / 32 B sector geometry of `crisp_trace`.
+//!
+//! Findings come back as a site-sorted [`AnalysisReport`]; severities and
+//! thresholds are tuned through [`AnalysisConfig`], and the `crisp-sim`
+//! builder's `.analyze(LintLevel)` hook folds error findings into its
+//! preflight failure path.
+//!
+//! # Example
+//!
+//! ```
+//! use crisp_analyze::{analyze_kernel, AnalysisConfig, LintCode};
+//! use crisp_trace::{CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Reg, Space, WarpTrace};
+//!
+//! // Two warps write the same shared bytes in the same barrier interval.
+//! let warp = || {
+//!     let mut w = WarpTrace::new();
+//!     w.push(Instr::alu(crisp_trace::Op::IntAlu, Reg(1), &[]));
+//!     w.push(Instr::store(
+//!         Reg(1),
+//!         MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, 32),
+//!     ));
+//!     w.push(Instr::bar());
+//!     w.seal();
+//!     w
+//! };
+//! let k = KernelTrace::new("racy", 64, 8, 1024, vec![CtaTrace::new(vec![warp(), warp()])]);
+//! let report = analyze_kernel(&k, &AnalysisConfig::new());
+//! assert!(report.has_errors());
+//! assert_eq!(report.diagnostics[0].code, LintCode::SharedWriteWrite);
+//! ```
+
+mod config;
+mod dataflow;
+mod diag;
+mod race;
+mod report;
+mod shape;
+
+pub use config::{AnalysisConfig, LintLevel};
+pub use diag::{Diagnostic, LintCode, Severity};
+pub use report::{AnalysisReport, ClassLines, KernelStats};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crisp_trace::{DataClass, KernelTrace, StreamId, TraceBundle};
+
+/// Analyze every kernel of `bundle` and return the combined, site-sorted
+/// report. Kernels are analyzed independently (fanned out over
+/// `cfg.threads` workers) and merged in bundle launch order, so the result
+/// is identical at any thread count.
+pub fn analyze_bundle(bundle: &TraceBundle, cfg: &AnalysisConfig) -> AnalysisReport {
+    let work: Vec<(Option<StreamId>, &KernelTrace)> = bundle
+        .streams
+        .iter()
+        .flat_map(|s| s.kernels().map(move |k| (Some(s.id), k)))
+        .collect();
+    analyze_all(&work, cfg)
+}
+
+/// Analyze a single kernel outside any bundle context (sites carry no
+/// stream id).
+pub fn analyze_kernel(k: &KernelTrace, cfg: &AnalysisConfig) -> AnalysisReport {
+    analyze_all(&[(None, k)], cfg)
+}
+
+fn analyze_all(work: &[(Option<StreamId>, &KernelTrace)], cfg: &AnalysisConfig) -> AnalysisReport {
+    let threads = cfg.threads.max(1).min(work.len().max(1));
+    let results: Vec<(Vec<Diagnostic>, KernelStats)> = if threads <= 1 {
+        work.iter().map(|&(s, k)| analyze_one(s, k, cfg)).collect()
+    } else {
+        // Self-scheduling fan-out: workers pull the next kernel index from a
+        // shared counter and write into its slot, so the merge below is in
+        // bundle order no matter which worker analyzed what.
+        type Slot = Option<(Vec<Diagnostic>, KernelStats)>;
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..work.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let (s, k) = work[i];
+                    let r = analyze_one(s, k, cfg);
+                    slots.lock().unwrap()[i] = Some(r);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every kernel slot filled"))
+            .collect()
+    };
+
+    let mut out = AnalysisReport::default();
+    for (diags, stats) in results {
+        out.diagnostics.extend(diags);
+        out.stats.push(stats);
+    }
+    out.diagnostics.sort_by_key(|a| a.sort_key());
+    out
+}
+
+fn analyze_one(
+    stream: Option<StreamId>,
+    k: &KernelTrace,
+    cfg: &AnalysisConfig,
+) -> (Vec<Diagnostic>, KernelStats) {
+    let mut diags = Vec::new();
+    race::check_kernel(stream, k, cfg, &mut diags);
+    let pressure = dataflow::check_kernel(stream, k, cfg, &mut diags);
+    let mem = shape::check_kernel(stream, k, cfg, &mut diags);
+
+    let stats = KernelStats {
+        stream: stream.map(|s| s.0),
+        name: k.name.clone(),
+        ctas: k.ctas.len(),
+        warps: k.ctas.iter().map(|c| c.warp_count()).sum(),
+        instrs: k.instr_count(),
+        max_live_regs: pressure.max_live,
+        mean_live_regs: pressure.mean_live(),
+        declared_regs: k.regs_per_thread,
+        global_accesses: mem.global_accesses,
+        shared_accesses: mem.shared_accesses,
+        tex_accesses: mem.tex_accesses,
+        footprint: DataClass::ALL
+            .iter()
+            .map(|&c| ClassLines {
+                class: c.label(),
+                lines: mem.footprint.lines(c),
+                bytes: mem.footprint.bytes(c),
+            })
+            .collect(),
+    };
+    (diags, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_trace::{
+        CtaTrace, DataClass, Instr, MemAccess, Op, Reg, Space, Stream, StreamKind, WarpTrace,
+    };
+
+    fn racy_kernel(name: &str) -> KernelTrace {
+        let warp = || {
+            let mut w = WarpTrace::new();
+            w.push(Instr::alu(Op::IntAlu, Reg(1), &[]));
+            w.push(Instr::store(
+                Reg(1),
+                MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, 32),
+            ));
+            w.push(Instr::bar());
+            w.seal();
+            w
+        };
+        KernelTrace::new(name, 64, 8, 1024, vec![CtaTrace::new(vec![warp(), warp()])])
+    }
+
+    fn clean_kernel(name: &str) -> KernelTrace {
+        let warp = |wi: u64| {
+            let mut w = WarpTrace::new();
+            w.push(Instr::load(
+                Reg(1),
+                MemAccess::coalesced(Space::Global, DataClass::Compute, 4, wi * 0x1000, 32),
+            ));
+            w.push(Instr::alu(Op::FpFma, Reg(2), &[Reg(1)]));
+            w.push(Instr::store(
+                Reg(2),
+                MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, wi * 128, 32),
+            ));
+            w.push(Instr::bar());
+            w.seal();
+            w
+        };
+        KernelTrace::new(
+            name,
+            64,
+            8,
+            1024,
+            vec![CtaTrace::new(vec![warp(0), warp(1)])],
+        )
+    }
+
+    fn bundle(kernels: Vec<KernelTrace>) -> TraceBundle {
+        let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+        for k in kernels {
+            s.launch(k);
+        }
+        TraceBundle::from_streams(vec![s])
+    }
+
+    #[test]
+    fn clean_kernel_reports_nothing() {
+        let r = analyze_kernel(&clean_kernel("ok"), &AnalysisConfig::new());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.stats.len(), 1);
+        assert_eq!(r.stats[0].warps, 2);
+        assert!(r.stats[0].max_live_regs >= 1);
+    }
+
+    #[test]
+    fn bundle_sites_carry_stream_ids() {
+        let r = analyze_bundle(&bundle(vec![racy_kernel("r")]), &AnalysisConfig::new());
+        assert!(r.has_errors());
+        assert_eq!(r.diagnostics[0].site.stream, Some(StreamId(0)));
+        assert_eq!(r.stats[0].stream, Some(0));
+    }
+
+    #[test]
+    fn reports_identical_across_thread_counts() {
+        let b = bundle(vec![
+            racy_kernel("a"),
+            clean_kernel("b"),
+            racy_kernel("c"),
+            clean_kernel("d"),
+            racy_kernel("e"),
+        ]);
+        let base = analyze_bundle(&b, &AnalysisConfig::new().threads(1));
+        for t in [2, 4] {
+            let r = analyze_bundle(&b, &AnalysisConfig::new().threads(t));
+            assert_eq!(base, r, "thread count {t} changed the report");
+            assert_eq!(base.text(), r.text());
+            assert_eq!(base.to_json(), r.to_json());
+        }
+    }
+
+    #[test]
+    fn diagnostics_sort_by_site() {
+        let b = bundle(vec![racy_kernel("z"), racy_kernel("a")]);
+        let r = analyze_bundle(&b, &AnalysisConfig::new());
+        // Launch order within one stream is not alphabetical; the sort key
+        // is the site (stream, kernel name, ...), so 'a' precedes 'z'.
+        let names: Vec<_> = r
+            .diagnostics
+            .iter()
+            .map(|d| d.site.kernel.clone().unwrap())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn kernel_stats_track_footprint_order() {
+        let r = analyze_kernel(&clean_kernel("k"), &AnalysisConfig::new());
+        let classes: Vec<_> = r.stats[0].footprint.iter().map(|c| c.class).collect();
+        assert_eq!(classes, vec!["texture", "pipeline", "compute"]);
+        assert!(r.stats[0].footprint[2].lines > 0);
+    }
+}

@@ -3,10 +3,14 @@
 //!
 //! Each case starts from a valid trace/config pair and injects exactly one
 //! fault: a structural trace mutation (unterminated warp, barrier mismatch,
-//! out-of-range register, malformed memory payload, ...), a configuration
-//! inconsistency (partition beyond the SM count, oversubscribed quotas,
-//! unwritable checkpoint directory, ...), a runtime wedge that only the
-//! forward-progress watchdog can catch, or a corrupt checkpoint file. The
+//! out-of-range register, malformed memory payload, ...), a *semantic*
+//! trace defect that passes structural validation but trips the
+//! `crisp-analyze` pass (shared-memory race, use-before-def), a
+//! configuration inconsistency (partition beyond the SM count,
+//! oversubscribed quotas, unwritable checkpoint directory, ...), a runtime
+//! wedge that only the forward-progress watchdog can catch, or a corrupt
+//! checkpoint file. Every mutation must be caught by at least one layer —
+//! none may pass both the validator and the analyzer cleanly. The
 //! harness runs every case under `catch_unwind` and fails — with a non-zero
 //! exit code — if any case panics, completes successfully, or takes longer
 //! than the wall-clock guard.
@@ -19,7 +23,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use crisp_sim::{
-    GpuConfig, L2Policy, PartitionSpec, ResourceQuota, SimError, Simulation, SmPartition,
+    GpuConfig, L2Policy, LintLevel, PartitionSpec, ResourceQuota, SimError, Simulation, SmPartition,
 };
 use crisp_trace::{
     CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Op, Reg, Space, Stream, StreamId,
@@ -138,6 +142,26 @@ fn case(name: &'static str, run: impl FnOnce() -> CaseOutcome + 'static) -> Case
 fn trace_case(name: &'static str, make: impl FnOnce() -> TraceBundle + 'static) -> Case {
     case(name, move || {
         expect_sim_err(|| Simulation::builder().gpu(gpu()).trace(make()).run())
+    })
+}
+
+/// A case whose bundle is *structurally valid* — the injected fault is
+/// semantic, so only the `.analyze(..)` pass can catch it. Guards that the
+/// structural validator really does stay quiet, so the case keeps
+/// exercising the analyzer layer and not an accidental validator trip.
+fn analyze_case(name: &'static str, make: impl FnOnce() -> TraceBundle + 'static) -> Case {
+    case(name, move || {
+        let bundle = make();
+        if crisp_trace::validate_bundle(&bundle).is_err() {
+            return Err("structural validator tripped — not exercising the analyzer".into());
+        }
+        expect_sim_err(|| {
+            Simulation::builder()
+                .gpu(gpu())
+                .analyze(LintLevel::Errors)
+                .trace(bundle)
+                .run()
+        })
     })
 }
 
@@ -349,6 +373,62 @@ fn cases(quick: bool) -> Vec<Case> {
         bundle
     }));
 
+    // --- semantic trace defects (pass the validator; caught by crisp-analyze) ---
+    v.push(analyze_case("analyze/shared-write-write-race", || {
+        // Two warps blanket the same shared bytes with stores and no
+        // barrier between them.
+        let mut w = WarpTrace::new();
+        w.push(Instr::alu(Op::IntAlu, Reg(1), &[]));
+        w.push(Instr::store(
+            Reg(1),
+            MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, 32),
+        ));
+        w.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            64,
+            8,
+            256,
+            vec![CtaTrace::new(vec![w.clone(), w])],
+        ))
+    }));
+    v.push(analyze_case("analyze/missing-barrier-race", || {
+        // Both warps execute one barrier, so barrier validation balances —
+        // but the consumer's load lands *before* its barrier, in the same
+        // interval as the producer's store.
+        let smem = MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, 32);
+        let mut producer = WarpTrace::new();
+        producer.push(Instr::alu(Op::IntAlu, Reg(1), &[]));
+        producer.push(Instr::store(Reg(1), smem.clone()));
+        producer.push(Instr::bar());
+        producer.seal();
+        let mut consumer = WarpTrace::new();
+        consumer.push(Instr::load(Reg(2), smem));
+        consumer.push(Instr::bar());
+        consumer.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            64,
+            8,
+            256,
+            vec![CtaTrace::new(vec![producer, consumer])],
+        ))
+    }));
+    v.push(analyze_case("analyze/use-before-def", || {
+        // Reg(5) is consumed but no earlier instruction in the warp
+        // defines it. In range for the kernel, so the validator is happy.
+        let mut w = WarpTrace::new();
+        w.push(Instr::alu(Op::FpFma, Reg(1), &[Reg(5)]));
+        w.seal();
+        bundle_of(KernelTrace::new(
+            "m",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![w])],
+        ))
+    }));
+
     // --- configuration mutations (caught by pre-flight cross-checks) ---
     v.push(case("config/partition-sm-out-of-range", || {
         expect_sim_err(|| {
@@ -529,33 +609,13 @@ fn cases(quick: bool) -> Vec<Case> {
 }
 
 /// Corpus mode: every trace the repo's own frontends produce must pass the
-/// pre-flight validator — before and after a codec round-trip. With explicit
-/// paths, validates those `.crsp` files instead.
+/// pre-flight validator *and* come back free of analyzer errors under the
+/// audited corpus allow-list — before and after a codec round-trip. With
+/// explicit paths, checks those `.crsp` files instead.
 fn run_corpus(paths: &[String]) -> i32 {
-    use crisp_core::{COMPUTE_STREAM, GRAPHICS_STREAM};
-    use crisp_scenes::{holo, nn, vio, ComputeScale, Scene, SceneId};
-
     let mut corpus: Vec<(String, TraceBundle)> = Vec::new();
     if paths.is_empty() {
-        let frame =
-            Scene::build(SceneId::SponzaKhronos, 0.2).render(96, 54, false, GRAPHICS_STREAM);
-        corpus.push((
-            "sponza-frame".into(),
-            TraceBundle::from_streams(vec![frame.trace]),
-        ));
-        for (name, stream) in [
-            ("vio", vio(COMPUTE_STREAM, ComputeScale::tiny())),
-            ("holo", holo(COMPUTE_STREAM, ComputeScale::tiny())),
-            ("nn", nn(COMPUTE_STREAM, ComputeScale::tiny())),
-        ] {
-            corpus.push((name.into(), TraceBundle::from_streams(vec![stream])));
-        }
-        let frame =
-            Scene::build(SceneId::SponzaKhronos, 0.2).render(96, 54, false, GRAPHICS_STREAM);
-        corpus.push((
-            "concurrent-render+vio".into(),
-            TraceBundle::from_streams(vec![frame.trace, vio(COMPUTE_STREAM, ComputeScale::tiny())]),
-        ));
+        corpus = crisp_bench::frontend_corpus();
     } else {
         for p in paths {
             match crisp_trace::codec::load(p) {
@@ -568,6 +628,7 @@ fn run_corpus(paths: &[String]) -> i32 {
         }
     }
 
+    let lint_cfg = crisp_bench::corpus_lint_config();
     let mut failures = 0usize;
     for (name, bundle) in &corpus {
         let instrs: usize = bundle
@@ -585,6 +646,22 @@ fn run_corpus(paths: &[String]) -> i32 {
                     println!("         {e}");
                 }
             }
+        }
+        let report = crisp_analyze::analyze_bundle(bundle, &lint_cfg);
+        if report.has_errors() {
+            failures += 1;
+            println!(
+                "  FAIL {name:<24} {} analyzer errors:",
+                report.error_count()
+            );
+            for d in report.errors().take(5) {
+                println!("         {d}");
+            }
+        } else {
+            println!(
+                "  ok   {name:<24} analyzer clean ({} warnings)",
+                report.warning_count()
+            );
         }
         // The codec must preserve validity, not just bytes.
         let path = scratch(&format!("corpus-{}", name.replace('/', "_")));

@@ -1,0 +1,201 @@
+//! Static-analysis sweep: run `crisp-analyze` over trace bundles and emit
+//! text + JSON reports.
+//!
+//! ```text
+//! lint --corpus [--deny errors|warnings] [--allow CODE[@KERNEL]]
+//!      [--threads N] [--out DIR]
+//! lint PATH.crsp [PATH.crsp ...]
+//! ```
+//!
+//! With `--corpus` the harness analyzes every trace the repo's own
+//! frontends produce (the same bundles `chaos --corpus` validates) under
+//! the audited allow-list from [`crisp_bench::corpus_lint_config`]; with
+//! explicit paths it loads `.crsp` files and starts from an empty config.
+//! `--allow race/global-write-overlap@my_kernel` appends further allow
+//! entries; `--deny errors` (the CI `lint-smoke` mode) exits non-zero when
+//! any error-severity diagnostic survives, `--deny warnings` when anything
+//! at all does.
+//!
+//! Reports land in `--out` (default `target/experiments/lint`) as
+//! `report.txt` (the rendered diagnostics) and `report.json` (one object
+//! per bundle, schema-stable for dashboards).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use crisp_analyze::{analyze_bundle, AnalysisConfig, AnalysisReport, LintCode};
+use crisp_bench::{corpus_lint_config, frontend_corpus};
+use crisp_obs::json;
+use crisp_trace::TraceBundle;
+
+struct Args {
+    corpus: bool,
+    paths: Vec<String>,
+    deny: Option<String>,
+    allows: Vec<(LintCode, Option<String>)>,
+    threads: usize,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lint (--corpus | PATH.crsp ...) [--deny errors|warnings] \
+         [--allow CODE[@KERNEL]] [--threads N] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        corpus: false,
+        paths: Vec::new(),
+        deny: None,
+        allows: Vec::new(),
+        threads: 1,
+        out: PathBuf::from("target/experiments/lint"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--corpus" => args.corpus = true,
+            "--deny" => match it.next().as_deref() {
+                Some(level @ ("errors" | "warnings")) => args.deny = Some(level.to_string()),
+                _ => usage(),
+            },
+            "--allow" => {
+                let Some(spec) = it.next() else { usage() };
+                let (code, scope) = match spec.split_once('@') {
+                    Some((c, k)) => (c, Some(k.to_string())),
+                    None => (spec.as_str(), None),
+                };
+                match LintCode::parse(code) {
+                    Some(c) => args.allows.push((c, scope)),
+                    None => {
+                        eprintln!("lint: unknown lint code {code:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => args.threads = n,
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(dir) => args.out = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            p if !p.starts_with('-') => args.paths.push(p.to_string()),
+            _ => usage(),
+        }
+    }
+    if args.corpus != args.paths.is_empty() {
+        // exactly one input source: the corpus, or explicit paths
+        usage();
+    }
+    args
+}
+
+/// Wrap the per-bundle reports into one JSON document.
+fn combined_json(reports: &[(String, AnalysisReport)]) -> String {
+    let mut out = String::from("{\"version\":1,\"bundles\":[");
+    for (i, (name, report)) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        out.push_str(&json::json_str(name));
+        out.push_str(",\"report\":");
+        out.push_str(&report.to_json());
+        out.push('}');
+    }
+    let errors: usize = reports.iter().map(|(_, r)| r.error_count()).sum();
+    let warnings: usize = reports.iter().map(|(_, r)| r.warning_count()).sum();
+    out.push_str(&format!("],\"errors\":{errors},\"warnings\":{warnings}}}"));
+    debug_assert!(json::validate(&out).is_ok());
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let (bundles, mut cfg): (Vec<(String, TraceBundle)>, AnalysisConfig) = if args.corpus {
+        (frontend_corpus(), corpus_lint_config())
+    } else {
+        let mut v = Vec::new();
+        for p in &args.paths {
+            match crisp_trace::codec::load(p) {
+                Ok(b) => v.push((p.clone(), b)),
+                Err(e) => {
+                    eprintln!("lint: {p}: unreadable: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        (v, AnalysisConfig::new())
+    };
+    cfg = cfg.threads(args.threads);
+    for (code, scope) in args.allows {
+        cfg = match scope {
+            Some(k) => cfg.allow_in(code, k),
+            None => cfg.allow(code),
+        };
+    }
+
+    let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
+    let mut text = String::new();
+    for (name, bundle) in &bundles {
+        let report = analyze_bundle(bundle, &cfg);
+        println!(
+            "  {}  {name:<24} {} errors, {} warnings",
+            if report.has_errors() { "FAIL" } else { "ok  " },
+            report.error_count(),
+            report.warning_count(),
+        );
+        text.push_str(&format!("== {name} ==\n{}\n", report.text()));
+        reports.push((name.clone(), report));
+    }
+
+    let errors: usize = reports.iter().map(|(_, r)| r.error_count()).sum();
+    let warnings: usize = reports.iter().map(|(_, r)| r.warning_count()).sum();
+    println!(
+        "lint: {} bundles, {errors} errors, {warnings} warnings",
+        reports.len()
+    );
+    // Keep stdout readable on badly broken corpora; report.txt has it all.
+    const MAX_SHOWN: usize = 40;
+    let mut shown = 0usize;
+    'outer: for (name, report) in &reports {
+        for d in &report.diagnostics {
+            if shown == MAX_SHOWN {
+                let total: usize = reports.iter().map(|(_, r)| r.diagnostics.len()).sum();
+                println!("... and {} more (see report.txt)", total - shown);
+                break 'outer;
+            }
+            println!("[{name}] {d}");
+            shown += 1;
+        }
+    }
+
+    std::fs::create_dir_all(&args.out).expect("create lint output dir");
+    let txt_path = args.out.join("report.txt");
+    let json_path = args.out.join("report.json");
+    std::fs::write(&txt_path, &text).expect("write report.txt");
+    std::fs::write(&json_path, combined_json(&reports)).expect("write report.json");
+    println!(
+        "(saved to {} and {})",
+        txt_path.display(),
+        json_path.display()
+    );
+
+    let deny_hit = match args.deny.as_deref() {
+        Some("errors") => errors > 0,
+        Some("warnings") => errors + warnings > 0,
+        _ => false,
+    };
+    if deny_hit {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -113,6 +113,15 @@ pub fn dispatch(
     } else {
         shader.load_stride
     };
+    // Destination of the most recent value-producing instruction: the ALU
+    // blocks chain through it so every write is later read (clean under
+    // crisp-analyze's dataflow lints) without changing the instruction mix.
+    fn last_def(w: &crisp_trace::WarpTrace) -> Option<Reg> {
+        w.iter().rev().find_map(|i| i.dst)
+    }
+    // Live input registers the ALU blocks may read: r2..r9 rotate over up
+    // to eight in-flight loads.
+    let load_slots = shader.loads.clamp(1, 8) as u16;
     let ctas = (0..grid)
         .map(|c| {
             let warps = (0..warps_per_cta)
@@ -122,7 +131,7 @@ pub fn dispatch(
                         input + (c * warps_per_cta + wi) as u64 * shader.loads as u64 * stride;
                     for l in 0..shader.loads {
                         w.push(Instr::load(
-                            Reg(2 + (l % 6) as u16),
+                            Reg(2 + (l % 8) as u16),
                             MemAccess::coalesced(
                                 Space::Global,
                                 DataClass::Compute,
@@ -133,54 +142,73 @@ pub fn dispatch(
                         ));
                     }
                     for r in 0..shader.smem_rounds {
-                        let _ = r;
+                        // Each warp stages into — and rereads — its own
+                        // 128 B slot. With a single barrier per round, a
+                        // round's load shares a barrier interval with the
+                        // next round's stores, so only the warp's own slot
+                        // is race-free to touch there.
+                        let src = last_def(&w).unwrap_or(Reg(2));
                         w.push(Instr::store(
-                            Reg(2),
+                            src,
                             MemAccess::coalesced(
                                 Space::Shared,
                                 DataClass::Compute,
                                 4,
-                                0,
+                                wi as u64 * 128,
                                 WARP_SIZE,
                             ),
                         ));
                         w.push(Instr::bar());
                         w.push(Instr::load(
-                            Reg(8),
+                            Reg(20 + (r % 2) as u16),
                             MemAccess::coalesced(
                                 Space::Shared,
                                 DataClass::Compute,
                                 4,
-                                0,
+                                wi as u64 * 128,
                                 WARP_SIZE,
                             ),
                         ));
                     }
                     for i in 0..shader.fp_ops {
+                        let prev = last_def(&w).unwrap_or(Reg(2));
                         w.push(Instr::alu(
                             Op::FpFma,
                             Reg(10 + (i % 10) as u16),
-                            &[Reg(2 + (i % 6) as u16), Reg(10 + ((i + 1) % 10) as u16)],
+                            &[Reg(2 + (i as u16 % load_slots)), prev],
                         ));
                     }
                     for i in 0..shader.int_ops {
-                        w.push(Instr::alu(Op::IntAlu, Reg(24 + (i % 4) as u16), &[Reg(2)]));
+                        let prev = last_def(&w).unwrap_or(Reg(2));
+                        w.push(Instr::alu(
+                            Op::IntAlu,
+                            Reg(24 + (i % 4) as u16),
+                            &[Reg(2), prev],
+                        ));
                     }
                     for i in 0..shader.sfu_ops {
-                        w.push(Instr::alu(Op::Sfu, Reg(6 + (i % 2) as u16), &[Reg(10)]));
+                        let prev = last_def(&w).unwrap_or(Reg(2));
+                        w.push(Instr::alu(Op::Sfu, Reg(6 + (i % 2) as u16), &[prev]));
                     }
                     for i in 0..shader.tensor_ops {
+                        let staged = if shader.smem_rounds > 0 {
+                            Reg(20 + (i % 2) as u16)
+                        } else {
+                            Reg(2 + (i as u16 % load_slots))
+                        };
+                        let prev = last_def(&w).unwrap_or(staged);
                         w.push(Instr::alu(
                             Op::Tensor,
                             Reg(30 + (i % 4) as u16),
-                            &[Reg(8), Reg(9)],
+                            &[staged, prev],
                         ));
                     }
+                    let result = last_def(&w).unwrap_or(Reg(2));
                     for s in 0..shader.stores {
                         let base = output
                             + (c * warps_per_cta + wi) as u64 * shader.stores as u64 * row_bytes;
                         w.push(Instr::store(
-                            Reg(10),
+                            result,
                             MemAccess::coalesced(
                                 Space::Global,
                                 DataClass::Compute,

@@ -414,23 +414,41 @@ impl Renderer {
                     ),
                 ));
             }
-            // Transform ALU.
+            // Transform ALU: one dependence chain through r8..r15, seeded
+            // by the attribute registers (every write is read by the next
+            // op, so the trace is clean under the dataflow lints).
             for i in 0..d.vs.fp_ops {
-                w.push(Instr::alu(
-                    Op::FpFma,
-                    Reg(8 + (i % 8) as u16),
-                    &[Reg(2 + (i % 3) as u16), Reg(8 + ((i + 1) % 8) as u16)],
-                ));
+                let dst = Reg(8 + (i % 8) as u16);
+                let attr = Reg(2 + (i % 3) as u16);
+                if i == 0 {
+                    w.push(Instr::alu(Op::FpFma, dst, &[attr]));
+                } else {
+                    w.push(Instr::alu(
+                        Op::FpFma,
+                        dst,
+                        &[attr, Reg(8 + ((i - 1) % 8) as u16)],
+                    ));
+                }
             }
             for i in 0..d.vs.int_ops {
-                w.push(Instr::alu(Op::IntAlu, Reg(16 + (i % 4) as u16), &[Reg(1)]));
+                let dst = Reg(16 + (i % 4) as u16);
+                if i == 0 {
+                    w.push(Instr::alu(Op::IntAlu, dst, &[Reg(1)]));
+                } else {
+                    w.push(Instr::alu(
+                        Op::IntAlu,
+                        dst,
+                        &[Reg(1), Reg(16 + ((i - 1) % 4) as u16)],
+                    ));
+                }
             }
             // Store post-transform attributes to the L2 attribute ring.
             let attr_addrs: Vec<u64> = (0..lanes)
                 .map(|l| attr_base + (w_idx * WARP_SIZE + l) as u64 * ATTR_STRIDE)
                 .collect();
+            let result = if d.vs.fp_ops > 0 { Reg(8) } else { Reg(1) };
             w.push(Instr::store(
-                Reg(8),
+                result,
                 MemAccess::scattered(Space::Global, DataClass::Pipeline, 48, attr_addrs),
             ));
             w.seal();
@@ -479,18 +497,30 @@ impl Renderer {
             Reg(1),
             MemAccess::scattered(Space::Global, DataClass::Pipeline, 48, attr_addrs),
         ));
-        // Attribute interpolation on the SFU (ipa).
+        // Attribute interpolation on the SFU (ipa), chained so each
+        // intermediate is consumed before its register is reused.
         for i in 0..6u16 {
-            w.push(Instr::alu(Op::Sfu, Reg(2 + i % 3), &[Reg(1)]));
+            let dst = Reg(2 + i % 3);
+            if i == 0 {
+                w.push(Instr::alu(Op::Sfu, dst, &[Reg(1)]));
+            } else {
+                w.push(Instr::alu(Op::Sfu, dst, &[Reg(1), Reg(2 + (i - 1) % 3)]));
+            }
         }
         // Texture sampling: for each bound map, the texture unit looks up
         // the LoD pre-computed at rasterization and reads the footprint
         // texels at that mip level through the unified L1. Destination
         // registers rotate so independent fetches overlap (MLP).
         let mut tex_reg = 0u16;
+        let mut last_int: Option<Reg> = None;
         for tex in d.textures.iter().take(d.fs.map_slots) {
             for i in 0..d.fs.int_ops.min(2) {
-                w.push(Instr::alu(Op::IntAlu, Reg(20 + i as u16), &[Reg(2)]));
+                let dst = Reg(20 + i as u16);
+                match last_int {
+                    Some(prev) => w.push(Instr::alu(Op::IntAlu, dst, &[Reg(2), prev])),
+                    None => w.push(Instr::alu(Op::IntAlu, dst, &[Reg(2)])),
+                }
+                last_int = Some(dst);
             }
             // Per-lane footprints, emitted as one tex instruction per
             // footprint round (k-th texel of every lane).
@@ -523,22 +553,42 @@ impl Renderer {
                 ds.tex_instrs += 1;
             }
         }
-        // Lighting math (consumes the sampled texels).
+        // Lighting math (consumes the sampled texels). Only registers a
+        // tex fetch actually wrote are read; the accumulator chains so
+        // each intermediate is consumed before its register is reused.
+        let live_tex = tex_reg.min(12);
         for i in 0..d.fs.fp_ops {
-            w.push(Instr::alu(
-                Op::FpFma,
-                Reg(8 + (i % 12) as u16),
-                &[
-                    Reg(40 + (i % 12) as u16 % 12),
-                    Reg(8 + ((i + 1) % 12) as u16),
-                ],
-            ));
+            let dst = Reg(8 + (i % 12) as u16);
+            let sampled = if live_tex > 0 {
+                Reg(40 + (i as u16 % live_tex))
+            } else {
+                Reg(2)
+            };
+            let prev = if i == 0 {
+                Reg(4)
+            } else {
+                Reg(8 + ((i - 1) % 12) as u16)
+            };
+            w.push(Instr::alu(Op::FpFma, dst, &[sampled, prev]));
         }
+        let lit = if d.fs.fp_ops > 0 { Reg(8) } else { Reg(2) };
         for i in 0..d.fs.sfu_ops {
-            w.push(Instr::alu(Op::Sfu, Reg(6 + (i % 2) as u16), &[Reg(8)]));
+            let dst = Reg(6 + (i % 2) as u16);
+            let prev = if i == 0 {
+                lit
+            } else {
+                Reg(6 + ((i - 1) % 2) as u16)
+            };
+            w.push(Instr::alu(Op::Sfu, dst, &[prev]));
         }
         for i in 0..d.fs.int_ops.saturating_sub(2) {
-            w.push(Instr::alu(Op::IntAlu, Reg(22 + (i % 2) as u16), &[Reg(8)]));
+            let dst = Reg(22 + (i % 2) as u16);
+            let prev = if i == 0 {
+                lit
+            } else {
+                Reg(22 + ((i - 1) % 2) as u16)
+            };
+            w.push(Instr::alu(Op::IntAlu, dst, &[prev]));
         }
         // Colour store (the black-box output write; ROP itself is skipped).
         let px_addrs: Vec<u64> = chunk
@@ -546,7 +596,7 @@ impl Renderer {
             .map(|(f, _)| self.fb.pixel_addr(f.x, f.y))
             .collect();
         w.push(Instr::store(
-            Reg(8),
+            lit,
             MemAccess::scattered(Space::Global, DataClass::Pipeline, 4, px_addrs),
         ));
         w.seal();

@@ -36,30 +36,7 @@ fn track_name(t: Track) -> String {
     }
 }
 
-/// Escape a string for a JSON string literal (without the quotes).
-fn escape(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    escape(s, &mut out);
-    out.push('"');
-    out
-}
+use crate::json::json_str;
 
 /// Format an `f64` as a JSON number (non-finite values clamp to 0).
 fn json_num(v: f64) -> String {

@@ -5,6 +5,35 @@
 //! This module implements just enough of RFC 8259 to validate a document:
 //! it checks structure and returns the byte offset of the first error.
 
+/// Escape `s` for use inside a JSON string literal, appending to `out`
+/// (quotes not included). Shared by the Chrome exporter and the
+/// `crisp-analyze` report writer so every hand-rolled emitter in the
+/// workspace escapes identically.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` as a complete JSON string literal, quotes included.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
 /// Validate that `s` is one well-formed JSON document.
 ///
 /// # Errors
@@ -201,6 +230,15 @@ mod tests {
         ] {
             validate(s).unwrap_or_else(|e| panic!("{s}: {e}"));
         }
+    }
+
+    #[test]
+    fn escaped_strings_validate() {
+        let nasty = "quote\" slash\\ nl\n tab\t bell\u{7} é";
+        let lit = json_str(nasty);
+        validate(&lit).unwrap();
+        assert!(lit.starts_with('"') && lit.ends_with('"'));
+        assert!(lit.contains("\\u0007"));
     }
 
     #[test]

@@ -54,26 +54,58 @@ fn mix(a: u64, b: u64) -> u64 {
     x ^ (x >> 27)
 }
 
-/// Emit `n` FMA-class ops with rotating destinations.
+/// Destination of the most recent value-producing instruction. The ALU
+/// blocks chain through it so every write is observed by a later read —
+/// keeps the synthetic traces clean under crisp-analyze's dataflow lints
+/// while preserving the instruction mix exactly.
+fn last_def(w: &WarpTrace) -> Option<Reg> {
+    w.iter().rev().find_map(|i| i.dst)
+}
+
+/// Destination of the most recent ALU instruction, skipping memory ops.
+/// When a load lands between two ALU blocks, `last_def` points at the
+/// load's register, so the first op of the new block also reads the old
+/// block's tail through this — otherwise that tail is a dead write.
+fn last_alu_def(w: &WarpTrace) -> Option<Reg> {
+    w.iter()
+        .rev()
+        .filter(|i| i.mem.is_none())
+        .find_map(|i| i.dst)
+}
+
+/// Emit `n` FMA-class ops with rotating destinations, each consuming the
+/// previous result (one dependence chain through r10..r19).
 fn fp_block(w: &mut WarpTrace, n: u32) {
     for i in 0..n {
+        let prev = last_def(w).unwrap_or(Reg(2));
+        let first = if i == 0 {
+            last_alu_def(w).unwrap_or(Reg(2))
+        } else {
+            Reg(2)
+        };
         w.push(Instr::alu(
             Op::FpFma,
             Reg(10 + (i % 10) as u16),
-            &[Reg(2), Reg(10 + ((i + 1) % 10) as u16)],
+            &[first, prev],
         ));
     }
 }
 
 fn int_block(w: &mut WarpTrace, n: u32) {
     for i in 0..n {
-        w.push(Instr::alu(Op::IntAlu, Reg(24 + (i % 4) as u16), &[Reg(2)]));
+        let prev = last_def(w).unwrap_or(Reg(2));
+        w.push(Instr::alu(
+            Op::IntAlu,
+            Reg(24 + (i % 4) as u16),
+            &[Reg(2), prev],
+        ));
     }
 }
 
 fn sfu_block(w: &mut WarpTrace, n: u32) {
     for i in 0..n {
-        w.push(Instr::alu(Op::Sfu, Reg(6 + (i % 2) as u16), &[Reg(10)]));
+        let prev = last_def(w).unwrap_or(Reg(2));
+        w.push(Instr::alu(Op::Sfu, Reg(6 + (i % 2) as u16), &[prev]));
     }
 }
 
@@ -116,8 +148,10 @@ fn stencil_warp(
     let row_base = img + (cta as u64 * 8 + warp as u64 * 2) * pitch;
     for r in 0..rows {
         // Rotate destinations so the row fetches overlap in the LSU.
+        // 8 slots cover the deepest stencil (7 rows) without clobbering a
+        // still-unread row register.
         w.push(Instr::load(
-            Reg(2 + (r % 6) as u16),
+            Reg(2 + (r % 8) as u16),
             MemAccess::coalesced(
                 Space::Global,
                 DataClass::Compute,
@@ -230,14 +264,17 @@ fn optical_flow_kernel(level: u32, img: u64, pitch: u64, ctas: usize) -> KernelT
                 (0..4)
                     .map(|wi| {
                         let mut w = WarpTrace::new();
-                        // Window loads from two frames.
+                        // Window loads from two frames. Destination slots
+                        // skip r6/r7 (the SFU rotation) so no row register
+                        // is clobbered before the flow math reads it.
+                        const WINDOW_REGS: [u16; 8] = [2, 3, 4, 5, 20, 21, 22, 23];
                         for r in 0..4u64 {
                             for frame in 0..2u64 {
                                 let base = img
                                     + frame * 0x40_0000
                                     + (c as u64 * 8 + wi as u64 * 2 + r) * pitch;
                                 w.push(Instr::load(
-                                    Reg(2 + (r * 2 + frame) as u16),
+                                    Reg(WINDOW_REGS[(r * 2 + frame) as usize]),
                                     MemAccess::coalesced(
                                         Space::Global,
                                         DataClass::Compute,
@@ -248,28 +285,33 @@ fn optical_flow_kernel(level: u32, img: u64, pitch: u64, ctas: usize) -> KernelT
                                 ));
                             }
                         }
-                        // Stage window in shared memory.
-                        for _ in 0..2 {
+                        // Stage the window in shared memory: each warp owns
+                        // a disjoint 256 B tile, so the pre-barrier stores
+                        // of sibling warps never overlap.
+                        for s in 0..2u16 {
                             w.push(Instr::store(
-                                Reg(2),
+                                Reg(2 + s),
                                 MemAccess::coalesced(
                                     Space::Shared,
                                     DataClass::Compute,
                                     4,
-                                    0,
+                                    (wi as u64) * 256 + s as u64 * 128,
                                     WARP_SIZE,
                                 ),
                             ));
                         }
                         w.push(Instr::bar());
-                        for _ in 0..4 {
+                        // Post-barrier: gather the neighbourhood across all
+                        // four tiles (cross-warp reads are ordered by the
+                        // barrier above).
+                        for g in 0..4u16 {
                             w.push(Instr::load(
-                                Reg(4),
+                                Reg(24 + g),
                                 MemAccess::coalesced(
                                     Space::Shared,
                                     DataClass::Compute,
                                     4,
-                                    0,
+                                    g as u64 * 256,
                                     WARP_SIZE,
                                 ),
                             ));
@@ -492,10 +534,11 @@ fn conv_kernel(idx: u32, act: u64, wgt: u64, ctas: usize) -> KernelTrace {
                             ));
                             fp_block(&mut w, 6);
                         }
-                        // Weights show reuse across CTAs.
+                        // Weights show reuse across CTAs. Distinct
+                        // destinations keep the four fetches in flight.
                         for k in 0..4u64 {
                             w.push(Instr::load(
-                                Reg(3),
+                                Reg(2 + k as u16),
                                 MemAccess::coalesced(
                                     Space::Global,
                                     DataClass::Compute,
@@ -534,7 +577,10 @@ fn gemm_kernel(idx: u32, act: u64, wgt: u64, ctas: usize) -> KernelTrace {
                     .map(|wi| {
                         let mut w = WarpTrace::new();
                         // Tiled GEMM main loop: stage tiles in shared
-                        // memory, barrier, tensor MMA, repeat.
+                        // memory, barrier, tensor MMA, repeat. Each warp
+                        // stages into its own 256 B slot of the A/B tile;
+                        // the accumulator chains across k-rounds.
+                        let mut acc: Option<Reg> = None;
                         for k in 0..6u64 {
                             w.push(Instr::load(
                                 Reg(2),
@@ -556,33 +602,39 @@ fn gemm_kernel(idx: u32, act: u64, wgt: u64, ctas: usize) -> KernelTrace {
                                     WARP_SIZE,
                                 ),
                             ));
-                            for _ in 0..2 {
+                            for s in 0..2u16 {
                                 w.push(Instr::store(
-                                    Reg(2),
+                                    Reg(2 + s),
                                     MemAccess::coalesced(
                                         Space::Shared,
                                         DataClass::Compute,
                                         4,
-                                        0,
+                                        (wi as u64) * 256 + s as u64 * 128,
                                         WARP_SIZE,
                                     ),
                                 ));
                             }
                             w.push(Instr::bar());
-                            for _ in 0..4 {
+                            // Read four distinct tile fragments (other
+                            // warps' slots included — the barrier ordered
+                            // them).
+                            for g in 0..4u16 {
                                 w.push(Instr::load(
-                                    Reg(4),
+                                    Reg(4 + g),
                                     MemAccess::coalesced(
                                         Space::Shared,
                                         DataClass::Compute,
                                         4,
-                                        0,
+                                        g as u64 * 512,
                                         WARP_SIZE,
                                     ),
                                 ));
                             }
                             for t in 0..8u16 {
-                                w.push(Instr::alu(Op::Tensor, Reg(30 + t % 4), &[Reg(4), Reg(5)]));
+                                let dst = Reg(30 + t % 4);
+                                let second = acc.unwrap_or(Reg(5));
+                                w.push(Instr::alu(Op::Tensor, dst, &[Reg(4 + t % 4), second]));
+                                acc = Some(dst);
                             }
                             w.push(Instr::bar());
                         }
@@ -712,34 +764,39 @@ pub fn upscaler(stream: StreamId, scale: ComputeScale) -> Stream {
                                     ),
                                 ));
                             }
-                            // Stage into shared memory, then tensor MMAs.
-                            for _ in 0..2 {
+                            // Stage into shared memory (per-warp 256 B
+                            // slot), then tensor MMAs chained through the
+                            // accumulator.
+                            for s in 0..2u16 {
                                 w.push(Instr::store(
-                                    Reg(2),
+                                    Reg(2 + s),
                                     MemAccess::coalesced(
                                         Space::Shared,
                                         DataClass::Compute,
                                         4,
-                                        0,
+                                        (wi as u64) * 256 + s as u64 * 128,
                                         WARP_SIZE,
                                     ),
                                 ));
                             }
                             w.push(Instr::bar());
-                            for _ in 0..4 {
+                            for g in 0..4u16 {
                                 w.push(Instr::load(
-                                    Reg(6),
+                                    Reg(20 + g),
                                     MemAccess::coalesced(
                                         Space::Shared,
                                         DataClass::Compute,
                                         4,
-                                        0,
+                                        g as u64 * 512,
                                         WARP_SIZE,
                                     ),
                                 ));
                             }
+                            let mut acc = Reg(21);
                             for t in 0..24u16 {
-                                w.push(Instr::alu(Op::Tensor, Reg(30 + t % 4), &[Reg(6), Reg(7)]));
+                                let dst = Reg(30 + t % 4);
+                                w.push(Instr::alu(Op::Tensor, dst, &[Reg(20 + t % 4), acc]));
+                                acc = dst;
                             }
                             w.push(Instr::bar());
                             fp_block(&mut w, 8); // activation

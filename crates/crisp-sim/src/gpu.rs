@@ -989,6 +989,29 @@ impl GpuSim {
 
     fn quota_for(&self, sm_id: usize, stream: StreamId) -> ResourceQuota {
         if let Some(sl) = &self.slicer {
+            // Partitioning against a partner that has retired every command
+            // is meaningless — and can starve the survivor forever: the
+            // slicer only re-samples at the *partner's* kernel/drawcall
+            // boundaries, so an applied ratio too small for the survivor's
+            // next CTA would never be revisited. Hand the survivor the
+            // whole SM; physical capacity checks still apply in fits().
+            let [a, b] = sl.streams();
+            let partner = if stream == a {
+                Some(b)
+            } else if stream == b {
+                Some(a)
+            } else {
+                None
+            };
+            if let Some(p) = partner {
+                let drained = self
+                    .streams
+                    .iter()
+                    .any(|s| s.id == p && s.finished && s.current.is_none());
+                if drained {
+                    return ResourceQuota::unlimited();
+                }
+            }
             return sl.quota_for(sm_id, stream, &self.cfg.sm);
         }
         self.spec.static_quota(stream, &self.cfg.sm)
@@ -2229,6 +2252,29 @@ mod tests {
         for (_, f) in &r.slicer_history {
             assert!((0.0..=1.0).contains(f));
         }
+    }
+
+    #[test]
+    fn slicer_releases_quota_when_partner_stream_drains() {
+        // Regression: once the partner stream retired every command, an
+        // applied ratio too small for the survivor's next CTA used to
+        // starve it forever — the slicer only re-samples at the *partner's*
+        // kernel/drawcall boundaries, so the decision was never revisited
+        // and the run hit the forward-progress watchdog.
+        let cfg = GpuConfig::test_tiny();
+        let slicer = SlicerConfig {
+            sample_cycles: 100,
+            // The only candidate gives graphics 2 of 16 warps — too small
+            // for its 4-warp CTA, on every SM, in every state.
+            ratios: vec![(1, 8)],
+        };
+        let mut gpu = GpuSim::with_spec(cfg, PartitionSpec::fg_dynamic(slicer));
+        gpu.load(bundle_two(
+            alu_kernel("g", 50, 4, 1, 16),
+            alu_kernel("c", 50, 1, 1, 16),
+        ));
+        let r = gpu.run_or_panic();
+        assert_eq!(r.kernel_log.len(), 2, "both kernels must complete");
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub use sim::{Simulation, SimulationBuilder, Telemetry};
 pub use slicer::{SlicerConfig, WarpedSlicer};
 pub use stats::{OccupancySample, PerStreamStats};
 
+pub use crisp_analyze::{AnalysisConfig, LintLevel};
 pub use crisp_mem::{MemConfig, TapConfig};
 pub use crisp_obs as obs;
 pub use crisp_obs::{Labels, MetricsSnapshot, TraceLog};

@@ -33,6 +33,7 @@ use crate::config::GpuConfig;
 use crate::error::SimError;
 use crate::gpu::{GpuSim, SimResult, DEFAULT_WATCHDOG};
 use crate::policy::{L2Policy, PartitionSpec, SmPartition};
+use crisp_analyze::{AnalysisConfig, LintLevel};
 use crisp_sm::CtaResources;
 use crisp_trace::{Command, TraceBundle};
 
@@ -136,6 +137,8 @@ pub struct SimulationBuilder {
     trace: Option<TraceBundle>,
     watchdog: Option<u64>,
     skip_preflight: bool,
+    analyze: LintLevel,
+    analyze_config: Option<AnalysisConfig>,
 }
 
 impl SimulationBuilder {
@@ -248,9 +251,32 @@ impl SimulationBuilder {
     /// Enable or disable pre-flight validation of the trace and
     /// configuration (default: enabled). Disabling it lets structurally
     /// bad inputs reach the cycle loop — useful only for testing the
-    /// runtime fail-safes themselves (the watchdog, the panic capture).
+    /// runtime fail-safes themselves (the watchdog, the panic capture) —
+    /// and also disables the [`analyze`](Self::analyze) hook, which runs as
+    /// part of pre-flight.
     pub fn preflight(mut self, enabled: bool) -> Self {
         self.skip_preflight = !enabled;
+        self
+    }
+
+    /// Run `crisp-analyze` static analysis over the trace bundle during
+    /// pre-flight (default: [`LintLevel::Off`]). With
+    /// [`LintLevel::Errors`], error-severity findings (shared-memory
+    /// races, use-before-def) fail the build as
+    /// [`SimError::InvalidTrace`]; with [`LintLevel::Deny`], warnings fail
+    /// it too. Thresholds and allow/deny entries come from
+    /// [`analyze_config`](Self::analyze_config).
+    pub fn analyze(mut self, level: LintLevel) -> Self {
+        self.analyze = level;
+        self
+    }
+
+    /// Configuration for the [`analyze`](Self::analyze) pass (thresholds,
+    /// allow/deny lists, analysis threads). Setting a config does not by
+    /// itself enable analysis — the level stays [`LintLevel::Off`] until
+    /// `analyze(..)` is called.
+    pub fn analyze_config(mut self, cfg: AnalysisConfig) -> Self {
+        self.analyze_config = Some(cfg);
         self
     }
 
@@ -269,6 +295,21 @@ impl SimulationBuilder {
         }
         if let Some(bundle) = &self.trace {
             crisp_trace::validate_bundle(bundle)?;
+            if self.analyze != LintLevel::Off {
+                let acfg = self.analyze_config.clone().unwrap_or_default();
+                let report = crisp_analyze::analyze_bundle(bundle, &acfg);
+                let errors: Vec<crisp_trace::TraceError> = match self.analyze {
+                    LintLevel::Deny => report
+                        .diagnostics
+                        .iter()
+                        .map(crisp_analyze::Diagnostic::to_trace_error)
+                        .collect(),
+                    _ => report.to_trace_errors(),
+                };
+                if !errors.is_empty() {
+                    return Err(errors.into());
+                }
+            }
         }
         let n_streams = self.trace.as_ref().map(|b| b.streams.len());
         let spec_sm = self.partition.as_ref().map(|p| &p.sm);
@@ -704,6 +745,118 @@ mod tests {
             sim.checkpoint_dir.as_deref(),
             Some(std::path::Path::new("/tmp/ckpts"))
         );
+    }
+
+    #[test]
+    fn analyze_hook_fails_racy_traces() {
+        use crisp_trace::{DataClass, MemAccess, Space};
+        // Structurally valid, semantically racy: two warps write the same
+        // shared bytes in the same barrier interval.
+        let warp = || {
+            let mut w = WarpTrace::new();
+            w.push(Instr::alu(Op::IntAlu, Reg(1), &[]));
+            w.push(Instr::store(
+                Reg(1),
+                MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, 0, 32),
+            ));
+            w.push(Instr::bar());
+            w.seal();
+            w
+        };
+        let k = KernelTrace::new(
+            "racy",
+            64,
+            8,
+            1024,
+            vec![CtaTrace::new(vec![warp(), warp()])],
+        );
+        let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+        s.launch(k);
+        let racy = TraceBundle::from_streams(vec![s]);
+
+        // Without the hook the structural validator passes it.
+        assert!(Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .trace(racy.clone())
+            .run()
+            .is_ok());
+
+        let err = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .trace(racy)
+            .analyze(LintLevel::Errors)
+            .run()
+            .unwrap_err();
+        let SimError::InvalidTrace { errors } = err else {
+            panic!("expected InvalidTrace, got {err}");
+        };
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.to_string().contains("race/shared-write-write")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn analyze_hook_passes_clean_traces_and_deny_catches_warnings() {
+        assert!(Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .trace(bundle())
+            .analyze(LintLevel::Errors)
+            .run()
+            .is_ok());
+
+        use crisp_trace::{DataClass, MemAccess, Space};
+        // Two CTAs write the same global bytes: a warning, not an error.
+        let warp = || {
+            let mut w = WarpTrace::new();
+            w.push(Instr::alu(Op::IntAlu, Reg(1), &[]));
+            w.push(Instr::store(
+                Reg(1),
+                MemAccess::coalesced(Space::Global, DataClass::Compute, 4, 0x100, 32),
+            ));
+            w.seal();
+            w
+        };
+        let k = KernelTrace::new(
+            "overlap",
+            32,
+            8,
+            0,
+            vec![CtaTrace::new(vec![warp()]), CtaTrace::new(vec![warp()])],
+        );
+        let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+        s.launch(k);
+        let b = TraceBundle::from_streams(vec![s]);
+
+        assert!(
+            Simulation::builder()
+                .gpu(GpuConfig::test_tiny())
+                .trace(b.clone())
+                .analyze(LintLevel::Errors)
+                .run()
+                .is_ok(),
+            "warnings must not fail LintLevel::Errors"
+        );
+        let err = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .trace(b.clone())
+            .analyze(LintLevel::Deny)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidTrace { .. }), "{err}");
+        // An allow entry restores the pass under Deny.
+        assert!(Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .trace(b)
+            .analyze(LintLevel::Deny)
+            .analyze_config(
+                AnalysisConfig::new()
+                    .allow_in(crisp_analyze::LintCode::GlobalWriteOverlap, "overlap"),
+            )
+            .run()
+            .is_ok());
     }
 
     #[test]

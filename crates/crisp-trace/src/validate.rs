@@ -35,7 +35,10 @@ pub const SCOREBOARD_REGS: u16 = 128;
 
 /// Where in the bundle a [`TraceError`] was found. Fields are filled
 /// outside-in; `None` means the error is not specific to that level.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Sites order outside-in (stream, kernel, cta, warp, instr) so error
+/// lists and analyzer reports can sort deterministically by location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct TraceErrorSite {
     /// Stream the offending kernel/command belongs to.
     pub stream: Option<StreamId>,
@@ -143,6 +146,17 @@ pub enum TraceErrorKind {
     },
     /// A memory access with a zero byte width.
     ZeroWidthAccess,
+    /// A semantic defect reported by a downstream analysis pass (the
+    /// `crisp-analyze` crate) rather than this structural validator. `code`
+    /// is the analyzer's stable lint name (e.g. `race/shared-write-write`);
+    /// `message` describes the specific finding. Carried here so analyzer
+    /// errors can ride in `SimError::InvalidTrace` next to structural ones.
+    Semantic {
+        /// Stable lint name of the originating analysis.
+        code: String,
+        /// Rendered description of the finding.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceErrorKind {
@@ -191,6 +205,7 @@ impl fmt::Display for TraceErrorKind {
                 "memory access has {lanes} lane addresses but a warp has {WARP_SIZE} lanes"
             ),
             TraceErrorKind::ZeroWidthAccess => write!(f, "memory access width is zero bytes"),
+            TraceErrorKind::Semantic { code, message } => write!(f, "{code}: {message}"),
         }
     }
 }

@@ -1,0 +1,293 @@
+//! Adversarial fixtures for the static analyzer: each seeds one specific
+//! defect into an otherwise *structurally valid* trace and asserts the
+//! exact lint code and site crisp-analyze pins it to. The point of the
+//! layer is that these traces sail through `validate_kernel` — every
+//! fixture proves that first — and only the semantic pass catches them.
+
+use crisp_analyze::{analyze_bundle, analyze_kernel, AnalysisConfig, LintCode, Severity};
+use crisp_bench::{corpus_lint_config, frontend_corpus};
+use crisp_trace::{
+    validate_kernel, CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Op, Reg, Space, WarpTrace,
+    WARP_SIZE,
+};
+
+fn kernel_of(warps: Vec<WarpTrace>) -> KernelTrace {
+    let n = warps.len() as u32;
+    KernelTrace::new(
+        "fixture",
+        n * WARP_SIZE as u32,
+        16,
+        4096,
+        vec![CtaTrace::new(warps)],
+    )
+}
+
+fn shared(base: u64) -> MemAccess {
+    MemAccess::coalesced(Space::Shared, DataClass::Compute, 4, base, WARP_SIZE)
+}
+
+fn global(base: u64) -> MemAccess {
+    MemAccess::coalesced(Space::Global, DataClass::Compute, 4, base, WARP_SIZE)
+}
+
+/// Analyze with the default config; assert the fixture is structurally
+/// clean so the finding can only have come from the semantic layer.
+fn lint(k: &KernelTrace) -> Vec<crisp_analyze::Diagnostic> {
+    validate_kernel(k).expect("fixture must pass structural validation");
+    analyze_kernel(k, &AnalysisConfig::new()).diagnostics
+}
+
+#[test]
+fn seeded_write_write_race_is_pinned_to_both_stores() {
+    // Two warps write the same shared bytes in barrier interval 0.
+    let warp = || {
+        let mut w = WarpTrace::new();
+        w.push(Instr::load(Reg(1), global(0x1000)));
+        w.push(Instr::store(Reg(1), shared(0)));
+        w.seal();
+        w
+    };
+    let k = kernel_of(vec![warp(), warp()]);
+    let diags = lint(&k);
+    let races: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::SharedWriteWrite)
+        .collect();
+    assert_eq!(races.len(), 1, "exactly one WW pair: {diags:?}");
+    let d = races[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!((d.site.warp, d.site.instr), (Some(0), Some(1)));
+    let rel = d.related.as_ref().expect("race has a second site");
+    assert_eq!((rel.warp, rel.instr), (Some(1), Some(1)));
+}
+
+#[test]
+fn missing_barrier_read_write_race_names_producer_and_consumer() {
+    // Producer stores, consumer loads, and the only barrier comes *after*
+    // both — so they share interval 0 and nothing orders them.
+    let mut producer = WarpTrace::new();
+    producer.push(Instr::load(Reg(1), global(0x1000)));
+    producer.push(Instr::store(Reg(1), shared(0)));
+    producer.push(Instr::bar());
+    producer.seal();
+    let mut consumer = WarpTrace::new();
+    consumer.push(Instr::load(Reg(2), shared(0)));
+    consumer.push(Instr::bar());
+    consumer.seal();
+
+    let k = kernel_of(vec![producer, consumer]);
+    let diags = lint(&k);
+    let races: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::SharedReadWrite)
+        .collect();
+    assert_eq!(races.len(), 1, "exactly one RW pair: {diags:?}");
+    let d = races[0];
+    assert_eq!(d.severity, Severity::Error);
+    // Anchored at the (warp, instr)-lower access: the producer's store.
+    assert_eq!((d.site.warp, d.site.instr), (Some(0), Some(1)));
+    let rel = d.related.as_ref().expect("race has a second site");
+    assert_eq!((rel.warp, rel.instr), (Some(1), Some(0)));
+}
+
+#[test]
+fn barrier_between_producer_and_consumer_silences_the_race() {
+    // The fixed version of the case above: store / bar / load. The store
+    // lands in interval 0, the load in interval 1 — ordered, no finding.
+    let mut producer = WarpTrace::new();
+    producer.push(Instr::load(Reg(1), global(0x1000)));
+    producer.push(Instr::store(Reg(1), shared(0)));
+    producer.push(Instr::bar());
+    producer.seal();
+    let mut consumer = WarpTrace::new();
+    consumer.push(Instr::bar());
+    consumer.push(Instr::load(Reg(2), shared(0)));
+    consumer.seal();
+
+    let k = kernel_of(vec![producer, consumer]);
+    let diags = lint(&k);
+    assert!(
+        !diags.iter().any(|d| matches!(
+            d.code,
+            LintCode::SharedReadWrite | LintCode::SharedWriteWrite
+        )),
+        "barrier-ordered accesses must not race: {diags:?}"
+    );
+}
+
+#[test]
+fn use_before_def_is_pinned_to_the_reading_instruction() {
+    let mut w = WarpTrace::new();
+    w.push(Instr::load(Reg(1), global(0x1000)));
+    w.push(Instr::alu(Op::FpFma, Reg(3), &[Reg(1), Reg(9)]));
+    w.push(Instr::store(Reg(3), global(0x2000)));
+    w.seal();
+
+    let k = kernel_of(vec![w]);
+    let diags = lint(&k);
+    let ubd: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::UseBeforeDef)
+        .collect();
+    assert_eq!(ubd.len(), 1, "exactly one undefined read: {diags:?}");
+    let d = ubd[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!((d.site.warp, d.site.instr), (Some(0), Some(1)));
+    assert!(
+        d.message.contains("r9"),
+        "names the register: {}",
+        d.message
+    );
+}
+
+#[test]
+fn dead_write_chain_flags_every_overwritten_def() {
+    // r2 is written three times; only the last value is ever read.
+    let mut w = WarpTrace::new();
+    w.push(Instr::load(Reg(1), global(0x1000)));
+    w.push(Instr::alu(Op::IntAlu, Reg(2), &[Reg(1)]));
+    w.push(Instr::alu(Op::IntAlu, Reg(2), &[Reg(1)]));
+    w.push(Instr::alu(Op::IntAlu, Reg(2), &[Reg(1)]));
+    w.push(Instr::store(Reg(2), global(0x2000)));
+    w.seal();
+
+    let k = kernel_of(vec![w]);
+    let diags = lint(&k);
+    let dead: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::DeadWrite)
+        .collect();
+    let sites: Vec<_> = dead
+        .iter()
+        .map(|d| (d.site.instr, d.related.as_ref().and_then(|r| r.instr)))
+        .collect();
+    assert_eq!(
+        sites,
+        vec![(Some(1), Some(2)), (Some(2), Some(3))],
+        "both dead defs, each anchored at the write and related to its \
+         overwriter: {diags:?}"
+    );
+    assert!(dead.iter().all(|d| d.severity == Severity::Warning));
+}
+
+#[test]
+fn redundant_load_points_back_at_the_first_copy() {
+    let mut w = WarpTrace::new();
+    w.push(Instr::load(Reg(1), global(0x1000)));
+    w.push(Instr::load(Reg(2), global(0x1000)));
+    w.push(Instr::alu(Op::IntAlu, Reg(3), &[Reg(1), Reg(2)]));
+    w.push(Instr::store(Reg(3), global(0x2000)));
+    w.seal();
+
+    let k = kernel_of(vec![w]);
+    let diags = lint(&k);
+    let red: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::RedundantLoad)
+        .collect();
+    assert_eq!(red.len(), 1, "{diags:?}");
+    assert_eq!(red[0].site.instr, Some(1));
+    assert_eq!(red[0].related.as_ref().and_then(|r| r.instr), Some(0));
+}
+
+#[test]
+fn cross_cta_write_overlap_warns_and_allow_entry_silences_it() {
+    let warp = || {
+        let mut w = WarpTrace::new();
+        w.push(Instr::load(Reg(1), global(0x1000)));
+        w.push(Instr::store(Reg(1), global(0x9000)));
+        w.seal();
+        w
+    };
+    let k = KernelTrace::new(
+        "reduce_like",
+        WARP_SIZE as u32,
+        16,
+        0,
+        vec![CtaTrace::new(vec![warp()]), CtaTrace::new(vec![warp()])],
+    );
+    validate_kernel(&k).expect("structurally clean");
+
+    let bare = analyze_kernel(&k, &AnalysisConfig::new());
+    let overlaps: Vec<_> = bare
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == LintCode::GlobalWriteOverlap)
+        .collect();
+    assert_eq!(overlaps.len(), 1, "{:?}", bare.diagnostics);
+    assert_eq!(overlaps[0].severity, Severity::Warning);
+
+    let allowed = analyze_kernel(
+        &k,
+        &AnalysisConfig::new().allow_in(LintCode::GlobalWriteOverlap, "reduce_like"),
+    );
+    assert!(
+        !allowed
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::GlobalWriteOverlap),
+        "scoped allow entry must silence the overlap"
+    );
+}
+
+#[test]
+fn frontend_corpus_is_error_free_under_the_audited_config() {
+    let cfg = corpus_lint_config();
+    for (name, bundle) in frontend_corpus() {
+        let report = analyze_bundle(&bundle, &cfg);
+        assert!(
+            !report.has_errors(),
+            "{name}: {} analyzer errors, first: {:?}",
+            report.error_count(),
+            report.errors().next()
+        );
+    }
+}
+
+#[test]
+fn corpus_allow_entry_is_load_bearing() {
+    // `corpus_lint_config` carries an allow entry for the vio_reduce
+    // accumulator overlap; prove the finding exists without it so the
+    // entry never outlives the pattern it documents.
+    let bundles = frontend_corpus();
+    let (_, b) = bundles
+        .iter()
+        .find(|(n, _)| n == "vio-paper")
+        .expect("paper-scale vio bundle in corpus");
+    let bare = analyze_bundle(b, &AnalysisConfig::new());
+    assert!(
+        bare.diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::GlobalWriteOverlap),
+        "vio-paper no longer produces the overlap the allow entry documents"
+    );
+    let audited = analyze_bundle(b, &corpus_lint_config());
+    assert!(
+        !audited
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::GlobalWriteOverlap),
+        "allow entry failed to suppress the audited overlap"
+    );
+}
+
+#[test]
+fn reports_are_byte_identical_across_analysis_thread_counts() {
+    let cfg = corpus_lint_config();
+    for (name, bundle) in frontend_corpus() {
+        let base = analyze_bundle(&bundle, &cfg.clone().threads(1));
+        for threads in [2, 4] {
+            let multi = analyze_bundle(&bundle, &cfg.clone().threads(threads));
+            assert_eq!(
+                base.text(),
+                multi.text(),
+                "{name}: text report differs at {threads} threads"
+            );
+            assert_eq!(
+                base.to_json(),
+                multi.to_json(),
+                "{name}: JSON report differs at {threads} threads"
+            );
+        }
+    }
+}
