@@ -59,7 +59,7 @@ pub use report::{AnalysisReport, ClassLines, KernelStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crisp_trace::{DataClass, KernelTrace, StreamId, TraceBundle};
+use crisp_trace::{CommandMeta, DataClass, KernelTrace, StreamId, TraceBundle, TraceSource};
 
 /// Analyze every kernel of `bundle` and return the combined, site-sorted
 /// report. Kernels are analyzed independently (fanned out over
@@ -72,6 +72,37 @@ pub fn analyze_bundle(bundle: &TraceBundle, cfg: &AnalysisConfig) -> AnalysisRep
         .flat_map(|s| s.kernels().map(move |k| (Some(s.id), k)))
         .collect();
     analyze_all(&work, cfg)
+}
+
+/// Analyze every kernel reachable through a [`TraceSource`], materializing
+/// one kernel at a time (and releasing its CTAs again on streaming
+/// sources), so a bundle far larger than RAM is analyzed in bounded
+/// memory. Kernels are processed in directory order; the report —
+/// diagnostics, statistics, and their ordering — is identical to
+/// [`analyze_bundle`] over the materialized bundle.
+///
+/// # Errors
+///
+/// Propagates I/O failures from paging kernels in (a corrupt container
+/// already fails at [`TraceInput::open`](crisp_trace::TraceInput::open)).
+pub fn analyze_source(
+    src: &mut TraceSource,
+    cfg: &AnalysisConfig,
+) -> std::io::Result<AnalysisReport> {
+    let mut out = AnalysisReport::default();
+    let metas = src.streams().to_vec();
+    for s in &metas {
+        for cmd in &s.commands {
+            if let CommandMeta::Launch { kernel, .. } = cmd {
+                let k = src.materialize_kernel(*kernel)?;
+                let (diags, stats) = analyze_one(Some(s.id), &k, cfg);
+                out.diagnostics.extend(diags);
+                out.stats.push(stats);
+            }
+        }
+    }
+    out.diagnostics.sort_by_key(|a| a.sort_key());
+    Ok(out)
 }
 
 /// Analyze a single kernel outside any bundle context (sites carry no
@@ -243,6 +274,26 @@ mod tests {
             assert_eq!(base.text(), r.text());
             assert_eq!(base.to_json(), r.to_json());
         }
+    }
+
+    #[test]
+    fn source_analysis_matches_bundle_analysis() {
+        let b = bundle(vec![racy_kernel("a"), clean_kernel("b"), racy_kernel("c")]);
+        let cfg = AnalysisConfig::new();
+        let expected = analyze_bundle(&b, &cfg);
+
+        let mut bytes = Vec::new();
+        crisp_trace::codec::write_bundle(&b, &mut bytes).unwrap();
+        let mut src = crisp_trace::TraceInput::reader(std::io::Cursor::new(bytes))
+            .open()
+            .unwrap();
+        assert!(src.is_streaming());
+        let got = analyze_source(&mut src, &cfg).unwrap();
+        assert_eq!(expected, got);
+        assert_eq!(expected.text(), got.text());
+        assert_eq!(expected.to_json(), got.to_json());
+        // Incremental analysis leaves no CTAs resident.
+        assert_eq!(src.stats().resident_ctas, 0);
     }
 
     #[test]

@@ -145,7 +145,10 @@ fn bench_codec() {
         out
     });
     bench("codec/decode", bytes, 10, || {
-        codec::read_bundle(&mut std::hint::black_box(&buf).as_slice()).expect("decode")
+        crisp_trace::TraceInput::reader(std::io::Cursor::new(std::hint::black_box(&buf).clone()))
+            .open()
+            .and_then(|mut s| s.to_bundle())
+            .expect("decode")
     });
 }
 
@@ -204,7 +207,7 @@ fn bench_checkpoint() {
     let size = bytes.len() as u64;
     bench("ckpt/write", size, 10, || {
         let mut out = Vec::with_capacity(bytes.len());
-        std::hint::black_box(&sim)
+        std::hint::black_box(&mut sim)
             .write_checkpoint(&mut out)
             .expect("serialize");
         out

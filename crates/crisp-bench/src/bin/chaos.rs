@@ -589,6 +589,49 @@ fn cases(quick: bool) -> Vec<Case> {
         })
     }));
 
+    // --- container index corruption (caught when opening the source) ---
+    // Version-2 containers carry a per-CTA offset index; a mutated index
+    // must surface as a structured open/pre-flight error, never a panic or
+    // a silently wrong simulation.
+    fn mutated_container_case(
+        name: &'static str,
+        mutate: fn(usize, (u64, u64)) -> (u64, u64),
+        pad: &'static [u8],
+    ) -> Case {
+        case(name, move || {
+            let mut bytes = Vec::new();
+            crisp_trace::codec::write_bundle_mutated(&good_bundle(), &mut bytes, mutate, pad)
+                .expect("encode mutated container");
+            expect_sim_err(|| {
+                Simulation::builder()
+                    .gpu(gpu())
+                    .trace(crisp_trace::TraceInput::reader(std::io::Cursor::new(bytes)))
+                    .run()
+            })
+        })
+    }
+    v.push(mutated_container_case(
+        "container/index-offset-out-of-bounds",
+        |_, (off, len)| (off.wrapping_add(1 << 40), len),
+        &[],
+    ));
+    v.push(mutated_container_case(
+        "container/index-overlapping-spans",
+        |i, (off, len)| {
+            if i == 1 {
+                (off.saturating_sub(1), len)
+            } else {
+                (off, len)
+            }
+        },
+        &[],
+    ));
+    v.push(mutated_container_case(
+        "container/index-payload-size-mismatch",
+        |_, span| span,
+        b"trailing-junk-the-index-does-not-cover",
+    ));
+
     // --- checkpoint corruption ---
     v.push(case("checkpoint/truncated-file", || {
         let dir = scratch("truncated");
@@ -618,7 +661,10 @@ fn run_corpus(paths: &[String]) -> i32 {
         corpus = crisp_bench::frontend_corpus();
     } else {
         for p in paths {
-            match crisp_trace::codec::load(p) {
+            let loaded = crisp_trace::TraceInput::from(p.as_str())
+                .open()
+                .and_then(|mut s| s.to_bundle());
+            match loaded {
                 Ok(b) => corpus.push((p.clone(), b)),
                 Err(e) => {
                     println!("  FAIL {p}: unreadable: {e}");
@@ -666,7 +712,8 @@ fn run_corpus(paths: &[String]) -> i32 {
         // The codec must preserve validity, not just bytes.
         let path = scratch(&format!("corpus-{}", name.replace('/', "_")));
         if let Err(e) = crisp_trace::codec::save(bundle, &path)
-            .and_then(|()| crisp_trace::codec::load(&path))
+            .and_then(|()| crisp_trace::TraceInput::from(path.as_path()).open())
+            .and_then(|mut s| s.to_bundle())
             .map_err(|e| e.to_string())
             .and_then(|b| crisp_trace::validate_bundle(&b).map_err(|errs| errs[0].to_string()))
         {

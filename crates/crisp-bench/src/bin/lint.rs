@@ -10,7 +10,9 @@
 //! With `--corpus` the harness analyzes every trace the repo's own
 //! frontends produce (the same bundles `chaos --corpus` validates) under
 //! the audited allow-list from [`crisp_bench::corpus_lint_config`]; with
-//! explicit paths it loads `.crsp` files and starts from an empty config.
+//! explicit paths it opens `.crsp` files as streaming sources — the
+//! analyzer demand-pages one kernel at a time, so linting a container much
+//! larger than RAM works — and starts from an empty config.
 //! `--allow race/global-write-overlap@my_kernel` appends further allow
 //! entries; `--deny errors` (the CI `lint-smoke` mode) exits non-zero when
 //! any error-severity diagnostic survives, `--deny warnings` when anything
@@ -23,10 +25,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use crisp_analyze::{analyze_bundle, AnalysisConfig, AnalysisReport, LintCode};
+use crisp_analyze::{analyze_source, AnalysisConfig, AnalysisReport, LintCode};
 use crisp_bench::{corpus_lint_config, frontend_corpus};
 use crisp_obs::json;
-use crisp_trace::TraceBundle;
+use crisp_trace::{TraceInput, TraceSource};
 
 struct Args {
     corpus: bool,
@@ -119,13 +121,20 @@ fn combined_json(reports: &[(String, AnalysisReport)]) -> String {
 fn main() -> ExitCode {
     let args = parse_args();
 
-    let (bundles, mut cfg): (Vec<(String, TraceBundle)>, AnalysisConfig) = if args.corpus {
-        (frontend_corpus(), corpus_lint_config())
+    // Explicit `.crsp` paths open as streaming sources: the analyzer pages
+    // kernel-by-kernel through the same demand-paged window the simulator
+    // uses, so linting a huge container stays within bounded memory.
+    let (mut sources, mut cfg): (Vec<(String, TraceSource)>, AnalysisConfig) = if args.corpus {
+        let srcs = frontend_corpus()
+            .into_iter()
+            .map(|(name, b)| (name, TraceSource::from_bundle(b)))
+            .collect();
+        (srcs, corpus_lint_config())
     } else {
         let mut v = Vec::new();
         for p in &args.paths {
-            match crisp_trace::codec::load(p) {
-                Ok(b) => v.push((p.clone(), b)),
+            match TraceInput::from(p.as_str()).open() {
+                Ok(s) => v.push((p.clone(), s)),
                 Err(e) => {
                     eprintln!("lint: {p}: unreadable: {e}");
                     return ExitCode::from(2);
@@ -144,8 +153,14 @@ fn main() -> ExitCode {
 
     let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
     let mut text = String::new();
-    for (name, bundle) in &bundles {
-        let report = analyze_bundle(bundle, &cfg);
+    for (name, src) in &mut sources {
+        let report = match analyze_source(src, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lint: {name}: read failed mid-stream: {e}");
+                return ExitCode::from(2);
+            }
+        };
         println!(
             "  {}  {name:<24} {} errors, {} warnings",
             if report.has_errors() { "FAIL" } else { "ok  " },

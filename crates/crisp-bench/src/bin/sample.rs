@@ -150,7 +150,9 @@ fn main() {
     // 2. Fast-forward the skipped region, simulate the ROI in detail.
     let mut ff = build(bundle);
     let t = Instant::now();
-    let skipped_cmds = ff.fast_forward_to_marker(ROI_MARKER);
+    let skipped_cmds = ff
+        .fast_forward_to_marker(ROI_MARKER)
+        .expect("fast-forward over an in-memory bundle");
     let t_ff_skip = t.elapsed().as_secs_f64().max(1e-9);
     let t = Instant::now();
     let roi = ff.run_or_panic();

@@ -1,0 +1,149 @@
+//! Streaming-vs-materialized trace input: the memory/throughput trade the
+//! `TraceSource` demand-paging redesign buys, measured end to end.
+//!
+//! Runs the same concurrent render+compute workload twice — once from a
+//! fully materialized in-memory bundle, once streamed from a version-2
+//! CRSP container on disk — and checks the streaming contract:
+//!
+//! 1. the telemetry exports are **byte-identical** across backings, and
+//! 2. the peak resident trace window stays at or below **50%** of the
+//!    materialized whole-bundle footprint (it is typically far below).
+//!
+//! Either check failing exits non-zero, which is what the CI
+//! `stream-smoke` job runs. Results land in
+//! `target/experiments/stream.txt` and `BENCH_stream.json`.
+
+use std::time::Instant;
+
+use crisp_core::prelude::*;
+use crisp_core::{concurrent_bundle, COMPUTE_STREAM, GRAPHICS_STREAM};
+use crisp_trace::{codec, cta_resident_cost, TraceBundle};
+
+fn workload() -> TraceBundle {
+    let scale = crisp_bench::scale();
+    let (w, h) = scale.res.dims();
+    let frame =
+        Scene::build(SceneId::SponzaKhronos, scale.detail).render(w, h, false, GRAPHICS_STREAM);
+    concurrent_bundle(frame.trace, vio(COMPUTE_STREAM, scale.compute))
+}
+
+fn simulate(trace: impl Into<crisp_sim::TraceInput>) -> (SimResult, f64) {
+    let t0 = Instant::now();
+    let r = Simulation::builder()
+        .gpu(GpuConfig::test_tiny())
+        .partition(PartitionSpec::greedy())
+        .telemetry(Telemetry::FULL)
+        .trace(trace)
+        .run_or_panic();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let bundle = workload();
+    // The materialized baseline: the deterministic in-memory footprint of
+    // holding every CTA at once, in the same units as the paging counters.
+    let baseline: u64 = bundle
+        .streams
+        .iter()
+        .flat_map(|s| s.kernels())
+        .flat_map(|k| k.ctas.iter())
+        .map(cta_resident_cost)
+        .sum();
+    let n_ctas: usize = bundle
+        .streams
+        .iter()
+        .flat_map(|s| s.kernels())
+        .map(|k| k.grid())
+        .sum();
+
+    let path = crisp_bench::out_dir().join("stream_workload.crsp");
+    codec::save(&bundle, &path).expect("save container");
+    let container = std::fs::metadata(&path).expect("container metadata").len();
+
+    let (mat, mat_s) = simulate(bundle);
+    let (strm, strm_s) = simulate(path.as_path());
+    let _ = std::fs::remove_file(&path);
+
+    // Contract 1: byte-identical exports across backings.
+    let identical = mat.metrics.to_text() == strm.metrics.to_text()
+        && mat.chrome_trace_json() == strm.chrome_trace_json()
+        && mat.counters_csv() == strm.counters_csv()
+        && mat.cycles == strm.cycles
+        && mat.trace == strm.trace;
+    // Contract 2: the live window undercuts half the whole-bundle footprint.
+    let peak = strm.trace.peak_resident_bytes;
+    let ratio = peak as f64 / baseline.max(1) as f64;
+
+    let row = |name: &str, r: &SimResult, secs: f64| {
+        vec![
+            name.to_string(),
+            r.cycles.to_string(),
+            format!("{:.0}", r.cycles as f64 / secs / 1000.0),
+            (baseline / 1024).to_string(),
+            (r.trace.peak_resident_bytes / 1024).to_string(),
+            (r.trace.bytes_decoded / 1024).to_string(),
+            r.trace.ctas_decoded.to_string(),
+        ]
+    };
+    let table = crisp_core::report::table(
+        &[
+            "backing",
+            "cycles",
+            "kcycles/s",
+            "bundle KiB",
+            "peak window KiB",
+            "decoded KiB",
+            "CTA fetches",
+        ],
+        &[
+            row("materialized", &mat, mat_s),
+            row("streaming", &strm, strm_s),
+        ],
+    );
+    crisp_bench::emit("stream", &table);
+    println!(
+        "peak window = {:.1}% of the materialized footprint ({} CTAs, container {} KiB); \
+         exports byte-identical: {identical}",
+        ratio * 100.0,
+        n_ctas,
+        container / 1024,
+    );
+
+    let json = format!(
+        "{{\"version\":1,\"scale\":{scale:?},\"workload\":{{\"ctas\":{n_ctas},\
+         \"container_bytes\":{container},\"materialized_resident_bytes\":{baseline}}},\
+         \"materialized\":{{\"cycles\":{mc},\"wall_s\":{ms:.4},\"peak_resident_bytes\":{mp},\
+         \"bytes_decoded\":{md}}},\
+         \"streaming\":{{\"cycles\":{sc},\"wall_s\":{ss:.4},\"peak_resident_bytes\":{sp},\
+         \"bytes_decoded\":{sd}}},\
+         \"peak_over_materialized\":{ratio:.4},\"exports_byte_identical\":{identical}}}\n",
+        scale = if matches!(std::env::var("CRISP_SCALE").as_deref(), Ok("quick")) {
+            "quick"
+        } else {
+            "paper"
+        },
+        mc = mat.cycles,
+        ms = mat_s,
+        mp = mat.trace.peak_resident_bytes,
+        md = mat.trace.bytes_decoded,
+        sc = strm.cycles,
+        ss = strm_s,
+        sp = strm.trace.peak_resident_bytes,
+        sd = strm.trace.bytes_decoded,
+    );
+    debug_assert!(crisp_obs::json::validate(&json).is_ok());
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    println!("(saved to BENCH_stream.json)");
+
+    if !identical {
+        eprintln!("stream: FAIL — exports differ between backings");
+        std::process::exit(1);
+    }
+    if ratio > 0.5 {
+        eprintln!(
+            "stream: FAIL — peak window {peak} exceeds 50% of the materialized \
+             footprint {baseline}"
+        );
+        std::process::exit(1);
+    }
+}

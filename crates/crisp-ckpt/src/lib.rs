@@ -9,10 +9,15 @@
 //!   varints, zig-zag signed values, bit-exact `f64`, length-capped
 //!   allocations) in the same style as `crisp_trace::codec`,
 //! * [`CheckpointState`]: the trait every stateful simulator component
-//!   implements to expose a stable, ordered view of itself,
-//! * [`KernelTable`]: interning for `Arc<KernelTrace>` handles so that warps
-//!   resident on different SMs share one kernel copy after restore exactly as
-//!   they did before it.
+//!   implements to expose a stable, ordered view of itself.
+//!
+//! Since format version 2 a checkpoint stores no inline kernel payloads:
+//! resident warps are saved as `(kernel id, cta index)` cursors into the
+//! run's trace source, and the checkpoint carries the source's *provenance*
+//! (a path, or the raw CRSP container bytes) so restore re-opens the source
+//! and demand-pages the resident CTAs back in. The `Arc` sharing between
+//! warps of one CTA re-establishes itself through the source's resident
+//! window.
 //!
 //! The actual component serializers live next to the components (they need
 //! private-field access); this crate only defines the wire discipline. The
@@ -27,19 +32,20 @@
 //! both.
 
 use std::io::{self, Read, Write};
-use std::sync::Arc;
 
 use crisp_trace::codec::{
-    check_magic, check_version, read_kernel, read_string, read_varint, unzigzag, write_kernel,
-    write_string, write_varint, zigzag,
+    check_magic, check_version, read_string, read_varint, unzigzag, write_string, write_varint,
+    zigzag,
 };
-use crisp_trace::{DataClass, KernelTrace, Space, StreamId};
+use crisp_trace::{DataClass, Space, StreamId};
 
 /// Magic tag opening every checkpoint file.
 pub const MAGIC: &[u8; 4] = b"CKPT";
 
-/// Checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Checkpoint format version. Version 2 replaced inline kernel payloads
+/// (the old kernel-interning table) with trace-source provenance plus
+/// per-warp `(kernel id, cta index)` cursors.
+pub const VERSION: u32 = 2;
 
 /// Human-readable format name used in found-vs-expected error messages.
 pub const FORMAT_NAME: &str = "CKPT checkpoint";
@@ -186,13 +192,15 @@ impl<W: Write> Writer<W> {
         }
     }
 
-    /// Write a [`KernelTrace`] inline in the CRSP per-kernel layout.
+    /// Write a length-prefixed raw byte blob (e.g. an embedded CRSP
+    /// container for checkpoint self-containment).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
-    pub fn kernel(&mut self, k: &KernelTrace) -> io::Result<()> {
-        write_kernel(&mut self.inner, k)
+    pub fn bytes(&mut self, b: &[u8]) -> io::Result<()> {
+        self.len(b.len())?;
+        self.inner.write_all(b)
     }
 
     /// Write a [`StreamId`].
@@ -382,13 +390,26 @@ impl<R: Read> Reader<R> {
         }
     }
 
-    /// Read a [`KernelTrace`] written by [`Writer::kernel`].
+    /// Read a length-prefixed byte blob written by [`Writer::bytes`],
+    /// with the length capped at `cap`.
     ///
     /// # Errors
     ///
-    /// `InvalidData` on structural corruption.
-    pub fn kernel(&mut self) -> io::Result<KernelTrace> {
-        read_kernel(&mut self.inner)
+    /// `InvalidData` when the length exceeds `cap`; I/O errors otherwise.
+    pub fn bytes(&mut self, cap: usize) -> io::Result<Vec<u8>> {
+        let n = self.len(cap)?;
+        // Read in bounded chunks so a corrupt length that passes `cap`
+        // cannot commit the full allocation before hitting EOF.
+        let mut buf = Vec::with_capacity(n.min(1 << 20));
+        let mut remaining = n;
+        let mut chunk = [0u8; 8192];
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            self.inner.read_exact(&mut chunk[..take])?;
+            buf.extend_from_slice(&chunk[..take]);
+            remaining -= take;
+        }
+        Ok(buf)
     }
 
     /// Read a [`StreamId`].
@@ -435,9 +456,10 @@ impl<R: Read> Reader<R> {
 /// `SaveCtx`/`RestoreCtx` carry whatever surrounding information the
 /// component does not own itself — typically its configuration (geometry,
 /// capacities), which the checkpoint stores once at the top level rather
-/// than repeating per component, plus shared tables like [`KernelTable`].
+/// than repeating per component, or the run's trace source for paging
+/// resident CTAs back in.
 pub trait CheckpointState: Sized {
-    /// Context borrowed during save (e.g. a [`KernelTable`] being built).
+    /// Context borrowed during save (most components need none).
     type SaveCtx<'a>;
     /// Context borrowed during restore (e.g. configuration to rebuild
     /// derived fields from).
@@ -460,112 +482,9 @@ pub trait CheckpointState: Sized {
     fn restore<R: Read>(r: &mut Reader<R>, ctx: Self::RestoreCtx<'_>) -> io::Result<Self>;
 }
 
-/// Maximum kernels a checkpoint's kernel table may hold (allocation cap;
-/// real tables hold one in-flight kernel per stream).
-pub const MAX_TABLE_KERNELS: usize = 1 << 16;
-
-/// Interning table for the `Arc<KernelTrace>` handles shared between a
-/// stream's running kernel and the warps/CTAs resident on SMs.
-///
-/// During save the driving code interns each distinct Arc (by pointer
-/// identity) and components store the index; during restore components look
-/// the index back up and clone the Arc, re-establishing the sharing.
-#[derive(Debug, Default, Clone)]
-pub struct KernelTable {
-    kernels: Vec<Arc<KernelTrace>>,
-}
-
-impl KernelTable {
-    /// An empty table.
-    pub fn new() -> Self {
-        KernelTable::default()
-    }
-
-    /// Number of interned kernels.
-    pub fn count(&self) -> usize {
-        self.kernels.len()
-    }
-
-    /// Intern `k`, returning its index. Pointer identity — not structural
-    /// equality — decides uniqueness, mirroring the Arc sharing being saved.
-    pub fn intern(&mut self, k: &Arc<KernelTrace>) -> u64 {
-        if let Some(i) = self.kernels.iter().position(|e| Arc::ptr_eq(e, k)) {
-            return i as u64;
-        }
-        self.kernels.push(Arc::clone(k));
-        (self.kernels.len() - 1) as u64
-    }
-
-    /// The index of an already-interned kernel.
-    ///
-    /// # Errors
-    ///
-    /// `InvalidData` if `k` was never interned — a save-order bug.
-    pub fn index_of(&self, k: &Arc<KernelTrace>) -> io::Result<u64> {
-        self.kernels
-            .iter()
-            .position(|e| Arc::ptr_eq(e, k))
-            .map(|i| i as u64)
-            .ok_or_else(|| bad("kernel not interned in checkpoint table"))
-    }
-
-    /// The kernel at `idx`.
-    ///
-    /// # Errors
-    ///
-    /// `InvalidData` on an out-of-range index.
-    pub fn get(&self, idx: u64) -> io::Result<Arc<KernelTrace>> {
-        self.kernels
-            .get(idx as usize)
-            .cloned()
-            .ok_or_else(|| bad(format!("kernel table index {idx} out of range")))
-    }
-
-    /// Serialize the table (each kernel inline, in intern order).
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors.
-    pub fn save<W: Write>(&self, w: &mut Writer<W>) -> io::Result<()> {
-        w.len(self.kernels.len())?;
-        for k in &self.kernels {
-            w.kernel(k)?;
-        }
-        Ok(())
-    }
-
-    /// Read a table written by [`KernelTable::save`].
-    ///
-    /// # Errors
-    ///
-    /// `InvalidData` on corrupt input.
-    pub fn restore<R: Read>(r: &mut Reader<R>) -> io::Result<Self> {
-        let n = r.len(MAX_TABLE_KERNELS)?;
-        let mut kernels = Vec::with_capacity(n.min(1024));
-        for _ in 0..n {
-            kernels.push(Arc::new(r.kernel()?));
-        }
-        Ok(KernelTable { kernels })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crisp_trace::{CtaTrace, Instr, Op, Reg, WarpTrace};
-
-    fn kernel(name: &str) -> Arc<KernelTrace> {
-        let mut w = WarpTrace::new();
-        w.push(Instr::alu(Op::FpFma, Reg(1), &[Reg(2)]));
-        w.seal();
-        Arc::new(KernelTrace::new(
-            name,
-            64,
-            16,
-            0,
-            vec![CtaTrace::new(vec![w.clone(), w])],
-        ))
-    }
 
     #[test]
     fn scalar_roundtrip() {
@@ -635,30 +554,18 @@ mod tests {
     }
 
     #[test]
-    fn kernel_table_interns_by_pointer_identity() {
-        let a = kernel("a");
-        let a2 = Arc::clone(&a);
-        let b = kernel("a"); // structurally equal, different allocation
-        let mut t = KernelTable::new();
-        assert_eq!(t.intern(&a), 0);
-        assert_eq!(t.intern(&a2), 0);
-        assert_eq!(t.intern(&b), 1);
-        assert_eq!(t.count(), 2);
-        assert_eq!(t.index_of(&a2).unwrap(), 0);
-        assert!(t.index_of(&kernel("x")).is_err());
+    fn bytes_roundtrip_and_cap() {
+        let blob: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut buf = Vec::new();
+        Writer::new(&mut buf).bytes(&blob).unwrap();
+        assert_eq!(Reader::new(buf.as_slice()).bytes(blob.len()).unwrap(), blob);
+        assert!(Reader::new(buf.as_slice()).bytes(blob.len() - 1).is_err());
     }
 
     #[test]
-    fn kernel_table_roundtrip() {
-        let mut t = KernelTable::new();
-        t.intern(&kernel("vs_main"));
-        t.intern(&kernel("vio"));
+    fn truncated_bytes_blob_errors_instead_of_allocating() {
         let mut buf = Vec::new();
-        t.save(&mut Writer::new(&mut buf)).unwrap();
-        let back = KernelTable::restore(&mut Reader::new(buf.as_slice())).unwrap();
-        assert_eq!(back.count(), 2);
-        assert_eq!(back.get(0).unwrap().name, "vs_main");
-        assert_eq!(back.get(1).unwrap().name, "vio");
-        assert!(back.get(2).is_err());
+        write_varint(&mut buf, 1 << 40).unwrap(); // huge claimed length, no payload
+        assert!(Reader::new(buf.as_slice()).bytes(usize::MAX).is_err());
     }
 }

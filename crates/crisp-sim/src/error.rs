@@ -228,6 +228,16 @@ pub enum SimError {
         /// What is wrong.
         message: String,
     },
+    /// The trace source failed mid-run while demand-paging a CTA: an I/O
+    /// error on the underlying reader, or corruption detected when a blob
+    /// was decoded. Also raised at build time when the trace input cannot
+    /// be opened at all.
+    TraceIo {
+        /// Cycle the read was attempted at (0 when opening the input).
+        cycle: u64,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
     /// A checkpoint or profile artifact could not be written or read.
     CheckpointIo {
         /// Cycle the I/O was attempted at.
@@ -248,7 +258,7 @@ impl SimError {
             SimError::CycleBudgetExceeded { ctx, .. }
             | SimError::Deadlock { ctx, .. }
             | SimError::WorkerPanic { ctx, .. } => Some(ctx.cycle),
-            SimError::CheckpointIo { cycle, .. } => Some(*cycle),
+            SimError::CheckpointIo { cycle, .. } | SimError::TraceIo { cycle, .. } => Some(*cycle),
             SimError::InvalidTrace { .. } | SimError::InvalidConfig { .. } => None,
         }
     }
@@ -309,6 +319,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidConfig { message } => {
                 write!(f, "invalid configuration: {message}")
+            }
+            SimError::TraceIo { cycle, message } => {
+                write!(f, "trace source failed at cycle {cycle}: {message}")
             }
             SimError::CheckpointIo {
                 cycle,

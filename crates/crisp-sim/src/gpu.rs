@@ -1,12 +1,12 @@
 //! The whole-GPU simulator: stream dispatch, CTA scheduling under a
 //! partition policy, and the cycle loop.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use crisp_ckpt::{bad, CheckpointState, KernelTable, Reader, Writer};
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_mem::{
     BankMap, CompositionSnapshot, MemReq, MemStats, MemSystem, ReqToken, SetPartition,
     TapController,
@@ -16,7 +16,10 @@ use crisp_obs::{
     TraceRecorder, Track,
 };
 use crisp_sm::{CtaResources, CtaWork, ResourceQuota, Sm, StallBreakdown};
-use crisp_trace::{Command, KernelTrace, Space, StreamId, StreamKind, TraceBundle, SECTOR_BYTES};
+use crisp_trace::{
+    CommandMeta, KernelId, KernelInfo, Space, StreamId, StreamKind, TraceBundle, TraceInput,
+    TraceSource, TraceStats, SECTOR_BYTES,
+};
 
 use crate::config::GpuConfig;
 use crate::error::{DeadlockReport, HangContext, SimError, StreamFrontier};
@@ -95,6 +98,11 @@ pub struct SimResult {
     /// [`Telemetry::TIMELINE`](crate::Telemetry::TIMELINE) or
     /// [`Telemetry::METRICS`](crate::Telemetry::METRICS) was enabled.
     pub timeline: TraceLog,
+    /// Trace-paging statistics from the run's [`TraceSource`]: peak
+    /// resident window and bytes decoded. For a materialized bundle the
+    /// peak equals the whole-bundle size; for a streaming source it
+    /// reflects only the CTAs that were in flight at once.
+    pub trace: TraceStats,
 }
 
 /// Marker label that clears memory-hierarchy statistics when consumed —
@@ -117,6 +125,9 @@ enum Violation {
     Stall,
     /// A worker thread panicked; carries the payload when it was a string.
     WorkerPanic(String),
+    /// The trace source failed to page a CTA in (I/O error or a corrupt
+    /// container detected mid-stream).
+    TraceIo(String),
 }
 
 /// Render a caught panic payload for diagnostics.
@@ -235,7 +246,8 @@ impl SimResult {
 
 #[derive(Debug)]
 struct RunningKernel {
-    kernel: Arc<KernelTrace>,
+    kernel: KernelId,
+    info: Arc<KernelInfo>,
     next_cta: usize,
     outstanding: usize,
     start_cycle: u64,
@@ -245,7 +257,12 @@ struct RunningKernel {
 struct StreamState {
     id: StreamId,
     kind: StreamKind,
-    commands: VecDeque<Command>,
+    /// The stream's full command list from the trace source's directory.
+    /// Instruction payloads are *not* here — CTAs are demand-paged through
+    /// [`TraceSource::fetch_cta`] when dispatched.
+    commands: Vec<CommandMeta>,
+    /// Cursor into `commands`: the next command to consume.
+    next_cmd: usize,
     current: Option<RunningKernel>,
     started: bool,
     finished: bool,
@@ -253,7 +270,12 @@ struct StreamState {
 
 impl StreamState {
     fn work_remains(&self) -> bool {
-        self.current.is_some() || !self.commands.is_empty()
+        self.current.is_some() || self.next_cmd < self.commands.len()
+    }
+
+    /// The next unconsumed command, if any.
+    fn front(&self) -> Option<&CommandMeta> {
+        self.commands.get(self.next_cmd)
     }
 }
 
@@ -299,6 +321,13 @@ pub struct GpuSim {
     mem: MemSystem,
     threads: usize,
     streams: Vec<StreamState>,
+    /// The attached trace source: every CTA's instructions are paged in
+    /// through it at dispatch and released at commit.
+    source: Option<TraceSource>,
+    /// Export `trace/*` residency gauges into the metric registry. Off by
+    /// default so exports stay byte-identical between streaming and
+    /// materialized inputs (paging statistics necessarily differ).
+    pub residency_telemetry: bool,
     slicer: Option<WarpedSlicer>,
     now: u64,
     stats: BTreeMap<StreamId, PerStreamStats>,
@@ -363,6 +392,8 @@ impl GpuSim {
             spec,
             threads: cfg.threads.max(1),
             streams: Vec::new(),
+            source: None,
+            residency_telemetry: false,
             slicer: None,
             now: 0,
             stats: BTreeMap::new(),
@@ -396,16 +427,32 @@ impl GpuSim {
         &self.cfg
     }
 
-    /// Load a bundle of streams and configure stream-dependent partitioning
-    /// (MiG bank masks, TAP controller, warped-slicer).
+    /// Load a fully-materialized bundle of streams. Equivalent to
+    /// [`attach`](Self::attach) with [`TraceSource::from_bundle`]; prefer
+    /// `attach` with a streaming source to keep only in-flight CTAs in RAM.
     ///
     /// # Panics
     ///
     /// Panics if called twice, or if a two-stream policy is given a bundle
     /// without exactly two streams.
     pub fn load(&mut self, bundle: TraceBundle) {
+        self.attach(TraceSource::from_bundle(bundle));
+    }
+
+    /// Attach a [`TraceSource`] and configure stream-dependent partitioning
+    /// (MiG bank masks, TAP controller, warped-slicer). CTA instruction
+    /// payloads are demand-paged through the source at dispatch and dropped
+    /// at commit, so a streaming source keeps only the in-flight window
+    /// resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, or if a two-stream policy is given a source
+    /// without exactly two streams.
+    pub fn attach(&mut self, source: TraceSource) {
         assert!(self.streams.is_empty(), "load() may only be called once");
-        let mut ids: Vec<StreamId> = bundle.streams.iter().map(|s| s.id).collect();
+        let metas: Vec<crisp_trace::StreamMeta> = source.streams().to_vec();
+        let mut ids: Vec<StreamId> = metas.iter().map(|s| s.id).collect();
         ids.sort_unstable();
         // Graphics stream first for slicer convention.
         let ordered_pair = || -> (StreamId, StreamId) {
@@ -414,8 +461,7 @@ impl GpuSim {
                 2,
                 "this partition policy expects exactly two streams"
             );
-            let g = bundle
-                .streams
+            let g = metas
                 .iter()
                 .find(|s| s.kind == StreamKind::Graphics)
                 .map(|s| s.id)
@@ -442,25 +488,32 @@ impl GpuSim {
             let (a, b) = ordered_pair();
             self.slicer = Some(WarpedSlicer::new(slicer_cfg.clone(), a, b));
         }
-        for s in &bundle.streams {
+        for s in &metas {
             let mut mask = vec![false; self.cfg.n_sms];
             for sm in self.spec.sms_for(s.id, self.cfg.n_sms) {
                 mask[sm] = true;
             }
             self.allowed_sms.insert(s.id, mask);
         }
-        for s in bundle.streams {
+        for s in metas {
             self.stats.entry(s.id).or_default();
             self.streams.push(StreamState {
                 id: s.id,
                 kind: s.kind,
-                commands: s.commands.into(),
+                commands: s.commands,
+                next_cmd: 0,
                 current: None,
                 started: false,
                 finished: false,
             });
         }
         self.streams.sort_by_key(|s| s.id);
+        self.source = Some(source);
+    }
+
+    /// The attached trace source, if any (post-run residency inspection).
+    pub fn source(&self) -> Option<&TraceSource> {
+        self.source.as_ref()
     }
 
     /// Worker threads the cycle loop will use (1 = serial).
@@ -592,7 +645,7 @@ impl GpuSim {
             if limit.is_some_and(|l| self.now >= l) {
                 return Ok(false);
             }
-            self.step();
+            self.step().map_err(|e| Violation::TraceIo(e.to_string()))?;
             if let Some(v) = self.budget_violation() {
                 return Err(v);
             }
@@ -612,8 +665,7 @@ impl GpuSim {
     /// kernel completed and the marker is next in line.
     fn parked(&self, st: &StreamState) -> bool {
         self.hold_at_marker.as_deref().is_some_and(|hold| {
-            st.current.is_none()
-                && matches!(st.commands.front(), Some(Command::Marker(l)) if l == hold)
+            st.current.is_none() && matches!(st.front(), Some(CommandMeta::Marker(l)) if l == hold)
         })
     }
 
@@ -650,11 +702,11 @@ impl GpuSim {
             .map(|s| StreamFrontier {
                 id: s.id,
                 finished: s.finished,
-                kernel: s.current.as_ref().map(|k| k.kernel.name.clone()),
+                kernel: s.current.as_ref().map(|k| k.info.name.clone()),
                 next_cta: s.current.as_ref().map_or(0, |k| k.next_cta),
-                grid: s.current.as_ref().map_or(0, |k| k.kernel.grid()),
+                grid: s.current.as_ref().map_or(0, |k| k.info.grid),
                 outstanding: s.current.as_ref().map_or(0, |k| k.outstanding),
-                commands_left: s.commands.len(),
+                commands_left: s.commands.len() - s.next_cmd,
             })
             .collect()
     }
@@ -678,11 +730,21 @@ impl GpuSim {
     /// and capture the partial result. `result()` consumes the recorder,
     /// so it runs last.
     fn failure(&mut self, v: Violation) -> SimError {
+        // Trace I/O failures are not hang-shaped: the machine state is
+        // whatever it was when the read failed, so no diagnostic report or
+        // emergency checkpoint (which would need the broken source) is made.
+        if let Violation::TraceIo(message) = v {
+            return SimError::TraceIo {
+                cycle: self.now,
+                message,
+            };
+        }
         let report = self.deadlock_report();
         let label = match &v {
             Violation::Budget => "crisp:budget-exceeded",
             Violation::Stall => "crisp:watchdog",
             Violation::WorkerPanic(_) => "crisp:worker-panic",
+            Violation::TraceIo(_) => unreachable!("handled above"),
         };
         let now = self.now;
         if let Some(rec) = self.recorder.as_mut() {
@@ -714,27 +776,37 @@ impl GpuSim {
                 ctx,
             },
             Violation::WorkerPanic(message) => SimError::WorkerPanic { message, ctx },
+            Violation::TraceIo(_) => unreachable!("handled above"),
         }
     }
 
     /// Advance exactly one cycle (exposed for incremental drivers).
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-source I/O errors from demand-paging a CTA.
+    pub fn step(&mut self) -> io::Result<()> {
         let mut sms = std::mem::take(&mut self.sms);
         let mut refs: Vec<&mut Sm> = sms.iter_mut().collect();
         let now = self.now;
         self.advance_streams(now, &mut refs);
-        self.issue_ctas(now, &mut refs);
-        for sm in refs.iter_mut() {
-            if !sm.busy() {
-                continue;
+        let issued = self.issue_ctas(now, &mut refs);
+        if issued.is_ok() {
+            for sm in refs.iter_mut() {
+                if !sm.busy() {
+                    continue;
+                }
+                let out = sm.cycle(now);
+                self.absorb_output(now, out);
             }
-            let out = sm.cycle(now);
-            self.absorb_output(now, out);
+            self.finish_cycle(now, &mut refs);
         }
-        self.finish_cycle(now, &mut refs);
         drop(refs);
         self.sms = sms;
-        self.now += 1;
+        if issued.is_ok() {
+            self.now += 1;
+        }
+        issued
     }
 
     /// Fold one SM's cycle output into global accounting: progress
@@ -747,6 +819,12 @@ impl GpuSim {
             if let Some(rec) = self.recorder.as_mut() {
                 rec.cta_committed(commit.seq, now);
             }
+            // The CTA retired: drop its instruction slice from the trace
+            // source's resident window (other warps of the same CTA on
+            // other slots keep their Arc alive until they retire too).
+            if let Some(src) = self.source.as_mut() {
+                src.release_cta(commit.kernel, commit.cta_index);
+            }
             let stats = self.stats.get_mut(&commit.stream).expect("registered");
             stats.ctas += 1;
             let st = self
@@ -757,7 +835,7 @@ impl GpuSim {
             let done = {
                 let r = st.current.as_mut().expect("commit for a running kernel");
                 r.outstanding -= 1;
-                r.outstanding == 0 && r.next_cta >= r.kernel.grid()
+                r.outstanding == 0 && r.next_cta >= r.info.grid
             };
             if done {
                 let r = st.current.take().expect("running kernel");
@@ -765,18 +843,18 @@ impl GpuSim {
                 if let Some(rec) = self.recorder.as_mut() {
                     rec.kernel_span(
                         commit.stream.0,
-                        &r.kernel.name,
+                        &r.info.name,
                         r.start_cycle,
                         now,
-                        r.kernel.grid() as u64,
+                        r.info.grid as u64,
                     );
                 }
                 self.kernel_log.push(KernelRecord {
                     stream: commit.stream,
-                    name: r.kernel.name.clone(),
+                    name: r.info.name.clone(),
                     start_cycle: r.start_cycle,
                     end_cycle: now,
-                    ctas: r.kernel.grid() as u64,
+                    ctas: r.info.grid as u64,
                 });
             }
         }
@@ -886,8 +964,8 @@ impl GpuSim {
                 // The stats-clear marker acts as a full barrier: wait for
                 // in-flight stores to drain so the cleared counters reflect
                 // only post-marker (steady-state) traffic.
-                if matches!(self.streams[si].commands.front(),
-                    Some(Command::Marker(l)) if l == CLEAR_STATS_MARKER)
+                if matches!(self.streams[si].front(),
+                    Some(CommandMeta::Marker(l)) if l == CLEAR_STATS_MARKER)
                     && !self.hierarchy_quiescent(sms)
                 {
                     break;
@@ -897,7 +975,7 @@ impl GpuSim {
                 if self.parked(&self.streams[si]) {
                     break;
                 }
-                let Some(cmd) = self.streams[si].commands.pop_front() else {
+                let Some(cmd) = self.streams[si].front().cloned() else {
                     if !self.streams[si].finished && self.streams[si].started {
                         self.streams[si].finished = true;
                         let id = self.streams[si].id;
@@ -908,8 +986,9 @@ impl GpuSim {
                     }
                     break;
                 };
+                self.streams[si].next_cmd += 1;
                 match cmd {
-                    Command::Marker(label) => {
+                    CommandMeta::Marker(label) => {
                         if let Some(rec) = self.recorder.as_mut() {
                             rec.marker(self.streams[si].id.0, &label, now);
                         }
@@ -922,7 +1001,7 @@ impl GpuSim {
                         // Drawcall boundary: dynamic partitions reset here.
                         self.reset_slicer(now, sms);
                     }
-                    Command::Launch(k) => {
+                    CommandMeta::Launch { kernel, info } => {
                         let id = self.streams[si].id;
                         if !self.streams[si].started {
                             self.streams[si].started = true;
@@ -935,8 +1014,9 @@ impl GpuSim {
                         {
                             // Fail fast on kernels whose CTAs can never be
                             // placed (instead of spinning to the progress
-                            // watchdog).
-                            let res = CtaResources::of_kernel(&k);
+                            // watchdog). Geometry is in the directory, so
+                            // this needs no instruction payload.
+                            let res = CtaResources::of_info(&info);
                             let sm = &self.cfg.sm;
                             assert!(
                                 res.threads <= sm.max_threads
@@ -945,18 +1025,18 @@ impl GpuSim {
                                     && res.smem <= sm.max_smem,
                                 "kernel '{}' needs {res:?} per CTA, which exceeds the SM's \
                                  physical resources",
-                                k.name
+                                info.name
                             );
                         }
-                        if k.grid() == 0 {
+                        if info.grid == 0 {
                             // Empty launch completes instantly.
                             self.stats.get_mut(&id).expect("registered").kernels += 1;
                             if let Some(rec) = self.recorder.as_mut() {
-                                rec.kernel_span(id.0, &k.name, now, now, 0);
+                                rec.kernel_span(id.0, &info.name, now, now, 0);
                             }
                             self.kernel_log.push(KernelRecord {
                                 stream: id,
-                                name: k.name,
+                                name: info.name.clone(),
                                 start_cycle: now,
                                 end_cycle: now,
                                 ctas: 0,
@@ -964,7 +1044,8 @@ impl GpuSim {
                             continue;
                         }
                         self.streams[si].current = Some(RunningKernel {
-                            kernel: Arc::new(k),
+                            kernel,
+                            info,
                             next_cta: 0,
                             outstanding: 0,
                             start_cycle: now,
@@ -1018,10 +1099,12 @@ impl GpuSim {
     }
 
     /// Issue at most one CTA per SM per cycle, honouring the partition.
-    fn issue_ctas(&mut self, now: u64, sms: &mut [&mut Sm]) {
+    /// The CTA's instruction slice is demand-paged through the trace
+    /// source here — the first (and only) decode of that CTA's payload.
+    fn issue_ctas(&mut self, now: u64, sms: &mut [&mut Sm]) -> io::Result<()> {
         let n_streams = self.streams.len();
         if n_streams == 0 {
-            return;
+            return Ok(());
         }
         // Rotate the stream priority in non-greedy modes so no stream is
         // structurally favoured; greedy always starts from stream 0.
@@ -1035,32 +1118,37 @@ impl GpuSim {
         for sm_id in 0..sms.len() {
             for k in 0..n_streams {
                 let si = (start + k) % n_streams;
-                let (id, has_work) = {
+                let (id, pending) = {
                     let st = &self.streams[si];
-                    let has = st
-                        .current
-                        .as_ref()
-                        .is_some_and(|r| r.next_cta < r.kernel.grid());
-                    (st.id, has)
+                    let p = st.current.as_ref().and_then(|r| {
+                        (r.next_cta < r.info.grid).then(|| (r.kernel, r.info.clone(), r.next_cta))
+                    });
+                    (st.id, p)
                 };
-                if !has_work {
+                let Some((kernel, info, cta_index)) = pending else {
                     continue;
-                }
+                };
                 // Inter-SM partitions restrict which SMs a stream may use.
                 if !self.allowed_sms.get(&id).is_none_or(|m| m[sm_id]) {
                     continue;
                 }
                 let quota = self.quota_for(sm_id, id);
-                let running = self.streams[si].current.as_mut().expect("has_work checked");
-                let res = CtaResources::of_kernel(&running.kernel);
+                let res = CtaResources::of_info(&info);
                 if !sms[sm_id].fits(id, res, quota) {
                     continue;
                 }
+                let cta = self
+                    .source
+                    .as_mut()
+                    .expect("a trace source is attached before running")
+                    .fetch_cta(kernel, cta_index)?;
+                let running = self.streams[si].current.as_mut().expect("pending checked");
                 let seq = self.cta_seq;
-                let cta_index = running.next_cta;
                 let work = CtaWork {
                     stream: id,
-                    kernel: running.kernel.clone(),
+                    kernel,
+                    info,
+                    cta,
                     cta_index,
                     seq,
                 };
@@ -1075,6 +1163,7 @@ impl GpuSim {
                 break; // one CTA per SM per cycle
             }
         }
+        Ok(())
     }
 
     fn slicer_tick(&mut self, now: u64, sms: &mut [&mut Sm]) {
@@ -1254,7 +1343,10 @@ impl GpuSim {
                         break;
                     }
                     self.advance_streams(now, &mut refs);
-                    self.issue_ctas(now, &mut refs);
+                    if let Err(e) = self.issue_ctas(now, &mut refs) {
+                        violation = Some(Violation::TraceIo(e.to_string()));
+                        break;
+                    }
                 }
                 // Parallel compute phase: release the workers, wait for all.
                 let poisoned = {
@@ -1381,6 +1473,11 @@ impl GpuSim {
             per_sm_stalls,
             metrics,
             timeline,
+            trace: self
+                .source
+                .as_ref()
+                .map(TraceSource::stats)
+                .unwrap_or_default(),
         }
     }
 
@@ -1432,6 +1529,25 @@ impl GpuSim {
             reg.counter_add("kernel/count", l.clone(), 1);
             reg.observe("kernel/cycles", l, k.elapsed());
         }
+        // Residency gauges are opt-in: paging statistics necessarily differ
+        // between streaming and materialized inputs, and the default export
+        // must stay byte-identical across the two paths.
+        if self.residency_telemetry {
+            if let Some(src) = &self.source {
+                let t = src.stats();
+                let l = Labels::new;
+                reg.gauge_set("trace/resident_ctas", l(), t.resident_ctas as f64);
+                reg.gauge_set("trace/resident_bytes", l(), t.resident_bytes as f64);
+                reg.gauge_set("trace/peak_resident_ctas", l(), t.peak_resident_ctas as f64);
+                reg.gauge_set(
+                    "trace/peak_resident_bytes",
+                    l(),
+                    t.peak_resident_bytes as f64,
+                );
+                reg.gauge_set("trace/ctas_decoded", l(), t.ctas_decoded as f64);
+                reg.gauge_set("trace/bytes_decoded", l(), t.bytes_decoded as f64);
+            }
+        }
         reg.snapshot()
     }
 
@@ -1456,33 +1572,38 @@ impl GpuSim {
     /// number of commands skipped. Streams without the marker are left
     /// untouched (their work runs in detail).
     ///
+    /// # Errors
+    ///
+    /// Propagates trace-source I/O errors from paging the skipped kernels'
+    /// CTAs through for warming.
+    ///
     /// # Panics
     ///
     /// Panics if called after detailed simulation has started.
-    pub fn fast_forward_to_marker(&mut self, label: &str) -> u64 {
+    pub fn fast_forward_to_marker(&mut self, label: &str) -> io::Result<u64> {
         assert!(
             self.now == 0 && !self.sms.iter().any(Sm::busy),
             "fast_forward_to_marker must run before detailed simulation"
         );
         let mut skipped = 0u64;
         for si in 0..self.streams.len() {
-            let has_marker = self.streams[si]
-                .commands
+            let has_marker = self.streams[si].commands[self.streams[si].next_cmd..]
                 .iter()
-                .any(|c| matches!(c, Command::Marker(l) if l == label));
+                .any(|c| matches!(c, CommandMeta::Marker(l) if l == label));
             if !has_marker {
                 continue;
             }
             let id = self.streams[si].id;
-            while let Some(cmd) = self.streams[si].commands.pop_front() {
+            while let Some(cmd) = self.streams[si].front().cloned() {
+                self.streams[si].next_cmd += 1;
                 skipped += 1;
                 match cmd {
-                    Command::Marker(l) => {
+                    CommandMeta::Marker(l) => {
                         if l == label {
                             break;
                         }
                     }
-                    Command::Launch(k) => self.warm_kernel(id, &k),
+                    CommandMeta::Launch { kernel, info } => self.warm_kernel(id, kernel, &info)?,
                 }
             }
         }
@@ -1491,13 +1612,20 @@ impl GpuSim {
         for sm in &mut self.sms {
             sm.port_mut().clear_stats();
         }
-        skipped
+        Ok(skipped)
     }
 
     /// Replay one kernel's memory footprint through the hierarchy without
     /// timing: every global-memory sector visits the L1 of the SM the CTA
     /// would run on, and L1 misses/writes touch the shared L2/DRAM model.
-    fn warm_kernel(&mut self, stream: StreamId, k: &KernelTrace) {
+    /// CTAs are paged in one at a time and released immediately, so
+    /// fast-forwarding over a long prefix stays within the one-CTA window.
+    fn warm_kernel(
+        &mut self,
+        stream: StreamId,
+        kernel: KernelId,
+        info: &KernelInfo,
+    ) -> io::Result<()> {
         let all: Vec<usize> = (0..self.sms.len()).collect();
         let allowed: Vec<usize> = match self.allowed_sms.get(&stream) {
             Some(mask) => {
@@ -1516,7 +1644,12 @@ impl GpuSim {
             None => all,
         };
         let mut chunks = Vec::new();
-        for (cta_index, cta) in k.ctas.iter().enumerate() {
+        for cta_index in 0..info.grid {
+            let cta = self
+                .source
+                .as_mut()
+                .expect("a trace source is attached before fast-forwarding")
+                .fetch_cta(kernel, cta_index)?;
             let sm = allowed[cta_index % allowed.len()];
             let token = ReqToken {
                 sm: sm as u16,
@@ -1543,7 +1676,13 @@ impl GpuSim {
                     }
                 }
             }
+            drop(cta);
+            self.source
+                .as_mut()
+                .expect("checked above")
+                .release_cta(kernel, cta_index);
         }
+        Ok(())
     }
 
     /// Write a checkpoint of the full architectural state to `path`
@@ -1552,7 +1691,7 @@ impl GpuSim {
     /// # Errors
     ///
     /// Propagates filesystem and serialization errors.
-    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+    pub fn save_checkpoint(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -1571,29 +1710,58 @@ impl GpuSim {
     /// `CKPT` format. [`GpuSim::read_checkpoint`] restores a simulator that
     /// continues **bit-identically** at any worker-thread count.
     ///
+    /// Instruction payloads are *not* serialized: the checkpoint records
+    /// the trace source's provenance (its path, or — for in-memory sources
+    /// — the raw CRSP container) plus `(kernel id, cta index)` cursors for
+    /// every resident warp; restore re-opens the source and demand-pages
+    /// the resident window back in. Needs `&mut self` because an in-memory
+    /// source re-serializes its container through its own reader.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors from the sink.
-    pub fn write_checkpoint<W: io::Write>(&self, sink: W) -> io::Result<()> {
+    pub fn write_checkpoint<W: io::Write>(&mut self, sink: W) -> io::Result<()> {
         let mut w = Writer::new(sink);
         w.header()?;
         self.cfg.save(&mut w, ())?;
         self.spec.save(&mut w, ())?;
         w.u64(self.threads as u64)?;
+        w.bool(self.residency_telemetry)?;
 
-        // Kernel interning: every Arc<KernelTrace> alive in the simulator
-        // (running kernels and resident warps) is written once and referred
-        // to by table index, preserving Arc identity across restore.
-        let mut table = KernelTable::new();
-        for st in &self.streams {
-            if let Some(r) = &st.current {
-                table.intern(&r.kernel);
+        // Trace-source provenance: enough to re-open the same container at
+        // restore. Path-backed sources store the path; everything else
+        // embeds the container bytes for a self-contained checkpoint.
+        // Snapshot the paging statistics FIRST: re-encoding the container
+        // pages every CTA through the source, and that bookkeeping must not
+        // leak into the saved counters (or into this sim, which may keep
+        // running after a periodic checkpoint).
+        let tstats = self
+            .source
+            .as_ref()
+            .map(TraceSource::stats)
+            .unwrap_or_default();
+        match self.source.as_mut() {
+            None => w.u8(0)?,
+            Some(src) => {
+                if let Some(p) = src.path().map(Path::to_path_buf) {
+                    w.u8(1)?;
+                    w.str(&p.to_string_lossy())?;
+                } else {
+                    w.u8(2)?;
+                    let bytes = src.container_bytes()?;
+                    w.bytes(&bytes)?;
+                    src.set_stats(tstats);
+                }
             }
         }
-        for sm in &self.sms {
-            sm.intern_kernels(&mut table);
-        }
-        table.save(&mut w)?;
+        // Paging statistics travel with the checkpoint so a resumed run's
+        // cumulative counters continue bit-identically.
+        w.u64(tstats.resident_ctas)?;
+        w.u64(tstats.resident_bytes)?;
+        w.u64(tstats.peak_resident_ctas)?;
+        w.u64(tstats.peak_resident_bytes)?;
+        w.u64(tstats.ctas_decoded)?;
+        w.u64(tstats.bytes_decoded)?;
 
         w.u64(self.now)?;
         w.u64(self.cta_seq)?;
@@ -1603,6 +1771,9 @@ impl GpuSim {
         w.u64(self.composition_interval)?;
         w.u64(self.counter_interval)?;
 
+        // Streams are saved as cursors into the source's directory — not
+        // the command lists themselves, which restore rebuilds from the
+        // re-opened source.
         w.len(self.streams.len())?;
         for st in &self.streams {
             w.stream(st.id)?;
@@ -1610,21 +1781,9 @@ impl GpuSim {
                 StreamKind::Graphics => 0,
                 StreamKind::Compute => 1,
             })?;
-            w.len(st.commands.len())?;
-            for cmd in &st.commands {
-                match cmd {
-                    Command::Launch(k) => {
-                        w.u8(0)?;
-                        w.kernel(k)?;
-                    }
-                    Command::Marker(l) => {
-                        w.u8(1)?;
-                        w.str(l)?;
-                    }
-                }
-            }
+            w.u64(st.next_cmd as u64)?;
             w.option(st.current.as_ref(), |w, r| {
-                w.u64(table.index_of(&r.kernel)?)?;
+                w.u32(r.kernel.0)?;
                 w.u64(r.next_cta as u64)?;
                 w.u64(r.outstanding as u64)?;
                 w.u64(r.start_cycle)
@@ -1680,7 +1839,7 @@ impl GpuSim {
         w.option(self.recorder.as_ref(), save_recorder)?;
 
         for sm in &self.sms {
-            sm.save(&mut w, &table)?;
+            sm.save(&mut w, ())?;
         }
         self.mem.save(&mut w, ())?;
         Ok(())
@@ -1701,7 +1860,31 @@ impl GpuSim {
         let cfg = GpuConfig::restore(&mut r, ())?;
         let spec = PartitionSpec::restore(&mut r, ())?;
         let threads = r.u64()?.clamp(1, 1 << 16) as usize;
-        let table = KernelTable::restore(&mut r)?;
+        let residency_telemetry = r.bool()?;
+
+        // Re-open the trace source from its provenance. Embedded container
+        // bytes become an in-memory *streaming* source, so a resumed run
+        // keeps the same bounded resident window.
+        let mut source = match r.u8()? {
+            0 => None,
+            1 => {
+                let path = PathBuf::from(r.str()?);
+                Some(TraceInput::from(path).open()?)
+            }
+            2 => {
+                let bytes = r.bytes(1 << 32)?;
+                Some(TraceInput::reader(std::io::Cursor::new(bytes)).open()?)
+            }
+            t => return Err(bad(format!("unknown trace-provenance tag {t}"))),
+        };
+        let saved_tstats = TraceStats {
+            resident_ctas: r.u64()?,
+            resident_bytes: r.u64()?,
+            peak_resident_ctas: r.u64()?,
+            peak_resident_bytes: r.u64()?,
+            ctas_decoded: r.u64()?,
+            bytes_decoded: r.u64()?,
+        };
 
         let now = r.u64()?;
         let cta_seq = r.u64()?;
@@ -1720,25 +1903,44 @@ impl GpuSim {
                 1 => StreamKind::Compute,
                 t => return Err(bad(format!("unknown stream-kind tag {t}"))),
             };
-            let n_cmds = r.len(1 << 20)?;
-            let mut commands = VecDeque::with_capacity(n_cmds.min(1 << 12));
-            for _ in 0..n_cmds {
-                commands.push_back(match r.u8()? {
-                    0 => Command::Launch(r.kernel()?),
-                    1 => Command::Marker(r.str()?),
-                    t => return Err(bad(format!("unknown command tag {t}"))),
-                });
+            let next_cmd = r.u64()? as usize;
+            // Commands come from the re-opened source's directory, not the
+            // checkpoint; the cursor is validated against it.
+            let src = source
+                .as_ref()
+                .ok_or_else(|| bad("checkpoint has streams but no trace source"))?;
+            let meta =
+                src.streams().iter().find(|m| m.id == id).ok_or_else(|| {
+                    bad(format!("checkpoint stream {id} missing from trace source"))
+                })?;
+            if meta.kind != kind {
+                return Err(bad(format!("stream {id} kind mismatch with trace source")));
+            }
+            let commands = meta.commands.clone();
+            if next_cmd > commands.len() {
+                return Err(bad(format!(
+                    "stream {id} cursor {next_cmd} past its {} commands",
+                    commands.len()
+                )));
             }
             let current = r.option(|r| {
-                let kernel = table.get(r.u64()?)?;
+                let kernel = KernelId(r.u32()?);
+                let info = src
+                    .kernel_info(kernel)
+                    .ok_or_else(|| bad(format!("running {kernel} missing from trace source")))?
+                    .clone();
+                if src.kernel_stream(kernel) != Some(id) {
+                    return Err(bad(format!("running {kernel} belongs to another stream")));
+                }
                 let next_cta = r.u64()? as usize;
                 let outstanding = r.u64()? as usize;
                 let start_cycle = r.u64()?;
-                if next_cta > kernel.grid() || outstanding > kernel.grid() {
+                if next_cta > info.grid || outstanding > info.grid {
                     return Err(bad("running-kernel cursor past its grid"));
                 }
                 Ok(RunningKernel {
                     kernel,
+                    info,
                     next_cta,
                     outstanding,
                     start_cycle,
@@ -1750,6 +1952,7 @@ impl GpuSim {
                 id,
                 kind,
                 commands,
+                next_cmd,
                 current,
                 started,
                 finished,
@@ -1818,10 +2021,30 @@ impl GpuSim {
 
         let mem_cfg = cfg.mem_config();
         let mut sms = Vec::with_capacity(cfg.n_sms);
-        for i in 0..cfg.n_sms {
-            sms.push(Sm::restore(&mut r, (i, cfg.sm, &mem_cfg, &table))?);
+        {
+            // SM restore pages every resident warp's CTA back in through
+            // the source, re-establishing the Arc sharing of the resident
+            // window. A checkpoint without a source can only hold empty
+            // SMs; the empty fallback makes any warp reference an error.
+            let mut fallback = None;
+            let src: &mut TraceSource = match source.as_mut() {
+                Some(s) => s,
+                None => {
+                    fallback.insert(TraceSource::from_bundle(TraceBundle::from_streams(vec![])))
+                }
+            };
+            for i in 0..cfg.n_sms {
+                sms.push(Sm::restore(&mut r, (i, cfg.sm, &mem_cfg, &mut *src))?);
+            }
         }
         let mem = MemSystem::restore(&mut r, &mem_cfg)?;
+
+        // Restore the paging counters last: the fetches made while paging
+        // the resident window back in must not perturb the checkpointed
+        // cumulative statistics, or a resumed run's exports would diverge.
+        if let Some(s) = source.as_mut() {
+            s.set_stats(saved_tstats);
+        }
 
         Ok(GpuSim {
             cfg,
@@ -1830,6 +2053,8 @@ impl GpuSim {
             mem,
             threads,
             streams,
+            source,
+            residency_telemetry,
             slicer,
             now,
             stats,
@@ -2067,7 +2292,9 @@ fn restore_recorder<R: io::Read>(r: &mut Reader<R>, n_sms: usize) -> io::Result<
 mod tests {
     use super::*;
     use crate::slicer::SlicerConfig;
-    use crisp_trace::{CtaTrace, DataClass, Instr, MemAccess, Op, Reg, Space, Stream, WarpTrace};
+    use crisp_trace::{
+        CtaTrace, DataClass, Instr, KernelTrace, MemAccess, Op, Reg, Space, Stream, WarpTrace,
+    };
 
     const G: StreamId = StreamId(0);
     const C: StreamId = StreamId(1);

@@ -26,7 +26,13 @@
 //! The front door is [`Simulation::builder`]: pick a [`GpuConfig`], a
 //! [`PartitionSpec`], optionally a worker-thread count (`.threads(n)` — the
 //! sharded cycle loop is bit-identical to serial at any count) and a
-//! [`Telemetry`] set, hand it a trace, and `run()`.
+//! [`Telemetry`] set, hand it a trace, and `run()`. `.trace(..)` accepts
+//! anything convertible to a [`TraceInput`] — an in-memory bundle, a path
+//! to a CRSP container, or a seekable reader. Container inputs **stream**:
+//! each CTA's instructions are demand-paged through a [`TraceSource`] on
+//! first dispatch and dropped when the CTA commits, so peak memory tracks
+//! the in-flight window rather than the whole trace, with bit-identical
+//! results either way ([`SimResult::trace`] reports the paging counters).
 //!
 //! Long simulations can **checkpoint and resume**: `.checkpoint_every(n)` /
 //! `.checkpoint_to(dir)` write the full architectural state (warp contexts,
@@ -63,4 +69,7 @@ pub use crisp_sm::{
     CtaDiagnostics, ResourceQuota, SchedulerPolicy, SmConfig, SmDiagnostics, StallBreakdown,
     WarpDiagnostics, WarpStall,
 };
-pub use crisp_trace::{StreamId, StreamKind, TraceBundle, TraceError, TraceErrorKind};
+pub use crisp_trace::{
+    KernelId, KernelInfo, StreamId, StreamKind, TraceBundle, TraceError, TraceErrorKind,
+    TraceInput, TraceSource, TraceStats,
+};

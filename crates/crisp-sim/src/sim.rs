@@ -35,7 +35,7 @@ use crate::gpu::{GpuSim, SimResult, DEFAULT_WATCHDOG};
 use crate::policy::{L2Policy, PartitionSpec, SmPartition};
 use crisp_analyze::{AnalysisConfig, LintLevel};
 use crisp_sm::CtaResources;
-use crisp_trace::{Command, TraceBundle};
+use crisp_trace::{CommandMeta, TraceInput, TraceSource};
 
 /// Which periodic telemetry a simulation records.
 ///
@@ -58,12 +58,18 @@ impl Telemetry {
     /// Periodic counter sampling (per-stream IPC, cache hit rates, DRAM
     /// traffic) into the trace, plus the counter CSV export.
     pub const METRICS: Telemetry = Telemetry(1 << 3);
+    /// Trace-paging residency gauges (`trace/resident_ctas`,
+    /// `trace/bytes_decoded`, …) in the final metrics snapshot — the
+    /// observability half of the streaming [`TraceSource`] path. See
+    /// [`SimResult::trace`](crate::SimResult::trace) for the raw counters.
+    pub const RESIDENCY: Telemetry = Telemetry(1 << 4);
     /// Everything — always the union of every defined flag.
     pub const FULL: Telemetry = Telemetry(
         Telemetry::OCCUPANCY.0
             | Telemetry::COMPOSITION.0
             | Telemetry::TIMELINE.0
-            | Telemetry::METRICS.0,
+            | Telemetry::METRICS.0
+            | Telemetry::RESIDENCY.0,
     );
 
     /// Whether every flag in `other` is enabled.
@@ -134,7 +140,7 @@ pub struct SimulationBuilder {
     checkpoint_every: Option<u64>,
     checkpoint_to: Option<std::path::PathBuf>,
     fast_forward_to: Option<String>,
-    trace: Option<TraceBundle>,
+    trace: Option<TraceInput>,
     watchdog: Option<u64>,
     skip_preflight: bool,
     analyze: LintLevel,
@@ -227,15 +233,81 @@ impl SimulationBuilder {
     /// Skip ahead to the region of interest: functionally drain every
     /// stream's commands up to the first marker named `label`, warming the
     /// cache/DRAM state without charging cycles, then simulate in detail
-    /// from there (see [`GpuSim::fast_forward_to_marker`]).
+    /// from there (see [`GpuSim::fast_forward_to_marker`]). On a streaming
+    /// source the skipped kernels' CTAs are paged in one at a time and
+    /// released immediately, so the fast-forward itself stays within a
+    /// one-CTA resident window.
+    ///
+    /// ```
+    /// use crisp_sim::{GpuConfig, Simulation};
+    /// # use crisp_trace::{CtaTrace, Instr, KernelTrace, Op, Reg, Stream,
+    /// #                   StreamId, StreamKind, TraceBundle, WarpTrace};
+    /// # let mk = |name: &str| {
+    /// #     let mut w = WarpTrace::new();
+    /// #     w.push(Instr::alu(Op::FpFma, Reg(1), &[]));
+    /// #     w.seal();
+    /// #     KernelTrace::new(name, 32, 16, 0, vec![CtaTrace::new(vec![w])])
+    /// # };
+    /// # let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+    /// # s.launch(mk("warmup"));
+    /// # s.marker("roi");
+    /// # s.launch(mk("roi_kernel"));
+    /// # let bundle = TraceBundle::from_streams(vec![s]);
+    /// let result = Simulation::builder()
+    ///     .gpu(GpuConfig::test_tiny())
+    ///     .trace(bundle)
+    ///     .fast_forward_to("roi")
+    ///     .run()
+    ///     .unwrap();
+    /// // Only the kernel after the marker is simulated in detail.
+    /// assert_eq!(result.kernel_log.len(), 1);
+    /// assert_eq!(result.kernel_log[0].name, "roi_kernel");
+    /// ```
     pub fn fast_forward_to(mut self, label: impl Into<String>) -> Self {
         self.fast_forward_to = Some(label.into());
         self
     }
 
-    /// The workload to replay.
-    pub fn trace(mut self, bundle: TraceBundle) -> Self {
-        self.trace = Some(bundle);
+    /// The workload to replay: anything convertible to a [`TraceInput`] —
+    /// an in-memory [`crisp_trace::TraceBundle`], a path to a CRSP
+    /// container, or a seekable reader via [`TraceInput::reader`]. Bundles
+    /// are fully materialized; version-2 containers from paths or readers
+    /// **stream**, demand-paging each CTA's instructions on first dispatch
+    /// and dropping them when the CTA commits. Both forms produce
+    /// bit-identical results.
+    ///
+    /// ```
+    /// use crisp_sim::{GpuConfig, Simulation};
+    /// # use crisp_trace::{CtaTrace, Instr, KernelTrace, Op, Reg, Stream,
+    /// #                   StreamId, StreamKind, TraceBundle, WarpTrace};
+    /// # let mut w = WarpTrace::new();
+    /// # w.push(Instr::alu(Op::FpFma, Reg(1), &[]));
+    /// # w.seal();
+    /// # let k = KernelTrace::new("k", 32, 16, 0, vec![CtaTrace::new(vec![w])]);
+    /// # let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+    /// # s.launch(k);
+    /// # let bundle = TraceBundle::from_streams(vec![s]);
+    /// # let dir = std::env::temp_dir().join("crisp-doc-trace-input");
+    /// # std::fs::create_dir_all(&dir).unwrap();
+    /// # let path = dir.join("workload.crsp");
+    /// # crisp_trace::codec::save(&bundle, &path).unwrap();
+    /// // In-memory bundle: fully materialized.
+    /// let a = Simulation::builder()
+    ///     .gpu(GpuConfig::test_tiny())
+    ///     .trace(bundle)
+    ///     .run()
+    ///     .unwrap();
+    /// // Same workload from disk: CTAs are demand-paged, results identical.
+    /// let b = Simulation::builder()
+    ///     .gpu(GpuConfig::test_tiny())
+    ///     .trace(path)
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(a.cycles, b.cycles);
+    /// assert!(b.trace.peak_resident_bytes > 0);
+    /// ```
+    pub fn trace(mut self, input: impl Into<TraceInput>) -> Self {
+        self.trace = Some(input.into());
         self
     }
 
@@ -249,23 +321,56 @@ impl SimulationBuilder {
     }
 
     /// Enable or disable pre-flight validation of the trace and
-    /// configuration (default: enabled). Disabling it lets structurally
-    /// bad inputs reach the cycle loop — useful only for testing the
-    /// runtime fail-safes themselves (the watchdog, the panic capture) —
-    /// and also disables the [`analyze`](Self::analyze) hook, which runs as
-    /// part of pre-flight.
+    /// configuration (default: enabled). Validation runs **incrementally
+    /// over the trace source** — a single streaming pass with a bounded
+    /// resident window, never materializing the whole bundle. Disabling it
+    /// lets structurally bad inputs reach the cycle loop — useful only for
+    /// testing the runtime fail-safes themselves (the watchdog, the panic
+    /// capture) — and also disables the [`analyze`](Self::analyze) hook,
+    /// which runs as part of pre-flight.
+    ///
+    /// ```
+    /// use crisp_sim::{GpuConfig, SimError, Simulation};
+    /// let mut cfg = GpuConfig::test_tiny();
+    /// cfg.max_cycles = 0;
+    /// // Pre-flight names the problem before the first cycle runs.
+    /// let err = Simulation::builder().gpu(cfg).run().unwrap_err();
+    /// assert!(matches!(err, SimError::InvalidConfig { .. }));
+    /// ```
     pub fn preflight(mut self, enabled: bool) -> Self {
         self.skip_preflight = !enabled;
         self
     }
 
-    /// Run `crisp-analyze` static analysis over the trace bundle during
-    /// pre-flight (default: [`LintLevel::Off`]). With
+    /// Run `crisp-analyze` static analysis over the trace during
+    /// pre-flight (default: [`LintLevel::Off`]). The analysis streams
+    /// kernel-by-kernel over the same [`TraceSource`] the simulation will
+    /// use, so it stays within the paging window. With
     /// [`LintLevel::Errors`], error-severity findings (shared-memory
     /// races, use-before-def) fail the build as
     /// [`SimError::InvalidTrace`]; with [`LintLevel::Deny`], warnings fail
     /// it too. Thresholds and allow/deny entries come from
     /// [`analyze_config`](Self::analyze_config).
+    ///
+    /// ```
+    /// use crisp_sim::{GpuConfig, LintLevel, Simulation};
+    /// # use crisp_trace::{CtaTrace, Instr, KernelTrace, Op, Reg, Stream,
+    /// #                   StreamId, StreamKind, TraceBundle, WarpTrace};
+    /// # let mut w = WarpTrace::new();
+    /// # w.push(Instr::alu(Op::FpFma, Reg(1), &[]));
+    /// # w.seal();
+    /// # let k = KernelTrace::new("k", 32, 16, 0, vec![CtaTrace::new(vec![w])]);
+    /// # let mut s = Stream::new(StreamId(0), StreamKind::Compute);
+    /// # s.launch(k);
+    /// # let bundle = TraceBundle::from_streams(vec![s]);
+    /// // A clean trace passes the lint gate.
+    /// assert!(Simulation::builder()
+    ///     .gpu(GpuConfig::test_tiny())
+    ///     .trace(bundle)
+    ///     .analyze(LintLevel::Errors)
+    ///     .run()
+    ///     .is_ok());
+    /// ```
     pub fn analyze(mut self, level: LintLevel) -> Self {
         self.analyze = level;
         self
@@ -280,11 +385,12 @@ impl SimulationBuilder {
         self
     }
 
-    /// Pre-flight validation: lint the trace bundle
-    /// ([`crisp_trace::validate_bundle`]) and cross-check the
-    /// configuration against it, so bad inputs fail in milliseconds with a
-    /// named error instead of mid-run.
-    fn preflight_check(&self) -> Result<(), SimError> {
+    /// Pre-flight validation: lint the opened trace source incrementally
+    /// ([`crisp_trace::validate_source`] — one streaming pass with a
+    /// bounded resident window) and cross-check the configuration against
+    /// its metadata, so bad inputs fail in milliseconds with a named error
+    /// instead of mid-run.
+    fn preflight_check(&self, mut source: Option<&mut TraceSource>) -> Result<(), SimError> {
         let invalid = |message: String| Err(SimError::InvalidConfig { message });
         let cfg = self
             .gpu
@@ -293,11 +399,15 @@ impl SimulationBuilder {
         if cfg.max_cycles == 0 {
             return invalid("max_cycles is 0 — no cycle could ever run".into());
         }
-        if let Some(bundle) = &self.trace {
-            crisp_trace::validate_bundle(bundle)?;
+        if let Some(src) = source.as_deref_mut() {
+            crisp_trace::validate_source(src)?;
             if self.analyze != LintLevel::Off {
                 let acfg = self.analyze_config.clone().unwrap_or_default();
-                let report = crisp_analyze::analyze_bundle(bundle, &acfg);
+                let report =
+                    crisp_analyze::analyze_source(src, &acfg).map_err(|e| SimError::TraceIo {
+                        cycle: 0,
+                        message: e.to_string(),
+                    })?;
                 let errors: Vec<crisp_trace::TraceError> = match self.analyze {
                     LintLevel::Deny => report
                         .diagnostics
@@ -311,7 +421,7 @@ impl SimulationBuilder {
                 }
             }
         }
-        let n_streams = self.trace.as_ref().map(|b| b.streams.len());
+        let n_streams = source.as_ref().map(|s| s.streams().len());
         let spec_sm = self.partition.as_ref().map(|p| &p.sm);
         match spec_sm {
             Some(SmPartition::InterSm(map)) => {
@@ -390,15 +500,17 @@ impl SimulationBuilder {
                 }
             }
         }
-        if let Some(bundle) = &self.trace {
+        if let Some(src) = source.as_ref() {
             let sm = &cfg.sm;
-            for s in &bundle.streams {
+            for s in src.streams() {
                 for cmd in &s.commands {
-                    let Command::Launch(k) = cmd else { continue };
-                    if k.grid() == 0 {
+                    let CommandMeta::Launch { info, .. } = cmd else {
+                        continue;
+                    };
+                    if info.grid == 0 {
                         continue;
                     }
-                    let res = CtaResources::of_kernel(k);
+                    let res = CtaResources::of_info(info);
                     if res.threads > sm.max_threads
                         || res.warps > sm.max_warps
                         || res.regs > sm.max_regs
@@ -407,16 +519,16 @@ impl SimulationBuilder {
                         return invalid(format!(
                             "kernel '{}' on {} needs {res:?} per CTA, which exceeds \
                              the SM's physical resources",
-                            k.name, s.id
+                            info.name, s.id
                         ));
                     }
                 }
             }
             if let Some(label) = &self.fast_forward_to {
-                let found = bundle.streams.iter().any(|s| {
+                let found = src.streams().iter().any(|s| {
                     s.commands
                         .iter()
-                        .any(|c| matches!(c, Command::Marker(l) if l == label))
+                        .any(|c| matches!(c, CommandMeta::Marker(l) if l == label))
                 });
                 if !found {
                     return invalid(format!(
@@ -452,9 +564,21 @@ impl SimulationBuilder {
         Ok(())
     }
 
+    /// Open the builder's trace input (if any) into a [`TraceSource`].
+    fn open_input(trace: Option<TraceInput>) -> Result<Option<TraceSource>, SimError> {
+        match trace {
+            None => Ok(None),
+            Some(input) => input.open().map(Some).map_err(|e| SimError::TraceIo {
+                cycle: 0,
+                message: e.to_string(),
+            }),
+        }
+    }
+
     /// The unchecked constructor behind [`build`](Self::build) and
-    /// [`try_build`](Self::try_build).
-    fn construct(self) -> GpuSim {
+    /// [`try_build`](Self::try_build); `source` is the already-opened
+    /// trace.
+    fn construct(self, source: Option<TraceSource>) -> Result<GpuSim, SimError> {
         let cfg = self.gpu.unwrap_or_else(GpuConfig::jetson_orin);
         let mut spec = self.partition.unwrap_or_else(PartitionSpec::greedy);
         if let Some(l2) = self.l2 {
@@ -488,13 +612,18 @@ impl SimulationBuilder {
         }
         sim.checkpoint_dir = self.checkpoint_to;
         sim.watchdog = self.watchdog.unwrap_or(DEFAULT_WATCHDOG);
-        if let Some(bundle) = self.trace {
-            sim.load(bundle);
+        sim.residency_telemetry = self.telemetry.contains(Telemetry::RESIDENCY);
+        if let Some(src) = source {
+            sim.attach(src);
         }
         if let Some(label) = self.fast_forward_to {
-            sim.fast_forward_to_marker(&label);
+            sim.fast_forward_to_marker(&label)
+                .map_err(|e| SimError::TraceIo {
+                    cycle: 0,
+                    message: e.to_string(),
+                })?;
         }
-        sim
+        Ok(sim)
     }
 
     /// Construct the configured [`GpuSim`] without running it (incremental
@@ -504,25 +633,39 @@ impl SimulationBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the trace violates the partition policy's expectations
-    /// (see [`GpuSim::load`]).
-    pub fn build(self) -> GpuSim {
-        self.construct()
+    /// Panics if the trace input cannot be opened, a fast-forward read
+    /// fails, or the trace violates the partition policy's expectations
+    /// (see [`GpuSim::attach`]).
+    pub fn build(mut self) -> GpuSim {
+        let source = Self::open_input(self.trace.take()).unwrap_or_else(|e| panic!("{e}"));
+        self.construct(source).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Pre-flight-validate the trace and configuration, then construct the
-    /// [`GpuSim`]. This is what [`run`](Self::run) uses.
+    /// Open the trace input, pre-flight-validate it together with the
+    /// configuration, then construct the [`GpuSim`]. This is what
+    /// [`run`](Self::run) uses. The source is opened **once** and shared by
+    /// validation, analysis, fast-forward, and the simulation itself, so a
+    /// streaming input is read in a single pass with bounded memory.
     ///
     /// # Errors
     ///
-    /// [`SimError::InvalidTrace`] when the bundle fails structural
+    /// [`SimError::TraceIo`] when the input cannot be opened (missing
+    /// file, malformed container, corrupt CTA index),
+    /// [`SimError::InvalidTrace`] when the trace fails structural
     /// validation, [`SimError::InvalidConfig`] when the configuration is
     /// inconsistent with itself or the trace.
-    pub fn try_build(self) -> Result<GpuSim, SimError> {
+    pub fn try_build(mut self) -> Result<GpuSim, SimError> {
+        let mut source = Self::open_input(self.trace.take())?;
         if !self.skip_preflight {
-            self.preflight_check()?;
+            self.preflight_check(source.as_mut())?;
+            // Validation and analysis page CTAs through the source; zero the
+            // accounting so the run's counters start at cycle 0 and results
+            // are identical whether or not the pre-flight pass ran.
+            if let Some(src) = source.as_mut() {
+                src.set_stats(crisp_trace::TraceStats::default());
+            }
         }
-        Ok(self.construct())
+        self.construct(source)
     }
 
     /// Build and run to completion.
@@ -565,7 +708,7 @@ impl SimulationBuilder {
 mod tests {
     use super::*;
     use crisp_trace::{
-        CtaTrace, Instr, KernelTrace, Op, Reg, Stream, StreamId, StreamKind, WarpTrace,
+        CtaTrace, Instr, KernelTrace, Op, Reg, Stream, StreamId, StreamKind, TraceBundle, WarpTrace,
     };
 
     fn bundle() -> TraceBundle {
@@ -595,6 +738,7 @@ mod tests {
         assert!(Telemetry::FULL.contains(Telemetry::COMPOSITION));
         assert!(Telemetry::FULL.contains(Telemetry::TIMELINE));
         assert!(Telemetry::FULL.contains(Telemetry::METRICS));
+        assert!(Telemetry::FULL.contains(Telemetry::RESIDENCY));
         assert!(!Telemetry::NONE.contains(Telemetry::OCCUPANCY));
         // FULL is exactly the union of every defined flag — adding a flag
         // without folding it into FULL is the historical bug this guards.
@@ -602,10 +746,22 @@ mod tests {
             Telemetry::OCCUPANCY
                 | Telemetry::COMPOSITION
                 | Telemetry::TIMELINE
-                | Telemetry::METRICS,
+                | Telemetry::METRICS
+                | Telemetry::RESIDENCY,
             Telemetry::FULL
         );
         assert!(!(Telemetry::OCCUPANCY | Telemetry::COMPOSITION).contains(Telemetry::TIMELINE));
+    }
+
+    #[test]
+    fn residency_flag_reaches_the_sim() {
+        let sim = Simulation::builder()
+            .gpu(GpuConfig::test_tiny())
+            .telemetry(Telemetry::FULL)
+            .build();
+        assert!(sim.residency_telemetry);
+        let sim = Simulation::builder().gpu(GpuConfig::test_tiny()).build();
+        assert!(!sim.residency_telemetry, "not part of the default set");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::io;
 use std::sync::Arc;
 
 use crisp_ckpt::{CheckpointState, Reader, Writer};
-use crisp_trace::{KernelTrace, StreamId, WARP_SIZE};
+use crisp_trace::{CtaTrace, KernelId, KernelInfo, KernelTrace, StreamId, WARP_SIZE};
 
 use crate::config::SmConfig;
 
@@ -39,15 +39,32 @@ impl CtaResources {
             smem: kernel.smem_per_cta,
         }
     }
+
+    /// Requirements of one CTA from launch metadata alone — the streaming
+    /// scheduler sizes CTAs off the [`KernelInfo`] directory without paging
+    /// any instruction payload in.
+    pub fn of_info(info: &KernelInfo) -> Self {
+        CtaResources {
+            threads: info.warps_per_cta() * WARP_SIZE as u32,
+            warps: info.warps_per_cta(),
+            regs: info.regs_per_cta(),
+            smem: info.smem_per_cta,
+        }
+    }
 }
 
-/// One CTA ready to run: a reference into its kernel's trace plus metadata.
+/// One CTA ready to run: its demand-paged instruction trace plus metadata.
 #[derive(Debug, Clone)]
 pub struct CtaWork {
     /// Stream the kernel belongs to.
     pub stream: StreamId,
-    /// The kernel trace (shared, not copied per CTA).
-    pub kernel: Arc<KernelTrace>,
+    /// Which kernel launch of the trace source this CTA belongs to.
+    pub kernel: KernelId,
+    /// Launch geometry (shared with the source's directory).
+    pub info: Arc<KernelInfo>,
+    /// This CTA's instruction streams (shared with the source's resident
+    /// window, not copied per warp).
+    pub cta: Arc<CtaTrace>,
     /// Which CTA of the grid this is.
     pub cta_index: usize,
     /// Global sequence number for commit reporting.
@@ -57,7 +74,7 @@ pub struct CtaWork {
 impl CtaWork {
     /// Resource needs of this CTA.
     pub fn resources(&self) -> CtaResources {
-        CtaResources::of_kernel(&self.kernel)
+        CtaResources::of_info(&self.info)
     }
 }
 

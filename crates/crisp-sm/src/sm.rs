@@ -4,9 +4,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io;
 
-use crisp_ckpt::{bad, CheckpointState, KernelTable, Reader, Writer};
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_mem::{MemConfig, SmMemPort};
-use crisp_trace::{DataClass, Op, Reg, Space, StreamId, SECTOR_BYTES};
+use crisp_trace::{DataClass, KernelId, Op, Reg, Space, StreamId, TraceSource, SECTOR_BYTES};
 
 use crate::config::{SchedulerPolicy, SmConfig};
 use crate::cta::{CtaResources, CtaWork, ResourceQuota, SmResources};
@@ -19,6 +19,9 @@ use crate::warp::{WarpState, WarpStatus};
 pub struct CtaCommit {
     /// Stream the CTA belonged to.
     pub stream: StreamId,
+    /// Kernel launch the CTA belonged to — the GPU scheduler releases the
+    /// CTA's trace window against this handle.
+    pub kernel: KernelId,
     /// The scheduler-assigned sequence number from [`CtaWork::seq`].
     pub seq: u64,
     /// CTA index within its kernel's grid.
@@ -104,6 +107,7 @@ enum StallCause {
 #[derive(Debug)]
 struct ResidentCta {
     stream: StreamId,
+    kernel: KernelId,
     seq: u64,
     cta_index: usize,
     resources: CtaResources,
@@ -223,7 +227,7 @@ impl Sm {
     /// Panics if warp or CTA slots are unexpectedly exhausted.
     pub fn launch_cta(&mut self, work: CtaWork) {
         let res = work.resources();
-        let n_warps = work.kernel.ctas[work.cta_index].warps.len();
+        let n_warps = work.cta.warps.len();
         let cta_slot = self
             .ctas
             .iter()
@@ -246,7 +250,9 @@ impl Sm {
         self.n_resident_warps += n_warps;
         for (wi, &slot) in slots.iter().enumerate() {
             self.warps[slot] = Some(WarpState::new(
-                work.kernel.clone(),
+                work.info.clone(),
+                work.cta.clone(),
+                work.kernel,
                 work.cta_index,
                 wi,
                 cta_slot,
@@ -258,6 +264,7 @@ impl Sm {
         self.resources.allocate(work.stream, res);
         self.ctas[cta_slot] = Some(ResidentCta {
             stream: work.stream,
+            kernel: work.kernel,
             seq: work.seq,
             cta_index: work.cta_index,
             resources: res,
@@ -306,15 +313,6 @@ impl Sm {
             || !self.port.quiescent()
     }
 
-    /// Intern every kernel referenced by a resident warp into `table` so
-    /// that a later [`CheckpointState::save`] can encode warps by table
-    /// index.
-    pub fn intern_kernels(&self, table: &mut KernelTable) {
-        for w in self.warps.iter().flatten() {
-            table.intern(&w.kernel);
-        }
-    }
-
     /// Sectors this SM has presented to the L1 (bandwidth statistic).
     pub fn l1_sectors_issued(&self) -> u64 {
         self.lsu.sectors_issued()
@@ -330,7 +328,7 @@ impl Sm {
         let mut warps = Vec::new();
         for (slot, w) in self.warps.iter().enumerate() {
             let Some(w) = w.as_ref() else { continue };
-            let trace = &w.kernel.ctas[w.cta_index].warps[w.warp_index];
+            let trace = &w.cta.warps[w.warp_index];
             let stall = match w.status {
                 WarpStatus::Exited => WarpStall::Exited,
                 WarpStatus::AtBarrier => WarpStall::Barrier,
@@ -363,7 +361,7 @@ impl Sm {
                 .warp_slots
                 .first()
                 .and_then(|&s| self.warps[s].as_ref())
-                .map(|w| w.kernel.name.clone())
+                .map(|w| w.info.name.clone())
                 .unwrap_or_default();
             ctas.push(CtaDiagnostics {
                 stream: cta.stream,
@@ -711,6 +709,7 @@ impl Sm {
             self.resources.release(cta.stream, cta.resources);
             out.commits.push(CtaCommit {
                 stream: cta.stream,
+                kernel: cta.kernel,
                 seq: cta.seq,
                 cta_index: cta.cta_index,
             });
@@ -754,6 +753,7 @@ impl CheckpointState for ResidentCta {
 
     fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
         w.stream(self.stream)?;
+        w.u32(self.kernel.0)?;
         w.u64(self.seq)?;
         w.u64(self.cta_index as u64)?;
         self.resources.save(w, ())?;
@@ -767,6 +767,7 @@ impl CheckpointState for ResidentCta {
 
     fn restore<R: io::Read>(r: &mut Reader<R>, max_warps: usize) -> io::Result<Self> {
         let stream = r.stream()?;
+        let kernel = KernelId(r.u32()?);
         let seq = r.u64()?;
         let cta_index = r.u64()? as usize;
         let resources = CtaResources::restore(r, ())?;
@@ -786,6 +787,7 @@ impl CheckpointState for ResidentCta {
         }
         Ok(ResidentCta {
             stream,
+            kernel,
             seq,
             cta_index,
             resources,
@@ -797,19 +799,18 @@ impl CheckpointState for ResidentCta {
 }
 
 impl CheckpointState for Sm {
-    /// The checkpoint's kernel table (resident warps reference kernels by
-    /// table index).
-    type SaveCtx<'a> = &'a KernelTable;
-    /// `(sm id, core config, hierarchy config, kernel table)` — everything
-    /// outside the serialized state needed to rebuild the SM.
-    type RestoreCtx<'a> = (usize, SmConfig, &'a MemConfig, &'a KernelTable);
+    type SaveCtx<'a> = ();
+    /// `(sm id, core config, hierarchy config, trace source)` — everything
+    /// outside the serialized state needed to rebuild the SM. Resident
+    /// warps page their CTAs back in through the source.
+    type RestoreCtx<'a> = (usize, SmConfig, &'a MemConfig, &'a mut TraceSource);
 
-    fn save<W: io::Write>(&self, w: &mut Writer<W>, table: &KernelTable) -> io::Result<()> {
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
         w.u64(self.id as u64)?;
         self.resources.save(w, ())?;
         w.len(self.warps.len())?;
         for warp in &self.warps {
-            w.option(warp.as_ref(), |w, ws| ws.save(w, table))?;
+            w.option(warp.as_ref(), |w, ws| ws.save(w, ()))?;
         }
         w.len(self.ctas.len())?;
         for cta in &self.ctas {
@@ -865,7 +866,7 @@ impl CheckpointState for Sm {
 
     fn restore<R: io::Read>(
         r: &mut Reader<R>,
-        (id, cfg, mem_cfg, table): (usize, SmConfig, &MemConfig, &KernelTable),
+        (id, cfg, mem_cfg, source): (usize, SmConfig, &MemConfig, &mut TraceSource),
     ) -> io::Result<Self> {
         let found = r.u64()? as usize;
         if found != id {
@@ -882,7 +883,7 @@ impl CheckpointState for Sm {
         let mut warps = Vec::with_capacity(n);
         let mut n_resident_warps = 0;
         for _ in 0..n {
-            let warp = r.option(|r| WarpState::restore(r, table))?;
+            let warp = r.option(|r| WarpState::restore(r, &mut *source))?;
             if let Some(w) = &warp {
                 if w.cta_slot >= cfg.max_ctas as usize {
                     return Err(bad(format!("warp cta slot {} out of range", w.cta_slot)));
@@ -900,7 +901,13 @@ impl CheckpointState for Sm {
         }
         let mut ctas = Vec::with_capacity(n);
         for _ in 0..n {
-            ctas.push(r.option(|r| ResidentCta::restore(r, max_warps))?);
+            let cta = r.option(|r| ResidentCta::restore(r, max_warps))?;
+            if let Some(c) = &cta {
+                if c.kernel.0 as usize >= source.n_kernels() {
+                    return Err(bad(format!("resident CTA references unknown {}", c.kernel)));
+                }
+            }
+            ctas.push(cta);
         }
         let units = ExecUnits::restore(r, &cfg)?;
         let lsu = Lsu::restore(r, &cfg)?;
@@ -1066,7 +1073,9 @@ mod tests {
     fn launch(sm: &mut Sm, k: &Arc<KernelTrace>, cta_index: usize, seq: u64) {
         let work = CtaWork {
             stream: StreamId(0),
-            kernel: k.clone(),
+            kernel: crisp_trace::KernelId(0),
+            info: Arc::new(crisp_trace::KernelInfo::of(k)),
+            cta: Arc::new(k.ctas[cta_index].clone()),
             cta_index,
             seq,
         };
@@ -1103,6 +1112,7 @@ mod tests {
             commits[0],
             CtaCommit {
                 stream: StreamId(0),
+                kernel: crisp_trace::KernelId(0),
                 seq: 0,
                 cta_index: 0
             }

@@ -3,8 +3,8 @@
 use std::io;
 use std::sync::Arc;
 
-use crisp_ckpt::{bad, CheckpointState, KernelTable, Reader, Writer};
-use crisp_trace::{Instr, KernelTrace, Reg, StreamId};
+use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
+use crisp_trace::{CtaTrace, Instr, KernelId, KernelInfo, Reg, StreamId, TraceSource};
 
 /// Why a warp cannot issue right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +37,13 @@ fn reg_bit(r: Reg) -> u128 {
 /// One resident warp.
 #[derive(Debug, Clone)]
 pub struct WarpState {
-    /// Kernel this warp replays.
-    pub kernel: Arc<KernelTrace>,
+    /// Launch geometry of the kernel this warp replays.
+    pub info: Arc<KernelInfo>,
+    /// The instruction streams of this warp's CTA (shared with the trace
+    /// source's resident window).
+    pub cta: Arc<CtaTrace>,
+    /// Kernel launch the CTA belongs to, for checkpointing and release.
+    pub kernel: KernelId,
     /// CTA index within the grid.
     pub cta_index: usize,
     /// Warp index within the CTA.
@@ -63,8 +68,11 @@ pub struct WarpState {
 
 impl WarpState {
     /// A fresh warp at the start of its trace.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
-        kernel: Arc<KernelTrace>,
+        info: Arc<KernelInfo>,
+        cta: Arc<CtaTrace>,
+        kernel: KernelId,
         cta_index: usize,
         warp_index: usize,
         cta_slot: usize,
@@ -72,6 +80,8 @@ impl WarpState {
         age: u64,
     ) -> Self {
         WarpState {
+            info,
+            cta,
             kernel,
             cta_index,
             warp_index,
@@ -87,7 +97,7 @@ impl WarpState {
 
     /// The next instruction to issue, if the trace has one.
     pub fn next_instr(&self) -> Option<&Instr> {
-        self.kernel.ctas[self.cta_index].warps[self.warp_index].get(self.pc)
+        self.cta.warps[self.warp_index].get(self.pc)
     }
 
     /// Whether the scoreboard blocks `instr` (RAW on sources, WAW on the
@@ -149,13 +159,14 @@ impl WarpState {
 }
 
 impl CheckpointState for WarpState {
-    /// The checkpoint's kernel table; the warp's kernel is written as an
-    /// index into it rather than inline.
-    type SaveCtx<'a> = &'a KernelTable;
-    type RestoreCtx<'a> = &'a KernelTable;
+    /// Warps are written as `(kernel id, cta index)` cursors into the
+    /// checkpoint's trace source rather than inline instruction payloads;
+    /// restore pages the CTA back in through the source.
+    type SaveCtx<'a> = ();
+    type RestoreCtx<'a> = &'a mut TraceSource;
 
-    fn save<W: io::Write>(&self, w: &mut Writer<W>, table: &KernelTable) -> io::Result<()> {
-        w.u64(table.index_of(&self.kernel)?)?;
+    fn save<W: io::Write>(&self, w: &mut Writer<W>, _: ()) -> io::Result<()> {
+        w.u32(self.kernel.0)?;
         w.u64(self.cta_index as u64)?;
         w.u64(self.warp_index as u64)?;
         w.u64(self.cta_slot as u64)?;
@@ -171,16 +182,25 @@ impl CheckpointState for WarpState {
         w.u64(self.age)
     }
 
-    fn restore<R: io::Read>(r: &mut Reader<R>, table: &KernelTable) -> io::Result<Self> {
-        let kernel = table.get(r.u64()?)?;
+    fn restore<R: io::Read>(r: &mut Reader<R>, source: &mut TraceSource) -> io::Result<Self> {
+        let kernel = KernelId(r.u32()?);
         let cta_index = r.u64()? as usize;
         let warp_index = r.u64()? as usize;
         let cta_slot = r.u64()? as usize;
-        let n_ctas = kernel.ctas.len();
-        if cta_index >= n_ctas {
-            return Err(bad(format!("warp cta index {cta_index} >= {n_ctas}")));
+        let info = source
+            .kernel_info(kernel)
+            .ok_or_else(|| bad(format!("warp references unknown {kernel}")))?
+            .clone();
+        if cta_index >= info.grid {
+            return Err(bad(format!(
+                "warp cta index {cta_index} >= grid {}",
+                info.grid
+            )));
         }
-        let n_warps = kernel.ctas[cta_index].warps.len();
+        // Resident-window sharing: every warp of the same CTA gets the same
+        // Arc back, so restore rebuilds exactly the pre-checkpoint sharing.
+        let cta = source.fetch_cta(kernel, cta_index)?;
+        let n_warps = cta.warps.len();
         if warp_index >= n_warps {
             return Err(bad(format!("warp index {warp_index} >= {n_warps}")));
         }
@@ -198,6 +218,8 @@ impl CheckpointState for WarpState {
             t => return Err(bad(format!("bad warp status tag {t}"))),
         };
         Ok(WarpState {
+            info,
+            cta,
             kernel,
             cta_index,
             warp_index,
@@ -221,8 +243,10 @@ mod tests {
         let mut w = WarpTrace::new();
         w.extend(instrs);
         w.seal();
-        let k = KernelTrace::new("k", 32, 8, 0, vec![CtaTrace::new(vec![w])]);
-        WarpState::new(Arc::new(k), 0, 0, 0, StreamId(0), 0)
+        let k = crisp_trace::KernelTrace::new("k", 32, 8, 0, vec![CtaTrace::new(vec![w])]);
+        let info = Arc::new(KernelInfo::of(&k));
+        let cta = Arc::new(k.ctas[0].clone());
+        WarpState::new(info, cta, KernelId(0), 0, 0, 0, StreamId(0), 0)
     }
 
     #[test]

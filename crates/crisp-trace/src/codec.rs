@@ -7,11 +7,18 @@
 //! addresses (consecutive lanes usually touch consecutive addresses, so
 //! deltas are tiny). No external crates; plain `std::io`.
 //!
+//! Since format version 2 the container also carries a **kernel/CTA offset
+//! index**: the stream directory stores, per kernel launch, the byte span of
+//! every CTA's instruction payload. [`TraceSource`](crate::TraceSource) uses
+//! that index to demand-page individual CTAs out of a file without
+//! materializing the whole bundle; this module keeps reading version-1
+//! (index-less) files through a compatibility scan.
+//!
 //! # Example
 //!
 //! ```
 //! # use crisp_trace::*;
-//! # use crisp_trace::codec::{read_bundle, write_bundle};
+//! # use crisp_trace::codec::write_bundle;
 //! let mut s = Stream::new(StreamId(0), StreamKind::Compute);
 //! let mut w = WarpTrace::new();
 //! w.push(Instr::alu(Op::FpFma, Reg(1), &[Reg(2)]));
@@ -21,8 +28,8 @@
 //!
 //! let mut buf = Vec::new();
 //! write_bundle(&bundle, &mut buf)?;
-//! let back = read_bundle(&mut buf.as_slice())?;
-//! assert_eq!(bundle, back);
+//! let mut src = TraceInput::reader(std::io::Cursor::new(buf)).open()?;
+//! assert_eq!(src.to_bundle()?, bundle);
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
@@ -32,8 +39,13 @@ use crate::isa::{DataClass, Instr, MemAccess, Op, Reg, Space, MAX_SRCS};
 use crate::kernel::{CtaTrace, KernelTrace, WarpTrace};
 use crate::stream::{Command, Stream, StreamId, StreamKind, TraceBundle};
 
-const MAGIC: &[u8; 4] = b"CRSP";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"CRSP";
+/// The original, index-less container layout (kernels inline in the stream
+/// directory). Still readable; no longer written.
+pub(crate) const VERSION_V1: u32 = 1;
+/// The indexed layout: a stream directory with per-CTA `(offset, len)` spans
+/// followed by one contiguous payload of self-contained CTA blobs.
+pub(crate) const VERSION_V2: u32 = 2;
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
@@ -351,14 +363,165 @@ pub fn read_kernel<R: Read>(r: &mut R) -> io::Result<KernelTrace> {
     Ok(KernelTrace::new(name, block_threads, regs, smem, ctas))
 }
 
-/// Write a bundle in the CRSP binary format.
+/// Encode one CTA's instruction streams as a self-contained blob:
+/// `n_warps` varint, then per warp `n_instrs` varint + instructions.
+pub(crate) fn write_cta_blob<W: Write>(w: &mut W, cta: &CtaTrace) -> io::Result<()> {
+    write_varint(w, cta.warps.len() as u64)?;
+    for warp in &cta.warps {
+        write_varint(w, warp.len() as u64)?;
+        for i in warp.iter() {
+            write_instr(w, i)?;
+        }
+    }
+    Ok(())
+}
+
+/// Decode a blob written by [`write_cta_blob`]. `max_warps` comes from the
+/// launch geometry; a blob claiming more is structural corruption.
+pub(crate) fn read_cta_blob<R: Read>(r: &mut R, max_warps: usize) -> io::Result<CtaTrace> {
+    let n_warps = read_varint(r)? as usize;
+    if n_warps > max_warps {
+        return Err(bad("cta has more warps than the block geometry allows"));
+    }
+    let mut warps = Vec::with_capacity(n_warps.min(64));
+    for _ in 0..n_warps {
+        let n_instrs = read_varint(r)? as usize;
+        let mut warp = WarpTrace::new();
+        for _ in 0..n_instrs {
+            warp.push(read_instr(r)?);
+        }
+        warps.push(warp);
+    }
+    Ok(CtaTrace::new(warps))
+}
+
+/// Maximum warps per CTA implied by a block size (matches
+/// [`KernelTrace::new`]'s clamping).
+pub(crate) fn max_warps_of(block_threads: u32) -> usize {
+    block_threads
+        .max(crate::WARP_SIZE as u32)
+        .div_ceil(crate::WARP_SIZE as u32) as usize
+}
+
+/// One kernel entry of a version-2 stream directory: launch geometry plus
+/// the byte span of every CTA blob, relative to the payload start.
+#[derive(Debug, Clone)]
+pub(crate) struct DirKernel {
+    pub name: String,
+    pub block_threads: u32,
+    pub regs_per_thread: u32,
+    pub smem_per_cta: u32,
+    /// Per-CTA `(offset, len)` into the payload; the grid size is the length.
+    pub spans: Vec<(u64, u64)>,
+}
+
+/// One command of a version-2 stream directory.
+#[derive(Debug, Clone)]
+pub(crate) enum DirCmd {
+    Launch(DirKernel),
+    Marker(String),
+}
+
+/// One stream of a version-2 directory.
+#[derive(Debug, Clone)]
+pub(crate) struct DirStream {
+    pub id: StreamId,
+    pub kind: StreamKind,
+    pub cmds: Vec<DirCmd>,
+}
+
+/// Serialize a bundle in the version-2 indexed layout, with a hook that lets
+/// the chaos harness corrupt the index on the way out: `mutate_span` sees
+/// every CTA span (global index order) and may rewrite it, and `payload_pad`
+/// appends bytes to the payload that no span covers.
+fn write_bundle_v2_core<W: Write>(
+    bundle: &TraceBundle,
+    w: &mut W,
+    mutate_span: &mut dyn FnMut(usize, (u64, u64)) -> (u64, u64),
+    payload_pad: &[u8],
+) -> io::Result<()> {
+    // Encode every CTA blob into the payload first, recording spans.
+    let mut payload = Vec::new();
+    let mut spans: Vec<(u64, u64)> = Vec::new();
+    for s in &bundle.streams {
+        for c in &s.commands {
+            if let Command::Launch(k) = c {
+                for cta in &k.ctas {
+                    let offset = payload.len() as u64;
+                    write_cta_blob(&mut payload, cta)?;
+                    spans.push((offset, payload.len() as u64 - offset));
+                }
+            }
+        }
+    }
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION_V2.to_le_bytes())?;
+    write_varint(w, bundle.streams.len() as u64)?;
+    let mut span_idx = 0usize;
+    for s in &bundle.streams {
+        w.write_all(&s.id.0.to_le_bytes())?;
+        w.write_all(&[match s.kind {
+            StreamKind::Graphics => 0,
+            StreamKind::Compute => 1,
+        }])?;
+        write_varint(w, s.commands.len() as u64)?;
+        for c in &s.commands {
+            match c {
+                Command::Launch(k) => {
+                    w.write_all(&[0])?;
+                    write_string(w, &k.name)?;
+                    w.write_all(&k.block_threads.to_le_bytes())?;
+                    w.write_all(&k.regs_per_thread.to_le_bytes())?;
+                    w.write_all(&k.smem_per_cta.to_le_bytes())?;
+                    write_varint(w, k.ctas.len() as u64)?;
+                    for _ in &k.ctas {
+                        let (off, len) = mutate_span(span_idx, spans[span_idx]);
+                        span_idx += 1;
+                        write_varint(w, off)?;
+                        write_varint(w, len)?;
+                    }
+                }
+                Command::Marker(m) => {
+                    w.write_all(&[1])?;
+                    write_string(w, m)?;
+                }
+            }
+        }
+    }
+    write_varint(w, payload.len() as u64 + payload_pad.len() as u64)?;
+    w.write_all(&payload)?;
+    w.write_all(payload_pad)
+}
+
+/// Write a bundle in the CRSP binary format (version 2, indexed).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_bundle<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()> {
+    write_bundle_v2_core(bundle, w, &mut |_, s| s, &[])
+}
+
+/// Write a bundle with a corrupted CTA index — the fault-injection hook
+/// behind the chaos harness. `mutate_span` may rewrite any `(offset, len)`
+/// span (called once per CTA in global index order); a non-empty
+/// `payload_pad` leaves payload bytes no span covers.
+#[doc(hidden)]
+pub fn write_bundle_mutated<W: Write>(
+    bundle: &TraceBundle,
+    w: &mut W,
+    mut mutate_span: impl FnMut(usize, (u64, u64)) -> (u64, u64),
+    payload_pad: &[u8],
+) -> io::Result<()> {
+    write_bundle_v2_core(bundle, w, &mut mutate_span, payload_pad)
+}
+
+/// Write a bundle in the legacy version-1 (index-less) layout. Only useful
+/// for exercising the compatibility reader; new files are always version 2.
+#[doc(hidden)]
+pub fn write_bundle_v1<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&VERSION_V1.to_le_bytes())?;
     write_varint(w, bundle.streams.len() as u64)?;
     for s in &bundle.streams {
         w.write_all(&s.id.0.to_le_bytes())?;
@@ -383,15 +546,126 @@ pub fn write_bundle<W: Write>(bundle: &TraceBundle, w: &mut W) -> io::Result<()>
     Ok(())
 }
 
-/// Read a bundle written by [`write_bundle`].
-///
-/// # Errors
-///
-/// Returns `InvalidData` on a bad magic number, version or structure, and
-/// propagates underlying I/O errors.
-pub fn read_bundle<R: Read>(r: &mut R) -> io::Result<TraceBundle> {
-    check_magic(r, MAGIC, "CRSP trace")?;
-    check_version(r, VERSION, "CRSP trace")?;
+/// Read the little-endian `u32` version field after the magic.
+pub(crate) fn read_version<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+pub(crate) fn unsupported_version(found: u32) -> io::Error {
+    bad(&format!(
+        "unsupported CRSP trace version: found {found}, expected 1 or 2"
+    ))
+}
+
+/// Read the stream directory and payload length of a version-2 container
+/// (everything between the version field and the payload bytes), validating
+/// the CTA index: every span must lie inside the payload, spans must not
+/// overlap, and together they must cover the payload exactly.
+pub(crate) fn read_directory_v2<R: Read>(r: &mut R) -> io::Result<(Vec<DirStream>, u64)> {
+    let mut u32buf = [0u8; 4];
+    let n_streams = read_varint(r)? as usize;
+    let mut streams = Vec::with_capacity(n_streams.min(1024));
+    for _ in 0..n_streams {
+        r.read_exact(&mut u32buf)?;
+        let id = StreamId(u32::from_le_bytes(u32buf));
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind)?;
+        let kind = match kind[0] {
+            0 => StreamKind::Graphics,
+            1 => StreamKind::Compute,
+            _ => return Err(bad("bad stream kind")),
+        };
+        let n_cmds = read_varint(r)? as usize;
+        let mut cmds = Vec::with_capacity(n_cmds.min(1 << 16));
+        for _ in 0..n_cmds {
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            match tag[0] {
+                0 => {
+                    let name = read_string(r)?;
+                    r.read_exact(&mut u32buf)?;
+                    let block_threads = u32::from_le_bytes(u32buf);
+                    r.read_exact(&mut u32buf)?;
+                    let regs_per_thread = u32::from_le_bytes(u32buf);
+                    r.read_exact(&mut u32buf)?;
+                    let smem_per_cta = u32::from_le_bytes(u32buf);
+                    let grid = read_varint(r)? as usize;
+                    let mut spans = Vec::with_capacity(grid.min(1 << 20));
+                    for _ in 0..grid {
+                        let off = read_varint(r)?;
+                        let len = read_varint(r)?;
+                        spans.push((off, len));
+                    }
+                    cmds.push(DirCmd::Launch(DirKernel {
+                        name,
+                        block_threads,
+                        regs_per_thread,
+                        smem_per_cta,
+                        spans,
+                    }));
+                }
+                1 => cmds.push(DirCmd::Marker(read_string(r)?)),
+                _ => return Err(bad("bad command tag")),
+            }
+        }
+        if streams.iter().any(|s: &DirStream| s.id == id) {
+            return Err(bad(&format!("duplicate stream id {id} in directory")));
+        }
+        streams.push(DirStream { id, kind, cmds });
+    }
+    let payload_len = read_varint(r)?;
+    validate_index(&streams, payload_len)?;
+    Ok((streams, payload_len))
+}
+
+/// The three structural invariants of the CTA index, each with its own
+/// error so fault injection (and users debugging corrupt files) can tell
+/// them apart: spans in bounds, no overlap, exact payload coverage.
+fn validate_index(streams: &[DirStream], payload_len: u64) -> io::Result<()> {
+    let mut all: Vec<(u64, u64)> = Vec::new();
+    for s in streams {
+        for c in &s.cmds {
+            if let DirCmd::Launch(k) = c {
+                all.extend_from_slice(&k.spans);
+            }
+        }
+    }
+    for &(off, len) in &all {
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| bad("CTA span offset overflow"))?;
+        if end > payload_len {
+            return Err(bad(&format!(
+                "CTA span out of bounds: offset {off} + len {len} exceeds payload of \
+                 {payload_len} bytes"
+            )));
+        }
+    }
+    all.sort_unstable();
+    let mut covered = 0u64;
+    for &(off, len) in &all {
+        if off < covered {
+            return Err(bad("overlapping CTA spans in trace index"));
+        }
+        if off > covered {
+            return Err(bad(&format!(
+                "trace index does not cover the payload: gap at byte {covered}"
+            )));
+        }
+        covered = off + len;
+    }
+    if covered != payload_len {
+        return Err(bad(&format!(
+            "trace index does not cover the payload: {covered} of {payload_len} bytes indexed"
+        )));
+    }
+    Ok(())
+}
+
+/// Read the rest of a version-1 container (after magic + version).
+pub(crate) fn read_bundle_rest_v1<R: Read>(r: &mut R) -> io::Result<TraceBundle> {
     let mut u32buf = [0u8; 4];
     let n_streams = read_varint(r)? as usize;
     let mut streams = Vec::with_capacity(n_streams.min(1024));
@@ -420,9 +694,103 @@ pub fn read_bundle<R: Read>(r: &mut R) -> io::Result<TraceBundle> {
                 _ => return Err(bad("bad command tag")),
             }
         }
+        if streams.iter().any(|x: &Stream| x.id == id) {
+            return Err(bad(&format!("duplicate stream id {id} in directory")));
+        }
         streams.push(s);
     }
     Ok(TraceBundle::from_streams(streams))
+}
+
+/// Read the rest of a version-2 container (after magic + version),
+/// materializing every CTA. The payload is consumed sequentially — the
+/// index validation guarantees spans tile it in offset order — so this
+/// works on plain non-seekable readers.
+pub(crate) fn read_bundle_rest_v2<R: Read>(r: &mut R) -> io::Result<TraceBundle> {
+    let (dir, payload_len) = read_directory_v2(r)?;
+    // Decode blobs in payload order, then hand them back out in index order.
+    let mut order: Vec<(u64, u64, usize, usize, usize)> = Vec::new(); // (off, len, stream, cmd, cta)
+    for (si, s) in dir.iter().enumerate() {
+        for (ci, c) in s.cmds.iter().enumerate() {
+            if let DirCmd::Launch(k) = c {
+                for (cta, &(off, len)) in k.spans.iter().enumerate() {
+                    order.push((off, len, si, ci, cta));
+                }
+            }
+        }
+    }
+    order.sort_unstable();
+    let mut decoded: std::collections::BTreeMap<(usize, usize, usize), CtaTrace> =
+        std::collections::BTreeMap::new();
+    let mut pos = 0u64;
+    for &(off, len, si, ci, cta) in &order {
+        debug_assert_eq!(off, pos, "index validation guarantees exact tiling");
+        let max_warps = match &dir[si].cmds[ci] {
+            DirCmd::Launch(k) => max_warps_of(k.block_threads),
+            DirCmd::Marker(_) => unreachable!("order only holds launches"),
+        };
+        let mut lim = r.take(len);
+        let blob = read_cta_blob(&mut lim, max_warps)?;
+        if lim.limit() != 0 {
+            return Err(bad("CTA blob shorter than its indexed span"));
+        }
+        decoded.insert((si, ci, cta), blob);
+        pos = off + len;
+    }
+    debug_assert_eq!(pos, payload_len);
+    let mut streams = Vec::with_capacity(dir.len());
+    for (si, d) in dir.into_iter().enumerate() {
+        let mut s = Stream::new(d.id, d.kind);
+        for (ci, c) in d.cmds.into_iter().enumerate() {
+            match c {
+                DirCmd::Launch(k) => {
+                    let ctas: Vec<CtaTrace> = (0..k.spans.len())
+                        .map(|cta| decoded.remove(&(si, ci, cta)).expect("decoded above"))
+                        .collect();
+                    s.launch(KernelTrace::new(
+                        k.name,
+                        k.block_threads,
+                        k.regs_per_thread,
+                        k.smem_per_cta,
+                        ctas,
+                    ));
+                }
+                DirCmd::Marker(m) => {
+                    s.marker(m);
+                }
+            }
+        }
+        streams.push(s);
+    }
+    Ok(TraceBundle::from_streams(streams))
+}
+
+/// Internal bundle reader shared by the deprecated entry points and
+/// [`TraceSource`](crate::TraceSource): dispatches on the version field and
+/// materializes the whole bundle.
+pub(crate) fn read_bundle_impl<R: Read>(r: &mut R) -> io::Result<TraceBundle> {
+    check_magic(r, MAGIC, "CRSP trace")?;
+    match read_version(r)? {
+        VERSION_V1 => read_bundle_rest_v1(r),
+        VERSION_V2 => read_bundle_rest_v2(r),
+        found => Err(unsupported_version(found)),
+    }
+}
+
+/// Read a bundle written by [`write_bundle`] (either format version),
+/// materializing every CTA in memory.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic number, version or structure, and
+/// propagates underlying I/O errors.
+#[deprecated(
+    since = "0.6.0",
+    note = "open a `TraceSource` via `TraceInput` instead; it demand-pages CTAs \
+            and still offers `to_bundle()` for full materialization"
+)]
+pub fn read_bundle<R: Read>(r: &mut R) -> io::Result<TraceBundle> {
+    read_bundle_impl(r)
 }
 
 /// Write a bundle to a file.
@@ -436,14 +804,19 @@ pub fn save(bundle: &TraceBundle, path: impl AsRef<std::path::Path>) -> io::Resu
     f.flush()
 }
 
-/// Read a bundle from a file.
+/// Read a bundle from a file, materializing every CTA in memory.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors and format errors from [`read_bundle`].
+#[deprecated(
+    since = "0.6.0",
+    note = "open a `TraceSource` via `TraceInput::from(path).open()` instead; it \
+            demand-pages CTAs and still offers `to_bundle()` for full materialization"
+)]
 pub fn load(path: impl AsRef<std::path::Path>) -> io::Result<TraceBundle> {
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
-    read_bundle(&mut f)
+    read_bundle_impl(&mut f)
 }
 
 #[cfg(test)]
@@ -488,6 +861,25 @@ mod tests {
         let b = sample_bundle();
         let mut buf = Vec::new();
         write_bundle(&b, &mut buf).unwrap();
+        let back = read_bundle_impl(&mut buf.as_slice()).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn v1_compat_roundtrip_preserves_everything() {
+        let b = sample_bundle();
+        let mut buf = Vec::new();
+        write_bundle_v1(&b, &mut buf).unwrap();
+        let back = read_bundle_impl(&mut buf.as_slice()).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn deprecated_entry_points_still_work() {
+        let b = sample_bundle();
+        let mut buf = Vec::new();
+        write_bundle(&b, &mut buf).unwrap();
+        #[allow(deprecated)]
         let back = read_bundle(&mut buf.as_slice()).unwrap();
         assert_eq!(b, back);
     }
@@ -498,7 +890,8 @@ mod tests {
         let mut buf = Vec::new();
         write_bundle(&b, &mut buf).unwrap();
         // 2 streams × (7 instrs × 2 warps); a coalesced 32-lane access costs
-        // a couple of bytes per lane, not 8.
+        // a couple of bytes per lane, not 8. The CTA index adds a few bytes
+        // per CTA on top of the v1 size.
         assert!(buf.len() < 900, "encoding too large: {} bytes", buf.len());
     }
 
@@ -522,14 +915,16 @@ mod tests {
     fn bad_magic_is_rejected() {
         let mut buf = b"NOPE".to_vec();
         buf.extend_from_slice(&1u32.to_le_bytes());
-        assert!(read_bundle(&mut buf.as_slice()).is_err());
+        assert!(read_bundle_impl(&mut buf.as_slice()).is_err());
     }
 
     #[test]
     fn magic_errors_report_found_and_expected() {
         let mut buf = b"CKPT".to_vec();
         buf.extend_from_slice(&1u32.to_le_bytes());
-        let err = read_bundle(&mut buf.as_slice()).unwrap_err().to_string();
+        let err = read_bundle_impl(&mut buf.as_slice())
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("CKPT"), "found magic missing: {err}");
         assert!(err.contains("CRSP"), "expected magic missing: {err}");
     }
@@ -538,12 +933,74 @@ mod tests {
     fn version_errors_report_found_and_expected() {
         let mut buf = MAGIC.to_vec();
         buf.extend_from_slice(&42u32.to_le_bytes());
-        let err = read_bundle(&mut buf.as_slice()).unwrap_err().to_string();
+        let err = read_bundle_impl(&mut buf.as_slice())
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("found 42"), "found version missing: {err}");
         assert!(
-            err.contains("expected 1"),
-            "expected version missing: {err}"
+            err.contains("expected 1 or 2"),
+            "expected versions missing: {err}"
         );
+    }
+
+    #[test]
+    fn out_of_bounds_span_is_a_distinct_error() {
+        let b = sample_bundle();
+        let mut buf = Vec::new();
+        write_bundle_mutated(
+            &b,
+            &mut buf,
+            |i, (off, len)| {
+                if i == 0 {
+                    (off + (1 << 20), len)
+                } else {
+                    (off, len)
+                }
+            },
+            &[],
+        )
+        .unwrap();
+        let err = read_bundle_impl(&mut buf.as_slice())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("out of bounds"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn overlapping_spans_are_a_distinct_error() {
+        let b = sample_bundle();
+        let mut buf = Vec::new();
+        // Point the second CTA span at the first one's bytes.
+        let mut first: Option<(u64, u64)> = None;
+        write_bundle_mutated(
+            &b,
+            &mut buf,
+            |i, span| {
+                if i == 0 {
+                    first = Some(span);
+                    span
+                } else {
+                    first.unwrap()
+                }
+            },
+            &[],
+        )
+        .unwrap();
+        let err = read_bundle_impl(&mut buf.as_slice())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("overlapping"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn uncovered_payload_is_a_distinct_error() {
+        let b = sample_bundle();
+        let mut buf = Vec::new();
+        write_bundle_mutated(&b, &mut buf, |_, s| s, &[0xAA; 7]).unwrap();
+        let err = read_bundle_impl(&mut buf.as_slice())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("does not cover"), "wrong error: {err}");
     }
 
     #[test]
@@ -566,7 +1023,7 @@ mod tests {
         write_bundle(&b, &mut buf).unwrap();
         for cut in [5, 10, buf.len() / 2, buf.len() - 1] {
             assert!(
-                read_bundle(&mut buf[..cut].to_vec().as_slice()).is_err(),
+                read_bundle_impl(&mut buf[..cut].to_vec().as_slice()).is_err(),
                 "cut at {cut}"
             );
         }
@@ -577,6 +1034,7 @@ mod tests {
         let b = sample_bundle();
         let p = std::env::temp_dir().join("crisp_codec_test.crsp");
         save(&b, &p).unwrap();
+        #[allow(deprecated)]
         let back = load(&p).unwrap();
         assert_eq!(b, back);
         let _ = std::fs::remove_file(p);

@@ -32,6 +32,7 @@ mod analysis;
 pub mod codec;
 mod isa;
 mod kernel;
+mod source;
 mod stream;
 pub mod validate;
 
@@ -40,7 +41,12 @@ pub use analysis::{
 };
 pub use isa::{DataClass, Instr, MemAccess, Op, Reg, Space, MAX_SRCS, WARP_SIZE};
 pub use kernel::{CtaTrace, KernelTrace, WarpTrace};
+pub use source::{
+    cta_resident_cost, CommandMeta, KernelId, KernelInfo, StreamMeta, TraceInput, TraceSource,
+    TraceStats,
+};
 pub use stream::{Command, Stream, StreamId, StreamKind, TraceBundle};
 pub use validate::{
-    validate_bundle, validate_kernel, TraceError, TraceErrorKind, TraceErrorSite, SCOREBOARD_REGS,
+    validate_bundle, validate_kernel, validate_source, TraceError, TraceErrorKind, TraceErrorSite,
+    SCOREBOARD_REGS,
 };

@@ -25,6 +25,7 @@ use std::fmt;
 
 use crate::isa::{Op, Space, WARP_SIZE};
 use crate::kernel::{CtaTrace, KernelTrace};
+use crate::source::{CommandMeta, TraceSource};
 use crate::stream::{Command, StreamId, TraceBundle};
 
 /// Number of architectural registers the timing model's scoreboard tracks
@@ -278,6 +279,67 @@ pub fn validate_bundle(bundle: &TraceBundle) -> Result<(), Vec<TraceError>> {
         }
     }
 
+    if lint.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(lint.errors)
+    }
+}
+
+/// Validate a [`TraceSource`] incrementally: kernels are materialized one
+/// at a time (and released again on streaming sources), so a bundle far
+/// larger than RAM lints in bounded memory. The checks and the resulting
+/// error list are identical to [`validate_bundle`] over the materialized
+/// bundle.
+///
+/// # Errors
+///
+/// Returns the full list of [`TraceError`]s when any check fails. An I/O
+/// failure while paging a kernel in surfaces as a
+/// [`TraceErrorKind::Semantic`] with code `trace-io`.
+pub fn validate_source(src: &mut TraceSource) -> Result<(), Vec<TraceError>> {
+    let mut lint = Lint {
+        errors: Vec::new(),
+        site: TraceErrorSite::default(),
+    };
+    let metas = src.streams().to_vec();
+    let mut seen: Vec<StreamId> = Vec::new();
+    for s in &metas {
+        lint.site = TraceErrorSite {
+            stream: Some(s.id),
+            ..Default::default()
+        };
+        if seen.contains(&s.id) {
+            lint.push(TraceErrorKind::DuplicateStreamId);
+        }
+        seen.push(s.id);
+        for cmd in &s.commands {
+            match cmd {
+                CommandMeta::Marker(label) => {
+                    if label.is_empty() {
+                        lint.push(TraceErrorKind::EmptyMarkerLabel);
+                    }
+                }
+                CommandMeta::Launch { kernel, info } => match src.materialize_kernel(*kernel) {
+                    Ok(k) => {
+                        validate_kernel_into(&k, &mut lint);
+                        lint.site = TraceErrorSite {
+                            stream: Some(s.id),
+                            ..Default::default()
+                        };
+                    }
+                    Err(e) => {
+                        lint.site.kernel = Some(info.name.clone());
+                        lint.push(TraceErrorKind::Semantic {
+                            code: "trace-io".into(),
+                            message: e.to_string(),
+                        });
+                        lint.site.kernel = None;
+                    }
+                },
+            }
+        }
+    }
     if lint.errors.is_empty() {
         Ok(())
     } else {
@@ -586,6 +648,32 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| e.kind == TraceErrorKind::OverfullCta { warps: 2, max: 1 }));
+    }
+
+    #[test]
+    fn source_validation_matches_bundle_validation() {
+        let mut bad = WarpTrace::new();
+        bad.push(Instr::alu(Op::IntAlu, Reg(200), &[]));
+        // no seal(): unterminated, plus an out-of-range register
+        let k = kernel_of(vec![bad]);
+        let bundle = bundle_of(k);
+        let expected = validate_bundle(&bundle).unwrap_err();
+
+        let mut bytes = Vec::new();
+        crate::codec::write_bundle(&bundle, &mut bytes).unwrap();
+        let mut src = crate::TraceInput::reader(std::io::Cursor::new(bytes))
+            .open()
+            .unwrap();
+        assert!(src.is_streaming());
+        assert_eq!(validate_source(&mut src).unwrap_err(), expected);
+        // Incremental validation leaves no CTAs resident.
+        assert_eq!(src.stats().resident_ctas, 0);
+
+        let clean = sealed_warp(vec![Instr::alu(Op::FpFma, Reg(1), &[])]);
+        let mut src = crate::TraceInput::from(bundle_of(kernel_of(vec![clean])))
+            .open()
+            .unwrap();
+        assert_eq!(validate_source(&mut src), Ok(()));
     }
 
     #[test]

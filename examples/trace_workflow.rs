@@ -3,8 +3,11 @@
 //! CRISP is trace-driven — the paper's artifact ships pre-collected traces
 //! precisely so simulations can run without the tracing frontend. This
 //! example collects a rendering + compute bundle, saves it in the compact
-//! CRSP binary format, reloads it, and replays it under two different
-//! partition policies.
+//! CRSP binary format, then replays it under two different partition
+//! policies by **streaming straight from the file**: handing `.trace(..)` a
+//! path demand-pages each CTA's instructions on first dispatch and drops
+//! them at commit, so peak memory tracks the in-flight window, not the
+//! container size.
 //!
 //! Run with:
 //! ```sh
@@ -12,7 +15,7 @@
 //! ```
 
 use crisp_core::prelude::*;
-use crisp_core::{concurrent_bundle, simulate, COMPUTE_STREAM, GRAPHICS_STREAM};
+use crisp_core::{concurrent_bundle, COMPUTE_STREAM, GRAPHICS_STREAM};
 use crisp_trace::codec;
 
 fn main() -> std::io::Result<()> {
@@ -37,7 +40,7 @@ fn main() -> std::io::Result<()> {
         size as f64 / bundle.instr_count() as f64
     );
 
-    // 3. Reload and replay under two policies.
+    // 3. Replay under two policies, streaming CTAs straight from the file.
     let gpu = GpuConfig::jetson_orin();
     for (name, spec) in [
         ("greedy", PartitionSpec::greedy()),
@@ -46,9 +49,20 @@ fn main() -> std::io::Result<()> {
             PartitionSpec::fg_even(&gpu, GRAPHICS_STREAM, COMPUTE_STREAM),
         ),
     ] {
-        let loaded = codec::load(&path)?;
-        let r = simulate(gpu.clone(), spec, loaded);
-        println!("replay [{name:8}]: {} cycles", r.cycles);
+        let r = Simulation::builder()
+            .gpu(gpu.clone())
+            .partition(spec)
+            .trace(path.as_path())
+            .run()
+            .unwrap_or_else(|e| panic!("{e}"));
+        println!(
+            "replay [{name:8}]: {} cycles, peak resident trace {} KiB \
+             (container {} KiB, {} CTA fetches)",
+            r.cycles,
+            r.trace.peak_resident_bytes / 1024,
+            size / 1024,
+            r.trace.ctas_decoded,
+        );
     }
     std::fs::remove_file(path)?;
     Ok(())

@@ -413,8 +413,140 @@ fn codec_roundtrips_random_bundles() {
         let bundle = TraceBundle::from_streams(vec![stream]);
         let mut buf = Vec::new();
         crisp_trace::codec::write_bundle(&bundle, &mut buf).expect("write");
-        let back = crisp_trace::codec::read_bundle(&mut buf.as_slice()).expect("read");
+        let back = crisp_trace::TraceInput::reader(std::io::Cursor::new(buf))
+            .open()
+            .and_then(|mut s| s.to_bundle())
+            .expect("read");
         assert_eq!(bundle, back, "seed {seed}");
+    }
+}
+
+/// Streaming: demand-paging CTAs out of an indexed container in a random
+/// fetch/release order reproduces every CTA bit-exactly, and the resident
+/// window shrinks back as CTAs are released.
+#[test]
+fn streaming_source_pages_random_bundles_bit_exactly() {
+    use crisp_trace::{KernelId, TraceInput};
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(seed.wrapping_add(100));
+        let mut stream = Stream::new(StreamId(1), StreamKind::Compute);
+        let n_kernels = rng.range(1, 4);
+        for ki in 0..n_kernels {
+            let (recipe, warps, ctas, regs) = random_kernel(&mut rng, 16);
+            let ctav: Vec<CtaTrace> = (0..ctas.clamp(1, 5))
+                .map(|c| {
+                    CtaTrace::new(
+                        (0..warps.min(2))
+                            .map(|_| warp_from_recipe(&recipe, c as u64))
+                            .collect(),
+                    )
+                })
+                .collect();
+            stream.launch(KernelTrace::new(
+                format!("k{ki}"),
+                32 * warps as u32,
+                regs,
+                0,
+                ctav,
+            ));
+        }
+        let bundle = TraceBundle::from_streams(vec![stream]);
+        let mut buf = Vec::new();
+        crisp_trace::codec::write_bundle(&bundle, &mut buf).expect("write");
+        let mut src = TraceInput::reader(std::io::Cursor::new(buf))
+            .open()
+            .expect("open");
+        assert!(src.is_streaming(), "seed {seed}: v2 containers stream");
+
+        // Fetch every (kernel, cta) pair in a seeded random order, comparing
+        // against the materialized original, releasing as we go.
+        let mut pairs: Vec<(u32, usize)> = Vec::new();
+        let kernels: Vec<&KernelTrace> = bundle.streams[0].kernels().collect();
+        for (ki, k) in kernels.iter().enumerate() {
+            for ci in 0..k.ctas.len() {
+                pairs.push((ki as u32, ci));
+            }
+        }
+        for i in (1..pairs.len()).rev() {
+            pairs.swap(i, rng.range(0, (i + 1) as u64) as usize);
+        }
+        for &(ki, ci) in &pairs {
+            let cta = src.fetch_cta(KernelId(ki), ci).expect("fetch");
+            assert_eq!(*cta, kernels[ki as usize].ctas[ci], "seed {seed}");
+            src.release_cta(KernelId(ki), ci);
+        }
+        assert_eq!(
+            src.stats().resident_ctas,
+            0,
+            "seed {seed}: every fetch was released"
+        );
+        assert_eq!(
+            src.stats().ctas_decoded as usize,
+            pairs.len(),
+            "seed {seed}"
+        );
+    }
+}
+
+/// A corrupted CTA index — spans pointing out of bounds, spans overlapping,
+/// or an index that disagrees with the payload — must fail `open()` with
+/// `Err`, never a panic and never a bogus decode.
+#[test]
+fn corrupt_cta_index_is_rejected_at_open() {
+    let mut rng = Rng::new(23);
+    let mut stream = Stream::new(StreamId(0), StreamKind::Compute);
+    let (recipe, warps, _, regs) = random_kernel(&mut rng, 16);
+    let ctav: Vec<CtaTrace> = (0..4)
+        .map(|c| {
+            CtaTrace::new(
+                (0..warps.min(2))
+                    .map(|_| warp_from_recipe(&recipe, c as u64))
+                    .collect(),
+            )
+        })
+        .collect();
+    stream.launch(KernelTrace::new("k", 32 * warps as u32, regs, 0, ctav));
+    let bundle = TraceBundle::from_streams(vec![stream]);
+
+    type Mutation = (
+        &'static str,
+        fn(usize, (u64, u64)) -> (u64, u64),
+        &'static [u8],
+    );
+    let cases: [Mutation; 4] = [
+        (
+            "span offset past the payload",
+            |_, (_, len)| (u64::MAX / 2, len),
+            &[],
+        ),
+        (
+            "span length past the payload",
+            |_, (off, _)| (off, u64::MAX / 2),
+            &[],
+        ),
+        (
+            "overlapping spans",
+            |i, (off, len)| {
+                if i == 1 {
+                    (off.saturating_sub(1), len)
+                } else {
+                    (off, len)
+                }
+            },
+            &[],
+        ),
+        ("payload bytes no span covers", |_, s| s, b"trailing-junk"),
+    ];
+    for (what, mutate, pad) in cases {
+        let mut buf = Vec::new();
+        crisp_trace::codec::write_bundle_mutated(&bundle, &mut buf, mutate, pad).expect("write");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crisp_trace::TraceInput::reader(std::io::Cursor::new(buf))
+                .open()
+                .and_then(|mut s| s.to_bundle())
+        }));
+        let decoded = result.unwrap_or_else(|_| panic!("{what}: panicked"));
+        assert!(decoded.is_err(), "{what}: must be rejected with Err");
     }
 }
 
@@ -481,7 +613,11 @@ fn corrupt_trace_bundles_are_rejected_not_fatal() {
     crisp_trace::codec::write_bundle(&bundle, &mut bytes).expect("write");
     assert_reader_robust(
         &bytes,
-        |b| crisp_trace::codec::read_bundle(&mut &b[..]),
+        |b| {
+            crisp_trace::TraceInput::reader(std::io::Cursor::new(b.to_vec()))
+                .open()
+                .and_then(|mut s| s.to_bundle())
+        },
         "CRSP bundle",
     );
 }
