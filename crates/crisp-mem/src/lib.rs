@@ -50,6 +50,6 @@ pub use partition::{BankMap, SetPartition, TapConfig, TapController};
 pub use port::SmMemPort;
 pub use req::{Completion, MemReq, ReqToken, SECTORS_PER_LINE};
 pub use stats::{ClassStreamCounters, CompositionSnapshot, MemStats};
-pub use system::{L1AccessResult, MemConfig, MemSystem};
+pub use system::{L1AccessResult, MemConfig, MemSystem, TickTimes};
 
 pub use crisp_trace::{DataClass, StreamId, LINE_BYTES, SECTOR_BYTES};

@@ -37,6 +37,15 @@ pub struct SmMemPort {
     pub(crate) egress: VecDeque<MemReq>,
 }
 
+// Identity lending, so `tick_into` can take `&mut [P] where P:
+// AsMut<SmMemPort>` and accept plain `&mut SmMemPort` slices (std forwards
+// `AsMut` through `&mut`), whole `Sm`s, or anything else that owns a port.
+impl AsMut<SmMemPort> for SmMemPort {
+    fn as_mut(&mut self) -> &mut SmMemPort {
+        self
+    }
+}
+
 impl SmMemPort {
     /// The port for SM `sm` under the given hierarchy configuration.
     pub fn new(sm: u16, cfg: &MemConfig) -> Self {

@@ -13,6 +13,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::io;
+use std::time::Instant;
 
 use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_trace::{DataClass, StreamId};
@@ -114,6 +115,19 @@ fn idx_class(i: u8) -> DataClass {
     }
 }
 
+/// Host-clock sub-phase durations of one [`MemSystem::tick_into`] call,
+/// for the simulator's self-profiler: the port-egress drain (phase 0)
+/// versus the L2/DRAM pipeline advance and response fill (phases 1–3).
+/// Only measured when a `TickTimes` is passed in — the hot path pays no
+/// clock reads otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickTimes {
+    /// Nanoseconds draining port egress queues into the crossbar.
+    pub drain_ns: u64,
+    /// Nanoseconds ticking L2 banks / DRAM and delivering responses.
+    pub mem_ns: u64,
+}
+
 /// A DRAM fetch awaiting return to its L2 bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct DramReturn {
@@ -196,17 +210,49 @@ impl MemSystem {
 
     /// Advance the hierarchy one cycle; returns loads completed this cycle.
     ///
+    /// Convenience wrapper over [`MemSystem::tick_into`] that allocates a
+    /// fresh completion vector. The simulator's cycle loop uses `tick_into`
+    /// with a reused buffer instead.
+    pub fn tick(&mut self, now: u64, ports: &mut [&mut SmMemPort]) -> Vec<Completion> {
+        let mut done = Vec::new();
+        self.tick_into(now, ports, &mut done, None);
+        done
+    }
+
+    /// Advance the hierarchy one cycle, appending loads completed this
+    /// cycle into `done` (cleared first).
+    ///
     /// `ports` must be every SM's port in ascending SM-id order — the drain
     /// and fill phases index it by SM id. The deterministic drain order is
     /// the linchpin of reproducible parallel simulation: whatever thread
     /// cycled each SM, the crossbar sees requests in (SM id, issue order).
-    pub fn tick(&mut self, now: u64, ports: &mut [&mut SmMemPort]) -> Vec<Completion> {
+    /// Anything that can lend a port works — `&mut SmMemPort` or a whole
+    /// `Sm` — so callers need not build a per-cycle `Vec` of references.
+    ///
+    /// Pass `times` to attribute the drain vs. pipeline sub-phases on the
+    /// host clock; `None` skips every clock read.
+    pub fn tick_into<P: AsMut<SmMemPort>>(
+        &mut self,
+        now: u64,
+        ports: &mut [P],
+        done: &mut Vec<Completion>,
+        mut times: Option<&mut TickTimes>,
+    ) {
+        done.clear();
+        let mut t_prev = times.as_ref().map(|_| Instant::now());
+
         // 0. Drain every port's egress queue in ascending SM-id order.
         for port in ports.iter_mut() {
+            let port = port.as_mut();
             while let Some(req) = port.egress.pop_front() {
                 let bank = self.bank_map.bank_of(req.stream, req.addr);
                 self.xbar_in.push(now, bank, req);
             }
+        }
+        if let Some(tt) = times.as_mut() {
+            let t = Instant::now();
+            tt.drain_ns += (t - t_prev.expect("set when times is Some")).as_nanos() as u64;
+            t_prev = Some(t);
         }
 
         // 1. Each L2 bank accepts at most one request per cycle from the
@@ -294,13 +340,12 @@ impl MemSystem {
 
         // 3. Responses arriving at SMs fill their port's L1 and wake merged
         //    loads.
-        let mut done = Vec::new();
         while let Some(&Reverse(r)) = self.responses.peek() {
             if r.ready_at > now {
                 break;
             }
             self.responses.pop();
-            let port = &mut ports[r.sm as usize];
+            let port = ports[r.sm as usize].as_mut();
             for token in port.on_response(r.sector, r.stream, idx_class(r.class_idx)) {
                 done.push(Completion {
                     token,
@@ -309,7 +354,10 @@ impl MemSystem {
                 });
             }
         }
-        done
+        if let Some(tt) = times {
+            tt.mem_ns +=
+                (Instant::now() - t_prev.expect("set when times is Some")).as_nanos() as u64;
+        }
     }
 
     /// Whether any request is still in flight in the shared hierarchy.
@@ -694,6 +742,34 @@ mod tests {
         let _ = run_until_complete(&mut ms, &mut ports, 0, 20_000);
         assert!(ms.dram_bytes(s0) > 0);
         assert_eq!(ms.dram_bytes(s1), 0, "bank isolation still holds under TAP");
+    }
+
+    #[test]
+    fn tick_into_reuses_buffer_and_times_subphases() {
+        let mut ms = MemSystem::new(small_cfg());
+        let mut ports = ms.make_ports();
+        let req = MemReq::read(0x1000, S, DataClass::Compute, tok(0, 7));
+        assert_eq!(ports[0].read(req, 0), L1AccessResult::Pending);
+        // Drive tick_into directly over the owned port slice (no per-cycle
+        // Vec<&mut _>), with a reused buffer and timing enabled.
+        let mut done = Vec::new();
+        let mut times = TickTimes::default();
+        let mut completions = Vec::new();
+        for now in 0..10_000 {
+            ms.tick_into(now, &mut ports, &mut done, Some(&mut times));
+            completions.extend(done.iter().copied());
+            if ms.quiescent() && ports.iter().all(SmMemPort::quiescent) {
+                break;
+            }
+        }
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].token, tok(0, 7));
+        assert!(
+            times.drain_ns > 0 && times.mem_ns > 0,
+            "both sub-phases must accumulate wall time: {times:?}"
+        );
+        // `done` holds only the last cycle's completions (cleared per call).
+        assert!(done.len() <= 1);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Opt-in counting global allocator (feature `alloc-profile`).
+//!
+//! [`CountingAlloc`] wraps the system allocator and, while counting is
+//! [`enable`]d, attributes every allocation to the current thread's tagged
+//! [`HostPhase`] (set via
+//! [`host::set_alloc_phase`](crate::host::set_alloc_phase)) and a
+//! power-of-two size class. Installing it is per *binary*:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: crisp_obs::alloc::CountingAlloc = crisp_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! The feature is off by default and the default allocator is untouched
+//! elsewhere; binaries that do install it pay one relaxed atomic load per
+//! allocation while counting is disabled. All counters are process-global
+//! relaxed atomics — cheap, lock-free, and safe from any thread, including
+//! inside the allocator itself (nothing here allocates).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+use crate::host::{AllocReport, HostPhase};
+
+/// Phase tags: 0 = untagged, 1..=COUNT = `HostPhase as u8 + 1`.
+const N_TAGS: usize = HostPhase::COUNT + 1;
+
+/// Upper bounds (inclusive, bytes) of the allocation size classes.
+pub const CLASS_MAX: [u64; 8] = [16, 32, 64, 128, 256, 1024, 4096, u64::MAX];
+const N_CLASSES: usize = CLASS_MAX.len();
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_ROW: [AtomicU64; N_CLASSES] = [ZERO; N_CLASSES];
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EVER_ENABLED: AtomicBool = AtomicBool::new(false);
+static COUNTS: [[AtomicU64; N_CLASSES]; N_TAGS] = [ZERO_ROW; N_TAGS];
+static BYTES: [AtomicU64; N_TAGS] = [ZERO; N_TAGS];
+
+thread_local! {
+    // const-initialized: reading/writing it never allocates.
+    static PHASE: Cell<u8> = const { Cell::new(0) };
+}
+
+/// Tag this thread's subsequent allocations with phase tag `tag`
+/// (0 = untagged; `HostPhase as u8 + 1` otherwise). Prefer the typed
+/// [`host::set_alloc_phase`](crate::host::set_alloc_phase).
+#[inline]
+pub fn set_phase(tag: u8) {
+    // try_with: never panic inside allocation paths during thread teardown.
+    let _ = PHASE.try_with(|p| p.set(tag));
+}
+
+/// Start counting allocations.
+pub fn enable() {
+    EVER_ENABLED.store(true, Relaxed);
+    ENABLED.store(true, Relaxed);
+}
+
+/// Stop counting allocations (counters keep their values).
+pub fn disable() {
+    ENABLED.store(false, Relaxed);
+}
+
+/// Zero all counters (does not change the enabled state).
+pub fn reset() {
+    for row in &COUNTS {
+        for c in row {
+            c.store(0, Relaxed);
+        }
+    }
+    for b in &BYTES {
+        b.store(0, Relaxed);
+    }
+}
+
+/// Total allocations observed since the last [`reset`].
+pub fn total_count() -> u64 {
+    COUNTS
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|c| c.load(Relaxed))
+        .sum()
+}
+
+/// Total bytes requested since the last [`reset`].
+pub fn total_bytes() -> u64 {
+    BYTES.iter().map(|b| b.load(Relaxed)).sum()
+}
+
+/// Build the per-phase [`AllocReport`], or `None` if counting was never
+/// enabled in this process (distinguishes "no allocations" from "not
+/// measured").
+pub fn report() -> Option<AllocReport> {
+    if !EVER_ENABLED.load(Relaxed) {
+        return None;
+    }
+    let tag_name = |tag: usize| -> &'static str {
+        match tag {
+            0 => "untagged",
+            t => HostPhase::ALL[t - 1].name(),
+        }
+    };
+    let mut by_phase = Vec::new();
+    let mut sites = Vec::new();
+    // Report rows in phase order, untagged last.
+    let order = (1..N_TAGS).chain([0]);
+    for tag in order {
+        let count: u64 = COUNTS[tag].iter().map(|c| c.load(Relaxed)).sum();
+        let bytes = BYTES[tag].load(Relaxed);
+        if count == 0 && bytes == 0 {
+            continue;
+        }
+        by_phase.push((tag_name(tag).to_string(), count, bytes));
+        for (class, c) in COUNTS[tag].iter().enumerate() {
+            let n = c.load(Relaxed);
+            if n > 0 {
+                sites.push((tag_name(tag).to_string(), CLASS_MAX[class], n));
+            }
+        }
+    }
+    // Count-descending; ties broken by phase name then class for stability.
+    sites.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    Some(AllocReport {
+        total_count: total_count(),
+        total_bytes: total_bytes(),
+        by_phase,
+        top_sites: sites,
+    })
+}
+
+#[inline]
+fn class_of(size: usize) -> usize {
+    let size = size as u64;
+    CLASS_MAX.iter().position(|&max| size <= max).unwrap_or(0)
+}
+
+#[inline]
+fn record(size: usize) {
+    if !ENABLED.load(Relaxed) {
+        return;
+    }
+    let tag = PHASE.try_with(|p| p.get()).unwrap_or(0) as usize;
+    let tag = tag.min(N_TAGS - 1);
+    COUNTS[tag][class_of(size)].fetch_add(1, Relaxed);
+    BYTES[tag].fetch_add(size as u64, Relaxed);
+}
+
+/// The counting allocator. Forwards everything to [`System`]; counts
+/// allocations (and reallocation growth) while enabled. Deallocations are
+/// not tracked — the report answers "how often does the hot path hit the
+/// allocator", not "what is live".
+pub struct CountingAlloc;
+
+// SAFETY: pure forwarding to `System`, which upholds the GlobalAlloc
+// contract; the bookkeeping uses only lock-free atomics and a
+// const-initialized thread-local, neither of which can allocate or unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_are_monotonic_and_cover_u64() {
+        assert!(CLASS_MAX.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(16), 0);
+        assert_eq!(class_of(17), 1);
+        assert_eq!(class_of(64), 2);
+        assert_eq!(class_of(1 << 20), N_CLASSES - 1);
+    }
+
+    // NOTE: enable()/record() paths are exercised end-to-end by the
+    // `hostprof_alloc` integration test, which is the only binary that
+    // installs CountingAlloc as the global allocator. Unit tests here would
+    // race with other tests' allocations in this shared-process harness.
+    #[test]
+    fn report_is_none_until_ever_enabled_then_structured() {
+        // This test must not flip EVER_ENABLED before asserting None, and
+        // other tests in this binary never enable counting.
+        assert!(report().is_none());
+        record(100); // disabled → not counted
+        assert_eq!(total_count(), 0);
+        EVER_ENABLED.store(true, Relaxed);
+        COUNTS[1 + HostPhase::Execute as usize][class_of(64)].store(5, Relaxed);
+        BYTES[1 + HostPhase::Execute as usize].store(320, Relaxed);
+        COUNTS[0][class_of(8192)].store(1, Relaxed);
+        BYTES[0].store(8192, Relaxed);
+        let r = report().unwrap();
+        assert_eq!(r.total_count, 6);
+        assert_eq!(r.total_bytes, 8512);
+        assert_eq!(r.by_phase[0], ("execute".to_string(), 5, 320));
+        assert_eq!(r.by_phase[1], ("untagged".to_string(), 1, 8192));
+        assert_eq!(r.top_sites[0], ("execute".to_string(), 64, 5));
+        reset();
+        assert_eq!(total_count(), 0);
+        ENABLED.store(false, Relaxed);
+        EVER_ENABLED.store(false, Relaxed);
+    }
+}

@@ -7,16 +7,31 @@
 //!   nominally microseconds to the viewer),
 //! * instants → `"ph": "i"` events,
 //! * counter samples → `"ph": "C"` counter tracks,
-//! * track naming → `"ph": "M"` `thread_name` metadata, so streams read as
-//!   `stream0`, SMs as `sm3`.
+//! * track naming → `"ph": "M"` `process_name` / `thread_name` metadata, so
+//!   the simulated GPU reads as a named process and streams/SMs as
+//!   `stream0`, `sm3` tracks in Perfetto instead of bare ids.
 //!
 //! Output order is fully determined by the [`TraceLog`] (metadata sorted by
 //! track, then spans in merge order, instants, counters), so two logs that
 //! compare equal export byte-identical JSON.
+//!
+//! # Dual-clock export
+//!
+//! [`write_chrome_trace_with_host`] additionally emits the host-clock
+//! self-profile ([`HostProfile`]) as its **own named process** (pid 1,
+//! "host self-profile") next to the simulated timeline (pid 0): top-level
+//! spans (preflight/analyze/fast-forward/checkpoint I/O) at their real
+//! wall-clock offsets, per-phase driver aggregates and per-shard
+//! execute/wait totals as sequential strips, and heartbeat counter tracks.
+//! Host timestamps are wall-clock **microseconds**; simulated timestamps
+//! are cycles — two clock domains, two processes, one file. The plain
+//! [`write_chrome_trace`] export is unchanged by host profiling, so
+//! byte-identity suites keep comparing it.
 
 use std::collections::BTreeSet;
 use std::io::{self, Write};
 
+use crate::host::{HostPhase, HostProfile};
 use crate::span::{TraceLog, Track};
 
 /// (pid, tid) coordinates of a track in the exported trace.
@@ -47,6 +62,26 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// Comma separator between JSON array elements.
+struct Sep {
+    first: bool,
+}
+
+impl Sep {
+    fn new() -> Self {
+        Sep { first: true }
+    }
+
+    fn emit(&mut self, w: &mut impl Write) -> io::Result<()> {
+        if self.first {
+            self.first = false;
+            Ok(())
+        } else {
+            w.write_all(b",\n")
+        }
+    }
+}
+
 /// Serialize `log` as a Chrome Trace Event Format JSON string.
 pub fn chrome_trace_string(log: &TraceLog) -> String {
     let mut buf = Vec::new();
@@ -54,19 +89,38 @@ pub fn chrome_trace_string(log: &TraceLog) -> String {
     String::from_utf8(buf).expect("exporter emits UTF-8")
 }
 
+/// Serialize `log` plus the host self-profile as one dual-clock trace.
+pub fn chrome_trace_with_host_string(log: &TraceLog, host: &HostProfile) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace_with_host(log, host, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
 /// Write `log` as Chrome Trace Event Format JSON.
 pub fn write_chrome_trace(log: &TraceLog, w: &mut impl Write) -> io::Result<()> {
     w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
-    let mut first = true;
-    let mut sep = |w: &mut dyn Write| -> io::Result<()> {
-        if first {
-            first = false;
-            Ok(())
-        } else {
-            w.write_all(b",\n")
-        }
-    };
+    let mut sep = Sep::new();
+    write_log_events(log, w, &mut sep)?;
+    w.write_all(b"]}\n")
+}
 
+/// Write `log` and the host self-profile as one trace: the simulated GPU as
+/// pid 0 (timestamps in cycles) and the host process as pid 1 (timestamps
+/// in wall-clock microseconds). See the module docs for the layout.
+pub fn write_chrome_trace_with_host(
+    log: &TraceLog,
+    host: &HostProfile,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut sep = Sep::new();
+    write_log_events(log, w, &mut sep)?;
+    write_host_events(host, w, &mut sep)?;
+    w.write_all(b"]}\n")
+}
+
+/// The simulated-GPU process (pid 0): metadata, spans, instants, counters.
+fn write_log_events(log: &TraceLog, w: &mut impl Write, sep: &mut Sep) -> io::Result<()> {
     // Track-name metadata, sorted by track for stable output.
     let mut tracks: BTreeSet<Track> = BTreeSet::new();
     for s in log.spans() {
@@ -78,9 +132,16 @@ pub fn write_chrome_trace(log: &TraceLog, w: &mut impl Write) -> io::Result<()> 
     if !log.counters().is_empty() {
         tracks.insert(Track::Gpu);
     }
+    if !tracks.is_empty() {
+        sep.emit(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"simulated gpu (ts = cycles)\"}}}}",
+        )?;
+    }
     for t in &tracks {
         let (pid, tid) = track_ids(*t);
-        sep(w)?;
+        sep.emit(w)?;
         write!(
             w,
             "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
@@ -90,7 +151,7 @@ pub fn write_chrome_trace(log: &TraceLog, w: &mut impl Write) -> io::Result<()> 
 
     for s in log.spans() {
         let (pid, tid) = track_ids(s.track);
-        sep(w)?;
+        sep.emit(w)?;
         write!(
             w,
             "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":{},\"cat\":{}",
@@ -114,7 +175,7 @@ pub fn write_chrome_trace(log: &TraceLog, w: &mut impl Write) -> io::Result<()> 
 
     for i in log.instants() {
         let (pid, tid) = track_ids(i.track);
-        sep(w)?;
+        sep.emit(w)?;
         write!(
             w,
             "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":{},\"cat\":{}}}",
@@ -126,7 +187,7 @@ pub fn write_chrome_trace(log: &TraceLog, w: &mut impl Write) -> io::Result<()> 
 
     // Counter tracks hang off the GPU process.
     for c in log.counters() {
-        sep(w)?;
+        sep.emit(w)?;
         write!(
             w,
             "{{\"ph\":\"C\",\"pid\":0,\"ts\":{},\"name\":{},\"args\":{{\"value\":{}}}}}",
@@ -135,8 +196,106 @@ pub fn write_chrome_trace(log: &TraceLog, w: &mut impl Write) -> io::Result<()> 
             json_num(c.value),
         )?;
     }
+    Ok(())
+}
 
-    w.write_all(b"]}\n")
+/// The host self-profile process (pid 1). Tids: 0 = driver (top-level spans
+/// at real offsets), 1 = driver phase aggregates (a sequential strip, since
+/// per-cycle phases are accumulated rather than individually timestamped),
+/// 2+i = shard workers (execute/wait aggregate strips).
+fn write_host_events(host: &HostProfile, w: &mut impl Write, sep: &mut Sep) -> io::Result<()> {
+    const PID: u32 = 1;
+    let us = |ns: u64| ns / 1_000;
+    sep.emit(w)?;
+    write!(
+        w,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"name\":\"process_name\",\"args\":{{\"name\":\"host self-profile (ts = us wall-clock)\"}}}}",
+    )?;
+    sep.emit(w)?;
+    write!(
+        w,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"thread_name\",\"args\":{{\"name\":\"driver\"}}}}",
+    )?;
+    sep.emit(w)?;
+    write!(
+        w,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":1,\"name\":\"thread_name\",\"args\":{{\"name\":\"driver phases (aggregate)\"}}}}",
+    )?;
+    for i in 0..host.shards.len() {
+        sep.emit(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+            2 + i,
+            json_str(&format!("shard{i} (aggregate)")),
+        )?;
+    }
+
+    // Top-level spans at their real wall-clock offsets.
+    for s in &host.spans {
+        sep.emit(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":0,\"ts\":{},\"dur\":{},\"name\":{},\"cat\":\"host\"}}",
+            us(s.start_ns),
+            us(s.dur_ns).max(1),
+            json_str(&format!("{}:{}", s.phase.name(), s.label)),
+        )?;
+    }
+
+    // Per-phase driver totals as a back-to-back strip.
+    let mut cursor = 0u64;
+    for p in HostPhase::ALL {
+        let dur = us(host.driver.get(p));
+        if dur == 0 {
+            continue;
+        }
+        sep.emit(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":1,\"ts\":{cursor},\"dur\":{dur},\"name\":{},\"cat\":\"host\"}}",
+            json_str(p.name()),
+        )?;
+        cursor += dur;
+    }
+
+    // Per-shard execute/wait strips.
+    for (i, sh) in host.shards.iter().enumerate() {
+        let tid = 2 + i;
+        let (exec, wait) = (us(sh.execute_ns), us(sh.wait_ns));
+        if exec > 0 {
+            sep.emit(w)?;
+            write!(
+                w,
+                "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"ts\":0,\"dur\":{exec},\"name\":\"execute\",\"cat\":\"host\"}}",
+            )?;
+        }
+        if wait > 0 {
+            sep.emit(w)?;
+            write!(
+                w,
+                "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"ts\":{exec},\"dur\":{wait},\"name\":\"barrier-wait\",\"cat\":\"host\"}}",
+            )?;
+        }
+    }
+
+    // Heartbeat counter tracks at real offsets.
+    for hb in &host.heartbeats {
+        let ts = us(hb.wall_ns);
+        sep.emit(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"C\",\"pid\":{PID},\"ts\":{ts},\"name\":\"host/cycles_per_sec\",\"args\":{{\"value\":{}}}}}",
+            json_num(hb.cycles_per_sec),
+        )?;
+        sep.emit(w)?;
+        write!(
+            w,
+            "{{\"ph\":\"C\",\"pid\":{PID},\"ts\":{ts},\"name\":\"host/shard_skew\",\"args\":{{\"value\":{}}}}}",
+            json_num(hb.shard_skew),
+        )?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -178,5 +337,78 @@ mod tests {
             chrome_trace_string(&sample_log()),
             chrome_trace_string(&sample_log())
         );
+    }
+
+    #[test]
+    fn process_names_are_emitted() {
+        let s = chrome_trace_string(&sample_log());
+        assert!(s.contains("process_name"));
+        assert!(s.contains("simulated gpu"));
+    }
+
+    fn sample_host_profile() -> crate::host::HostProfile {
+        use crate::host::{HostPhase, HostProfiler, ShardTimes};
+        let mut p = HostProfiler::new(10);
+        p.set_workers(2);
+        p.add(HostPhase::Dispatch, 3_000_000);
+        p.add(HostPhase::Execute, 9_000_000);
+        let t0 = p.elapsed_ns();
+        p.span_end(
+            HostPhase::Preflight,
+            "validate",
+            t0.saturating_sub(2_000_000),
+        );
+        p.merge_shard(
+            0,
+            ShardTimes {
+                execute_ns: 8_000_000,
+                wait_ns: 1_000_000,
+                cycles: 100,
+            },
+        );
+        p.merge_shard(
+            1,
+            ShardTimes {
+                execute_ns: 5_000_000,
+                wait_ns: 4_000_000,
+                cycles: 100,
+            },
+        );
+        p.heartbeat(10, 0, &[50, 50]);
+        p.finish(100, 1000, None)
+    }
+
+    #[test]
+    fn host_export_is_valid_json_with_named_host_process() {
+        let host = sample_host_profile();
+        let s = chrome_trace_with_host_string(&sample_log(), &host);
+        json::validate(&s).expect("dual-clock export must be well-formed JSON");
+        assert!(s.contains("host self-profile"));
+        assert!(s.contains("\"driver\""));
+        assert!(s.contains("shard0 (aggregate)"));
+        assert!(s.contains("preflight:validate"));
+        assert!(s.contains("barrier-wait"));
+        assert!(s.contains("host/cycles_per_sec"));
+        // Host events live on pid 1, never pid 0.
+        assert!(s.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn host_export_leaves_sim_process_untouched() {
+        // The sim-only export must be a prefix-compatible subset: every
+        // pid-0 event line identical with and without the host process.
+        let plain = chrome_trace_string(&sample_log());
+        let dual = chrome_trace_with_host_string(&sample_log(), &sample_host_profile());
+        let sim_events = |s: &str| -> Vec<String> {
+            s.trim_start_matches("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+                .trim_end()
+                .trim_end_matches("]}")
+                .split(",\n")
+                .filter(|e| e.contains("\"pid\":0"))
+                .map(|e| e.to_string())
+                .collect()
+        };
+        assert!(!sim_events(&plain).is_empty());
+        assert_eq!(sim_events(&plain), sim_events(&dual));
     }
 }

@@ -25,13 +25,22 @@
 //! nothing about the simulator: `crisp-sim` feeds it plain integers. That
 //! keeps the recording hot path trivially cheap and lets any layer of the
 //! stack (SM, LSU, memory system, GPU loop, bench bins) share one registry.
+//!
+//! A second clock domain lives in [`host`]: wall-clock self-profiling of
+//! the simulator's *own* execution (phase attribution, shard imbalance,
+//! heartbeat throughput, and — behind the off-by-default `alloc-profile`
+//! feature — per-phase allocation accounting via the `alloc` module).
 
+#[cfg(feature = "alloc-profile")]
+pub mod alloc;
 pub mod chrome;
 pub mod csv;
+pub mod host;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
 
+pub use host::{Heartbeat, HostPhase, HostProfile, HostProfiler};
 pub use registry::{Histogram, Labels, MetricRegistry, MetricValue, MetricsSnapshot};
 pub use span::{CounterSample, InstantEvent, SpanEvent, TraceLog, TraceRecorder, Track};

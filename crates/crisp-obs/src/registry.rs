@@ -217,6 +217,17 @@ impl MetricRegistry {
             metrics: self.metrics,
         }
     }
+
+    /// A point-in-time snapshot of a *live* registry (clones the current
+    /// state, leaving the registry writable). Pair two of these with
+    /// [`MetricsSnapshot::counter_delta`] to compute rates over an
+    /// interval — the heartbeat sampler and (later) `crisp-serve` health
+    /// endpoints are the intended consumers.
+    pub fn snapshot_now(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self.metrics.clone(),
+        }
+    }
 }
 
 /// An immutable, deterministically-ordered view of a finished registry.
@@ -286,6 +297,31 @@ impl MetricsSnapshot {
     /// Whether the snapshot holds no metrics.
     pub fn is_empty(&self) -> bool {
         self.metrics.is_empty()
+    }
+
+    /// How much the counter `name{labels}` grew since `baseline` was taken
+    /// (saturating at 0; a counter absent from either side counts as 0).
+    pub fn counter_delta(&self, baseline: &MetricsSnapshot, name: &str, labels: &Labels) -> u64 {
+        self.counter(name, labels)
+            .unwrap_or(0)
+            .saturating_sub(baseline.counter(name, labels).unwrap_or(0))
+    }
+
+    /// Every counter in `self` with its growth since `baseline`, in
+    /// `(name, labels)` order. Counters that first appeared after the
+    /// baseline report their full value; gauges and histograms are skipped.
+    pub fn counter_deltas<'a>(
+        &'a self,
+        baseline: &'a MetricsSnapshot,
+    ) -> impl Iterator<Item = (&'a str, &'a Labels, u64)> {
+        self.iter().filter_map(move |(name, labels, v)| match v {
+            MetricValue::Counter(c) => Some((
+                name,
+                labels,
+                c.saturating_sub(baseline.counter(name, labels).unwrap_or(0)),
+            )),
+            _ => None,
+        })
     }
 
     /// A plain-text listing (one `name{labels} value` line per metric) —
@@ -382,6 +418,38 @@ mod tests {
         b.counter_add("a", Labels::new().with("x", 1), 2);
         b.counter_add("b", Labels::new(), 1);
         assert_eq!(a.snapshot().to_text(), b.snapshot().to_text());
+    }
+
+    #[test]
+    fn snapshot_now_diffs_counters() {
+        let mut r = MetricRegistry::new();
+        let l = Labels::new().with("sm", 0);
+        r.counter_add("sm/issued", l.clone(), 10);
+        r.gauge_set("ipc", Labels::new(), 1.5);
+        let base = r.snapshot_now();
+        // The registry stays live after snapshot_now.
+        r.counter_add("sm/issued", l.clone(), 7);
+        r.counter_add("sm/stalls", l.clone(), 3);
+        r.gauge_set("ipc", Labels::new(), 2.0);
+        let now = r.snapshot_now();
+
+        assert_eq!(now.counter_delta(&base, "sm/issued", &l), 7);
+        // New counter since baseline → full value.
+        assert_eq!(now.counter_delta(&base, "sm/stalls", &l), 3);
+        // Absent counter → 0, never a panic.
+        assert_eq!(now.counter_delta(&base, "nope", &l), 0);
+        // Shrinking (shouldn't happen for counters) saturates at 0.
+        assert_eq!(base.counter_delta(&now, "sm/issued", &l), 0);
+
+        let deltas: Vec<_> = now
+            .counter_deltas(&base)
+            .map(|(n, _, d)| (n.to_string(), d))
+            .collect();
+        assert_eq!(
+            deltas,
+            vec![("sm/issued".to_string(), 7), ("sm/stalls".to_string(), 3)],
+            "gauges are skipped, order is (name, labels)"
+        );
     }
 
     #[test]

@@ -5,17 +5,19 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crisp_ckpt::{bad, CheckpointState, Reader, Writer};
 use crisp_mem::{
-    BankMap, CompositionSnapshot, MemReq, MemStats, MemSystem, ReqToken, SetPartition,
-    TapController,
+    BankMap, Completion, CompositionSnapshot, MemReq, MemStats, MemSystem, ReqToken, SetPartition,
+    TapController, TickTimes,
 };
+use crisp_obs::host::{set_alloc_phase, HostPhase, HostProfile, HostProfiler, ShardTimes};
 use crisp_obs::{
     CounterSample, InstantEvent, Labels, MetricRegistry, MetricsSnapshot, SpanEvent, TraceLog,
     TraceRecorder, Track,
 };
-use crisp_sm::{CtaResources, CtaWork, ResourceQuota, Sm, StallBreakdown};
+use crisp_sm::{CtaResources, CtaWork, CycleOutput, ResourceQuota, Sm, StallBreakdown};
 use crisp_trace::{
     CommandMeta, KernelId, KernelInfo, Space, StreamId, StreamKind, TraceBundle, TraceInput,
     TraceSource, TraceStats, SECTOR_BYTES,
@@ -103,6 +105,14 @@ pub struct SimResult {
     /// peak equals the whole-bundle size; for a streaming source it
     /// reflects only the CTAs that were in flight at once.
     pub trace: TraceStats,
+    /// Host-clock self-profile: wall-clock attribution of the simulator's
+    /// own phases (dispatch, execute, barrier wait, memory tick, telemetry,
+    /// …), per-shard imbalance, heartbeats, and — when the `alloc-profile`
+    /// feature's counting allocator is installed — allocation accounting.
+    /// `None` unless the run was built with `.host_profile(true)`. Purely
+    /// observational: simulated results and the sim-clock exports are
+    /// byte-identical with or without it.
+    pub host_profile: Option<HostProfile>,
 }
 
 /// Marker label that clears memory-hierarchy statistics when consumed —
@@ -169,9 +179,31 @@ impl SimResult {
     }
 
     /// The run's timeline as Chrome Trace Event Format JSON — load it at
-    /// <https://ui.perfetto.dev> or `chrome://tracing`.
+    /// <https://ui.perfetto.dev> or `chrome://tracing`. Sim clock only
+    /// (`ts` = cycles); the host self-profile is never mixed in here, so
+    /// this export stays byte-identical whether or not profiling ran.
     pub fn chrome_trace_json(&self) -> String {
         crisp_obs::chrome::chrome_trace_string(&self.timeline)
+    }
+
+    /// The dual-clock trace: the simulated timeline (`ts` = cycles) plus
+    /// the host self-profile as its own named process (`ts` = µs of
+    /// wall-clock). Falls back to [`chrome_trace_json`](Self::chrome_trace_json)
+    /// when the run was not profiled.
+    pub fn chrome_trace_json_with_host(&self) -> String {
+        match &self.host_profile {
+            Some(h) => crisp_obs::chrome::chrome_trace_with_host_string(&self.timeline, h),
+            None => self.chrome_trace_json(),
+        }
+    }
+
+    /// The human-readable host self-profile report (phase table, shard
+    /// balance, heartbeat trajectory, allocation accounting).
+    pub fn host_report(&self) -> String {
+        match &self.host_profile {
+            Some(h) => h.report(),
+            None => "host profiling disabled (build with .host_profile(true))\n".to_string(),
+        }
     }
 
     /// The sampled counter series as `cycle,counter,value` CSV.
@@ -190,7 +222,9 @@ impl SimResult {
     }
 
     /// Write every profile artifact into `dir` (created if missing):
-    /// `trace.json`, `counters.csv`, `metrics.csv`, `profile.txt`.
+    /// `trace.json`, `counters.csv`, `metrics.csv`, `profile.txt` — plus,
+    /// when the run was host-profiled, `host_profile.txt` and the
+    /// dual-clock `trace_host.json`.
     ///
     /// # Errors
     ///
@@ -203,6 +237,13 @@ impl SimResult {
         std::fs::write(dir.join("counters.csv"), self.counters_csv())?;
         std::fs::write(dir.join("metrics.csv"), self.metrics_csv())?;
         std::fs::write(dir.join("profile.txt"), self.profile_report())?;
+        if self.host_profile.is_some() {
+            std::fs::write(dir.join("host_profile.txt"), self.host_report())?;
+            std::fs::write(
+                dir.join("trace_host.json"),
+                self.chrome_trace_json_with_host(),
+            )?;
+        }
         Ok(())
     }
 
@@ -374,6 +415,82 @@ pub struct GpuSim {
     /// of popping it — the cross-stream barrier behind
     /// [`run_to_marker`](Self::run_to_marker). Transient; never serialized.
     hold_at_marker: Option<String>,
+    /// Host-clock self-profiler; `None` (the default) keeps every
+    /// wall-clock read off the hot path. Transient driver state like the
+    /// watchdog — never serialized; a restored simulator starts unprofiled.
+    host: Option<Box<HostProfiler>>,
+    /// Reused buffer for memory-system completions, so the steady-state
+    /// cycle loop allocates nothing. Always empty between cycles.
+    scratch_completions: Vec<Completion>,
+    /// Reused buffer for per-SM cycle outputs on the serial path (the
+    /// sharded path buffers into each shard). Always empty between cycles.
+    scratch_outs: Vec<CycleOutput>,
+}
+
+/// Uniform view over `Sm` and `&mut Sm`, so the driver helpers accept both
+/// the serial loop's owned `&mut [Sm]` and the sharded loop's per-cycle
+/// `Vec<&mut Sm>` (borrowed out of shard guards). This is what lets the
+/// serial hot path run without building a reference vector every cycle.
+trait AsSm {
+    fn sm(&self) -> &Sm;
+    fn sm_mut(&mut self) -> &mut Sm;
+}
+
+impl AsSm for Sm {
+    fn sm(&self) -> &Sm {
+        self
+    }
+    fn sm_mut(&mut self) -> &mut Sm {
+        self
+    }
+}
+
+impl AsSm for &mut Sm {
+    fn sm(&self) -> &Sm {
+        self
+    }
+    fn sm_mut(&mut self) -> &mut Sm {
+        self
+    }
+}
+
+/// Lap timer for the driver's per-cycle phases. Laps are contiguous — each
+/// `switch` closes the running phase at the instant the next one starts —
+/// so driver phase times sum to the loop's wall-clock with no gaps. Every
+/// method is a no-op (one branch, no clock read) when profiling is off.
+struct PhaseClock {
+    t: Option<Instant>,
+    phase: HostPhase,
+}
+
+impl PhaseClock {
+    fn start(on: bool, phase: HostPhase) -> Self {
+        if on {
+            set_alloc_phase(phase);
+        }
+        PhaseClock {
+            t: on.then(Instant::now),
+            phase,
+        }
+    }
+
+    /// Close the running lap into `host` and begin `next`.
+    fn switch(&mut self, host: &mut Option<Box<HostProfiler>>, next: HostPhase) {
+        if let (Some(t), Some(h)) = (self.t.as_mut(), host.as_mut()) {
+            let now = Instant::now();
+            h.add(self.phase, (now - *t).as_nanos() as u64);
+            *t = now;
+            self.phase = next;
+            set_alloc_phase(next);
+        }
+    }
+
+    /// Close the final lap.
+    fn finish(self, host: &mut Option<Box<HostProfiler>>) {
+        if let (Some(t), Some(h)) = (self.t, host.as_mut()) {
+            h.add(self.phase, t.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 impl GpuSim {
@@ -418,6 +535,9 @@ impl GpuSim {
             checkpoint_dir: None,
             watchdog: DEFAULT_WATCHDOG,
             hold_at_marker: None,
+            host: None,
+            scratch_completions: Vec::new(),
+            scratch_outs: Vec::new(),
             cfg,
         }
     }
@@ -527,6 +647,23 @@ impl GpuSim {
         self.threads = threads.max(1);
     }
 
+    /// Turn on host-clock self-profiling with a heartbeat every
+    /// `heartbeat_interval` simulated cycles (0 = no heartbeats). The
+    /// builder's `.host_profile(true)` does this for you; profiling is
+    /// purely observational and never changes simulated results.
+    pub fn enable_host_profile(&mut self, heartbeat_interval: u64) {
+        self.host = Some(Box::new(HostProfiler::new(heartbeat_interval)));
+    }
+
+    /// Adopt an already-running profiler — the builder starts one early so
+    /// pre-flight validation, static analysis, and fast-forward are timed
+    /// too, then hands it over here.
+    pub(crate) fn install_host_profiler(&mut self, host: Option<Box<HostProfiler>>) {
+        if host.is_some() {
+            self.host = host;
+        }
+    }
+
     /// Install (or drop) the span/counter recorder. The builder calls this
     /// from its `telemetry` flags; directly-constructed `GpuSim`s keep
     /// recording off. All recording happens on the driving thread, so the
@@ -566,12 +703,21 @@ impl GpuSim {
                 }
                 let dir = self.checkpoint_dir.clone().unwrap_or_default();
                 let path = dir.join(format!("ckpt-{}.ckpt", self.now));
+                let ckpt_start = self.host.as_ref().map(|h| {
+                    set_alloc_phase(HostPhase::CheckpointIo);
+                    h.elapsed_ns()
+                });
                 if let Err(e) = self.save_checkpoint(&path) {
                     return Err(SimError::CheckpointIo {
                         cycle: self.now,
                         path,
                         source: e,
                     });
+                }
+                if let Some(t0) = ckpt_start {
+                    let label = format!("ckpt-{}", self.now);
+                    let h = self.host.as_mut().expect("checked above");
+                    h.span_end(HostPhase::CheckpointIo, &label, t0);
                 }
             }
         } else {
@@ -670,19 +816,20 @@ impl GpuSim {
     }
 
     /// Like [`work_remains`](Self::work_remains) but over SMs that have been
-    /// moved out of `self` (the parallel path keeps them in shards).
-    fn work_remains_refs(&self, sms: &[&mut Sm]) -> bool {
+    /// moved out of `self` (the cycle loop holds them — owned on the serial
+    /// path, borrowed out of shards on the parallel path).
+    fn work_remains_in<S: AsSm>(&self, sms: &[S]) -> bool {
         self.streams
             .iter()
             .any(|s| s.work_remains() && !self.parked(s))
-            || sms.iter().any(|sm| sm.busy())
+            || sms.iter().any(|sm| sm.sm().busy())
             || !self.mem.quiescent()
     }
 
     /// Whether the whole memory hierarchy — shared L2/DRAM *and* every SM's
     /// private L1/MSHRs/egress — has drained.
-    fn hierarchy_quiescent(&self, sms: &[&mut Sm]) -> bool {
-        self.mem.quiescent() && sms.iter().all(|sm| sm.port().quiescent())
+    fn hierarchy_quiescent<S: AsSm>(&self, sms: &[S]) -> bool {
+        self.mem.quiescent() && sms.iter().all(|sm| sm.sm().port().quiescent())
     }
 
     fn budget_violation(&self) -> Option<Violation> {
@@ -787,21 +934,32 @@ impl GpuSim {
     /// Propagates trace-source I/O errors from demand-paging a CTA.
     pub fn step(&mut self) -> io::Result<()> {
         let mut sms = std::mem::take(&mut self.sms);
-        let mut refs: Vec<&mut Sm> = sms.iter_mut().collect();
         let now = self.now;
-        self.advance_streams(now, &mut refs);
-        let issued = self.issue_ctas(now, &mut refs);
+        let mut clock = PhaseClock::start(self.host.is_some(), HostPhase::Dispatch);
+        self.advance_streams(now, &mut sms[..]);
+        let issued = self.issue_ctas(now, &mut sms[..]);
         if issued.is_ok() {
-            for sm in refs.iter_mut() {
-                if !sm.busy() {
-                    continue;
+            clock.switch(&mut self.host, HostPhase::Execute);
+            // Buffer the outputs and absorb after the loop, exactly like the
+            // sharded path does per shard — same absorb order (ascending SM
+            // id), and the buffer is reused so the steady state stays
+            // allocation-free.
+            let mut outs = std::mem::take(&mut self.scratch_outs);
+            for sm in sms.iter_mut() {
+                if sm.busy() {
+                    outs.push(sm.cycle(now));
                 }
-                let out = sm.cycle(now);
+            }
+            clock.switch(&mut self.host, HostPhase::Dispatch);
+            for out in outs.drain(..) {
                 self.absorb_output(now, out);
             }
-            self.finish_cycle(now, &mut refs);
+            self.scratch_outs = outs;
+            clock.finish(&mut self.host);
+            self.finish_cycle(now, &mut sms[..]);
+        } else {
+            clock.finish(&mut self.host);
         }
-        drop(refs);
         self.sms = sms;
         if issued.is_ok() {
             self.now += 1;
@@ -863,15 +1021,26 @@ impl GpuSim {
     /// Everything after the per-SM compute phase: drain the ports through
     /// the shared memory system, deliver completions, tick the slicer,
     /// sample telemetry.
-    fn finish_cycle(&mut self, now: u64, sms: &mut [&mut Sm]) {
-        let completions = {
-            let mut ports: Vec<&mut crisp_mem::SmMemPort> =
-                sms.iter_mut().map(|sm| sm.port_mut()).collect();
-            self.mem.tick(now, &mut ports)
-        };
-        for c in completions {
-            sms[c.token.sm as usize].on_mem_completion(c.token.id);
+    fn finish_cycle<S: AsSm + AsMut<crisp_mem::SmMemPort>>(&mut self, now: u64, sms: &mut [S]) {
+        let mut tick_times = self.host.is_some().then(TickTimes::default);
+        if self.host.is_some() {
+            set_alloc_phase(HostPhase::MemTick);
         }
+        self.mem
+            .tick_into(now, sms, &mut self.scratch_completions, tick_times.as_mut());
+        for c in &self.scratch_completions {
+            sms[c.token.sm as usize]
+                .sm_mut()
+                .on_mem_completion(c.token.id);
+        }
+        if let (Some(tt), Some(h)) = (tick_times, self.host.as_mut()) {
+            h.add(HostPhase::PortDrain, tt.drain_ns);
+            h.add(HostPhase::MemTick, tt.mem_ns);
+        }
+        let telemetry_lap = self.host.as_ref().map(|_| {
+            set_alloc_phase(HostPhase::Telemetry);
+            Instant::now()
+        });
         self.slicer_tick(now, sms);
         if self.occupancy_interval > 0 && now.is_multiple_of(self.occupancy_interval) {
             self.sample_occupancy(now, sms);
@@ -891,17 +1060,43 @@ impl GpuSim {
         {
             self.sample_counters(now, sms);
         }
+        if self.host.as_ref().is_some_and(|h| h.heartbeat_due(now)) {
+            self.record_heartbeat(now, sms);
+        }
+        if let Some(t) = telemetry_lap {
+            let ns = t.elapsed().as_nanos() as u64;
+            let h = self.host.as_mut().expect("lap only taken with profiler");
+            h.add(HostPhase::Telemetry, ns);
+            set_alloc_phase(HostPhase::Dispatch);
+        }
+    }
+
+    /// Record one heartbeat sample: throughput since the previous beat,
+    /// resident trace window, and shard skew from per-SM instruction
+    /// deltas. Heartbeats are rare (default every 100k cycles), so the
+    /// per-SM scratch vector here is off the steady-state path.
+    fn record_heartbeat<S: AsSm>(&mut self, now: u64, sms: &[S]) {
+        let per_sm: Vec<u64> = sms
+            .iter()
+            .map(|s| {
+                let sm = s.sm();
+                self.stats.keys().map(|&id| sm.issued_for(id)).sum()
+            })
+            .collect();
+        let resident = self.source.as_ref().map_or(0, |s| s.stats().resident_bytes);
+        let h = self.host.as_mut().expect("caller checked");
+        h.heartbeat(now, resident, &per_sm);
     }
 
     /// Sample the counter series into the trace: per-stream IPC and DRAM
     /// traffic, plus windowed L1/L2 hit rates. Deltas use `saturating_sub`
     /// because [`CLEAR_STATS_MARKER`] can reset the underlying cumulative
     /// statistics mid-run.
-    fn sample_counters(&mut self, now: u64, sms: &[&mut Sm]) {
+    fn sample_counters<S: AsSm>(&mut self, now: u64, sms: &[S]) {
         let interval = self.counter_interval as f64;
         let mut samples: Vec<(String, f64)> = Vec::new();
         for st in &self.streams {
-            let total: u64 = sms.iter().map(|sm| sm.issued_for(st.id)).sum();
+            let total: u64 = sms.iter().map(|sm| sm.sm().issued_for(st.id)).sum();
             let prev = self.counter_prev_issued.insert(st.id, total).unwrap_or(0);
             samples.push((
                 format!("{}/ipc", st.id),
@@ -916,7 +1111,7 @@ impl GpuSim {
         }
         let mut l1 = (0u64, 0u64);
         for sm in sms.iter() {
-            let t = sm.port().stats().totals();
+            let t = sm.sm().port().stats().totals();
             l1.0 += t.accesses;
             l1.1 += t.hits;
         }
@@ -955,7 +1150,7 @@ impl GpuSim {
     }
 
     /// Pop markers and begin the next kernel of each idle stream.
-    fn advance_streams(&mut self, now: u64, sms: &mut [&mut Sm]) {
+    fn advance_streams<S: AsSm>(&mut self, now: u64, sms: &mut [S]) {
         for si in 0..self.streams.len() {
             loop {
                 if self.streams[si].current.is_some() {
@@ -966,7 +1161,7 @@ impl GpuSim {
                 // only post-marker (steady-state) traffic.
                 if matches!(self.streams[si].front(),
                     Some(CommandMeta::Marker(l)) if l == CLEAR_STATS_MARKER)
-                    && !self.hierarchy_quiescent(sms)
+                    && !self.hierarchy_quiescent(&*sms)
                 {
                     break;
                 }
@@ -995,7 +1190,7 @@ impl GpuSim {
                         if label == CLEAR_STATS_MARKER {
                             self.mem.clear_stats();
                             for sm in sms.iter_mut() {
-                                sm.port_mut().clear_stats();
+                                sm.sm_mut().port_mut().clear_stats();
                             }
                         }
                         // Drawcall boundary: dynamic partitions reset here.
@@ -1056,13 +1251,13 @@ impl GpuSim {
         }
     }
 
-    fn reset_slicer(&mut self, now: u64, sms: &mut [&mut Sm]) {
+    fn reset_slicer<S: AsSm>(&mut self, now: u64, sms: &mut [S]) {
         if let Some(sl) = self.slicer.as_mut() {
             sl.on_reset(now);
             let streams = sl.streams();
             for sm in sms.iter_mut() {
                 for s in streams {
-                    let _ = sm.take_window_issued(s);
+                    let _ = sm.sm_mut().take_window_issued(s);
                 }
             }
         }
@@ -1101,7 +1296,7 @@ impl GpuSim {
     /// Issue at most one CTA per SM per cycle, honouring the partition.
     /// The CTA's instruction slice is demand-paged through the trace
     /// source here — the first (and only) decode of that CTA's payload.
-    fn issue_ctas(&mut self, now: u64, sms: &mut [&mut Sm]) -> io::Result<()> {
+    fn issue_ctas<S: AsSm>(&mut self, now: u64, sms: &mut [S]) -> io::Result<()> {
         let n_streams = self.streams.len();
         if n_streams == 0 {
             return Ok(());
@@ -1134,7 +1329,7 @@ impl GpuSim {
                 }
                 let quota = self.quota_for(sm_id, id);
                 let res = CtaResources::of_info(&info);
-                if !sms[sm_id].fits(id, res, quota) {
+                if !sms[sm_id].sm().fits(id, res, quota) {
                     continue;
                 }
                 let cta = self
@@ -1155,7 +1350,7 @@ impl GpuSim {
                 self.cta_seq += 1;
                 running.next_cta += 1;
                 running.outstanding += 1;
-                sms[sm_id].launch_cta(work);
+                sms[sm_id].sm_mut().launch_cta(work);
                 if let Some(rec) = self.recorder.as_mut() {
                     rec.cta_issued(seq, sm_id as u32, id.0, cta_index, now);
                 }
@@ -1166,7 +1361,7 @@ impl GpuSim {
         Ok(())
     }
 
-    fn slicer_tick(&mut self, now: u64, sms: &mut [&mut Sm]) {
+    fn slicer_tick<S: AsSm>(&mut self, now: u64, sms: &mut [S]) {
         let Some(sl) = self.slicer.as_mut() else {
             return;
         };
@@ -1174,20 +1369,22 @@ impl GpuSim {
             return;
         }
         let n = sms.len();
-        let _ = sl.maybe_decide(now, n, |sm, stream| sms[sm].take_window_issued(stream));
+        let _ = sl.maybe_decide(now, n, |sm, stream| {
+            sms[sm].sm_mut().take_window_issued(stream)
+        });
     }
 
-    fn sample_occupancy(&mut self, now: u64, sms: &[&mut Sm]) {
+    fn sample_occupancy<S: AsSm>(&mut self, now: u64, sms: &[S]) {
         let mut by_stream = BTreeMap::new();
         let mut issued_delta = BTreeMap::new();
         for st in &self.streams {
             let mean: f64 = sms
                 .iter()
-                .map(|sm| sm.resources().stream_warp_occupancy(st.id))
+                .map(|sm| sm.sm().resources().stream_warp_occupancy(st.id))
                 .sum::<f64>()
                 / sms.len() as f64;
             by_stream.insert(st.id, mean);
-            let total: u64 = sms.iter().map(|sm| sm.issued_for(st.id)).sum();
+            let total: u64 = sms.iter().map(|sm| sm.sm().issued_for(st.id)).sum();
             let prev = self.last_issued_snapshot.insert(st.id, total).unwrap_or(0);
             issued_delta.insert(st.id, total - prev);
         }
@@ -1221,6 +1418,14 @@ impl GpuSim {
         struct Shard {
             sms: Vec<Sm>,
             out: Vec<crisp_sm::CycleOutput>,
+            /// Wall-clock this shard's worker spent ticking its SMs
+            /// (host profiling only; stays 0 otherwise).
+            exec_ns: u64,
+            /// Wall-clock the worker spent blocked at the generation
+            /// barrier waiting for the driver's serial phases.
+            wait_ns: u64,
+            /// Generations the worker timed (= cycles it participated in).
+            cycles: u64,
         }
 
         /// Generation-counted barrier state, guarded by one mutex.
@@ -1261,6 +1466,9 @@ impl GpuSim {
             shards.push(Mutex::new(Shard {
                 sms: pool,
                 out: Vec::new(),
+                exec_ns: 0,
+                wait_ns: 0,
+                cycles: 0,
             }));
             pool = rest;
         }
@@ -1279,13 +1487,22 @@ impl GpuSim {
             all_done: Condvar::new(),
         };
 
+        let profiling = self.host.is_some();
+        if let Some(h) = self.host.as_mut() {
+            h.set_workers(n_workers);
+        }
         let mut violation: Option<Violation> = None;
         let mut finished = false;
         std::thread::scope(|scope| {
             for shard in shards.iter() {
                 scope.spawn(move || {
                     let mut my_gen = 0u64;
+                    if profiling {
+                        // Everything a worker allocates is warp execution.
+                        set_alloc_phase(HostPhase::Execute);
+                    }
                     loop {
+                        let wait_t = profiling.then(Instant::now);
                         let now = {
                             let mut st = lock(&ctrl.state);
                             while st.gen == my_gen && !st.quit {
@@ -1300,10 +1517,12 @@ impl GpuSim {
                             my_gen = st.gen;
                             st.now
                         };
+                        let wait_ns = wait_t.map(|t| t.elapsed().as_nanos() as u64);
                         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut g = lock(shard);
                             let sh = &mut *g;
                             sh.out.clear();
+                            let exec_t = wait_ns.map(|_| Instant::now());
                             for sm in sh.sms.iter_mut() {
                                 let out = if sm.busy() {
                                     sm.cycle(now)
@@ -1311,6 +1530,11 @@ impl GpuSim {
                                     crisp_sm::CycleOutput::default()
                                 };
                                 sh.out.push(out);
+                            }
+                            if let (Some(t), Some(w)) = (exec_t, wait_ns) {
+                                sh.exec_ns += t.elapsed().as_nanos() as u64;
+                                sh.wait_ns += w;
+                                sh.cycles += 1;
                             }
                         }));
                         let mut st = lock(&ctrl.state);
@@ -1333,12 +1557,13 @@ impl GpuSim {
                     break;
                 }
                 let now = self.now;
+                let mut clock = PhaseClock::start(profiling, HostPhase::Dispatch);
                 // Serial pre-phase: stream advance + CTA dispatch.
                 {
                     let mut guards: Vec<_> = shards.iter().map(lock).collect();
                     let mut refs: Vec<&mut Sm> =
                         guards.iter_mut().flat_map(|g| g.sms.iter_mut()).collect();
-                    if !self.work_remains_refs(&refs) {
+                    if !self.work_remains_in(&refs) {
                         finished = true;
                         break;
                     }
@@ -1349,6 +1574,10 @@ impl GpuSim {
                     }
                 }
                 // Parallel compute phase: release the workers, wait for all.
+                // On the driver's clock this whole window — including the
+                // barrier handshake — is Execute; the workers' own
+                // execute/wait split is accounted per shard.
+                clock.switch(&mut self.host, HostPhase::Execute);
                 let poisoned = {
                     let mut st = lock(&ctrl.state);
                     st.done = 0;
@@ -1373,11 +1602,13 @@ impl GpuSim {
                 // hierarchy, slicer, and telemetry.
                 {
                     let mut guards: Vec<_> = shards.iter().map(lock).collect();
+                    clock.switch(&mut self.host, HostPhase::Dispatch);
                     for g in guards.iter_mut() {
                         for out in std::mem::take(&mut g.out) {
                             self.absorb_output(now, out);
                         }
                     }
+                    clock.finish(&mut self.host);
                     let mut refs: Vec<&mut Sm> =
                         guards.iter_mut().flat_map(|g| g.sms.iter_mut()).collect();
                     self.finish_cycle(now, &mut refs);
@@ -1393,6 +1624,19 @@ impl GpuSim {
             ctrl.go.notify_all();
         });
 
+        if let Some(h) = self.host.as_mut() {
+            for (i, s) in shards.iter().enumerate() {
+                let g = lock(s);
+                h.merge_shard(
+                    i,
+                    ShardTimes {
+                        execute_ns: g.exec_ns,
+                        wait_ns: g.wait_ns,
+                        cycles: g.cycles,
+                    },
+                );
+            }
+        }
         self.sms = shards
             .iter()
             .flat_map(|s| std::mem::take(&mut lock(s).sms))
@@ -1405,6 +1649,10 @@ impl GpuSim {
     }
 
     fn result(&mut self) -> SimResult {
+        let export_start = self.host.as_ref().map(|h| {
+            set_alloc_phase(HostPhase::Export);
+            h.elapsed_ns()
+        });
         // Fill instruction counts from the SMs.
         for (id, st) in self.stats.iter_mut() {
             st.instructions = self.sms.iter().map(|sm| sm.issued_for(*id)).sum();
@@ -1453,6 +1701,13 @@ impl GpuSim {
             .take()
             .map(|r| r.finish(self.now))
             .unwrap_or_default();
+        let total_instrs: u64 = self.stats.values().map(|s| s.instructions).sum();
+        let host_profile = self.host.take().map(|mut h| {
+            if let Some(t0) = export_start {
+                h.span_end(HostPhase::Export, "build result", t0);
+            }
+            h.finish(self.now, total_instrs, crisp_obs::host::alloc_report())
+        });
         SimResult {
             cycles: self.now,
             per_stream,
@@ -1478,6 +1733,7 @@ impl GpuSim {
                 .as_ref()
                 .map(TraceSource::stats)
                 .unwrap_or_default(),
+            host_profile,
         }
     }
 
@@ -2079,6 +2335,9 @@ impl GpuSim {
             checkpoint_dir: None,
             watchdog: DEFAULT_WATCHDOG,
             hold_at_marker: None,
+            host: None,
+            scratch_completions: Vec::new(),
+            scratch_outs: Vec::new(),
         })
     }
 }

@@ -34,6 +34,7 @@ use crate::error::SimError;
 use crate::gpu::{GpuSim, SimResult, DEFAULT_WATCHDOG};
 use crate::policy::{L2Policy, PartitionSpec, SmPartition};
 use crisp_analyze::{AnalysisConfig, LintLevel};
+use crisp_obs::host::{set_alloc_phase, HostPhase, HostProfiler};
 use crisp_sm::CtaResources;
 use crisp_trace::{CommandMeta, TraceInput, TraceSource};
 
@@ -145,6 +146,8 @@ pub struct SimulationBuilder {
     skip_preflight: bool,
     analyze: LintLevel,
     analyze_config: Option<AnalysisConfig>,
+    host_profile: bool,
+    heartbeat_interval: Option<u64>,
 }
 
 impl SimulationBuilder {
@@ -385,12 +388,39 @@ impl SimulationBuilder {
         self
     }
 
+    /// Profile the **simulator itself** on the host clock (default: off).
+    /// Wall-clock time is attributed to every phase of the run — pre-flight
+    /// validation, static analysis, fast-forward, and the cycle loop's
+    /// dispatch / execute / barrier-wait / memory / telemetry phases — and
+    /// returned as [`SimResult::host_profile`], with a rendered report via
+    /// [`SimResult::host_report`] and a dual-clock Chrome trace via
+    /// [`SimResult::chrome_trace_json_with_host`]. Purely observational:
+    /// simulated results and the sim-clock exports are byte-identical with
+    /// or without it.
+    pub fn host_profile(mut self, enabled: bool) -> Self {
+        self.host_profile = enabled;
+        self
+    }
+
+    /// Simulated cycles between host-profile heartbeats (throughput,
+    /// resident trace window, shard skew). Default
+    /// [`HostProfiler::DEFAULT_HEARTBEAT`]; 0 disables heartbeats. Only
+    /// meaningful with [`host_profile`](Self::host_profile)`(true)`.
+    pub fn heartbeat_interval(mut self, cycles: u64) -> Self {
+        self.heartbeat_interval = Some(cycles);
+        self
+    }
+
     /// Pre-flight validation: lint the opened trace source incrementally
     /// ([`crisp_trace::validate_source`] — one streaming pass with a
     /// bounded resident window) and cross-check the configuration against
     /// its metadata, so bad inputs fail in milliseconds with a named error
     /// instead of mid-run.
-    fn preflight_check(&self, mut source: Option<&mut TraceSource>) -> Result<(), SimError> {
+    fn preflight_check(
+        &self,
+        mut source: Option<&mut TraceSource>,
+        mut host: Option<&mut HostProfiler>,
+    ) -> Result<(), SimError> {
         let invalid = |message: String| Err(SimError::InvalidConfig { message });
         let cfg = self
             .gpu
@@ -400,14 +430,28 @@ impl SimulationBuilder {
             return invalid("max_cycles is 0 — no cycle could ever run".into());
         }
         if let Some(src) = source.as_deref_mut() {
+            let t0 = host.as_deref_mut().map(|h| {
+                set_alloc_phase(HostPhase::Preflight);
+                h.elapsed_ns()
+            });
             crisp_trace::validate_source(src)?;
+            if let (Some(t0), Some(h)) = (t0, host.as_deref_mut()) {
+                h.span_end(HostPhase::Preflight, "validate trace", t0);
+            }
             if self.analyze != LintLevel::Off {
+                let t0 = host.as_deref_mut().map(|h| {
+                    set_alloc_phase(HostPhase::Analyze);
+                    h.elapsed_ns()
+                });
                 let acfg = self.analyze_config.clone().unwrap_or_default();
                 let report =
                     crisp_analyze::analyze_source(src, &acfg).map_err(|e| SimError::TraceIo {
                         cycle: 0,
                         message: e.to_string(),
                     })?;
+                if let (Some(t0), Some(h)) = (t0, host) {
+                    h.span_end(HostPhase::Analyze, "static analysis", t0);
+                }
                 let errors: Vec<crisp_trace::TraceError> = match self.analyze {
                     LintLevel::Deny => report
                         .diagnostics
@@ -577,8 +621,13 @@ impl SimulationBuilder {
 
     /// The unchecked constructor behind [`build`](Self::build) and
     /// [`try_build`](Self::try_build); `source` is the already-opened
-    /// trace.
-    fn construct(self, source: Option<TraceSource>) -> Result<GpuSim, SimError> {
+    /// trace and `host` the (possibly already-ticking) self-profiler,
+    /// which times fast-forward here and is then handed to the sim.
+    fn construct(
+        self,
+        source: Option<TraceSource>,
+        mut host: Option<Box<HostProfiler>>,
+    ) -> Result<GpuSim, SimError> {
         let cfg = self.gpu.unwrap_or_else(GpuConfig::jetson_orin);
         let mut spec = self.partition.unwrap_or_else(PartitionSpec::greedy);
         if let Some(l2) = self.l2 {
@@ -617,12 +666,20 @@ impl SimulationBuilder {
             sim.attach(src);
         }
         if let Some(label) = self.fast_forward_to {
+            let t0 = host.as_deref_mut().map(|h| {
+                set_alloc_phase(HostPhase::FastForward);
+                h.elapsed_ns()
+            });
             sim.fast_forward_to_marker(&label)
                 .map_err(|e| SimError::TraceIo {
                     cycle: 0,
                     message: e.to_string(),
                 })?;
+            if let (Some(t0), Some(h)) = (t0, host.as_deref_mut()) {
+                h.span_end(HostPhase::FastForward, &label, t0);
+            }
         }
+        sim.install_host_profiler(host);
         Ok(sim)
     }
 
@@ -638,7 +695,21 @@ impl SimulationBuilder {
     /// (see [`GpuSim::attach`]).
     pub fn build(mut self) -> GpuSim {
         let source = Self::open_input(self.trace.take()).unwrap_or_else(|e| panic!("{e}"));
-        self.construct(source).unwrap_or_else(|e| panic!("{e}"))
+        let host = self.make_profiler();
+        self.construct(source, host)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The profiler the builder starts when `.host_profile(true)` is set —
+    /// created before pre-flight so validation, analysis, and fast-forward
+    /// land on its clock.
+    fn make_profiler(&self) -> Option<Box<HostProfiler>> {
+        self.host_profile.then(|| {
+            Box::new(HostProfiler::new(
+                self.heartbeat_interval
+                    .unwrap_or(HostProfiler::DEFAULT_HEARTBEAT),
+            ))
+        })
     }
 
     /// Open the trace input, pre-flight-validate it together with the
@@ -655,9 +726,10 @@ impl SimulationBuilder {
     /// validation, [`SimError::InvalidConfig`] when the configuration is
     /// inconsistent with itself or the trace.
     pub fn try_build(mut self) -> Result<GpuSim, SimError> {
+        let mut host = self.make_profiler();
         let mut source = Self::open_input(self.trace.take())?;
         if !self.skip_preflight {
-            self.preflight_check(source.as_mut())?;
+            self.preflight_check(source.as_mut(), host.as_deref_mut())?;
             // Validation and analysis page CTAs through the source; zero the
             // accounting so the run's counters start at cycle 0 and results
             // are identical whether or not the pre-flight pass ran.
@@ -665,7 +737,7 @@ impl SimulationBuilder {
                 src.set_stats(crisp_trace::TraceStats::default());
             }
         }
-        self.construct(source)
+        self.construct(source, host)
     }
 
     /// Build and run to completion.

@@ -154,6 +154,15 @@ pub struct Sm {
     stalls: StallBreakdown,
 }
 
+// Lend the private port, so `MemSystem::tick_into` can drain/fill SMs
+// directly from a `&mut [Sm]` (or `&mut [&mut Sm]`, via std's forwarding
+// impl) without the cycle loop building a per-cycle `Vec<&mut SmMemPort>`.
+impl AsMut<SmMemPort> for Sm {
+    fn as_mut(&mut self) -> &mut SmMemPort {
+        &mut self.port
+    }
+}
+
 impl Sm {
     /// An idle SM with the given id, configuration, and memory port.
     ///
@@ -523,15 +532,23 @@ impl Sm {
 
     /// LRR: the first ready warp strictly after the last one issued,
     /// wrapping around this scheduler's slots.
+    ///
+    /// Scheduler `s` owns slots `s, s + n_sched, s + 2*n_sched, …`; the
+    /// k-th owned slot is computed arithmetically so the per-cycle hot path
+    /// stays allocation-free.
     fn pick_warp_lrr(&mut self, s: usize, now: u64) -> Option<usize> {
         let n_sched = self.cfg.schedulers as usize;
-        let slots: Vec<usize> = (s..self.warps.len()).step_by(n_sched).collect();
+        if s >= self.warps.len() {
+            return None;
+        }
+        let n_slots = (self.warps.len() - s).div_ceil(n_sched);
         let start = match self.last_issued[s] {
-            Some(last) => slots.iter().position(|&x| x == last).map_or(0, |p| p + 1),
-            None => 0,
+            // last = s + p*n_sched → resume from owned index p + 1.
+            Some(last) if last >= s => (last - s) / n_sched + 1,
+            _ => 0,
         };
-        for k in 0..slots.len() {
-            let slot = slots[(start + k) % slots.len()];
+        for k in 0..n_slots {
+            let slot = s + ((start + k) % n_slots) * n_sched;
             if self.warp_can_issue(slot, now) {
                 return Some(slot);
             }
